@@ -1,0 +1,55 @@
+//! ILP substrate benches: LP relaxations, branch & bound on repair
+//! problems, and the bipartite vertex-cover presolve path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rain_ilp::{
+    hopcroft_karp, solve_ilp, solve_lp, BbConfig, BipartiteGraph, Constraint, IlpProblem,
+    Sense,
+};
+
+/// The Tiresias COUNT encoding at size `n`: flip costs ±1, Σt = n/2.
+fn cardinality_problem(n: usize) -> IlpProblem {
+    let mut p = IlpProblem::new();
+    for i in 0..n {
+        p.add_var(if i % 3 == 0 { -1.0 } else { 1.0 });
+    }
+    p.add_constraint(Constraint::new(
+        (0..n).map(|i| (i, 1.0)).collect(),
+        Sense::Eq,
+        (n / 2) as f64,
+    ));
+    p
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ilp");
+    for &n in &[20usize, 60, 120] {
+        let p = cardinality_problem(n);
+        g.bench_with_input(BenchmarkId::new("lp_relaxation", n), &n, |b, _| {
+            b.iter(|| solve_lp(&p.objective, &p.constraints))
+        });
+        g.bench_with_input(BenchmarkId::new("branch_and_bound", n), &n, |b, _| {
+            b.iter(|| solve_ilp(&p, &BbConfig::default()))
+        });
+    }
+    for &n in &[100usize, 1000, 5000] {
+        let mut graph = BipartiteGraph::new(n, n / 4);
+        for l in 0..n {
+            graph.add_edge(l, l % (n / 4));
+            if l % 7 == 0 {
+                graph.add_edge(l, (l / 7) % (n / 4));
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &n, |b, _| {
+            b.iter(|| hopcroft_karp(&graph))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ilp
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Relaxed-provenance benches: evaluating and differentiating the
+//! polynomials Holistic builds, at COUNT-over-join scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rain_linalg::RainRng;
+use rain_sql::{AggSum, AggTerm, BoolProv, CellProv, Probs};
+
+/// A COUNT cell over an `n_left × n_right` prediction join.
+fn join_count_cell(n_left: usize, n_right: usize) -> (CellProv, Probs) {
+    let mut terms = Vec::with_capacity(n_left * n_right);
+    for l in 0..n_left {
+        for r in 0..n_right {
+            terms.push((
+                BoolProv::PredEq { left: l as u32, right: (n_left + r) as u32 },
+                AggTerm::One,
+            ));
+        }
+    }
+    let mut rng = RainRng::seed_from_u64(42);
+    let p = (0..n_left + n_right)
+        .map(|_| {
+            let mut row = vec![0.0; 10];
+            let hot = rng.below(10);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = if c == hot { 0.82 } else { 0.02 };
+            }
+            row
+        })
+        .collect();
+    (CellProv::Sum(AggSum { terms }), Probs { p })
+}
+
+fn bench_relax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relax");
+    for &side in &[30usize, 100, 250] {
+        let (cell, probs) = join_count_cell(side, side);
+        g.bench_with_input(BenchmarkId::new("eval_relaxed", side * side), &side, |b, _| {
+            b.iter(|| cell.eval_relaxed(&probs))
+        });
+        g.bench_with_input(BenchmarkId::new("grad", side * side), &side, |b, _| {
+            b.iter(|| cell.grad(&probs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_relax
+}
+criterion_main!(benches);

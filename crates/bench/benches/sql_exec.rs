@@ -1,0 +1,42 @@
+//! Query-execution benches: normal vs debug (provenance) mode, for a
+//! filter query and a prediction join — the overhead the paper's "debug
+//! mode" re-execution (§5.1) pays for lineage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rain_data::digits::DigitsConfig;
+use rain_model::{train_lbfgs, SoftmaxRegression};
+use rain_sql::{run_query, Database, ExecOptions};
+
+fn bench_exec(c: &mut Criterion) {
+    let w = DigitsConfig { n_train: 400, n_query: 400 }.generate(42);
+    let mut model = SoftmaxRegression::new(
+        rain_data::digits::N_PIXELS,
+        rain_data::digits::N_CLASSES,
+        0.01,
+    );
+    train_lbfgs(&mut model, &w.train, &Default::default());
+    let mut db = Database::new();
+    let all: Vec<usize> = (0..10).collect();
+    db.register("mnist", w.query_table_for(&all, 400));
+    db.register("left", w.query_table_for(&[1, 2, 3], 60));
+    db.register("right", w.query_table_for(&[7, 8, 9], 60));
+
+    let mut g = c.benchmark_group("sql_exec");
+    let filter = "SELECT COUNT(*) FROM mnist WHERE predict(*) = 1";
+    let join = "SELECT COUNT(*) FROM left l, right r WHERE predict(l) = predict(r)";
+    for (name, sql) in [("filter", filter), ("pred_join", join)] {
+        for (mode, debug) in [("normal", false), ("debug", true)] {
+            g.bench_function(format!("{name}_{mode}"), |b| {
+                b.iter(|| run_query(&db, &model, sql, ExecOptions { debug }).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_exec
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Figure 10: misspecified complaints.
+fn main() {
+    print!("{}", rain_bench::experiments::mnist::fig10(rain_bench::is_quick()));
+}

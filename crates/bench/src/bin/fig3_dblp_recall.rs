@@ -1,0 +1,4 @@
+//! Figure 3: DBLP recall curves by corruption rate.
+fn main() {
+    print!("{}", rain_bench::experiments::dblp::fig3(rain_bench::is_quick()));
+}

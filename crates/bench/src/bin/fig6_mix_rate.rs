@@ -1,0 +1,4 @@
+//! Section 6.3: overlapping-join mix-rate experiment.
+fn main() {
+    print!("{}", rain_bench::experiments::mnist::fig6_mix(rain_bench::is_quick()));
+}

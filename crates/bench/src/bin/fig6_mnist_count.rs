@@ -1,0 +1,4 @@
+//! Figure 6(c,d): MNIST COUNT-over-join complaint.
+fn main() {
+    print!("{}", rain_bench::experiments::mnist::fig6cd(rain_bench::is_quick()));
+}

@@ -1,0 +1,4 @@
+//! Figure 6(a,b): MNIST join tuple complaints.
+fn main() {
+    print!("{}", rain_bench::experiments::mnist::fig6ab(rain_bench::is_quick()));
+}

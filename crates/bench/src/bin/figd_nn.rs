@@ -1,0 +1,4 @@
+//! Appendix D: neural-network debugging.
+fn main() {
+    print!("{}", rain_bench::experiments::nn::figd(rain_bench::is_quick()));
+}

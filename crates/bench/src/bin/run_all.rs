@@ -1,0 +1,44 @@
+//! Run every experiment and write the TSVs under `results/`.
+//!
+//! ```text
+//! cargo run --release -p rain-bench --bin run_all            # full suite
+//! cargo run --release -p rain-bench --bin run_all -- --quick # smoke test
+//! ```
+
+use rain_bench::experiments as ex;
+use std::io::Write;
+use std::time::Instant;
+
+/// An experiment entry: name and runner.
+type Experiment = (&'static str, fn(bool) -> String);
+
+fn main() {
+    let quick = rain_bench::is_quick();
+    let experiments: Vec<Experiment> = vec![
+        ("fig4_dblp_f1", ex::dblp::fig4),
+        ("fig3_dblp_recall", ex::dblp::fig3),
+        ("fig5_runtime", ex::dblp::fig5),
+        ("tab3_auccr", ex::dblp::tab3),
+        ("fig6_mnist_join", ex::mnist::fig6ab),
+        ("fig6_mnist_count", ex::mnist::fig6cd),
+        ("fig6_mix_rate", ex::mnist::fig6_mix),
+        ("fig7_ambiguity", ex::mnist::fig7),
+        ("fig8_adult_multiquery", ex::adult::fig8),
+        ("fig9_complaint_effort", ex::mnist::fig9),
+        ("fig10_misspecified", ex::mnist::fig10),
+        ("figd_nn", ex::nn::figd),
+        ("thm_a1_ambiguity", ex::theory::thm_a1),
+        ("thm_c1_value_of_complaints", ex::theory::thm_c1),
+    ];
+    std::fs::create_dir_all("results").expect("mkdir results");
+    for (name, run) in experiments {
+        let t0 = Instant::now();
+        eprintln!("== {name} ==");
+        let tsv = run(quick);
+        let path = format!("results/{name}.tsv");
+        let mut f = std::fs::File::create(&path).expect("create tsv");
+        f.write_all(tsv.as_bytes()).expect("write tsv");
+        println!("{tsv}");
+        eprintln!("   -> {path} ({:.1}s)", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,4 @@
+//! Theorem A.1 empirical demonstration.
+fn main() {
+    print!("{}", rain_bench::experiments::theory::thm_a1(rain_bench::is_quick()));
+}

@@ -1,0 +1,10 @@
+//! One module per paper artifact. Every `run(quick)` returns the TSV the
+//! corresponding table/figure plots; `EXPERIMENTS.md` records
+//! paper-vs-measured for each.
+
+pub mod adult;
+pub mod dblp;
+pub mod mnist;
+pub mod nn;
+pub mod setups;
+pub mod theory;

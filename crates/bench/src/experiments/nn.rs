@@ -1,0 +1,80 @@
+//! Appendix D: debugging a neural network (Figures 11 and 12).
+//!
+//! The paper uses a small CNN; per DESIGN.md's substitution table we use a
+//! one-hidden-layer ReLU MLP — also non-convex, exercising the identical
+//! R-op + damped-CG code path.
+
+use super::setups::corrupted_digits;
+use crate::harness::{f3, Tsv};
+use rain_core::prelude::*;
+use rain_data::digits::{N_CLASSES, N_PIXELS};
+use rain_influence::InfluenceConfig;
+use rain_model::{Classifier, Mlp, SoftmaxRegression};
+use rain_sql::Database;
+
+fn nn_session(
+    rate: f64,
+    quick: bool,
+    model: Box<dyn Classifier>,
+    nonconvex: bool,
+) -> (DebugSession, Vec<usize>) {
+    let (w, train, truth) = corrupted_digits(rate, 42, quick);
+    let all: Vec<usize> = (0..10).collect();
+    let mut db = Database::new();
+    db.register("mnist", w.query_table_for(&all, w.query.len()));
+    let true_ones = w.query_rows_with_digits(&[1]).len() as f64;
+    let mut sess = DebugSession::new(db, train, model).with_query(
+        QuerySpec::new("SELECT COUNT(*) FROM mnist WHERE predict(*) = 1")
+            .with_complaint(Complaint::scalar_eq(true_ones)),
+    );
+    if nonconvex {
+        // Damping keeps CG well-posed on the indefinite MLP Hessian.
+        sess.influence = InfluenceConfig::for_nonconvex();
+    }
+    (sess, truth)
+}
+
+/// Figures 11 & 12: AUCCR and per-iteration runtimes for the neural
+/// network vs logistic (softmax) regression, by corruption rate.
+pub fn figd(quick: bool) -> String {
+    let mut tsv = Tsv::new("Appendix D (Figs 11-12): NN vs logistic regression");
+    tsv.header(&[
+        "model", "corruption", "method", "auccr", "train_s", "encode_s", "rank_s",
+    ]);
+    let rates: &[f64] = if quick { &[0.5] } else { &[0.3, 0.5, 0.7] };
+    let hidden = if quick { 12 } else { 24 };
+    for &rate in rates {
+        let models: Vec<(&str, Box<dyn Classifier>, bool)> = vec![
+            (
+                "logistic",
+                Box::new(SoftmaxRegression::new(N_PIXELS, N_CLASSES, 0.01)),
+                false,
+            ),
+            (
+                "mlp",
+                Box::new(Mlp::new(N_PIXELS, hidden, N_CLASSES, 0.01, 42)),
+                true,
+            ),
+        ];
+        for (name, model, nonconvex) in models {
+            for method in [Method::Loss, Method::TwoStep, Method::Holistic] {
+                let (sess, truth) = nn_session(rate, quick, model.clone(), nonconvex);
+                let budget = if quick { truth.len().min(20) } else { truth.len() };
+                let report = sess
+                    .run(method, &RunConfig::paper(budget))
+                    .expect("run");
+                let (t, e, r) = report.mean_timings();
+                tsv.row(&[
+                    name.into(),
+                    f3(rate),
+                    method.name().into(),
+                    f3(report.auccr(&truth)),
+                    f3(t),
+                    f3(e),
+                    f3(r),
+                ]);
+            }
+        }
+    }
+    tsv.finish()
+}

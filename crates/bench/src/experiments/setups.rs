@@ -1,0 +1,113 @@
+//! Workload → session builders shared by the experiments.
+
+use rain_core::prelude::*;
+use rain_data::digits::{DigitsConfig, DigitsWorkload, N_CLASSES, N_PIXELS};
+use rain_data::dblp::DblpConfig;
+use rain_data::enron::{EnronConfig, EnronWorkload};
+use rain_data::flip_labels_where;
+use rain_model::{LogisticRegression, SoftmaxRegression};
+use rain_sql::{run_query, Database, ExecOptions, QueryOutput, Value};
+
+/// The DBLP Q1 session: COUNT of predicted matches with the ground-truth
+/// equality complaint; `rate` of the match labels are flipped.
+pub fn dblp(rate: f64, seed: u64, quick: bool) -> (DebugSession, Vec<usize>) {
+    let cfg = if quick { DblpConfig::small() } else { DblpConfig::default() };
+    let w = cfg.generate(seed);
+    let mut train = w.train.clone();
+    let truth = flip_labels_where(&mut train, |_, _, y| y == 1, rate, |_| 0, seed);
+    let mut db = Database::new();
+    db.register("dblp", w.query_table());
+    let sess = DebugSession::new(db, train, Box::new(LogisticRegression::new(17, 0.01)))
+        .with_query(
+            QuerySpec::new("SELECT COUNT(*) FROM dblp WHERE predict(*) = 1")
+                .with_complaint(Complaint::scalar_eq(w.true_match_count() as f64)),
+        );
+    (sess, truth)
+}
+
+/// The Enron Q2 session for one rule word (`HTTP` or `DEAL`): everything
+/// containing the word is (mis)labeled spam, and the complaint pins the
+/// filtered count to its ground-truth value.
+pub fn enron(word: usize, seed: u64, quick: bool) -> (DebugSession, Vec<usize>) {
+    let cfg = if quick { EnronConfig::small() } else { EnronConfig::default() };
+    let w = cfg.generate(seed);
+    let mut train = w.train.clone();
+    let truth = rain_data::relabel_where(&mut train, |_, x, _| x[word] != 0.0, 1);
+    let mut db = Database::new();
+    db.register("enron", w.query_table());
+    let token = EnronWorkload::token(word);
+    let sql = format!(
+        "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%{token}%'"
+    );
+    let target = w.true_spam_count_with(word) as f64;
+    let sess = DebugSession::new(db, train, Box::new(LogisticRegression::new(w.vocab, 0.01)))
+        .with_query(QuerySpec::new(sql).with_complaint(Complaint::scalar_eq(target)));
+    (sess, truth)
+}
+
+/// Digit workload with `rate` of the training 1s flipped to 7s.
+pub fn corrupted_digits(
+    rate: f64,
+    seed: u64,
+    quick: bool,
+) -> (DigitsWorkload, rain_model::Dataset, Vec<usize>) {
+    let cfg = if quick {
+        DigitsConfig { n_train: 300, n_query: 200 }
+    } else {
+        DigitsConfig::default()
+    };
+    let w = cfg.generate(seed);
+    let mut train = w.train.clone();
+    let truth = flip_labels_where(&mut train, |_, _, y| y == 1, rate, |_| 7, seed);
+    (w, train, truth)
+}
+
+/// Fresh softmax model for digit workloads.
+pub fn digit_model() -> Box<SoftmaxRegression> {
+    Box::new(SoftmaxRegression::new(N_PIXELS, N_CLASSES, 0.01))
+}
+
+/// The MNIST Q5 session (COUNT of predicted 1s over the full query set)
+/// with an optional complaint-target override (`None` = ground truth).
+pub fn digits_q5(
+    rate: f64,
+    seed: u64,
+    quick: bool,
+    target: Option<f64>,
+) -> (DebugSession, Vec<usize>, f64) {
+    let (w, train, truth) = corrupted_digits(rate, seed, quick);
+    let limit = w.query.len();
+    let all: Vec<usize> = (0..10).collect();
+    let mut db = Database::new();
+    db.register("mnist", w.query_table_for(&all, limit));
+    let true_ones = w.query_rows_with_digits(&[1]).len() as f64;
+    let x = target.unwrap_or(true_ones);
+    let sess = DebugSession::new(db, train, digit_model()).with_query(
+        QuerySpec::new("SELECT COUNT(*) FROM mnist WHERE predict(*) = 1")
+            .with_complaint(Complaint::scalar_eq(x)),
+    );
+    (sess, truth, true_ones)
+}
+
+/// Execute a session's first query once (debug mode) against a freshly
+/// trained model — used to derive complaints from concrete outputs.
+pub fn first_output(sess: &DebugSession) -> QueryOutput {
+    let mut model = sess.model.clone();
+    rain_model::train_lbfgs(model.as_mut(), &sess.train, &sess.train_cfg);
+    run_query(&sess.db, model.as_ref(), &sess.queries[0].sql, ExecOptions { debug: true })
+        .expect("query runs")
+}
+
+/// Find the output row whose first column equals `key`.
+pub fn find_group_row(out: &QueryOutput, key: &Value) -> Option<usize> {
+    (0..out.table.n_rows()).find(|&r| out.table.value(r, 0) == *key)
+}
+
+/// Concrete scalar of a one-aggregate output as f64.
+pub fn scalar_f64(out: &QueryOutput) -> f64 {
+    match out.scalar() {
+        Some(Value::Int(v)) => v as f64,
+        Some(Value::Float(v)) => v,
+        other => panic!("no scalar: {other:?}"),
+    }
+}

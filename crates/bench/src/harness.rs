@@ -1,0 +1,124 @@
+//! Shared experiment plumbing: TSV assembly and workload wiring.
+
+use rain_core::prelude::*;
+use rain_model::Classifier;
+use rain_sql::Database;
+
+/// `--quick` on the command line (or `RAIN_QUICK=1`) shrinks every
+/// experiment for smoke-testing.
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("RAIN_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Tiny TSV builder: comment header plus tab-joined rows.
+#[derive(Debug, Default, Clone)]
+pub struct Tsv {
+    out: String,
+}
+
+impl Tsv {
+    /// Start a TSV with a `#`-prefixed title line.
+    pub fn new(title: &str) -> Self {
+        Tsv { out: format!("# {title}\n") }
+    }
+
+    /// Add a `#`-prefixed comment line.
+    pub fn comment(&mut self, text: &str) -> &mut Self {
+        self.out.push_str("# ");
+        self.out.push_str(text);
+        self.out.push('\n');
+        self
+    }
+
+    /// Add the column-header row.
+    pub fn header(&mut self, cols: &[&str]) -> &mut Self {
+        self.out.push_str(&cols.join("\t"));
+        self.out.push('\n');
+        self
+    }
+
+    /// Add a data row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.out.push_str(&cells.join("\t"));
+        self.out.push('\n');
+        self
+    }
+
+    /// Finish and return the TSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Format a float with 3 decimals for TSV cells.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Build a single-query debugging session.
+pub fn session(
+    db: Database,
+    train: rain_model::Dataset,
+    model: Box<dyn Classifier>,
+    sql: &str,
+    complaints: Vec<Complaint>,
+) -> DebugSession {
+    DebugSession::new(db, train, model)
+        .with_query(QuerySpec::new(sql).with_complaints(complaints))
+}
+
+/// Run one method and return `(auccr, recall_curve, report)`.
+pub fn run_method(
+    session: &DebugSession,
+    method: Method,
+    truth: &[usize],
+    budget: usize,
+) -> (f64, Vec<f64>, DebugReport) {
+    let report = session
+        .run(method, &RunConfig::paper(budget))
+        .expect("query execution failed");
+    let auc = report.auccr(truth);
+    let curve = report.recall_curve(truth);
+    (auc, curve, report)
+}
+
+/// Downsample a recall curve to at most `points` evenly spaced samples
+/// (keeps TSVs readable).
+pub fn sample_curve(curve: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if curve.is_empty() {
+        return Vec::new();
+    }
+    let n = curve.len();
+    let step = (n / points).max(1);
+    let mut out: Vec<(usize, f64)> = (0..n)
+        .step_by(step)
+        .map(|k| (k + 1, curve[k]))
+        .collect();
+    if out.last().map(|&(k, _)| k) != Some(n) {
+        out.push((n, curve[n - 1]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_shape() {
+        let mut t = Tsv::new("demo");
+        t.comment("note").header(&["a", "b"]).row(&["1".into(), "2".into()]);
+        let s = t.finish();
+        assert_eq!(s, "# demo\n# note\na\tb\n1\t2\n");
+    }
+
+    #[test]
+    fn curve_sampling_keeps_endpoints() {
+        let curve: Vec<f64> = (1..=100).map(|k| k as f64 / 100.0).collect();
+        let s = sample_curve(&curve, 10);
+        assert_eq!(s.first(), Some(&(1, 0.01)));
+        assert_eq!(s.last(), Some(&(100, 1.0)));
+        assert!(s.len() <= 12);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of the Rain
+//! paper's evaluation (§6 and appendices).
+//!
+//! Each experiment lives in [`experiments`] as a `run(quick) -> String`
+//! function returning the TSV the paper's artifact would plot, with a
+//! matching thin binary in `src/bin/`. `quick = true` shrinks workloads
+//! for smoke tests; the defaults regenerate the full series reported in
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p rain-bench --bin fig3_dblp_recall
+//! cargo run --release -p rain-bench --bin run_all        # everything
+//! ```
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{is_quick, Tsv};

@@ -1,0 +1,241 @@
+//! The complaint model (paper §3.2, Definition 3.1).
+//!
+//! A complaint is a boolean constraint over a query's output (or over an
+//! intermediate result — here, directly over the prediction view). Value
+//! complaints say an output attribute should be `=`, `≤`, or `≥` some
+//! value; tuple complaints say an output tuple should not exist;
+//! prediction complaints label an individual model inference (the
+//! "direct complaints over the model mispredictions" of §6.4).
+
+use rain_sql::{QueryOutput, Value};
+
+/// Comparison direction of a value complaint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueOp {
+    /// The output value should equal the target.
+    Eq,
+    /// The output value should be at most the target.
+    Le,
+    /// The output value should be at least the target.
+    Ge,
+}
+
+/// A complaint against one query's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Complaint {
+    /// Value complaint on an aggregate output cell.
+    Value {
+        /// Output row index (in the query's deterministic output order).
+        row: usize,
+        /// Aggregate index within the row (0 for the first aggregate).
+        agg: usize,
+        /// Comparison direction.
+        op: ValueOp,
+        /// The value the user believes is correct.
+        target: f64,
+    },
+    /// Tuple complaint: output row `row` should not exist.
+    ///
+    /// Row indexes refer to the output of the *current* execution; for
+    /// complaints that must stay anchored across train–rank–fix iterations
+    /// (join outputs shift as the model changes) prefer
+    /// [`Complaint::JoinDelete`], which is anchored to the tuple's lineage.
+    TupleDelete {
+        /// Output row index.
+        row: usize,
+    },
+    /// Lineage-anchored join tuple complaint: the records `left` and
+    /// `right` should not join, i.e. `predict(left) ≠ predict(right)` —
+    /// what a tuple complaint over a prediction-join output row means once
+    /// traced to its provenance.
+    JoinDelete {
+        /// `(table, row)` of the left join input.
+        left: (String, usize),
+        /// `(table, row)` of the right join input.
+        right: (String, usize),
+    },
+    /// Intermediate-result complaint: the model's prediction on a queried
+    /// record should be `class` (a labeled misprediction).
+    PredictionIs {
+        /// Catalog table holding the record.
+        table: String,
+        /// Row index within that table.
+        row: usize,
+        /// The correct class according to the user.
+        class: usize,
+    },
+}
+
+impl Complaint {
+    /// Equality value complaint on the single aggregate of row 0 — the
+    /// common "the count should be X" case.
+    pub fn scalar_eq(target: f64) -> Complaint {
+        Complaint::Value { row: 0, agg: 0, op: ValueOp::Eq, target }
+    }
+
+    /// Equality value complaint on a `(row, agg)` cell.
+    pub fn value_eq(row: usize, agg: usize, target: f64) -> Complaint {
+        Complaint::Value { row, agg, op: ValueOp::Eq, target }
+    }
+
+    /// Tuple-deletion complaint.
+    pub fn tuple_delete(row: usize) -> Complaint {
+        Complaint::TupleDelete { row }
+    }
+
+    /// Lineage-anchored join-deletion complaint.
+    pub fn join_delete(
+        left_table: &str,
+        left_row: usize,
+        right_table: &str,
+        right_row: usize,
+    ) -> Complaint {
+        Complaint::JoinDelete {
+            left: (left_table.into(), left_row),
+            right: (right_table.into(), right_row),
+        }
+    }
+
+    /// Prediction-view complaint.
+    pub fn prediction_is(table: &str, row: usize, class: usize) -> Complaint {
+        Complaint::PredictionIs { table: table.into(), row, class }
+    }
+
+    /// Is this complaint currently satisfied by the query output?
+    ///
+    /// Unknown targets (rows/cells that do not exist, or predictions never
+    /// materialized) count as violated for value/prediction complaints and
+    /// as satisfied for tuple deletions (the tuple is indeed absent).
+    pub fn satisfied(&self, out: &QueryOutput) -> bool {
+        match self {
+            Complaint::Value { row, agg, op, target } => {
+                let col = out.n_key_cols + agg;
+                if *row >= out.table.n_rows() || col >= out.table.schema().len() {
+                    return false;
+                }
+                let got = match out.table.value(*row, col) {
+                    Value::Int(v) => v as f64,
+                    Value::Float(v) => v,
+                    _ => return false,
+                };
+                match op {
+                    ValueOp::Eq => (got - target).abs() < 1e-9,
+                    ValueOp::Le => got <= target + 1e-9,
+                    ValueOp::Ge => got >= target - 1e-9,
+                }
+            }
+            Complaint::TupleDelete { row } => *row >= out.table.n_rows(),
+            Complaint::JoinDelete { left, right } => {
+                let lv = out.predvars.lookup(&left.0, left.1);
+                let rv = out.predvars.lookup(&right.0, right.1);
+                match (lv, rv) {
+                    (Some(l), Some(r)) => {
+                        out.predvars.preds()[l as usize] != out.predvars.preds()[r as usize]
+                    }
+                    // If either record was never predicted, the pair
+                    // cannot be in the join output.
+                    _ => true,
+                }
+            }
+            Complaint::PredictionIs { table, row, class } => out
+                .predvars
+                .lookup(table, *row)
+                .is_some_and(|v| out.predvars.preds()[v as usize] == *class),
+        }
+    }
+}
+
+/// A query paired with the complaints raised against its output.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The SQL text.
+    pub sql: String,
+    /// Complaints against this query's output.
+    pub complaints: Vec<Complaint>,
+}
+
+impl QuerySpec {
+    /// A query with no complaints yet.
+    pub fn new(sql: impl Into<String>) -> Self {
+        QuerySpec { sql: sql.into(), complaints: Vec::new() }
+    }
+
+    /// Attach a complaint (builder style).
+    pub fn with_complaint(mut self, c: Complaint) -> Self {
+        self.complaints.push(c);
+        self
+    }
+
+    /// Attach many complaints.
+    pub fn with_complaints(mut self, cs: impl IntoIterator<Item = Complaint>) -> Self {
+        self.complaints.extend(cs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_linalg::Matrix;
+    use rain_model::{Classifier, LogisticRegression};
+    use rain_sql::table::{ColType, Column, Schema, Table};
+    use rain_sql::{run_query, Database, ExecOptions};
+
+    fn setup() -> (Database, LogisticRegression) {
+        let t = Table::from_columns(
+            Schema::new(&[("id", ColType::Int)]),
+            vec![Column::Int(vec![0, 1, 2])],
+        )
+        .with_features(Matrix::from_rows(&[&[1.0], &[1.0], &[-1.0]]));
+        let mut db = Database::new();
+        db.register("t", t);
+        let mut m = LogisticRegression::new(1, 0.0);
+        m.set_params(&[10.0, 0.0]);
+        (db, m)
+    }
+
+    #[test]
+    fn value_complaint_satisfaction() {
+        let (db, m) = setup();
+        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions::default()).unwrap();
+        assert!(Complaint::scalar_eq(2.0).satisfied(&out));
+        assert!(!Complaint::scalar_eq(3.0).satisfied(&out));
+        assert!(Complaint::Value { row: 0, agg: 0, op: ValueOp::Le, target: 2.0 }.satisfied(&out));
+        assert!(Complaint::Value { row: 0, agg: 0, op: ValueOp::Ge, target: 3.0 }
+            .satisfied(&out)
+            .eq(&false));
+        // Out-of-range cell → violated.
+        assert!(!Complaint::value_eq(5, 0, 1.0).satisfied(&out));
+    }
+
+    #[test]
+    fn tuple_complaint_satisfaction() {
+        let (db, m) = setup();
+        let out = run_query(&db, &m, "SELECT id FROM t WHERE predict(*) = 1",
+            ExecOptions::default()).unwrap();
+        assert_eq!(out.table.n_rows(), 2);
+        assert!(!Complaint::tuple_delete(0).satisfied(&out));
+        // A row index beyond the output is trivially "deleted".
+        assert!(Complaint::tuple_delete(9).satisfied(&out));
+    }
+
+    #[test]
+    fn prediction_complaint_satisfaction() {
+        let (db, m) = setup();
+        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions { debug: true }).unwrap();
+        assert!(Complaint::prediction_is("t", 0, 1).satisfied(&out));
+        assert!(!Complaint::prediction_is("t", 0, 0).satisfied(&out));
+        // Never-predicted rows are violated (nothing to check against).
+        assert!(!Complaint::prediction_is("t", 99, 1).satisfied(&out));
+    }
+
+    #[test]
+    fn query_spec_builder() {
+        let q = QuerySpec::new("SELECT COUNT(*) FROM t")
+            .with_complaint(Complaint::scalar_eq(5.0))
+            .with_complaints([Complaint::tuple_delete(1)]);
+        assert_eq!(q.complaints.len(), 2);
+    }
+}

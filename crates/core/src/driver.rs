@@ -1,0 +1,224 @@
+//! The train–rank–fix driver (paper §5.1).
+//!
+//! Each iteration (1) retrains the model — warm-started from the previous
+//! iteration's parameters, as in appendix D — (2) re-executes every query
+//! in debug mode, (3) checks the complaints, (4) ranks the current
+//! training records with the chosen method, and (5) deletes the top-k.
+//! The concatenation of the deleted batches is the explanation `D`; with
+//! batch size k the driver runs `|D|/k` iterations (§5.1).
+
+use crate::complaint::QuerySpec;
+use crate::metrics;
+use crate::rank::{rank, Method, RankContext, RankError};
+use crate::twostep::SqlStepConfig;
+use rain_influence::InfluenceConfig;
+use rain_model::{train_lbfgs, Classifier, Dataset, LbfgsConfig};
+use rain_sql::{run_query, Database, ExecOptions, QueryError, QueryOutput};
+use std::time::Instant;
+
+/// A debugging session: the queried database, the (possibly corrupted)
+/// training set, the model, and the complained-about queries.
+pub struct DebugSession {
+    /// The queried database `D`.
+    pub db: Database,
+    /// The training set `T`.
+    pub train: Dataset,
+    /// The model prototype (defines architecture and initial parameters).
+    pub model: Box<dyn Classifier>,
+    /// Queries with complaints.
+    pub queries: Vec<QuerySpec>,
+    /// Training configuration.
+    pub train_cfg: LbfgsConfig,
+    /// Influence-engine configuration.
+    pub influence: InfluenceConfig,
+    /// TwoStep SQL-step configuration.
+    pub sqlstep: SqlStepConfig,
+}
+
+impl DebugSession {
+    /// Create a session with default training/influence settings.
+    pub fn new(db: Database, train: Dataset, model: Box<dyn Classifier>) -> Self {
+        DebugSession {
+            db,
+            train,
+            model,
+            queries: Vec::new(),
+            train_cfg: LbfgsConfig::default(),
+            influence: InfluenceConfig::default(),
+            sqlstep: SqlStepConfig::default(),
+        }
+    }
+
+    /// Attach a complained-about query (builder style).
+    pub fn with_query(mut self, q: QuerySpec) -> Self {
+        self.queries.push(q);
+        self
+    }
+
+    /// Run the train–rank–fix loop with one method.
+    pub fn run(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, QueryError> {
+        let mut model = self.model.clone();
+        let mut train = self.train.clone();
+        let mut removed: Vec<usize> = Vec::new();
+        let mut iterations = Vec::new();
+        let mut failure = None;
+
+        while removed.len() < cfg.budget {
+            // (0) Train, warm-started.
+            let t_train = Instant::now();
+            let warm = if iterations.is_empty() {
+                self.train_cfg.clone()
+            } else {
+                LbfgsConfig { max_iters: self.train_cfg.max_iters.min(60), ..self.train_cfg.clone() }
+            };
+            let report = train_lbfgs(model.as_mut(), &train, &warm);
+            let train_s = t_train.elapsed().as_secs_f64();
+
+            // (1-2) Execute the queries in debug mode.
+            let t_exec = Instant::now();
+            let mut outputs: Vec<QueryOutput> = Vec::with_capacity(self.queries.len());
+            for q in &self.queries {
+                outputs.push(run_query(
+                    &self.db,
+                    model.as_ref(),
+                    &q.sql,
+                    ExecOptions { debug: true },
+                )?);
+            }
+            let exec_s = t_exec.elapsed().as_secs_f64();
+
+            // (3) Complaint check.
+            let satisfied = self
+                .queries
+                .iter()
+                .zip(&outputs)
+                .all(|(q, out)| q.complaints.iter().all(|c| c.satisfied(out)));
+            if satisfied && cfg.stop_when_satisfied {
+                iterations.push(IterStats {
+                    train_s,
+                    encode_s: exec_s,
+                    rank_s: 0.0,
+                    removed: Vec::new(),
+                    complaints_satisfied: true,
+                    train_loss: report.final_loss,
+                });
+                break;
+            }
+
+            // (4) Rank.
+            let sqlstep = SqlStepConfig {
+                seed: self.sqlstep.seed ^ (iterations.len() as u64).wrapping_mul(0x9E37),
+                ..self.sqlstep.clone()
+            };
+            let ctx = RankContext {
+                db: &self.db,
+                model: model.as_ref(),
+                train: &train,
+                outputs: &outputs,
+                queries: &self.queries,
+                influence: &self.influence,
+                sqlstep: &sqlstep,
+            };
+            let ranking = match rank(method, &ctx) {
+                Ok(r) => r,
+                Err(e @ (RankError::IlpTimeout | RankError::Infeasible)) => {
+                    failure = Some(e.to_string());
+                    break;
+                }
+            };
+
+            // (5) Remove the top-k.
+            let k = cfg.k_per_iter.min(cfg.budget - removed.len());
+            let batch: Vec<usize> =
+                ranking.records.iter().take(k).map(|r| r.id).collect();
+            if batch.is_empty() {
+                break;
+            }
+            train = train.remove_ids(&batch);
+            removed.extend(batch.iter().copied());
+            iterations.push(IterStats {
+                train_s,
+                encode_s: exec_s + ranking.encode_s,
+                rank_s: ranking.rank_s,
+                removed: batch,
+                complaints_satisfied: satisfied,
+                train_loss: report.final_loss,
+            });
+            if train.is_empty() {
+                break;
+            }
+        }
+        Ok(DebugReport { removed, iterations, failure })
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Records removed per iteration (the paper uses 10, §6.1.1).
+    pub k_per_iter: usize,
+    /// Total removal budget `|D|` (typically the corruption count K).
+    pub budget: usize,
+    /// Stop as soon as every complaint is concretely satisfied.
+    pub stop_when_satisfied: bool,
+}
+
+impl RunConfig {
+    /// The paper's settings: batches of 10, removing `budget` records.
+    pub fn paper(budget: usize) -> Self {
+        RunConfig { k_per_iter: 10, budget, stop_when_satisfied: false }
+    }
+}
+
+/// Timing and bookkeeping for one train–rank–fix iteration.
+#[derive(Debug, Clone)]
+pub struct IterStats {
+    /// Seconds retraining the model.
+    pub train_s: f64,
+    /// Seconds executing queries + building the complaint encoding
+    /// (Figure 5's "Encode").
+    pub encode_s: f64,
+    /// Seconds in the influence solve + scoring (Figure 5's "Rank").
+    pub rank_s: f64,
+    /// Ids removed this iteration, in rank order.
+    pub removed: Vec<usize>,
+    /// Whether all complaints were satisfied *before* this removal.
+    pub complaints_satisfied: bool,
+    /// Training objective after retraining.
+    pub train_loss: f64,
+}
+
+/// The outcome of a debugging run.
+#[derive(Debug, Clone)]
+pub struct DebugReport {
+    /// All removed training ids, in removal order (the explanation `D`).
+    pub removed: Vec<usize>,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterStats>,
+    /// Set when the method failed (e.g. TwoStep ILP timeout).
+    pub failure: Option<String>,
+}
+
+impl DebugReport {
+    /// Recall@k curve of the removals against ground-truth corruptions.
+    pub fn recall_curve(&self, truth: &[usize]) -> Vec<f64> {
+        metrics::recall_curve(&self.removed, truth)
+    }
+
+    /// AUCCR against ground-truth corruptions.
+    pub fn auccr(&self, truth: &[usize]) -> f64 {
+        metrics::auccr(&self.removed, truth)
+    }
+
+    /// Mean per-iteration timing `(train, encode, rank)` in seconds.
+    pub fn mean_timings(&self) -> (f64, f64, f64) {
+        let n = self.iterations.len().max(1) as f64;
+        let (mut t, mut e, mut r) = (0.0, 0.0, 0.0);
+        for it in &self.iterations {
+            t += it.train_s;
+            e += it.encode_s;
+            r += it.rank_s;
+        }
+        (t / n, e / n, r / n)
+    }
+}

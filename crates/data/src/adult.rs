@@ -1,0 +1,231 @@
+//! Adult ("Census Income")-style workload (§6.1.2, §6.5).
+//!
+//! Following the preprocessing of Calmon et al. [16] that the paper
+//! borrows, each record keeps only three attributes — age decade,
+//! education level, and gender — one-hot encoded into **18 binary
+//! features** (6 + 10 + 2). The label predicts >$50K income.
+//!
+//! The crucial emergent property: with only 120 possible feature vectors,
+//! a few-thousand-record training set contains enormous duplication
+//! (the paper reports 118 unique points among 6512), which §6.5 shows
+//! defeats ranking methods that propose duplicates over and over.
+//!
+//! The §6.5 corruption predicate — low income ∧ male ∧ age 40–50 — matches
+//! ≈8% of training records here, as in the paper.
+
+use rain_linalg::{stats::sigmoid, Matrix, RainRng};
+use rain_model::Dataset;
+use rain_sql::table::{Column, Table};
+
+/// Number of age-decade buckets (20s through 70s).
+pub const N_AGE: usize = 6;
+/// Number of education levels.
+pub const N_EDU: usize = 10;
+/// One-hot feature dimensionality: 6 age + 10 education + 2 gender.
+pub const N_FEATURES: usize = N_AGE + N_EDU + 2;
+
+/// One decoded census record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdultRecord {
+    /// Age-decade bucket `0..6` (20s..70s).
+    pub age_bucket: usize,
+    /// Education level `0..10`.
+    pub education: usize,
+    /// True for male.
+    pub male: bool,
+}
+
+impl AdultRecord {
+    /// The age decade in years (20, 30, ... 70).
+    pub fn age_decade(&self) -> i64 {
+        (self.age_bucket as i64 + 2) * 10
+    }
+
+    /// One-hot encode into the 18 binary features.
+    pub fn features(&self) -> Vec<f64> {
+        let mut x = vec![0.0; N_FEATURES];
+        x[self.age_bucket] = 1.0;
+        x[N_AGE + self.education] = 1.0;
+        x[N_AGE + N_EDU + self.male as usize] = 1.0;
+        x
+    }
+}
+
+/// Configuration for the Adult workload generator.
+#[derive(Debug, Clone)]
+pub struct AdultConfig {
+    /// Training records.
+    pub n_train: usize,
+    /// Queried records.
+    pub n_query: usize,
+}
+
+impl Default for AdultConfig {
+    fn default() -> Self {
+        AdultConfig { n_train: 4000, n_query: 2000 }
+    }
+}
+
+impl AdultConfig {
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        AdultConfig { n_train: 500, n_query: 250 }
+    }
+
+    /// Generate the workload deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> AdultWorkload {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let (train, train_recs) = gen(self.n_train, &mut rng.derive(1));
+        let (query, query_recs) = gen(self.n_query, &mut rng.derive(2));
+        AdultWorkload { train, query, train_records: train_recs, query_records: query_recs }
+    }
+}
+
+/// The generated census workload.
+#[derive(Debug, Clone)]
+pub struct AdultWorkload {
+    /// Training set (label 1 = income > $50K).
+    pub train: Dataset,
+    /// Queried set.
+    pub query: Dataset,
+    /// Decoded attributes per training record (aligned with `train`).
+    pub train_records: Vec<AdultRecord>,
+    /// Decoded attributes per queried record (aligned with `query`).
+    pub query_records: Vec<AdultRecord>,
+}
+
+impl AdultWorkload {
+    /// The queried relation with `gender` and `agedecade` columns for the
+    /// paper's Q6/Q7 GROUP BY queries.
+    pub fn query_table(&self) -> Table {
+        let gender = Column::Str(
+            self.query_records
+                .iter()
+                .map(|r| if r.male { "male".to_string() } else { "female".to_string() })
+                .collect(),
+        );
+        let age = Column::Int(self.query_records.iter().map(|r| r.age_decade()).collect());
+        crate::tables::dataset_to_table(&self.query, vec![("gender", gender), ("agedecade", age)])
+    }
+
+    /// The §6.5 corruption predicate over training rows: low income ∧
+    /// male ∧ 40–50 years old.
+    pub fn corruption_predicate(&self) -> impl Fn(usize, &[f64], usize) -> bool + '_ {
+        move |id, _x, y| {
+            let rec = &self.train_records[id];
+            y == 0 && rec.male && rec.age_decade() == 40
+        }
+    }
+
+    /// Ground-truth average label of query records matching a predicate
+    /// over decoded attributes (for building AVG complaints).
+    pub fn true_avg_where(&self, pred: impl Fn(&AdultRecord) -> bool) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, rec) in self.query_records.iter().enumerate() {
+            if pred(rec) {
+                sum += self.query.y(i) as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+fn gen(n: usize, rng: &mut RainRng) -> (Dataset, Vec<AdultRecord>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut recs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rec = AdultRecord {
+            age_bucket: rng.weighted_index(&[0.22, 0.26, 0.22, 0.16, 0.09, 0.05]),
+            education: rng.weighted_index(&[0.04, 0.07, 0.22, 0.14, 0.06, 0.18, 0.12, 0.09, 0.05, 0.03]),
+            male: rng.bernoulli(0.67),
+        };
+        // Income model: education dominates, middle age peaks, men earn
+        // more (the dataset's well-known bias), plus noise.
+        let age_effect = [-1.1f64, 0.0, 0.6, 0.8, 0.4, -0.2][rec.age_bucket];
+        let edu_effect = rec.education as f64 * 0.38 - 1.9;
+        let gender_effect = if rec.male { 0.55 } else { -0.55 };
+        let logit = -0.8 + age_effect + edu_effect + gender_effect;
+        let label = rng.bernoulli(sigmoid(logit)) as usize;
+        rows.push(rec.features());
+        labels.push(label);
+        recs.push(rec);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    (Dataset::new(Matrix::from_rows(&refs), labels, 2), recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn features_are_one_hot() {
+        let rec = AdultRecord { age_bucket: 2, education: 5, male: true };
+        let x = rec.features();
+        assert_eq!(x.len(), N_FEATURES);
+        assert_eq!(x.iter().sum::<f64>(), 3.0);
+        assert_eq!(x[2], 1.0);
+        assert_eq!(x[N_AGE + 5], 1.0);
+        assert_eq!(x[N_AGE + N_EDU + 1], 1.0);
+    }
+
+    #[test]
+    fn massive_duplication_as_in_paper() {
+        let w = AdultConfig::default().generate(1);
+        let unique: HashSet<Vec<u64>> = (0..w.train.len())
+            .map(|i| w.train.x(i).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        // At most 120 possible combinations; a 4000-record set must be
+        // dominated by duplicates (paper: 118 unique / 6512).
+        assert!(unique.len() <= 120, "{} unique", unique.len());
+        assert!(unique.len() >= 60, "{} unique", unique.len());
+    }
+
+    #[test]
+    fn corruption_predicate_rate_near_paper() {
+        // Paper: 8.2% of the training set matches the predicate.
+        let w = AdultConfig::default().generate(2);
+        let pred = w.corruption_predicate();
+        let matches = w.train.positions_where(|id, x, y| pred(id, x, y)).len();
+        let rate = matches as f64 / w.train.len() as f64;
+        assert!((rate - 0.082).abs() < 0.035, "rate {rate}");
+    }
+
+    #[test]
+    fn gender_income_gap_exists() {
+        let w = AdultConfig::default().generate(3);
+        let male_avg = w.true_avg_where(|r| r.male);
+        let female_avg = w.true_avg_where(|r| !r.male);
+        assert!(male_avg > female_avg, "{male_avg} vs {female_avg}");
+    }
+
+    #[test]
+    fn selectivity_asymmetry_of_section_6_5() {
+        // §6.5: gender is less selective than age — few males are 40-50,
+        // but most 40-50-year-olds are male.
+        let w = AdultConfig::default().generate(4);
+        let males = w.train_records.iter().filter(|r| r.male).count() as f64;
+        let m40 =
+            w.train_records.iter().filter(|r| r.male && r.age_decade() == 40).count() as f64;
+        let all40 = w.train_records.iter().filter(|r| r.age_decade() == 40).count() as f64;
+        assert!(m40 / males < 0.35, "male∧40 / male = {}", m40 / males);
+        assert!(m40 / all40 > 0.55, "male∧40 / 40 = {}", m40 / all40);
+    }
+
+    #[test]
+    fn query_table_columns() {
+        let w = AdultConfig::small().generate(5);
+        let t = w.query_table();
+        assert!(t.schema().index_of("gender").is_some());
+        assert!(t.schema().index_of("agedecade").is_some());
+        assert_eq!(t.n_rows(), 250);
+    }
+}

@@ -1,0 +1,121 @@
+//! Systematic training-label corruption (paper §6.1.3).
+//!
+//! The paper generates systematic errors by choosing records that match a
+//! predicate and flipping the labels of a subset of them. Both operations
+//! here return the *ground-truth corrupted ids*, which the evaluation
+//! metrics (recall@k, AUCCR) score against.
+
+use rain_linalg::RainRng;
+use rain_model::Dataset;
+
+/// Flip the labels of a random `frac` of the records matching `pred` to
+/// `new_label(old_label)`. Returns the ids of records whose label actually
+/// changed, sorted ascending.
+pub fn flip_labels_where<P, F>(
+    data: &mut Dataset,
+    mut pred: P,
+    frac: f64,
+    new_label: F,
+    seed: u64,
+) -> Vec<usize>
+where
+    P: FnMut(usize, &[f64], usize) -> bool,
+    F: Fn(usize) -> usize,
+{
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+    let candidates = data.positions_where(|id, x, y| pred(id, x, y));
+    let mut rng = RainRng::seed_from_u64(seed);
+    let k = (candidates.len() as f64 * frac).round() as usize;
+    let chosen = rng.sample_indices(candidates.len(), k.min(candidates.len()));
+    let mut flipped = Vec::with_capacity(chosen.len());
+    for ci in chosen {
+        let row = candidates[ci];
+        let old = data.y(row);
+        let new = new_label(old);
+        if new != old {
+            data.set_label(row, new);
+            flipped.push(data.id(row));
+        }
+    }
+    flipped.sort_unstable();
+    flipped
+}
+
+/// Deterministically set the label of *every* record matching `pred` to
+/// `label` (rule-based corruption, like the Enron "label everything
+/// containing 'http' as spam" rule). Returns ids whose label changed.
+pub fn relabel_where<P>(data: &mut Dataset, mut pred: P, label: usize) -> Vec<usize>
+where
+    P: FnMut(usize, &[f64], usize) -> bool,
+{
+    let candidates = data.positions_where(|id, x, y| pred(id, x, y));
+    let mut changed = Vec::new();
+    for row in candidates {
+        if data.y(row) != label {
+            data.set_label(row, label);
+            changed.push(data.id(row));
+        }
+    }
+    changed.sort_unstable();
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_linalg::Matrix;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let labels = (0..n).map(|i| (i % 2 == 0) as usize).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, 2)
+    }
+
+    #[test]
+    fn flips_requested_fraction() {
+        let mut d = toy(100);
+        // 50 even-indexed records have label 1; flip 40% of them.
+        let flipped = flip_labels_where(&mut d, |_, _, y| y == 1, 0.4, |_| 0, 7);
+        assert_eq!(flipped.len(), 20);
+        for &id in &flipped {
+            let row = d.positions_where(|i, _, _| i == id)[0];
+            assert_eq!(d.y(row), 0);
+        }
+    }
+
+    #[test]
+    fn flipping_is_deterministic_in_seed() {
+        let mut a = toy(60);
+        let mut b = toy(60);
+        let fa = flip_labels_where(&mut a, |_, _, y| y == 1, 0.5, |_| 0, 3);
+        let fb = flip_labels_where(&mut b, |_, _, y| y == 1, 0.5, |_| 0, 3);
+        assert_eq!(fa, fb);
+        let fc = flip_labels_where(&mut toy(60), |_, _, y| y == 1, 0.5, |_| 0, 4);
+        assert_ne!(fa, fc);
+    }
+
+    #[test]
+    fn relabel_reports_only_changes() {
+        let mut d = toy(10);
+        // Set everything to 1; only the 5 odd records change.
+        let changed = relabel_where(&mut d, |_, _, _| true, 1);
+        assert_eq!(changed.len(), 5);
+        assert!(d.labels().iter().all(|&y| y == 1));
+    }
+
+    #[test]
+    fn zero_fraction_flips_nothing() {
+        let mut d = toy(20);
+        let flipped = flip_labels_where(&mut d, |_, _, _| true, 0.0, |y| 1 - y, 1);
+        assert!(flipped.is_empty());
+    }
+
+    #[test]
+    fn predicate_can_use_features() {
+        let mut d = toy(20);
+        let flipped = flip_labels_where(&mut d, |_, x, _| x[0] < 5.0, 1.0, |y| 1 - y, 1);
+        assert_eq!(flipped.len(), 5); // ids 0..4, all flipped
+        assert_eq!(flipped, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,170 @@
+//! DBLP–Scholar-style entity-resolution workload (§6.1.2).
+//!
+//! The real dataset pairs bibliography entries from DBLP and Google
+//! Scholar and represents each pair with 17 Magellan similarity features;
+//! a logistic-regression model classifies pairs as match / non-match.
+//! What the §6.2 experiments actually need from the data is:
+//!
+//! - 17-dimensional feature vectors,
+//! - a ≈23% match rate (so flipping 30/50/70% of the match labels corrupts
+//!   7/12/17% of the training set, matching the paper's accounting),
+//! - matches and non-matches separable by a linear model but with enough
+//!   overlap that label corruption genuinely degrades it.
+//!
+//! The generator draws match pairs with high per-feature similarity scores
+//! and non-matches with low ones, with shared per-pair "difficulty" noise
+//! so the classes overlap realistically.
+
+use rain_linalg::{Matrix, RainRng};
+use rain_model::Dataset;
+use rain_sql::table::Table;
+
+/// Number of Magellan-style similarity features.
+pub const N_FEATURES: usize = 17;
+
+/// Configuration for the DBLP workload generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Training pairs.
+    pub n_train: usize,
+    /// Queried pairs.
+    pub n_query: usize,
+    /// Fraction of pairs that are true matches.
+    pub match_rate: f64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig { n_train: 2000, n_query: 1000, match_rate: 0.233 }
+    }
+}
+
+impl DblpConfig {
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        DblpConfig { n_train: 300, n_query: 150, ..Default::default() }
+    }
+
+    /// Generate the workload deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> DblpWorkload {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let train = gen_pairs(self.n_train, self.match_rate, &mut rng.derive(1));
+        let query = gen_pairs(self.n_query, self.match_rate, &mut rng.derive(2));
+        DblpWorkload { train, query }
+    }
+}
+
+/// The generated entity-resolution workload.
+#[derive(Debug, Clone)]
+pub struct DblpWorkload {
+    /// Training pairs with ground-truth labels (1 = match).
+    pub train: Dataset,
+    /// Queried pairs with ground-truth labels.
+    pub query: Dataset,
+}
+
+impl DblpWorkload {
+    /// The queried relation as a featured SQL table named column `id`.
+    pub fn query_table(&self) -> Table {
+        crate::tables::dataset_to_table(&self.query, Vec::new())
+    }
+
+    /// Ground-truth number of query pairs that are true matches (used to
+    /// state the "count should be X" complaint).
+    pub fn true_match_count(&self) -> usize {
+        self.query.labels().iter().filter(|&&y| y == 1).count()
+    }
+}
+
+fn gen_pairs(n: usize, match_rate: f64, rng: &mut RainRng) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let is_match = rng.bernoulli(match_rate);
+        // Per-pair difficulty shifts every similarity feature together
+        // (hard matches look like easy non-matches). It is the dominant
+        // noise source, so corrupted and clean records of the same class
+        // are *linearly inseparable* from each other: a model confronted
+        // with flipped labels must resolve them by majority, which is what
+        // makes loss-based debugging work below 50% corruption and fail
+        // above it (the §6.2 crossover).
+        let difficulty = (rng.normal() * 0.10).clamp(-0.16, 0.16);
+        let base = if is_match { 0.78 } else { 0.22 };
+        let x: Vec<f64> = (0..N_FEATURES)
+            .map(|_| (base + difficulty + rng.normal() * 0.05).clamp(0.0, 1.0))
+            .collect();
+        rows.push(x);
+        labels.push(is_match as usize);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Dataset::new(Matrix::from_rows(&refs), labels, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_model::{accuracy, train_lbfgs, LbfgsConfig, LogisticRegression};
+
+    #[test]
+    fn shapes_and_determinism() {
+        let w = DblpConfig::small().generate(7);
+        assert_eq!(w.train.len(), 300);
+        assert_eq!(w.query.len(), 150);
+        assert_eq!(w.train.dim(), N_FEATURES);
+        let w2 = DblpConfig::small().generate(7);
+        assert_eq!(w.train.labels(), w2.train.labels());
+        assert_eq!(w.train.features().as_slice(), w2.train.features().as_slice());
+    }
+
+    #[test]
+    fn match_rate_is_close_to_config() {
+        let w = DblpConfig::default().generate(1);
+        let rate =
+            w.train.labels().iter().filter(|&&y| y == 1).count() as f64 / w.train.len() as f64;
+        assert!((rate - 0.233).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn linearly_separable_with_noise() {
+        let w = DblpConfig::small().generate(2);
+        let mut m = LogisticRegression::new(N_FEATURES, 0.01);
+        train_lbfgs(&mut m, &w.train, &LbfgsConfig::default());
+        let train_acc = accuracy(&m, &w.train);
+        let query_acc = accuracy(&m, &w.query);
+        assert!(train_acc > 0.9, "train accuracy {train_acc}");
+        assert!(query_acc > 0.85, "query accuracy {query_acc}");
+        // The property that matters for the experiments: corruption must
+        // genuinely damage the model (the classes are close enough that a
+        // majority of flipped labels flips the local decision).
+        let mut corrupted = w.train.clone();
+        crate::corrupt::flip_labels_where(&mut corrupted, |_, _, y| y == 1, 0.7, |_| 0, 5);
+        let mut m2 = LogisticRegression::new(N_FEATURES, 0.01);
+        train_lbfgs(&mut m2, &corrupted, &LbfgsConfig::default());
+        assert!(
+            accuracy(&m2, &w.query) < train_acc - 0.05,
+            "70% corruption should hurt accuracy"
+        );
+    }
+
+    #[test]
+    fn corruption_fraction_accounting_matches_paper() {
+        // Flipping 30% of match labels should corrupt ≈7% of the training
+        // set (and 70% → ≈17%), as reported in §6.2.
+        let w = DblpConfig::default().generate(3);
+        for (flip, expected) in [(0.3, 0.07), (0.7, 0.17)] {
+            let mut train = w.train.clone();
+            let flipped =
+                crate::corrupt::flip_labels_where(&mut train, |_, _, y| y == 1, flip, |_| 0, 9);
+            let frac = flipped.len() as f64 / train.len() as f64;
+            assert!((frac - expected).abs() < 0.02, "flip {flip}: {frac}");
+        }
+    }
+
+    #[test]
+    fn query_table_has_features() {
+        let w = DblpConfig::small().generate(4);
+        let t = w.query_table();
+        assert_eq!(t.n_rows(), 150);
+        assert!(t.feature_row(0).is_some());
+    }
+}

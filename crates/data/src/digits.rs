@@ -1,0 +1,269 @@
+//! MNIST-style digit workload: procedurally rendered glyphs (§6.1.2,
+//! §6.3, appendix D).
+//!
+//! Each image is a 14×14 grayscale grid. Digits are drawn as thick
+//! seven-segment strokes with per-image jitter (translation, stroke
+//! intensity) plus Gaussian pixel noise, giving a 10-class problem that a
+//! softmax regression separates about as well as it separates MNIST —
+//! which is all the experiments need (see DESIGN.md's substitution table;
+//! 14×14 instead of 28×28 keeps the O(n·d·C) influence math fast).
+//!
+//! The workload helpers mirror §6.3's setups: subsets by digit for the
+//! join relations, 1→7 label corruption, and the "mix rate" relation
+//! shuffling of the third join experiment.
+
+use rain_linalg::{Matrix, RainRng};
+use rain_model::Dataset;
+use rain_sql::table::Table;
+
+/// Image side length.
+pub const SIDE: usize = 14;
+/// Feature dimensionality (`SIDE²` pixels).
+pub const N_PIXELS: usize = SIDE * SIDE;
+/// Number of classes.
+pub const N_CLASSES: usize = 10;
+
+/// Seven-segment membership per digit (segments A,B,C,D,E,F,G).
+const SEGMENTS: [[bool; 7]; 10] = [
+    // A      B      C      D      E      F      G
+    [true, true, true, true, true, true, false],   // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],  // 2
+    [true, true, true, true, false, false, true],  // 3
+    [false, true, true, false, false, true, true], // 4
+    [true, false, true, true, false, true, true],  // 5
+    [true, false, true, true, true, true, true],   // 6
+    [true, true, true, false, false, false, false], // 7
+    [true, true, true, true, true, true, true],    // 8
+    [true, true, true, true, false, true, true],   // 9
+];
+
+/// Render one digit glyph into a `N_PIXELS` vector.
+pub fn render_digit(digit: usize, rng: &mut RainRng) -> Vec<f64> {
+    assert!(digit < 10, "digit out of range");
+    let mut img = vec![0.0; N_PIXELS];
+    // Per-image jitter.
+    let dx = rng.below(3) as isize - 1;
+    let dy = rng.below(3) as isize - 1;
+    let intensity = rng.uniform_range(0.7, 1.0);
+    // Segment geometry on the 14×14 grid (x = col, y = row).
+    // Horizontal segments span x 4..=9; verticals span 2 rows of length 4.
+    let mut stroke = |x0: isize, y0: isize, w: isize, h: isize| {
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                let (xx, yy) = (x + dx, y + dy);
+                if (0..SIDE as isize).contains(&xx) && (0..SIDE as isize).contains(&yy) {
+                    img[yy as usize * SIDE + xx as usize] = intensity;
+                }
+            }
+        }
+    };
+    let segs = SEGMENTS[digit];
+    if segs[0] {
+        stroke(4, 1, 6, 2); // A: top bar
+    }
+    if segs[1] {
+        stroke(9, 2, 2, 5); // B: top-right
+    }
+    if segs[2] {
+        stroke(9, 7, 2, 5); // C: bottom-right
+    }
+    if segs[3] {
+        stroke(4, 11, 6, 2); // D: bottom bar
+    }
+    if segs[4] {
+        stroke(3, 7, 2, 5); // E: bottom-left
+    }
+    if segs[5] {
+        stroke(3, 2, 2, 5); // F: top-left
+    }
+    if segs[6] {
+        stroke(4, 6, 6, 2); // G: middle bar
+    }
+    // Pixel noise.
+    for p in img.iter_mut() {
+        *p = (*p + rng.normal() * 0.12).clamp(0.0, 1.0);
+    }
+    img
+}
+
+/// Configuration for the digits workload generator.
+#[derive(Debug, Clone)]
+pub struct DigitsConfig {
+    /// Training images.
+    pub n_train: usize,
+    /// Queried images.
+    pub n_query: usize,
+}
+
+impl Default for DigitsConfig {
+    fn default() -> Self {
+        DigitsConfig { n_train: 2000, n_query: 1000 }
+    }
+}
+
+impl DigitsConfig {
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        DigitsConfig { n_train: 400, n_query: 200 }
+    }
+
+    /// Generate the workload deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> DigitsWorkload {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let train = gen(self.n_train, &mut rng.derive(1));
+        let query = gen(self.n_query, &mut rng.derive(2));
+        DigitsWorkload { train, query }
+    }
+}
+
+/// The generated digit workload.
+#[derive(Debug, Clone)]
+pub struct DigitsWorkload {
+    /// Training images with ground-truth digit labels.
+    pub train: Dataset,
+    /// Queried images with ground-truth digit labels.
+    pub query: Dataset,
+}
+
+impl DigitsWorkload {
+    /// Query-set row positions whose ground-truth digit is in `digits`.
+    pub fn query_rows_with_digits(&self, digits: &[usize]) -> Vec<usize> {
+        self.query.positions_where(|_, _, y| digits.contains(&y))
+    }
+
+    /// A featured relation of query images whose ground truth is in
+    /// `digits`, capped at `limit` rows.
+    pub fn query_table_for(&self, digits: &[usize], limit: usize) -> Table {
+        let mut rows = self.query_rows_with_digits(digits);
+        rows.truncate(limit);
+        crate::tables::dataset_to_table(&self.query.select(&rows), Vec::new())
+    }
+
+    /// The §6.3 "mix rate" relations: left gets digits `left_digits`,
+    /// right gets `right_digits`, then `mix` of the left rows whose digit
+    /// is `moved_digit` are *moved* to the right relation.
+    pub fn mixed_tables(
+        &self,
+        left_digits: &[usize],
+        right_digits: &[usize],
+        moved_digit: usize,
+        mix: f64,
+        limit_each: usize,
+        seed: u64,
+    ) -> (Table, Table) {
+        let mut left = self.query_rows_with_digits(left_digits);
+        left.truncate(limit_each);
+        let mut right = self.query_rows_with_digits(right_digits);
+        right.truncate(limit_each);
+        let movable: Vec<usize> = left
+            .iter()
+            .copied()
+            .filter(|&r| self.query.y(r) == moved_digit)
+            .collect();
+        let mut rng = RainRng::seed_from_u64(seed);
+        let k = (movable.len() as f64 * mix).round() as usize;
+        let chosen: std::collections::HashSet<usize> = rng
+            .sample_indices(movable.len(), k.min(movable.len()))
+            .into_iter()
+            .map(|i| movable[i])
+            .collect();
+        let new_left: Vec<usize> =
+            left.iter().copied().filter(|r| !chosen.contains(r)).collect();
+        let mut new_right = right;
+        new_right.extend(chosen.iter().copied());
+        new_right.sort_unstable();
+        (
+            crate::tables::dataset_to_table(&self.query.select(&new_left), Vec::new()),
+            crate::tables::dataset_to_table(&self.query.select(&new_right), Vec::new()),
+        )
+    }
+}
+
+fn gen(n: usize, rng: &mut RainRng) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let digit = rng.below(N_CLASSES);
+        rows.push(render_digit(digit, rng));
+        labels.push(digit);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Dataset::new(Matrix::from_rows(&refs), labels, N_CLASSES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_model::{accuracy, train_lbfgs, LbfgsConfig, SoftmaxRegression};
+
+    #[test]
+    fn renderer_produces_valid_images() {
+        let mut rng = RainRng::seed_from_u64(1);
+        for d in 0..10 {
+            let img = render_digit(d, &mut rng);
+            assert_eq!(img.len(), N_PIXELS);
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // Strokes must light up a meaningful number of pixels.
+            let lit = img.iter().filter(|&&p| p > 0.5).count();
+            assert!(lit > 10, "digit {d} has only {lit} lit pixels");
+        }
+    }
+
+    #[test]
+    fn distinct_digits_have_distinct_mean_images() {
+        let mut rng = RainRng::seed_from_u64(2);
+        let mean = |d: usize, rng: &mut RainRng| -> Vec<f64> {
+            let mut acc = vec![0.0; N_PIXELS];
+            for _ in 0..20 {
+                let img = render_digit(d, rng);
+                for (a, p) in acc.iter_mut().zip(&img) {
+                    *a += p / 20.0;
+                }
+            }
+            acc
+        };
+        let m1 = mean(1, &mut rng);
+        let m7 = mean(7, &mut rng);
+        let m8 = mean(8, &mut rng);
+        let dist = |a: &[f64], b: &[f64]| rain_linalg::vecops::norm2(&rain_linalg::vecops::sub(a, b));
+        // 7 = 1 + top bar: closer to 1 than 8 is.
+        assert!(dist(&m1, &m7) < dist(&m1, &m8));
+        assert!(dist(&m1, &m7) > 1.0, "digits 1 and 7 must still differ");
+    }
+
+    #[test]
+    fn softmax_learns_digits_like_mnist() {
+        let w = DigitsConfig::small().generate(3);
+        let mut m = SoftmaxRegression::new(N_PIXELS, N_CLASSES, 0.005);
+        train_lbfgs(&mut m, &w.train, &LbfgsConfig { max_iters: 120, ..Default::default() });
+        let acc = accuracy(&m, &w.query);
+        assert!(acc > 0.9, "query accuracy {acc} (MNIST-with-LR is ≈0.92)");
+    }
+
+    #[test]
+    fn digit_subsets_and_limits() {
+        let w = DigitsConfig::small().generate(4);
+        let t = w.query_table_for(&[1, 2], 30);
+        assert!(t.n_rows() <= 30);
+        let rows = w.query_rows_with_digits(&[1, 2]);
+        assert!(rows.iter().all(|&r| [1, 2].contains(&w.query.y(r))));
+    }
+
+    #[test]
+    fn mix_moves_rows_between_relations() {
+        let w = DigitsConfig::small().generate(5);
+        let (l0, r0) = w.mixed_tables(&[1, 2, 3], &[7, 8, 9], 1, 0.0, 100, 9);
+        let (l25, r25) = w.mixed_tables(&[1, 2, 3], &[7, 8, 9], 1, 0.25, 100, 9);
+        assert!(l25.n_rows() < l0.n_rows());
+        assert_eq!(l0.n_rows() + r0.n_rows(), l25.n_rows() + r25.n_rows());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = DigitsConfig::small().generate(6);
+        let b = DigitsConfig::small().generate(6);
+        assert_eq!(a.train.labels(), b.train.labels());
+        assert_eq!(a.train.features().as_slice(), b.train.features().as_slice());
+    }
+}

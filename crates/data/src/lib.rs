@@ -1,0 +1,33 @@
+//! Synthetic workload generators mirroring the Rain paper's four
+//! evaluation datasets (§6.1.2), plus the systematic label-corruption
+//! machinery of §6.1.3.
+//!
+//! The real datasets (DBLP–Scholar, UCI Adult, Enron, MNIST) are not
+//! shipped with this repository; instead each generator reproduces the
+//! *properties the experiments actually exercise*:
+//!
+//! - [`dblp`] — entity-resolution pairs with 17 similarity features and a
+//!   ~23% match rate, so flipping 30–70% of match labels corrupts 7–17% of
+//!   the training set exactly as in §6.2.
+//! - [`adult`] — census records preprocessed the way the paper does
+//!   (3 attributes one-hot into 18 binary features), which yields massive
+//!   feature-vector duplication (≈120 unique combinations) — the property
+//!   that defeats Loss/TwoStep in §6.5.
+//! - [`enron`] — two-topic bag-of-words emails over a synthetic vocabulary
+//!   containing the literal tokens `http` and `deal` with the containment/
+//!   spam statistics reported in §6.2 (13%/76% and 18%/2.7%).
+//! - [`digits`] — procedurally rendered 14×14 digit glyphs (7-segment
+//!   strokes + jitter + noise), linearly separable like MNIST-with-LR,
+//!   supporting the 1→7 corruption and join workloads of §6.3.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod adult;
+pub mod corrupt;
+pub mod dblp;
+pub mod digits;
+pub mod enron;
+pub mod tables;
+
+pub use corrupt::{flip_labels_where, relabel_where};
+pub use tables::dataset_to_table;

@@ -1,0 +1,51 @@
+//! Bridging datasets into the SQL layer.
+
+use rain_model::Dataset;
+use rain_sql::table::{ColType, Column, Schema, Table};
+
+/// Build a featured [`Table`] from a dataset: an `id` column (the stable
+/// record ids) plus any extra columns, with the dataset's feature matrix
+/// attached so `predict()` works over it.
+///
+/// # Panics
+/// Panics if an extra column's length differs from the dataset's.
+pub fn dataset_to_table(ds: &Dataset, extra: Vec<(&str, Column)>) -> Table {
+    let mut schema = Schema::new(&[("id", ColType::Int)]);
+    for (name, col) in &extra {
+        assert_eq!(col.len(), ds.len(), "extra column {name} length mismatch");
+        schema.push(name, col.ty());
+    }
+    let mut columns = vec![Column::Int(ds.ids().iter().map(|&i| i as i64).collect())];
+    columns.extend(extra.into_iter().map(|(_, c)| c));
+    Table::from_columns(schema, columns).with_features(ds.features().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_linalg::Matrix;
+
+    #[test]
+    fn builds_featured_table() {
+        let ds = Dataset::new(
+            Matrix::from_rows(&[&[0.5, 1.0], &[1.5, 2.0]]),
+            vec![0, 1],
+            2,
+        );
+        let t = dataset_to_table(
+            &ds,
+            vec![("tag", Column::Str(vec!["a".into(), "b".into()]))],
+        );
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema().index_of("id"), Some(0));
+        assert_eq!(t.schema().index_of("tag"), Some(1));
+        assert_eq!(t.feature_row(1), Some(&[1.5, 2.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_extras() {
+        let ds = Dataset::new(Matrix::from_rows(&[&[0.0]]), vec![0], 2);
+        dataset_to_table(&ds, vec![("x", Column::Int(vec![1, 2]))]);
+    }
+}

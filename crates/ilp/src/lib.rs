@@ -1,0 +1,25 @@
+//! Optimization substrate for TwoStep (the paper uses Gurobi/CPLEX [23, 27];
+//! we build the pieces ourselves).
+//!
+//! - [`lp`] — a dense two-phase primal **simplex** solver with Bland's
+//!   anti-cycling rule, for the LP relaxations that bound the search.
+//! - [`bb`] — an exact 0/1 **branch-and-bound** ILP solver with LP
+//!   bounding, rounding-aware pruning for integral objectives, seeded
+//!   branching order (this is how we reproduce "the solver opaquely picks
+//!   one of the optima", §5.2.2 of the paper), and a node budget that
+//!   reproduces the paper's 30-minute ILP timeouts on high-ambiguity
+//!   instances.
+//! - [`model`] — the problem-builder API shared by both.
+//! - [`matching`] — Hopcroft–Karp bipartite maximum matching and the
+//!   König minimum vertex cover, used by TwoStep's presolve to solve
+//!   join-disequality complaint systems exactly at scale.
+
+pub mod bb;
+pub mod lp;
+pub mod matching;
+pub mod model;
+
+pub use bb::{solve_ilp, BbConfig, IlpOutcome, IlpSolution};
+pub use lp::{solve_lp, LpOutcome};
+pub use matching::{hopcroft_karp, konig_min_vertex_cover, BipartiteGraph};
+pub use model::{Constraint, IlpProblem, Sense};

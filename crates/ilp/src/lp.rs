@@ -1,0 +1,366 @@
+//! Dense two-phase primal simplex over the unit box.
+//!
+//! Solves `min cᵀx  s.t.  Ax {≤,=,≥} b,  0 ≤ x ≤ 1` — the LP relaxation of
+//! a 0/1 program. Upper bounds are materialized as explicit `xᵢ ≤ 1` rows
+//! (instance sizes on the generic ILP path are kept small by TwoStep's
+//! presolve, so the dense tableau is the simple and adequate choice).
+//! Bland's rule guarantees termination; an iteration cap guards against
+//! pathological pivoting in floating point.
+
+use crate::model::{Constraint, Sense};
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Optimal point (length = number of variables).
+        x: Vec<f64>,
+        /// Optimal objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The pivot cap was hit before convergence (callers must treat the
+    /// bound as unknown).
+    IterationLimit,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_PIVOTS: usize = 20_000;
+
+/// Solve `min cᵀx` over the unit box with the given constraints.
+pub fn solve_lp(objective: &[f64], constraints: &[Constraint]) -> LpOutcome {
+    let n = objective.len();
+    if n == 0 {
+        return LpOutcome::Optimal { x: Vec::new(), objective: 0.0 };
+    }
+
+    // Assemble rows: user constraints plus xᵢ ≤ 1 bounds.
+    struct Row {
+        coeffs: Vec<f64>,
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(constraints.len() + n);
+    for c in constraints {
+        let mut coeffs = vec![0.0; n];
+        for &(i, a) in &c.terms {
+            coeffs[i] += a;
+        }
+        rows.push(Row { coeffs, sense: c.sense, rhs: c.rhs });
+    }
+    for i in 0..n {
+        let mut coeffs = vec![0.0; n];
+        coeffs[i] = 1.0;
+        rows.push(Row { coeffs, sense: Sense::Le, rhs: 1.0 });
+    }
+
+    // Normalize to rhs ≥ 0.
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            for a in &mut r.coeffs {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.sense = match r.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Eq => Sense::Eq,
+                Sense::Ge => Sense::Le,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Columns: structural | slacks/surplus | artificials. Count first.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for r in &rows {
+        match r.sense {
+            Sense::Le => n_slack += 1,
+            Sense::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Sense::Eq => n_art += 1,
+        }
+    }
+    let total = n + n_slack + n_art;
+    // Tableau: m rows × (total + 1); last column is the rhs.
+    let mut t = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols = Vec::with_capacity(n_art);
+    let mut next_slack = n;
+    let mut next_art = n + n_slack;
+    for (ri, r) in rows.iter().enumerate() {
+        t[ri][..n].copy_from_slice(&r.coeffs);
+        t[ri][total] = r.rhs;
+        match r.sense {
+            Sense::Le => {
+                t[ri][next_slack] = 1.0;
+                basis[ri] = next_slack;
+                next_slack += 1;
+            }
+            Sense::Ge => {
+                t[ri][next_slack] = -1.0;
+                next_slack += 1;
+                t[ri][next_art] = 1.0;
+                basis[ri] = next_art;
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+            Sense::Eq => {
+                t[ri][next_art] = 1.0;
+                basis[ri] = next_art;
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        let mut cost1 = vec![0.0; total];
+        for &c in &art_cols {
+            cost1[c] = 1.0;
+        }
+        match run_simplex(&mut t, &mut basis, &cost1, total) {
+            SimplexEnd::Optimal(obj) => {
+                if obj > 1e-7 {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+            SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for ri in 0..m {
+            if art_cols.contains(&basis[ri]) {
+                // Find a non-artificial column with a nonzero entry.
+                if let Some(col) = (0..n + n_slack).find(|&c| t[ri][c].abs() > EPS) {
+                    pivot(&mut t, &mut basis, ri, col, total);
+                }
+                // If none exists the row is all-zero (redundant); the
+                // artificial stays basic at value 0 and is harmless.
+            }
+        }
+    }
+
+    // Phase 2: original objective, artificial columns forbidden.
+    let mut cost2 = vec![0.0; total];
+    cost2[..n].copy_from_slice(objective);
+    let forbidden: std::collections::HashSet<usize> = art_cols.into_iter().collect();
+    // Zero out artificial columns so they can never re-enter.
+    for row in t.iter_mut() {
+        for &c in &forbidden {
+            row[c] = 0.0;
+        }
+    }
+    match run_simplex(&mut t, &mut basis, &cost2, total) {
+        SimplexEnd::Optimal(_) => {}
+        // The unit box is compact, so the LP cannot be unbounded; treat a
+        // report of unboundedness as numerical failure.
+        SimplexEnd::Unbounded => return LpOutcome::IterationLimit,
+        SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+    }
+
+    let mut x = vec![0.0; n];
+    for (ri, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[ri][total].clamp(0.0, 1.0);
+        }
+    }
+    let objective_val = objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpOutcome::Optimal { x, objective: objective_val }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+    IterationLimit,
+}
+
+/// Run simplex iterations on the tableau until optimality. Returns the
+/// objective value of the final basis.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    total: usize,
+) -> SimplexEnd {
+    let m = t.len();
+    for _ in 0..MAX_PIVOTS {
+        // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j, computed from the
+        // tableau (which already stores B⁻¹A).
+        let mut entering = None;
+        for j in 0..total {
+            let mut rj = cost[j];
+            for ri in 0..m {
+                let cb = cost[basis[ri]];
+                if cb != 0.0 {
+                    rj -= cb * t[ri][j];
+                }
+            }
+            if rj < -EPS {
+                entering = Some(j); // Bland: first (lowest) index
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            let mut obj = 0.0;
+            for ri in 0..m {
+                obj += cost[basis[ri]] * t[ri][total];
+            }
+            return SimplexEnd::Optimal(obj);
+        };
+        // Ratio test (Bland tie-break on the leaving basis index).
+        let mut leave: Option<(usize, f64)> = None;
+        for ri in 0..m {
+            if t[ri][col] > EPS {
+                let ratio = t[ri][total] / t[ri][col];
+                match leave {
+                    None => leave = Some((ri, ratio)),
+                    Some((best_ri, best)) => {
+                        if ratio < best - EPS
+                            || (ratio < best + EPS && basis[ri] < basis[best_ri])
+                        {
+                            leave = Some((ri, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return SimplexEnd::Unbounded;
+        };
+        pivot(t, basis, row, col, total);
+    }
+    SimplexEnd::IterationLimit
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, _total: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    // Split the borrow so the pivot row can be read while others mutate.
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("pivot row exists");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        let f = r[col];
+        if f != 0.0 {
+            for (v, pv) in r.iter_mut().zip(pivot_row.iter()) {
+                *v -= f * pv;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Constraint, Sense};
+
+    fn optimal(out: LpOutcome) -> (Vec<f64>, f64) {
+        match out {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_box_minimum() {
+        // min x0 - x1 over the box → x0=0, x1=1.
+        let (x, obj) = optimal(solve_lp(&[1.0, -1.0], &[]));
+        assert!((x[0] - 0.0).abs() < 1e-7);
+        assert!((x[1] - 1.0).abs() < 1e-7);
+        assert!((obj + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x0 + 2 x1 s.t. x0 + x1 = 1 → x0=1, x1=0, obj 1.
+        let c = vec![Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 1.0)];
+        let (x, obj) = optimal(solve_lp(&[1.0, 2.0], &c));
+        assert!((x[0] - 1.0).abs() < 1e-7, "{x:?}");
+        assert!((obj - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraint_forces_mass() {
+        // min Σ x s.t. Σ x ≥ 2.5 over 4 vars → obj 2.5.
+        let c = vec![Constraint::new(
+            (0..4).map(|i| (i, 1.0)).collect(),
+            Sense::Ge,
+            2.5,
+        )];
+        let (_, obj) = optimal(solve_lp(&[1.0; 4], &c));
+        assert!((obj - 2.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x0 ≥ 2 is outside the unit box.
+        let c = vec![Constraint::new(vec![(0, 1.0)], Sense::Ge, 2.0)];
+        assert_eq!(solve_lp(&[1.0], &c), LpOutcome::Infeasible);
+        // Contradictory equalities.
+        let c = vec![
+            Constraint::new(vec![(0, 1.0)], Sense::Eq, 0.0),
+            Constraint::new(vec![(0, 1.0)], Sense::Eq, 1.0),
+        ];
+        assert_eq!(solve_lp(&[1.0], &c), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x0 ≤ -0.5 ⇔ x0 ≥ 0.5.
+        let c = vec![Constraint::new(vec![(0, -1.0)], Sense::Le, -0.5)];
+        let (x, _) = optimal(solve_lp(&[1.0], &c));
+        assert!((x[0] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fractional_lp_solution() {
+        // min -(x0 + x1) s.t. 2x0 + x1 ≤ 1.5 → x0=0.25,x1=1 (LP vertex).
+        let c = vec![Constraint::new(vec![(0, 2.0), (1, 1.0)], Sense::Le, 1.5)];
+        let (x, obj) = optimal(solve_lp(&[-1.0, -1.0], &c));
+        assert!((obj + 1.25).abs() < 1e-7, "obj {obj} x {x:?}");
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Duplicate equality rows leave an artificial basic at zero.
+        let c = vec![
+            Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 1.0),
+            Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 1.0),
+        ];
+        let (x, obj) = optimal(solve_lp(&[1.0, 3.0], &c));
+        assert!((x[0] - 1.0).abs() < 1e-7);
+        assert!((obj - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_cardinality_lp_is_integral_at_vertices() {
+        // min number of flips: min Σ(1-x_i over S) s.t. Σ x_i = k has an
+        // integral optimum (the constraint matrix is totally unimodular).
+        let n = 6;
+        let c = vec![Constraint::new((0..n).map(|i| (i, 1.0)).collect(), Sense::Eq, 4.0)];
+        // Cost: flipping vars 0..3 is free (they're already 1), others cost 1.
+        let mut cost = vec![0.0; n];
+        for t in cost.iter_mut().skip(3) {
+            *t = 1.0;
+        }
+        let (x, obj) = optimal(solve_lp(&cost, &c));
+        assert!((obj - 1.0).abs() < 1e-7, "x {x:?}");
+    }
+
+    #[test]
+    fn zero_variables() {
+        assert_eq!(
+            solve_lp(&[], &[]),
+            LpOutcome::Optimal { x: vec![], objective: 0.0 }
+        );
+    }
+}

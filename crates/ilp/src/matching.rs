@@ -1,0 +1,283 @@
+//! Bipartite maximum matching (Hopcroft–Karp) and König minimum vertex
+//! cover.
+//!
+//! TwoStep's presolve maps systems of join-disequality complaints — "this
+//! pair of predictions must not be equal" — onto a bipartite conflict
+//! graph. A minimum set of prediction changes that satisfies all pairs is
+//! exactly a minimum vertex cover, which König's theorem reduces to
+//! maximum matching. This gives the *exact* ILP optimum in `O(E√V)`
+//! instead of exponential branch-and-bound.
+
+/// A bipartite graph with `n_left`/`n_right` vertices and edges from left
+/// to right.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// Empty graph with the given sides.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteGraph { n_left, n_right, adj: vec![Vec::new(); n_left] }
+    }
+
+    /// Add an edge `(l, r)`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.n_left && r < self.n_right, "edge out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Left side size.
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Right side size.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+}
+
+/// Maximum-matching result: `pair_left[l] = Some(r)` etc.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// Matched partner per left vertex.
+    pub pair_left: Vec<Option<usize>>,
+    /// Matched partner per right vertex.
+    pub pair_right: Vec<Option<usize>>,
+    /// Matching size.
+    pub size: usize,
+}
+
+/// Hopcroft–Karp maximum bipartite matching in `O(E√V)`.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    const INF: usize = usize::MAX;
+    let mut pair_left = vec![None; g.n_left];
+    let mut pair_right = vec![None; g.n_right];
+    let mut dist = vec![INF; g.n_left];
+    let mut size = 0;
+
+    loop {
+        // BFS layering from free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        for l in 0..g.n_left {
+            if pair_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &g.adj[l] {
+                match pair_right[r] {
+                    None => found_augmenting = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS augmenting along the layering.
+        fn try_augment(
+            l: usize,
+            g: &BipartiteGraph,
+            dist: &mut [usize],
+            pair_left: &mut [Option<usize>],
+            pair_right: &mut [Option<usize>],
+        ) -> bool {
+            for &r in &g.adj[l] {
+                let ok = match pair_right[r] {
+                    None => true,
+                    Some(l2) => {
+                        dist[l2] == dist[l].wrapping_add(1)
+                            && try_augment(l2, g, dist, pair_left, pair_right)
+                    }
+                };
+                if ok {
+                    pair_left[l] = Some(r);
+                    pair_right[r] = Some(l);
+                    return true;
+                }
+            }
+            dist[l] = usize::MAX;
+            false
+        }
+        for l in 0..g.n_left {
+            if pair_left[l].is_none()
+                && try_augment(l, g, &mut dist, &mut pair_left, &mut pair_right)
+            {
+                size += 1;
+            }
+        }
+    }
+    Matching { pair_left, pair_right, size }
+}
+
+/// König's construction: a minimum vertex cover from a maximum matching.
+/// Returns `(left_cover, right_cover)` index sets; their combined size
+/// equals the matching size.
+pub fn konig_min_vertex_cover(g: &BipartiteGraph) -> (Vec<usize>, Vec<usize>) {
+    let m = hopcroft_karp(g);
+    // Alternating reachability from unmatched left vertices.
+    let mut vis_left = vec![false; g.n_left];
+    let mut vis_right = vec![false; g.n_right];
+    let mut stack: Vec<usize> =
+        (0..g.n_left).filter(|&l| m.pair_left[l].is_none()).collect();
+    for &l in &stack {
+        vis_left[l] = true;
+    }
+    while let Some(l) = stack.pop() {
+        for &r in &g.adj[l] {
+            if !vis_right[r] {
+                vis_right[r] = true;
+                if let Some(l2) = m.pair_right[r] {
+                    if !vis_left[l2] {
+                        vis_left[l2] = true;
+                        stack.push(l2);
+                    }
+                }
+            }
+        }
+    }
+    // Cover = unvisited left ∪ visited right.
+    let left: Vec<usize> = (0..g.n_left).filter(|&l| !vis_left[l]).collect();
+    let right: Vec<usize> = (0..g.n_right).filter(|&r| vis_right[r]).collect();
+    debug_assert_eq!(left.len() + right.len(), m.size, "König size mismatch");
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force minimum vertex cover size by bitmask enumeration
+    /// (n_left + n_right ≤ ~16).
+    fn brute_cover(g: &BipartiteGraph) -> usize {
+        let edges: Vec<(usize, usize)> = (0..g.n_left())
+            .flat_map(|l| g.adj[l].iter().map(move |&r| (l, r)))
+            .collect();
+        let total = g.n_left() + g.n_right();
+        let mut best = total;
+        for mask in 0u32..(1 << total) {
+            let covers = edges
+                .iter()
+                .all(|&(l, r)| mask & (1 << l) != 0 || mask & (1 << (g.n_left() + r)) != 0);
+            if covers {
+                best = best.min(mask.count_ones() as usize);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn simple_matching() {
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 3);
+    }
+
+    #[test]
+    fn star_graph_cover_is_center() {
+        // One left vertex connected to 5 rights: cover = {left 0}.
+        let mut g = BipartiteGraph::new(1, 5);
+        for r in 0..5 {
+            g.add_edge(0, r);
+        }
+        let (left, right) = konig_min_vertex_cover(&g);
+        assert_eq!(left, vec![0]);
+        assert!(right.is_empty());
+    }
+
+    #[test]
+    fn cover_touches_every_edge() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let nl = rng.gen_range(1..6);
+            let nr = rng.gen_range(1..6);
+            let mut g = BipartiteGraph::new(nl, nr);
+            let mut edges = Vec::new();
+            for l in 0..nl {
+                for r in 0..nr {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(l, r);
+                        edges.push((l, r));
+                    }
+                }
+            }
+            let (left, right) = konig_min_vertex_cover(&g);
+            let lset: std::collections::HashSet<_> = left.iter().collect();
+            let rset: std::collections::HashSet<_> = right.iter().collect();
+            for (l, r) in &edges {
+                assert!(lset.contains(l) || rset.contains(r), "edge ({l},{r}) uncovered");
+            }
+            // König: cover size equals matching size (minimality).
+            let m = hopcroft_karp(&g);
+            assert_eq!(left.len() + right.len(), m.size);
+        }
+    }
+
+    #[test]
+    fn matching_size_equals_brute_cover() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let nl = rng.gen_range(1..5);
+            let nr = rng.gen_range(1..5);
+            let mut g = BipartiteGraph::new(nl, nr);
+            for l in 0..nl {
+                for r in 0..nr {
+                    if rng.gen_bool(0.5) {
+                        g.add_edge(l, r);
+                    }
+                }
+            }
+            let m = hopcroft_karp(&g);
+            assert_eq!(m.size, brute_cover(&g), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(4, 4);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 0);
+        let (l, r) = konig_min_vertex_cover(&g);
+        assert!(l.is_empty() && r.is_empty());
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let mut g = BipartiteGraph::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                if (l + r) % 2 == 0 {
+                    g.add_edge(l, r);
+                }
+            }
+        }
+        let m = hopcroft_karp(&g);
+        for l in 0..4 {
+            if let Some(r) = m.pair_left[l] {
+                assert_eq!(m.pair_right[r], Some(l));
+            }
+        }
+    }
+}

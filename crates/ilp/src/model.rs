@@ -1,0 +1,130 @@
+//! ILP problem representation.
+//!
+//! All variables are binary (0/1) — exactly what Tiresias-style encodings
+//! of prediction repairs need. Constraints are sparse linear rows with a
+//! comparison [`Sense`]; the objective is minimized.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ aᵢxᵢ ≤ b`.
+    Le,
+    /// `Σ aᵢxᵢ = b`.
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`.
+    Ge,
+}
+
+/// One sparse linear constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs.
+    pub terms: Vec<(usize, f64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Build a constraint.
+    pub fn new(terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> Self {
+        Constraint { terms, sense, rhs }
+    }
+
+    /// Evaluate the left-hand side on an assignment.
+    pub fn lhs(&self, x: &[f64]) -> f64 {
+        self.terms.iter().map(|&(i, a)| a * x[i]).sum()
+    }
+
+    /// True when the assignment satisfies the constraint within `tol`.
+    pub fn satisfied(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs(x);
+        match self.sense {
+            Sense::Le => lhs <= self.rhs + tol,
+            Sense::Eq => (lhs - self.rhs).abs() <= tol,
+            Sense::Ge => lhs >= self.rhs - tol,
+        }
+    }
+}
+
+/// A 0/1 integer program: minimize `cᵀx` subject to linear constraints,
+/// `x ∈ {0,1}ⁿ`.
+#[derive(Debug, Clone, Default)]
+pub struct IlpProblem {
+    /// Objective coefficients (one per variable).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+impl IlpProblem {
+    /// Empty problem.
+    pub fn new() -> Self {
+        IlpProblem::default()
+    }
+
+    /// Add a variable with the given objective coefficient; returns its
+    /// index.
+    pub fn add_var(&mut self, cost: f64) -> usize {
+        self.objective.push(cost);
+        self.objective.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Add a constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        for &(i, _) in &c.terms {
+            assert!(i < self.n_vars(), "constraint references unknown variable {i}");
+        }
+        self.constraints.push(c);
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// True when a 0/1 assignment satisfies every constraint.
+    pub fn feasible(&self, x: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| c.satisfied(x, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut p = IlpProblem::new();
+        let a = p.add_var(1.0);
+        let b = p.add_var(2.0);
+        p.add_constraint(Constraint::new(vec![(a, 1.0), (b, 1.0)], Sense::Ge, 1.0));
+        assert_eq!(p.n_vars(), 2);
+        assert!(p.feasible(&[1.0, 0.0], 1e-9));
+        assert!(!p.feasible(&[0.0, 0.0], 1e-9));
+        assert_eq!(p.objective_value(&[1.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn senses() {
+        let c = Constraint::new(vec![(0, 2.0)], Sense::Le, 1.0);
+        assert!(c.satisfied(&[0.0], 1e-9));
+        assert!(!c.satisfied(&[1.0], 1e-9));
+        let c = Constraint::new(vec![(0, 1.0)], Sense::Eq, 1.0);
+        assert!(c.satisfied(&[1.0], 1e-9));
+        assert!(!c.satisfied(&[0.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraints_are_validated() {
+        let mut p = IlpProblem::new();
+        p.add_constraint(Constraint::new(vec![(3, 1.0)], Sense::Le, 1.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Conjugate-gradient solver for symmetric positive-definite operators.
+//!
+//! The operator is a closure (`v ↦ A·v`), so callers never materialize the
+//! Hessian — exactly the Hessian-free approach of Martens [51] that the
+//! paper adopts for influence computation.
+
+use rain_linalg::vecops;
+
+/// Conjugate-gradient parameters.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// Maximum CG iterations.
+    pub max_iters: usize,
+    /// Stop when `‖r‖ ≤ tol · ‖b‖`.
+    pub rel_tol: f64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig { max_iters: 100, rel_tol: 1e-6 }
+    }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgOutcome {
+    /// The (approximate) solution `x` with `A·x ≈ b`.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iters: usize,
+    /// Final relative residual `‖b − Ax‖ / ‖b‖`.
+    pub rel_residual: f64,
+    /// True when the tolerance was met.
+    pub converged: bool,
+}
+
+/// Solve `A x = b` by conjugate gradient where `apply(v) = A·v`.
+///
+/// `A` must be symmetric; convergence is guaranteed for positive-definite
+/// `A` (which damping ensures for our Hessians). If a non-positive
+/// curvature direction `pᵀAp ≤ 0` is encountered (possible with an
+/// indefinite Hessian and insufficient damping), the solve stops early and
+/// returns the best iterate so far — the standard truncated-Newton
+/// safeguard.
+pub fn cg_solve<F>(apply: F, b: &[f64], cfg: &CgConfig) -> CgOutcome
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    let n = b.len();
+    let bnorm = vecops::norm2(b);
+    if bnorm == 0.0 {
+        return CgOutcome { x: vec![0.0; n], iters: 0, rel_residual: 0.0, converged: true };
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs_old = vecops::norm2_sq(&r);
+    let mut iters = 0;
+
+    for _ in 0..cfg.max_iters {
+        let rnorm = rs_old.sqrt();
+        if rnorm <= cfg.rel_tol * bnorm {
+            return CgOutcome { x, iters, rel_residual: rnorm / bnorm, converged: true };
+        }
+        let ap = apply(&p);
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Negative/zero curvature: bail out with the current iterate.
+            break;
+        }
+        let alpha = rs_old / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        let rs_new = vecops::norm2_sq(&r);
+        let beta = rs_new / rs_old;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+        iters += 1;
+    }
+    let rel = rs_old.sqrt() / bnorm;
+    CgOutcome { x, iters, rel_residual: rel, converged: rel <= cfg.rel_tol }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_linalg::{Matrix, RainRng};
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * n).map(|_| rng.normal()).collect();
+        let m = Matrix::from_vec(n, n, data);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn solves_identity_in_one_step() {
+        let b = [3.0, -1.0, 2.0];
+        let out = cg_solve(|v| v.to_vec(), &b, &CgConfig::default());
+        assert!(out.converged);
+        assert!(vecops::approx_eq(&out.x, &b, 1e-9));
+    }
+
+    #[test]
+    fn matches_direct_cholesky_solve() {
+        for seed in 0..5 {
+            let a = random_spd(12, seed);
+            let mut rng = RainRng::seed_from_u64(100 + seed);
+            let b = rng.normal_vec(12, 1.0);
+            let direct = a.solve_spd(&b).unwrap();
+            let out = cg_solve(|v| a.matvec(v), &b, &CgConfig { max_iters: 200, rel_tol: 1e-10 });
+            assert!(out.converged, "seed {seed}");
+            assert!(vecops::approx_eq(&out.x, &direct, 1e-6), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let out = cg_solve(|v| v.to_vec(), &[0.0; 4], &CgConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.x, vec![0.0; 4]);
+        assert_eq!(out.iters, 0);
+    }
+
+    #[test]
+    fn exact_in_n_iterations() {
+        // CG converges in at most n steps in exact arithmetic.
+        let a = random_spd(8, 42);
+        let b = vec![1.0; 8];
+        let out = cg_solve(|v| a.matvec(v), &b, &CgConfig { max_iters: 8, rel_tol: 1e-8 });
+        assert!(out.rel_residual < 1e-6);
+    }
+
+    #[test]
+    fn bails_on_negative_curvature() {
+        // A = -I is negative definite: pᵀAp < 0 at the very first step.
+        let b = [1.0, 2.0];
+        let out = cg_solve(
+            |v| v.iter().map(|x| -x).collect(),
+            &b,
+            &CgConfig::default(),
+        );
+        assert!(!out.converged);
+        assert_eq!(out.x, vec![0.0; 2]); // best iterate = initial point
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let a = random_spd(30, 7);
+        let b = vec![1.0; 30];
+        let out = cg_solve(|v| a.matvec(v), &b, &CgConfig { max_iters: 3, rel_tol: 1e-16 });
+        assert!(out.iters <= 3);
+        assert!(!out.converged);
+    }
+}

@@ -1,0 +1,298 @@
+//! Influence scoring of training records.
+//!
+//! The pipeline is: (1) a debugger encodes its complaint as a gradient
+//! `∇q(θ*)` in parameter space; (2) [`inverse_hvp`] solves the damped system
+//! `(H + δI) s = ∇q` via conjugate gradient; (3) [`score_records`] computes
+//! `score(zᵢ) = -∇ℓ(zᵢ, θ*)·s` for every training record in parallel.
+
+use crate::cg::{cg_solve, CgConfig, CgOutcome};
+use parking_lot::Mutex;
+use rain_linalg::vecops;
+use rain_model::{Classifier, Dataset};
+
+/// Parameters of the influence engine.
+#[derive(Debug, Clone)]
+pub struct InfluenceConfig {
+    /// Damping δ added to the Hessian diagonal. Keeps CG well-posed on
+    /// non-convex models; 0 is fine for L2-regularized convex models.
+    pub damping: f64,
+    /// Conjugate-gradient settings.
+    pub cg: CgConfig,
+    /// Worker threads for per-record scoring (≥1).
+    pub threads: usize,
+}
+
+impl Default for InfluenceConfig {
+    fn default() -> Self {
+        InfluenceConfig { damping: 0.0, cg: CgConfig::default(), threads: 4 }
+    }
+}
+
+impl InfluenceConfig {
+    /// Settings for non-convex models: damping on, slightly looser CG.
+    pub fn for_nonconvex() -> Self {
+        InfluenceConfig {
+            damping: 0.01,
+            cg: CgConfig { max_iters: 100, rel_tol: 1e-4 },
+            threads: 4,
+        }
+    }
+}
+
+/// A `(record id, influence score)` pair, sorted descending by score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedRecord {
+    /// Stable record id (from [`Dataset::ids`]).
+    pub id: usize,
+    /// Influence score; larger means "removal helps the complaint more".
+    pub score: f64,
+}
+
+/// Solve `(H + δI) s = g` where `H` is the Hessian of the model's full
+/// training objective on `data`.
+pub fn inverse_hvp(
+    model: &dyn Classifier,
+    data: &Dataset,
+    g: &[f64],
+    cfg: &InfluenceConfig,
+) -> CgOutcome {
+    assert_eq!(g.len(), model.n_params(), "inverse_hvp: gradient length mismatch");
+    cg_solve(
+        |v| {
+            let mut hv = model.hvp(data, v);
+            if cfg.damping != 0.0 {
+                vecops::axpy(cfg.damping, v, &mut hv);
+            }
+            hv
+        },
+        g,
+        &cfg.cg,
+    )
+}
+
+/// Score every training record against a solved direction `s = H⁻¹∇q`:
+/// `score(zᵢ) = -∇ℓ(zᵢ)·s`. Returns scores aligned with `data` rows.
+///
+/// Scoring fans out over `threads` workers with `crossbeam` scoped threads;
+/// each worker owns a disjoint slice of the output so no synchronization is
+/// needed on the hot path.
+pub fn score_records(
+    model: &dyn Classifier,
+    data: &Dataset,
+    s: &[f64],
+    threads: usize,
+) -> Vec<f64> {
+    let n = data.len();
+    let mut scores = vec![0.0; n];
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 || n < 64 {
+        for (i, slot) in scores.iter_mut().enumerate() {
+            *slot = -model.example_grad_dot(data.x(i), data.y(i), s);
+        }
+        return scores;
+    }
+    let chunk = n.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (w, out) in scores.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            scope.spawn(move |_| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let i = start + k;
+                    *slot = -model.example_grad_dot(data.x(i), data.y(i), s);
+                }
+            });
+        }
+    })
+    .expect("scoring worker panicked");
+    scores
+}
+
+/// Self-influence scores (the `InfLoss` baseline, §6.1.1):
+/// `score(zᵢ) = -∇ℓ(zᵢ)ᵀ H⁻¹ ∇ℓ(zᵢ)`, one CG solve per record.
+///
+/// This is deliberately expensive — the paper reports it as the slowest
+/// method by far — so the records are distributed over a shared work queue
+/// (uneven CG convergence makes static chunking unbalanced).
+pub fn self_influence_scores(
+    model: &dyn Classifier,
+    data: &Dataset,
+    cfg: &InfluenceConfig,
+) -> Vec<f64> {
+    let n = data.len();
+    let scores: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = cfg.threads.clamp(1, n.max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let g = model.example_grad(data.x(i), data.y(i));
+                let solved = inverse_hvp(model, data, &g, cfg);
+                *scores[i].lock() = -vecops::dot(&g, &solved.x);
+            });
+        }
+    })
+    .expect("self-influence worker panicked");
+    scores.into_iter().map(|m| m.into_inner()).collect()
+}
+
+/// Rank records descending by score, breaking ties by id for determinism.
+pub fn rank_descending(data: &Dataset, scores: &[f64]) -> Vec<RankedRecord> {
+    assert_eq!(scores.len(), data.len());
+    let mut ranked: Vec<RankedRecord> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &score)| RankedRecord { id: data.id(i), score })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_linalg::{Matrix, RainRng};
+    use rain_model::{train_lbfgs, LbfgsConfig, LogisticRegression};
+
+    /// Two Gaussian blobs plus a handful of deliberately flipped labels.
+    fn blobs_with_flips(n: usize, flips: usize, seed: u64) -> (Dataset, Vec<usize>) {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.bernoulli(0.5) as usize;
+            let shift = if y == 1 { 1.5 } else { -1.5 };
+            rows.push(vec![rng.normal() + shift, rng.normal() + shift]);
+            labels.push(y);
+        }
+        let mut flipped = Vec::new();
+        for i in 0..flips {
+            let idx = i * (n / flips.max(1));
+            labels[idx] = 1 - labels[idx];
+            flipped.push(idx);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Dataset::new(Matrix::from_rows(&refs), labels, 2), flipped)
+    }
+
+    fn fitted(data: &Dataset) -> LogisticRegression {
+        let mut m = LogisticRegression::new(data.dim(), 0.05);
+        train_lbfgs(&mut m, data, &LbfgsConfig::default());
+        m
+    }
+
+    #[test]
+    fn inverse_hvp_satisfies_the_system() {
+        let (data, _) = blobs_with_flips(120, 0, 1);
+        let m = fitted(&data);
+        let mut rng = RainRng::seed_from_u64(2);
+        let g = rng.normal_vec(m.n_params(), 1.0);
+        let cfg = InfluenceConfig::default();
+        let out = inverse_hvp(&m, &data, &g, &cfg);
+        assert!(out.converged);
+        let back = m.hvp(&data, &out.x);
+        assert!(vecops::approx_eq(&back, &g, 1e-4), "{back:?} vs {g:?}");
+    }
+
+    #[test]
+    fn damping_changes_the_solution_consistently() {
+        let (data, _) = blobs_with_flips(80, 0, 3);
+        let m = fitted(&data);
+        let g = vec![1.0; m.n_params()];
+        let plain = inverse_hvp(&m, &data, &g, &InfluenceConfig::default());
+        let damped = inverse_hvp(
+            &m,
+            &data,
+            &g,
+            &InfluenceConfig { damping: 10.0, ..Default::default() },
+        );
+        // Heavier damping shrinks the solution norm.
+        assert!(vecops::norm2(&damped.x) < vecops::norm2(&plain.x));
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial() {
+        let (data, _) = blobs_with_flips(300, 5, 4);
+        let m = fitted(&data);
+        let mut rng = RainRng::seed_from_u64(5);
+        let s = rng.normal_vec(m.n_params(), 1.0);
+        let serial = score_records(&m, &data, &s, 1);
+        let parallel = score_records(&m, &data, &s, 4);
+        assert!(vecops::approx_eq(&serial, &parallel, 1e-12));
+    }
+
+    #[test]
+    fn influence_matches_leave_one_out_direction() {
+        // The influence approximation of removing record z should correlate
+        // with the true leave-one-out change in a probe function. Use
+        // q(θ) = mean predicted P(class 1) over a probe set.
+        let (data, _) = blobs_with_flips(60, 6, 6);
+        let m = fitted(&data);
+        let probe: Vec<usize> = (0..10).collect();
+        // ∇q = (1/|probe|) Σ ∇p₁(xᵢ)
+        let mut gq = vec![0.0; m.n_params()];
+        for &i in &probe {
+            vecops::axpy(0.1, &m.grad_proba(data.x(i), 1), &mut gq);
+        }
+        let cfg = InfluenceConfig::default();
+        let s = inverse_hvp(&m, &data, &gq, &cfg).x;
+        let scores = score_records(&m, &data, &s, 1);
+        let q_of = |model: &LogisticRegression| -> f64 {
+            probe.iter().map(|&i| model.predict_proba(data.x(i))[1]).sum::<f64>() / 10.0
+        };
+        let q0 = q_of(&m);
+        // Spot-check a few leave-one-out retrainings.
+        let mut agree = 0;
+        let mut total = 0;
+        for i in (10..60).step_by(10) {
+            let reduced = data.select(
+                &(0..data.len()).filter(|&j| j != i).collect::<Vec<_>>(),
+            );
+            let mut m2 = m.clone();
+            train_lbfgs(&mut m2, &reduced, &LbfgsConfig::default());
+            let dq = q_of(&m2) - q0;
+            // score(z) = -∇q H⁻¹ ∇ℓ ≈ n·(q(θ₋z) - q(θ)) up to sign conv:
+            // removal Δθ ≈ (1/n)H⁻¹∇ℓ ⇒ Δq ≈ (1/n)∇qᵀH⁻¹∇ℓ = -(1/n)score.
+            let predicted = -scores[i] / data.len() as f64;
+            total += 1;
+            if (dq > 0.0) == (predicted > 0.0) || dq.abs() < 1e-6 {
+                agree += 1;
+            }
+        }
+        assert!(agree >= total - 1, "sign agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn self_influence_ranks_isolated_flips_high() {
+        // With few corruptions the model does NOT overfit them, so
+        // self-influence should place flipped records near the top
+        // (this is the regime where InfLoss works, per §6.2).
+        let (data, flipped) = blobs_with_flips(100, 4, 7);
+        let m = fitted(&data);
+        let cfg = InfluenceConfig { threads: 2, ..Default::default() };
+        let scores = self_influence_scores(&m, &data, &cfg);
+        // InfLoss ranks most-negative first.
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+        let top20: std::collections::HashSet<usize> = order[..20].iter().copied().collect();
+        let hit = flipped.iter().filter(|i| top20.contains(i)).count();
+        assert!(hit >= 3, "found {hit}/4 flips in top 20");
+    }
+
+    #[test]
+    fn rank_descending_is_deterministic_under_ties() {
+        let data = {
+            let m = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+            Dataset::new(m, vec![0, 1, 1], 2)
+        };
+        let ranked = rank_descending(&data, &[1.0, 1.0, 0.5]);
+        assert_eq!(ranked[0].id, 0);
+        assert_eq!(ranked[1].id, 1);
+        assert_eq!(ranked[2].id, 2);
+    }
+}

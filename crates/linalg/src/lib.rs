@@ -1,0 +1,33 @@
+//! Dense linear-algebra kernels and seeded randomness helpers for Rain.
+//!
+//! Everything in the workspace that touches numbers — model training,
+//! Hessian-vector products, conjugate gradient, the simplex solver — is built
+//! on the small set of kernels in this crate. The design goals are:
+//!
+//! - **Determinism.** All randomness flows through [`rng::RainRng`], a
+//!   seedable generator, so every experiment in the paper reproduction is
+//!   bit-for-bit repeatable.
+//! - **Predictable performance.** Vectors are plain `&[f64]` slices and
+//!   matrices are row-major [`Matrix`] values; hot loops iterate slices so
+//!   the compiler can elide bounds checks and vectorize.
+//! - **No dependencies** beyond `rand` for the core generator.
+//!
+//! # Example
+//!
+//! ```
+//! use rain_linalg::{Matrix, vecops};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let x = [1.0, -1.0];
+//! let y = a.matvec(&x);
+//! assert_eq!(y, vec![-1.0, -1.0]);
+//! assert_eq!(vecops::dot(&y, &y), 2.0);
+//! ```
+
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod vecops;
+
+pub use matrix::Matrix;
+pub use rng::RainRng;

@@ -1,0 +1,182 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! Every generator, trainer and sampler in the workspace takes an explicit
+//! seed and builds a [`RainRng`] from it, so experiment outputs are
+//! deterministic across runs and machines. The normal sampler uses
+//! Box–Muller (the `rand` crate alone ships no normal distribution, and we
+//! deliberately avoid extra dependencies).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random generator used across the workspace.
+#[derive(Debug, Clone)]
+pub struct RainRng {
+    inner: StdRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl RainRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        RainRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derive an independent child generator; `stream` distinguishes
+    /// sub-uses of the same seed (e.g. "labels" vs "features").
+    pub fn derive(&mut self, stream: u64) -> RainRng {
+        let s = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RainRng::seed_from_u64(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below: empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Fill a fresh vector with i.i.d. `N(0, std²)` entries.
+    pub fn normal_vec(&mut self, n: usize, std: f64) -> Vec<f64> {
+        (0..n).map(|_| self.normal() * std).collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        xs.shuffle(&mut self.inner);
+    }
+
+    /// Sample `k` distinct indices from `0..n` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k > n");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Draw an index according to unnormalized non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if the weights are empty or sum to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index: weights must sum to > 0");
+        let mut t = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            t -= w;
+            if t <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = RainRng::seed_from_u64(42);
+        let mut b = RainRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = RainRng::seed_from_u64(1);
+        let mut b = RainRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = RainRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let mut rng = RainRng::seed_from_u64(3);
+        let idx = rng.sample_indices(50, 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = RainRng::seed_from_u64(4);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = RainRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn derive_streams_are_independent() {
+        let mut root = RainRng::seed_from_u64(9);
+        let mut c1 = root.derive(1);
+        let mut c2 = root.derive(2);
+        assert_ne!(c1.uniform(), c2.uniform());
+    }
+}

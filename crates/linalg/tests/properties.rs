@@ -1,0 +1,91 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use rain_linalg::{stats, vecops, Matrix};
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(x in vec_strategy(16), y in vec_strategy(16)) {
+        prop_assert!((vecops::dot(&x, &y) - vecops::dot(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_is_bilinear(x in vec_strategy(8), y in vec_strategy(8), a in -10.0f64..10.0) {
+        let ax: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let lhs = vecops::dot(&ax, &y);
+        let rhs = a * vecops::dot(&x, &y);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in vec_strategy(12), y in vec_strategy(12)) {
+        let lhs = vecops::dot(&x, &y).abs();
+        let rhs = vecops::norm2(&x) * vecops::norm2(&y);
+        prop_assert!(lhs <= rhs + 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality(x in vec_strategy(12), y in vec_strategy(12)) {
+        let sum = vecops::add(&x, &y);
+        prop_assert!(vecops::norm2(&sum) <= vecops::norm2(&x) + vecops::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        data in proptest::collection::vec(-10.0f64..10.0, 12),
+        x in vec_strategy(4),
+        y in vec_strategy(4),
+    ) {
+        let m = Matrix::from_vec(3, 4, data);
+        let lhs = m.matvec(&vecops::add(&x, &y));
+        let rhs = vecops::add(&m.matvec(&x), &m.matvec(&y));
+        prop_assert!(vecops::approx_eq(&lhs, &rhs, 1e-6));
+    }
+
+    #[test]
+    fn transpose_is_involution(data in proptest::collection::vec(-10.0f64..10.0, 12)) {
+        let m = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_t_agrees_with_explicit_transpose(
+        data in proptest::collection::vec(-10.0f64..10.0, 20),
+        x in vec_strategy(4),
+    ) {
+        let m = Matrix::from_vec(4, 5, data);
+        prop_assert!(vecops::approx_eq(&m.matvec_t(&x), &m.transpose().matvec(&x), 1e-8));
+    }
+
+    #[test]
+    fn spd_solve_roundtrip(
+        data in proptest::collection::vec(-3.0f64..3.0, 9),
+        b in vec_strategy(3),
+    ) {
+        // A = MᵀM + I is always SPD.
+        let m = Matrix::from_vec(3, 3, data);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..3 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let x = a.solve_spd(&b).expect("SPD");
+        prop_assert!(vecops::approx_eq(&a.matvec(&x), &b, 1e-6));
+    }
+
+    #[test]
+    fn softmax_normalizes(xs in vec_strategy(6)) {
+        let p = stats::softmax(&xs);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn kahan_matches_naive_for_benign_inputs(xs in vec_strategy(64)) {
+        let naive: f64 = xs.iter().sum();
+        prop_assert!((stats::kahan_sum(&xs) - naive).abs() < 1e-6);
+    }
+}

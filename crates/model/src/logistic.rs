@@ -1,0 +1,275 @@
+//! Binary logistic regression with closed-form derivatives.
+//!
+//! Parameters are `[w₀ … w_{d-1}, b]` (weights then intercept). With
+//! `x̃ = [x, 1]` and `p = σ(θ·x̃)`:
+//!
+//! - loss      `ℓ = -(y ln p + (1-y) ln(1-p))`
+//! - gradient  `∇ℓ = (p - y)·x̃`
+//! - HVP       `H·v = (1/n) Σ pᵢ(1-pᵢ)(x̃ᵢ·v)·x̃ᵢ + 2λv`
+//! - `∇ p₁ = p(1-p)·x̃`, `∇ p₀ = -∇ p₁`
+//!
+//! The paper runs all main-body experiments on this model (§6.1.6).
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use rain_linalg::stats::sigmoid;
+use rain_linalg::vecops;
+
+/// Binary logistic-regression classifier (classes `0` and `1`).
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// `[w, b]`, length `dim + 1`.
+    params: Vec<f64>,
+    dim: usize,
+    l2: f64,
+    use_bias: bool,
+}
+
+impl LogisticRegression {
+    /// Zero-initialized model for `dim` features with L2 strength `l2`.
+    pub fn new(dim: usize, l2: f64) -> Self {
+        assert!(l2 >= 0.0, "l2 must be non-negative");
+        LogisticRegression { params: vec![0.0; dim + 1], dim, l2, use_bias: true }
+    }
+
+    /// A model without an intercept term (`p = σ(w·x)`); used by settings
+    /// that rely on exact feature-subspace orthogonality (appendix A/C
+    /// constructions), where a shared bias would couple all records. The
+    /// bias parameter slot remains in the layout but is pinned to 0.
+    pub fn without_bias(dim: usize, l2: f64) -> Self {
+        assert!(l2 >= 0.0, "l2 must be non-negative");
+        LogisticRegression { params: vec![0.0; dim + 1], dim, l2, use_bias: false }
+    }
+
+    /// The margin `θ·x̃ = w·x + b`.
+    #[inline]
+    pub fn margin(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        let b = if self.use_bias { self.params[self.dim] } else { 0.0 };
+        vecops::dot(&self.params[..self.dim], x) + b
+    }
+
+    /// Probability of class 1.
+    #[inline]
+    pub fn proba1(&self, x: &[f64]) -> f64 {
+        sigmoid(self.margin(x))
+    }
+
+    /// Clamp a probability away from 0/1 so log-losses stay finite.
+    #[inline]
+    fn clamp_p(p: f64) -> f64 {
+        p.clamp(1e-12, 1.0 - 1e-12)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn n_params(&self) -> usize {
+        self.dim + 1
+    }
+
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.params.len(), "set_params: length mismatch");
+        self.params.copy_from_slice(p);
+    }
+
+    fn l2(&self) -> f64 {
+        self.l2
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let p1 = self.proba1(x);
+        vec![1.0 - p1, p1]
+    }
+
+    fn example_loss(&self, x: &[f64], y: usize) -> f64 {
+        debug_assert!(y < 2);
+        let p = Self::clamp_p(self.proba1(x));
+        if y == 1 {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
+    }
+
+    fn example_grad_into(&self, x: &[f64], y: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_params());
+        let coeff = self.proba1(x) - y as f64;
+        for (o, xi) in out[..self.dim].iter_mut().zip(x) {
+            *o = coeff * xi;
+        }
+        out[self.dim] = if self.use_bias { coeff } else { 0.0 };
+    }
+
+    fn example_grad_dot(&self, x: &[f64], y: usize, v: &[f64]) -> f64 {
+        let coeff = self.proba1(x) - y as f64;
+        let vb = if self.use_bias { v[self.dim] } else { 0.0 };
+        coeff * (vecops::dot(&v[..self.dim], x) + vb)
+    }
+
+    fn hvp(&self, data: &Dataset, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n_params(), "hvp: vector length mismatch");
+        let n = data.len().max(1) as f64;
+        let mut out = vec![0.0; self.n_params()];
+        for i in 0..data.len() {
+            let x = data.x(i);
+            let p = self.proba1(x);
+            let s = p * (1.0 - p);
+            // (x̃·v)
+            let vb = if self.use_bias { v[self.dim] } else { 0.0 };
+            let xv = vecops::dot(&v[..self.dim], x) + vb;
+            let c = s * xv / n;
+            vecops::axpy(c, x, &mut out[..self.dim]);
+            if self.use_bias {
+                out[self.dim] += c;
+            }
+        }
+        // Hessian of λ‖θ‖² is 2λI.
+        vecops::axpy(2.0 * self.l2, v, &mut out);
+        out
+    }
+
+    fn grad_proba(&self, x: &[f64], class: usize) -> Vec<f64> {
+        debug_assert!(class < 2);
+        let p = self.proba1(x);
+        let sign = if class == 1 { 1.0 } else { -1.0 };
+        let c = sign * p * (1.0 - p);
+        let mut g = vec![0.0; self.n_params()];
+        for (gi, xi) in g[..self.dim].iter_mut().zip(x) {
+            *gi = c * xi;
+        }
+        g[self.dim] = if self.use_bias { c } else { 0.0 };
+        g
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::check;
+    use rain_linalg::{Matrix, RainRng};
+
+    fn toy_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.bernoulli(0.5) as usize;
+            let shift = if y == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![rng.normal() + shift, rng.normal() - shift, rng.normal()]);
+            labels.push(y);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, 2)
+    }
+
+    fn fitted_model(data: &Dataset) -> LogisticRegression {
+        let mut m = LogisticRegression::new(data.dim(), 0.01);
+        // A few gradient steps are enough for derivative checks.
+        for _ in 0..50 {
+            let g = m.grad(data);
+            let mut p = m.params().to_vec();
+            vecops::axpy(-0.5, &g, &mut p);
+            m.set_params(&p);
+        }
+        m
+    }
+
+    #[test]
+    fn proba_is_sigmoid_of_margin() {
+        let mut m = LogisticRegression::new(2, 0.0);
+        m.set_params(&[1.0, -1.0, 0.5]);
+        let x = [2.0, 1.0];
+        assert!((m.proba1(&x) - sigmoid(2.0 - 1.0 + 0.5)).abs() < 1e-12);
+        let p = m.predict_proba(&x);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let data = toy_data(40, 1);
+        let m = fitted_model(&data);
+        let g = m.grad(&data);
+        let fd = check::fd_grad(&m, &data, 1e-5);
+        assert!(vecops::approx_eq(&g, &fd, 1e-5), "g={g:?} fd={fd:?}");
+    }
+
+    #[test]
+    fn hvp_matches_finite_differences() {
+        let data = toy_data(40, 2);
+        let m = fitted_model(&data);
+        let mut rng = RainRng::seed_from_u64(3);
+        let v = rng.normal_vec(m.n_params(), 1.0);
+        let hv = m.hvp(&data, &v);
+        let fd = check::fd_hvp(&m, &data, &v, 1e-5);
+        assert!(vecops::approx_eq(&hv, &fd, 1e-4), "hv={hv:?} fd={fd:?}");
+    }
+
+    #[test]
+    fn hvp_is_linear_in_v() {
+        let data = toy_data(30, 4);
+        let m = fitted_model(&data);
+        let mut rng = RainRng::seed_from_u64(5);
+        let v1 = rng.normal_vec(m.n_params(), 1.0);
+        let v2 = rng.normal_vec(m.n_params(), 1.0);
+        let lhs = m.hvp(&data, &vecops::add(&v1, &v2));
+        let rhs = vecops::add(&m.hvp(&data, &v1), &m.hvp(&data, &v2));
+        assert!(vecops::approx_eq(&lhs, &rhs, 1e-9));
+    }
+
+    #[test]
+    fn grad_proba_matches_finite_differences() {
+        let data = toy_data(10, 6);
+        let m = fitted_model(&data);
+        let x = data.x(0).to_vec();
+        for class in 0..2 {
+            let g = m.grad_proba(&x, class);
+            let fd = check::fd_grad_proba(&m, &x, class, 1e-6);
+            assert!(vecops::approx_eq(&g, &fd, 1e-6), "class {class}");
+        }
+    }
+
+    #[test]
+    fn example_grad_dot_matches_materialized() {
+        let data = toy_data(10, 7);
+        let m = fitted_model(&data);
+        let mut rng = RainRng::seed_from_u64(8);
+        let v = rng.normal_vec(m.n_params(), 1.0);
+        for i in 0..data.len() {
+            let g = m.example_grad(data.x(i), data.y(i));
+            let direct = m.example_grad_dot(data.x(i), data.y(i), &v);
+            assert!((vecops::dot(&g, &v) - direct).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_under_training() {
+        let data = toy_data(100, 9);
+        let m0 = LogisticRegression::new(data.dim(), 0.01);
+        let before = m0.loss(&data);
+        let m = fitted_model(&data);
+        assert!(m.loss(&data) < before);
+        // And the fitted model should classify the separable toy data well.
+        let correct = (0..data.len()).filter(|&i| m.predict(data.x(i)) == data.y(i)).count();
+        assert!(correct as f64 / data.len() as f64 > 0.8);
+    }
+}

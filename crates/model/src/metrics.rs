@@ -1,0 +1,132 @@
+//! Classification metrics (accuracy and the F1 score of Figure 4).
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+
+/// Fraction of examples the model labels correctly.
+pub fn accuracy(model: &dyn Classifier, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = (0..data.len()).filter(|&i| model.predict(data.x(i)) == data.y(i)).count();
+    correct as f64 / data.len() as f64
+}
+
+/// Binary confusion counts with class 1 as the positive class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Precision `tp / (tp + fp)` (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)` (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall (0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Confusion counts of a binary model on a dataset.
+pub fn confusion_binary(model: &dyn Classifier, data: &Dataset) -> BinaryConfusion {
+    assert_eq!(model.n_classes(), 2, "confusion_binary needs a binary model");
+    let mut c = BinaryConfusion::default();
+    for i in 0..data.len() {
+        let pred = model.predict(data.x(i));
+        match (pred, data.y(i)) {
+            (1, 1) => c.tp += 1,
+            (1, 0) => c.fp += 1,
+            (0, 0) => c.tn += 1,
+            (0, 1) => c.fn_ += 1,
+            _ => unreachable!("binary labels"),
+        }
+    }
+    c
+}
+
+/// F1 score of a binary model on a dataset (Figure 4's y-axis).
+pub fn f1_score(model: &dyn Classifier, data: &Dataset) -> f64 {
+    confusion_binary(model, data).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::LogisticRegression;
+    use rain_linalg::Matrix;
+
+    /// A fixed "model" via a logistic regression with hand-set weights that
+    /// implement `predict(x) = x[0] > 0.5`.
+    fn threshold_model() -> LogisticRegression {
+        let mut m = LogisticRegression::new(1, 0.0);
+        m.set_params(&[10.0, -5.0]);
+        m
+    }
+
+    fn data(xs: &[f64], ys: &[usize]) -> Dataset {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), ys.to_vec(), 2)
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = threshold_model();
+        // preds: 1, 1, 0, 0 ; labels: 1, 0, 0, 1
+        let d = data(&[1.0, 1.0, 0.0, 0.0], &[1, 0, 0, 1]);
+        let c = confusion_binary(&m, &d);
+        assert_eq!(c, BinaryConfusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let m = threshold_model();
+        let d = data(&[1.0, 0.0, 1.0], &[1, 0, 1]);
+        assert_eq!(accuracy(&m, &d), 1.0);
+        assert_eq!(f1_score(&m, &d), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        let m = threshold_model();
+        assert_eq!(accuracy(&m, &data(&[], &[])), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`Classifier`] trait: the contract between models and the influence
+//! machinery.
+//!
+//! Sign/shape conventions (everything a downstream crate needs to know):
+//!
+//! - Parameters are one flat `Vec<f64>`; layout is model-private.
+//! - `ℓ(z, θ)` is the *unregularized* per-example loss (negative
+//!   log-likelihood). The training objective adds an L2 term:
+//!   `L(θ) = (1/n) Σ ℓ(zᵢ, θ) + λ‖θ‖²`.
+//! - [`Classifier::hvp`] multiplies by the Hessian of the **full** objective
+//!   `L` (including the `2λI` from regularization), which is what the
+//!   conjugate-gradient solver must invert.
+//! - [`Classifier::grad_proba`] returns `∇θ p_c(x, θ)`: how a predicted
+//!   class probability moves with the parameters. Holistic chains these
+//!   through relaxed provenance polynomials; TwoStep sums them over marked
+//!   mispredictions.
+
+use crate::dataset::Dataset;
+
+/// A differentiable classification model.
+///
+/// Implementations must be `Send + Sync` so influence scoring can fan out
+/// across threads, and cloneable via [`Classifier::clone_box`] for
+/// warm-started retraining.
+pub trait Classifier: Send + Sync {
+    /// Number of classes this model discriminates between.
+    fn n_classes(&self) -> usize;
+
+    /// Feature dimensionality expected by the model.
+    fn dim(&self) -> usize;
+
+    /// Total number of parameters.
+    fn n_params(&self) -> usize;
+
+    /// Borrow the flat parameter vector.
+    fn params(&self) -> &[f64];
+
+    /// Overwrite the flat parameter vector.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n_params()`.
+    fn set_params(&mut self, p: &[f64]);
+
+    /// L2 regularization strength λ.
+    fn l2(&self) -> f64;
+
+    /// Class probabilities for one example (length `n_classes`, sums to 1).
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Hard prediction: argmax of [`Classifier::predict_proba`].
+    fn predict(&self, x: &[f64]) -> usize {
+        rain_linalg::vecops::argmax(&self.predict_proba(x)).expect("non-empty proba")
+    }
+
+    /// Unregularized per-example loss `ℓ(z, θ)`.
+    fn example_loss(&self, x: &[f64], y: usize) -> f64;
+
+    /// Per-example loss gradient `∇θ ℓ(z, θ)` written into `out`.
+    fn example_grad_into(&self, x: &[f64], y: usize, out: &mut [f64]);
+
+    /// Per-example loss gradient, allocating.
+    fn example_grad(&self, x: &[f64], y: usize) -> Vec<f64> {
+        let mut g = vec![0.0; self.n_params()];
+        self.example_grad_into(x, y, &mut g);
+        g
+    }
+
+    /// Dot product `∇θ ℓ(z, θ) · v` (may avoid materializing the gradient).
+    fn example_grad_dot(&self, x: &[f64], y: usize, v: &[f64]) -> f64 {
+        let g = self.example_grad(x, y);
+        rain_linalg::vecops::dot(&g, v)
+    }
+
+    /// Full training objective `L(θ) = (1/n) Σ ℓ + λ‖θ‖²`.
+    fn loss(&self, data: &Dataset) -> f64 {
+        let n = data.len().max(1) as f64;
+        let mut sum = 0.0;
+        for i in 0..data.len() {
+            sum += self.example_loss(data.x(i), data.y(i));
+        }
+        sum / n + self.l2() * rain_linalg::vecops::norm2_sq(self.params())
+    }
+
+    /// Gradient of the full training objective.
+    fn grad(&self, data: &Dataset) -> Vec<f64> {
+        let n = data.len().max(1) as f64;
+        let mut g = vec![0.0; self.n_params()];
+        let mut buf = vec![0.0; self.n_params()];
+        for i in 0..data.len() {
+            self.example_grad_into(data.x(i), data.y(i), &mut buf);
+            rain_linalg::vecops::axpy(1.0 / n, &buf, &mut g);
+        }
+        rain_linalg::vecops::axpy(2.0 * self.l2(), self.params(), &mut g);
+        g
+    }
+
+    /// Hessian-vector product `∇²L(θ)·v` of the full objective (with the
+    /// `2λ v` regularization term included).
+    fn hvp(&self, data: &Dataset, v: &[f64]) -> Vec<f64>;
+
+    /// Gradient of the predicted probability of `class`: `∇θ p_class(x, θ)`.
+    fn grad_proba(&self, x: &[f64], class: usize) -> Vec<f64>;
+
+    /// Clone into a boxed trait object (for warm-started retraining).
+    fn clone_box(&self) -> Box<dyn Classifier>;
+
+    /// A short human-readable name ("logistic", "softmax", "mlp").
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Classifier> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Finite-difference helpers shared by the derivative tests of every model.
+///
+/// Exposed as a public module (not `#[cfg(test)]`) so downstream crates'
+/// tests can reuse it against their own `q(θ)` encodings.
+pub mod check {
+    use super::Classifier;
+    use crate::dataset::Dataset;
+
+    /// Central-difference gradient of the full objective at the current
+    /// parameters. O(n_params × dataset); for tests only.
+    pub fn fd_grad(model: &dyn Classifier, data: &Dataset, eps: f64) -> Vec<f64> {
+        let theta = model.params().to_vec();
+        let mut g = vec![0.0; theta.len()];
+        let mut probe = model.clone_box();
+        for j in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[j] += eps;
+            probe.set_params(&tp);
+            let up = probe.loss(data);
+            tp[j] -= 2.0 * eps;
+            probe.set_params(&tp);
+            let dn = probe.loss(data);
+            g[j] = (up - dn) / (2.0 * eps);
+        }
+        g
+    }
+
+    /// Central-difference Hessian-vector product `(∇L(θ+εv) − ∇L(θ−εv))/2ε`.
+    pub fn fd_hvp(model: &dyn Classifier, data: &Dataset, v: &[f64], eps: f64) -> Vec<f64> {
+        let theta = model.params().to_vec();
+        let mut probe = model.clone_box();
+        let tp: Vec<f64> = theta.iter().zip(v).map(|(t, vi)| t + eps * vi).collect();
+        probe.set_params(&tp);
+        let gp = probe.grad(data);
+        let tm: Vec<f64> = theta.iter().zip(v).map(|(t, vi)| t - eps * vi).collect();
+        probe.set_params(&tm);
+        let gm = probe.grad(data);
+        gp.iter().zip(&gm).map(|(a, b)| (a - b) / (2.0 * eps)).collect()
+    }
+
+    /// Central-difference gradient of `p_class(x, θ)`.
+    pub fn fd_grad_proba(model: &dyn Classifier, x: &[f64], class: usize, eps: f64) -> Vec<f64> {
+        let theta = model.params().to_vec();
+        let mut g = vec![0.0; theta.len()];
+        let mut probe = model.clone_box();
+        for j in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[j] += eps;
+            probe.set_params(&tp);
+            let up = probe.predict_proba(x)[class];
+            tp[j] -= 2.0 * eps;
+            probe.set_params(&tp);
+            let dn = probe.predict_proba(x)[class];
+            g[j] = (up - dn) / (2.0 * eps);
+        }
+        g
+    }
+}

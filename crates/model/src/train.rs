@@ -1,0 +1,263 @@
+//! L-BFGS training (the paper trains all models with L-BFGS, §6.1.6).
+//!
+//! A standard limited-memory BFGS with two-loop recursion and Armijo
+//! backtracking line search. Curvature pairs are only stored when
+//! `sᵀy > 0`, which keeps the implicit inverse-Hessian approximation
+//! positive definite even on the non-convex MLP objective.
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use rain_linalg::vecops;
+use std::collections::VecDeque;
+
+/// Configuration for [`train_lbfgs`].
+#[derive(Debug, Clone)]
+pub struct LbfgsConfig {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient infinity-norm drops below this.
+    pub grad_tol: f64,
+    /// History size `m` of the limited memory.
+    pub memory: usize,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c: f64,
+    /// Line-search backtracking factor.
+    pub backtrack: f64,
+    /// Maximum backtracking steps per iteration.
+    pub max_line_search: usize,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        LbfgsConfig {
+            max_iters: 200,
+            grad_tol: 1e-6,
+            memory: 10,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            max_line_search: 30,
+        }
+    }
+}
+
+impl LbfgsConfig {
+    /// Fewer iterations; used for warm restarts inside train–rank–fix.
+    pub fn warm() -> Self {
+        LbfgsConfig { max_iters: 60, ..Default::default() }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Iterations actually performed.
+    pub iters: usize,
+    /// Final full-objective value.
+    pub final_loss: f64,
+    /// Final gradient infinity norm.
+    pub grad_norm: f64,
+    /// True when `grad_tol` was reached before `max_iters`.
+    pub converged: bool,
+}
+
+/// Minimize `model.loss(data)` in place with L-BFGS, starting from the
+/// model's current parameters (so retraining is warm-started for free).
+pub fn train_lbfgs(
+    model: &mut dyn Classifier,
+    data: &Dataset,
+    cfg: &LbfgsConfig,
+) -> TrainReport {
+    let n = model.n_params();
+    let mut theta = model.params().to_vec();
+    let mut loss = model.loss(data);
+    let mut grad = model.grad(data);
+    let mut s_hist: VecDeque<Vec<f64>> = VecDeque::with_capacity(cfg.memory);
+    let mut y_hist: VecDeque<Vec<f64>> = VecDeque::with_capacity(cfg.memory);
+    let mut rho_hist: VecDeque<f64> = VecDeque::with_capacity(cfg.memory);
+    let mut iters = 0;
+
+    for _ in 0..cfg.max_iters {
+        let gnorm = vecops::norm_inf(&grad);
+        if gnorm < cfg.grad_tol {
+            return TrainReport { iters, final_loss: loss, grad_norm: gnorm, converged: true };
+        }
+        iters += 1;
+
+        // Two-loop recursion for the search direction d = -H_k⁻¹ g.
+        let mut q = grad.clone();
+        let k = s_hist.len();
+        let mut alphas = vec![0.0; k];
+        for i in (0..k).rev() {
+            let a = rho_hist[i] * vecops::dot(&s_hist[i], &q);
+            alphas[i] = a;
+            vecops::axpy(-a, &y_hist[i], &mut q);
+        }
+        // Initial scaling γ = sᵀy / yᵀy of the most recent pair.
+        if let (Some(s), Some(y)) = (s_hist.back(), y_hist.back()) {
+            let gamma = vecops::dot(s, y) / vecops::dot(y, y).max(1e-30);
+            vecops::scale(&mut q, gamma);
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * vecops::dot(&y_hist[i], &q);
+            vecops::axpy(alphas[i] - beta, &s_hist[i], &mut q);
+        }
+        let mut dir = q;
+        vecops::scale(&mut dir, -1.0);
+
+        // Guard against ascent directions (possible on non-convex losses).
+        let mut slope = vecops::dot(&grad, &dir);
+        if slope >= 0.0 {
+            dir = grad.iter().map(|g| -g).collect();
+            slope = vecops::dot(&grad, &dir);
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+        }
+
+        // Armijo backtracking.
+        let mut step = 1.0;
+        let mut accepted = false;
+        let mut new_theta = vec![0.0; n];
+        let mut new_loss = loss;
+        for _ in 0..cfg.max_line_search {
+            for ((nt, t), d) in new_theta.iter_mut().zip(&theta).zip(&dir) {
+                *nt = t + step * d;
+            }
+            model.set_params(&new_theta);
+            new_loss = model.loss(data);
+            if new_loss <= loss + cfg.armijo_c * step * slope {
+                accepted = true;
+                break;
+            }
+            step *= cfg.backtrack;
+        }
+        if !accepted {
+            // Line search failed; restore and stop.
+            model.set_params(&theta);
+            return TrainReport {
+                iters,
+                final_loss: loss,
+                grad_norm: vecops::norm_inf(&grad),
+                converged: false,
+            };
+        }
+
+        let new_grad = model.grad(data);
+        let s = vecops::sub(&new_theta, &theta);
+        let y = vecops::sub(&new_grad, &grad);
+        let sy = vecops::dot(&s, &y);
+        if sy > 1e-10 {
+            if s_hist.len() == cfg.memory {
+                s_hist.pop_front();
+                y_hist.pop_front();
+                rho_hist.pop_front();
+            }
+            rho_hist.push_back(1.0 / sy);
+            s_hist.push_back(s);
+            y_hist.push_back(y);
+        }
+        theta = new_theta;
+        loss = new_loss;
+        grad = new_grad;
+    }
+
+    let gnorm = vecops::norm_inf(&grad);
+    TrainReport { iters, final_loss: loss, grad_norm: gnorm, converged: gnorm < cfg.grad_tol }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::LogisticRegression;
+    use crate::mlp::Mlp;
+    use crate::softmax::SoftmaxRegression;
+    use rain_linalg::{Matrix, RainRng};
+
+    fn blobs(n: usize, classes: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.below(classes);
+            let mut x = rng.normal_vec(dim, 0.6);
+            x[y % dim] += 2.5;
+            rows.push(x);
+            labels.push(y);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, classes)
+    }
+
+    fn accuracy_of(model: &dyn Classifier, data: &Dataset) -> f64 {
+        let correct =
+            (0..data.len()).filter(|&i| model.predict(data.x(i)) == data.y(i)).count();
+        correct as f64 / data.len() as f64
+    }
+
+    #[test]
+    fn lbfgs_fits_logistic_to_near_optimality() {
+        let data = blobs(200, 2, 4, 1);
+        let mut m = LogisticRegression::new(4, 0.01);
+        let report = train_lbfgs(&mut m, &data, &LbfgsConfig::default());
+        assert!(report.converged, "gnorm {}", report.grad_norm);
+        assert!(accuracy_of(&m, &data) > 0.95);
+    }
+
+    #[test]
+    fn lbfgs_fits_softmax() {
+        let data = blobs(300, 4, 6, 2);
+        let mut m = SoftmaxRegression::new(6, 4, 0.01);
+        let report = train_lbfgs(&mut m, &data, &LbfgsConfig::default());
+        assert!(report.converged);
+        assert!(accuracy_of(&m, &data) > 0.9);
+    }
+
+    #[test]
+    fn lbfgs_fits_mlp() {
+        let data = blobs(300, 3, 5, 3);
+        let mut m = Mlp::new(5, 12, 3, 0.005, 3);
+        let report = train_lbfgs(&mut m, &data, &LbfgsConfig { max_iters: 400, ..Default::default() });
+        assert!(report.final_loss < 0.5, "loss {}", report.final_loss);
+        assert!(accuracy_of(&m, &data) > 0.9);
+    }
+
+    #[test]
+    fn warm_restart_converges_quickly() {
+        let data = blobs(200, 2, 4, 4);
+        let mut m = LogisticRegression::new(4, 0.01);
+        let cold = train_lbfgs(&mut m, &data, &LbfgsConfig::default());
+        // Remove a handful of records and retrain warm.
+        let smaller = data.remove_ids(&[0, 1, 2, 3, 4]);
+        let warm = train_lbfgs(&mut m, &smaller, &LbfgsConfig::warm());
+        assert!(warm.iters <= cold.iters, "warm {} vs cold {}", warm.iters, cold.iters);
+        assert!(warm.converged);
+    }
+
+    #[test]
+    fn gradient_norm_shrinks_at_optimum() {
+        let data = blobs(100, 2, 3, 5);
+        let mut m = LogisticRegression::new(3, 0.05);
+        let report = train_lbfgs(&mut m, &data, &LbfgsConfig::default());
+        assert!(report.grad_norm < 1e-6);
+        // First-order optimality: loss increases in any direction.
+        let base = m.loss(&data);
+        let mut rng = RainRng::seed_from_u64(6);
+        for _ in 0..5 {
+            let dir = rng.normal_vec(m.n_params(), 1e-3);
+            let mut probe = m.clone();
+            let p = vecops::add(m.params(), &dir);
+            probe.set_params(&p);
+            assert!(probe.loss(&data) >= base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_empty_dataset_gracefully() {
+        let data = blobs(10, 2, 3, 7).select(&[]);
+        let mut m = LogisticRegression::new(3, 0.1);
+        let report = train_lbfgs(&mut m, &data, &LbfgsConfig::default());
+        // Loss is pure regularization; optimum is θ = 0.
+        assert!(report.converged);
+        assert!(vecops::norm_inf(m.params()) < 1e-6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Abstract syntax for the supported SPJA dialect (paper §3.1).
+//!
+//! The dialect covers exactly what the paper's Table 1/2 queries need:
+//!
+//! ```sql
+//! SELECT COUNT(*) | SUM(e) | AVG(e) | e [AS name], ...
+//! FROM t1 [a1], t2 [a2], ... [JOIN t ON cond ...]
+//! WHERE conjunctions/disjunctions of comparisons and LIKE
+//! GROUP BY col | predict(alias)
+//! ```
+//!
+//! with `predict(alias)` denoting inference of the session model over the
+//! feature vector of `alias`'s current row (`Mθ.predict(alias.*)` in the
+//! paper's notation).
+
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression (pre-binding: names unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference `qualifier.name` or bare `name`.
+    Column {
+        /// Optional table alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Model inference `predict(alias)` or `predict(*)` (single relation).
+    Predict {
+        /// Relation alias the model reads features from; `None` = `*`.
+        rel: Option<String>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// String-valued operand.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// The SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// A scalar expression with an optional output alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS` alias.
+        alias: Option<String>,
+    },
+    /// An aggregate with an optional output alias. `expr` is `None` for
+    /// `COUNT(*)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated expression (`None` for `COUNT(*)`).
+        expr: Option<Expr>,
+        /// `AS` alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub name: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM relations (comma list and explicit JOINs, flattened in order).
+    pub from: Vec<TableRef>,
+    /// `ON` conditions of explicit JOINs (conjoined into WHERE by the
+    /// binder).
+    pub join_conds: Vec<Expr>,
+    /// WHERE clause.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+}
+
+impl SelectStmt {
+    /// True when any select item is an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }))
+    }
+}

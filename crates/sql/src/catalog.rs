@@ -1,0 +1,52 @@
+//! The database catalog: named tables.
+
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// A named collection of tables (the queried database `D` of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register (or replace) a table under a lowercase name.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_ascii_lowercase(), table);
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over `(name, table)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Table)> {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColType, Column, Schema};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut db = Database::new();
+        let t = Table::from_columns(
+            Schema::new(&[("x", ColType::Int)]),
+            vec![Column::Int(vec![1, 2, 3])],
+        );
+        db.register("Users", t);
+        assert!(db.table("users").is_some());
+        assert!(db.table("USERS").is_some());
+        assert!(db.table("logins").is_none());
+        assert_eq!(db.table("users").unwrap().n_rows(), 3);
+    }
+}

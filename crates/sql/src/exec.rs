@@ -1,0 +1,792 @@
+//! SPJA execution with optional provenance capture ("debug mode", §5.1).
+//!
+//! The executor is tuple-at-a-time over materialized row sets. Joins are
+//! scheduled left-to-right with predicate pushdown: every conjunct is
+//! applied as soon as all the relations it mentions are in scope, and
+//! concrete equi-join conjuncts drive hash joins.
+//!
+//! The two execution modes share one code path:
+//!
+//! - **Normal mode** evaluates model predicates with the classifier's hard
+//!   (argmax) predictions and keeps no lineage.
+//! - **Debug mode** keeps, for every tuple, a [`BoolProv`] membership
+//!   formula over prediction variables. Concretely-false *model-independent*
+//!   predicates still prune (their truth can never change by retraining),
+//!   but tuples failing only *model* predicates survive symbolically — they
+//!   are exactly the tuples a complaint fix may need to flip into (or out
+//!   of) the result.
+//!
+//! Aggregate cells are emitted as [`CellProv`] sums/ratios over the
+//! candidate tuples, which downstream crates relax (Holistic) or linearize
+//! into an ILP (TwoStep).
+
+use crate::ast::{AggFunc, ArithOp, CmpOp, SelectStmt};
+use crate::catalog::Database;
+use crate::plan::{bind, BExpr, BoundAgg, BoundAggArg, BoundQuery, GroupKey, QueryKind};
+use crate::predvar::PredVarRegistry;
+use crate::prov::{AggSum, AggTerm, BoolProv, CellProv, VarId};
+use crate::table::{ColType, Schema, Table};
+use crate::value::{like_match, Value};
+use crate::QueryError;
+use rain_model::Classifier;
+use std::collections::{BTreeSet, HashMap};
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Capture provenance (the paper's "debug mode" re-execution).
+    pub debug: bool,
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Concrete result table (identical across modes).
+    pub table: Table,
+    /// Membership formula per output row (debug mode, non-aggregate
+    /// queries; empty otherwise).
+    pub row_prov: Vec<BoolProv>,
+    /// Provenance per output row and aggregate column (debug mode,
+    /// aggregate queries; empty otherwise). Indexed `[row][agg]`.
+    pub agg_cells: Vec<Vec<CellProv>>,
+    /// For aggregate outputs: number of leading group-key columns before
+    /// the aggregate columns.
+    pub n_key_cols: usize,
+    /// Prediction variables created during execution.
+    pub predvars: PredVarRegistry,
+}
+
+impl QueryOutput {
+    /// Convenience: the single scalar of a one-row one-aggregate query.
+    pub fn scalar(&self) -> Option<Value> {
+        if self.table.n_rows() == 1 && self.table.schema().len() == self.n_key_cols + 1 {
+            Some(self.table.value(0, self.n_key_cols))
+        } else {
+            None
+        }
+    }
+}
+
+/// Parse, bind, and execute a SQL string.
+pub fn run_query(
+    db: &Database,
+    model: &dyn Classifier,
+    sql: &str,
+    opts: ExecOptions,
+) -> Result<QueryOutput, QueryError> {
+    let stmt = crate::parser::parse_select(sql).map_err(QueryError::Parse)?;
+    run_stmt(db, model, &stmt, opts)
+}
+
+/// Bind and execute a parsed statement.
+pub fn run_stmt(
+    db: &Database,
+    model: &dyn Classifier,
+    stmt: &SelectStmt,
+    opts: ExecOptions,
+) -> Result<QueryOutput, QueryError> {
+    let bound = bind(stmt, db)?;
+    execute(db, model, &bound, opts)
+}
+
+/// Execute a bound query.
+pub fn execute(
+    db: &Database,
+    model: &dyn Classifier,
+    query: &BoundQuery,
+    opts: ExecOptions,
+) -> Result<QueryOutput, QueryError> {
+    let mut exec = Exec { db, model, query, debug: opts.debug, reg: PredVarRegistry::new() };
+    exec.run()
+}
+
+/// A (possibly partial) joined tuple: one row index per bound relation.
+#[derive(Debug, Clone)]
+struct Tup {
+    rows: Vec<u32>,
+    prov: BoolProv,
+}
+
+/// Hashable group-key value (floats keyed by total-order bits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum KeyVal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    F64(u64),
+    Str(String),
+}
+
+fn keyval(v: &Value) -> KeyVal {
+    match v {
+        Value::Null => KeyVal::Null,
+        Value::Bool(b) => KeyVal::Bool(*b),
+        Value::Int(i) => KeyVal::Int(*i),
+        Value::Float(f) => {
+            // Total-order bit trick so Ord matches numeric order.
+            let bits = f.to_bits() as i64;
+            KeyVal::F64((bits ^ (((bits >> 63) as u64) >> 1) as i64) as u64 ^ (1u64 << 63))
+        }
+        Value::Str(s) => KeyVal::Str(s.clone()),
+    }
+}
+
+fn keyval_to_value(k: &KeyVal) -> Value {
+    match k {
+        KeyVal::Null => Value::Null,
+        KeyVal::Bool(b) => Value::Bool(*b),
+        KeyVal::Int(i) => Value::Int(*i),
+        KeyVal::F64(bits) => {
+            let b = bits ^ (1u64 << 63);
+            let b = b as i64;
+            Value::Float(f64::from_bits((b ^ ((((b >> 63) as u64) >> 1) as i64)) as u64))
+        }
+        KeyVal::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Accumulator for one output group.
+#[derive(Debug, Default)]
+struct GroupAcc {
+    /// Concrete members (tuples that concretely belong to this group).
+    members: usize,
+    /// Concrete per-aggregate accumulators: (sum, non-null count).
+    concrete: Vec<(f64, usize)>,
+    /// Provenance per aggregate: numerator terms (and denominator terms
+    /// for AVG).
+    num: Vec<AggSum>,
+    den: Vec<AggSum>,
+}
+
+struct Exec<'a> {
+    db: &'a Database,
+    model: &'a dyn Classifier,
+    query: &'a BoundQuery,
+    debug: bool,
+    reg: PredVarRegistry,
+}
+
+impl<'a> Exec<'a> {
+    fn table_of(&self, rel: usize) -> &Table {
+        self.db.table(&self.query.rels[rel].table).expect("bound table")
+    }
+
+    fn var_of(&mut self, rel: usize, row: u32) -> VarId {
+        let table_name = &self.query.rels[rel].table;
+        let table = self.db.table(table_name).expect("bound table");
+        let model = self.model;
+        let feats = table.feature_row(row as usize).expect("features checked at bind time");
+        self.reg.var_for(table_name, row as usize, || model.predict(feats))
+    }
+
+    fn run(&mut self) -> Result<QueryOutput, QueryError> {
+        let tuples = self.join_pipeline()?;
+        match &self.query.kind {
+            QueryKind::Select { items } => self.project(tuples, items),
+            QueryKind::Aggregate { keys, aggs } => self.aggregate(tuples, keys, aggs),
+        }
+    }
+
+    /// Build the joined candidate-tuple set with pushdown.
+    fn join_pipeline(&mut self) -> Result<Vec<Tup>, QueryError> {
+        let n_rels = self.query.rels.len();
+        let n_conj = self.query.conjuncts.len();
+        let mut applied = vec![false; n_conj];
+        // Conjunct relation footprints.
+        let footprints: Vec<BTreeSet<usize>> = self
+            .query
+            .conjuncts
+            .iter()
+            .map(|c| {
+                let mut s = BTreeSet::new();
+                c.rels_used(&mut s);
+                s
+            })
+            .collect();
+
+        // Seed with relation 0.
+        let mut tuples: Vec<Tup> = (0..self.table_of(0).n_rows())
+            .map(|r| Tup { rows: vec![r as u32], prov: BoolProv::Const(true) })
+            .collect();
+        tuples = self.apply_conjuncts(tuples, &mut applied, &footprints, 1)?;
+
+        for rel in 1..n_rels {
+            // Equi-join keys available for hash joining into `rel`.
+            let equi: Vec<(BExpr, BExpr, usize)> = (0..n_conj)
+                .filter(|&ci| !applied[ci] && footprints[ci].iter().all(|&r| r <= rel))
+                .filter_map(|ci| match &self.query.conjuncts[ci] {
+                    BExpr::Cmp { op: CmpOp::Eq, left, right } => {
+                        let lset = {
+                            let mut s = BTreeSet::new();
+                            left.rels_used(&mut s);
+                            s
+                        };
+                        let rset = {
+                            let mut s = BTreeSet::new();
+                            right.rels_used(&mut s);
+                            s
+                        };
+                        if left.contains_predict() || right.contains_predict() {
+                            return None;
+                        }
+                        // One side must be exactly {rel}, the other ⊆ {0..rel-1}.
+                        if lset == BTreeSet::from([rel]) && rset.iter().all(|&r| r < rel) {
+                            Some(((**right).clone(), (**left).clone(), ci))
+                        } else if rset == BTreeSet::from([rel]) && lset.iter().all(|&r| r < rel)
+                        {
+                            Some(((**left).clone(), (**right).clone(), ci))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                })
+                .collect();
+
+            let right_rows = self.table_of(rel).n_rows();
+            let mut joined = Vec::new();
+            if equi.is_empty() {
+                // Nested-loop cross join; remaining conjuncts filter below.
+                joined.reserve(tuples.len().saturating_mul(right_rows.max(1)));
+                for t in &tuples {
+                    for r in 0..right_rows {
+                        let mut rows = t.rows.clone();
+                        rows.push(r as u32);
+                        joined.push(Tup { rows, prov: t.prov.clone() });
+                    }
+                }
+            } else {
+                for (_, _, ci) in &equi {
+                    applied[*ci] = true;
+                }
+                // Hash the new relation on its key expressions.
+                let mut index: HashMap<Vec<KeyVal>, Vec<u32>> = HashMap::new();
+                for r in 0..right_rows {
+                    let probe = Tup {
+                        rows: {
+                            // Position `rel` must be addressable; pad with a
+                            // sentinel row vector of the right length.
+                            let mut rows = vec![0u32; rel + 1];
+                            rows[rel] = r as u32;
+                            rows
+                        },
+                        prov: BoolProv::Const(true),
+                    };
+                    let key: Result<Vec<KeyVal>, QueryError> = equi
+                        .iter()
+                        .map(|(_, re, _)| Ok(keyval(&self.eval_value(re, &probe.rows)?)))
+                        .collect();
+                    index.entry(key?).or_default().push(r as u32);
+                }
+                for t in &tuples {
+                    let key: Result<Vec<KeyVal>, QueryError> = equi
+                        .iter()
+                        .map(|(le, _, _)| Ok(keyval(&self.eval_value(le, &t.rows)?)))
+                        .collect();
+                    if let Some(rows) = index.get(&key?) {
+                        for &r in rows {
+                            let mut new_rows = t.rows.clone();
+                            new_rows.push(r);
+                            joined.push(Tup { rows: new_rows, prov: t.prov.clone() });
+                        }
+                    }
+                }
+            }
+            tuples = self.apply_conjuncts(joined, &mut applied, &footprints, rel + 1)?;
+        }
+        Ok(tuples)
+    }
+
+    /// Apply every not-yet-applied conjunct whose footprint fits in the
+    /// first `in_scope` relations.
+    fn apply_conjuncts(
+        &mut self,
+        tuples: Vec<Tup>,
+        applied: &mut [bool],
+        footprints: &[BTreeSet<usize>],
+        in_scope: usize,
+    ) -> Result<Vec<Tup>, QueryError> {
+        let todo: Vec<usize> = (0..applied.len())
+            .filter(|&ci| !applied[ci] && footprints[ci].iter().all(|&r| r < in_scope))
+            .collect();
+        if todo.is_empty() {
+            return Ok(tuples);
+        }
+        for &ci in &todo {
+            applied[ci] = true;
+        }
+        let mut out = Vec::with_capacity(tuples.len());
+        'tuple: for mut t in tuples {
+            for &ci in &todo {
+                let conjunct = self.query.conjuncts[ci].clone();
+                match self.eval_pred(&conjunct, &t.rows)? {
+                    Sym::Const(false) => continue 'tuple,
+                    Sym::Const(true) => {}
+                    Sym::Prov(f) => {
+                        if self.debug {
+                            t.prov = BoolProv::and(vec![t.prov, f]);
+                        } else if !f.eval_discrete(self.reg.preds()) {
+                            continue 'tuple;
+                        }
+                    }
+                }
+            }
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a predicate over a tuple into either a constant or a
+    /// provenance formula (constants fold; model atoms stay symbolic).
+    fn eval_pred(&mut self, e: &BExpr, rows: &[u32]) -> Result<Sym, QueryError> {
+        Ok(match e {
+            BExpr::Not(inner) => match self.eval_pred(inner, rows)? {
+                Sym::Const(b) => Sym::Const(!b),
+                Sym::Prov(f) => Sym::Prov(f.negate()),
+            },
+            BExpr::And(terms) => {
+                let mut provs = Vec::new();
+                for t in terms {
+                    match self.eval_pred(t, rows)? {
+                        Sym::Const(false) => return Ok(Sym::Const(false)),
+                        Sym::Const(true) => {}
+                        Sym::Prov(f) => provs.push(f),
+                    }
+                }
+                if provs.is_empty() {
+                    Sym::Const(true)
+                } else {
+                    Sym::Prov(BoolProv::and(provs))
+                }
+            }
+            BExpr::Or(terms) => {
+                let mut provs = Vec::new();
+                for t in terms {
+                    match self.eval_pred(t, rows)? {
+                        Sym::Const(true) => return Ok(Sym::Const(true)),
+                        Sym::Const(false) => {}
+                        Sym::Prov(f) => provs.push(f),
+                    }
+                }
+                if provs.is_empty() {
+                    Sym::Const(false)
+                } else {
+                    Sym::Prov(BoolProv::or(provs))
+                }
+            }
+            BExpr::Cmp { op, left, right } => {
+                let lp = matches!(**left, BExpr::Predict { .. });
+                let rp = matches!(**right, BExpr::Predict { .. });
+                match (lp, rp) {
+                    (true, true) => {
+                        let (BExpr::Predict { rel: lr }, BExpr::Predict { rel: rr }) =
+                            (&**left, &**right)
+                        else {
+                            unreachable!()
+                        };
+                        let lv = self.var_of(*lr, rows[*lr]);
+                        let rv = self.var_of(*rr, rows[*rr]);
+                        let eq = if lv == rv {
+                            BoolProv::Const(true)
+                        } else {
+                            BoolProv::PredEq { left: lv, right: rv }
+                        };
+                        match op {
+                            CmpOp::Eq => Sym::from(eq),
+                            CmpOp::Ne => Sym::from(eq.negate()),
+                            _ => {
+                                return Err(QueryError::Exec(
+                                    "only =/!= between two predict() calls".into(),
+                                ))
+                            }
+                        }
+                    }
+                    (true, false) | (false, true) => {
+                        let (rel, other, op) = if lp {
+                            let BExpr::Predict { rel } = &**left else { unreachable!() };
+                            (*rel, right, *op)
+                        } else {
+                            let BExpr::Predict { rel } = &**right else { unreachable!() };
+                            // Flip the operator: `c op predict` ⇔ `predict op' c`.
+                            let flipped = match op {
+                                CmpOp::Lt => CmpOp::Gt,
+                                CmpOp::Le => CmpOp::Ge,
+                                CmpOp::Gt => CmpOp::Lt,
+                                CmpOp::Ge => CmpOp::Le,
+                                other => *other,
+                            };
+                            (*rel, left, flipped)
+                        };
+                        let val = self.eval_value(other, rows)?;
+                        let class = val.as_i64().ok_or_else(|| {
+                            QueryError::Exec(format!(
+                                "predict() compared to non-integer {val}"
+                            ))
+                        })?;
+                        let var = self.var_of(rel, rows[rel]);
+                        let n_classes = self.model.n_classes() as i64;
+                        let classes: Vec<usize> = (0..n_classes)
+                            .filter(|&c| {
+                                op.eval(c.cmp(&class))
+                            })
+                            .map(|c| c as usize)
+                            .collect();
+                        Sym::from(BoolProv::or(
+                            classes
+                                .into_iter()
+                                .map(|class| BoolProv::PredIs { var, class })
+                                .collect(),
+                        ))
+                    }
+                    (false, false) => {
+                        let l = self.eval_value(left, rows)?;
+                        let r = self.eval_value(right, rows)?;
+                        Sym::Const(l.compare(&r).is_some_and(|ord| op.eval(ord)))
+                    }
+                }
+            }
+            BExpr::Like { expr, pattern, negated } => {
+                let v = self.eval_value(expr, rows)?;
+                let matched = match v {
+                    Value::Str(s) => like_match(&s, pattern),
+                    Value::Null => false,
+                    other => {
+                        return Err(QueryError::Exec(format!("LIKE on non-string {other}")))
+                    }
+                };
+                Sym::Const(matched != *negated)
+            }
+            BExpr::Predict { .. } => {
+                return Err(QueryError::Exec("bare predict() as a predicate".into()))
+            }
+            other => Sym::Const(self.eval_value(other, rows)?.is_truthy()),
+        })
+    }
+
+    /// Concrete scalar evaluation (predictions evaluate to the hard class).
+    fn eval_value(&mut self, e: &BExpr, rows: &[u32]) -> Result<Value, QueryError> {
+        Ok(match e {
+            BExpr::Lit(v) => v.clone(),
+            BExpr::Col { rel, col } => self.table_of(*rel).value(rows[*rel] as usize, *col),
+            BExpr::Predict { rel } => {
+                let var = self.var_of(*rel, rows[*rel]);
+                Value::Int(self.reg.preds()[var as usize] as i64)
+            }
+            BExpr::Arith { op, left, right } => {
+                let l = self.eval_value(left, rows)?;
+                let r = self.eval_value(right, rows)?;
+                match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        let both_int = matches!(
+                            (&l, &r),
+                            (Value::Int(_) | Value::Bool(_), Value::Int(_) | Value::Bool(_))
+                        );
+                        let out = match op {
+                            ArithOp::Add => a + b,
+                            ArithOp::Sub => a - b,
+                            ArithOp::Mul => a * b,
+                            ArithOp::Div => {
+                                if b == 0.0 {
+                                    return Ok(Value::Null);
+                                }
+                                a / b
+                            }
+                        };
+                        if both_int && *op != ArithOp::Div {
+                            Value::Int(out as i64)
+                        } else {
+                            Value::Float(out)
+                        }
+                    }
+                    _ => Value::Null,
+                }
+            }
+            // Boolean-valued expressions in scalar position.
+            other => {
+                let sym = self.eval_pred(other, rows)?;
+                match sym {
+                    Sym::Const(b) => Value::Bool(b),
+                    Sym::Prov(f) => Value::Bool(f.eval_discrete(self.reg.preds())),
+                }
+            }
+        })
+    }
+
+    fn infer_type(&self, e: &BExpr) -> ColType {
+        match e {
+            BExpr::Lit(Value::Int(_)) => ColType::Int,
+            BExpr::Lit(Value::Float(_)) => ColType::Float,
+            BExpr::Lit(Value::Str(_)) => ColType::Str,
+            BExpr::Lit(_) => ColType::Bool,
+            BExpr::Col { rel, col } => self.table_of(*rel).schema().col(*col).ty,
+            BExpr::Predict { .. } => ColType::Int,
+            BExpr::Arith { op, left, right } => {
+                if *op != ArithOp::Div
+                    && self.infer_type(left) == ColType::Int
+                    && self.infer_type(right) == ColType::Int
+                {
+                    ColType::Int
+                } else {
+                    ColType::Float
+                }
+            }
+            _ => ColType::Bool,
+        }
+    }
+
+    fn project(
+        &mut self,
+        tuples: Vec<Tup>,
+        items: &[(BExpr, String)],
+    ) -> Result<QueryOutput, QueryError> {
+        let mut schema = Schema::default();
+        for (e, name) in items {
+            schema.push(name, self.infer_type(e));
+        }
+        let mut table = Table::empty(schema);
+        let mut row_prov = Vec::new();
+        for t in tuples {
+            // Emit only concretely-true rows; keep their formulas.
+            if !t.prov.eval_discrete(self.reg.preds()) {
+                continue;
+            }
+            let mut row = Vec::with_capacity(items.len());
+            for (e, _) in items {
+                row.push(self.eval_value(e, &t.rows)?);
+            }
+            table.push_row(row, None);
+            if self.debug {
+                row_prov.push(t.prov);
+            }
+        }
+        Ok(QueryOutput {
+            table,
+            row_prov,
+            agg_cells: Vec::new(),
+            n_key_cols: 0,
+            predvars: std::mem::take(&mut self.reg),
+        })
+    }
+
+    fn aggregate(
+        &mut self,
+        tuples: Vec<Tup>,
+        keys: &[GroupKey],
+        aggs: &[BoundAgg],
+    ) -> Result<QueryOutput, QueryError> {
+        let mut groups: HashMap<Vec<KeyVal>, GroupAcc> = HashMap::new();
+        let n_aggs = aggs.len();
+        let new_acc = || GroupAcc {
+            members: 0,
+            concrete: vec![(0.0, 0); n_aggs],
+            num: vec![AggSum::default(); n_aggs],
+            den: vec![AggSum::default(); n_aggs],
+        };
+        // A global aggregate always has its single group, even when empty.
+        if keys.is_empty() {
+            groups.insert(Vec::new(), new_acc());
+        }
+
+        for t in tuples {
+            // Resolve key parts. Predict keys fan the tuple out per class
+            // (symbolically); concretely it belongs to one class group.
+            let mut col_parts: Vec<Option<KeyVal>> = Vec::with_capacity(keys.len());
+            let mut pred_keys: Vec<(usize, VarId)> = Vec::new(); // (key position, var)
+            for (pos, k) in keys.iter().enumerate() {
+                match k {
+                    GroupKey::Col { rel, col, .. } => {
+                        let v = self.table_of(*rel).value(t.rows[*rel] as usize, *col);
+                        col_parts.push(Some(keyval(&v)));
+                    }
+                    GroupKey::Predict { rel } => {
+                        let var = self.var_of(*rel, t.rows[*rel]);
+                        pred_keys.push((pos, var));
+                        col_parts.push(None);
+                    }
+                }
+            }
+            let concrete_member = t.prov.eval_discrete(self.reg.preds());
+
+            // Enumerate class assignments for predict keys (cartesian; in
+            // practice there is at most one predict key).
+            let n_classes = self.model.n_classes();
+            let combos: Vec<Vec<usize>> = if pred_keys.is_empty() {
+                vec![Vec::new()]
+            } else if self.debug {
+                cartesian(n_classes, pred_keys.len())
+            } else {
+                // Normal mode: only the concrete class combination.
+                vec![pred_keys.iter().map(|(_, v)| self.reg.preds()[*v as usize]).collect()]
+            };
+
+            for combo in combos {
+                let mut key = Vec::with_capacity(keys.len());
+                let mut membership = t.prov.clone();
+                let mut concrete_combo = concrete_member;
+                for (pos, part) in col_parts.iter().enumerate() {
+                    match part {
+                        Some(kv) => key.push(kv.clone()),
+                        None => {
+                            let (idx, var) = pred_keys
+                                .iter()
+                                .enumerate()
+                                .find_map(|(i, (p, v))| (*p == pos).then_some((i, *v)))
+                                .expect("predict key present");
+                            let class = combo[idx];
+                            key.push(KeyVal::Int(class as i64));
+                            if self.debug {
+                                membership = BoolProv::and(vec![
+                                    membership,
+                                    BoolProv::PredIs { var, class },
+                                ]);
+                            }
+                            concrete_combo &= self.reg.preds()[var as usize] == class;
+                        }
+                    }
+                }
+
+                let acc = groups.entry(key).or_insert_with(new_acc);
+                if concrete_combo {
+                    acc.members += 1;
+                }
+                for (ai, agg) in aggs.iter().enumerate() {
+                    // Term contributed by this tuple to aggregate `ai`.
+                    let term: Option<(AggTerm, f64)> = match &agg.arg {
+                        BoundAggArg::CountStar => Some((AggTerm::One, 1.0)),
+                        BoundAggArg::Predict { rel } => {
+                            let var = self.var_of(*rel, t.rows[*rel]);
+                            let concrete_val = self.reg.preds()[var as usize] as f64;
+                            Some((AggTerm::PredValue(var), concrete_val))
+                        }
+                        BoundAggArg::ScaledPredict { rel, factor } => {
+                            let var = self.var_of(*rel, t.rows[*rel]);
+                            let w = self
+                                .eval_value(factor, &t.rows)?
+                                .as_f64()
+                                .ok_or_else(|| {
+                                    QueryError::Exec(
+                                        "non-numeric factor in scaled predict".into(),
+                                    )
+                                })?;
+                            let concrete_val =
+                                w * self.reg.preds()[var as usize] as f64;
+                            Some((AggTerm::ScaledPred { var, weight: w }, concrete_val))
+                        }
+                        BoundAggArg::Scalar(e) => {
+                            let v = self.eval_value(e, &t.rows)?;
+                            v.as_f64().map(|f| (AggTerm::Const(f), f))
+                        }
+                    };
+                    let Some((term, concrete_val)) = term else {
+                        continue; // NULL: skipped by SUM/AVG, as in SQL.
+                    };
+                    if concrete_combo {
+                        acc.concrete[ai].0 += concrete_val;
+                        acc.concrete[ai].1 += 1;
+                    }
+                    if self.debug {
+                        acc.num[ai].terms.push((membership.clone(), term));
+                        if agg.func == AggFunc::Avg {
+                            acc.den[ai].terms.push((membership.clone(), AggTerm::One));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Deterministic output order.
+        let mut keys_sorted: Vec<Vec<KeyVal>> = groups.keys().cloned().collect();
+        keys_sorted.sort();
+
+        // Output schema: group keys then aggregates.
+        let mut schema = Schema::default();
+        for k in keys {
+            match k {
+                GroupKey::Col { rel, col, name } => {
+                    let ty = self.table_of(*rel).schema().col(*col).ty;
+                    schema.push(name, ty);
+                }
+                GroupKey::Predict { .. } => schema.push("predict", ColType::Int),
+            }
+        }
+        for agg in aggs {
+            let ty = if agg.func == AggFunc::Count { ColType::Int } else { ColType::Float };
+            schema.push(&agg.name, ty);
+        }
+        let mut table = Table::empty(schema);
+        let mut agg_cells = Vec::new();
+
+        for key in keys_sorted {
+            let acc = groups.remove(&key).expect("group exists");
+            // Groups with no concrete member are not part of the concrete
+            // result (matching normal execution); the exception is the
+            // global group of an ungrouped aggregate.
+            if acc.members == 0 && !keys.is_empty() {
+                continue;
+            }
+            let mut row: Vec<Value> = key.iter().map(keyval_to_value).collect();
+            for (ai, agg) in aggs.iter().enumerate() {
+                let (sum, cnt) = acc.concrete[ai];
+                row.push(match agg.func {
+                    AggFunc::Count => Value::Int(cnt as i64),
+                    AggFunc::Sum => Value::Float(sum),
+                    AggFunc::Avg => {
+                        Value::Float(if cnt == 0 { 0.0 } else { sum / cnt as f64 })
+                    }
+                });
+            }
+            table.push_row(row, None);
+            if self.debug {
+                let mut cells = Vec::with_capacity(aggs.len());
+                for (ai, agg) in aggs.iter().enumerate() {
+                    let num = acc.num[ai].clone();
+                    cells.push(match agg.func {
+                        AggFunc::Avg => CellProv::Ratio(num, acc.den[ai].clone()),
+                        _ => CellProv::Sum(num),
+                    });
+                }
+                agg_cells.push(cells);
+            }
+        }
+
+        Ok(QueryOutput {
+            table,
+            row_prov: Vec::new(),
+            agg_cells,
+            n_key_cols: keys.len(),
+            predvars: std::mem::take(&mut self.reg),
+        })
+    }
+}
+
+/// Symbolic-or-constant predicate value.
+enum Sym {
+    Const(bool),
+    Prov(BoolProv),
+}
+
+impl From<BoolProv> for Sym {
+    fn from(f: BoolProv) -> Self {
+        match f {
+            BoolProv::Const(b) => Sym::Const(b),
+            other => Sym::Prov(other),
+        }
+    }
+}
+
+/// All `len`-tuples over `0..n` (cartesian power).
+fn cartesian(n: usize, len: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..len {
+        let mut next = Vec::with_capacity(out.len() * n);
+        for prefix in &out {
+            for c in 0..n {
+                let mut v = prefix.clone();
+                v.push(c);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}

@@ -1,0 +1,91 @@
+//! The Query 2.0 substrate: storage, SQL, execution, and provenance.
+//!
+//! This crate implements everything the Rain paper assumes from its
+//! database layer (§3.1, §5.1, §5.3):
+//!
+//! - columnar [`table::Table`]s with row-aligned feature matrices for
+//!   in-database model inference,
+//! - a hand-written SQL [`parser`] for the SPJA dialect with
+//!   `predict(alias)` model predicates,
+//! - a binder/[`plan`]ner and a pushdown [`exec`]utor with hash joins,
+//! - **provenance polynomials** ([`prov`]) over prediction variables,
+//!   captured during debug-mode execution, and their **differentiable
+//!   relaxation** with reverse-mode gradients — the machinery behind the
+//!   Holistic approach and the input to TwoStep's ILP encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use rain_sql::{Database, ExecOptions, run_query};
+//! use rain_sql::table::{ColType, Column, Schema, Table};
+//! use rain_linalg::Matrix;
+//! use rain_model::{Classifier, LogisticRegression};
+//!
+//! // A tiny table of two rows with 1-D features.
+//! let table = Table::from_columns(
+//!     Schema::new(&[("id", ColType::Int)]),
+//!     vec![Column::Int(vec![10, 11])],
+//! )
+//! .with_features(Matrix::from_rows(&[&[1.0], &[-1.0]]));
+//! let mut db = Database::new();
+//! db.register("users", table);
+//!
+//! // A fixed model: predicts class 1 iff the feature is positive.
+//! let mut model = LogisticRegression::new(1, 0.0);
+//! model.set_params(&[10.0, 0.0]);
+//!
+//! let out = run_query(
+//!     &db,
+//!     &model,
+//!     "SELECT COUNT(*) FROM users WHERE predict(*) = 1",
+//!     ExecOptions { debug: true },
+//! )
+//! .unwrap();
+//! assert_eq!(out.scalar(), Some(rain_sql::Value::Int(1)));
+//! // Debug mode captured a provenance polynomial over 2 prediction vars.
+//! assert_eq!(out.predvars.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod predvar;
+pub mod printer;
+pub mod prov;
+pub mod table;
+pub mod value;
+
+pub use catalog::Database;
+pub use exec::{execute, run_query, run_stmt, ExecOptions, QueryOutput};
+pub use lexer::SqlError;
+pub use parser::parse_select;
+pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
+pub use predvar::{PredVarInfo, PredVarRegistry};
+pub use prov::{AggSum, AggTerm, BoolProv, CellProv, ProbGrad, Probs, VarId};
+pub use value::Value;
+
+/// Errors from parsing, binding, or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical or syntactic error.
+    Parse(SqlError),
+    /// Name-resolution or validation error.
+    Bind(String),
+    /// Runtime error.
+    Exec(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Bind(msg) => write!(f, "bind error: {msg}"),
+            QueryError::Exec(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

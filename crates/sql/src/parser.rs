@@ -1,0 +1,520 @@
+//! Recursive-descent parser for the SPJA dialect.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! select   := SELECT items FROM table_ref (',' table_ref | JOIN table_ref ON expr)*
+//!             [WHERE expr] [GROUP BY expr (',' expr)*]
+//! items    := '*' | item (',' item)*
+//! item     := agg '(' ('*' | expr) ')' [AS ident] | expr [AS ident]
+//! expr     := or_expr
+//! or_expr  := and_expr (OR and_expr)*
+//! and_expr := not_expr (AND not_expr)*
+//! not_expr := NOT not_expr | cmp_expr
+//! cmp_expr := add_expr [(cmpop add_expr | [NOT] LIKE strlit)]
+//! add_expr := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr := unary (('*'|'/') unary)*
+//! unary    := '-' unary | primary
+//! primary  := literal | predict '(' ('*' | ident) ')' | ident ['.' ident]
+//!           | '(' expr ')' | TRUE | FALSE | NULL
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, SqlError, Token};
+use crate::value::Value;
+
+/// Parse one SELECT statement.
+pub fn parse_select(input: &str) -> Result<SelectStmt, SqlError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SqlError> {
+        Err(SqlError { message: msg.into(), offset: self.offset() })
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {}, found {}", kw.to_uppercase(), self.peek()))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Token::Sym(s) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), SqlError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{sym}', found {}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("select")?;
+        let items = self.select_items()?;
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        let mut join_conds = Vec::new();
+        loop {
+            if self.eat_sym(",") {
+                from.push(self.table_ref()?);
+            } else if self.eat_kw("join") || (self.eat_kw("inner") && self.expect_kw("join").is_ok())
+            {
+                from.push(self.table_ref()?);
+                self.expect_kw("on")?;
+                join_conds.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_sym(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        Ok(SelectStmt { items, from, join_conds, where_clause, group_by })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.eat_sym("*") {
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        // Aggregate?
+        let func = match self.peek() {
+            t if t.is_kw("count") => Some(AggFunc::Count),
+            t if t.is_kw("sum") => Some(AggFunc::Sum),
+            t if t.is_kw("avg") => Some(AggFunc::Avg),
+            _ => None,
+        };
+        if let Some(func) = func {
+            // Only treat as an aggregate when followed by '('.
+            if matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Token::Sym("("))) {
+                self.bump(); // func name
+                self.expect_sym("(")?;
+                let expr = if self.eat_sym("*") {
+                    if func != AggFunc::Count {
+                        return self.err("only COUNT may take '*'");
+                    }
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_sym(")")?;
+                let alias = self.optional_alias()?;
+                return Ok(SelectItem::Agg { func, expr, alias });
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let name = self.ident()?;
+        // Optional alias: `AS ident` or a bare identifier that is not a
+        // clause keyword.
+        let alias = if self.eat_kw("as") {
+            self.ident()?
+        } else {
+            match self.peek() {
+                Token::Ident(s)
+                    if !matches!(
+                        s.as_str(),
+                        "where" | "group" | "join" | "inner" | "on" | "as"
+                    ) =>
+                {
+                    let a = s.clone();
+                    self.bump();
+                    a
+                }
+                _ => name.clone(),
+            }
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let first = self.and_expr()?;
+        if !self.peek().is_kw("or") {
+            return Ok(first);
+        }
+        let mut terms = vec![first];
+        while self.eat_kw("or") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(Expr::Or(terms))
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let first = self.not_expr()?;
+        if !self.peek().is_kw("and") {
+            return Ok(first);
+        }
+        let mut terms = vec![first];
+        while self.eat_kw("and") {
+            terms.push(self.not_expr()?);
+        }
+        Ok(Expr::And(terms))
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SqlError> {
+        let left = self.add_expr()?;
+        // [NOT] LIKE
+        let negated = if self.peek().is_kw("not") {
+            // Look ahead for LIKE; plain NOT belongs to not_expr and cannot
+            // appear after an operand, so this is unambiguous.
+            self.bump();
+            self.expect_kw("like")?;
+            true
+        } else if self.eat_kw("like") {
+            false
+        } else {
+            let op = match self.peek() {
+                Token::Sym("=") => Some(CmpOp::Eq),
+                Token::Sym("!=") | Token::Sym("<>") => Some(CmpOp::Ne),
+                Token::Sym("<") => Some(CmpOp::Lt),
+                Token::Sym("<=") => Some(CmpOp::Le),
+                Token::Sym(">") => Some(CmpOp::Gt),
+                Token::Sym(">=") => Some(CmpOp::Ge),
+                _ => None,
+            };
+            return match op {
+                Some(op) => {
+                    self.bump();
+                    let right = self.add_expr()?;
+                    Ok(Expr::Cmp { op, left: Box::new(left), right: Box::new(right) })
+                }
+                None => Ok(left),
+            };
+        };
+        match self.bump() {
+            Token::Str(pattern) => Ok(Expr::Like { expr: Box::new(left), pattern, negated }),
+            other => self.err(format!("LIKE expects a string literal, found {other}")),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym("+") => ArithOp::Add,
+                Token::Sym("-") => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym("*") => ArithOp::Mul,
+                Token::Sym("/") => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_sym("-") {
+            let inner = self.unary()?;
+            // Constant-fold negative literals for cleaner ASTs.
+            return Ok(match inner {
+                Expr::Literal(Value::Int(v)) => Expr::Literal(Value::Int(-v)),
+                Expr::Literal(Value::Float(v)) => Expr::Literal(Value::Float(-v)),
+                other => Expr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(Expr::Literal(Value::Int(0))),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Token::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Token::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Value::Bool(false))),
+                    "null" => return Ok(Expr::Literal(Value::Null)),
+                    "predict" => {
+                        self.expect_sym("(")?;
+                        let rel = if self.eat_sym("*") {
+                            None
+                        } else {
+                            let r = self.ident()?;
+                            // Allow predict(alias.*).
+                            if self.eat_sym(".") {
+                                self.expect_sym("*")?;
+                            }
+                            Some(r)
+                        };
+                        self.expect_sym(")")?;
+                        return Ok(Expr::Predict { rel });
+                    }
+                    _ => {}
+                }
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    Ok(Expr::Column { qualifier: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { qualifier: None, name })
+                }
+            }
+            other => self.err(format!("unexpected token {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_filter_query() {
+        // Q1 from the paper's Table 2.
+        let q = parse_select("SELECT COUNT(*) FROM dblp WHERE predict(*) = 1").unwrap();
+        assert!(q.is_aggregate());
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].alias, "dblp");
+        match q.where_clause.unwrap() {
+            Expr::Cmp { op: CmpOp::Eq, left, right } => {
+                assert_eq!(*left, Expr::Predict { rel: None });
+                assert_eq!(*right, Expr::Literal(Value::Int(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_like_and_conjunction() {
+        // Q2 shape.
+        let q = parse_select(
+            "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%http%'",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Expr::And(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(&terms[1], Expr::Like { negated: false, pattern, .. } if pattern == "%http%"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_join_with_predict_equality() {
+        // Q3 shape.
+        let q = parse_select(
+            "SELECT * FROM mnist l, mnist r WHERE predict(l) = predict(r)",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].alias, "l");
+        assert_eq!(q.from[1].alias, "r");
+        assert!(matches!(q.items[0], SelectItem::Star));
+    }
+
+    #[test]
+    fn parses_explicit_join_on() {
+        let q = parse_select(
+            "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id WHERE l.active = true",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.join_conds.len(), 1);
+    }
+
+    #[test]
+    fn parses_group_by_and_avg_predict() {
+        // Q6 shape.
+        let q = parse_select("SELECT AVG(predict(*)) FROM adult GROUP BY gender").unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        match &q.items[0] {
+            SelectItem::Agg { func: AggFunc::Avg, expr: Some(Expr::Predict { rel: None }), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_predict() {
+        // Q5 shape from Table 1.
+        let q = parse_select("SELECT COUNT(*) FROM r GROUP BY predict(*)").unwrap();
+        assert_eq!(q.group_by, vec![Expr::Predict { rel: None }]);
+    }
+
+    #[test]
+    fn parses_aliases_and_arithmetic() {
+        let q = parse_select("SELECT price * 2 AS doubled, name FROM items WHERE price >= 1.5")
+            .unwrap();
+        assert_eq!(q.items.len(), 2);
+        match &q.items[0] {
+            SelectItem::Expr { alias: Some(a), expr: Expr::Arith { op: ArithOp::Mul, .. } } => {
+                assert_eq!(a, "doubled")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_like_and_or() {
+        let q = parse_select(
+            "SELECT COUNT(*) FROM t WHERE a NOT LIKE '%x%' OR NOT b = 1 OR c != 2",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Or(terms) => assert_eq!(terms.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse_select("SELECT COUNT(*) FROM t WHERE a = -3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Cmp { right, .. } => assert_eq!(*right, Expr::Literal(Value::Int(-3))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_select("SELECT * FROM").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE").is_err());
+        assert!(parse_select("SELECT * FROM t extra garbage beyond").is_err());
+        assert!(parse_select("SELECT SUM(*) FROM t").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE a LIKE 5").is_err());
+    }
+
+    #[test]
+    fn predict_star_dot_syntax() {
+        let q = parse_select("SELECT COUNT(*) FROM u WHERE predict(u.*) = 0").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Cmp { left, .. } => assert_eq!(*left, Expr::Predict { rel: Some("u".into()) }),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Prediction variables: the bridge between the query and the model.
+//!
+//! Each distinct `(table, row)` a model inference touches during query
+//! execution is assigned one [`VarId`] — the paper's *prediction view*
+//! entry (Figure 2, step ①). The registry also caches the model's hard
+//! prediction for each variable so discrete evaluation is cheap, and
+//! remembers where the features came from so downstream crates can compute
+//! `∇θ p_c(x_var)` for every variable.
+//!
+//! Deduplication is by underlying table (not alias), so a self-join sees
+//! one variable per record — predicting the same record twice is the same
+//! random variable, as the paper's provenance semantics require.
+
+use crate::prov::VarId;
+use std::collections::HashMap;
+
+/// Where a prediction variable's features come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredVarInfo {
+    /// Catalog name of the base table.
+    pub table: String,
+    /// Row index within that table.
+    pub row: usize,
+}
+
+/// Registry of prediction variables created during one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct PredVarRegistry {
+    infos: Vec<PredVarInfo>,
+    map: HashMap<(String, usize), VarId>,
+    preds: Vec<usize>,
+}
+
+impl PredVarRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the variable for `(table, row)`; `hard_pred` supplies
+    /// the model's argmax prediction on first sight (a closure so callers
+    /// only run inference for genuinely new variables).
+    pub fn var_for(
+        &mut self,
+        table: &str,
+        row: usize,
+        hard_pred: impl FnOnce() -> usize,
+    ) -> VarId {
+        if let Some(&v) = self.map.get(&(table.to_string(), row)) {
+            return v;
+        }
+        let id = self.infos.len() as VarId;
+        self.infos.push(PredVarInfo { table: table.to_string(), row });
+        self.map.insert((table.to_string(), row), id);
+        self.preds.push(hard_pred());
+        id
+    }
+
+    /// Look up an existing variable without creating one.
+    pub fn lookup(&self, table: &str, row: usize) -> Option<VarId> {
+        self.map.get(&(table.to_string(), row)).copied()
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// True when no variables were created.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Hard (argmax) prediction per variable.
+    pub fn preds(&self) -> &[usize] {
+        &self.preds
+    }
+
+    /// Source info per variable.
+    pub fn infos(&self) -> &[PredVarInfo] {
+        &self.infos
+    }
+
+    /// Info for one variable.
+    pub fn info(&self, var: VarId) -> &PredVarInfo {
+        &self.infos[var as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_are_deduplicated_per_table_row() {
+        let mut reg = PredVarRegistry::new();
+        let mut calls = 0;
+        let a = reg.var_for("mnist", 3, || {
+            calls += 1;
+            7
+        });
+        let b = reg.var_for("mnist", 3, || {
+            calls += 1;
+            9
+        });
+        assert_eq!(a, b);
+        assert_eq!(calls, 1, "inference must run once per variable");
+        assert_eq!(reg.preds()[a as usize], 7);
+        let c = reg.var_for("mnist", 4, || 1);
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_create() {
+        let mut reg = PredVarRegistry::new();
+        assert_eq!(reg.lookup("t", 0), None);
+        let v = reg.var_for("t", 0, || 0);
+        assert_eq!(reg.lookup("t", 0), Some(v));
+        assert_eq!(reg.info(v), &PredVarInfo { table: "t".into(), row: 0 });
+    }
+
+    #[test]
+    fn distinct_tables_get_distinct_vars() {
+        let mut reg = PredVarRegistry::new();
+        let a = reg.var_for("left", 0, || 0);
+        let b = reg.var_for("right", 0, || 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Rendering ASTs back to SQL text.
+//!
+//! Primarily used by the property tests (parse → print → parse must be a
+//! fixpoint) and for diagnostics.
+
+use crate::ast::{AggFunc, ArithOp, Expr, SelectItem, SelectStmt};
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Render an expression to SQL text (fully parenthesized, so precedence
+/// never changes meaning on re-parse).
+pub fn expr_to_sql(e: &Expr) -> String {
+    match e {
+        Expr::Literal(Value::Null) => "NULL".into(),
+        Expr::Literal(Value::Bool(b)) => b.to_string().to_uppercase(),
+        Expr::Literal(Value::Int(v)) => v.to_string(),
+        Expr::Literal(Value::Float(v)) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Literal(Value::Str(s)) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Column { qualifier: Some(q), name } => format!("{q}.{name}"),
+        Expr::Column { qualifier: None, name } => name.clone(),
+        Expr::Predict { rel: Some(r) } => format!("predict({r})"),
+        Expr::Predict { rel: None } => "predict(*)".into(),
+        Expr::Not(inner) => format!("NOT ({})", expr_to_sql(inner)),
+        Expr::And(terms) => paren_join(terms, " AND "),
+        Expr::Or(terms) => paren_join(terms, " OR "),
+        Expr::Cmp { op, left, right } => {
+            format!("({}) {} ({})", expr_to_sql(left), op.as_str(), expr_to_sql(right))
+        }
+        Expr::Like { expr, pattern, negated } => format!(
+            "({}) {}LIKE '{}'",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            pattern.replace('\'', "''")
+        ),
+        Expr::Arith { op, left, right } => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            format!("({}) {} ({})", expr_to_sql(left), sym, expr_to_sql(right))
+        }
+    }
+}
+
+fn paren_join(terms: &[Expr], sep: &str) -> String {
+    let parts: Vec<String> = terms.iter().map(|t| format!("({})", expr_to_sql(t))).collect();
+    parts.join(sep)
+}
+
+/// Render a statement back to SQL text.
+pub fn stmt_to_sql(s: &SelectStmt) -> String {
+    let mut out = String::from("SELECT ");
+    let items: Vec<String> = s
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Star => "*".into(),
+            SelectItem::Expr { expr, alias } => {
+                let mut t = expr_to_sql(expr);
+                if let Some(a) = alias {
+                    let _ = write!(t, " AS {a}");
+                }
+                t
+            }
+            SelectItem::Agg { func, expr, alias } => {
+                let arg = match expr {
+                    None => "*".to_string(),
+                    Some(e) => expr_to_sql(e),
+                };
+                let mut t = format!("{}({arg})", func_name(*func));
+                if let Some(a) = alias {
+                    let _ = write!(t, " AS {a}");
+                }
+                t
+            }
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str(" FROM ");
+    let mut first = true;
+    let mut join_iter = s.join_conds.iter();
+    for (i, tr) in s.from.iter().enumerate() {
+        // Relations beyond the comma-list prefix came from explicit JOINs;
+        // we re-render everything as a comma list with the ON conditions
+        // folded into WHERE, which is semantically identical for inner
+        // joins. The exception: when join_conds exist, render as JOINs to
+        // preserve the original shape for as many trailing relations as
+        // there are conditions.
+        let n_joins = s.join_conds.len();
+        let is_join_rel = i >= s.from.len() - n_joins && i > 0;
+        if first {
+            first = false;
+        } else if is_join_rel {
+            out.push_str(" JOIN ");
+        } else {
+            out.push_str(", ");
+        }
+        out.push_str(&tr.name);
+        if tr.alias != tr.name {
+            let _ = write!(out, " {}", tr.alias);
+        }
+        if is_join_rel {
+            if let Some(cond) = join_iter.next() {
+                let _ = write!(out, " ON {}", expr_to_sql(cond));
+            }
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        let _ = write!(out, " WHERE {}", expr_to_sql(w));
+    }
+    if !s.group_by.is_empty() {
+        let keys: Vec<String> = s.group_by.iter().map(expr_to_sql).collect();
+        let _ = write!(out, " GROUP BY {}", keys.join(", "));
+    }
+    out
+}
+
+fn func_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Count => "COUNT",
+        AggFunc::Sum => "SUM",
+        AggFunc::Avg => "AVG",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+
+    fn roundtrip(sql: &str) {
+        let ast1 = parse_select(sql).unwrap();
+        let printed = stmt_to_sql(&ast1);
+        let ast2 = parse_select(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let printed2 = stmt_to_sql(&ast2);
+        assert_eq!(printed, printed2, "print→parse→print not a fixpoint for {sql}");
+    }
+
+    #[test]
+    fn roundtrips_paper_queries() {
+        for sql in [
+            "SELECT COUNT(*) FROM dblp WHERE predict(*) = 1",
+            "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%http%'",
+            "SELECT * FROM mnist l, mnist r WHERE predict(l) = predict(r)",
+            "SELECT COUNT(*) FROM l, r WHERE predict(l) = predict(r)",
+            "SELECT COUNT(*) FROM mnist WHERE predict(*) = 1",
+            "SELECT AVG(predict(*)) FROM adult GROUP BY gender",
+            "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id \
+             WHERE l.active AND predict(u) = 1",
+            "SELECT price * 2 AS dbl, name FROM items WHERE price >= 1.5 OR NOT sold",
+            "SELECT COUNT(*) FROM r GROUP BY predict(*)",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        roundtrip("SELECT COUNT(*) FROM t WHERE name = 'it''s' AND name NOT LIKE '%x%'");
+    }
+}

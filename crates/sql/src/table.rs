@@ -1,0 +1,358 @@
+//! Columnar tables with optional row-aligned feature matrices.
+//!
+//! A [`Table`] is a small columnar store: a [`Schema`] plus one [`Column`]
+//! per attribute. Tables that participate in model inference additionally
+//! carry a feature [`Matrix`] whose row `i` is the model input for tuple
+//! `i` — this is how `predict(alias)` resolves `alias.*` to a vector (the
+//! in-DBMS ML pattern from the paper's Figure 1).
+
+use crate::value::Value;
+use rain_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Column data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// Boolean column.
+    Bool,
+    /// 64-bit integer column.
+    Int,
+    /// 64-bit float column.
+    Float,
+    /// String column.
+    Str,
+}
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Attribute name (lowercase).
+    pub name: String,
+    /// Attribute type.
+    pub ty: ColType,
+}
+
+/// An ordered set of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    cols: Vec<ColumnDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(cols: &[(&str, ColType)]) -> Self {
+        let mut s = Schema::default();
+        for (name, ty) in cols {
+            s.push(name, *ty);
+        }
+        s
+    }
+
+    /// Append a column definition.
+    pub fn push(&mut self, name: &str, ty: ColType) {
+        let name = name.to_ascii_lowercase();
+        assert!(
+            self.by_name.insert(name.clone(), self.cols.len()).is_none(),
+            "duplicate column {name}"
+        );
+        self.cols.push(ColumnDef { name, ty });
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Column definition at `i`.
+    pub fn col(&self, i: usize) -> &ColumnDef {
+        &self.cols[i]
+    }
+
+    /// Iterate over column definitions.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &ColumnDef> {
+        self.cols.iter()
+    }
+}
+
+/// Typed column storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Boolean cells.
+    Bool(Vec<bool>),
+    /// Integer cells.
+    Int(Vec<i64>),
+    /// Float cells.
+    Float(Vec<f64>),
+    /// String cells.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Empty column of a type.
+    pub fn empty(ty: ColType) -> Self {
+        match ty {
+            ColType::Bool => Column::Bool(Vec::new()),
+            ColType::Int => Column::Int(Vec::new()),
+            ColType::Float => Column::Float(Vec::new()),
+            ColType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell at `i` as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Append a value (must match the column type).
+    ///
+    /// # Panics
+    /// Panics on a type mismatch.
+    pub fn push(&mut self, v: Value) {
+        match (self, v) {
+            (Column::Bool(c), Value::Bool(b)) => c.push(b),
+            (Column::Int(c), Value::Int(x)) => c.push(x),
+            (Column::Int(c), Value::Bool(b)) => c.push(b as i64),
+            (Column::Float(c), Value::Float(x)) => c.push(x),
+            (Column::Float(c), Value::Int(x)) => c.push(x as f64),
+            (Column::Str(c), Value::Str(s)) => c.push(s),
+            (c, v) => panic!("type mismatch pushing {v:?} into {:?} column", discriminant(c)),
+        }
+    }
+
+    /// The column's type.
+    pub fn ty(&self) -> ColType {
+        match self {
+            Column::Bool(_) => ColType::Bool,
+            Column::Int(_) => ColType::Int,
+            Column::Float(_) => ColType::Float,
+            Column::Str(_) => ColType::Str,
+        }
+    }
+}
+
+fn discriminant(c: &Column) -> ColType {
+    c.ty()
+}
+
+/// A columnar table, optionally with a row-aligned feature matrix.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+    features: Option<Matrix>,
+}
+
+impl Table {
+    /// Empty table over a schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema.iter().map(|c| Column::empty(c.ty)).collect();
+        Table { schema, columns, n_rows: 0, features: None }
+    }
+
+    /// Build a table from equal-length columns.
+    ///
+    /// # Panics
+    /// Panics if column counts/lengths or types disagree with the schema.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "Table: schema/column count mismatch");
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (def, col) in schema.iter().zip(&columns) {
+            assert_eq!(col.len(), n_rows, "Table: ragged column {}", def.name);
+            assert_eq!(col.ty(), def.ty, "Table: column {} type mismatch", def.name);
+        }
+        Table { schema, columns, n_rows, features: None }
+    }
+
+    /// Attach a feature matrix (one row per tuple).
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn with_features(mut self, features: Matrix) -> Self {
+        assert_eq!(features.rows(), self.n_rows, "features: row count mismatch");
+        self.features = Some(features);
+        self
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column at index `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Cell accessor.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Feature vector of a row, if the table carries features.
+    pub fn feature_row(&self, row: usize) -> Option<&[f64]> {
+        self.features.as_ref().map(|m| m.row(row))
+    }
+
+    /// The whole feature matrix, if present.
+    pub fn features(&self) -> Option<&Matrix> {
+        self.features.as_ref()
+    }
+
+    /// Append one row of values (and optionally a feature vector).
+    ///
+    /// # Panics
+    /// Panics if arity/types mismatch, or if `feat` presence disagrees with
+    /// whether the table carries features.
+    pub fn push_row(&mut self, row: Vec<Value>, feat: Option<&[f64]>) {
+        assert_eq!(row.len(), self.columns.len(), "push_row: arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        match (&mut self.features, feat) {
+            (Some(m), Some(f)) => {
+                assert_eq!(f.len(), m.cols(), "push_row: feature width mismatch");
+                *m = {
+                    let mut data = Vec::with_capacity((m.rows() + 1) * m.cols());
+                    data.extend_from_slice(m.as_slice());
+                    data.extend_from_slice(f);
+                    Matrix::from_vec(m.rows() + 1, m.cols(), data)
+                };
+            }
+            (None, None) => {}
+            (None, Some(f)) if self.n_rows == 0 => {
+                self.features = Some(Matrix::from_vec(1, f.len(), f.to_vec()));
+            }
+            _ => panic!("push_row: feature presence mismatch"),
+        }
+        self.n_rows += 1;
+    }
+
+    /// Render the table as tab-separated text with a header line.
+    pub fn to_tsv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let header: Vec<&str> = self.schema.iter().map(|c| c.name.as_str()).collect();
+        let _ = writeln!(out, "{}", header.join("\t"));
+        for r in 0..self.n_rows {
+            let row: Vec<String> = (0..self.columns.len())
+                .map(|c| self.value(r, c).to_string())
+                .collect();
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let schema = Schema::new(&[("id", ColType::Int), ("name", ColType::Str), ("active", ColType::Bool)]);
+        Table::from_columns(
+            schema,
+            vec![
+                Column::Int(vec![1, 2]),
+                Column::Str(vec!["ada".into(), "bob".into()]),
+                Column::Bool(vec![true, false]),
+            ],
+        )
+    }
+
+    #[test]
+    fn schema_lookup_is_case_insensitive() {
+        let t = people();
+        assert_eq!(t.schema().index_of("NAME"), Some(1));
+        assert_eq!(t.schema().index_of("missing"), None);
+    }
+
+    #[test]
+    fn value_access() {
+        let t = people();
+        assert_eq!(t.value(0, 1), Value::Str("ada".into()));
+        assert_eq!(t.value(1, 2), Value::Bool(false));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn push_row_grows_all_columns() {
+        let mut t = people();
+        t.push_row(vec![Value::Int(3), Value::Str("eve".into()), Value::Bool(true)], None);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.value(2, 0), Value::Int(3));
+    }
+
+    #[test]
+    fn features_are_row_aligned() {
+        let t = people().with_features(Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4]]));
+        assert_eq!(t.feature_row(1), Some(&[0.3, 0.4][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn feature_shape_is_checked() {
+        let _ = people().with_features(Matrix::from_rows(&[&[0.1]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged column")]
+    fn ragged_columns_rejected() {
+        let schema = Schema::new(&[("a", ColType::Int), ("b", ColType::Int)]);
+        Table::from_columns(schema, vec![Column::Int(vec![1]), Column::Int(vec![1, 2])]);
+    }
+
+    #[test]
+    fn int_column_accepts_bools() {
+        let mut c = Column::Int(vec![]);
+        c.push(Value::Bool(true));
+        assert_eq!(c.get(0), Value::Int(1));
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let t = people();
+        let tsv = t.to_tsv();
+        assert!(tsv.starts_with("id\tname\tactive\n"));
+        assert!(tsv.contains("1\tada\ttrue"));
+    }
+}

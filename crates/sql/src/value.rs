@@ -1,0 +1,165 @@
+//! Scalar values and the `LIKE` pattern matcher.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Numeric view (`Int`/`Float`/`Bool` coerce; others are `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (`Int`/`Bool` only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Truthiness (`Bool` or nonzero numeric).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            _ => false,
+        }
+    }
+
+    /// SQL three-valued-ish comparison; `None` for NULLs or mixed
+    /// incomparable types (e.g. string vs int).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// SQL `LIKE` matcher: `%` matches any run (including empty), `_` matches
+/// exactly one character. Matching is case-sensitive, as in standard SQL.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    // Iterative two-pointer algorithm with backtracking to the last `%`.
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn comparisons_across_numeric_types() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Str("a".into()).compare(&Value::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Str("1".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(Value::Int(5).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Str("yes".into()).is_truthy());
+    }
+
+    #[test]
+    fn like_contains() {
+        assert!(like_match("click http://x now", "%http%"));
+        assert!(!like_match("no links here", "%http%"));
+        assert!(like_match("http", "%http%"));
+    }
+
+    #[test]
+    fn like_anchors_and_wildcards() {
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello!", "hello"));
+        assert!(like_match("hello", "h%o"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%c"));
+    }
+
+    #[test]
+    fn like_backtracking_cases() {
+        assert!(like_match("aab", "%ab"));
+        assert!(like_match("axbxb", "a%b"));
+        assert!(!like_match("axbxc", "a%b"));
+        assert!(like_match("mississippi", "%iss%ppi"));
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end executor tests over all the paper's query shapes, plus the
+//! core invariants: (1) debug-mode and normal-mode results agree, and
+//! (2) discrete evaluation of captured provenance reproduces the concrete
+//! result exactly.
+
+use rain_linalg::Matrix;
+use rain_model::{Classifier, LogisticRegression, SoftmaxRegression};
+use rain_sql::table::{ColType, Column, Schema, Table};
+use rain_sql::{run_query, Database, ExecOptions, Probs, Value};
+
+/// Binary model: class 1 iff feature[0] > 0.
+fn step_model() -> LogisticRegression {
+    let mut m = LogisticRegression::new(1, 0.0);
+    m.set_params(&[50.0, 0.0]);
+    m
+}
+
+/// 10-class model over 10-D one-hot-ish features: predicts argmax feature.
+fn digit_model() -> SoftmaxRegression {
+    let mut m = SoftmaxRegression::new(10, 10, 0.0);
+    let mut params = vec![0.0; 11 * 10];
+    for j in 0..10 {
+        params[j * 10 + j] = 50.0;
+    }
+    m.set_params(&params);
+    m
+}
+
+fn onehot(c: usize) -> Vec<f64> {
+    let mut v = vec![0.0; 10];
+    v[c] = 1.0;
+    v
+}
+
+/// `emails(id, text, spamminess)` with 1-D features.
+fn enron_db() -> Database {
+    let texts = [
+        "buy now http://spam.example",
+        "meeting notes attached",
+        "great deal on http stocks",
+        "the deal is closed",
+        "lunch tomorrow",
+    ];
+    // features decide the class: rows 0, 2 are predicted spam (=1).
+    let feats = [1.0, -1.0, 1.0, -1.0, -1.0];
+    let schema = Schema::new(&[("id", ColType::Int), ("text", ColType::Str)]);
+    let table = Table::from_columns(
+        schema,
+        vec![
+            Column::Int((0..5).map(|i| i as i64).collect()),
+            Column::Str(texts.iter().map(|s| s.to_string()).collect()),
+        ],
+    )
+    .with_features(Matrix::from_rows(
+        &feats.iter().map(std::slice::from_ref).collect::<Vec<_>>(),
+    ));
+    let mut db = Database::new();
+    db.register("emails", table);
+    db
+}
+
+/// Two digit tables: `left` holds digits [1,1,2], `right` holds [7,1,9].
+fn digits_db() -> Database {
+    let mk = |classes: &[usize]| {
+        let rows: Vec<Vec<f64>> = classes.iter().map(|&c| onehot(c)).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Table::from_columns(
+            Schema::new(&[("id", ColType::Int)]),
+            vec![Column::Int((0..classes.len() as i64).collect())],
+        )
+        .with_features(Matrix::from_rows(&refs))
+    };
+    let mut db = Database::new();
+    db.register("left", mk(&[1, 1, 2]));
+    db.register("right", mk(&[7, 1, 9]));
+    db
+}
+
+#[test]
+fn q1_count_with_model_filter() {
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(&db, &model, "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        ExecOptions::default()).unwrap();
+    assert_eq!(out.scalar(), Some(Value::Int(2)));
+}
+
+#[test]
+fn q2_like_plus_model_filter() {
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 1 AND text LIKE '%http%'",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), Some(Value::Int(2)));
+    // Rows 1,3,4 fail predict; rows 1, 3 also mention no http. Candidate
+    // terms: only rows passing the concrete LIKE filter (0 and 2).
+    let cell = &out.agg_cells[0][0];
+    match cell {
+        rain_sql::CellProv::Sum(s) => assert_eq!(s.terms.len(), 2),
+        other => panic!("unexpected provenance {other:?}"),
+    }
+}
+
+#[test]
+fn debug_and_normal_results_agree() {
+    let db = enron_db();
+    let model = step_model();
+    for sql in [
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 0 AND text LIKE '%deal%'",
+        "SELECT id FROM emails WHERE predict(*) = 1",
+    ] {
+        let normal = run_query(&db, &model, sql, ExecOptions { debug: false }).unwrap();
+        let debug = run_query(&db, &model, sql, ExecOptions { debug: true }).unwrap();
+        assert_eq!(normal.table.to_tsv(), debug.table.to_tsv(), "query {sql}");
+    }
+}
+
+#[test]
+fn provenance_discrete_eval_reproduces_result() {
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(&db, &model, "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        ExecOptions { debug: true }).unwrap();
+    let cell = &out.agg_cells[0][0];
+    let count = cell.eval_discrete(out.predvars.preds());
+    assert_eq!(count, 2.0);
+    // Flipping one prediction changes the discrete count accordingly.
+    let mut preds = out.predvars.preds().to_vec();
+    let flip = (0..preds.len()).find(|&v| preds[v] == 0).unwrap();
+    preds[flip] = 1;
+    assert_eq!(cell.eval_discrete(&preds), 3.0);
+}
+
+#[test]
+fn q3_join_on_predictions() {
+    let db = digits_db();
+    let model = digit_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT * FROM left l, right r WHERE predict(l) = predict(r)",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    // left digits [1,1,2] × right digits [7,1,9]: matches are the two 1s
+    // on the left with the single 1 on the right.
+    assert_eq!(out.table.n_rows(), 2);
+    assert_eq!(out.row_prov.len(), 2);
+    // The provenance of each join row must mention exactly two variables.
+    let vars = out.row_prov[0].clone();
+    let mut set = std::collections::BTreeSet::new();
+    vars.collect_vars(&mut set);
+    assert_eq!(set.len(), 2);
+}
+
+#[test]
+fn q4_count_over_prediction_join() {
+    let db = digits_db();
+    let model = digit_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM left l, right r WHERE predict(l) = predict(r)",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), Some(Value::Int(2)));
+    // Debug mode keeps ALL 9 candidate pairs symbolically: fixing the
+    // complaint may require flipping pairs into the join.
+    match &out.agg_cells[0][0] {
+        rain_sql::CellProv::Sum(s) => assert_eq!(s.terms.len(), 9),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Relaxed evaluation at the model's own probabilities should be close
+    // to the discrete count (the model is near-deterministic).
+    let probs = probs_of(&out.predvars, &db, &model);
+    let relaxed = out.agg_cells[0][0].eval_relaxed(&probs);
+    assert!((relaxed - 2.0).abs() < 0.1, "relaxed {relaxed}");
+}
+
+#[test]
+fn q5_group_by_predict() {
+    let db = digits_db();
+    let model = digit_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM left GROUP BY predict(*)",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    // left digits [1,1,2] → group 1 has 2 members, group 2 has 1.
+    assert_eq!(out.table.n_rows(), 2);
+    assert_eq!(out.table.value(0, 0), Value::Int(1));
+    assert_eq!(out.table.value(0, 1), Value::Int(2));
+    assert_eq!(out.table.value(1, 0), Value::Int(2));
+    assert_eq!(out.table.value(1, 1), Value::Int(1));
+    // Each group's provenance covers all 3 candidate rows.
+    match &out.agg_cells[0][0] {
+        rain_sql::CellProv::Sum(s) => assert_eq!(s.terms.len(), 3),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn q6_avg_predict_group_by_column() {
+    // adult(gender, age) with features so predict = 1 iff feature > 0.
+    let schema = Schema::new(&[("gender", ColType::Str), ("age", ColType::Int)]);
+    let table = Table::from_columns(
+        schema,
+        vec![
+            Column::Str(vec!["m".into(), "m".into(), "f".into(), "f".into()]),
+            Column::Int(vec![40, 50, 40, 30]),
+        ],
+    )
+    .with_features(Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0], &[1.0]]));
+    let mut db = Database::new();
+    db.register("adult", table);
+    let model = step_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT AVG(predict(*)) AS income FROM adult GROUP BY gender",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    // groups sorted: f → (1+1)/2 = 1.0 ; m → (1+0)/2 = 0.5.
+    assert_eq!(out.table.value(0, 0), Value::Str("f".into()));
+    assert_eq!(out.table.value(0, 1), Value::Float(1.0));
+    assert_eq!(out.table.value(1, 1), Value::Float(0.5));
+    // AVG cells are ratios; discrete eval matches the table.
+    assert_eq!(out.agg_cells[1][0].eval_discrete(out.predvars.preds()), 0.5);
+}
+
+#[test]
+fn concrete_hash_join_with_model_filter() {
+    // Figure 1 shape: join users/logins on id, filter actives + churn.
+    let users = Table::from_columns(
+        Schema::new(&[("id", ColType::Int)]),
+        vec![Column::Int(vec![1, 2, 3])],
+    )
+    .with_features(Matrix::from_rows(&[&[1.0], &[1.0], &[-1.0]]));
+    let logins = Table::from_columns(
+        Schema::new(&[("id", ColType::Int), ("active_last_month", ColType::Bool)]),
+        vec![Column::Int(vec![1, 2, 3]), Column::Bool(vec![true, false, true])],
+    );
+    let mut db = Database::new();
+    db.register("users", users);
+    db.register("logins", logins);
+    let model = step_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id \
+         WHERE l.active_last_month AND predict(u) = 1",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    // user 1: active + churn ✓; user 2: inactive ✗ (pruned concretely);
+    // user 3: active but not churn (kept symbolically).
+    assert_eq!(out.scalar(), Some(Value::Int(1)));
+    match &out.agg_cells[0][0] {
+        rain_sql::CellProv::Sum(s) => assert_eq!(s.terms.len(), 2),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn predict_inequality_expands_to_class_set() {
+    let db = digits_db();
+    let model = digit_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM right WHERE predict(*) >= 7",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    // right digits [7,1,9] → two rows with class ≥ 7.
+    assert_eq!(out.scalar(), Some(Value::Int(2)));
+}
+
+#[test]
+fn projection_of_predict_and_expressions() {
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT id, predict(*) AS cls, id * 2 AS двa FROM emails WHERE id < 2",
+        ExecOptions::default(),
+    );
+    // Non-ASCII alias is a lexer error — use a sane one instead.
+    assert!(out.is_err());
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT id, predict(*) AS cls, id * 2 AS dbl FROM emails WHERE id < 2",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.table.n_rows(), 2);
+    assert_eq!(out.table.value(0, 1), Value::Int(1)); // row 0 predicted spam
+    assert_eq!(out.table.value(1, 2), Value::Int(2));
+}
+
+#[test]
+fn empty_global_aggregate_has_one_row() {
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails WHERE id > 100",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), Some(Value::Int(0)));
+}
+
+#[test]
+fn relaxed_count_gradient_points_toward_complaint() {
+    // For COUNT(predict=1)=X with X above the current count, increasing
+    // any variable's class-1 probability increases the relaxed count.
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(&db, &model, "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        ExecOptions { debug: true }).unwrap();
+    let probs = probs_of(&out.predvars, &db, &model);
+    let g = out.agg_cells[0][0].grad(&probs);
+    for gs in g.g.values() {
+        assert!(gs[1] > 0.0, "class-1 gradient must be positive");
+        assert_eq!(gs[0], 0.0, "class-0 prob does not appear in the formula");
+    }
+}
+
+/// Model probabilities for every prediction variable of an output.
+fn probs_of(
+    reg: &rain_sql::PredVarRegistry,
+    db: &Database,
+    model: &dyn Classifier,
+) -> Probs {
+    let p = reg
+        .infos()
+        .iter()
+        .map(|info| {
+            let t = db.table(&info.table).unwrap();
+            model.predict_proba(t.feature_row(info.row).unwrap())
+        })
+        .collect();
+    Probs { p }
+}

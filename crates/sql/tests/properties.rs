@@ -1,0 +1,124 @@
+//! Property tests for the provenance relaxation and the SQL printer.
+
+use proptest::prelude::*;
+use rain_sql::{parse_select, printer, AggSum, AggTerm, BoolProv, CellProv, Probs};
+
+/// Random boolean formulas over `n_vars` binary prediction variables.
+fn formula(n_vars: u32, depth: u32) -> impl Strategy<Value = BoolProv> {
+    let leaf = prop_oneof![
+        Just(BoolProv::Const(true)),
+        Just(BoolProv::Const(false)),
+        (0..n_vars, 0..2usize).prop_map(|(var, class)| BoolProv::PredIs { var, class }),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.negate()),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(BoolProv::and),
+            proptest::collection::vec(inner, 1..3).prop_map(BoolProv::or),
+        ]
+    })
+}
+
+fn probs(n_vars: usize) -> impl Strategy<Value = Probs> {
+    proptest::collection::vec(0.01f64..0.99, n_vars)
+        .prop_map(|ps| Probs { p: ps.into_iter().map(|p| vec![1.0 - p, p]).collect() })
+}
+
+proptest! {
+    /// At degenerate (0/1) probabilities the relaxation must agree with
+    /// the discrete semantics for ANY formula — relaxation is exact on
+    /// the boolean lattice corners.
+    #[test]
+    fn relaxation_exact_at_corners(f in formula(4, 4), bits in 0u32..16) {
+        let preds: Vec<usize> = (0..4).map(|i| ((bits >> i) & 1) as usize).collect();
+        let p = Probs {
+            p: preds.iter().map(|&c| {
+                let mut row = vec![0.0, 0.0];
+                row[c] = 1.0;
+                row
+            }).collect(),
+        };
+        prop_assert_eq!(f.eval_discrete(&preds) as u8 as f64, f.eval_relaxed(&p));
+    }
+
+    /// The relaxed value of any formula is a probability-like quantity.
+    #[test]
+    fn relaxation_stays_in_unit_interval(f in formula(4, 4), p in probs(4)) {
+        let v = f.eval_relaxed(&p);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "v = {v}");
+    }
+
+    /// Reverse-mode gradients of arbitrary formulas match central finite
+    /// differences.
+    #[test]
+    fn formula_gradients_match_fd(f in formula(3, 3), p in probs(3)) {
+        let cell = CellProv::Bool(f);
+        let g = cell.grad(&p);
+        let eps = 1e-6;
+        for var in 0..3u32 {
+            for class in 0..2usize {
+                let mut up = p.clone();
+                up.p[var as usize][class] += eps;
+                let mut dn = p.clone();
+                dn.p[var as usize][class] -= eps;
+                let fd = (cell.eval_relaxed(&up) - cell.eval_relaxed(&dn)) / (2.0 * eps);
+                let got = g.g.get(&var).map_or(0.0, |v| v[class]);
+                prop_assert!((fd - got).abs() < 1e-5,
+                    "var {var} class {class}: fd {fd} vs {got}");
+            }
+        }
+    }
+
+    /// For COUNT cells whose rows are single independent atoms, the
+    /// relaxation IS the exact expectation (read-once case of [29]):
+    /// Σ E[1(pred_i = c_i)] by linearity.
+    #[test]
+    fn count_relaxation_is_exact_expectation(
+        classes in proptest::collection::vec(0..2usize, 1..6),
+        p in probs(6),
+    ) {
+        let terms: Vec<(BoolProv, AggTerm)> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (BoolProv::PredIs { var: i as u32, class: c }, AggTerm::One))
+            .collect();
+        let cell = CellProv::Sum(AggSum { terms });
+        let expect: f64 = classes.iter().enumerate().map(|(i, &c)| p.p[i][c]).sum();
+        prop_assert!((cell.eval_relaxed(&p) - expect).abs() < 1e-12);
+    }
+
+    /// De Morgan holds exactly under the relaxation for disjoint-variable
+    /// operands: NOT(a AND b) == NOT a OR NOT b, because both sides reduce
+    /// to `1 - x·y` when a, b are independent.
+    #[test]
+    fn de_morgan_on_distinct_vars(p in probs(2)) {
+        let a = BoolProv::PredIs { var: 0, class: 1 };
+        let b = BoolProv::PredIs { var: 1, class: 1 };
+        let lhs = BoolProv::and(vec![a.clone(), b.clone()]).negate();
+        let rhs = BoolProv::or(vec![a.negate(), b.negate()]);
+        prop_assert!((lhs.eval_relaxed(&p) - rhs.eval_relaxed(&p)).abs() < 1e-12);
+    }
+
+    /// Printing then reparsing a parsed statement is a fixpoint for a
+    /// family of generated filter queries.
+    #[test]
+    fn printer_roundtrip_generated_filters(
+        col in "[a-c]",
+        v in -100i64..100,
+        like in "[a-z]{0,4}",
+        conj in proptest::bool::ANY,
+    ) {
+        let op = if v % 2 == 0 { "=" } else { "<=" };
+        let sql = if conj {
+            format!(
+                "SELECT COUNT(*) FROM t WHERE {col} {op} {v} AND name LIKE '%{like}%'"
+            )
+        } else {
+            format!("SELECT COUNT(*) FROM t WHERE {col} {op} {v} OR predict(*) = 1")
+        };
+        let ast1 = parse_select(&sql).unwrap();
+        let printed = printer::stmt_to_sql(&ast1);
+        let ast2 = parse_select(&printed).unwrap();
+        prop_assert_eq!(printed.clone(), printer::stmt_to_sql(&ast2));
+    }
+}

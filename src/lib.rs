@@ -1,0 +1,57 @@
+//! # Rain: complaint-driven training data debugging for Query 2.0
+//!
+//! This crate is the facade of a from-scratch Rust reproduction of
+//! *"Complaint-driven Training Data Debugging for Query 2.0"* (Wu, Flokas,
+//! Wu & Wang, SIGMOD 2020). It re-exports the workspace crates:
+//!
+//! - [`linalg`] — dense linear-algebra kernels and seeded RNG helpers.
+//! - [`model`] — differentiable classifiers (logistic / softmax / MLP),
+//!   analytic gradients and Hessian-vector products, L-BFGS training.
+//! - [`influence`] — influence-function engine (conjugate-gradient
+//!   `H⁻¹v`, record scoring).
+//! - [`sql`] — the Query 2.0 substrate: storage, SQL parser, SPJA executor,
+//!   provenance polynomials and their differentiable relaxation.
+//! - [`ilp`] — simplex + branch-and-bound 0/1 ILP solver and the Tseitin
+//!   linearization used by TwoStep.
+//! - [`data`] — synthetic workload generators mirroring the paper's four
+//!   datasets, with systematic label-corruption injection.
+//! - [`core`] — the Rain system itself: complaints, TwoStep, Holistic,
+//!   baselines, and the train–rank–fix driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rain::core::prelude::*;
+//! use rain::data::dblp::DblpConfig;
+//! use rain::data::flip_labels_where;
+//! use rain::model::LogisticRegression;
+//! use rain::sql::Database;
+//!
+//! // Generate an entity-resolution workload with systematic label noise:
+//! // half of the "match" training labels flipped to "non-match".
+//! let workload = DblpConfig::small().generate(7);
+//! let mut train = workload.train.clone();
+//! let truth = flip_labels_where(&mut train, |_, _, y| y == 1, 0.5, |_| 0, 7);
+//!
+//! // Ask Rain: "the COUNT of predicted matches should equal the clean count".
+//! let mut db = Database::new();
+//! db.register("pairs", workload.query_table());
+//! let session = DebugSession::new(db, train, Box::new(LogisticRegression::new(17, 0.01)))
+//!     .with_query(
+//!         QuerySpec::new("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1")
+//!             .with_complaint(Complaint::scalar_eq(workload.true_match_count() as f64)),
+//!     );
+//! let report = session
+//!     .run(Method::Holistic, &RunConfig::paper(truth.len().min(20)))
+//!     .unwrap();
+//! let recall = report.recall_curve(&truth);
+//! assert!(*recall.last().unwrap() > 0.0);
+//! ```
+
+pub use rain_core as core;
+pub use rain_data as data;
+pub use rain_ilp as ilp;
+pub use rain_influence as influence;
+pub use rain_linalg as linalg;
+pub use rain_model as model;
+pub use rain_sql as sql;
