@@ -1,10 +1,9 @@
 //! ILP substrate benches: LP relaxations, branch & bound on repair
 //! problems, and the bipartite vertex-cover presolve path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rain_bench::BenchGroup;
 use rain_ilp::{
-    hopcroft_karp, solve_ilp, solve_lp, BbConfig, BipartiteGraph, Constraint, IlpProblem,
-    Sense,
+    hopcroft_karp, solve_ilp, solve_lp, BbConfig, BipartiteGraph, Constraint, IlpProblem, Sense,
 };
 
 /// The Tiresias COUNT encoding at size `n`: flip costs ±1, Σt = n/2.
@@ -21,15 +20,15 @@ fn cardinality_problem(n: usize) -> IlpProblem {
     p
 }
 
-fn bench_ilp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ilp");
+fn bench_ilp() {
+    let mut g = BenchGroup::new("ilp", 20);
     for &n in &[20usize, 60, 120] {
         let p = cardinality_problem(n);
-        g.bench_with_input(BenchmarkId::new("lp_relaxation", n), &n, |b, _| {
-            b.iter(|| solve_lp(&p.objective, &p.constraints))
+        g.bench(&format!("lp_relaxation_{}", n), || {
+            solve_lp(&p.objective, &p.constraints)
         });
-        g.bench_with_input(BenchmarkId::new("branch_and_bound", n), &n, |b, _| {
-            b.iter(|| solve_ilp(&p, &BbConfig::default()))
+        g.bench(&format!("branch_and_bound_{}", n), || {
+            solve_ilp(&p, &BbConfig::default())
         });
     }
     for &n in &[100usize, 1000, 5000] {
@@ -40,16 +39,11 @@ fn bench_ilp(c: &mut Criterion) {
                 graph.add_edge(l, (l / 7) % (n / 4));
             }
         }
-        g.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &n, |b, _| {
-            b.iter(|| hopcroft_karp(&graph))
-        });
+        g.bench(&format!("hopcroft_karp_{}", n), || hopcroft_karp(&graph));
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ilp
+fn main() {
+    bench_ilp();
 }
-criterion_main!(benches);

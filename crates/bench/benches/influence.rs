@@ -2,7 +2,7 @@
 //! gradient inverse-HVP (the paper's "Rank" phase dominator), and
 //! per-record scoring at several training-set sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rain_bench::BenchGroup;
 use rain_influence::{inverse_hvp, score_records, InfluenceConfig};
 use rain_linalg::RainRng;
 use rain_model::{train_lbfgs, Classifier, Dataset, LogisticRegression};
@@ -22,32 +22,27 @@ fn blobs(n: usize, dim: usize, seed: u64) -> Dataset {
     Dataset::new(rain_linalg::Matrix::from_rows(&refs), labels, 2)
 }
 
-fn bench_influence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("influence");
+fn bench_influence() {
+    let mut g = BenchGroup::new("influence", 20);
     for &n in &[500usize, 2000, 8000] {
         let data = blobs(n, 20, 42);
         let mut model = LogisticRegression::new(20, 0.01);
         train_lbfgs(&mut model, &data, &Default::default());
         let mut rng = RainRng::seed_from_u64(7);
         let v = rng.normal_vec(model.n_params(), 1.0);
-        g.bench_with_input(BenchmarkId::new("hvp", n), &n, |b, _| {
-            b.iter(|| model.hvp(&data, &v))
-        });
+        g.bench(&format!("hvp_{}", n), || model.hvp(&data, &v));
         let cfg = InfluenceConfig::default();
-        g.bench_with_input(BenchmarkId::new("inverse_hvp_cg", n), &n, |b, _| {
-            b.iter(|| inverse_hvp(&model, &data, &v, &cfg))
+        g.bench(&format!("inverse_hvp_cg_{}", n), || {
+            inverse_hvp(&model, &data, &v, &cfg)
         });
         let s = inverse_hvp(&model, &data, &v, &cfg).x;
-        g.bench_with_input(BenchmarkId::new("score_records_4t", n), &n, |b, _| {
-            b.iter(|| score_records(&model, &data, &s, 4))
+        g.bench(&format!("score_records_4t_{}", n), || {
+            score_records(&model, &data, &s, 4)
         });
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_influence
+fn main() {
+    bench_influence();
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! iteration, split by phase (train / encode / rank), for Loss, TwoStep,
 //! and Holistic on the DBLP workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rain_bench::BenchGroup;
 use rain_core::prelude::*;
 use rain_core::rank::{rank, Method as M, RankContext};
 use rain_data::dblp::DblpConfig;
@@ -19,7 +19,12 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let w = DblpConfig { n_train: 1000, n_query: 500, ..Default::default() }.generate(42);
+    let w = DblpConfig {
+        n_train: 1000,
+        n_query: 500,
+        ..Default::default()
+    }
+    .generate(42);
     let mut train = w.train.clone();
     flip_labels_where(&mut train, |_, _, y| y == 1, 0.5, |_| 0, 42);
     let mut db = Database::new();
@@ -28,51 +33,53 @@ fn fixture() -> Fixture {
     train_lbfgs(&mut model, &train, &LbfgsConfig::default());
     let sql = "SELECT COUNT(*) FROM dblp WHERE predict(*) = 1";
     let out = run_query(&db, &model, sql, ExecOptions { debug: true }).unwrap();
-    let queries = vec![QuerySpec::new(sql)
-        .with_complaint(Complaint::scalar_eq(w.true_match_count() as f64))];
-    Fixture { db, train, model, queries, out }
+    let queries =
+        vec![QuerySpec::new(sql).with_complaint(Complaint::scalar_eq(w.true_match_count() as f64))];
+    Fixture {
+        db,
+        train,
+        model,
+        queries,
+        out,
+    }
 }
 
-fn bench_iteration(c: &mut Criterion) {
+fn bench_iteration() {
     let f = fixture();
-    let mut g = c.benchmark_group("iteration_phase");
+    let mut g = BenchGroup::new("iteration_phase", 10);
 
-    g.bench_function("train_warm", |b| {
-        b.iter(|| {
-            let mut m = f.model.clone();
-            train_lbfgs(&mut m, &f.train, &LbfgsConfig::warm())
-        })
+    g.bench("train_warm", || {
+        let mut m = f.model.clone();
+        train_lbfgs(&mut m, &f.train, &LbfgsConfig::warm())
     });
-    g.bench_function("exec_debug_mode", |b| {
-        b.iter(|| {
-            run_query(&f.db, &f.model, &f.queries[0].sql, ExecOptions { debug: true })
-                .unwrap()
-        })
+    g.bench("exec_debug_mode", || {
+        run_query(
+            &f.db,
+            &f.model,
+            &f.queries[0].sql,
+            ExecOptions { debug: true },
+        )
+        .unwrap()
     });
     for method in [M::Loss, M::TwoStep, M::Holistic] {
-        g.bench_function(format!("rank_{}", method.name()), |b| {
-            let influence = Default::default();
-            let sqlstep = Default::default();
-            b.iter(|| {
-                let ctx = RankContext {
-                    db: &f.db,
-                    model: &f.model,
-                    train: &f.train,
-                    outputs: std::slice::from_ref(&f.out),
-                    queries: &f.queries,
-                    influence: &influence,
-                    sqlstep: &sqlstep,
-                };
-                rank(method, &ctx).unwrap()
-            })
+        let influence = Default::default();
+        let sqlstep = Default::default();
+        g.bench(&format!("rank_{}", method.name()), || {
+            let ctx = RankContext {
+                db: &f.db,
+                model: &f.model,
+                train: &f.train,
+                outputs: std::slice::from_ref(&f.out),
+                queries: &f.queries,
+                influence: &influence,
+                sqlstep: &sqlstep,
+            };
+            rank(method, &ctx).unwrap()
         });
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_iteration
+fn main() {
+    bench_iteration();
 }
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Relaxed-provenance benches: evaluating and differentiating the
 //! polynomials Holistic builds, at COUNT-over-join scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rain_bench::BenchGroup;
 use rain_linalg::RainRng;
 use rain_sql::{AggSum, AggTerm, BoolProv, CellProv, Probs};
 
@@ -11,7 +11,10 @@ fn join_count_cell(n_left: usize, n_right: usize) -> (CellProv, Probs) {
     for l in 0..n_left {
         for r in 0..n_right {
             terms.push((
-                BoolProv::PredEq { left: l as u32, right: (n_left + r) as u32 },
+                BoolProv::PredEq {
+                    left: l as u32,
+                    right: (n_left + r) as u32,
+                },
                 AggTerm::One,
             ));
         }
@@ -30,23 +33,18 @@ fn join_count_cell(n_left: usize, n_right: usize) -> (CellProv, Probs) {
     (CellProv::Sum(AggSum { terms }), Probs { p })
 }
 
-fn bench_relax(c: &mut Criterion) {
-    let mut g = c.benchmark_group("relax");
+fn bench_relax() {
+    let mut g = BenchGroup::new("relax", 15);
     for &side in &[30usize, 100, 250] {
         let (cell, probs) = join_count_cell(side, side);
-        g.bench_with_input(BenchmarkId::new("eval_relaxed", side * side), &side, |b, _| {
-            b.iter(|| cell.eval_relaxed(&probs))
+        g.bench(&format!("eval_relaxed_{}", side * side), || {
+            cell.eval_relaxed(&probs)
         });
-        g.bench_with_input(BenchmarkId::new("grad", side * side), &side, |b, _| {
-            b.iter(|| cell.grad(&probs))
-        });
+        g.bench(&format!("grad_{}", side * side), || cell.grad(&probs));
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_relax
+fn main() {
+    bench_relax();
 }
-criterion_main!(benches);

@@ -1,14 +1,24 @@
-//! Query-execution benches: normal vs debug (provenance) mode, for a
+//! Query-execution benches: normal vs debug (provenance) mode for a
 //! filter query and a prediction join — the overhead the paper's "debug
-//! mode" re-execution (§5.1) pays for lineage.
+//! mode" re-execution (§5.1) pays for lineage — plus the optimizer's
+//! headline comparison: naive vs optimized plans on the DBLP join
+//! workload, where predicate pushdown prunes the hash-join build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rain_bench::BenchGroup;
 use rain_data::digits::DigitsConfig;
-use rain_model::{train_lbfgs, SoftmaxRegression};
-use rain_sql::{run_query, Database, ExecOptions};
+use rain_data::{dblp::DblpConfig, tables::dataset_to_table};
+use rain_model::{train_lbfgs, LogisticRegression, SoftmaxRegression};
+use rain_sql::table::Column;
+use rain_sql::{
+    bind, execute, optimize, parse_select, run_query, Database, ExecOptions, QueryPlan,
+};
 
-fn bench_exec(c: &mut Criterion) {
-    let w = DigitsConfig { n_train: 400, n_query: 400 }.generate(42);
+fn bench_exec() {
+    let w = DigitsConfig {
+        n_train: 400,
+        n_query: 400,
+    }
+    .generate(42);
     let mut model = SoftmaxRegression::new(
         rain_data::digits::N_PIXELS,
         rain_data::digits::N_CLASSES,
@@ -21,22 +31,83 @@ fn bench_exec(c: &mut Criterion) {
     db.register("left", w.query_table_for(&[1, 2, 3], 60));
     db.register("right", w.query_table_for(&[7, 8, 9], 60));
 
-    let mut g = c.benchmark_group("sql_exec");
+    let mut g = BenchGroup::new("sql_exec", 20);
     let filter = "SELECT COUNT(*) FROM mnist WHERE predict(*) = 1";
     let join = "SELECT COUNT(*) FROM left l, right r WHERE predict(l) = predict(r)";
     for (name, sql) in [("filter", filter), ("pred_join", join)] {
         for (mode, debug) in [("normal", false), ("debug", true)] {
-            g.bench_function(format!("{name}_{mode}"), |b| {
-                b.iter(|| run_query(&db, &model, sql, ExecOptions { debug }).unwrap())
+            g.bench(&format!("{name}_{mode}"), || {
+                run_query(&db, &model, sql, ExecOptions { debug }).unwrap()
             });
         }
     }
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_exec
+/// Naive vs optimized plans on a DBLP self-join with a pushable filter:
+/// the optimizer moves `b.bucket < k` into b's scan, shrinking the hash
+/// build and the joined tuple stream before the model predicate runs.
+fn bench_optimizer_vs_naive() {
+    let w = DblpConfig {
+        n_train: 400,
+        n_query: 600,
+        ..Default::default()
+    }
+    .generate(42);
+    let mut model = LogisticRegression::new(17, 0.01);
+    train_lbfgs(&mut model, &w.train, &Default::default());
+
+    // The queried pairs, duplicated into two relations; `bucket` gives the
+    // filter something selective to push down.
+    let n = w.query.len();
+    let bucket = Column::Int((0..n as i64).map(|i| i % 10).collect());
+    let mut db = Database::new();
+    db.register(
+        "pairs_a",
+        dataset_to_table(&w.query, vec![("bucket", bucket.clone())]),
+    );
+    db.register(
+        "pairs_b",
+        dataset_to_table(&w.query, vec![("bucket", bucket)]),
+    );
+
+    let sql = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
+               WHERE a.id = b.id AND b.bucket < 2 AND predict(a) = 1";
+    let stmt = parse_select(sql).unwrap();
+    let bound = bind(&stmt, &db).unwrap();
+    let naive = QueryPlan::naive(bound.clone(), &db);
+    let optimized = optimize(bound, &db);
+
+    // Both plans must agree before we time them.
+    let a = execute(&db, &model, &naive, ExecOptions { debug: true }).unwrap();
+    let b = execute(&db, &model, &optimized, ExecOptions { debug: true }).unwrap();
+    assert_eq!(a.table.to_tsv(), b.table.to_tsv(), "plans disagree");
+
+    let mut g = BenchGroup::new("dblp_join_plans", 20);
+    for (mode, debug) in [("normal", false), ("debug", true)] {
+        g.bench(&format!("naive_{mode}"), || {
+            execute(&db, &model, &naive, ExecOptions { debug }).unwrap()
+        });
+        g.bench(&format!("optimized_{mode}"), || {
+            execute(&db, &model, &optimized, ExecOptions { debug }).unwrap()
+        });
+    }
+    g.finish();
+    for mode in ["normal", "debug"] {
+        let (n, o) = (
+            g.median_secs(&format!("naive_{mode}")).unwrap(),
+            g.median_secs(&format!("optimized_{mode}")).unwrap(),
+        );
+        println!(
+            "speedup_{mode}: {:.2}x (naive {:.3} ms → optimized {:.3} ms)",
+            n / o,
+            n * 1e3,
+            o * 1e3
+        );
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_exec();
+    bench_optimizer_vs_naive();
+}

@@ -1,4 +1,7 @@
 //! Figure 10: misspecified complaints.
 fn main() {
-    print!("{}", rain_bench::experiments::mnist::fig10(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::mnist::fig10(rain_bench::is_quick())
+    );
 }

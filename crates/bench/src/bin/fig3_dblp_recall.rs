@@ -1,4 +1,7 @@
 //! Figure 3: DBLP recall curves by corruption rate.
 fn main() {
-    print!("{}", rain_bench::experiments::dblp::fig3(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::dblp::fig3(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 4: querying-set F1 vs corruption rate.
 fn main() {
-    print!("{}", rain_bench::experiments::dblp::fig4(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::dblp::fig4(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 5: per-iteration runtime breakdown.
 fn main() {
-    print!("{}", rain_bench::experiments::dblp::fig5(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::dblp::fig5(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Section 6.3: overlapping-join mix-rate experiment.
 fn main() {
-    print!("{}", rain_bench::experiments::mnist::fig6_mix(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::mnist::fig6_mix(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 6(c,d): MNIST COUNT-over-join complaint.
 fn main() {
-    print!("{}", rain_bench::experiments::mnist::fig6cd(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::mnist::fig6cd(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 6(a,b): MNIST join tuple complaints.
 fn main() {
-    print!("{}", rain_bench::experiments::mnist::fig6ab(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::mnist::fig6ab(rain_bench::is_quick())
+    );
 }

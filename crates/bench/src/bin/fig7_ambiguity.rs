@@ -1,4 +1,7 @@
 //! Figure 7: ambiguity sweep.
 fn main() {
-    print!("{}", rain_bench::experiments::mnist::fig7(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::mnist::fig7(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 8: multi-query complaints on Adult.
 fn main() {
-    print!("{}", rain_bench::experiments::adult::fig8(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::adult::fig8(rain_bench::is_quick())
+    );
 }

@@ -1,4 +1,7 @@
 //! Figure 9: aggregate vs point complaints.
 fn main() {
-    print!("{}", rain_bench::experiments::mnist::fig9(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::mnist::fig9(rain_bench::is_quick())
+    );
 }

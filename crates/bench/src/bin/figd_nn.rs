@@ -1,4 +1,7 @@
 //! Appendix D: neural-network debugging.
 fn main() {
-    print!("{}", rain_bench::experiments::nn::figd(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::nn::figd(rain_bench::is_quick())
+    );
 }

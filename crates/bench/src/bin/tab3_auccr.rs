@@ -1,4 +1,7 @@
 //! Table 3: AUCCR on DBLP and ENRON.
 fn main() {
-    print!("{}", rain_bench::experiments::dblp::tab3(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::dblp::tab3(rain_bench::is_quick())
+    );
 }

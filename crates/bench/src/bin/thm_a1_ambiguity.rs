@@ -1,4 +1,7 @@
 //! Theorem A.1 empirical demonstration.
 fn main() {
-    print!("{}", rain_bench::experiments::theory::thm_a1(rain_bench::is_quick()));
+    print!(
+        "{}",
+        rain_bench::experiments::theory::thm_a1(rain_bench::is_quick())
+    );
 }

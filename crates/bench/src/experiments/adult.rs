@@ -19,7 +19,11 @@ pub fn fig8(quick: bool) -> String {
     tsv.header(&["corruption", "complaints", "method", "auccr"]);
     let rates: &[f64] = if quick { &[0.5] } else { &[0.3, 0.5] };
     for &rate in rates {
-        let cfg = if quick { AdultConfig::small() } else { AdultConfig::default() };
+        let cfg = if quick {
+            AdultConfig::small()
+        } else {
+            AdultConfig::default()
+        };
         let w = cfg.generate(42);
         let mut train = w.train.clone();
         let pred = w.corruption_predicate();
@@ -36,8 +40,7 @@ pub fn fig8(quick: bool) -> String {
         let mut clean_model = LogisticRegression::new(N_FEATURES, 0.01);
         rain_model::train_lbfgs(&mut clean_model, &w.train, &Default::default());
         let out6 = run_query(&db, &clean_model, Q6, ExecOptions::default()).expect("Q6");
-        let male_row =
-            find_group_row(&out6, &Value::Str("male".into())).expect("male group");
+        let male_row = find_group_row(&out6, &Value::Str("male".into())).expect("male group");
         let male_avg = match out6.table.value(male_row, 1) {
             Value::Float(v) => v,
             other => panic!("unexpected {other:?}"),
@@ -49,10 +52,10 @@ pub fn fig8(quick: bool) -> String {
             other => panic!("unexpected {other:?}"),
         };
 
-        let gender_query = QuerySpec::new(Q6)
-            .with_complaint(Complaint::value_eq(male_row, 0, male_avg));
-        let age_query = QuerySpec::new(Q7)
-            .with_complaint(Complaint::value_eq(forties_row, 0, forties_avg));
+        let gender_query =
+            QuerySpec::new(Q6).with_complaint(Complaint::value_eq(male_row, 0, male_avg));
+        let age_query =
+            QuerySpec::new(Q7).with_complaint(Complaint::value_eq(forties_row, 0, forties_avg));
 
         let variants: Vec<(&str, Vec<QuerySpec>)> = vec![
             ("gender", vec![gender_query.clone()]),
@@ -67,7 +70,11 @@ pub fn fig8(quick: bool) -> String {
                     Box::new(LogisticRegression::new(N_FEATURES, 0.01)),
                 );
                 sess.queries = queries.clone();
-                let budget = if quick { truth.len().min(20) } else { truth.len() };
+                let budget = if quick {
+                    truth.len().min(20)
+                } else {
+                    truth.len()
+                };
                 let (auc, _, report) = run_method(&sess, method, &truth, budget);
                 let status = report.failure.clone().unwrap_or_default();
                 tsv.row(&[f3(rate), label.into(), method.name().into(), f3(auc)]);

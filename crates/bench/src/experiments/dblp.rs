@@ -11,19 +11,27 @@ use rain_model::{f1_score, train_lbfgs, LbfgsConfig, LogisticRegression};
 /// Figure 3: recall curves on DBLP for corruption rates 30/50/70% of the
 /// match labels, for all four methods.
 pub fn fig3(quick: bool) -> String {
-    let mut tsv = Tsv::new(
-        "Figure 3: DBLP recall curves by corruption rate (grey = perfect recall)",
-    );
+    let mut tsv =
+        Tsv::new("Figure 3: DBLP recall curves by corruption rate (grey = perfect recall)");
     tsv.header(&["corruption", "method", "k", "recall"]);
     let methods: &[Method] = if quick {
         &[Method::Loss, Method::TwoStep, Method::Holistic]
     } else {
-        &[Method::Loss, Method::InfLoss, Method::TwoStep, Method::Holistic]
+        &[
+            Method::Loss,
+            Method::InfLoss,
+            Method::TwoStep,
+            Method::Holistic,
+        ]
     };
     for &rate in &[0.3, 0.5, 0.7] {
         for &method in methods {
             let (sess, truth) = setups::dblp(rate, 42, quick);
-            let budget = if quick { truth.len().min(30) } else { truth.len() };
+            let budget = if quick {
+                truth.len().min(30)
+            } else {
+                truth.len()
+            };
             let (_, curve, _) = run_method(&sess, method, &truth, budget);
             for (k, r) in sample_curve(&curve, 20) {
                 tsv.row(&[f3(rate), method.name().into(), k.to_string(), f3(r)]);
@@ -37,7 +45,11 @@ pub fn fig3(quick: bool) -> String {
 pub fn fig4(quick: bool) -> String {
     let mut tsv = Tsv::new("Figure 4: F1 on the querying set vs corruption rate (DBLP)");
     tsv.header(&["corruption", "f1"]);
-    let cfg = if quick { DblpConfig::small() } else { DblpConfig::default() };
+    let cfg = if quick {
+        DblpConfig::small()
+    } else {
+        DblpConfig::default()
+    };
     let w = cfg.generate(42);
     for pct in (0..=9).map(|p| p as f64 / 10.0) {
         let mut train = w.train.clone();
@@ -52,19 +64,30 @@ pub fn fig4(quick: bool) -> String {
 /// Figure 5: per-iteration runtime breakdown (Train / Encode / Rank) on
 /// DBLP at 50% corruption.
 pub fn fig5(quick: bool) -> String {
-    let mut tsv =
-        Tsv::new("Figure 5: per-iteration runtime (seconds) on DBLP, 50% corruption");
+    let mut tsv = Tsv::new("Figure 5: per-iteration runtime (seconds) on DBLP, 50% corruption");
     tsv.header(&["method", "train_s", "encode_s", "rank_s", "total_s"]);
-    let methods: &[Method] =
-        &[Method::Loss, Method::InfLoss, Method::TwoStep, Method::Holistic];
+    let methods: &[Method] = &[
+        Method::Loss,
+        Method::InfLoss,
+        Method::TwoStep,
+        Method::Holistic,
+    ];
     for &method in methods {
         let (sess, _truth) = setups::dblp(0.5, 42, quick);
         // A few iterations are enough to measure steady-state timing.
-        let iters = if method == Method::InfLoss && quick { 1 } else { 3 };
+        let iters = if method == Method::InfLoss && quick {
+            1
+        } else {
+            3
+        };
         let report = sess
             .run(
                 method,
-                &RunConfig { k_per_iter: 10, budget: 10 * iters, stop_when_satisfied: false },
+                &RunConfig {
+                    k_per_iter: 10,
+                    budget: 10 * iters,
+                    stop_when_satisfied: false,
+                },
             )
             .expect("run");
         let (t, e, r) = report.mean_timings();
@@ -79,8 +102,12 @@ pub fn tab3(quick: bool) -> String {
     let mut tsv = Tsv::new("Table 3: AUCCR for DBLP medium corruption and ENRON rules");
     tsv.comment("InfLoss on Enron is budget-capped (the paper reports it took 2 days)");
     tsv.header(&["dataset", "method", "auccr"]);
-    let methods: &[Method] =
-        &[Method::InfLoss, Method::Loss, Method::TwoStep, Method::Holistic];
+    let methods: &[Method] = &[
+        Method::InfLoss,
+        Method::Loss,
+        Method::TwoStep,
+        Method::Holistic,
+    ];
 
     // DBLP, 50% corruption.
     for &method in methods {
@@ -88,19 +115,34 @@ pub fn tab3(quick: bool) -> String {
             continue;
         }
         let (sess, truth) = setups::dblp(0.5, 42, quick);
-        let budget = if quick { truth.len().min(30) } else { truth.len() };
+        let budget = if quick {
+            truth.len().min(30)
+        } else {
+            truth.len()
+        };
         let (auc, _, _) = run_method(&sess, method, &truth, budget);
         tsv.row(&["DBLP".into(), method.name().into(), f3(auc)]);
     }
     // Enron rules.
-    for (label, word) in [("ENRON '%http%'", enron::HTTP), ("ENRON '%deal%'", enron::DEAL)] {
+    for (label, word) in [
+        ("ENRON '%http%'", enron::HTTP),
+        ("ENRON '%deal%'", enron::DEAL),
+    ] {
         for &method in methods {
             if quick && method == Method::InfLoss {
                 continue;
             }
             let (sess, truth) = setups::enron(word, 42, quick);
-            let cap = if method == Method::InfLoss { 60 } else { truth.len() };
-            let budget = if quick { truth.len().min(20) } else { truth.len().min(cap) };
+            let cap = if method == Method::InfLoss {
+                60
+            } else {
+                truth.len()
+            };
+            let budget = if quick {
+                truth.len().min(20)
+            } else {
+                truth.len().min(cap)
+            };
             let (auc, _, _) = run_method(&sess, method, &truth, budget);
             tsv.row(&[label.into(), method.name().into(), f3(auc)]);
         }

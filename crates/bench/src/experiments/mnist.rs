@@ -19,11 +19,7 @@ fn truth_digit(w: &DigitsWorkload, table: &rain_sql::table::Table, row: usize) -
 /// The Q3 join session: `left` = query 1s, `right` = query 7s, with
 /// lineage-anchored tuple complaints for join rows where exactly one side
 /// is mispredicted (§6.3's complaint generation).
-fn q3_session(
-    rate: f64,
-    seed: u64,
-    quick: bool,
-) -> (DebugSession, Vec<usize>, usize) {
+fn q3_session(rate: f64, seed: u64, quick: bool) -> (DebugSession, Vec<usize>, usize) {
     let (w, train, truth) = corrupted_digits(rate, seed, quick);
     let limit = if quick { 40 } else { 120 };
     let left = w.query_table_for(&[1], limit);
@@ -32,21 +28,24 @@ fn q3_session(
     db.register("left", left);
     db.register("right", right);
     let sql = "SELECT * FROM left l, right r WHERE predict(l) = predict(r)";
-    let base = DebugSession::new(db, train, digit_model())
-        .with_query(QuerySpec::new(sql));
+    let base = DebugSession::new(db, train, digit_model()).with_query(QuerySpec::new(sql));
     // Derive complaints from the first corrupted execution.
     let out = first_output(&base);
     let mut complaints = Vec::new();
     for prov in &out.row_prov {
-        let rain_sql::BoolProv::PredEq { left: lv, right: rv } = prov else { continue };
+        let rain_sql::BoolProv::PredEq {
+            left: lv,
+            right: rv,
+        } = prov
+        else {
+            continue;
+        };
         let li = out.predvars.info(*lv).clone();
         let ri = out.predvars.info(*rv).clone();
         let ltable = base.db.table(&li.table).unwrap();
         let rtable = base.db.table(&ri.table).unwrap();
-        let l_ok =
-            out.predvars.preds()[*lv as usize] == truth_digit(&w, ltable, li.row);
-        let r_ok =
-            out.predvars.preds()[*rv as usize] == truth_digit(&w, rtable, ri.row);
+        let l_ok = out.predvars.preds()[*lv as usize] == truth_digit(&w, ltable, li.row);
+        let r_ok = out.predvars.preds()[*rv as usize] == truth_digit(&w, rtable, ri.row);
         if l_ok != r_ok {
             complaints.push(Complaint::join_delete(&li.table, li.row, &ri.table, ri.row));
         }
@@ -61,11 +60,22 @@ fn q3_session(
 /// corruption and AUCCR across corruption rates.
 pub fn fig6ab(quick: bool) -> String {
     let mut tsv = Tsv::new("Figure 6(a,b): MNIST Q3 join, tuple complaints on join rows");
-    tsv.header(&["corruption", "method", "n_complaints", "k", "recall", "auccr"]);
+    tsv.header(&[
+        "corruption",
+        "method",
+        "n_complaints",
+        "k",
+        "recall",
+        "auccr",
+    ]);
     for &rate in &[0.3, 0.5, 0.7] {
         for method in [Method::Loss, Method::TwoStep, Method::Holistic] {
             let (sess, truth, nc) = q3_session(rate, 42, quick);
-            let budget = if quick { truth.len().min(20) } else { truth.len() };
+            let budget = if quick {
+                truth.len().min(20)
+            } else {
+                truth.len()
+            };
             let (auc, curve, _) = run_method(&sess, method, &truth, budget);
             for (k, r) in sample_curve(&curve, 10) {
                 tsv.row(&[
@@ -105,13 +115,23 @@ pub fn fig6cd(quick: bool) -> String {
     for &rate in &[0.3, 0.5, 0.7] {
         for method in [Method::Loss, Method::TwoStep, Method::Holistic] {
             let (sess, truth) = q4_session(rate, 42, quick);
-            let budget = if quick { truth.len().min(20) } else { truth.len() };
+            let budget = if quick {
+                truth.len().min(20)
+            } else {
+                truth.len()
+            };
             let (auc, curve, report) = run_method(&sess, method, &truth, budget);
             if let Some(f) = &report.failure {
                 tsv.comment(&format!("{} at rate {rate}: {f}", method.name()));
             }
             for (k, r) in sample_curve(&curve, 10) {
-                tsv.row(&[f3(rate), method.name().into(), k.to_string(), f3(r), f3(auc)]);
+                tsv.row(&[
+                    f3(rate),
+                    method.name().into(),
+                    k.to_string(),
+                    f3(r),
+                    f3(auc),
+                ]);
             }
         }
     }
@@ -128,12 +148,13 @@ pub fn fig6_mix(quick: bool) -> String {
     for &mix in &[0.05, 0.25, 0.35] {
         let (w, train, truth) = corrupted_digits(0.5, 42, quick);
         let limit = if quick { 60 } else { 250 };
-        let (left, right) =
-            w.mixed_tables(&[1, 2, 3, 4, 5], &[6, 7, 8, 9, 0], 1, mix, limit, 42);
+        let (left, right) = w.mixed_tables(&[1, 2, 3, 4, 5], &[6, 7, 8, 9, 0], 1, mix, limit, 42);
         // Ground-truth count: true 1s remaining on the left × true 1s
         // moved to the right.
         let count_ones = |t: &rain_sql::table::Table| -> usize {
-            (0..t.n_rows()).filter(|&r| truth_digit(&w, t, r) == 1).count()
+            (0..t.n_rows())
+                .filter(|&r| truth_digit(&w, t, r) == 1)
+                .count()
         };
         let target = (count_ones(&left) * count_ones(&right)) as f64;
         let mut db = Database::new();
@@ -143,7 +164,11 @@ pub fn fig6_mix(quick: bool) -> String {
         let sess = DebugSession::new(db, train, digit_model())
             .with_query(QuerySpec::new(sql).with_complaint(Complaint::scalar_eq(target)));
         for method in [Method::Loss, Method::TwoStep, Method::Holistic] {
-            let budget = if quick { truth.len().min(20) } else { truth.len() };
+            let budget = if quick {
+                truth.len().min(20)
+            } else {
+                truth.len()
+            };
             let (auc, _, report) = run_method(&sess, method, &truth, budget);
             let status = report.failure.clone().unwrap_or_else(|| "ok".into());
             tsv.row(&[f3(mix), method.name().into(), f3(auc), status]);
@@ -160,7 +185,11 @@ pub fn fig7(quick: bool) -> String {
          prediction complaints",
     );
     tsv.header(&["direct_frac", "method", "auccr"]);
-    let fracs: &[f64] = if quick { &[0.1, 0.8] } else { &[0.1, 0.3, 0.5, 0.8] };
+    let fracs: &[f64] = if quick {
+        &[0.1, 0.8]
+    } else {
+        &[0.1, 0.3, 0.5, 0.8]
+    };
     for &frac in fracs {
         let (sess, truth, _) = q3_session(0.3, 42, quick);
         // Replace the first ⌈a·n⌉ join complaints with prediction
@@ -185,7 +214,11 @@ pub fn fig7(quick: bool) -> String {
         let mut sess = sess;
         sess.queries[0].complaints = replaced;
         for method in [Method::Loss, Method::TwoStep, Method::Holistic] {
-            let budget = if quick { truth.len().min(20) } else { truth.len() };
+            let budget = if quick {
+                truth.len().min(20)
+            } else {
+                truth.len()
+            };
             let (auc, _, _) = run_method(&sess, method, &truth, budget);
             tsv.row(&[f3(frac), method.name().into(), f3(auc)]);
         }
@@ -196,14 +229,16 @@ pub fn fig7(quick: bool) -> String {
 /// Figure 9: one aggregate complaint vs increasing numbers of labeled
 /// point complaints (§6.6).
 pub fn fig9(quick: bool) -> String {
-    let mut tsv = Tsv::new(
-        "Figure 9: single aggregate complaint vs N labeled point complaints",
-    );
+    let mut tsv = Tsv::new("Figure 9: single aggregate complaint vs N labeled point complaints");
     tsv.header(&["n_complaints", "method", "auccr"]);
     // Training 1s mislabeled as 7 (the paper uses 10% on MNIST; our
     // synthetic digits need 50% before the model actually mispredicts).
     let (sess, truth, _) = setups::digits_q5(0.5, 42, quick, None);
-    let budget = if quick { truth.len().min(20) } else { truth.len() };
+    let budget = if quick {
+        truth.len().min(20)
+    } else {
+        truth.len()
+    };
     // Black line: the single aggregate complaint (Holistic).
     let (auc, _, _) = run_method(&sess, Method::Holistic, &truth, budget);
     tsv.row(&["1".into(), "AggComplaint(Holistic)".into(), f3(auc)]);
@@ -220,7 +255,11 @@ pub fn fig9(quick: bool) -> String {
             (out.predvars.preds()[var as usize] != truth_d).then_some((row, truth_d))
         })
         .collect();
-    let counts: Vec<usize> = if quick { vec![1, 10, 50] } else { vec![1, 10, 50, 100, 200, 400] };
+    let counts: Vec<usize> = if quick {
+        vec![1, 10, 50]
+    } else {
+        vec![1, 10, 50, 100, 200, 400]
+    };
     for &m in &counts {
         let m = m.min(mispredicted.len());
         if m == 0 {
@@ -243,7 +282,10 @@ pub fn fig9(quick: bool) -> String {
         let (auc, _, _) = run_method(&s, Method::TwoStep, &truth, budget);
         tsv.row(&[m.to_string(), "PointComplaints(TwoStep)".into(), f3(auc)]);
     }
-    tsv.comment(&format!("total mispredictions available: {}", mispredicted.len()));
+    tsv.comment(&format!(
+        "total mispredictions available: {}",
+        mispredicted.len()
+    ));
     tsv.finish()
 }
 
@@ -261,7 +303,11 @@ pub fn fig10(quick: bool) -> String {
         ("Partial", (t + x_star) / 2.0),
         ("Wrong", 0.8 * t),
     ];
-    let budget = if quick { truth.len().min(20) } else { truth.len() };
+    let budget = if quick {
+        truth.len().min(20)
+    } else {
+        truth.len()
+    };
     for (name, target) in variants {
         for method in [Method::Holistic, Method::TwoStep, Method::Loss] {
             let (sess, truth2, _) = setups::digits_q5(0.5, 42, quick, Some(target));

@@ -39,7 +39,13 @@ fn nn_session(
 pub fn figd(quick: bool) -> String {
     let mut tsv = Tsv::new("Appendix D (Figs 11-12): NN vs logistic regression");
     tsv.header(&[
-        "model", "corruption", "method", "auccr", "train_s", "encode_s", "rank_s",
+        "model",
+        "corruption",
+        "method",
+        "auccr",
+        "train_s",
+        "encode_s",
+        "rank_s",
     ]);
     let rates: &[f64] = if quick { &[0.5] } else { &[0.3, 0.5, 0.7] };
     let hidden = if quick { 12 } else { 24 };
@@ -59,10 +65,12 @@ pub fn figd(quick: bool) -> String {
         for (name, model, nonconvex) in models {
             for method in [Method::Loss, Method::TwoStep, Method::Holistic] {
                 let (sess, truth) = nn_session(rate, quick, model.clone(), nonconvex);
-                let budget = if quick { truth.len().min(20) } else { truth.len() };
-                let report = sess
-                    .run(method, &RunConfig::paper(budget))
-                    .expect("run");
+                let budget = if quick {
+                    truth.len().min(20)
+                } else {
+                    truth.len()
+                };
+                let report = sess.run(method, &RunConfig::paper(budget)).expect("run");
                 let (t, e, r) = report.mean_timings();
                 tsv.row(&[
                     name.into(),

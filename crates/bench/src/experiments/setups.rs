@@ -1,8 +1,8 @@
 //! Workload → session builders shared by the experiments.
 
 use rain_core::prelude::*;
-use rain_data::digits::{DigitsConfig, DigitsWorkload, N_CLASSES, N_PIXELS};
 use rain_data::dblp::DblpConfig;
+use rain_data::digits::{DigitsConfig, DigitsWorkload, N_CLASSES, N_PIXELS};
 use rain_data::enron::{EnronConfig, EnronWorkload};
 use rain_data::flip_labels_where;
 use rain_model::{LogisticRegression, SoftmaxRegression};
@@ -11,7 +11,11 @@ use rain_sql::{run_query, Database, ExecOptions, QueryOutput, Value};
 /// The DBLP Q1 session: COUNT of predicted matches with the ground-truth
 /// equality complaint; `rate` of the match labels are flipped.
 pub fn dblp(rate: f64, seed: u64, quick: bool) -> (DebugSession, Vec<usize>) {
-    let cfg = if quick { DblpConfig::small() } else { DblpConfig::default() };
+    let cfg = if quick {
+        DblpConfig::small()
+    } else {
+        DblpConfig::default()
+    };
     let w = cfg.generate(seed);
     let mut train = w.train.clone();
     let truth = flip_labels_where(&mut train, |_, _, y| y == 1, rate, |_| 0, seed);
@@ -29,16 +33,18 @@ pub fn dblp(rate: f64, seed: u64, quick: bool) -> (DebugSession, Vec<usize>) {
 /// containing the word is (mis)labeled spam, and the complaint pins the
 /// filtered count to its ground-truth value.
 pub fn enron(word: usize, seed: u64, quick: bool) -> (DebugSession, Vec<usize>) {
-    let cfg = if quick { EnronConfig::small() } else { EnronConfig::default() };
+    let cfg = if quick {
+        EnronConfig::small()
+    } else {
+        EnronConfig::default()
+    };
     let w = cfg.generate(seed);
     let mut train = w.train.clone();
     let truth = rain_data::relabel_where(&mut train, |_, x, _| x[word] != 0.0, 1);
     let mut db = Database::new();
     db.register("enron", w.query_table());
     let token = EnronWorkload::token(word);
-    let sql = format!(
-        "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%{token}%'"
-    );
+    let sql = format!("SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%{token}%'");
     let target = w.true_spam_count_with(word) as f64;
     let sess = DebugSession::new(db, train, Box::new(LogisticRegression::new(w.vocab, 0.01)))
         .with_query(QuerySpec::new(sql).with_complaint(Complaint::scalar_eq(target)));
@@ -52,7 +58,10 @@ pub fn corrupted_digits(
     quick: bool,
 ) -> (DigitsWorkload, rain_model::Dataset, Vec<usize>) {
     let cfg = if quick {
-        DigitsConfig { n_train: 300, n_query: 200 }
+        DigitsConfig {
+            n_train: 300,
+            n_query: 200,
+        }
     } else {
         DigitsConfig::default()
     };
@@ -94,8 +103,13 @@ pub fn digits_q5(
 pub fn first_output(sess: &DebugSession) -> QueryOutput {
     let mut model = sess.model.clone();
     rain_model::train_lbfgs(model.as_mut(), &sess.train, &sess.train_cfg);
-    run_query(&sess.db, model.as_ref(), &sess.queries[0].sql, ExecOptions { debug: true })
-        .expect("query runs")
+    run_query(
+        &sess.db,
+        model.as_ref(),
+        &sess.queries[0].sql,
+        ExecOptions { debug: true },
+    )
+    .expect("query runs")
 }
 
 /// Find the output row whose first column equals `key`.

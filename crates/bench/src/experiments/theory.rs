@@ -20,11 +20,7 @@ use rain_sql::{run_query, Database, ExecOptions};
 /// single noisy training point `t` has feature `e_{d-1}` (orthogonal to
 /// everything clean). The queried set has `n` clean records plus `m`
 /// records parallel to `t`.
-fn thm_a1_setting(
-    n: usize,
-    m: usize,
-    seed: u64,
-) -> (Dataset, usize, Database, LogisticRegression) {
+fn thm_a1_setting(n: usize, m: usize, seed: u64) -> (Dataset, usize, Database, LogisticRegression) {
     let d = 6;
     let mut rng = RainRng::seed_from_u64(seed);
     let mut rows: Vec<Vec<f64>> = Vec::new();
@@ -76,13 +72,18 @@ fn thm_a1_setting(
 /// gives the noisy point a nonzero score, as the clean queried population
 /// `n` grows (`m`, `k` fixed).
 pub fn thm_a1(quick: bool) -> String {
-    let mut tsv = Tsv::new(
-        "Theorem A.1: P(noisy point scored nonzero by TwoStep) vs queried size n",
-    );
+    let mut tsv =
+        Tsv::new("Theorem A.1: P(noisy point scored nonzero by TwoStep) vs queried size n");
     let (m, k) = (3usize, 2.0);
-    tsv.comment(&format!("m = {m} non-orthogonal queried records, complaint count = {k}"));
+    tsv.comment(&format!(
+        "m = {m} non-orthogonal queried records, complaint count = {k}"
+    ));
     tsv.header(&["n", "p_nonzero"]);
-    let ns: &[usize] = if quick { &[20, 80] } else { &[20, 50, 100, 200, 400] };
+    let ns: &[usize] = if quick {
+        &[20, 80]
+    } else {
+        &[20, 50, 100, 200, 400]
+    };
     let trials = if quick { 10 } else { 30 };
     for &n in ns {
         let mut nonzero = 0usize;
@@ -97,9 +98,11 @@ pub fn thm_a1(quick: bool) -> String {
                 ExecOptions { debug: true },
             )
             .expect("query");
-            let cfg = SqlStepConfig { seed: trial as u64, ..Default::default() };
-            let SqlStep::Repairs(repairs) =
-                sql_step(&out, &[Complaint::scalar_eq(k)], 2, &cfg)
+            let cfg = SqlStepConfig {
+                seed: trial as u64,
+                ..Default::default()
+            };
+            let SqlStep::Repairs(repairs) = sql_step(&out, &[Complaint::scalar_eq(k)], 2, &cfg)
             else {
                 continue;
             };
@@ -107,7 +110,11 @@ pub fn thm_a1(quick: bool) -> String {
             let mut gq = vec![0.0; model.n_params()];
             for (var, class) in repairs {
                 let info = out.predvars.info(var);
-                let x = db.table(&info.table).unwrap().feature_row(info.row).unwrap();
+                let x = db
+                    .table(&info.table)
+                    .unwrap()
+                    .feature_row(info.row)
+                    .unwrap();
                 rain_linalg::vecops::axpy(-1.0, &model.grad_proba(x, class), &mut gq);
             }
             let icfg = InfluenceConfig::default();
@@ -169,9 +176,8 @@ fn thm_c1_setting(k_corrupt: usize, seed: u64) -> (Dataset, Vec<usize>, Database
 /// corrupted population grows, while the complaint-driven ranking stays
 /// perfect.
 pub fn thm_c1(quick: bool) -> String {
-    let mut tsv = Tsv::new(
-        "Theorem C.1: loss & self-influence of corrupted records vs corruption count",
-    );
+    let mut tsv =
+        Tsv::new("Theorem C.1: loss & self-influence of corrupted records vs corruption count");
     tsv.header(&[
         "k_corrupt",
         "mean_loss",
@@ -191,7 +197,10 @@ pub fn thm_c1(quick: bool) -> String {
             .sum::<f64>()
             / k as f64;
         // Mean self-influence of corrupted records.
-        let icfg = InfluenceConfig { threads: 4, ..Default::default() };
+        let icfg = InfluenceConfig {
+            threads: 4,
+            ..Default::default()
+        };
         let mut mean_si = 0.0;
         for &i in &truth {
             let g = model.example_grad(train.x(i), train.y(i));
@@ -199,13 +208,17 @@ pub fn thm_c1(quick: bool) -> String {
             mean_si += -rain_linalg::vecops::dot(&g, &s) / k as f64;
         }
         // Loss baseline vs Holistic-with-complaint on the full sessions.
-        let sess = DebugSession::new(db, train, Box::new(LogisticRegression::without_bias(11, 0.05)))
-            .with_query(
-                // All 40 parallel queried records are truly class 1; the
-                // corrupted model predicts 0. Complain the count is 40.
-                QuerySpec::new("SELECT COUNT(*) FROM q WHERE predict(*) = 1")
-                    .with_complaint(Complaint::scalar_eq(40.0)),
-            );
+        let sess = DebugSession::new(
+            db,
+            train,
+            Box::new(LogisticRegression::without_bias(11, 0.05)),
+        )
+        .with_query(
+            // All 40 parallel queried records are truly class 1; the
+            // corrupted model predicts 0. Complain the count is 40.
+            QuerySpec::new("SELECT COUNT(*) FROM q WHERE predict(*) = 1")
+                .with_complaint(Complaint::scalar_eq(40.0)),
+        );
         let loss_auc = sess
             .run(Method::Loss, &RunConfig::paper(k))
             .expect("loss run")

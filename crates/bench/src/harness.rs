@@ -7,8 +7,7 @@ use rain_sql::Database;
 /// `--quick` on the command line (or `RAIN_QUICK=1`) shrinks every
 /// experiment for smoke-testing.
 pub fn is_quick() -> bool {
-    std::env::args().any(|a| a == "--quick")
-        || std::env::var("RAIN_QUICK").is_ok_and(|v| v == "1")
+    std::env::args().any(|a| a == "--quick") || std::env::var("RAIN_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Tiny TSV builder: comment header plus tab-joined rows.
@@ -20,7 +19,9 @@ pub struct Tsv {
 impl Tsv {
     /// Start a TSV with a `#`-prefixed title line.
     pub fn new(title: &str) -> Self {
-        Tsv { out: format!("# {title}\n") }
+        Tsv {
+            out: format!("# {title}\n"),
+        }
     }
 
     /// Add a `#`-prefixed comment line.
@@ -64,8 +65,7 @@ pub fn session(
     sql: &str,
     complaints: Vec<Complaint>,
 ) -> DebugSession {
-    DebugSession::new(db, train, model)
-        .with_query(QuerySpec::new(sql).with_complaints(complaints))
+    DebugSession::new(db, train, model).with_query(QuerySpec::new(sql).with_complaints(complaints))
 }
 
 /// Run one method and return `(auccr, recall_curve, report)`.
@@ -91,10 +91,7 @@ pub fn sample_curve(curve: &[f64], points: usize) -> Vec<(usize, f64)> {
     }
     let n = curve.len();
     let step = (n / points).max(1);
-    let mut out: Vec<(usize, f64)> = (0..n)
-        .step_by(step)
-        .map(|k| (k + 1, curve[k]))
-        .collect();
+    let mut out: Vec<(usize, f64)> = (0..n).step_by(step).map(|k| (k + 1, curve[k])).collect();
     if out.last().map(|&(k, _)| k) != Some(n) {
         out.push((n, curve[n - 1]));
     }
@@ -108,7 +105,9 @@ mod tests {
     #[test]
     fn tsv_shape() {
         let mut t = Tsv::new("demo");
-        t.comment("note").header(&["a", "b"]).row(&["1".into(), "2".into()]);
+        t.comment("note")
+            .header(&["a", "b"])
+            .row(&["1".into(), "2".into()]);
         let s = t.finish();
         assert_eq!(s, "# demo\n# note\na\tb\n1\t2\n");
     }

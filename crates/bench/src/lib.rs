@@ -14,5 +14,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{is_quick, Tsv};
+pub use microbench::{black_box, BenchGroup};

@@ -70,12 +70,22 @@ impl Complaint {
     /// Equality value complaint on the single aggregate of row 0 — the
     /// common "the count should be X" case.
     pub fn scalar_eq(target: f64) -> Complaint {
-        Complaint::Value { row: 0, agg: 0, op: ValueOp::Eq, target }
+        Complaint::Value {
+            row: 0,
+            agg: 0,
+            op: ValueOp::Eq,
+            target,
+        }
     }
 
     /// Equality value complaint on a `(row, agg)` cell.
     pub fn value_eq(row: usize, agg: usize, target: f64) -> Complaint {
-        Complaint::Value { row, agg, op: ValueOp::Eq, target }
+        Complaint::Value {
+            row,
+            agg,
+            op: ValueOp::Eq,
+            target,
+        }
     }
 
     /// Tuple-deletion complaint.
@@ -98,7 +108,11 @@ impl Complaint {
 
     /// Prediction-view complaint.
     pub fn prediction_is(table: &str, row: usize, class: usize) -> Complaint {
-        Complaint::PredictionIs { table: table.into(), row, class }
+        Complaint::PredictionIs {
+            table: table.into(),
+            row,
+            class,
+        }
     }
 
     /// Is this complaint currently satisfied by the query output?
@@ -108,7 +122,12 @@ impl Complaint {
     /// as satisfied for tuple deletions (the tuple is indeed absent).
     pub fn satisfied(&self, out: &QueryOutput) -> bool {
         match self {
-            Complaint::Value { row, agg, op, target } => {
+            Complaint::Value {
+                row,
+                agg,
+                op,
+                target,
+            } => {
                 let col = out.n_key_cols + agg;
                 if *row >= out.table.n_rows() || col >= out.table.schema().len() {
                     return false;
@@ -157,7 +176,10 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// A query with no complaints yet.
     pub fn new(sql: impl Into<String>) -> Self {
-        QuerySpec { sql: sql.into(), complaints: Vec::new() }
+        QuerySpec {
+            sql: sql.into(),
+            complaints: Vec::new(),
+        }
     }
 
     /// Attach a complaint (builder style).
@@ -197,14 +219,30 @@ mod tests {
     #[test]
     fn value_complaint_satisfaction() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions::default()).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions::default(),
+        )
+        .unwrap();
         assert!(Complaint::scalar_eq(2.0).satisfied(&out));
         assert!(!Complaint::scalar_eq(3.0).satisfied(&out));
-        assert!(Complaint::Value { row: 0, agg: 0, op: ValueOp::Le, target: 2.0 }.satisfied(&out));
-        assert!(Complaint::Value { row: 0, agg: 0, op: ValueOp::Ge, target: 3.0 }
-            .satisfied(&out)
-            .eq(&false));
+        assert!(Complaint::Value {
+            row: 0,
+            agg: 0,
+            op: ValueOp::Le,
+            target: 2.0
+        }
+        .satisfied(&out));
+        assert!(Complaint::Value {
+            row: 0,
+            agg: 0,
+            op: ValueOp::Ge,
+            target: 3.0
+        }
+        .satisfied(&out)
+        .eq(&false));
         // Out-of-range cell → violated.
         assert!(!Complaint::value_eq(5, 0, 1.0).satisfied(&out));
     }
@@ -212,8 +250,13 @@ mod tests {
     #[test]
     fn tuple_complaint_satisfaction() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT id FROM t WHERE predict(*) = 1",
-            ExecOptions::default()).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT id FROM t WHERE predict(*) = 1",
+            ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(out.table.n_rows(), 2);
         assert!(!Complaint::tuple_delete(0).satisfied(&out));
         // A row index beyond the output is trivially "deleted".
@@ -223,8 +266,13 @@ mod tests {
     #[test]
     fn prediction_complaint_satisfaction() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true }).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions { debug: true },
+        )
+        .unwrap();
         assert!(Complaint::prediction_is("t", 0, 1).satisfied(&out));
         assert!(!Complaint::prediction_is("t", 0, 0).satisfied(&out));
         // Never-predicted rows are violated (nothing to check against).

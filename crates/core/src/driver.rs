@@ -13,7 +13,7 @@ use crate::rank::{rank, Method, RankContext, RankError};
 use crate::twostep::SqlStepConfig;
 use rain_influence::InfluenceConfig;
 use rain_model::{train_lbfgs, Classifier, Dataset, LbfgsConfig};
-use rain_sql::{run_query, Database, ExecOptions, QueryError, QueryOutput};
+use rain_sql::{execute, Database, ExecOptions, QueryError, QueryOutput, QueryPlan};
 use std::time::Instant;
 
 /// A debugging session: the queried database, the (possibly corrupted)
@@ -55,8 +55,25 @@ impl DebugSession {
         self
     }
 
+    /// Parse, bind, and optimize every attached query once
+    /// (`parser → binder → optimizer`); the returned plans are executed
+    /// directly on each iteration of the loop.
+    fn plan_queries(&self) -> Result<Vec<QueryPlan>, QueryError> {
+        self.queries
+            .iter()
+            .map(|q| {
+                let stmt = rain_sql::parse_select(&q.sql).map_err(QueryError::Parse)?;
+                let bound = rain_sql::bind(&stmt, &self.db)?;
+                Ok(rain_sql::optimize(bound, &self.db))
+            })
+            .collect()
+    }
+
     /// Run the train–rank–fix loop with one method.
     pub fn run(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, QueryError> {
+        // Queries are planned once: re-executing per iteration only pays
+        // for execution, not parsing/binding/rewriting.
+        let plans = self.plan_queries()?;
         let mut model = self.model.clone();
         let mut train = self.train.clone();
         let mut removed: Vec<usize> = Vec::new();
@@ -69,19 +86,22 @@ impl DebugSession {
             let warm = if iterations.is_empty() {
                 self.train_cfg.clone()
             } else {
-                LbfgsConfig { max_iters: self.train_cfg.max_iters.min(60), ..self.train_cfg.clone() }
+                LbfgsConfig {
+                    max_iters: self.train_cfg.max_iters.min(60),
+                    ..self.train_cfg.clone()
+                }
             };
             let report = train_lbfgs(model.as_mut(), &train, &warm);
             let train_s = t_train.elapsed().as_secs_f64();
 
             // (1-2) Execute the queries in debug mode.
             let t_exec = Instant::now();
-            let mut outputs: Vec<QueryOutput> = Vec::with_capacity(self.queries.len());
-            for q in &self.queries {
-                outputs.push(run_query(
+            let mut outputs: Vec<QueryOutput> = Vec::with_capacity(plans.len());
+            for plan in &plans {
+                outputs.push(execute(
                     &self.db,
                     model.as_ref(),
-                    &q.sql,
+                    plan,
                     ExecOptions { debug: true },
                 )?);
             }
@@ -129,8 +149,7 @@ impl DebugSession {
 
             // (5) Remove the top-k.
             let k = cfg.k_per_iter.min(cfg.budget - removed.len());
-            let batch: Vec<usize> =
-                ranking.records.iter().take(k).map(|r| r.id).collect();
+            let batch: Vec<usize> = ranking.records.iter().take(k).map(|r| r.id).collect();
             if batch.is_empty() {
                 break;
             }
@@ -148,7 +167,11 @@ impl DebugSession {
                 break;
             }
         }
-        Ok(DebugReport { removed, iterations, failure })
+        Ok(DebugReport {
+            removed,
+            iterations,
+            failure,
+        })
     }
 }
 
@@ -166,7 +189,11 @@ pub struct RunConfig {
 impl RunConfig {
     /// The paper's settings: batches of 10, removing `budget` records.
     pub fn paper(budget: usize) -> Self {
-        RunConfig { k_per_iter: 10, budget, stop_when_satisfied: false }
+        RunConfig {
+            k_per_iter: 10,
+            budget,
+            stop_when_satisfied: false,
+        }
     }
 }
 

@@ -68,8 +68,15 @@ pub fn q_value_and_prob_grad(
     let mut grad = ProbGrad::default();
     for c in complaints {
         match c {
-            Complaint::Value { row, agg, op, target } => {
-                let Some(cell) = cell_of(out, *row, *agg) else { continue };
+            Complaint::Value {
+                row,
+                agg,
+                op,
+                target,
+            } => {
+                let Some(cell) = cell_of(out, *row, *agg) else {
+                    continue;
+                };
                 let active = match op {
                     ValueOp::Eq => true,
                     // Treat as equality while violated (§5.3.2); the
@@ -84,15 +91,16 @@ pub fn q_value_and_prob_grad(
                     // residual would then push the fix in the wrong
                     // direction. The relaxed polynomial still supplies the
                     // gradient direction through the probabilities.
-                    let concrete = concrete_cell(out, *row, *agg).unwrap_or_else(|| {
-                        cell.eval_discrete(out.predvars.preds())
-                    });
+                    let concrete = concrete_cell(out, *row, *agg)
+                        .unwrap_or_else(|| cell.eval_discrete(out.predvars.preds()));
                     value += (concrete - target) * (concrete - target);
                     cell.accumulate_grad(probs, 2.0 * (concrete - target), &mut grad);
                 }
             }
             Complaint::TupleDelete { row } => {
-                let Some(prov) = out.row_prov.get(*row) else { continue };
+                let Some(prov) = out.row_prov.get(*row) else {
+                    continue;
+                };
                 let v = prov.eval_relaxed(probs);
                 value += v * v;
                 prov.accumulate_grad(probs, 2.0 * v, &mut grad);
@@ -105,13 +113,18 @@ pub fn q_value_and_prob_grad(
                     continue;
                 };
                 // Membership formula of the pair: predict(l) = predict(r).
-                let prov = rain_sql::BoolProv::PredEq { left: lv, right: rv };
+                let prov = rain_sql::BoolProv::PredEq {
+                    left: lv,
+                    right: rv,
+                };
                 let v = prov.eval_relaxed(probs);
                 value += v * v;
                 prov.accumulate_grad(probs, 2.0 * v, &mut grad);
             }
             Complaint::PredictionIs { table, row, class } => {
-                let Some(var) = out.predvars.lookup(table, *row) else { continue };
+                let Some(var) = out.predvars.lookup(table, *row) else {
+                    continue;
+                };
                 let p = probs.p[var as usize][*class];
                 value += (p - 1.0) * (p - 1.0);
                 let n = probs.p[var as usize].len();
@@ -167,12 +180,22 @@ mod tests {
     #[test]
     fn probs_align_with_registry() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true }).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions { debug: true },
+        )
+        .unwrap();
         let probs = probs_for(&db, &out, &m);
         assert_eq!(probs.n_vars(), 4);
         for (v, info) in out.predvars.infos().iter().enumerate() {
-            let x = db.table(&info.table).unwrap().feature_row(info.row).unwrap().to_vec();
+            let x = db
+                .table(&info.table)
+                .unwrap()
+                .feature_row(info.row)
+                .unwrap()
+                .to_vec();
             assert_eq!(probs.p[v], m.predict_proba(&x));
         }
     }
@@ -211,20 +234,34 @@ mod tests {
             let dn = v_at(&m);
             m.set_params(&theta);
             let fd = 2.0 * (concrete - target) * (up - dn) / (2.0 * eps);
-            assert!((fd - grad[j]).abs() < 1e-6, "param {j}: fd {fd} vs {}", grad[j]);
+            assert!(
+                (fd - grad[j]).abs() < 1e-6,
+                "param {j}: fd {fd} vs {}",
+                grad[j]
+            );
         }
     }
 
     #[test]
     fn satisfied_inequality_contributes_nothing() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true }).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions { debug: true },
+        )
+        .unwrap();
         // Concrete count is 2; "should be ≤ 3" is satisfied → inactive.
         let probs = probs_for(&db, &out, &m);
         let (v, g) = q_value_and_prob_grad(
             &out,
-            &[Complaint::Value { row: 0, agg: 0, op: ValueOp::Le, target: 3.0 }],
+            &[Complaint::Value {
+                row: 0,
+                agg: 0,
+                op: ValueOp::Le,
+                target: 3.0,
+            }],
             &probs,
         );
         assert_eq!(v, 0.0);
@@ -232,7 +269,12 @@ mod tests {
         // "should be ≥ 3" is violated → active, positive value.
         let (v, g) = q_value_and_prob_grad(
             &out,
-            &[Complaint::Value { row: 0, agg: 0, op: ValueOp::Ge, target: 3.0 }],
+            &[Complaint::Value {
+                row: 0,
+                agg: 0,
+                op: ValueOp::Ge,
+                target: 3.0,
+            }],
             &probs,
         );
         assert!(v > 0.0);
@@ -242,15 +284,22 @@ mod tests {
     #[test]
     fn multiple_complaints_sum() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true }).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
+            ExecOptions { debug: true },
+        )
+        .unwrap();
         let probs = probs_for(&db, &out, &m);
         let (v1, _) = q_value_and_prob_grad(&out, &[Complaint::scalar_eq(3.0)], &probs);
-        let (v2, _) =
-            q_value_and_prob_grad(&out, &[Complaint::prediction_is("t", 1, 0)], &probs);
+        let (v2, _) = q_value_and_prob_grad(&out, &[Complaint::prediction_is("t", 1, 0)], &probs);
         let (sum, _) = q_value_and_prob_grad(
             &out,
-            &[Complaint::scalar_eq(3.0), Complaint::prediction_is("t", 1, 0)],
+            &[
+                Complaint::scalar_eq(3.0),
+                Complaint::prediction_is("t", 1, 0),
+            ],
             &probs,
         );
         assert!((sum - (v1 + v2)).abs() < 1e-12);
@@ -259,8 +308,13 @@ mod tests {
     #[test]
     fn tuple_complaint_gradient_pushes_membership_down() {
         let (db, m) = setup();
-        let out = run_query(&db, &m, "SELECT id FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true }).unwrap();
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT id FROM t WHERE predict(*) = 1",
+            ExecOptions { debug: true },
+        )
+        .unwrap();
         assert!(out.table.n_rows() >= 1);
         let probs = probs_for(&db, &out, &m);
         let (v, pg) = q_value_and_prob_grad(&out, &[Complaint::tuple_delete(0)], &probs);

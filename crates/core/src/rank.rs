@@ -44,9 +44,9 @@ impl Method {
         match self {
             Method::Auto => {
                 let unambiguous = queries.iter().all(|q| {
-                    q.complaints.iter().all(|c| {
-                        matches!(c, crate::complaint::Complaint::PredictionIs { .. })
-                    })
+                    q.complaints
+                        .iter()
+                        .all(|c| matches!(c, crate::complaint::Complaint::PredictionIs { .. }))
                 });
                 if unambiguous {
                     Method::TwoStep
@@ -170,7 +170,11 @@ fn rank_holistic(ctx: &RankContext<'_>) -> Ranking {
     let encode_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let records = influence_rank(ctx, &grad_q);
-    Ranking { records, encode_s, rank_s: t1.elapsed().as_secs_f64() }
+    Ranking {
+        records,
+        encode_s,
+        rank_s: t1.elapsed().as_secs_f64(),
+    }
 }
 
 fn rank_twostep(ctx: &RankContext<'_>) -> Result<Ranking, RankError> {
@@ -178,12 +182,7 @@ fn rank_twostep(ctx: &RankContext<'_>) -> Result<Ranking, RankError> {
     // SQL step per query, then q = -Σ p_target(x) over the repairs.
     let mut grad_q = vec![0.0; ctx.model.n_params()];
     for (out, query) in ctx.outputs.iter().zip(ctx.queries) {
-        let repairs = match sql_step(
-            out,
-            &query.complaints,
-            ctx.model.n_classes(),
-            ctx.sqlstep,
-        ) {
+        let repairs = match sql_step(out, &query.complaints, ctx.model.n_classes(), ctx.sqlstep) {
             SqlStep::Repairs(r) => r,
             SqlStep::Timeout => return Err(RankError::IlpTimeout),
             SqlStep::Infeasible => return Err(RankError::Infeasible),
@@ -200,7 +199,11 @@ fn rank_twostep(ctx: &RankContext<'_>) -> Result<Ranking, RankError> {
     let encode_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let records = influence_rank(ctx, &grad_q);
-    Ok(Ranking { records, encode_s, rank_s: t1.elapsed().as_secs_f64() })
+    Ok(Ranking {
+        records,
+        encode_s,
+        rank_s: t1.elapsed().as_secs_f64(),
+    })
 }
 
 /// Shared influence pipeline: solve `(H+δI)s = ∇q`, score every training

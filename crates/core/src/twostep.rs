@@ -55,7 +55,11 @@ pub struct SqlStepConfig {
 
 impl Default for SqlStepConfig {
     fn default() -> Self {
-        SqlStepConfig { seed: 0, bb: BbConfig::default(), max_ilp_vars: 4000 }
+        SqlStepConfig {
+            seed: 0,
+            bb: BbConfig::default(),
+            max_ilp_vars: 4000,
+        }
     }
 }
 
@@ -90,19 +94,21 @@ pub fn sql_step(
     for c in complaints {
         match c {
             Complaint::PredictionIs { .. } => {}
-            Complaint::Value { row, agg, op, target } => {
+            Complaint::Value {
+                row,
+                agg,
+                op,
+                target,
+            } => {
                 let Some(cell) = out.agg_cells.get(*row).and_then(|r| r.get(*agg)) else {
                     return SqlStep::Infeasible;
                 };
-                match try_cardinality(cell, preds, &assign, *op, *target, n_classes, &mut rng)
-                {
+                match try_cardinality(cell, preds, &assign, *op, *target, n_classes, &mut rng) {
                     Recognized::Solved(repairs) => assign.extend(repairs),
                     Recognized::Satisfied => {}
                     Recognized::Infeasible => return SqlStep::Infeasible,
                     Recognized::Unmatched => {
-                        match try_join_partition(
-                            cell, preds, *op, *target, n_classes, &mut rng,
-                        ) {
+                        match try_join_partition(cell, preds, *op, *target, n_classes, &mut rng) {
                             Recognized::Solved(repairs) => assign.extend(repairs),
                             Recognized::Satisfied => {}
                             Recognized::Infeasible => return SqlStep::Infeasible,
@@ -210,7 +216,9 @@ fn try_cardinality(
         }
         _ => return Recognized::Unmatched,
     };
-    let Some(atoms) = atoms else { return Recognized::Unmatched };
+    let Some(atoms) = atoms else {
+        return Recognized::Unmatched;
+    };
     // Distinct variables required for the independent-flip argument.
     let distinct: HashSet<VarId> = atoms.iter().map(|&(v, _)| v).collect();
     if distinct.len() != atoms.len() {
@@ -280,7 +288,9 @@ fn try_join_partition(
     if !(matches!(op, ValueOp::Eq | ValueOp::Le) && target.round() == 0.0) || n_classes > 16 {
         return Recognized::Unmatched;
     }
-    let CellProv::Sum(s) = cell else { return Recognized::Unmatched };
+    let CellProv::Sum(s) = cell else {
+        return Recognized::Unmatched;
+    };
     let mut lefts: HashSet<VarId> = HashSet::new();
     let mut rights: HashSet<VarId> = HashSet::new();
     for (f, t) in &s.terms {
@@ -339,8 +349,7 @@ fn try_join_partition(
     // Arbitrary-optimum selection.
     let mask = best[rng.below(best.len())];
     let allowed_left: Vec<usize> = (0..n_classes).filter(|c| mask & (1 << c) != 0).collect();
-    let allowed_right: Vec<usize> =
-        (0..n_classes).filter(|c| mask & (1 << c) == 0).collect();
+    let allowed_right: Vec<usize> = (0..n_classes).filter(|c| mask & (1 << c) == 0).collect();
     let mut repairs = Vec::new();
     for &v in &lefts {
         if mask & (1 << preds[v as usize]) == 0 {
@@ -437,8 +446,7 @@ fn solve_pairs(
     }
     for v in covered {
         let neighbors = adj.get(&v).cloned().unwrap_or_default();
-        let forbidden: HashSet<usize> =
-            neighbors.iter().map(|&u| class_of(u, assign)).collect();
+        let forbidden: HashSet<usize> = neighbors.iter().map(|&u| class_of(u, assign)).collect();
         let choices: Vec<usize> = (0..n_classes)
             .filter(|c| !forbidden.contains(c) && *c != preds[v as usize])
             .collect();
@@ -477,7 +485,12 @@ fn solve_generic(
     // Gather constraints per complaint.
     for c in complaints {
         match c {
-            Complaint::Value { row, agg, op, target } => {
+            Complaint::Value {
+                row,
+                agg,
+                op,
+                target,
+            } => {
                 let Some(cell) = out.agg_cells.get(*row).and_then(|r| r.get(*agg)) else {
                     return GenericOutcome::Infeasible;
                 };
@@ -506,17 +519,16 @@ fn solve_generic(
                             }
                             konst += e.konst * weight;
                         }
-                        enc.prob.add_constraint(Constraint::new(
-                            terms,
-                            sense,
-                            target - konst,
-                        ));
+                        enc.prob
+                            .add_constraint(Constraint::new(terms, sense, target - konst));
                     }
                     _ => return GenericOutcome::Timeout, // ratio cells: unsupported
                 }
             }
             Complaint::TupleDelete { row } => {
-                let Some(prov) = out.row_prov.get(*row) else { continue };
+                let Some(prov) = out.row_prov.get(*row) else {
+                    continue;
+                };
                 let e = enc.encode_bool(prov);
                 enc.prob
                     .add_constraint(Constraint::new(e.terms, Sense::Eq, -e.konst));
@@ -532,7 +544,8 @@ fn solve_generic(
     for (&v, &c) in fixed {
         if enc.tvar.contains_key(&(v, 0)) || enc.vars_seen.contains(&v) {
             let tv = enc.tvar_of(v, c);
-            enc.prob.add_constraint(Constraint::new(vec![(tv, 1.0)], Sense::Eq, 1.0));
+            enc.prob
+                .add_constraint(Constraint::new(vec![(tv, 1.0)], Sense::Eq, 1.0));
         }
     }
     // Objective: minimize flips ⇔ maximize Σ t[v][r_v].
@@ -541,7 +554,13 @@ fn solve_generic(
         let tv = enc.tvar_of(v, preds[v as usize]);
         enc.prob.objective[tv] -= 1.0;
     }
-    match solve_ilp(&enc.prob, &BbConfig { seed: cfg.seed, ..cfg.bb.clone() }) {
+    match solve_ilp(
+        &enc.prob,
+        &BbConfig {
+            seed: cfg.seed,
+            ..cfg.bb.clone()
+        },
+    ) {
         IlpOutcome::Optimal(sol) => {
             let mut assign = Vec::new();
             for &v in &seen {
@@ -587,7 +606,8 @@ impl Encoder {
             block.push((t, 1.0));
         }
         self.vars_seen.push(v);
-        self.prob.add_constraint(Constraint::new(block, Sense::Eq, 1.0));
+        self.prob
+            .add_constraint(Constraint::new(block, Sense::Eq, 1.0));
         self.tvar[&(v, class)]
     }
 
@@ -600,7 +620,8 @@ impl Encoder {
         let u = self.prob.add_var(0.0);
         let mut terms = e.terms;
         terms.push((u, -1.0));
-        self.prob.add_constraint(Constraint::new(terms, Sense::Eq, -e.konst));
+        self.prob
+            .add_constraint(Constraint::new(terms, Sense::Eq, -e.konst));
         u
     }
 
@@ -608,10 +629,16 @@ impl Encoder {
     /// formula's truth value under the added constraints.
     fn encode_bool(&mut self, f: &BoolProv) -> LinExpr {
         match f {
-            BoolProv::Const(b) => LinExpr { terms: vec![], konst: *b as u8 as f64 },
+            BoolProv::Const(b) => LinExpr {
+                terms: vec![],
+                konst: *b as u8 as f64,
+            },
             BoolProv::PredIs { var, class } => {
                 let t = self.tvar_of(*var, *class);
-                LinExpr { terms: vec![(t, 1.0)], konst: 0.0 }
+                LinExpr {
+                    terms: vec![(t, 1.0)],
+                    konst: 0.0,
+                }
             }
             BoolProv::PredEq { left, right } => {
                 // Σ_c AND(t_l_c, t_r_c): exactly-one blocks make the sum 0/1.
@@ -665,8 +692,12 @@ impl Encoder {
                 }
                 let mut ge = vec![(z, 1.0)];
                 ge.extend(vars.iter().map(|&a| (a, -1.0)));
-                self.prob.add_constraint(Constraint::new(ge, Sense::Ge, 1.0 - k));
-                LinExpr { terms: vec![(z, 1.0)], konst: 0.0 }
+                self.prob
+                    .add_constraint(Constraint::new(ge, Sense::Ge, 1.0 - k));
+                LinExpr {
+                    terms: vec![(z, 1.0)],
+                    konst: 0.0,
+                }
             }
             BoolProv::Or(children) => {
                 let vars: Vec<usize> = children
@@ -686,8 +717,12 @@ impl Encoder {
                 }
                 let mut le = vec![(z, 1.0)];
                 le.extend(vars.iter().map(|&a| (a, -1.0)));
-                self.prob.add_constraint(Constraint::new(le, Sense::Le, 0.0));
-                LinExpr { terms: vec![(z, 1.0)], konst: 0.0 }
+                self.prob
+                    .add_constraint(Constraint::new(le, Sense::Le, 0.0));
+                LinExpr {
+                    terms: vec![(z, 1.0)],
+                    konst: 0.0,
+                }
             }
         }
     }

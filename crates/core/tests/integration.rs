@@ -30,8 +30,12 @@ fn dblp_session(seed: u64) -> (DebugSession, Vec<usize>, usize) {
 fn holistic_beats_loss_under_systematic_corruption() {
     let (session, truth, _) = dblp_session(1);
     let budget = 40.min(truth.len());
-    let hol = session.run(Method::Holistic, &RunConfig::paper(budget)).unwrap();
-    let loss = session.run(Method::Loss, &RunConfig::paper(budget)).unwrap();
+    let hol = session
+        .run(Method::Holistic, &RunConfig::paper(budget))
+        .unwrap();
+    let loss = session
+        .run(Method::Loss, &RunConfig::paper(budget))
+        .unwrap();
     let a_hol = hol.auccr(&truth);
     let a_loss = loss.auccr(&truth);
     assert!(
@@ -45,7 +49,9 @@ fn holistic_beats_loss_under_systematic_corruption() {
 fn twostep_count_complaint_recovers_corruptions() {
     let (session, truth, _) = dblp_session(2);
     let budget = 30.min(truth.len());
-    let ts = session.run(Method::TwoStep, &RunConfig::paper(budget)).unwrap();
+    let ts = session
+        .run(Method::TwoStep, &RunConfig::paper(budget))
+        .unwrap();
     assert!(ts.failure.is_none(), "TwoStep failed: {:?}", ts.failure);
     let recall = ts.recall_curve(&truth);
     assert!(
@@ -101,7 +107,11 @@ fn driver_respects_budget_and_batch_size() {
     let report = session
         .run(
             Method::Holistic,
-            &RunConfig { k_per_iter: 10, budget, stop_when_satisfied: false },
+            &RunConfig {
+                k_per_iter: 10,
+                budget,
+                stop_when_satisfied: false,
+            },
         )
         .unwrap();
     assert_eq!(report.removed.len(), budget);
@@ -141,7 +151,11 @@ fn stop_when_satisfied_halts_early() {
     let report = session
         .run(
             Method::Holistic,
-            &RunConfig { k_per_iter: 10, budget: 50, stop_when_satisfied: true },
+            &RunConfig {
+                k_per_iter: 10,
+                budget: 50,
+                stop_when_satisfied: true,
+            },
         )
         .unwrap();
     assert!(report.removed.is_empty(), "removed {:?}", report.removed);
@@ -203,8 +217,13 @@ fn tri_db(left_classes: &[usize], right_classes: &[usize]) -> Database {
 fn sql_step_cardinality_presolve() {
     let db = tri_db(&[0, 0, 1, 1, 2], &[0]);
     let model = tri_model();
-    let out = run_query(&db, &model, "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
-        ExecOptions { debug: true }).unwrap();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
     // Current count of class 0 is 2; complain it should be 4.
     let repairs = match sql_step(
         &out,
@@ -216,11 +235,17 @@ fn sql_step_cardinality_presolve() {
         other => panic!("unexpected {other:?}"),
     };
     assert_eq!(repairs.len(), 2, "minimal repair flips exactly 2");
-    assert!(repairs.iter().all(|&(_, c)| c == 0), "flips must assign class 0");
+    assert!(
+        repairs.iter().all(|&(_, c)| c == 0),
+        "flips must assign class 0"
+    );
     // Complain it should be 1 → one record flipped OUT of class 0.
-    let repairs = match sql_step(&out, &[Complaint::scalar_eq(1.0)], 3,
-        &SqlStepConfig::default())
-    {
+    let repairs = match sql_step(
+        &out,
+        &[Complaint::scalar_eq(1.0)],
+        3,
+        &SqlStepConfig::default(),
+    ) {
         SqlStep::Repairs(r) => r,
         other => panic!("unexpected {other:?}"),
     };
@@ -232,8 +257,13 @@ fn sql_step_cardinality_presolve() {
 fn sql_step_prediction_complaints_are_fixed_points() {
     let db = tri_db(&[0, 1, 2], &[0]);
     let model = tri_model();
-    let out = run_query(&db, &model, "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
-        ExecOptions { debug: true }).unwrap();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
     let repairs = match sql_step(
         &out,
         &[
@@ -266,12 +296,15 @@ fn sql_step_join_pairs_use_vertex_cover() {
     // Complain about all three join rows. Minimum cover = flip the single
     // shared right-side record.
     let complaints: Vec<Complaint> = (0..3).map(Complaint::tuple_delete).collect();
-    let repairs =
-        match sql_step(&out, &complaints, 3, &SqlStepConfig::default()) {
-            SqlStep::Repairs(r) => r,
-            other => panic!("unexpected {other:?}"),
-        };
-    assert_eq!(repairs.len(), 1, "vertex cover should flip one record: {repairs:?}");
+    let repairs = match sql_step(&out, &complaints, 3, &SqlStepConfig::default()) {
+        SqlStep::Repairs(r) => r,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(
+        repairs.len(),
+        1,
+        "vertex cover should flip one record: {repairs:?}"
+    );
     let (var, class) = repairs[0];
     assert_eq!(out.predvars.info(var).table, "r");
     assert_ne!(class, 1);
@@ -289,13 +322,20 @@ fn sql_step_join_count_zero_partitions_classes() {
     )
     .unwrap();
     // One joining pair (left digit 1 × right digit 1); complain count = 0.
-    let repairs = match sql_step(&out, &[Complaint::scalar_eq(0.0)], 3,
-        &SqlStepConfig::default())
-    {
+    let repairs = match sql_step(
+        &out,
+        &[Complaint::scalar_eq(0.0)],
+        3,
+        &SqlStepConfig::default(),
+    ) {
         SqlStep::Repairs(r) => r,
         other => panic!("unexpected {other:?}"),
     };
-    assert_eq!(repairs.len(), 1, "one flip separates the sides: {repairs:?}");
+    assert_eq!(
+        repairs.len(),
+        1,
+        "one flip separates the sides: {repairs:?}"
+    );
     // Verify the repair actually zeroes the discrete count.
     let mut preds = out.predvars.preds().to_vec();
     for &(v, c) in &repairs {
@@ -318,13 +358,20 @@ fn sql_step_generic_path_handles_conjunctions() {
     )
     .unwrap();
     assert_eq!(out.table.n_rows(), 1);
-    let repairs = match sql_step(&out, &[Complaint::tuple_delete(0)], 3,
-        &SqlStepConfig::default())
-    {
+    let repairs = match sql_step(
+        &out,
+        &[Complaint::tuple_delete(0)],
+        3,
+        &SqlStepConfig::default(),
+    ) {
         SqlStep::Repairs(r) => r,
         other => panic!("unexpected {other:?}"),
     };
-    assert_eq!(repairs.len(), 1, "one flip breaks the conjunction: {repairs:?}");
+    assert_eq!(
+        repairs.len(),
+        1,
+        "one flip breaks the conjunction: {repairs:?}"
+    );
     let mut preds = out.predvars.preds().to_vec();
     for &(v, c) in &repairs {
         preds[v as usize] = c;
@@ -344,7 +391,10 @@ fn sql_step_timeout_on_oversized_ilp() {
         ExecOptions { debug: true },
     )
     .unwrap();
-    let cfg = SqlStepConfig { max_ilp_vars: 1, ..Default::default() };
+    let cfg = SqlStepConfig {
+        max_ilp_vars: 1,
+        ..Default::default()
+    };
     assert_eq!(
         sql_step(&out, &[Complaint::tuple_delete(0)], 3, &cfg),
         SqlStep::Timeout
@@ -356,11 +406,19 @@ fn sql_step_different_seeds_pick_different_repairs() {
     // Ambiguous complaint: count should drop by 1 among 5 identical rows.
     let db = tri_db(&[0, 0, 0, 0, 0], &[0]);
     let model = tri_model();
-    let out = run_query(&db, &model, "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
-        ExecOptions { debug: true }).unwrap();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
     let mut picks = std::collections::HashSet::new();
     for seed in 0..12 {
-        let cfg = SqlStepConfig { seed, ..Default::default() };
+        let cfg = SqlStepConfig {
+            seed,
+            ..Default::default()
+        };
         if let SqlStep::Repairs(r) = sql_step(&out, &[Complaint::scalar_eq(4.0)], 3, &cfg) {
             assert_eq!(r.len(), 1);
             picks.insert(r[0]);
@@ -374,16 +432,24 @@ fn sql_step_different_seeds_pick_different_repairs() {
 #[test]
 fn holistic_on_digits_count_complaint() {
     // Small version of Q5: corrupt 1s to 7s, complain the count of 1s.
-    let w = DigitsConfig { n_train: 250, n_query: 120 }.generate(11);
+    let w = DigitsConfig {
+        n_train: 250,
+        n_query: 120,
+    }
+    .generate(11);
     let mut train = w.train.clone();
     let truth = flip_labels_where(&mut train, |_, _, y| y == 1, 0.6, |_| 7, 11);
-    assert!(truth.len() >= 5, "need some corruptions, got {}", truth.len());
+    assert!(
+        truth.len() >= 5,
+        "need some corruptions, got {}",
+        truth.len()
+    );
     let mut db = Database::new();
-    db.register("mnist", w.query_table_for(&(0..10).collect::<Vec<_>>(), 120));
-    let true_ones = w
-        .query_rows_with_digits(&[1])
-        .len()
-        .min(120);
+    db.register(
+        "mnist",
+        w.query_table_for(&(0..10).collect::<Vec<_>>(), 120),
+    );
+    let true_ones = w.query_rows_with_digits(&[1]).len().min(120);
     let session = DebugSession::new(
         db,
         train,
@@ -394,7 +460,9 @@ fn holistic_on_digits_count_complaint() {
             .with_complaint(Complaint::scalar_eq(true_ones as f64)),
     );
     let budget = truth.len().min(20);
-    let report = session.run(Method::Holistic, &RunConfig::paper(budget)).unwrap();
+    let report = session
+        .run(Method::Holistic, &RunConfig::paper(budget))
+        .unwrap();
     let recall = report.recall_curve(&truth);
     assert!(
         *recall.last().unwrap() >= 0.3,
@@ -407,19 +475,26 @@ fn inequality_complaints_drive_until_satisfied() {
     let (session, truth, true_count) = dblp_session(6);
     // "count should be at least X" — violated initially (undercount).
     let session = DebugSession {
-        queries: vec![QuerySpec::new("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1")
-            .with_complaint(Complaint::Value {
-                row: 0,
-                agg: 0,
-                op: ValueOp::Ge,
-                target: true_count as f64 * 0.9,
-            })],
+        queries: vec![
+            QuerySpec::new("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1").with_complaint(
+                Complaint::Value {
+                    row: 0,
+                    agg: 0,
+                    op: ValueOp::Ge,
+                    target: true_count as f64 * 0.9,
+                },
+            ),
+        ],
         ..session
     };
     let report = session
         .run(
             Method::Holistic,
-            &RunConfig { k_per_iter: 10, budget: truth.len(), stop_when_satisfied: true },
+            &RunConfig {
+                k_per_iter: 10,
+                budget: truth.len(),
+                stop_when_satisfied: true,
+            },
         )
         .unwrap();
     // Either satisfied early (good) or kept working; report must be sane.

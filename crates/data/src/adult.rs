@@ -62,14 +62,20 @@ pub struct AdultConfig {
 
 impl Default for AdultConfig {
     fn default() -> Self {
-        AdultConfig { n_train: 4000, n_query: 2000 }
+        AdultConfig {
+            n_train: 4000,
+            n_query: 2000,
+        }
     }
 }
 
 impl AdultConfig {
     /// A small configuration for unit tests.
     pub fn small() -> Self {
-        AdultConfig { n_train: 500, n_query: 250 }
+        AdultConfig {
+            n_train: 500,
+            n_query: 250,
+        }
     }
 
     /// Generate the workload deterministically from a seed.
@@ -77,7 +83,12 @@ impl AdultConfig {
         let mut rng = RainRng::seed_from_u64(seed);
         let (train, train_recs) = gen(self.n_train, &mut rng.derive(1));
         let (query, query_recs) = gen(self.n_query, &mut rng.derive(2));
-        AdultWorkload { train, query, train_records: train_recs, query_records: query_recs }
+        AdultWorkload {
+            train,
+            query,
+            train_records: train_recs,
+            query_records: query_recs,
+        }
     }
 }
 
@@ -101,7 +112,13 @@ impl AdultWorkload {
         let gender = Column::Str(
             self.query_records
                 .iter()
-                .map(|r| if r.male { "male".to_string() } else { "female".to_string() })
+                .map(|r| {
+                    if r.male {
+                        "male".to_string()
+                    } else {
+                        "female".to_string()
+                    }
+                })
                 .collect(),
         );
         let age = Column::Int(self.query_records.iter().map(|r| r.age_decade()).collect());
@@ -143,7 +160,8 @@ fn gen(n: usize, rng: &mut RainRng) -> (Dataset, Vec<AdultRecord>) {
     for _ in 0..n {
         let rec = AdultRecord {
             age_bucket: rng.weighted_index(&[0.22, 0.26, 0.22, 0.16, 0.09, 0.05]),
-            education: rng.weighted_index(&[0.04, 0.07, 0.22, 0.14, 0.06, 0.18, 0.12, 0.09, 0.05, 0.03]),
+            education: rng
+                .weighted_index(&[0.04, 0.07, 0.22, 0.14, 0.06, 0.18, 0.12, 0.09, 0.05, 0.03]),
             male: rng.bernoulli(0.67),
         };
         // Income model: education dominates, middle age peaks, men earn
@@ -168,7 +186,11 @@ mod tests {
 
     #[test]
     fn features_are_one_hot() {
-        let rec = AdultRecord { age_bucket: 2, education: 5, male: true };
+        let rec = AdultRecord {
+            age_bucket: 2,
+            education: 5,
+            male: true,
+        };
         let x = rec.features();
         assert_eq!(x.len(), N_FEATURES);
         assert_eq!(x.iter().sum::<f64>(), 3.0);
@@ -213,9 +235,16 @@ mod tests {
         // but most 40-50-year-olds are male.
         let w = AdultConfig::default().generate(4);
         let males = w.train_records.iter().filter(|r| r.male).count() as f64;
-        let m40 =
-            w.train_records.iter().filter(|r| r.male && r.age_decade() == 40).count() as f64;
-        let all40 = w.train_records.iter().filter(|r| r.age_decade() == 40).count() as f64;
+        let m40 = w
+            .train_records
+            .iter()
+            .filter(|r| r.male && r.age_decade() == 40)
+            .count() as f64;
+        let all40 = w
+            .train_records
+            .iter()
+            .filter(|r| r.age_decade() == 40)
+            .count() as f64;
         assert!(m40 / males < 0.35, "male∧40 / male = {}", m40 / males);
         assert!(m40 / all40 > 0.55, "male∧40 / 40 = {}", m40 / all40);
     }

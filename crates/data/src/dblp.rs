@@ -35,14 +35,22 @@ pub struct DblpConfig {
 
 impl Default for DblpConfig {
     fn default() -> Self {
-        DblpConfig { n_train: 2000, n_query: 1000, match_rate: 0.233 }
+        DblpConfig {
+            n_train: 2000,
+            n_query: 1000,
+            match_rate: 0.233,
+        }
     }
 }
 
 impl DblpConfig {
     /// A small configuration for unit tests.
     pub fn small() -> Self {
-        DblpConfig { n_train: 300, n_query: 150, ..Default::default() }
+        DblpConfig {
+            n_train: 300,
+            n_query: 150,
+            ..Default::default()
+        }
     }
 
     /// Generate the workload deterministically from a seed.
@@ -113,7 +121,10 @@ mod tests {
         assert_eq!(w.train.dim(), N_FEATURES);
         let w2 = DblpConfig::small().generate(7);
         assert_eq!(w.train.labels(), w2.train.labels());
-        assert_eq!(w.train.features().as_slice(), w2.train.features().as_slice());
+        assert_eq!(
+            w.train.features().as_slice(),
+            w2.train.features().as_slice()
+        );
     }
 
     #[test]

@@ -26,16 +26,16 @@ pub const N_CLASSES: usize = 10;
 /// Seven-segment membership per digit (segments A,B,C,D,E,F,G).
 const SEGMENTS: [[bool; 7]; 10] = [
     // A      B      C      D      E      F      G
-    [true, true, true, true, true, true, false],   // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],  // 2
-    [true, true, true, true, false, false, true],  // 3
-    [false, true, true, false, false, true, true], // 4
-    [true, false, true, true, false, true, true],  // 5
-    [true, false, true, true, true, true, true],   // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],    // 8
-    [true, true, true, true, false, true, true],   // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Render one digit glyph into a `N_PIXELS` vector.
@@ -98,14 +98,20 @@ pub struct DigitsConfig {
 
 impl Default for DigitsConfig {
     fn default() -> Self {
-        DigitsConfig { n_train: 2000, n_query: 1000 }
+        DigitsConfig {
+            n_train: 2000,
+            n_query: 1000,
+        }
     }
 }
 
 impl DigitsConfig {
     /// A small configuration for unit tests.
     pub fn small() -> Self {
-        DigitsConfig { n_train: 400, n_query: 200 }
+        DigitsConfig {
+            n_train: 400,
+            n_query: 200,
+        }
     }
 
     /// Generate the workload deterministically from a seed.
@@ -168,8 +174,11 @@ impl DigitsWorkload {
             .into_iter()
             .map(|i| movable[i])
             .collect();
-        let new_left: Vec<usize> =
-            left.iter().copied().filter(|r| !chosen.contains(r)).collect();
+        let new_left: Vec<usize> = left
+            .iter()
+            .copied()
+            .filter(|r| !chosen.contains(r))
+            .collect();
         let mut new_right = right;
         new_right.extend(chosen.iter().copied());
         new_right.sort_unstable();
@@ -226,7 +235,8 @@ mod tests {
         let m1 = mean(1, &mut rng);
         let m7 = mean(7, &mut rng);
         let m8 = mean(8, &mut rng);
-        let dist = |a: &[f64], b: &[f64]| rain_linalg::vecops::norm2(&rain_linalg::vecops::sub(a, b));
+        let dist =
+            |a: &[f64], b: &[f64]| rain_linalg::vecops::norm2(&rain_linalg::vecops::sub(a, b));
         // 7 = 1 + top bar: closer to 1 than 8 is.
         assert!(dist(&m1, &m7) < dist(&m1, &m8));
         assert!(dist(&m1, &m7) > 1.0, "digits 1 and 7 must still differ");
@@ -236,7 +246,14 @@ mod tests {
     fn softmax_learns_digits_like_mnist() {
         let w = DigitsConfig::small().generate(3);
         let mut m = SoftmaxRegression::new(N_PIXELS, N_CLASSES, 0.005);
-        train_lbfgs(&mut m, &w.train, &LbfgsConfig { max_iters: 120, ..Default::default() });
+        train_lbfgs(
+            &mut m,
+            &w.train,
+            &LbfgsConfig {
+                max_iters: 120,
+                ..Default::default()
+            },
+        );
         let acc = accuracy(&m, &w.query);
         assert!(acc > 0.9, "query accuracy {acc} (MNIST-with-LR is ≈0.92)");
     }

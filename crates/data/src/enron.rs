@@ -37,14 +37,24 @@ pub struct EnronConfig {
 
 impl Default for EnronConfig {
     fn default() -> Self {
-        EnronConfig { n_train: 2000, n_query: 1000, vocab: 200, spam_rate: 0.3 }
+        EnronConfig {
+            n_train: 2000,
+            n_query: 1000,
+            vocab: 200,
+            spam_rate: 0.3,
+        }
     }
 }
 
 impl EnronConfig {
     /// A small configuration for unit tests.
     pub fn small() -> Self {
-        EnronConfig { n_train: 400, n_query: 200, vocab: 60, ..Default::default() }
+        EnronConfig {
+            n_train: 400,
+            n_query: 200,
+            vocab: 60,
+            ..Default::default()
+        }
     }
 
     /// Generate the workload deterministically from a seed.
@@ -81,11 +91,27 @@ impl EnronConfig {
                 }
             }
         }
-        let (train, train_words) =
-            gen(self.n_train, self.spam_rate, &p_spam, &p_ham, &mut rng.derive(2));
-        let (query, query_words) =
-            gen(self.n_query, self.spam_rate, &p_spam, &p_ham, &mut rng.derive(3));
-        EnronWorkload { train, query, train_words, query_words, vocab: self.vocab }
+        let (train, train_words) = gen(
+            self.n_train,
+            self.spam_rate,
+            &p_spam,
+            &p_ham,
+            &mut rng.derive(2),
+        );
+        let (query, query_words) = gen(
+            self.n_query,
+            self.spam_rate,
+            &p_spam,
+            &p_ham,
+            &mut rng.derive(3),
+        );
+        EnronWorkload {
+            train,
+            query,
+            train_words,
+            query_words,
+            vocab: self.vocab,
+        }
     }
 }
 
@@ -116,13 +142,21 @@ impl EnronWorkload {
 
     /// The email text (present tokens joined by spaces).
     pub fn text_of(words: &[usize]) -> String {
-        words.iter().map(|&w| Self::token(w)).collect::<Vec<_>>().join(" ")
+        words
+            .iter()
+            .map(|&w| Self::token(w))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// The queried relation with a `text` column for `LIKE` predicates.
     pub fn query_table(&self) -> Table {
-        let text =
-            Column::Str(self.query_words.iter().map(|ws| Self::text_of(ws)).collect());
+        let text = Column::Str(
+            self.query_words
+                .iter()
+                .map(|ws| Self::text_of(ws))
+                .collect(),
+        );
         crate::tables::dataset_to_table(&self.query, vec![("text", text)])
     }
 
@@ -178,10 +212,12 @@ mod tests {
     fn token_statistics_match_paper() {
         let w = EnronConfig::default().generate(1);
         let n = w.train.len() as f64;
-        let with_http: Vec<usize> =
-            (0..w.train.len()).filter(|&i| w.train_contains(i, HTTP)).collect();
-        let with_deal: Vec<usize> =
-            (0..w.train.len()).filter(|&i| w.train_contains(i, DEAL)).collect();
+        let with_http: Vec<usize> = (0..w.train.len())
+            .filter(|&i| w.train_contains(i, HTTP))
+            .collect();
+        let with_deal: Vec<usize> = (0..w.train.len())
+            .filter(|&i| w.train_contains(i, DEAL))
+            .collect();
         let p_http = with_http.len() as f64 / n;
         let p_deal = with_deal.len() as f64 / n;
         assert!((p_http - 0.13).abs() < 0.03, "P(http) {p_http}");
@@ -224,16 +260,11 @@ mod tests {
         // (paper: 3.14%); the 'deal' rule flips ≈17.5%.
         let w = EnronConfig::default().generate(4);
         let mut t1 = w.train.clone();
-        let flipped_http = crate::corrupt::relabel_where(
-            &mut t1,
-            |_, x, _| x[HTTP] != 0.0,
-            1,
-        );
+        let flipped_http = crate::corrupt::relabel_where(&mut t1, |_, x, _| x[HTTP] != 0.0, 1);
         let frac = flipped_http.len() as f64 / w.train.len() as f64;
         assert!((frac - 0.031).abs() < 0.02, "http rule flips {frac}");
         let mut t2 = w.train.clone();
-        let flipped_deal =
-            crate::corrupt::relabel_where(&mut t2, |_, x, _| x[DEAL] != 0.0, 1);
+        let flipped_deal = crate::corrupt::relabel_where(&mut t2, |_, x, _| x[DEAL] != 0.0, 1);
         let frac = flipped_deal.len() as f64 / w.train.len() as f64;
         assert!((frac - 0.175).abs() < 0.04, "deal rule flips {frac}");
     }

@@ -17,8 +17,7 @@
 
 use crate::lp::{solve_lp, LpOutcome};
 use crate::model::{Constraint, IlpProblem, Sense};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rain_linalg::RainRng;
 
 /// Branch-and-bound configuration.
 #[derive(Debug, Clone)]
@@ -32,7 +31,10 @@ pub struct BbConfig {
 
 impl Default for BbConfig {
     fn default() -> Self {
-        BbConfig { node_budget: 200_000, seed: 0 }
+        BbConfig {
+            node_budget: 200_000,
+            seed: 0,
+        }
     }
 }
 
@@ -74,11 +76,11 @@ impl IlpOutcome {
 pub fn solve_ilp(p: &IlpProblem, cfg: &BbConfig) -> IlpOutcome {
     let n = p.n_vars();
     let integral_obj = p.objective.iter().all(|c| (c - c.round()).abs() < 1e-9);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = RainRng::seed_from_u64(cfg.seed);
     // Randomized variable priority for tie-breaking between optima.
     let mut priority: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.below(i + 1);
         priority.swap(i, j);
     }
     // Seeded tie-breaking between optima: when the objective is integral,
@@ -87,7 +89,10 @@ pub fn solve_ilp(p: &IlpProblem, cfg: &BbConfig) -> IlpOutcome {
     // "solver opaquely picks one solution" behaviour of §5.2.2.
     let work_obj: Vec<f64> = if integral_obj && n > 0 {
         let eps = 0.4 / n as f64;
-        p.objective.iter().map(|c| c + rng.gen_range(0.0..eps)).collect()
+        p.objective
+            .iter()
+            .map(|c| c + rng.uniform_range(0.0, eps))
+            .collect()
     } else {
         p.objective.clone()
     };
@@ -157,8 +162,9 @@ pub fn solve_ilp(p: &IlpProblem, cfg: &BbConfig) -> IlpOutcome {
                     continue;
                 }
                 // Integral LP solution → incumbent.
-                let frac = x.iter().position(|v| v.fract().min(1.0 - v.fract()) > 1e-6
-                    || (*v - v.round()).abs() > 1e-6);
+                let frac = x.iter().position(|v| {
+                    v.fract().min(1.0 - v.fract()) > 1e-6 || (*v - v.round()).abs() > 1e-6
+                });
                 match frac {
                     None => {
                         let mut full = vec![false; n];
@@ -168,11 +174,9 @@ pub fn solve_ilp(p: &IlpProblem, cfg: &BbConfig) -> IlpOutcome {
                                 None => full[i] = x[index_of[&i]] > 0.5,
                             }
                         }
-                        let as_f64: Vec<f64> =
-                            full.iter().map(|&b| b as u8 as f64).collect();
+                        let as_f64: Vec<f64> = full.iter().map(|&b| b as u8 as f64).collect();
                         debug_assert!(p.feasible(&as_f64, 1e-6));
-                        let perturbed: f64 =
-                            work_obj.iter().zip(&as_f64).map(|(c, v)| c * v).sum();
+                        let perturbed: f64 = work_obj.iter().zip(&as_f64).map(|(c, v)| c * v).sum();
                         if perturbed < best_perturbed - 1e-9 {
                             best_perturbed = perturbed;
                             best = Some(IlpSolution {
@@ -204,7 +208,7 @@ fn branch(
     free: &[usize],
     lp_value: Option<&dyn Fn(usize) -> f64>,
     priority: &[usize],
-    rng: &mut StdRng,
+    rng: &mut RainRng,
     stack: &mut Vec<Vec<Option<bool>>>,
 ) {
     // Prefer fractional variables (if LP values known), then priority.
@@ -220,7 +224,7 @@ fn branch(
         .min_by_key(|&i| priority[i])
         .or_else(|| free.iter().copied().min_by_key(|&i| priority[i]));
     let Some(var) = var else { return };
-    let first = rng.gen_bool(0.5);
+    let first = rng.bernoulli(0.5);
     for &val in &[first, !first] {
         let mut child = fixed.to_vec();
         child[var] = Some(val);
@@ -277,33 +281,39 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_instances() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = RainRng::seed_from_u64(9);
         for trial in 0..25 {
             let n = 2 + (trial % 7);
             let mut p = IlpProblem::new();
             for _ in 0..n {
-                p.add_var(rng.gen_range(-3i64..4) as f64);
+                p.add_var(rng.int_range(-3, 4) as f64);
             }
-            for _ in 0..rng.gen_range(1..4usize) {
+            for _ in 0..(1 + rng.below(3)) {
                 let mut terms: Vec<(usize, f64)> = Vec::new();
                 for i in 0..n {
-                    if rng.gen_bool(0.7) {
-                        terms.push((i, rng.gen_range(-2i64..3) as f64));
+                    if rng.bernoulli(0.7) {
+                        terms.push((i, rng.int_range(-2, 3) as f64));
                     }
                 }
                 if terms.is_empty() {
                     continue;
                 }
-                let sense = match rng.gen_range(0..3) {
+                let sense = match rng.below(3) {
                     0 => Sense::Le,
                     1 => Sense::Ge,
                     _ => Sense::Eq,
                 };
-                let rhs = rng.gen_range(-2i64..4) as f64;
+                let rhs = rng.int_range(-2, 4) as f64;
                 p.add_constraint(Constraint::new(terms, sense, rhs));
             }
             let expected = brute(&p);
-            let out = solve_ilp(&p, &BbConfig { seed: trial as u64, ..Default::default() });
+            let out = solve_ilp(
+                &p,
+                &BbConfig {
+                    seed: trial as u64,
+                    ..Default::default()
+                },
+            );
             match (expected, out) {
                 (None, IlpOutcome::Infeasible) => {}
                 (Some(e), IlpOutcome::Optimal(s)) => {
@@ -325,10 +335,20 @@ mod tests {
         for _ in 0..6 {
             p.add_var(1.0);
         }
-        p.add_constraint(Constraint::new((0..6).map(|i| (i, 1.0)).collect(), Sense::Eq, 1.0));
+        p.add_constraint(Constraint::new(
+            (0..6).map(|i| (i, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        ));
         let mut picks = std::collections::HashSet::new();
         for seed in 0..20 {
-            let out = solve_ilp(&p, &BbConfig { seed, ..Default::default() });
+            let out = solve_ilp(
+                &p,
+                &BbConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let sol = out.solution().expect("feasible").clone();
             picks.insert(sol.x.iter().position(|&b| b).unwrap());
         }
@@ -351,11 +371,19 @@ mod tests {
             p.add_var(-1.0);
         }
         p.add_constraint(Constraint::new(
-            (0..10).map(|i| (i, if i % 2 == 0 { 2.0 } else { 3.0 })).collect(),
+            (0..10)
+                .map(|i| (i, if i % 2 == 0 { 2.0 } else { 3.0 }))
+                .collect(),
             Sense::Le,
             7.0,
         ));
-        let out = solve_ilp(&p, &BbConfig { node_budget: 1, seed: 0 });
+        let out = solve_ilp(
+            &p,
+            &BbConfig {
+                node_budget: 1,
+                seed: 0,
+            },
+        );
         assert!(matches!(out, IlpOutcome::Budget(_)));
     }
 

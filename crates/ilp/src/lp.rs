@@ -33,7 +33,10 @@ const MAX_PIVOTS: usize = 20_000;
 pub fn solve_lp(objective: &[f64], constraints: &[Constraint]) -> LpOutcome {
     let n = objective.len();
     if n == 0 {
-        return LpOutcome::Optimal { x: Vec::new(), objective: 0.0 };
+        return LpOutcome::Optimal {
+            x: Vec::new(),
+            objective: 0.0,
+        };
     }
 
     // Assemble rows: user constraints plus xᵢ ≤ 1 bounds.
@@ -48,12 +51,20 @@ pub fn solve_lp(objective: &[f64], constraints: &[Constraint]) -> LpOutcome {
         for &(i, a) in &c.terms {
             coeffs[i] += a;
         }
-        rows.push(Row { coeffs, sense: c.sense, rhs: c.rhs });
+        rows.push(Row {
+            coeffs,
+            sense: c.sense,
+            rhs: c.rhs,
+        });
     }
     for i in 0..n {
         let mut coeffs = vec![0.0; n];
         coeffs[i] = 1.0;
-        rows.push(Row { coeffs, sense: Sense::Le, rhs: 1.0 });
+        rows.push(Row {
+            coeffs,
+            sense: Sense::Le,
+            rhs: 1.0,
+        });
     }
 
     // Normalize to rhs ≥ 0.
@@ -171,7 +182,10 @@ pub fn solve_lp(objective: &[f64], constraints: &[Constraint]) -> LpOutcome {
         }
     }
     let objective_val = objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    LpOutcome::Optimal { x, objective: objective_val }
+    LpOutcome::Optimal {
+        x,
+        objective: objective_val,
+    }
 }
 
 enum SimplexEnd {
@@ -182,12 +196,7 @@ enum SimplexEnd {
 
 /// Run simplex iterations on the tableau until optimality. Returns the
 /// objective value of the final basis.
-fn run_simplex(
-    t: &mut [Vec<f64>],
-    basis: &mut [usize],
-    cost: &[f64],
-    total: usize,
-) -> SimplexEnd {
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], total: usize) -> SimplexEnd {
     let m = t.len();
     for _ in 0..MAX_PIVOTS {
         // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j, computed from the
@@ -221,8 +230,7 @@ fn run_simplex(
                 match leave {
                     None => leave = Some((ri, ratio)),
                     Some((best_ri, best)) => {
-                        if ratio < best - EPS
-                            || (ratio < best + EPS && basis[ri] < basis[best_ri])
+                        if ratio < best - EPS || (ratio < best + EPS && basis[ri] < basis[best_ri])
                         {
                             leave = Some((ri, ratio));
                         }
@@ -346,7 +354,11 @@ mod tests {
         // min number of flips: min Σ(1-x_i over S) s.t. Σ x_i = k has an
         // integral optimum (the constraint matrix is totally unimodular).
         let n = 6;
-        let c = vec![Constraint::new((0..n).map(|i| (i, 1.0)).collect(), Sense::Eq, 4.0)];
+        let c = vec![Constraint::new(
+            (0..n).map(|i| (i, 1.0)).collect(),
+            Sense::Eq,
+            4.0,
+        )];
         // Cost: flipping vars 0..3 is free (they're already 1), others cost 1.
         let mut cost = vec![0.0; n];
         for t in cost.iter_mut().skip(3) {
@@ -360,7 +372,10 @@ mod tests {
     fn zero_variables() {
         assert_eq!(
             solve_lp(&[], &[]),
-            LpOutcome::Optimal { x: vec![], objective: 0.0 }
+            LpOutcome::Optimal {
+                x: vec![],
+                objective: 0.0
+            }
         );
     }
 }

@@ -20,7 +20,11 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// Empty graph with the given sides.
     pub fn new(n_left: usize, n_right: usize) -> Self {
-        BipartiteGraph { n_left, n_right, adj: vec![Vec::new(); n_left] }
+        BipartiteGraph {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
     }
 
     /// Add an edge `(l, r)`.
@@ -123,7 +127,11 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
             }
         }
     }
-    Matching { pair_left, pair_right, size }
+    Matching {
+        pair_left,
+        pair_right,
+        size,
+    }
 }
 
 /// König's construction: a minimum vertex cover from a maximum matching.
@@ -134,8 +142,9 @@ pub fn konig_min_vertex_cover(g: &BipartiteGraph) -> (Vec<usize>, Vec<usize>) {
     // Alternating reachability from unmatched left vertices.
     let mut vis_left = vec![false; g.n_left];
     let mut vis_right = vec![false; g.n_right];
-    let mut stack: Vec<usize> =
-        (0..g.n_left).filter(|&l| m.pair_left[l].is_none()).collect();
+    let mut stack: Vec<usize> = (0..g.n_left)
+        .filter(|&l| m.pair_left[l].is_none())
+        .collect();
     for &l in &stack {
         vis_left[l] = true;
     }
@@ -162,8 +171,7 @@ pub fn konig_min_vertex_cover(g: &BipartiteGraph) -> (Vec<usize>, Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rain_linalg::RainRng;
 
     /// Brute-force minimum vertex cover size by bitmask enumeration
     /// (n_left + n_right ≤ ~16).
@@ -209,15 +217,15 @@ mod tests {
 
     #[test]
     fn cover_touches_every_edge() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = RainRng::seed_from_u64(11);
         for _ in 0..30 {
-            let nl = rng.gen_range(1..6);
-            let nr = rng.gen_range(1..6);
+            let nl = 1 + rng.below(5);
+            let nr = 1 + rng.below(5);
             let mut g = BipartiteGraph::new(nl, nr);
             let mut edges = Vec::new();
             for l in 0..nl {
                 for r in 0..nr {
-                    if rng.gen_bool(0.4) {
+                    if rng.bernoulli(0.4) {
                         g.add_edge(l, r);
                         edges.push((l, r));
                     }
@@ -227,7 +235,10 @@ mod tests {
             let lset: std::collections::HashSet<_> = left.iter().collect();
             let rset: std::collections::HashSet<_> = right.iter().collect();
             for (l, r) in &edges {
-                assert!(lset.contains(l) || rset.contains(r), "edge ({l},{r}) uncovered");
+                assert!(
+                    lset.contains(l) || rset.contains(r),
+                    "edge ({l},{r}) uncovered"
+                );
             }
             // König: cover size equals matching size (minimality).
             let m = hopcroft_karp(&g);
@@ -237,14 +248,14 @@ mod tests {
 
     #[test]
     fn matching_size_equals_brute_cover() {
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = RainRng::seed_from_u64(13);
         for _ in 0..10 {
-            let nl = rng.gen_range(1..5);
-            let nr = rng.gen_range(1..5);
+            let nl = 1 + rng.below(4);
+            let nr = 1 + rng.below(4);
             let mut g = BipartiteGraph::new(nl, nr);
             for l in 0..nl {
                 for r in 0..nr {
-                    if rng.gen_bool(0.5) {
+                    if rng.bernoulli(0.5) {
                         g.add_edge(l, r);
                     }
                 }

@@ -79,7 +79,10 @@ impl IlpProblem {
     /// Add a constraint.
     pub fn add_constraint(&mut self, c: Constraint) {
         for &(i, _) in &c.terms {
-            assert!(i < self.n_vars(), "constraint references unknown variable {i}");
+            assert!(
+                i < self.n_vars(),
+                "constraint references unknown variable {i}"
+            );
         }
         self.constraints.push(c);
     }

@@ -17,7 +17,10 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> Self {
-        CgConfig { max_iters: 100, rel_tol: 1e-6 }
+        CgConfig {
+            max_iters: 100,
+            rel_tol: 1e-6,
+        }
     }
 }
 
@@ -49,7 +52,12 @@ where
     let n = b.len();
     let bnorm = vecops::norm2(b);
     if bnorm == 0.0 {
-        return CgOutcome { x: vec![0.0; n], iters: 0, rel_residual: 0.0, converged: true };
+        return CgOutcome {
+            x: vec![0.0; n],
+            iters: 0,
+            rel_residual: 0.0,
+            converged: true,
+        };
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -60,7 +68,12 @@ where
     for _ in 0..cfg.max_iters {
         let rnorm = rs_old.sqrt();
         if rnorm <= cfg.rel_tol * bnorm {
-            return CgOutcome { x, iters, rel_residual: rnorm / bnorm, converged: true };
+            return CgOutcome {
+                x,
+                iters,
+                rel_residual: rnorm / bnorm,
+                converged: true,
+            };
         }
         let ap = apply(&p);
         let pap = vecops::dot(&p, &ap);
@@ -80,7 +93,12 @@ where
         iters += 1;
     }
     let rel = rs_old.sqrt() / bnorm;
-    CgOutcome { x, iters, rel_residual: rel, converged: rel <= cfg.rel_tol }
+    CgOutcome {
+        x,
+        iters,
+        rel_residual: rel,
+        converged: rel <= cfg.rel_tol,
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +132,14 @@ mod tests {
             let mut rng = RainRng::seed_from_u64(100 + seed);
             let b = rng.normal_vec(12, 1.0);
             let direct = a.solve_spd(&b).unwrap();
-            let out = cg_solve(|v| a.matvec(v), &b, &CgConfig { max_iters: 200, rel_tol: 1e-10 });
+            let out = cg_solve(
+                |v| a.matvec(v),
+                &b,
+                &CgConfig {
+                    max_iters: 200,
+                    rel_tol: 1e-10,
+                },
+            );
             assert!(out.converged, "seed {seed}");
             assert!(vecops::approx_eq(&out.x, &direct, 1e-6), "seed {seed}");
         }
@@ -133,7 +158,14 @@ mod tests {
         // CG converges in at most n steps in exact arithmetic.
         let a = random_spd(8, 42);
         let b = vec![1.0; 8];
-        let out = cg_solve(|v| a.matvec(v), &b, &CgConfig { max_iters: 8, rel_tol: 1e-8 });
+        let out = cg_solve(
+            |v| a.matvec(v),
+            &b,
+            &CgConfig {
+                max_iters: 8,
+                rel_tol: 1e-8,
+            },
+        );
         assert!(out.rel_residual < 1e-6);
     }
 
@@ -141,11 +173,7 @@ mod tests {
     fn bails_on_negative_curvature() {
         // A = -I is negative definite: pᵀAp < 0 at the very first step.
         let b = [1.0, 2.0];
-        let out = cg_solve(
-            |v| v.iter().map(|x| -x).collect(),
-            &b,
-            &CgConfig::default(),
-        );
+        let out = cg_solve(|v| v.iter().map(|x| -x).collect(), &b, &CgConfig::default());
         assert!(!out.converged);
         assert_eq!(out.x, vec![0.0; 2]); // best iterate = initial point
     }
@@ -154,7 +182,14 @@ mod tests {
     fn respects_iteration_cap() {
         let a = random_spd(30, 7);
         let b = vec![1.0; 30];
-        let out = cg_solve(|v| a.matvec(v), &b, &CgConfig { max_iters: 3, rel_tol: 1e-16 });
+        let out = cg_solve(
+            |v| a.matvec(v),
+            &b,
+            &CgConfig {
+                max_iters: 3,
+                rel_tol: 1e-16,
+            },
+        );
         assert!(out.iters <= 3);
         assert!(!out.converged);
     }

@@ -18,7 +18,7 @@
 //! MLPs) or barely positive definite.
 //!
 //! [`score_records`] then evaluates `-∇ℓ(zᵢ)·s` for every training record,
-//! fanned out across threads with `crossbeam`.
+//! fanned out across scoped `std::thread` workers.
 //!
 //! The `InfLoss` baseline ("self-influence", §6.1.1) is also provided:
 //! `-∇ℓ(z)ᵀ H⁻¹ ∇ℓ(z)` per record, which needs one CG solve *per training

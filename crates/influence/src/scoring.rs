@@ -6,7 +6,6 @@
 //! `score(zᵢ) = -∇ℓ(zᵢ, θ*)·s` for every training record in parallel.
 
 use crate::cg::{cg_solve, CgConfig, CgOutcome};
-use parking_lot::Mutex;
 use rain_linalg::vecops;
 use rain_model::{Classifier, Dataset};
 
@@ -24,7 +23,11 @@ pub struct InfluenceConfig {
 
 impl Default for InfluenceConfig {
     fn default() -> Self {
-        InfluenceConfig { damping: 0.0, cg: CgConfig::default(), threads: 4 }
+        InfluenceConfig {
+            damping: 0.0,
+            cg: CgConfig::default(),
+            threads: 4,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ impl InfluenceConfig {
     pub fn for_nonconvex() -> Self {
         InfluenceConfig {
             damping: 0.01,
-            cg: CgConfig { max_iters: 100, rel_tol: 1e-4 },
+            cg: CgConfig {
+                max_iters: 100,
+                rel_tol: 1e-4,
+            },
             threads: 4,
         }
     }
@@ -56,7 +62,11 @@ pub fn inverse_hvp(
     g: &[f64],
     cfg: &InfluenceConfig,
 ) -> CgOutcome {
-    assert_eq!(g.len(), model.n_params(), "inverse_hvp: gradient length mismatch");
+    assert_eq!(
+        g.len(),
+        model.n_params(),
+        "inverse_hvp: gradient length mismatch"
+    );
     cg_solve(
         |v| {
             let mut hv = model.hvp(data, v);
@@ -73,7 +83,7 @@ pub fn inverse_hvp(
 /// Score every training record against a solved direction `s = H⁻¹∇q`:
 /// `score(zᵢ) = -∇ℓ(zᵢ)·s`. Returns scores aligned with `data` rows.
 ///
-/// Scoring fans out over `threads` workers with `crossbeam` scoped threads;
+/// Scoring fans out over `threads` workers with `std::thread::scope`;
 /// each worker owns a disjoint slice of the output so no synchronization is
 /// needed on the hot path.
 pub fn score_records(
@@ -92,18 +102,17 @@ pub fn score_records(
         return scores;
     }
     let chunk = n.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, out) in scores.chunks_mut(chunk).enumerate() {
             let start = w * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (k, slot) in out.iter_mut().enumerate() {
                     let i = start + k;
                     *slot = -model.example_grad_dot(data.x(i), data.y(i), s);
                 }
             });
         }
-    })
-    .expect("scoring worker panicked");
+    });
     scores
 }
 
@@ -119,24 +128,26 @@ pub fn self_influence_scores(
     cfg: &InfluenceConfig,
 ) -> Vec<f64> {
     let n = data.len();
-    let scores: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+    let scores: Vec<std::sync::Mutex<f64>> = (0..n).map(|_| std::sync::Mutex::new(0.0)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = cfg.threads.clamp(1, n.max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let g = model.example_grad(data.x(i), data.y(i));
                 let solved = inverse_hvp(model, data, &g, cfg);
-                *scores[i].lock() = -vecops::dot(&g, &solved.x);
+                *scores[i].lock().expect("score slot poisoned") = -vecops::dot(&g, &solved.x);
             });
         }
-    })
-    .expect("self-influence worker panicked");
-    scores.into_iter().map(|m| m.into_inner()).collect()
+    });
+    scores
+        .into_iter()
+        .map(|m| m.into_inner().expect("score slot poisoned"))
+        .collect()
 }
 
 /// Rank records descending by score, breaking ties by id for determinism.
@@ -145,10 +156,16 @@ pub fn rank_descending(data: &Dataset, scores: &[f64]) -> Vec<RankedRecord> {
     let mut ranked: Vec<RankedRecord> = scores
         .iter()
         .enumerate()
-        .map(|(i, &score)| RankedRecord { id: data.id(i), score })
+        .map(|(i, &score)| RankedRecord {
+            id: data.id(i),
+            score,
+        })
         .collect();
     ranked.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
     });
     ranked
 }
@@ -209,7 +226,10 @@ mod tests {
             &m,
             &data,
             &g,
-            &InfluenceConfig { damping: 10.0, ..Default::default() },
+            &InfluenceConfig {
+                damping: 10.0,
+                ..Default::default()
+            },
         );
         // Heavier damping shrinks the solution norm.
         assert!(vecops::norm2(&damped.x) < vecops::norm2(&plain.x));
@@ -243,16 +263,18 @@ mod tests {
         let s = inverse_hvp(&m, &data, &gq, &cfg).x;
         let scores = score_records(&m, &data, &s, 1);
         let q_of = |model: &LogisticRegression| -> f64 {
-            probe.iter().map(|&i| model.predict_proba(data.x(i))[1]).sum::<f64>() / 10.0
+            probe
+                .iter()
+                .map(|&i| model.predict_proba(data.x(i))[1])
+                .sum::<f64>()
+                / 10.0
         };
         let q0 = q_of(&m);
         // Spot-check a few leave-one-out retrainings.
         let mut agree = 0;
         let mut total = 0;
         for i in (10..60).step_by(10) {
-            let reduced = data.select(
-                &(0..data.len()).filter(|&j| j != i).collect::<Vec<_>>(),
-            );
+            let reduced = data.select(&(0..data.len()).filter(|&j| j != i).collect::<Vec<_>>());
             let mut m2 = m.clone();
             train_lbfgs(&mut m2, &reduced, &LbfgsConfig::default());
             let dq = q_of(&m2) - q0;
@@ -274,7 +296,10 @@ mod tests {
         // (this is the regime where InfLoss works, per §6.2).
         let (data, flipped) = blobs_with_flips(100, 4, 7);
         let m = fitted(&data);
-        let cfg = InfluenceConfig { threads: 2, ..Default::default() };
+        let cfg = InfluenceConfig {
+            threads: 2,
+            ..Default::default()
+        };
         let scores = self_influence_scores(&m, &data, &cfg);
         // InfLoss ranks most-negative first.
         let mut order: Vec<usize> = (0..data.len()).collect();

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -50,7 +54,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.

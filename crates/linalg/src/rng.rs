@@ -2,38 +2,74 @@
 //!
 //! Every generator, trainer and sampler in the workspace takes an explicit
 //! seed and builds a [`RainRng`] from it, so experiment outputs are
-//! deterministic across runs and machines. The normal sampler uses
-//! Box–Muller (the `rand` crate alone ships no normal distribution, and we
-//! deliberately avoid extra dependencies).
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+//! deterministic across runs and machines. The generator is a
+//! self-contained xoshiro256++ core seeded through SplitMix64 — the
+//! workspace deliberately carries zero external dependencies, so no `rand`
+//! crate. The normal sampler uses Box–Muller.
 
 /// Deterministic random generator used across the workspace.
+///
+/// xoshiro256++ (Blackman & Vigna): 256 bits of state, period 2²⁵⁶−1,
+/// passes BigCrush, and is trivially portable — which is all the
+/// experiments need.
 #[derive(Debug, Clone)]
 pub struct RainRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second Box–Muller variate.
     spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step: used to expand a 64-bit seed into the 256-bit state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RainRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        RainRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        RainRng {
+            state,
+            spare_normal: None,
+        }
+    }
+
+    /// Next 64 random bits (the xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Derive an independent child generator; `stream` distinguishes
     /// sub-uses of the same seed (e.g. "labels" vs "features").
     pub fn derive(&mut self, stream: u64) -> RainRng {
-        let s = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         RainRng::seed_from_u64(s)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -41,13 +77,24 @@ impl RainRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire-style rejection-free enough for
+    /// experiment-scale `n`: bias is < n/2⁶⁴).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below: empty range");
-        self.inner.gen_range(0..n)
+        // 128-bit multiply-shift maps 64 random bits onto [0, n).
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "int_range: empty range");
+        lo + self.below((hi - lo) as usize) as i64
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
@@ -81,7 +128,10 @@ impl RainRng {
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        xs.shuffle(&mut self.inner);
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
     }
 
     /// Sample `k` distinct indices from `0..n` (k ≤ n), in random order.
@@ -133,6 +183,34 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = RainRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn below_covers_the_range() {
+        let mut rng = RainRng::seed_from_u64(12);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut rng = RainRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v = rng.int_range(-3, 4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+
+    #[test]
     fn normal_moments_are_plausible() {
         let mut rng = RainRng::seed_from_u64(7);
         let n = 20_000;
@@ -178,5 +256,16 @@ mod tests {
         let mut c1 = root.derive(1);
         let mut c2 = root.derive(2);
         assert_ne!(c1.uniform(), c2.uniform());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = RainRng::seed_from_u64(10);
+        let mut xs: Vec<usize> = (0..40).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "40 elements should not shuffle to identity");
     }
 }

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn lincomb_matches_manual() {
-        assert_eq!(lincomb(2.0, &[1.0, 0.0], -1.0, &[0.0, 3.0]), vec![2.0, -3.0]);
+        assert_eq!(
+            lincomb(2.0, &[1.0, 0.0], -1.0, &[0.0, 3.0]),
+            vec![2.0, -3.0]
+        );
     }
 
     #[test]

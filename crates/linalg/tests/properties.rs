@@ -1,91 +1,139 @@
 //! Property-based tests for the linear-algebra kernels.
+//!
+//! The workspace carries no external dependencies, so instead of a
+//! proptest-style shrinking framework these properties are checked over
+//! many seeded-random cases drawn from [`RainRng`] — deterministic across
+//! runs, with the failing seed printed by the assertion message.
 
-use proptest::prelude::*;
-use rain_linalg::{stats, vecops, Matrix};
+use rain_linalg::{stats, vecops, Matrix, RainRng};
 
-fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-100.0f64..100.0, len)
+const CASES: u64 = 64;
+
+fn rand_vec(rng: &mut RainRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.uniform_range(lo, hi)).collect()
 }
 
-proptest! {
-    #[test]
-    fn dot_is_commutative(x in vec_strategy(16), y in vec_strategy(16)) {
-        prop_assert!((vecops::dot(&x, &y) - vecops::dot(&y, &x)).abs() < 1e-9);
+#[test]
+fn dot_is_commutative() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let x = rand_vec(&mut rng, 16, -100.0, 100.0);
+        let y = rand_vec(&mut rng, 16, -100.0, 100.0);
+        assert!(
+            (vecops::dot(&x, &y) - vecops::dot(&y, &x)).abs() < 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn dot_is_bilinear(x in vec_strategy(8), y in vec_strategy(8), a in -10.0f64..10.0) {
+#[test]
+fn dot_is_bilinear() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let x = rand_vec(&mut rng, 8, -100.0, 100.0);
+        let y = rand_vec(&mut rng, 8, -100.0, 100.0);
+        let a = rng.uniform_range(-10.0, 10.0);
         let ax: Vec<f64> = x.iter().map(|v| a * v).collect();
         let lhs = vecops::dot(&ax, &y);
         let rhs = a * vecops::dot(&x, &y);
-        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn cauchy_schwarz(x in vec_strategy(12), y in vec_strategy(12)) {
+#[test]
+fn cauchy_schwarz() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let x = rand_vec(&mut rng, 12, -100.0, 100.0);
+        let y = rand_vec(&mut rng, 12, -100.0, 100.0);
         let lhs = vecops::dot(&x, &y).abs();
         let rhs = vecops::norm2(&x) * vecops::norm2(&y);
-        prop_assert!(lhs <= rhs + 1e-6);
+        assert!(lhs <= rhs + 1e-6, "seed {seed}");
     }
+}
 
-    #[test]
-    fn triangle_inequality(x in vec_strategy(12), y in vec_strategy(12)) {
+#[test]
+fn triangle_inequality() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let x = rand_vec(&mut rng, 12, -100.0, 100.0);
+        let y = rand_vec(&mut rng, 12, -100.0, 100.0);
         let sum = vecops::add(&x, &y);
-        prop_assert!(vecops::norm2(&sum) <= vecops::norm2(&x) + vecops::norm2(&y) + 1e-9);
+        assert!(
+            vecops::norm2(&sum) <= vecops::norm2(&x) + vecops::norm2(&y) + 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn matvec_is_linear(
-        data in proptest::collection::vec(-10.0f64..10.0, 12),
-        x in vec_strategy(4),
-        y in vec_strategy(4),
-    ) {
-        let m = Matrix::from_vec(3, 4, data);
+#[test]
+fn matvec_is_linear() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let m = Matrix::from_vec(3, 4, rand_vec(&mut rng, 12, -10.0, 10.0));
+        let x = rand_vec(&mut rng, 4, -100.0, 100.0);
+        let y = rand_vec(&mut rng, 4, -100.0, 100.0);
         let lhs = m.matvec(&vecops::add(&x, &y));
         let rhs = vecops::add(&m.matvec(&x), &m.matvec(&y));
-        prop_assert!(vecops::approx_eq(&lhs, &rhs, 1e-6));
+        assert!(vecops::approx_eq(&lhs, &rhs, 1e-6), "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_is_involution(data in proptest::collection::vec(-10.0f64..10.0, 12)) {
-        let m = Matrix::from_vec(3, 4, data);
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involution() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let m = Matrix::from_vec(3, 4, rand_vec(&mut rng, 12, -10.0, 10.0));
+        assert_eq!(m.transpose().transpose(), m, "seed {seed}");
     }
+}
 
-    #[test]
-    fn matvec_t_agrees_with_explicit_transpose(
-        data in proptest::collection::vec(-10.0f64..10.0, 20),
-        x in vec_strategy(4),
-    ) {
-        let m = Matrix::from_vec(4, 5, data);
-        prop_assert!(vecops::approx_eq(&m.matvec_t(&x), &m.transpose().matvec(&x), 1e-8));
+#[test]
+fn matvec_t_agrees_with_explicit_transpose() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let m = Matrix::from_vec(4, 5, rand_vec(&mut rng, 20, -10.0, 10.0));
+        let x = rand_vec(&mut rng, 4, -100.0, 100.0);
+        assert!(
+            vecops::approx_eq(&m.matvec_t(&x), &m.transpose().matvec(&x), 1e-8),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn spd_solve_roundtrip(
-        data in proptest::collection::vec(-3.0f64..3.0, 9),
-        b in vec_strategy(3),
-    ) {
+#[test]
+fn spd_solve_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
         // A = MᵀM + I is always SPD.
-        let m = Matrix::from_vec(3, 3, data);
+        let m = Matrix::from_vec(3, 3, rand_vec(&mut rng, 9, -3.0, 3.0));
+        let b = rand_vec(&mut rng, 3, -100.0, 100.0);
         let mut a = m.transpose().matmul(&m);
         for i in 0..3 {
             a.set(i, i, a.get(i, i) + 1.0);
         }
         let x = a.solve_spd(&b).expect("SPD");
-        prop_assert!(vecops::approx_eq(&a.matvec(&x), &b, 1e-6));
+        assert!(vecops::approx_eq(&a.matvec(&x), &b, 1e-6), "seed {seed}");
     }
+}
 
-    #[test]
-    fn softmax_normalizes(xs in vec_strategy(6)) {
+#[test]
+fn softmax_normalizes() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let xs = rand_vec(&mut rng, 6, -100.0, 100.0);
         let p = stats::softmax(&xs);
-        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "seed {seed}");
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)), "seed {seed}");
     }
+}
 
-    #[test]
-    fn kahan_matches_naive_for_benign_inputs(xs in vec_strategy(64)) {
+#[test]
+fn kahan_matches_naive_for_benign_inputs() {
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(seed);
+        let xs = rand_vec(&mut rng, 64, -100.0, 100.0);
         let naive: f64 = xs.iter().sum();
-        prop_assert!((stats::kahan_sum(&xs) - naive).abs() < 1e-6);
+        assert!((stats::kahan_sum(&xs) - naive).abs() < 1e-6, "seed {seed}");
     }
 }

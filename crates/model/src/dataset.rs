@@ -41,7 +41,12 @@ impl Dataset {
             labels.iter().all(|&y| y < n_classes),
             "Dataset: label out of range"
         );
-        Dataset { features, labels, ids, n_classes }
+        Dataset {
+            features,
+            labels,
+            ids,
+            n_classes,
+        }
     }
 
     /// Number of examples.
@@ -123,8 +128,9 @@ impl Dataset {
     /// New dataset with the rows whose *ids* appear in `remove` deleted.
     pub fn remove_ids(&self, remove: &[usize]) -> Dataset {
         let removed: std::collections::HashSet<usize> = remove.iter().copied().collect();
-        let keep: Vec<usize> =
-            (0..self.len()).filter(|&i| !removed.contains(&self.ids[i])).collect();
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| !removed.contains(&self.ids[i]))
+            .collect();
         self.select(&keep)
     }
 
@@ -133,7 +139,9 @@ impl Dataset {
     where
         F: FnMut(usize, &[f64], usize) -> bool,
     {
-        (0..self.len()).filter(|&i| pred(self.ids[i], self.x(i), self.y(i))).collect()
+        (0..self.len())
+            .filter(|&i| pred(self.ids[i], self.x(i), self.y(i)))
+            .collect()
     }
 }
 

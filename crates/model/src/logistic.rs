@@ -29,7 +29,12 @@ impl LogisticRegression {
     /// Zero-initialized model for `dim` features with L2 strength `l2`.
     pub fn new(dim: usize, l2: f64) -> Self {
         assert!(l2 >= 0.0, "l2 must be non-negative");
-        LogisticRegression { params: vec![0.0; dim + 1], dim, l2, use_bias: true }
+        LogisticRegression {
+            params: vec![0.0; dim + 1],
+            dim,
+            l2,
+            use_bias: true,
+        }
     }
 
     /// A model without an intercept term (`p = σ(w·x)`); used by settings
@@ -38,14 +43,23 @@ impl LogisticRegression {
     /// bias parameter slot remains in the layout but is pinned to 0.
     pub fn without_bias(dim: usize, l2: f64) -> Self {
         assert!(l2 >= 0.0, "l2 must be non-negative");
-        LogisticRegression { params: vec![0.0; dim + 1], dim, l2, use_bias: false }
+        LogisticRegression {
+            params: vec![0.0; dim + 1],
+            dim,
+            l2,
+            use_bias: false,
+        }
     }
 
     /// The margin `θ·x̃ = w·x + b`.
     #[inline]
     pub fn margin(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.dim);
-        let b = if self.use_bias { self.params[self.dim] } else { 0.0 };
+        let b = if self.use_bias {
+            self.params[self.dim]
+        } else {
+            0.0
+        };
         vecops::dot(&self.params[..self.dim], x) + b
     }
 
@@ -175,7 +189,11 @@ mod tests {
         for _ in 0..n {
             let y = rng.bernoulli(0.5) as usize;
             let shift = if y == 1 { 1.0 } else { -1.0 };
-            rows.push(vec![rng.normal() + shift, rng.normal() - shift, rng.normal()]);
+            rows.push(vec![
+                rng.normal() + shift,
+                rng.normal() - shift,
+                rng.normal(),
+            ]);
             labels.push(y);
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
@@ -269,7 +287,9 @@ mod tests {
         let m = fitted_model(&data);
         assert!(m.loss(&data) < before);
         // And the fitted model should classify the separable toy data well.
-        let correct = (0..data.len()).filter(|&i| m.predict(data.x(i)) == data.y(i)).count();
+        let correct = (0..data.len())
+            .filter(|&i| m.predict(data.x(i)) == data.y(i))
+            .count();
         assert!(correct as f64 / data.len() as f64 > 0.8);
     }
 }

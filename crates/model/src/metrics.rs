@@ -8,7 +8,9 @@ pub fn accuracy(model: &dyn Classifier, data: &Dataset) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let correct = (0..data.len()).filter(|&i| model.predict(data.x(i)) == data.y(i)).count();
+    let correct = (0..data.len())
+        .filter(|&i| model.predict(data.x(i)) == data.y(i))
+        .count();
     correct as f64 / data.len() as f64
 }
 
@@ -60,7 +62,11 @@ impl BinaryConfusion {
 
 /// Confusion counts of a binary model on a dataset.
 pub fn confusion_binary(model: &dyn Classifier, data: &Dataset) -> BinaryConfusion {
-    assert_eq!(model.n_classes(), 2, "confusion_binary needs a binary model");
+    assert_eq!(
+        model.n_classes(),
+        2,
+        "confusion_binary needs a binary model"
+    );
     let mut c = BinaryConfusion::default();
     for i in 0..data.len() {
         let pred = model.predict(data.x(i));
@@ -106,7 +112,15 @@ mod tests {
         // preds: 1, 1, 0, 0 ; labels: 1, 0, 0, 1
         let d = data(&[1.0, 1.0, 0.0, 0.0], &[1, 0, 0, 1]);
         let c = confusion_binary(&m, &d);
-        assert_eq!(c, BinaryConfusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            BinaryConfusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.precision() - 0.5).abs() < 1e-12);
         assert!((c.recall() - 0.5).abs() < 1e-12);
         assert!((c.f1() - 0.5).abs() < 1e-12);

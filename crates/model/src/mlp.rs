@@ -65,7 +65,13 @@ impl Mlp {
         for _ in 0..n_classes * (hidden + 1) {
             params.push(rng.normal() * s2);
         }
-        Mlp { params, dim, hidden, n_classes, l2 }
+        Mlp {
+            params,
+            dim,
+            hidden,
+            n_classes,
+            l2,
+        }
     }
 
     /// Hidden-layer width.
@@ -219,7 +225,12 @@ impl Classifier for Mlp {
             }
             // Rp = (diag(p) − ppᵀ) Rz₂.
             let prz = vecops::dot(&fwd.p, &rz2);
-            let rp: Vec<f64> = fwd.p.iter().zip(&rz2).map(|(&pc, &rc)| pc * (rc - prz)).collect();
+            let rp: Vec<f64> = fwd
+                .p
+                .iter()
+                .zip(&rz2)
+                .map(|(&pc, &rc)| pc * (rc - prz))
+                .collect();
             // R-backward.
             let mut d2 = fwd.p.clone();
             d2[y] -= 1.0;
@@ -316,7 +327,9 @@ mod tests {
         let before = m0.loss(&data);
         let m = fitted(&data, 3);
         assert!(m.loss(&data) < before);
-        let correct = (0..data.len()).filter(|&i| m.predict(data.x(i)) == data.y(i)).count();
+        let correct = (0..data.len())
+            .filter(|&i| m.predict(data.x(i)) == data.y(i))
+            .count();
         assert!(correct as f64 / data.len() as f64 > 0.8, "acc too low");
     }
 
@@ -326,8 +339,14 @@ mod tests {
         let m = fitted(&data, 4);
         let g = m.grad(&data);
         let fd = check::fd_grad(&m, &data, 1e-5);
-        assert!(vecops::approx_eq(&g, &fd, 1e-4), "max diff {}",
-            g.iter().zip(&fd).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max));
+        assert!(
+            vecops::approx_eq(&g, &fd, 1e-4),
+            "max diff {}",
+            g.iter()
+                .zip(&fd)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+        );
     }
 
     #[test]
@@ -340,7 +359,11 @@ mod tests {
         let hv = m.hvp(&data, &v);
         let fd = check::fd_hvp(&m, &data, &v, 1e-6);
         let denom = 1.0 + vecops::norm_inf(&fd);
-        let err = hv.iter().zip(&fd).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = hv
+            .iter()
+            .zip(&fd)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err / denom < 1e-3, "rel err {}", err / denom);
     }
 
@@ -353,7 +376,10 @@ mod tests {
         let w = rng.normal_vec(m.n_params(), 1.0);
         let vhw = vecops::dot(&v, &m.hvp(&data, &w));
         let whv = vecops::dot(&w, &m.hvp(&data, &v));
-        assert!((vhw - whv).abs() < 1e-7 * (1.0 + vhw.abs()), "{vhw} vs {whv}");
+        assert!(
+            (vhw - whv).abs() < 1e-7 * (1.0 + vhw.abs()),
+            "{vhw} vs {whv}"
+        );
         let lhs = m.hvp(&data, &vecops::add(&v, &w));
         let rhs = vecops::add(&m.hvp(&data, &v), &m.hvp(&data, &w));
         assert!(vecops::approx_eq(&lhs, &rhs, 1e-8));

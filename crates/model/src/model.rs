@@ -151,7 +151,10 @@ pub mod check {
         let tm: Vec<f64> = theta.iter().zip(v).map(|(t, vi)| t - eps * vi).collect();
         probe.set_params(&tm);
         let gm = probe.grad(data);
-        gp.iter().zip(&gm).map(|(a, b)| (a - b) / (2.0 * eps)).collect()
+        gp.iter()
+            .zip(&gm)
+            .map(|(a, b)| (a - b) / (2.0 * eps))
+            .collect()
     }
 
     /// Central-difference gradient of `p_class(x, θ)`.

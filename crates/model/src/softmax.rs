@@ -32,7 +32,12 @@ impl SoftmaxRegression {
     pub fn new(dim: usize, n_classes: usize, l2: f64) -> Self {
         assert!(n_classes >= 2, "need at least two classes");
         assert!(l2 >= 0.0, "l2 must be non-negative");
-        SoftmaxRegression { params: vec![0.0; (dim + 1) * n_classes], dim, n_classes, l2 }
+        SoftmaxRegression {
+            params: vec![0.0; (dim + 1) * n_classes],
+            dim,
+            n_classes,
+            l2,
+        }
     }
 
     /// Logits `x̃ᵀW` for one example.

@@ -43,7 +43,10 @@ impl Default for LbfgsConfig {
 impl LbfgsConfig {
     /// Fewer iterations; used for warm restarts inside train–rank–fix.
     pub fn warm() -> Self {
-        LbfgsConfig { max_iters: 60, ..Default::default() }
+        LbfgsConfig {
+            max_iters: 60,
+            ..Default::default()
+        }
     }
 }
 
@@ -62,11 +65,7 @@ pub struct TrainReport {
 
 /// Minimize `model.loss(data)` in place with L-BFGS, starting from the
 /// model's current parameters (so retraining is warm-started for free).
-pub fn train_lbfgs(
-    model: &mut dyn Classifier,
-    data: &Dataset,
-    cfg: &LbfgsConfig,
-) -> TrainReport {
+pub fn train_lbfgs(model: &mut dyn Classifier, data: &Dataset, cfg: &LbfgsConfig) -> TrainReport {
     let n = model.n_params();
     let mut theta = model.params().to_vec();
     let mut loss = model.loss(data);
@@ -79,7 +78,12 @@ pub fn train_lbfgs(
     for _ in 0..cfg.max_iters {
         let gnorm = vecops::norm_inf(&grad);
         if gnorm < cfg.grad_tol {
-            return TrainReport { iters, final_loss: loss, grad_norm: gnorm, converged: true };
+            return TrainReport {
+                iters,
+                final_loss: loss,
+                grad_norm: gnorm,
+                converged: true,
+            };
         }
         iters += 1;
 
@@ -162,7 +166,12 @@ pub fn train_lbfgs(
     }
 
     let gnorm = vecops::norm_inf(&grad);
-    TrainReport { iters, final_loss: loss, grad_norm: gnorm, converged: gnorm < cfg.grad_tol }
+    TrainReport {
+        iters,
+        final_loss: loss,
+        grad_norm: gnorm,
+        converged: gnorm < cfg.grad_tol,
+    }
 }
 
 #[cfg(test)]
@@ -189,8 +198,9 @@ mod tests {
     }
 
     fn accuracy_of(model: &dyn Classifier, data: &Dataset) -> f64 {
-        let correct =
-            (0..data.len()).filter(|&i| model.predict(data.x(i)) == data.y(i)).count();
+        let correct = (0..data.len())
+            .filter(|&i| model.predict(data.x(i)) == data.y(i))
+            .count();
         correct as f64 / data.len() as f64
     }
 
@@ -216,7 +226,14 @@ mod tests {
     fn lbfgs_fits_mlp() {
         let data = blobs(300, 3, 5, 3);
         let mut m = Mlp::new(5, 12, 3, 0.005, 3);
-        let report = train_lbfgs(&mut m, &data, &LbfgsConfig { max_iters: 400, ..Default::default() });
+        let report = train_lbfgs(
+            &mut m,
+            &data,
+            &LbfgsConfig {
+                max_iters: 400,
+                ..Default::default()
+            },
+        );
         assert!(report.final_loss < 0.5, "loss {}", report.final_loss);
         assert!(accuracy_of(&m, &data) > 0.9);
     }
@@ -229,7 +246,12 @@ mod tests {
         // Remove a handful of records and retrain warm.
         let smaller = data.remove_ids(&[0, 1, 2, 3, 4]);
         let warm = train_lbfgs(&mut m, &smaller, &LbfgsConfig::warm());
-        assert!(warm.iters <= cold.iters, "warm {} vs cold {}", warm.iters, cold.iters);
+        assert!(
+            warm.iters <= cold.iters,
+            "warm {} vs cold {}",
+            warm.iters,
+            cold.iters
+        );
         assert!(warm.converged);
     }
 

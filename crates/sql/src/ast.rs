@@ -198,6 +198,8 @@ pub struct SelectStmt {
 impl SelectStmt {
     /// True when any select item is an aggregate.
     pub fn is_aggregate(&self) -> bool {
-        self.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }))
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }))
     }
 }

@@ -1,0 +1,310 @@
+//! Expression binding: name resolution, typing, and `predict()` placement.
+
+use super::{BindError, Binder};
+use crate::ast::{ArithOp, CmpOp, Expr};
+use crate::table::ColType;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A bound scalar expression (all names resolved to indices).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Literal.
+    Lit(Value),
+    /// Column `rels[rel].columns[col]`.
+    Col {
+        /// Relation index into the FROM list.
+        rel: usize,
+        /// Column index within that relation.
+        col: usize,
+    },
+    /// Model inference over relation `rel`'s current row.
+    Predict {
+        /// Relation index into the FROM list.
+        rel: usize,
+    },
+    /// Negation.
+    Not(Box<BExpr>),
+    /// Conjunction.
+    And(Vec<BExpr>),
+    /// Disjunction.
+    Or(Vec<BExpr>),
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<BExpr>,
+        /// Right operand.
+        right: Box<BExpr>,
+    },
+    /// `LIKE`.
+    Like {
+        /// Operand.
+        expr: Box<BExpr>,
+        /// Pattern.
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<BExpr>,
+        /// Right operand.
+        right: Box<BExpr>,
+    },
+}
+
+impl BExpr {
+    /// Record which relations the expression touches.
+    pub fn rels_used(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            BExpr::Lit(_) => {}
+            BExpr::Col { rel, .. } | BExpr::Predict { rel } => {
+                out.insert(*rel);
+            }
+            BExpr::Not(e) => e.rels_used(out),
+            BExpr::And(es) | BExpr::Or(es) => {
+                for e in es {
+                    e.rels_used(out);
+                }
+            }
+            BExpr::Cmp { left, right, .. } | BExpr::Arith { left, right, .. } => {
+                left.rels_used(out);
+                right.rels_used(out);
+            }
+            BExpr::Like { expr, .. } => expr.rels_used(out),
+        }
+    }
+
+    /// Record which columns of each relation the expression reads.
+    pub fn cols_used(&self, out: &mut [BTreeSet<usize>]) {
+        match self {
+            BExpr::Lit(_) | BExpr::Predict { .. } => {}
+            BExpr::Col { rel, col } => {
+                out[*rel].insert(*col);
+            }
+            BExpr::Not(e) => e.cols_used(out),
+            BExpr::And(es) | BExpr::Or(es) => {
+                for e in es {
+                    e.cols_used(out);
+                }
+            }
+            BExpr::Cmp { left, right, .. } | BExpr::Arith { left, right, .. } => {
+                left.cols_used(out);
+                right.cols_used(out);
+            }
+            BExpr::Like { expr, .. } => expr.cols_used(out),
+        }
+    }
+
+    /// True when the expression mentions `predict` anywhere.
+    pub fn contains_predict(&self) -> bool {
+        match self {
+            BExpr::Predict { .. } => true,
+            BExpr::Lit(_) | BExpr::Col { .. } => false,
+            BExpr::Not(e) | BExpr::Like { expr: e, .. } => e.contains_predict(),
+            BExpr::And(es) | BExpr::Or(es) => es.iter().any(BExpr::contains_predict),
+            BExpr::Cmp { left, right, .. } | BExpr::Arith { left, right, .. } => {
+                left.contains_predict() || right.contains_predict()
+            }
+        }
+    }
+}
+
+/// Static type of a bound expression; `None` means statically unknown
+/// (NULL literals), which every operator accepts.
+pub fn infer_type(e: &BExpr, col_ty: &dyn Fn(usize, usize) -> ColType) -> Option<ColType> {
+    match e {
+        BExpr::Lit(Value::Int(_)) => Some(ColType::Int),
+        BExpr::Lit(Value::Float(_)) => Some(ColType::Float),
+        BExpr::Lit(Value::Str(_)) => Some(ColType::Str),
+        BExpr::Lit(Value::Bool(_)) => Some(ColType::Bool),
+        BExpr::Lit(Value::Null) => None,
+        BExpr::Col { rel, col } => Some(col_ty(*rel, *col)),
+        BExpr::Predict { .. } => Some(ColType::Int),
+        BExpr::Not(_) | BExpr::And(_) | BExpr::Or(_) | BExpr::Cmp { .. } | BExpr::Like { .. } => {
+            Some(ColType::Bool)
+        }
+        BExpr::Arith { op, left, right } => {
+            let lt = infer_type(left, col_ty);
+            let rt = infer_type(right, col_ty);
+            if *op != ArithOp::Div
+                && lt.is_none_or(|t| t == ColType::Int || t == ColType::Bool)
+                && rt.is_none_or(|t| t == ColType::Int || t == ColType::Bool)
+            {
+                Some(ColType::Int)
+            } else {
+                Some(ColType::Float)
+            }
+        }
+    }
+}
+
+fn type_name(t: Option<ColType>) -> &'static str {
+    match t {
+        None => "null",
+        Some(ColType::Bool) => "bool",
+        Some(ColType::Int) => "int",
+        Some(ColType::Float) => "float",
+        Some(ColType::Str) => "string",
+    }
+}
+
+fn is_numeric(t: Option<ColType>) -> bool {
+    t.is_none_or(|t| matches!(t, ColType::Int | ColType::Float | ColType::Bool))
+}
+
+impl<'a> Binder<'a> {
+    /// Static type of a bound expression in the current context.
+    pub fn expr_type(&self, e: &BExpr) -> Option<ColType> {
+        infer_type(e, &|rel, col| self.col_type(rel, col))
+    }
+
+    /// Bind a scalar expression in the current context: resolve names,
+    /// type-check operators, and enforce that `predict` stays out of
+    /// arithmetic (paper §3.1).
+    pub fn bind_expr(&self, e: &Expr) -> Result<BExpr, BindError> {
+        Ok(match e {
+            Expr::Literal(v) => BExpr::Lit(v.clone()),
+            Expr::Column { qualifier, name } => {
+                let (rel, col) = self.resolve_column(qualifier.as_deref(), name)?;
+                BExpr::Col { rel, col }
+            }
+            Expr::Predict { rel } => {
+                let rel = match rel {
+                    Some(alias) => self.resolve_rel(alias)?,
+                    None => {
+                        if self.context().rels.len() != 1 {
+                            return Err(BindError::AmbiguousPredict);
+                        }
+                        0
+                    }
+                };
+                let bound = &self.context().rels[rel];
+                if self.db().table_by_id(bound.id).features().is_none() {
+                    return Err(BindError::MissingFeatures(bound.table.clone()));
+                }
+                BExpr::Predict { rel }
+            }
+            Expr::Not(inner) => BExpr::Not(Box::new(self.bind_expr(inner)?)),
+            Expr::And(terms) => BExpr::And(
+                terms
+                    .iter()
+                    .map(|t| self.bind_expr(t))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Or(terms) => BExpr::Or(
+                terms
+                    .iter()
+                    .map(|t| self.bind_expr(t))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Cmp { op, left, right } => {
+                let l = self.bind_expr(left)?;
+                let r = self.bind_expr(right)?;
+                let (lt, rt) = (self.expr_type(&l), self.expr_type(&r));
+                // Numeric compares with numeric, string with string; NULL
+                // compares with anything (and yields no ordering at run
+                // time, exactly as before).
+                let compatible =
+                    lt.is_none() || rt.is_none() || lt == rt || (is_numeric(lt) && is_numeric(rt));
+                if !compatible {
+                    return Err(BindError::TypeMismatch {
+                        context: "comparison",
+                        expected: type_name(lt),
+                        found: type_name(rt).to_string(),
+                    });
+                }
+                BExpr::Cmp {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let bound = self.bind_expr(expr)?;
+                if bound.contains_predict() {
+                    return Err(BindError::InvalidPredict(
+                        "predict() cannot be used with LIKE",
+                    ));
+                }
+                let ty = self.expr_type(&bound);
+                if !matches!(ty, None | Some(ColType::Str)) {
+                    return Err(BindError::TypeMismatch {
+                        context: "LIKE",
+                        expected: "string",
+                        found: type_name(ty).to_string(),
+                    });
+                }
+                BExpr::Like {
+                    expr: Box::new(bound),
+                    pattern: pattern.clone(),
+                    negated: *negated,
+                }
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.bind_expr(left)?;
+                let r = self.bind_expr(right)?;
+                if l.contains_predict() || r.contains_predict() {
+                    return Err(BindError::InvalidPredict(
+                        "predict() may not appear inside arithmetic",
+                    ));
+                }
+                for side in [&l, &r] {
+                    let ty = self.expr_type(side);
+                    if !is_numeric(ty) {
+                        return Err(BindError::TypeMismatch {
+                            context: "arithmetic",
+                            expected: "a numeric operand",
+                            found: type_name(ty).to_string(),
+                        });
+                    }
+                }
+                BExpr::Arith {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+        })
+    }
+
+    /// Enforce where `predict` may appear inside a predicate: bare in a
+    /// comparison against a model-free expression or another `predict`.
+    pub(crate) fn validate_predicate(&self, e: &BExpr) -> Result<(), BindError> {
+        match e {
+            BExpr::Predict { .. } => Err(BindError::InvalidPredict(
+                "predict() must be compared, not used as a bare boolean",
+            )),
+            BExpr::Lit(_) | BExpr::Col { .. } => Ok(()),
+            BExpr::Not(inner) => self.validate_predicate(inner),
+            BExpr::And(terms) | BExpr::Or(terms) => {
+                terms.iter().try_for_each(|t| self.validate_predicate(t))
+            }
+            // bind_expr already rejects predict under LIKE and arithmetic.
+            BExpr::Like { .. } => Ok(()),
+            BExpr::Arith { left, right, .. } => {
+                self.validate_predicate(left)?;
+                self.validate_predicate(right)
+            }
+            BExpr::Cmp { left, right, .. } => {
+                let lp = matches!(**left, BExpr::Predict { .. });
+                let rp = matches!(**right, BExpr::Predict { .. });
+                if (left.contains_predict() && !lp) || (right.contains_predict() && !rp) {
+                    return Err(BindError::InvalidPredict(
+                        "predict() must appear bare in comparisons",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}

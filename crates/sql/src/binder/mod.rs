@@ -1,0 +1,348 @@
+//! Semantic analysis: parser AST → typed, name-resolved bound statements.
+//!
+//! The binder is the middle layer of the query stack
+//! (`parser → binder → optimizer → executor`). It consumes a raw
+//! [`SelectStmt`](crate::ast::SelectStmt), resolves every table and column
+//! against the [`Database`](crate::catalog::Database) catalog — honoring
+//! table aliases and scoped binding contexts — type-checks expressions,
+//! enforces the dialect's `predict()` placement rules (paper §3.1), and
+//! emits a [`BoundStatement`] whose expressions address relations and
+//! columns by index, so the optimizer and executor never touch a string.
+//!
+//! Errors are reported as the typed [`BindError`] enum (thiserror-style
+//! hand-rolled `Display`/`Error` impls — the workspace is dependency-free),
+//! never as panics: unknown tables/columns, ambiguous unqualified names,
+//! duplicate aliases, and type mismatches each get their own variant so
+//! callers can match on the failure class.
+//!
+//! Binding contexts form a stack ([`Binder::push_context`] /
+//! [`Binder::pop_context`]): each context scopes the FROM relations of one
+//! SELECT, so subqueries bind their own names without leaking into (or
+//! clobbering) the enclosing scope. Name resolution searches innermost
+//! first; hits in an enclosing context are reported as unsupported
+//! correlated references until the executor grows subquery support.
+
+mod expression;
+mod statement;
+mod table_ref;
+
+pub use expression::{infer_type, BExpr};
+pub use statement::{BoundAgg, BoundAggArg, BoundStatement, GroupKey, QueryKind};
+pub use table_ref::{BindContext, BoundRel};
+
+use crate::ast::SelectStmt;
+use crate::catalog::Database;
+use crate::table::ColType;
+
+/// A name-resolution, validation, or typing error.
+///
+/// Every variant corresponds to one failure class the binder can hit; the
+/// `Display` impl renders the operator-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// FROM references a table the catalog does not know.
+    UnknownTable(String),
+    /// Two FROM items share an alias.
+    DuplicateAlias(String),
+    /// A column name resolves to nothing in scope (rendered with its
+    /// qualifier when one was written).
+    UnknownColumn {
+        /// Optional `alias.` qualifier as written.
+        qualifier: Option<String>,
+        /// Column name as written.
+        name: String,
+    },
+    /// An unqualified column name matches more than one relation in scope.
+    AmbiguousColumn(String),
+    /// A qualifier or `predict(alias)` names no relation in scope.
+    UnknownAlias(String),
+    /// `predict(*)` with more than one relation in scope.
+    AmbiguousPredict,
+    /// `predict()` over a table registered without a feature matrix.
+    MissingFeatures(String),
+    /// An expression's operand types don't fit the operator.
+    TypeMismatch {
+        /// Where the mismatch happened (operator or clause).
+        context: &'static str,
+        /// What the operator needed.
+        expected: &'static str,
+        /// What the operand was.
+        found: String,
+    },
+    /// `predict()` used somewhere the dialect forbids (inside arithmetic,
+    /// under LIKE, as a bare boolean, non-bare in comparisons/projections).
+    InvalidPredict(&'static str),
+    /// An unsupported aggregate shape (e.g. `COUNT(expr)`).
+    InvalidAggregate(&'static str),
+    /// A GROUP BY clause problem (non-column/non-predict key, or GROUP BY
+    /// without aggregates).
+    InvalidGroupBy(&'static str),
+    /// A non-aggregate select item that is not a GROUP BY key.
+    NonKeySelectItem(String),
+    /// `SELECT *` mixed with aggregates.
+    StarWithAggregate,
+    /// A construct the binder recognizes but the engine cannot run yet.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            BindError::DuplicateAlias(a) => write!(f, "duplicate alias {a}"),
+            BindError::UnknownColumn {
+                qualifier: Some(q),
+                name,
+            } => {
+                write!(f, "unknown column {q}.{name}")
+            }
+            BindError::UnknownColumn {
+                qualifier: None,
+                name,
+            } => {
+                write!(f, "unknown column {name}")
+            }
+            BindError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}; qualify it"),
+            BindError::UnknownAlias(a) => write!(f, "unknown relation alias {a}"),
+            BindError::AmbiguousPredict => write!(
+                f,
+                "predict(*) is ambiguous with multiple relations; use predict(alias)"
+            ),
+            BindError::MissingFeatures(t) => {
+                write!(f, "table {t} has no feature matrix for predict()")
+            }
+            BindError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
+            }
+            BindError::InvalidPredict(msg) => write!(f, "{msg}"),
+            BindError::InvalidAggregate(msg) => write!(f, "{msg}"),
+            BindError::InvalidGroupBy(msg) => write!(f, "{msg}"),
+            BindError::NonKeySelectItem(item) => {
+                write!(f, "non-aggregate select item {item} must be a GROUP BY key")
+            }
+            BindError::StarWithAggregate => write!(f, "SELECT * not allowed with aggregates"),
+            BindError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Bind a parsed statement against a database.
+///
+/// The standalone entry point: builds a [`Binder`], opens the statement's
+/// root context, and lowers the AST into a [`BoundStatement`].
+pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<BoundStatement, BindError> {
+    Binder::new(db).bind_statement(stmt)
+}
+
+/// The binder: catalog access plus a stack of scoped binding contexts.
+pub struct Binder<'a> {
+    db: &'a Database,
+    contexts: Vec<BindContext>,
+}
+
+impl<'a> Binder<'a> {
+    /// A binder over a database with an empty root context.
+    pub fn new(db: &'a Database) -> Self {
+        Binder {
+            db,
+            contexts: vec![BindContext::default()],
+        }
+    }
+
+    /// The database being bound against.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// Open a fresh scope (entering a subquery). Names bound in the new
+    /// context shadow — and never leak into — enclosing contexts.
+    pub fn push_context(&mut self) {
+        self.contexts.push(BindContext::default());
+    }
+
+    /// Close the innermost scope (leaving a subquery), discarding its
+    /// bindings.
+    ///
+    /// # Panics
+    /// Panics if only the root context remains — push/pop must pair.
+    pub fn pop_context(&mut self) -> BindContext {
+        assert!(
+            self.contexts.len() > 1,
+            "pop_context: cannot pop the root context"
+        );
+        self.contexts.pop().expect("non-empty context stack")
+    }
+
+    /// The innermost (current) context.
+    pub fn context(&self) -> &BindContext {
+        self.contexts.last().expect("non-empty context stack")
+    }
+
+    pub(crate) fn context_mut(&mut self) -> &mut BindContext {
+        self.contexts.last_mut().expect("non-empty context stack")
+    }
+
+    /// Depth of the context stack (1 = just the root).
+    pub fn depth(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Resolve a relation alias, searching innermost context first.
+    /// Matches in an enclosing context are correlated references, which
+    /// the executor cannot run yet.
+    pub(crate) fn resolve_rel(&self, alias: &str) -> Result<usize, BindError> {
+        for (depth, ctx) in self.contexts.iter().rev().enumerate() {
+            if let Some(rel) = ctx.rels.iter().position(|r| r.alias == alias) {
+                if depth == 0 {
+                    return Ok(rel);
+                }
+                return Err(BindError::Unsupported(
+                    "correlated references to an enclosing scope",
+                ));
+            }
+        }
+        Err(BindError::UnknownAlias(alias.to_string()))
+    }
+
+    /// Resolve a (possibly qualified) column name against the current
+    /// context, walking outward for qualified names bound in enclosing
+    /// scopes (rejected as correlated until subqueries execute).
+    pub(crate) fn resolve_column(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Result<(usize, usize), BindError> {
+        match qualifier {
+            Some(q) => {
+                let rel = self.resolve_rel(q)?;
+                let table = self.db.table_by_id(self.context().rels[rel].id);
+                let col =
+                    table
+                        .schema()
+                        .index_of(name)
+                        .ok_or_else(|| BindError::UnknownColumn {
+                            qualifier: Some(q.to_string()),
+                            name: name.to_string(),
+                        })?;
+                Ok((rel, col))
+            }
+            None => {
+                let mut found = None;
+                for (ri, rel) in self.context().rels.iter().enumerate() {
+                    let table = self.db.table_by_id(rel.id);
+                    if let Some(ci) = table.schema().index_of(name) {
+                        if found.is_some() {
+                            return Err(BindError::AmbiguousColumn(name.to_string()));
+                        }
+                        found = Some((ri, ci));
+                    }
+                }
+                found.ok_or_else(|| BindError::UnknownColumn {
+                    qualifier: None,
+                    name: name.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Column type of a bound column reference in the current context.
+    pub(crate) fn col_type(&self, rel: usize, col: usize) -> ColType {
+        self.db
+            .table_by_id(self.context().rels[rel].id)
+            .schema()
+            .col(col)
+            .ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TableRef;
+    use crate::table::{ColType, Column, Schema, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            "users",
+            Table::from_columns(
+                Schema::new(&[("id", ColType::Int)]),
+                vec![Column::Int(vec![1, 2])],
+            ),
+        );
+        db.register(
+            "logins",
+            Table::from_columns(
+                Schema::new(&[("id", ColType::Int)]),
+                vec![Column::Int(vec![1])],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn contexts_scope_and_shadow() {
+        let db = db();
+        let mut b = Binder::new(&db);
+        b.bind_from(&[TableRef {
+            name: "users".into(),
+            alias: "u".into(),
+        }])
+        .unwrap();
+        assert!(b.resolve_rel("u").is_ok());
+
+        // Inner scope: `u` is not visible as a plain relation...
+        b.push_context();
+        assert!(matches!(b.resolve_rel("u"), Err(BindError::Unsupported(_))));
+        // ...but a fresh binding of the SAME alias shadows the outer one.
+        b.bind_from(&[TableRef {
+            name: "logins".into(),
+            alias: "u".into(),
+        }])
+        .unwrap();
+        let rel = b.resolve_rel("u").unwrap();
+        assert_eq!(b.context().rels[rel].table, "logins");
+
+        // Popping restores the outer binding.
+        b.pop_context();
+        let rel = b.resolve_rel("u").unwrap();
+        assert_eq!(b.context().rels[rel].table, "users");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the root context")]
+    fn root_context_cannot_be_popped() {
+        let db = db();
+        let mut b = Binder::new(&db);
+        b.pop_context();
+    }
+
+    #[test]
+    fn unknown_alias_vs_correlated() {
+        let db = db();
+        let mut b = Binder::new(&db);
+        assert_eq!(
+            b.resolve_rel("ghost"),
+            Err(BindError::UnknownAlias("ghost".into()))
+        );
+        b.bind_from(&[TableRef {
+            name: "users".into(),
+            alias: "outer_u".into(),
+        }])
+        .unwrap();
+        b.push_context();
+        assert!(matches!(
+            b.resolve_rel("outer_u"),
+            Err(BindError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,279 @@
+//! Statement binding: SELECT lists, aggregates, GROUP BY, and the
+//! [`BoundStatement`] the optimizer consumes.
+
+use super::{BExpr, BindError, Binder, BoundRel};
+use crate::ast::{AggFunc, ArithOp, Expr, SelectItem, SelectStmt};
+use crate::value::Value;
+
+/// An aggregate argument after binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundAggArg {
+    /// `COUNT(*)`.
+    CountStar,
+    /// A model-independent expression.
+    Scalar(BExpr),
+    /// `predict(rel)`.
+    Predict {
+        /// Relation index.
+        rel: usize,
+    },
+    /// `factor * predict(rel)` with a model-independent factor — the
+    /// appendix-B shape (`SUM(10^position · predict(image))`).
+    ScaledPredict {
+        /// Relation index.
+        rel: usize,
+        /// Model-independent multiplier expression.
+        factor: BExpr,
+    },
+}
+
+/// A bound aggregate select item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundAgg {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument.
+    pub arg: BoundAggArg,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A bound GROUP BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupKey {
+    /// A plain column.
+    Col {
+        /// Relation index.
+        rel: usize,
+        /// Column index.
+        col: usize,
+        /// Output column name.
+        name: String,
+    },
+    /// `predict(rel)` — groups are the model's classes.
+    Predict {
+        /// Relation index.
+        rel: usize,
+    },
+}
+
+/// The projection/aggregation shape of a bound query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// Plain SPJ select. `items` are `(expression, output name)`.
+    Select {
+        /// Output expressions with names.
+        items: Vec<(BExpr, String)>,
+    },
+    /// Aggregate query (possibly grouped).
+    Aggregate {
+        /// Group keys (empty = one global group).
+        keys: Vec<GroupKey>,
+        /// Aggregates, in select-list order.
+        aggs: Vec<BoundAgg>,
+    },
+}
+
+/// A fully bound SPJA statement: the binder's output and the optimizer's
+/// input. Every name in it is resolved to relation/column indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundStatement {
+    /// FROM relations in order.
+    pub rels: Vec<BoundRel>,
+    /// All WHERE/ON conjuncts, ready for pushdown.
+    pub conjuncts: Vec<BExpr>,
+    /// Projection or aggregation.
+    pub kind: QueryKind,
+}
+
+impl<'a> Binder<'a> {
+    /// Bind a full SELECT statement in the current context.
+    pub fn bind_statement(&mut self, stmt: &SelectStmt) -> Result<BoundStatement, BindError> {
+        self.bind_from(&stmt.from)?;
+
+        // Conjuncts: WHERE plus all JOIN ... ON conditions, split on AND.
+        let mut conjuncts = Vec::new();
+        for cond in stmt.join_conds.iter().chain(
+            stmt.where_clause
+                .as_ref()
+                .map(std::iter::once)
+                .into_iter()
+                .flatten(),
+        ) {
+            let bound = self.bind_expr(cond)?;
+            self.validate_predicate(&bound)?;
+            split_conjuncts(bound, &mut conjuncts);
+        }
+
+        let kind = if stmt.is_aggregate() {
+            self.bind_aggregate(stmt)?
+        } else {
+            self.bind_select(stmt)?
+        };
+        Ok(BoundStatement {
+            rels: self.context().rels.clone(),
+            conjuncts,
+            kind,
+        })
+    }
+
+    fn bind_select(&self, stmt: &SelectStmt) -> Result<QueryKind, BindError> {
+        if !stmt.group_by.is_empty() {
+            return Err(BindError::InvalidGroupBy(
+                "GROUP BY requires aggregates in the select list",
+            ));
+        }
+        let mut items = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Star => {
+                    let rels = &self.context().rels;
+                    let many = rels.len() > 1;
+                    for (ri, rel) in rels.iter().enumerate() {
+                        let table = self.db().table_by_id(rel.id);
+                        for (ci, col) in table.schema().iter().enumerate() {
+                            let name = if many {
+                                format!("{}_{}", rel.alias, col.name)
+                            } else {
+                                col.name.clone()
+                            };
+                            items.push((BExpr::Col { rel: ri, col: ci }, name));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_expr(expr)?;
+                    if bound.contains_predict() && !matches!(bound, BExpr::Predict { .. }) {
+                        return Err(BindError::InvalidPredict(
+                            "predict() must appear bare in the select list",
+                        ));
+                    }
+                    let name = alias.clone().unwrap_or_else(|| display_name(expr));
+                    items.push((bound, name));
+                }
+                SelectItem::Agg { .. } => unreachable!("bind_select on aggregate query"),
+            }
+        }
+        Ok(QueryKind::Select { items })
+    }
+
+    fn bind_aggregate(&self, stmt: &SelectStmt) -> Result<QueryKind, BindError> {
+        let mut keys = Vec::new();
+        for g in &stmt.group_by {
+            match self.bind_expr(g)? {
+                BExpr::Col { rel, col } => {
+                    let table = self.db().table_by_id(self.context().rels[rel].id);
+                    let name = table.schema().col(col).name.clone();
+                    keys.push(GroupKey::Col { rel, col, name });
+                }
+                BExpr::Predict { rel } => keys.push(GroupKey::Predict { rel }),
+                _ => {
+                    return Err(BindError::InvalidGroupBy(
+                        "GROUP BY keys must be columns or predict()",
+                    ))
+                }
+            }
+        }
+        let mut aggs = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Agg { func, expr, alias } => {
+                    let arg = match (func, expr) {
+                        (AggFunc::Count, None) => BoundAggArg::CountStar,
+                        (AggFunc::Count, Some(_)) => {
+                            return Err(BindError::InvalidAggregate(
+                                "COUNT(expr) unsupported; use COUNT(*)",
+                            ))
+                        }
+                        (_, None) => unreachable!("parser enforces agg args"),
+                        (_, Some(e)) => self.bind_agg_arg(e)?,
+                    };
+                    let name = alias.clone().unwrap_or_else(|| func.as_str().to_string());
+                    aggs.push(BoundAgg {
+                        func: *func,
+                        arg,
+                        name,
+                    });
+                }
+                SelectItem::Expr { expr, .. } => {
+                    // Non-aggregate items must be group keys.
+                    let bound = self.bind_expr(expr)?;
+                    let is_key = keys.iter().any(|k| match (k, &bound) {
+                        (GroupKey::Col { rel, col, .. }, BExpr::Col { rel: r, col: c }) => {
+                            rel == r && col == c
+                        }
+                        (GroupKey::Predict { rel }, BExpr::Predict { rel: r }) => rel == r,
+                        _ => false,
+                    });
+                    if !is_key {
+                        return Err(BindError::NonKeySelectItem(display_name(expr)));
+                    }
+                }
+                SelectItem::Star => return Err(BindError::StarWithAggregate),
+            }
+        }
+        Ok(QueryKind::Aggregate { keys, aggs })
+    }
+
+    /// Bind a SUM/AVG argument: a model-free expression, a bare
+    /// `predict(rel)`, or `factor * predict(rel)` / `predict(rel) * factor`
+    /// with a model-free factor (the appendix-B multi-class OCR shape).
+    fn bind_agg_arg(&self, e: &Expr) -> Result<BoundAggArg, BindError> {
+        // Recognize the scaled shape on the *unbound* AST, because the
+        // general expression binder rejects predict inside arithmetic.
+        if let Expr::Arith {
+            op: ArithOp::Mul,
+            left,
+            right,
+        } = e
+        {
+            let (pred, factor) = match (&**left, &**right) {
+                (Expr::Predict { .. }, other) => (&**left, other),
+                (other, Expr::Predict { .. }) => (&**right, other),
+                _ => (&Expr::Literal(Value::Null), &**left),
+            };
+            if let Expr::Predict { .. } = pred {
+                let BExpr::Predict { rel } = self.bind_expr(pred)? else {
+                    unreachable!()
+                };
+                let factor = self.bind_expr(factor)?;
+                if factor.contains_predict() {
+                    return Err(BindError::InvalidAggregate(
+                        "at most one predict() per aggregate product",
+                    ));
+                }
+                return Ok(BoundAggArg::ScaledPredict { rel, factor });
+            }
+        }
+        Ok(match self.bind_expr(e)? {
+            BExpr::Predict { rel } => BoundAggArg::Predict { rel },
+            bound if !bound.contains_predict() => BoundAggArg::Scalar(bound),
+            _ => {
+                return Err(BindError::InvalidAggregate(
+                    "predict() must appear bare (or scaled by a model-free factor) \
+                     as an aggregate argument",
+                ))
+            }
+        })
+    }
+}
+
+/// Split a bound predicate into top-level conjuncts.
+fn split_conjuncts(e: BExpr, out: &mut Vec<BExpr>) {
+    match e {
+        BExpr::And(terms) => {
+            for t in terms {
+                split_conjuncts(t, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+fn display_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Predict { .. } => "predict".into(),
+        _ => "expr".into(),
+    }
+}

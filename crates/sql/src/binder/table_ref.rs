@@ -1,0 +1,56 @@
+//! FROM-clause binding: table references → catalog-resolved relations.
+
+use super::{BindError, Binder};
+use crate::ast::TableRef;
+use crate::catalog::TableId;
+
+/// A FROM-list relation after binding: stable catalog id plus the names
+/// the rest of the pipeline still wants (the prediction-variable registry
+/// keys by table name, the printer by alias).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundRel {
+    /// Stable catalog id (hot-path lookups go through this).
+    pub id: TableId,
+    /// Catalog table name (lowercase).
+    pub table: String,
+    /// Alias used in the query.
+    pub alias: String,
+}
+
+/// One scope's worth of name bindings: the relations its FROM clause put
+/// in scope, in order. Lives on the binder's context stack.
+#[derive(Debug, Clone, Default)]
+pub struct BindContext {
+    /// FROM relations bound in this scope.
+    pub rels: Vec<BoundRel>,
+}
+
+impl<'a> Binder<'a> {
+    /// Bind a FROM list into the current context: resolve each table name
+    /// against the catalog and reject duplicate aliases.
+    pub fn bind_from(&mut self, from: &[TableRef]) -> Result<(), BindError> {
+        for tr in from {
+            self.bind_table_ref(tr)?;
+        }
+        Ok(())
+    }
+
+    /// Bind one table reference into the current context.
+    pub fn bind_table_ref(&mut self, tr: &TableRef) -> Result<usize, BindError> {
+        let entry = self
+            .db()
+            .entry(&tr.name)
+            .ok_or_else(|| BindError::UnknownTable(tr.name.clone()))?;
+        let (id, name) = (entry.id, entry.name.clone());
+        let ctx = self.context_mut();
+        if ctx.rels.iter().any(|r| r.alias == tr.alias) {
+            return Err(BindError::DuplicateAlias(tr.alias.clone()));
+        }
+        ctx.rels.push(BoundRel {
+            id,
+            table: name,
+            alias: tr.alias.clone(),
+        });
+        Ok(ctx.rels.len() - 1)
+    }
+}

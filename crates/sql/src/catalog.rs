@@ -1,12 +1,49 @@
-//! The database catalog: named tables.
+//! The database catalog: stable table ids, typed schemas, name lookup.
+//!
+//! The catalog is the binder's source of truth. Every registered table gets
+//! a stable [`TableId`]; the binder resolves names once, and from then on
+//! the planner and executor address tables by id — no string lookups on the
+//! hot path. Columns are addressed by a [`ColumnRef`] (table id + ordinal),
+//! with names and types carried by the table's [`Schema`](crate::table::Schema).
 
-use crate::table::Table;
+use crate::table::{ColumnDef, Table};
 use std::collections::HashMap;
+
+/// Stable identifier of a registered table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A fully resolved column: owning table plus ordinal position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Ordinal position within the table's schema.
+    pub index: u32,
+}
+
+/// A catalog entry: the table plus its registration metadata.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Stable id (survives re-registration under the same name).
+    pub id: TableId,
+    /// Lowercase catalog name.
+    pub name: String,
+    /// The table itself.
+    pub table: Table,
+}
 
 /// A named collection of tables (the queried database `D` of the paper).
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
+    entries: Vec<TableEntry>,
+    by_name: HashMap<String, usize>,
 }
 
 impl Database {
@@ -15,19 +52,84 @@ impl Database {
         Database::default()
     }
 
-    /// Register (or replace) a table under a lowercase name.
-    pub fn register(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_ascii_lowercase(), table);
+    /// Register (or replace) a table under a lowercase name, returning its
+    /// stable id. Replacing an existing name keeps the original id, so
+    /// bound plans survive data refreshes as long as the schema matches.
+    pub fn register(&mut self, name: &str, table: Table) -> TableId {
+        let name = name.to_ascii_lowercase();
+        match self.by_name.get(&name) {
+            Some(&slot) => {
+                self.entries[slot].table = table;
+                self.entries[slot].id
+            }
+            None => {
+                let id = TableId(self.entries.len() as u32);
+                self.by_name.insert(name.clone(), self.entries.len());
+                self.entries.push(TableEntry { id, name, table });
+                id
+            }
+        }
     }
 
     /// Look up a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_ascii_lowercase())
+        self.entry(name).map(|e| &e.table)
     }
 
-    /// Iterate over `(name, table)` pairs in arbitrary order.
+    /// Resolve a case-insensitive name to a table id.
+    pub fn resolve(&self, name: &str) -> Option<TableId> {
+        self.entry(name).map(|e| e.id)
+    }
+
+    /// Full entry for a case-insensitive name.
+    pub fn entry(&self, name: &str) -> Option<&TableEntry> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Table addressed by id.
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this database.
+    pub fn table_by_id(&self, id: TableId) -> &Table {
+        &self.entries[id.0 as usize].table
+    }
+
+    /// Catalog name of a table id.
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this database.
+    pub fn name_of(&self, id: TableId) -> &str {
+        &self.entries[id.0 as usize].name
+    }
+
+    /// Column definition for a resolved column reference.
+    ///
+    /// # Panics
+    /// Panics if the reference was not issued by this database.
+    pub fn column(&self, col: ColumnRef) -> &ColumnDef {
+        self.table_by_id(col.table).schema().col(col.index as usize)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, table)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Table)> {
-        self.tables.iter()
+        self.entries.iter().map(|e| (&e.name, &e.table))
+    }
+
+    /// Iterate over full catalog entries in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = &TableEntry> {
+        self.entries.iter()
     }
 }
 
@@ -36,17 +138,48 @@ mod tests {
     use super::*;
     use crate::table::{ColType, Column, Schema};
 
+    fn ints(name: &str, vals: Vec<i64>) -> Table {
+        Table::from_columns(
+            Schema::new(&[(name, ColType::Int)]),
+            vec![Column::Int(vals)],
+        )
+    }
+
     #[test]
     fn register_and_lookup() {
         let mut db = Database::new();
-        let t = Table::from_columns(
-            Schema::new(&[("x", ColType::Int)]),
-            vec![Column::Int(vec![1, 2, 3])],
-        );
-        db.register("Users", t);
+        db.register("Users", ints("x", vec![1, 2, 3]));
         assert!(db.table("users").is_some());
         assert!(db.table("USERS").is_some());
         assert!(db.table("logins").is_none());
         assert_eq!(db.table("users").unwrap().n_rows(), 3);
+    }
+
+    #[test]
+    fn ids_are_stable_across_replacement() {
+        let mut db = Database::new();
+        let a = db.register("a", ints("x", vec![1]));
+        let b = db.register("b", ints("x", vec![2]));
+        assert_ne!(a, b);
+        // Replacing keeps the id; data is swapped.
+        let a2 = db.register("A", ints("x", vec![7, 8]));
+        assert_eq!(a, a2);
+        assert_eq!(db.table_by_id(a).n_rows(), 2);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn resolve_and_column_metadata() {
+        let mut db = Database::new();
+        let id = db.register("t", ints("score", vec![5]));
+        assert_eq!(db.resolve("T"), Some(id));
+        assert_eq!(db.resolve("missing"), None);
+        assert_eq!(db.name_of(id), "t");
+        let col = ColumnRef {
+            table: id,
+            index: 0,
+        };
+        assert_eq!(db.column(col).name, "score");
+        assert_eq!(db.column(col).ty, ColType::Int);
     }
 }

@@ -1,9 +1,11 @@
 //! SPJA execution with optional provenance capture ("debug mode", §5.1).
 //!
-//! The executor is tuple-at-a-time over materialized row sets. Joins are
-//! scheduled left-to-right with predicate pushdown: every conjunct is
-//! applied as soon as all the relations it mentions are in scope, and
-//! concrete equi-join conjuncts drive hash joins.
+//! The executor is tuple-at-a-time over materialized row sets, driven by a
+//! physical [`QueryPlan`] (the binder/optimizer's output). Each relation is
+//! scanned through its pushed-down filters first, joins are scheduled
+//! left-to-right, residual conjuncts are applied as soon as all the
+//! relations they mention are in scope, and concrete equi-join conjuncts
+//! drive hash joins over the filtered scans.
 //!
 //! The two execution modes share one code path:
 //!
@@ -21,8 +23,10 @@
 //! into an ILP (TwoStep).
 
 use crate::ast::{AggFunc, ArithOp, CmpOp, SelectStmt};
+use crate::binder::{bind, BExpr, BoundAgg, BoundAggArg, GroupKey, QueryKind};
 use crate::catalog::Database;
-use crate::plan::{bind, BExpr, BoundAgg, BoundAggArg, BoundQuery, GroupKey, QueryKind};
+use crate::optimize::optimize;
+use crate::plan::QueryPlan;
 use crate::predvar::PredVarRegistry;
 use crate::prov::{AggSum, AggTerm, BoolProv, CellProv, VarId};
 use crate::table::{ColType, Schema, Table};
@@ -78,25 +82,41 @@ pub fn run_query(
     run_stmt(db, model, &stmt, opts)
 }
 
-/// Bind and execute a parsed statement.
+/// Bind, optimize, and execute a parsed statement
+/// (`binder → optimizer → executor`).
 pub fn run_stmt(
     db: &Database,
     model: &dyn Classifier,
     stmt: &SelectStmt,
     opts: ExecOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let bound = bind(stmt, db)?;
-    execute(db, model, &bound, opts)
+    let bound = bind(stmt, db).map_err(QueryError::Bind)?;
+    let plan = optimize(bound, db);
+    execute(db, model, &plan, opts)
 }
 
-/// Execute a bound query.
+/// Execute a physical plan. The plan must have been bound against `db`
+/// (table ids are resolved through it).
 pub fn execute(
     db: &Database,
     model: &dyn Classifier,
-    query: &BoundQuery,
+    query: &QueryPlan,
     opts: ExecOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let mut exec = Exec { db, model, query, debug: opts.debug, reg: PredVarRegistry::new() };
+    debug_assert!(
+        query
+            .rels
+            .iter()
+            .all(|r| db.resolve(&r.table) == Some(r.id)),
+        "plan was bound against a different database"
+    );
+    let mut exec = Exec {
+        db,
+        model,
+        query,
+        debug: opts.debug,
+        reg: PredVarRegistry::new(),
+    };
     exec.run()
 }
 
@@ -139,7 +159,9 @@ fn keyval_to_value(k: &KeyVal) -> Value {
         KeyVal::F64(bits) => {
             let b = bits ^ (1u64 << 63);
             let b = b as i64;
-            Value::Float(f64::from_bits((b ^ ((((b >> 63) as u64) >> 1) as i64)) as u64))
+            Value::Float(f64::from_bits(
+                (b ^ ((((b >> 63) as u64) >> 1) as i64)) as u64,
+            ))
         }
         KeyVal::Str(s) => Value::Str(s.clone()),
     }
@@ -161,22 +183,61 @@ struct GroupAcc {
 struct Exec<'a> {
     db: &'a Database,
     model: &'a dyn Classifier,
-    query: &'a BoundQuery,
+    query: &'a QueryPlan,
     debug: bool,
     reg: PredVarRegistry,
 }
 
 impl<'a> Exec<'a> {
     fn table_of(&self, rel: usize) -> &Table {
-        self.db.table(&self.query.rels[rel].table).expect("bound table")
+        self.db.table_by_id(self.query.rels[rel].id)
     }
 
     fn var_of(&mut self, rel: usize, row: u32) -> VarId {
         let table_name = &self.query.rels[rel].table;
-        let table = self.db.table(table_name).expect("bound table");
+        let table = self.db.table_by_id(self.query.rels[rel].id);
         let model = self.model;
-        let feats = table.feature_row(row as usize).expect("features checked at bind time");
-        self.reg.var_for(table_name, row as usize, || model.predict(feats))
+        let feats = table
+            .feature_row(row as usize)
+            .expect("features checked at bind time");
+        self.reg
+            .var_for(table_name, row as usize, || model.predict(feats))
+    }
+
+    /// Base-row ids of `rel` surviving its pushed-down scan filters.
+    /// Scan filters are model-free by construction (the optimizer never
+    /// pushes a `predict()` atom), so they evaluate concretely and prune
+    /// identically in normal and debug mode — provenance is unaffected.
+    fn scan(&mut self, rel: usize) -> Result<Vec<u32>, QueryError> {
+        let n = self.table_of(rel).n_rows();
+        if self.query.scan_filters[rel].is_empty() {
+            return Ok((0..n as u32).collect());
+        }
+        // `self.query` is a shared reference with its own lifetime, so
+        // reading expressions through a hoisted copy of it does not hold
+        // a borrow of `self` — no per-row clones needed.
+        let query = self.query;
+        let mut rows_buf = vec![0u32; rel + 1];
+        let mut out = Vec::with_capacity(n);
+        'row: for r in 0..n {
+            rows_buf[rel] = r as u32;
+            for f in &query.scan_filters[rel] {
+                match self.eval_pred(f, &rows_buf)? {
+                    Sym::Const(false) => continue 'row,
+                    Sym::Const(true) => {}
+                    // Unreachable for optimizer-built plans; evaluate
+                    // discretely as a defensive fallback (identical in
+                    // both modes for a concrete model).
+                    Sym::Prov(p) => {
+                        if !p.eval_discrete(self.reg.preds()) {
+                            continue 'row;
+                        }
+                    }
+                }
+            }
+            out.push(r as u32);
+        }
+        Ok(out)
     }
 
     fn run(&mut self) -> Result<QueryOutput, QueryError> {
@@ -204,9 +265,14 @@ impl<'a> Exec<'a> {
             })
             .collect();
 
-        // Seed with relation 0.
-        let mut tuples: Vec<Tup> = (0..self.table_of(0).n_rows())
-            .map(|r| Tup { rows: vec![r as u32], prov: BoolProv::Const(true) })
+        // Seed with relation 0's scan (pushed-down filters applied).
+        let mut tuples: Vec<Tup> = self
+            .scan(0)?
+            .into_iter()
+            .map(|r| Tup {
+                rows: vec![r],
+                prov: BoolProv::Const(true),
+            })
             .collect();
         tuples = self.apply_conjuncts(tuples, &mut applied, &footprints, 1)?;
 
@@ -215,7 +281,11 @@ impl<'a> Exec<'a> {
             let equi: Vec<(BExpr, BExpr, usize)> = (0..n_conj)
                 .filter(|&ci| !applied[ci] && footprints[ci].iter().all(|&r| r <= rel))
                 .filter_map(|ci| match &self.query.conjuncts[ci] {
-                    BExpr::Cmp { op: CmpOp::Eq, left, right } => {
+                    BExpr::Cmp {
+                        op: CmpOp::Eq,
+                        left,
+                        right,
+                    } => {
                         let lset = {
                             let mut s = BTreeSet::new();
                             left.rels_used(&mut s);
@@ -232,8 +302,7 @@ impl<'a> Exec<'a> {
                         // One side must be exactly {rel}, the other ⊆ {0..rel-1}.
                         if lset == BTreeSet::from([rel]) && rset.iter().all(|&r| r < rel) {
                             Some(((**right).clone(), (**left).clone(), ci))
-                        } else if rset == BTreeSet::from([rel]) && lset.iter().all(|&r| r < rel)
-                        {
+                        } else if rset == BTreeSet::from([rel]) && lset.iter().all(|&r| r < rel) {
                             Some(((**left).clone(), (**right).clone(), ci))
                         } else {
                             None
@@ -243,16 +312,21 @@ impl<'a> Exec<'a> {
                 })
                 .collect();
 
-            let right_rows = self.table_of(rel).n_rows();
+            // Scan the new relation once: pushed-down filters prune its
+            // base rows before any join work (hash build or cross loop).
+            let right_rows = self.scan(rel)?;
             let mut joined = Vec::new();
             if equi.is_empty() {
                 // Nested-loop cross join; remaining conjuncts filter below.
-                joined.reserve(tuples.len().saturating_mul(right_rows.max(1)));
+                joined.reserve(tuples.len().saturating_mul(right_rows.len().max(1)));
                 for t in &tuples {
-                    for r in 0..right_rows {
+                    for &r in &right_rows {
                         let mut rows = t.rows.clone();
-                        rows.push(r as u32);
-                        joined.push(Tup { rows, prov: t.prov.clone() });
+                        rows.push(r);
+                        joined.push(Tup {
+                            rows,
+                            prov: t.prov.clone(),
+                        });
                     }
                 }
             } else {
@@ -261,22 +335,16 @@ impl<'a> Exec<'a> {
                 }
                 // Hash the new relation on its key expressions.
                 let mut index: HashMap<Vec<KeyVal>, Vec<u32>> = HashMap::new();
-                for r in 0..right_rows {
-                    let probe = Tup {
-                        rows: {
-                            // Position `rel` must be addressable; pad with a
-                            // sentinel row vector of the right length.
-                            let mut rows = vec![0u32; rel + 1];
-                            rows[rel] = r as u32;
-                            rows
-                        },
-                        prov: BoolProv::Const(true),
-                    };
+                let mut probe_rows = vec![0u32; rel + 1];
+                for &r in &right_rows {
+                    // Position `rel` must be addressable; pad with a
+                    // sentinel row vector of the right length.
+                    probe_rows[rel] = r;
                     let key: Result<Vec<KeyVal>, QueryError> = equi
                         .iter()
-                        .map(|(_, re, _)| Ok(keyval(&self.eval_value(re, &probe.rows)?)))
+                        .map(|(_, re, _)| Ok(keyval(&self.eval_value(re, &probe_rows)?)))
                         .collect();
-                    index.entry(key?).or_default().push(r as u32);
+                    index.entry(key?).or_default().push(r);
                 }
                 for t in &tuples {
                     let key: Result<Vec<KeyVal>, QueryError> = equi
@@ -287,7 +355,10 @@ impl<'a> Exec<'a> {
                         for &r in rows {
                             let mut new_rows = t.rows.clone();
                             new_rows.push(r);
-                            joined.push(Tup { rows: new_rows, prov: t.prov.clone() });
+                            joined.push(Tup {
+                                rows: new_rows,
+                                prov: t.prov.clone(),
+                            });
                         }
                     }
                 }
@@ -315,11 +386,11 @@ impl<'a> Exec<'a> {
         for &ci in &todo {
             applied[ci] = true;
         }
+        let query = self.query;
         let mut out = Vec::with_capacity(tuples.len());
         'tuple: for mut t in tuples {
             for &ci in &todo {
-                let conjunct = self.query.conjuncts[ci].clone();
-                match self.eval_pred(&conjunct, &t.rows)? {
+                match self.eval_pred(&query.conjuncts[ci], &t.rows)? {
                     Sym::Const(false) => continue 'tuple,
                     Sym::Const(true) => {}
                     Sym::Prov(f) => {
@@ -389,7 +460,10 @@ impl<'a> Exec<'a> {
                         let eq = if lv == rv {
                             BoolProv::Const(true)
                         } else {
-                            BoolProv::PredEq { left: lv, right: rv }
+                            BoolProv::PredEq {
+                                left: lv,
+                                right: rv,
+                            }
                         };
                         match op {
                             CmpOp::Eq => Sym::from(eq),
@@ -403,10 +477,14 @@ impl<'a> Exec<'a> {
                     }
                     (true, false) | (false, true) => {
                         let (rel, other, op) = if lp {
-                            let BExpr::Predict { rel } = &**left else { unreachable!() };
+                            let BExpr::Predict { rel } = &**left else {
+                                unreachable!()
+                            };
                             (*rel, right, *op)
                         } else {
-                            let BExpr::Predict { rel } = &**right else { unreachable!() };
+                            let BExpr::Predict { rel } = &**right else {
+                                unreachable!()
+                            };
                             // Flip the operator: `c op predict` ⇔ `predict op' c`.
                             let flipped = match op {
                                 CmpOp::Lt => CmpOp::Gt,
@@ -419,16 +497,12 @@ impl<'a> Exec<'a> {
                         };
                         let val = self.eval_value(other, rows)?;
                         let class = val.as_i64().ok_or_else(|| {
-                            QueryError::Exec(format!(
-                                "predict() compared to non-integer {val}"
-                            ))
+                            QueryError::Exec(format!("predict() compared to non-integer {val}"))
                         })?;
                         let var = self.var_of(rel, rows[rel]);
                         let n_classes = self.model.n_classes() as i64;
                         let classes: Vec<usize> = (0..n_classes)
-                            .filter(|&c| {
-                                op.eval(c.cmp(&class))
-                            })
+                            .filter(|&c| op.eval(c.cmp(&class)))
                             .map(|c| c as usize)
                             .collect();
                         Sym::from(BoolProv::or(
@@ -445,14 +519,16 @@ impl<'a> Exec<'a> {
                     }
                 }
             }
-            BExpr::Like { expr, pattern, negated } => {
+            BExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = self.eval_value(expr, rows)?;
                 let matched = match v {
                     Value::Str(s) => like_match(&s, pattern),
                     Value::Null => false,
-                    other => {
-                        return Err(QueryError::Exec(format!("LIKE on non-string {other}")))
-                    }
+                    other => return Err(QueryError::Exec(format!("LIKE on non-string {other}"))),
                 };
                 Sym::Const(matched != *negated)
             }
@@ -479,7 +555,10 @@ impl<'a> Exec<'a> {
                     (Some(a), Some(b)) => {
                         let both_int = matches!(
                             (&l, &r),
-                            (Value::Int(_) | Value::Bool(_), Value::Int(_) | Value::Bool(_))
+                            (
+                                Value::Int(_) | Value::Bool(_),
+                                Value::Int(_) | Value::Bool(_)
+                            )
                         );
                         let out = match op {
                             ArithOp::Add => a + b,
@@ -512,26 +591,14 @@ impl<'a> Exec<'a> {
         })
     }
 
+    /// Output column type of an expression — delegates to the binder's
+    /// [`infer_type`](crate::binder::infer_type) so naive and optimized
+    /// plans (where constant folding may turn `true + 2` into `3`) always
+    /// agree on the schema. Statically unknown (NULL-only) expressions
+    /// type as Float, the type NULL-producing arithmetic would have had.
     fn infer_type(&self, e: &BExpr) -> ColType {
-        match e {
-            BExpr::Lit(Value::Int(_)) => ColType::Int,
-            BExpr::Lit(Value::Float(_)) => ColType::Float,
-            BExpr::Lit(Value::Str(_)) => ColType::Str,
-            BExpr::Lit(_) => ColType::Bool,
-            BExpr::Col { rel, col } => self.table_of(*rel).schema().col(*col).ty,
-            BExpr::Predict { .. } => ColType::Int,
-            BExpr::Arith { op, left, right } => {
-                if *op != ArithOp::Div
-                    && self.infer_type(left) == ColType::Int
-                    && self.infer_type(right) == ColType::Int
-                {
-                    ColType::Int
-                } else {
-                    ColType::Float
-                }
-            }
-            _ => ColType::Bool,
-        }
+        crate::binder::infer_type(e, &|rel, col| self.table_of(rel).schema().col(col).ty)
+            .unwrap_or(ColType::Float)
     }
 
     fn project(
@@ -541,7 +608,7 @@ impl<'a> Exec<'a> {
     ) -> Result<QueryOutput, QueryError> {
         let mut schema = Schema::default();
         for (e, name) in items {
-            schema.push(name, self.infer_type(e));
+            push_unique(&mut schema, name, self.infer_type(e));
         }
         let mut table = Table::empty(schema);
         let mut row_prov = Vec::new();
@@ -551,8 +618,17 @@ impl<'a> Exec<'a> {
                 continue;
             }
             let mut row = Vec::with_capacity(items.len());
-            for (e, _) in items {
-                row.push(self.eval_value(e, &t.rows)?);
+            for (e, name) in items {
+                let v = self.eval_value(e, &t.rows)?;
+                if v == Value::Null {
+                    // Columns carry no null representation yet; surface a
+                    // typed error instead of panicking the schema builder.
+                    return Err(QueryError::Exec(format!(
+                        "NULL in select output column {name} is unsupported; \
+                         filter NULLs out"
+                    )));
+                }
+                row.push(v);
             }
             table.push_row(row, None);
             if self.debug {
@@ -616,7 +692,10 @@ impl<'a> Exec<'a> {
                 cartesian(n_classes, pred_keys.len())
             } else {
                 // Normal mode: only the concrete class combination.
-                vec![pred_keys.iter().map(|(_, v)| self.reg.preds()[*v as usize]).collect()]
+                vec![pred_keys
+                    .iter()
+                    .map(|(_, v)| self.reg.preds()[*v as usize])
+                    .collect()]
             };
 
             for combo in combos {
@@ -660,16 +739,11 @@ impl<'a> Exec<'a> {
                         }
                         BoundAggArg::ScaledPredict { rel, factor } => {
                             let var = self.var_of(*rel, t.rows[*rel]);
-                            let w = self
-                                .eval_value(factor, &t.rows)?
-                                .as_f64()
-                                .ok_or_else(|| {
-                                    QueryError::Exec(
-                                        "non-numeric factor in scaled predict".into(),
-                                    )
+                            let w =
+                                self.eval_value(factor, &t.rows)?.as_f64().ok_or_else(|| {
+                                    QueryError::Exec("non-numeric factor in scaled predict".into())
                                 })?;
-                            let concrete_val =
-                                w * self.reg.preds()[var as usize] as f64;
+                            let concrete_val = w * self.reg.preds()[var as usize] as f64;
                             Some((AggTerm::ScaledPred { var, weight: w }, concrete_val))
                         }
                         BoundAggArg::Scalar(e) => {
@@ -704,14 +778,18 @@ impl<'a> Exec<'a> {
             match k {
                 GroupKey::Col { rel, col, name } => {
                     let ty = self.table_of(*rel).schema().col(*col).ty;
-                    schema.push(name, ty);
+                    push_unique(&mut schema, name, ty);
                 }
-                GroupKey::Predict { .. } => schema.push("predict", ColType::Int),
+                GroupKey::Predict { .. } => push_unique(&mut schema, "predict", ColType::Int),
             }
         }
         for agg in aggs {
-            let ty = if agg.func == AggFunc::Count { ColType::Int } else { ColType::Float };
-            schema.push(&agg.name, ty);
+            let ty = if agg.func == AggFunc::Count {
+                ColType::Int
+            } else {
+                ColType::Float
+            };
+            push_unique(&mut schema, &agg.name, ty);
         }
         let mut table = Table::empty(schema);
         let mut agg_cells = Vec::new();
@@ -730,9 +808,7 @@ impl<'a> Exec<'a> {
                 row.push(match agg.func {
                     AggFunc::Count => Value::Int(cnt as i64),
                     AggFunc::Sum => Value::Float(sum),
-                    AggFunc::Avg => {
-                        Value::Float(if cnt == 0 { 0.0 } else { sum / cnt as f64 })
-                    }
+                    AggFunc::Avg => Value::Float(if cnt == 0 { 0.0 } else { sum / cnt as f64 }),
                 });
             }
             table.push_row(row, None);
@@ -756,6 +832,25 @@ impl<'a> Exec<'a> {
             n_key_cols: keys.len(),
             predvars: std::mem::take(&mut self.reg),
         })
+    }
+}
+
+/// Append an output column, uniquifying duplicate names (`x`, `x_2`, …)
+/// so user-written select lists like `SELECT x, x` or `SELECT *, *`
+/// cannot panic the schema builder.
+fn push_unique(schema: &mut Schema, name: &str, ty: ColType) {
+    if schema.index_of(name).is_none() {
+        schema.push(name, ty);
+        return;
+    }
+    let mut i = 2;
+    loop {
+        let cand = format!("{name}_{i}");
+        if schema.index_of(&cand).is_none() {
+            schema.push(&cand, ty);
+            return;
+        }
+        i += 1;
     }
 }
 

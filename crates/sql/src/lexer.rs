@@ -89,7 +89,9 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
             let mut is_float = false;
             while i < bytes.len()
                 && ((bytes[i] as char).is_ascii_digit()
-                    || (bytes[i] == b'.' && !is_float && matches!(bytes.get(i+1), Some(d) if (*d as char).is_ascii_digit())))
+                    || (bytes[i] == b'.'
+                        && !is_float
+                        && matches!(bytes.get(i+1), Some(d) if (*d as char).is_ascii_digit())))
             {
                 if bytes[i] == b'.' {
                     is_float = true;
@@ -134,7 +136,11 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
             }
             toks.push((Token::Str(s), start));
         } else {
-            let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+            let two = if i + 1 < bytes.len() {
+                &input[i..i + 2]
+            } else {
+                ""
+            };
             let sym: &'static str = match two {
                 "!=" => "!=",
                 "<>" => "<>",
@@ -180,7 +186,11 @@ mod tests {
     fn keywords_are_lowercased_identifiers() {
         assert_eq!(
             toks("SELECT Count"),
-            vec![Token::Ident("select".into()), Token::Ident("count".into()), Token::Eof]
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("count".into()),
+                Token::Eof
+            ]
         );
     }
 
@@ -188,7 +198,12 @@ mod tests {
     fn numbers_and_strings() {
         assert_eq!(
             toks("42 3.5 'it''s'"),
-            vec![Token::Int(42), Token::Float(3.5), Token::Str("it's".into()), Token::Eof]
+            vec![
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Str("it's".into()),
+                Token::Eof
+            ]
         );
     }
 
@@ -209,18 +224,26 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a -- comment\n b"), vec![
-            Token::Ident("a".into()),
-            Token::Ident("b".into()),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("a -- comment\n b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn dotted_names_are_three_tokens() {
         assert_eq!(
             toks("u.id"),
-            vec![Token::Ident("u".into()), Token::Sym("."), Token::Ident("id".into()), Token::Eof]
+            vec![
+                Token::Ident("u".into()),
+                Token::Sym("."),
+                Token::Ident("id".into()),
+                Token::Eof
+            ]
         );
     }
 
@@ -228,7 +251,13 @@ mod tests {
     fn count_star_call() {
         assert_eq!(
             toks("COUNT(*)"),
-            vec![Token::Ident("count".into()), Token::Sym("("), Token::Sym("*"), Token::Sym(")"), Token::Eof]
+            vec![
+                Token::Ident("count".into()),
+                Token::Sym("("),
+                Token::Sym("*"),
+                Token::Sym(")"),
+                Token::Eof
+            ]
         );
     }
 

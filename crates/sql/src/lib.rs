@@ -1,13 +1,20 @@
 //! The Query 2.0 substrate: storage, SQL, execution, and provenance.
 //!
 //! This crate implements everything the Rain paper assumes from its
-//! database layer (§3.1, §5.1, §5.3):
+//! database layer (§3.1, §5.1, §5.3), structured as a four-stage query
+//! stack — `parser → binder → optimizer → executor`:
 //!
 //! - columnar [`table::Table`]s with row-aligned feature matrices for
-//!   in-database model inference,
+//!   in-database model inference, registered in a [`catalog`] that issues
+//!   stable table ids,
 //! - a hand-written SQL [`parser`] for the SPJA dialect with
 //!   `predict(alias)` model predicates,
-//! - a binder/[`plan`]ner and a pushdown [`exec`]utor with hash joins,
+//! - a [`binder`] that resolves names against the catalog (aliases,
+//!   scoped contexts, typed [`BindError`]s) into a [`BoundStatement`],
+//! - a rule-based [`optimize`]r — constant folding, predicate pushdown,
+//!   projection pruning, all provenance-preserving — lowering to a
+//!   physical [`plan::QueryPlan`],
+//! - a pushdown [`exec`]utor with hash joins,
 //! - **provenance polynomials** ([`prov`]) over prediction variables,
 //!   captured during debug-mode execution, and their **differentiable
 //!   relaxation** with reverse-mode gradients — the machinery behind the
@@ -47,9 +54,11 @@
 //! ```
 
 pub mod ast;
+pub mod binder;
 pub mod catalog;
 pub mod exec;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
 pub mod plan;
 pub mod predvar;
@@ -58,11 +67,14 @@ pub mod prov;
 pub mod table;
 pub mod value;
 
-pub use catalog::Database;
+pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
+pub use binder::{bind, BExpr, BindError, Binder, BoundStatement};
+pub use catalog::{ColumnRef, Database, TableId};
 pub use exec::{execute, run_query, run_stmt, ExecOptions, QueryOutput};
 pub use lexer::SqlError;
+pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;
-pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
+pub use plan::QueryPlan;
 pub use predvar::{PredVarInfo, PredVarRegistry};
 pub use prov::{AggSum, AggTerm, BoolProv, CellProv, ProbGrad, Probs, VarId};
 pub use value::Value;
@@ -72,8 +84,8 @@ pub use value::Value;
 pub enum QueryError {
     /// Lexical or syntactic error.
     Parse(SqlError),
-    /// Name-resolution or validation error.
-    Bind(String),
+    /// Name-resolution, typing, or validation error (see [`BindError`]).
+    Bind(BindError),
     /// Runtime error.
     Exec(String),
 }
@@ -82,10 +94,23 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::Parse(e) => write!(f, "parse error: {e}"),
-            QueryError::Bind(msg) => write!(f, "bind error: {msg}"),
+            QueryError::Bind(e) => write!(f, "bind error: {e}"),
             QueryError::Exec(msg) => write!(f, "execution error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Bind(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BindError> for QueryError {
+    fn from(e: BindError) -> Self {
+        QueryError::Bind(e)
+    }
+}

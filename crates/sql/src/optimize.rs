@@ -1,0 +1,487 @@
+//! Rule-based logical optimizer: bound statement → rewritten physical plan.
+//!
+//! Three classic rewrites run over the [`BoundStatement`], all chosen to be
+//! **provenance-preserving**: debug-mode execution of the optimized plan
+//! captures exactly the same polynomials over the same prediction
+//! variables as the naive plan, so the relaxations in
+//! [`prov`](crate::prov) and the variable registry in
+//! [`predvar`](crate::predvar) stay correct for Holistic's `q(θ)` encoding
+//! and TwoStep's ILP.
+//!
+//! 1. **Constant folding** — model-free, column-free subtrees evaluate at
+//!    plan time, mirroring the executor's runtime semantics exactly
+//!    (integer arithmetic, NULL-on-division-by-zero, truthiness, LIKE).
+//!    Conjuncts folding to TRUE disappear; a FALSE conjunct stays and
+//!    empties the result at scan time.
+//! 2. **Predicate pushdown** — every conjunct whose relation footprint is
+//!    a single relation *and* that mentions no `predict()` moves into that
+//!    relation's scan filter, pruning base rows before the join pipeline
+//!    touches them (hash-join builds shrink accordingly). Model predicates
+//!    are never pushed: in debug mode tuples failing only model predicates
+//!    must survive symbolically (§5.1), and the pushed filters are applied
+//!    identically in both modes, so results and provenance are unchanged.
+//! 3. **Projection pruning** — the per-relation column footprint is
+//!    narrowed from "whole schema" to exactly the columns the plan still
+//!    references. The executor reads columns lazily, so this rule costs
+//!    nothing at runtime; its value is in `EXPLAIN` output and as a guard
+//!    invariant (a rewrite that *widens* the footprint is a bug, which the
+//!    property tests check).
+
+use crate::ast::{ArithOp, CmpOp};
+use crate::binder::{BExpr, BoundAggArg, BoundStatement, GroupKey, QueryKind};
+use crate::catalog::Database;
+use crate::plan::QueryPlan;
+use crate::value::{like_match, Value};
+use std::collections::BTreeSet;
+
+/// Which rewrite rules to run. [`OptimizerConfig::default`] enables all;
+/// [`OptimizerConfig::naive`] disables all (the baseline plan used by the
+/// equivalence tests and the `sql_exec` bench comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Evaluate constant subtrees at plan time.
+    pub constant_folding: bool,
+    /// Push single-relation model-free conjuncts into scans.
+    pub predicate_pushdown: bool,
+    /// Narrow per-relation column footprints.
+    pub projection_pruning: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            constant_folding: true,
+            predicate_pushdown: true,
+            projection_pruning: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// All rules off: lower the statement exactly as written.
+    pub fn naive() -> Self {
+        OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+            projection_pruning: false,
+        }
+    }
+}
+
+/// Optimize a bound statement with all rules enabled.
+pub fn optimize(stmt: BoundStatement, db: &Database) -> QueryPlan {
+    optimize_with(stmt, db, &OptimizerConfig::default())
+}
+
+/// Optimize a bound statement with an explicit rule selection.
+pub fn optimize_with(stmt: BoundStatement, db: &Database, cfg: &OptimizerConfig) -> QueryPlan {
+    let mut plan = QueryPlan::naive(stmt, db);
+
+    if cfg.constant_folding {
+        fold_plan(&mut plan);
+    }
+    if cfg.predicate_pushdown {
+        push_down(&mut plan);
+    }
+    if cfg.projection_pruning {
+        prune_columns(&mut plan);
+    }
+    plan
+}
+
+/// Rule 1: constant folding over every expression in the plan.
+fn fold_plan(plan: &mut QueryPlan) {
+    let mut conjuncts = Vec::with_capacity(plan.conjuncts.len());
+    for c in plan.conjuncts.drain(..) {
+        let folded = fold(c);
+        // A conjunct folding to a truthy literal filters nothing: drop it.
+        // Falsy literals stay — the executor empties the pipeline cheaply.
+        if let BExpr::Lit(v) = &folded {
+            if v.is_truthy() {
+                continue;
+            }
+        }
+        conjuncts.push(folded);
+    }
+    plan.conjuncts = conjuncts;
+
+    match &mut plan.kind {
+        QueryKind::Select { items } => {
+            for (e, _) in items.iter_mut() {
+                *e = fold(std::mem::replace(e, BExpr::Lit(Value::Null)));
+            }
+        }
+        QueryKind::Aggregate { aggs, .. } => {
+            for agg in aggs.iter_mut() {
+                match &mut agg.arg {
+                    BoundAggArg::Scalar(e) => {
+                        *e = fold(std::mem::replace(e, BExpr::Lit(Value::Null)));
+                    }
+                    BoundAggArg::ScaledPredict { factor, .. } => {
+                        *factor = fold(std::mem::replace(factor, BExpr::Lit(Value::Null)));
+                    }
+                    BoundAggArg::CountStar | BoundAggArg::Predict { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+/// Fold one expression bottom-up. Literal-only subtrees evaluate with the
+/// executor's exact runtime semantics; everything else is rebuilt with
+/// folded children (AND/OR additionally short-circuit on literal members).
+pub fn fold(e: BExpr) -> BExpr {
+    match e {
+        BExpr::Lit(_) | BExpr::Col { .. } | BExpr::Predict { .. } => e,
+        BExpr::Not(inner) => {
+            let inner = fold(*inner);
+            match inner {
+                BExpr::Lit(v) => BExpr::Lit(Value::Bool(!v.is_truthy())),
+                other => BExpr::Not(Box::new(other)),
+            }
+        }
+        BExpr::And(terms) => {
+            let mut kept = Vec::with_capacity(terms.len());
+            for t in terms {
+                match fold(t) {
+                    // A falsy member decides the conjunction.
+                    BExpr::Lit(v) if !v.is_truthy() => {
+                        return BExpr::Lit(Value::Bool(false));
+                    }
+                    // Truthy members filter nothing.
+                    BExpr::Lit(_) => {}
+                    other => kept.push(other),
+                }
+            }
+            match kept.len() {
+                0 => BExpr::Lit(Value::Bool(true)),
+                1 => kept.into_iter().next().expect("one element"),
+                _ => BExpr::And(kept),
+            }
+        }
+        BExpr::Or(terms) => {
+            let mut kept = Vec::with_capacity(terms.len());
+            for t in terms {
+                match fold(t) {
+                    BExpr::Lit(v) if v.is_truthy() => {
+                        return BExpr::Lit(Value::Bool(true));
+                    }
+                    BExpr::Lit(_) => {}
+                    other => kept.push(other),
+                }
+            }
+            match kept.len() {
+                0 => BExpr::Lit(Value::Bool(false)),
+                1 => kept.into_iter().next().expect("one element"),
+                _ => BExpr::Or(kept),
+            }
+        }
+        BExpr::Cmp { op, left, right } => {
+            let left = fold(*left);
+            let right = fold(*right);
+            if let (BExpr::Lit(l), BExpr::Lit(r)) = (&left, &right) {
+                let b = l.compare(r).is_some_and(|ord| op.eval(ord));
+                return BExpr::Lit(Value::Bool(b));
+            }
+            BExpr::Cmp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        BExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let expr = fold(*expr);
+            match &expr {
+                // Mirror the executor: NULL never matches; the binder has
+                // excluded non-string operand types.
+                BExpr::Lit(Value::Str(s)) => {
+                    return BExpr::Lit(Value::Bool(like_match(s, &pattern) != negated));
+                }
+                BExpr::Lit(Value::Null) => return BExpr::Lit(Value::Bool(negated)),
+                _ => {}
+            }
+            BExpr::Like {
+                expr: Box::new(expr),
+                pattern,
+                negated,
+            }
+        }
+        BExpr::Arith { op, left, right } => {
+            let left = fold(*left);
+            let right = fold(*right);
+            if let (BExpr::Lit(l), BExpr::Lit(r)) = (&left, &right) {
+                return BExpr::Lit(fold_arith(op, l, r));
+            }
+            BExpr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+    }
+}
+
+/// Literal arithmetic with the executor's exact semantics: `Int`/`Bool`
+/// operands stay integral (except division), division by zero and
+/// non-numeric operands yield NULL.
+fn fold_arith(op: ArithOp, l: &Value, r: &Value) -> Value {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => {
+            let both_int = matches!(
+                (l, r),
+                (
+                    Value::Int(_) | Value::Bool(_),
+                    Value::Int(_) | Value::Bool(_)
+                )
+            );
+            let out = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Value::Null;
+                    }
+                    a / b
+                }
+            };
+            if both_int && op != ArithOp::Div {
+                Value::Int(out as i64)
+            } else {
+                Value::Float(out)
+            }
+        }
+        _ => Value::Null,
+    }
+}
+
+/// Rule 2: move single-relation, model-free conjuncts into scan filters.
+fn push_down(plan: &mut QueryPlan) {
+    let mut residual = Vec::with_capacity(plan.conjuncts.len());
+    for c in plan.conjuncts.drain(..) {
+        let mut footprint = BTreeSet::new();
+        c.rels_used(&mut footprint);
+        let pushable = footprint.len() == 1 && !c.contains_predict();
+        if pushable {
+            let rel = *footprint.iter().next().expect("single relation");
+            plan.scan_filters[rel].push(c);
+        } else {
+            residual.push(c);
+        }
+    }
+    plan.conjuncts = residual;
+}
+
+/// Rule 3: narrow each relation's column footprint to what the plan reads.
+fn prune_columns(plan: &mut QueryPlan) {
+    let n = plan.rels.len();
+    let mut used: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for c in &plan.conjuncts {
+        c.cols_used(&mut used);
+    }
+    for filters in &plan.scan_filters {
+        for f in filters {
+            f.cols_used(&mut used);
+        }
+    }
+    match &plan.kind {
+        QueryKind::Select { items } => {
+            for (e, _) in items {
+                e.cols_used(&mut used);
+            }
+        }
+        QueryKind::Aggregate { keys, aggs } => {
+            for k in keys {
+                if let GroupKey::Col { rel, col, .. } = k {
+                    used[*rel].insert(*col);
+                }
+            }
+            for agg in aggs {
+                match &agg.arg {
+                    BoundAggArg::Scalar(e) => e.cols_used(&mut used),
+                    BoundAggArg::ScaledPredict { factor, .. } => factor.cols_used(&mut used),
+                    BoundAggArg::CountStar | BoundAggArg::Predict { .. } => {}
+                }
+            }
+        }
+    }
+    plan.used_cols = used;
+}
+
+/// Detect whether a comparison is a pure equi-join conjunct between two
+/// disjoint relation sets (exposed for the planner/bench introspection).
+pub fn is_equi_join(e: &BExpr) -> bool {
+    if let BExpr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = e
+    {
+        if left.contains_predict() || right.contains_predict() {
+            return false;
+        }
+        let mut ls = BTreeSet::new();
+        let mut rs = BTreeSet::new();
+        left.rels_used(&mut ls);
+        right.rels_used(&mut rs);
+        return !ls.is_empty() && !rs.is_empty() && ls.is_disjoint(&rs);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind;
+    use crate::parser::parse_select;
+    use crate::table::{ColType, Column, Schema, Table};
+    use rain_linalg::Matrix;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let users = Table::from_columns(
+            Schema::new(&[
+                ("id", ColType::Int),
+                ("name", ColType::Str),
+                ("age", ColType::Int),
+            ]),
+            vec![
+                Column::Int(vec![1, 2, 3]),
+                Column::Str(vec!["a".into(), "b".into(), "c".into()]),
+                Column::Int(vec![30, 40, 50]),
+            ],
+        )
+        .with_features(Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0]]));
+        db.register("users", users);
+        let logins = Table::from_columns(
+            Schema::new(&[("id", ColType::Int), ("active", ColType::Bool)]),
+            vec![
+                Column::Int(vec![1, 2, 3]),
+                Column::Bool(vec![true, false, true]),
+            ],
+        );
+        db.register("logins", logins);
+        db
+    }
+
+    fn plan_for(sql: &str, cfg: &OptimizerConfig) -> QueryPlan {
+        let db = db();
+        let stmt = parse_select(sql).unwrap();
+        let bound = bind(&stmt, &db).unwrap();
+        optimize_with(bound, &db, cfg)
+    }
+
+    #[test]
+    fn folds_constant_conjuncts_away() {
+        let p = plan_for(
+            "SELECT COUNT(*) FROM users WHERE 1 + 1 = 2 AND age > 35",
+            &OptimizerConfig {
+                predicate_pushdown: false,
+                ..Default::default()
+            },
+        );
+        // `1 + 1 = 2` folds to TRUE and disappears.
+        assert_eq!(p.conjuncts.len(), 1);
+        assert!(matches!(&p.conjuncts[0], BExpr::Cmp { .. }));
+    }
+
+    #[test]
+    fn folds_arithmetic_with_runtime_semantics() {
+        // Integer division by zero folds to NULL, not a panic.
+        let e = fold(BExpr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(BExpr::Lit(Value::Int(4))),
+            right: Box::new(BExpr::Lit(Value::Int(0))),
+        });
+        assert_eq!(e, BExpr::Lit(Value::Null));
+        // Int + Int stays Int.
+        let e = fold(BExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(BExpr::Lit(Value::Int(4))),
+            right: Box::new(BExpr::Lit(Value::Int(5))),
+        });
+        assert_eq!(e, BExpr::Lit(Value::Int(9)));
+    }
+
+    #[test]
+    fn false_conjunct_is_kept_to_empty_the_plan() {
+        let p = plan_for(
+            "SELECT COUNT(*) FROM users WHERE 1 = 2",
+            &OptimizerConfig::default(),
+        );
+        assert_eq!(p.conjuncts, vec![BExpr::Lit(Value::Bool(false))]);
+    }
+
+    #[test]
+    fn pushes_single_rel_filters_into_scans() {
+        let p = plan_for(
+            "SELECT COUNT(*) FROM users u, logins l \
+             WHERE u.id = l.id AND l.active = true AND predict(u) = 1",
+            &OptimizerConfig::default(),
+        );
+        // `l.active = true` lands on logins' scan; the join conjunct and
+        // the model predicate stay residual.
+        assert_eq!(p.scan_filters[0].len(), 0);
+        assert_eq!(p.scan_filters[1].len(), 1);
+        assert_eq!(p.conjuncts.len(), 2);
+        assert!(is_equi_join(&p.conjuncts[0]));
+        assert!(p.conjuncts[1].contains_predict());
+    }
+
+    #[test]
+    fn model_predicates_are_never_pushed() {
+        let p = plan_for(
+            "SELECT COUNT(*) FROM users WHERE predict(*) = 1 AND age > 35",
+            &OptimizerConfig::default(),
+        );
+        // age filter pushed; predict predicate residual (provenance!).
+        assert_eq!(p.scan_filters[0].len(), 1);
+        assert_eq!(p.conjuncts.len(), 1);
+        assert!(p.conjuncts[0].contains_predict());
+    }
+
+    #[test]
+    fn prunes_unused_columns() {
+        let p = plan_for(
+            "SELECT name FROM users WHERE age > 35",
+            &OptimizerConfig::default(),
+        );
+        // Only name (1) and age (2) are read; id (0) is pruned.
+        assert_eq!(p.used_cols[0], BTreeSet::from([1, 2]));
+        // The naive plan declares the whole schema.
+        let naive = plan_for(
+            "SELECT name FROM users WHERE age > 35",
+            &OptimizerConfig::naive(),
+        );
+        assert_eq!(naive.used_cols[0], BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn explain_shows_pushdown_and_pruning() {
+        let db = db();
+        let stmt = parse_select(
+            "SELECT COUNT(*) FROM users u, logins l \
+             WHERE u.id = l.id AND l.active = true AND predict(u) = 1",
+        )
+        .unwrap();
+        let bound = bind(&stmt, &db).unwrap();
+        let text = optimize(bound, &db).explain(&db);
+        assert!(text.contains("Scan logins AS l"), "{text}");
+        assert!(text.contains("filter=[l.active = true]"), "{text}");
+        assert!(text.contains("predict(u) = 1"), "{text}");
+    }
+
+    #[test]
+    fn naive_config_is_identity_lowering() {
+        let p = plan_for(
+            "SELECT COUNT(*) FROM users WHERE 1 = 1 AND age > 35",
+            &OptimizerConfig::naive(),
+        );
+        assert_eq!(p.conjuncts.len(), 2);
+        assert!(p.scan_filters.iter().all(Vec::is_empty));
+    }
+}

@@ -55,7 +55,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, SqlError> {
-        Err(SqlError { message: msg.into(), offset: self.offset() })
+        Err(SqlError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -71,7 +74,11 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            self.err(format!("expected {}, found {}", kw.to_uppercase(), self.peek()))
+            self.err(format!(
+                "expected {}, found {}",
+                kw.to_uppercase(),
+                self.peek()
+            ))
         }
     }
 
@@ -119,7 +126,8 @@ impl Parser {
         loop {
             if self.eat_sym(",") {
                 from.push(self.table_ref()?);
-            } else if self.eat_kw("join") || (self.eat_kw("inner") && self.expect_kw("join").is_ok())
+            } else if self.eat_kw("join")
+                || (self.eat_kw("inner") && self.expect_kw("join").is_ok())
             {
                 from.push(self.table_ref()?);
                 self.expect_kw("on")?;
@@ -128,7 +136,11 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -137,18 +149,29 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        Ok(SelectStmt { items, from, join_conds, where_clause, group_by })
+        Ok(SelectStmt {
+            items,
+            from,
+            join_conds,
+            where_clause,
+            group_by,
+        })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
-        if self.eat_sym("*") {
-            return Ok(vec![SelectItem::Star]);
-        }
-        let mut items = vec![self.select_item()?];
+        let mut items = vec![self.select_item_or_star()?];
         while self.eat_sym(",") {
-            items.push(self.select_item()?);
+            items.push(self.select_item_or_star()?);
         }
         Ok(items)
+    }
+
+    fn select_item_or_star(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_sym("*") {
+            Ok(SelectItem::Star)
+        } else {
+            self.select_item()
+        }
     }
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -161,7 +184,10 @@ impl Parser {
         };
         if let Some(func) = func {
             // Only treat as an aggregate when followed by '('.
-            if matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Token::Sym("("))) {
+            if matches!(
+                self.toks.get(self.pos + 1).map(|(t, _)| t),
+                Some(Token::Sym("("))
+            ) {
                 self.bump(); // func name
                 self.expect_sym("(")?;
                 let expr = if self.eat_sym("*") {
@@ -275,13 +301,21 @@ impl Parser {
                 Some(op) => {
                     self.bump();
                     let right = self.add_expr()?;
-                    Ok(Expr::Cmp { op, left: Box::new(left), right: Box::new(right) })
+                    Ok(Expr::Cmp {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    })
                 }
                 None => Ok(left),
             };
         };
         match self.bump() {
-            Token::Str(pattern) => Ok(Expr::Like { expr: Box::new(left), pattern, negated }),
+            Token::Str(pattern) => Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            }),
             other => self.err(format!("LIKE expects a string literal, found {other}")),
         }
     }
@@ -296,7 +330,11 @@ impl Parser {
             };
             self.bump();
             let right = self.mul_expr()?;
-            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -311,7 +349,11 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -378,9 +420,15 @@ impl Parser {
                 }
                 if self.eat_sym(".") {
                     let col = self.ident()?;
-                    Ok(Expr::Column { qualifier: Some(name), name: col })
+                    Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
                 } else {
-                    Ok(Expr::Column { qualifier: None, name })
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    })
                 }
             }
             other => self.err(format!("unexpected token {other}")),
@@ -400,7 +448,11 @@ mod tests {
         assert_eq!(q.from.len(), 1);
         assert_eq!(q.from[0].alias, "dblp");
         match q.where_clause.unwrap() {
-            Expr::Cmp { op: CmpOp::Eq, left, right } => {
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                left,
+                right,
+            } => {
                 assert_eq!(*left, Expr::Predict { rel: None });
                 assert_eq!(*right, Expr::Literal(Value::Int(1)));
             }
@@ -411,14 +463,15 @@ mod tests {
     #[test]
     fn parses_like_and_conjunction() {
         // Q2 shape.
-        let q = parse_select(
-            "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%http%'",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT COUNT(*) FROM enron WHERE predict(*) = 1 AND text LIKE '%http%'")
+                .unwrap();
         match q.where_clause.unwrap() {
             Expr::And(terms) => {
                 assert_eq!(terms.len(), 2);
-                assert!(matches!(&terms[1], Expr::Like { negated: false, pattern, .. } if pattern == "%http%"));
+                assert!(
+                    matches!(&terms[1], Expr::Like { negated: false, pattern, .. } if pattern == "%http%")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -427,10 +480,8 @@ mod tests {
     #[test]
     fn parses_join_with_predict_equality() {
         // Q3 shape.
-        let q = parse_select(
-            "SELECT * FROM mnist l, mnist r WHERE predict(l) = predict(r)",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT * FROM mnist l, mnist r WHERE predict(l) = predict(r)").unwrap();
         assert_eq!(q.from.len(), 2);
         assert_eq!(q.from[0].alias, "l");
         assert_eq!(q.from[1].alias, "r");
@@ -453,7 +504,11 @@ mod tests {
         let q = parse_select("SELECT AVG(predict(*)) FROM adult GROUP BY gender").unwrap();
         assert_eq!(q.group_by.len(), 1);
         match &q.items[0] {
-            SelectItem::Agg { func: AggFunc::Avg, expr: Some(Expr::Predict { rel: None }), .. } => {}
+            SelectItem::Agg {
+                func: AggFunc::Avg,
+                expr: Some(Expr::Predict { rel: None }),
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -471,7 +526,12 @@ mod tests {
             .unwrap();
         assert_eq!(q.items.len(), 2);
         match &q.items[0] {
-            SelectItem::Expr { alias: Some(a), expr: Expr::Arith { op: ArithOp::Mul, .. } } => {
+            SelectItem::Expr {
+                alias: Some(a),
+                expr: Expr::Arith {
+                    op: ArithOp::Mul, ..
+                },
+            } => {
                 assert_eq!(a, "doubled")
             }
             other => panic!("unexpected {other:?}"),
@@ -480,10 +540,9 @@ mod tests {
 
     #[test]
     fn parses_not_like_and_or() {
-        let q = parse_select(
-            "SELECT COUNT(*) FROM t WHERE a NOT LIKE '%x%' OR NOT b = 1 OR c != 2",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT COUNT(*) FROM t WHERE a NOT LIKE '%x%' OR NOT b = 1 OR c != 2")
+                .unwrap();
         match q.where_clause.unwrap() {
             Expr::Or(terms) => assert_eq!(terms.len(), 3),
             other => panic!("unexpected {other:?}"),
@@ -513,7 +572,12 @@ mod tests {
     fn predict_star_dot_syntax() {
         let q = parse_select("SELECT COUNT(*) FROM u WHERE predict(u.*) = 0").unwrap();
         match q.where_clause.unwrap() {
-            Expr::Cmp { left, .. } => assert_eq!(*left, Expr::Predict { rel: Some("u".into()) }),
+            Expr::Cmp { left, .. } => assert_eq!(
+                *left,
+                Expr::Predict {
+                    rel: Some("u".into())
+                }
+            ),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -1,670 +1,226 @@
-//! Name resolution and validation: AST → bound query.
+//! Physical query plans: what the executor runs.
 //!
-//! The binder resolves table aliases and column names against the catalog,
-//! splits `WHERE`/`ON` into a flat list of conjuncts (so the executor can
-//! push each down as early as possible), classifies the query as plain
-//! select vs aggregate, and enforces the dialect's `predict()` placement
-//! rules: `predict` may appear **bare** in comparisons, as an aggregate
-//! argument, or as a GROUP BY key — never inside arithmetic (paper §3.1;
-//! appendix B leaves relaxing aggregate comparisons to future work).
+//! A [`QueryPlan`] is the lowered form of a
+//! [`BoundStatement`](crate::binder::BoundStatement): the FROM relations in
+//! join order, per-relation **scan filters** (predicates the optimizer
+//! pushed below the joins), the residual join/filter conjuncts, and the
+//! projection/aggregation shape. [`QueryPlan::naive`] lowers a bound
+//! statement without any rewriting — the baseline the optimizer (and the
+//! equivalence property tests) compare against;
+//! [`optimize`](crate::optimize::optimize) produces the rewritten plan.
+//!
+//! [`QueryPlan::explain`] renders the plan as an indented operator tree,
+//! which is how the optimizer's work (pushdown, folding, pruning) is made
+//! visible to users and asserted in tests.
 
-use crate::ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt};
+use crate::binder::{BExpr, BoundAggArg, BoundRel, BoundStatement, GroupKey, QueryKind};
 use crate::catalog::Database;
-use crate::value::Value;
-use crate::QueryError;
 use std::collections::BTreeSet;
 
-/// A FROM-list relation after binding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BoundRel {
-    /// Catalog table name.
-    pub table: String,
-    /// Alias used in the query.
-    pub alias: String,
-}
-
-/// A bound scalar expression (all names resolved to indices).
+/// A physical SPJA plan, ready for execution.
 #[derive(Debug, Clone, PartialEq)]
-pub enum BExpr {
-    /// Literal.
-    Lit(Value),
-    /// Column `rels[rel].columns[col]`.
-    Col {
-        /// Relation index into the FROM list.
-        rel: usize,
-        /// Column index within that relation.
-        col: usize,
-    },
-    /// Model inference over relation `rel`'s current row.
-    Predict {
-        /// Relation index into the FROM list.
-        rel: usize,
-    },
-    /// Negation.
-    Not(Box<BExpr>),
-    /// Conjunction.
-    And(Vec<BExpr>),
-    /// Disjunction.
-    Or(Vec<BExpr>),
-    /// Comparison.
-    Cmp {
-        /// Operator.
-        op: CmpOp,
-        /// Left operand.
-        left: Box<BExpr>,
-        /// Right operand.
-        right: Box<BExpr>,
-    },
-    /// `LIKE`.
-    Like {
-        /// Operand.
-        expr: Box<BExpr>,
-        /// Pattern.
-        pattern: String,
-        /// `NOT LIKE` when true.
-        negated: bool,
-    },
-    /// Arithmetic.
-    Arith {
-        /// Operator.
-        op: ArithOp,
-        /// Left operand.
-        left: Box<BExpr>,
-        /// Right operand.
-        right: Box<BExpr>,
-    },
-}
-
-impl BExpr {
-    /// Record which relations the expression touches.
-    pub fn rels_used(&self, out: &mut BTreeSet<usize>) {
-        match self {
-            BExpr::Lit(_) => {}
-            BExpr::Col { rel, .. } | BExpr::Predict { rel } => {
-                out.insert(*rel);
-            }
-            BExpr::Not(e) => e.rels_used(out),
-            BExpr::And(es) | BExpr::Or(es) => {
-                for e in es {
-                    e.rels_used(out);
-                }
-            }
-            BExpr::Cmp { left, right, .. } | BExpr::Arith { left, right, .. } => {
-                left.rels_used(out);
-                right.rels_used(out);
-            }
-            BExpr::Like { expr, .. } => expr.rels_used(out),
-        }
-    }
-
-    /// True when the expression mentions `predict` anywhere.
-    pub fn contains_predict(&self) -> bool {
-        match self {
-            BExpr::Predict { .. } => true,
-            BExpr::Lit(_) | BExpr::Col { .. } => false,
-            BExpr::Not(e) | BExpr::Like { expr: e, .. } => e.contains_predict(),
-            BExpr::And(es) | BExpr::Or(es) => es.iter().any(BExpr::contains_predict),
-            BExpr::Cmp { left, right, .. } | BExpr::Arith { left, right, .. } => {
-                left.contains_predict() || right.contains_predict()
-            }
-        }
-    }
-}
-
-/// An aggregate argument after binding.
-#[derive(Debug, Clone, PartialEq)]
-pub enum BoundAggArg {
-    /// `COUNT(*)`.
-    CountStar,
-    /// A model-independent expression.
-    Scalar(BExpr),
-    /// `predict(rel)`.
-    Predict {
-        /// Relation index.
-        rel: usize,
-    },
-    /// `factor * predict(rel)` with a model-independent factor — the
-    /// appendix-B shape (`SUM(10^position · predict(image))`).
-    ScaledPredict {
-        /// Relation index.
-        rel: usize,
-        /// Model-independent multiplier expression.
-        factor: BExpr,
-    },
-}
-
-/// A bound aggregate select item.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BoundAgg {
-    /// Aggregate function.
-    pub func: AggFunc,
-    /// Argument.
-    pub arg: BoundAggArg,
-    /// Output column name.
-    pub name: String,
-}
-
-/// A bound GROUP BY key.
-#[derive(Debug, Clone, PartialEq)]
-pub enum GroupKey {
-    /// A plain column.
-    Col {
-        /// Relation index.
-        rel: usize,
-        /// Column index.
-        col: usize,
-        /// Output column name.
-        name: String,
-    },
-    /// `predict(rel)` — groups are the model's classes.
-    Predict {
-        /// Relation index.
-        rel: usize,
-    },
-}
-
-/// The projection/aggregation shape of a bound query.
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueryKind {
-    /// Plain SPJ select. `items` are `(expression, output name)`.
-    Select {
-        /// Output expressions with names.
-        items: Vec<(BExpr, String)>,
-    },
-    /// Aggregate query (possibly grouped).
-    Aggregate {
-        /// Group keys (empty = one global group).
-        keys: Vec<GroupKey>,
-        /// Aggregates, in select-list order.
-        aggs: Vec<BoundAgg>,
-    },
-}
-
-/// A fully bound SPJA query.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BoundQuery {
-    /// FROM relations in order.
+pub struct QueryPlan {
+    /// FROM relations in join order.
     pub rels: Vec<BoundRel>,
-    /// All WHERE/ON conjuncts, ready for pushdown.
+    /// Per-relation predicates applied at scan time, before any join.
+    /// Always model-free (predicate pushdown never moves a `predict()`
+    /// atom, so debug-mode provenance is unchanged).
+    pub scan_filters: Vec<Vec<BExpr>>,
+    /// Residual conjuncts: join conditions, model predicates, and
+    /// anything touching several relations. Applied as early as their
+    /// relation footprint allows.
     pub conjuncts: Vec<BExpr>,
     /// Projection or aggregation.
     pub kind: QueryKind,
+    /// Column footprint per relation: every column the plan can read
+    /// (projection pruning computes the minimal set; the naive plan
+    /// declares full schemas).
+    pub used_cols: Vec<BTreeSet<usize>>,
 }
 
-/// Bind a parsed statement against a database.
-pub fn bind(stmt: &SelectStmt, db: &Database) -> Result<BoundQuery, QueryError> {
-    let binder = Binder::new(stmt, db)?;
-    binder.bind(stmt)
-}
-
-struct Binder<'a> {
-    db: &'a Database,
-    rels: Vec<BoundRel>,
-}
-
-impl<'a> Binder<'a> {
-    fn new(stmt: &SelectStmt, db: &'a Database) -> Result<Self, QueryError> {
-        let mut rels = Vec::with_capacity(stmt.from.len());
-        for tr in &stmt.from {
-            if db.table(&tr.name).is_none() {
-                return Err(QueryError::Bind(format!("unknown table {}", tr.name)));
-            }
-            if rels.iter().any(|r: &BoundRel| r.alias == tr.alias) {
-                return Err(QueryError::Bind(format!("duplicate alias {}", tr.alias)));
-            }
-            rels.push(BoundRel { table: tr.name.to_ascii_lowercase(), alias: tr.alias.clone() });
+impl QueryPlan {
+    /// Lower a bound statement with **no** rewriting: no scan filters, no
+    /// folding, full-schema column footprints. This is exactly the shape
+    /// the seed executor ran, kept as the optimizer's baseline.
+    pub fn naive(stmt: BoundStatement, db: &Database) -> QueryPlan {
+        let n = stmt.rels.len();
+        let used_cols = stmt
+            .rels
+            .iter()
+            .map(|r| (0..db.table_by_id(r.id).schema().len()).collect())
+            .collect();
+        QueryPlan {
+            scan_filters: vec![Vec::new(); n],
+            rels: stmt.rels,
+            conjuncts: stmt.conjuncts,
+            kind: stmt.kind,
+            used_cols,
         }
-        Ok(Binder { db, rels })
     }
 
-    fn bind(self, stmt: &SelectStmt) -> Result<BoundQuery, QueryError> {
-        // Conjuncts: WHERE plus all JOIN ... ON conditions, split on AND.
-        let mut conjuncts = Vec::new();
-        for cond in stmt
-            .join_conds
-            .iter()
-            .chain(stmt.where_clause.as_ref().map(std::iter::once).into_iter().flatten())
-        {
-            let bound = self.expr(cond)?;
-            self.validate_predicate(&bound)?;
-            split_conjuncts(bound, &mut conjuncts);
-        }
-
-        let kind = if stmt.is_aggregate() {
-            self.bind_aggregate(stmt)?
-        } else {
-            self.bind_select(stmt)?
+    /// Render the plan as an indented operator tree, e.g.:
+    ///
+    /// ```text
+    /// Aggregate keys=[] aggs=[count(*)]
+    ///   Filter [predict(u) = 1]
+    ///     Join
+    ///       Scan users AS u cols=[id] filter=[u.id < 10]
+    ///       Scan logins AS l cols=[id]
+    /// ```
+    pub fn explain(&self, db: &Database) -> String {
+        let mut out = String::new();
+        let mut indent = 0usize;
+        let push = |line: String, indent: usize, out: &mut String| {
+            out.push_str(&"  ".repeat(indent));
+            out.push_str(&line);
+            out.push('\n');
         };
-        Ok(BoundQuery { rels: self.rels, conjuncts, kind })
-    }
-
-    fn bind_select(&self, stmt: &SelectStmt) -> Result<QueryKind, QueryError> {
-        if !stmt.group_by.is_empty() {
-            return Err(QueryError::Bind(
-                "GROUP BY requires aggregates in the select list".into(),
-            ));
-        }
-        let mut items = Vec::new();
-        for item in &stmt.items {
-            match item {
-                SelectItem::Star => {
-                    let many = self.rels.len() > 1;
-                    for (ri, rel) in self.rels.iter().enumerate() {
-                        let table = self.db.table(&rel.table).expect("bound table");
-                        for (ci, col) in table.schema().iter().enumerate() {
-                            let name = if many {
-                                format!("{}_{}", rel.alias, col.name)
-                            } else {
-                                col.name.clone()
-                            };
-                            items.push((BExpr::Col { rel: ri, col: ci }, name));
-                        }
-                    }
-                }
-                SelectItem::Expr { expr, alias } => {
-                    let bound = self.expr(expr)?;
-                    if bound.contains_predict() && !matches!(bound, BExpr::Predict { .. }) {
-                        return Err(QueryError::Bind(
-                            "predict() must appear bare in the select list".into(),
-                        ));
-                    }
-                    let name = alias.clone().unwrap_or_else(|| display_name(expr));
-                    items.push((bound, name));
-                }
-                SelectItem::Agg { .. } => unreachable!("bind_select on aggregate query"),
-            }
-        }
-        Ok(QueryKind::Select { items })
-    }
-
-    fn bind_aggregate(&self, stmt: &SelectStmt) -> Result<QueryKind, QueryError> {
-        let mut keys = Vec::new();
-        for g in &stmt.group_by {
-            match self.expr(g)? {
-                BExpr::Col { rel, col } => {
-                    let table = self.db.table(&self.rels[rel].table).expect("bound");
-                    let name = table.schema().col(col).name.clone();
-                    keys.push(GroupKey::Col { rel, col, name });
-                }
-                BExpr::Predict { rel } => keys.push(GroupKey::Predict { rel }),
-                _ => {
-                    return Err(QueryError::Bind(
-                        "GROUP BY keys must be columns or predict()".into(),
-                    ))
-                }
-            }
-        }
-        let mut aggs = Vec::new();
-        for item in &stmt.items {
-            match item {
-                SelectItem::Agg { func, expr, alias } => {
-                    let arg = match (func, expr) {
-                        (AggFunc::Count, None) => BoundAggArg::CountStar,
-                        (AggFunc::Count, Some(_)) => {
-                            return Err(QueryError::Bind(
-                                "COUNT(expr) unsupported; use COUNT(*)".into(),
-                            ))
-                        }
-                        (_, None) => unreachable!("parser enforces agg args"),
-                        (_, Some(e)) => self.bind_agg_arg(e)?,
-                    };
-                    let name = alias.clone().unwrap_or_else(|| func.as_str().to_string());
-                    aggs.push(BoundAgg { func: *func, arg, name });
-                }
-                SelectItem::Expr { expr, .. } => {
-                    // Non-aggregate items must be group keys.
-                    let bound = self.expr(expr)?;
-                    let is_key = keys.iter().any(|k| match (k, &bound) {
-                        (GroupKey::Col { rel, col, .. }, BExpr::Col { rel: r, col: c }) => {
-                            rel == r && col == c
-                        }
-                        (GroupKey::Predict { rel }, BExpr::Predict { rel: r }) => rel == r,
-                        _ => false,
-                    });
-                    if !is_key {
-                        return Err(QueryError::Bind(
-                            "non-aggregate select items must be GROUP BY keys".into(),
-                        ));
-                    }
-                }
-                SelectItem::Star => {
-                    return Err(QueryError::Bind("SELECT * not allowed with aggregates".into()))
-                }
-            }
-        }
-        Ok(QueryKind::Aggregate { keys, aggs })
-    }
-
-    /// Bind a SUM/AVG argument: a model-free expression, a bare
-    /// `predict(rel)`, or `factor * predict(rel)` / `predict(rel) * factor`
-    /// with a model-free factor (the appendix-B multi-class OCR shape).
-    fn bind_agg_arg(&self, e: &Expr) -> Result<BoundAggArg, QueryError> {
-        // Recognize the scaled shape on the *unbound* AST, because the
-        // general expression binder rejects predict inside arithmetic.
-        if let Expr::Arith { op: crate::ast::ArithOp::Mul, left, right } = e {
-            let (pred, factor) = match (&**left, &**right) {
-                (Expr::Predict { .. }, other) => (&**left, other),
-                (other, Expr::Predict { .. }) => (&**right, other),
-                _ => (&Expr::Literal(crate::value::Value::Null), &**left),
-            };
-            if let Expr::Predict { .. } = pred {
-                let BExpr::Predict { rel } = self.expr(pred)? else { unreachable!() };
-                let factor = self.expr(factor)?;
-                if factor.contains_predict() {
-                    return Err(QueryError::Bind(
-                        "at most one predict() per aggregate product".into(),
-                    ));
-                }
-                return Ok(BoundAggArg::ScaledPredict { rel, factor });
-            }
-        }
-        Ok(match self.expr(e)? {
-            BExpr::Predict { rel } => BoundAggArg::Predict { rel },
-            bound if !bound.contains_predict() => BoundAggArg::Scalar(bound),
-            _ => {
-                return Err(QueryError::Bind(
-                    "predict() must appear bare (or scaled by a model-free factor) \
-                     as an aggregate argument"
-                        .into(),
-                ))
-            }
-        })
-    }
-
-    fn expr(&self, e: &Expr) -> Result<BExpr, QueryError> {
-        Ok(match e {
-            Expr::Literal(v) => BExpr::Lit(v.clone()),
-            Expr::Column { qualifier, name } => {
-                let (rel, col) = self.resolve_column(qualifier.as_deref(), name)?;
-                BExpr::Col { rel, col }
-            }
-            Expr::Predict { rel } => {
-                let rel = match rel {
-                    Some(alias) => self.resolve_rel(alias)?,
-                    None => {
-                        if self.rels.len() != 1 {
-                            return Err(QueryError::Bind(
-                                "predict(*) is ambiguous with multiple relations; \
-                                 use predict(alias)"
-                                    .into(),
-                            ));
-                        }
-                        0
-                    }
-                };
-                let table = self.db.table(&self.rels[rel].table).expect("bound");
-                if table.features().is_none() {
-                    return Err(QueryError::Bind(format!(
-                        "table {} has no feature matrix for predict()",
-                        self.rels[rel].table
-                    )));
-                }
-                BExpr::Predict { rel }
-            }
-            Expr::Not(inner) => BExpr::Not(Box::new(self.expr(inner)?)),
-            Expr::And(terms) => {
-                BExpr::And(terms.iter().map(|t| self.expr(t)).collect::<Result<_, _>>()?)
-            }
-            Expr::Or(terms) => {
-                BExpr::Or(terms.iter().map(|t| self.expr(t)).collect::<Result<_, _>>()?)
-            }
-            Expr::Cmp { op, left, right } => BExpr::Cmp {
-                op: *op,
-                left: Box::new(self.expr(left)?),
-                right: Box::new(self.expr(right)?),
-            },
-            Expr::Like { expr, pattern, negated } => BExpr::Like {
-                expr: Box::new(self.expr(expr)?),
-                pattern: pattern.clone(),
-                negated: *negated,
-            },
-            Expr::Arith { op, left, right } => {
-                let l = self.expr(left)?;
-                let r = self.expr(right)?;
-                if l.contains_predict() || r.contains_predict() {
-                    return Err(QueryError::Bind(
-                        "predict() may not appear inside arithmetic".into(),
-                    ));
-                }
-                BExpr::Arith { op: *op, left: Box::new(l), right: Box::new(r) }
-            }
-        })
-    }
-
-    fn resolve_rel(&self, alias: &str) -> Result<usize, QueryError> {
-        self.rels
-            .iter()
-            .position(|r| r.alias == alias)
-            .ok_or_else(|| QueryError::Bind(format!("unknown relation alias {alias}")))
-    }
-
-    fn resolve_column(
-        &self,
-        qualifier: Option<&str>,
-        name: &str,
-    ) -> Result<(usize, usize), QueryError> {
-        match qualifier {
-            Some(q) => {
-                let rel = self.resolve_rel(q)?;
-                let table = self.db.table(&self.rels[rel].table).expect("bound");
-                let col = table
-                    .schema()
-                    .index_of(name)
-                    .ok_or_else(|| QueryError::Bind(format!("unknown column {q}.{name}")))?;
-                Ok((rel, col))
-            }
-            None => {
-                let mut found = None;
-                for (ri, rel) in self.rels.iter().enumerate() {
-                    let table = self.db.table(&rel.table).expect("bound");
-                    if let Some(ci) = table.schema().index_of(name) {
-                        if found.is_some() {
-                            return Err(QueryError::Bind(format!(
-                                "ambiguous column {name}; qualify it"
-                            )));
-                        }
-                        found = Some((ri, ci));
-                    }
-                }
-                found.ok_or_else(|| QueryError::Bind(format!("unknown column {name}")))
-            }
-        }
-    }
-
-    /// Enforce where `predict` may appear inside a predicate: bare in a
-    /// comparison against a model-free expression or another `predict`.
-    fn validate_predicate(&self, e: &BExpr) -> Result<(), QueryError> {
-        match e {
-            BExpr::Predict { .. } => Err(QueryError::Bind(
-                "predict() must be compared, not used as a bare boolean".into(),
-            )),
-            BExpr::Lit(_) | BExpr::Col { .. } => Ok(()),
-            BExpr::Not(inner) => self.validate_predicate(inner),
-            BExpr::And(terms) | BExpr::Or(terms) => {
-                terms.iter().try_for_each(|t| self.validate_predicate(t))
-            }
-            BExpr::Like { expr, .. } => {
-                if expr.contains_predict() {
-                    Err(QueryError::Bind("predict() cannot be used with LIKE".into()))
-                } else {
-                    Ok(())
-                }
-            }
-            BExpr::Arith { left, right, .. } => {
-                // Binder already rejects predict inside arithmetic.
-                self.validate_predicate(left)?;
-                self.validate_predicate(right)
-            }
-            BExpr::Cmp { left, right, .. } => {
-                let lp = matches!(**left, BExpr::Predict { .. });
-                let rp = matches!(**right, BExpr::Predict { .. });
-                if (left.contains_predict() && !lp) || (right.contains_predict() && !rp) {
-                    return Err(QueryError::Bind(
-                        "predict() must appear bare in comparisons".into(),
-                    ));
-                }
-                Ok(())
-            }
-        }
-    }
-}
-
-/// Split a bound predicate into top-level conjuncts.
-fn split_conjuncts(e: BExpr, out: &mut Vec<BExpr>) {
-    match e {
-        BExpr::And(terms) => {
-            for t in terms {
-                split_conjuncts(t, out);
-            }
-        }
-        other => out.push(other),
-    }
-}
-
-fn display_name(e: &Expr) -> String {
-    match e {
-        Expr::Column { name, .. } => name.clone(),
-        Expr::Predict { .. } => "predict".into(),
-        _ => "expr".into(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse_select;
-    use crate::table::{ColType, Column, Schema, Table};
-    use rain_linalg::Matrix;
-
-    fn db() -> Database {
-        let mut db = Database::new();
-        let users = Table::from_columns(
-            Schema::new(&[("id", ColType::Int), ("name", ColType::Str)]),
-            vec![Column::Int(vec![1, 2]), Column::Str(vec!["a".into(), "b".into()])],
-        )
-        .with_features(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
-        db.register("users", users);
-        let logins = Table::from_columns(
-            Schema::new(&[("id", ColType::Int), ("active", ColType::Bool)]),
-            vec![Column::Int(vec![1, 2]), Column::Bool(vec![true, false])],
-        );
-        db.register("logins", logins);
-        db
-    }
-
-    fn bind_str(sql: &str) -> Result<BoundQuery, QueryError> {
-        bind(&parse_select(sql).unwrap(), &db())
-    }
-
-    #[test]
-    fn binds_columns_and_splits_conjuncts() {
-        let q = bind_str(
-            "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id \
-             WHERE l.active = true AND predict(u) = 1",
-        )
-        .unwrap();
-        assert_eq!(q.rels.len(), 2);
-        assert_eq!(q.conjuncts.len(), 3);
-        // The ON condition resolves to rel 0 / rel 1 id columns.
-        match &q.conjuncts[0] {
-            BExpr::Cmp { left, right, .. } => {
-                assert_eq!(**left, BExpr::Col { rel: 0, col: 0 });
-                assert_eq!(**right, BExpr::Col { rel: 1, col: 0 });
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-    }
-
-    #[test]
-    fn unqualified_unique_column_resolves() {
-        let q = bind_str("SELECT name FROM users WHERE active = true").unwrap_err();
-        // `active` is in logins, not users.
-        assert!(matches!(q, QueryError::Bind(msg) if msg.contains("unknown column")));
-        let q = bind_str("SELECT * FROM users u, logins l WHERE name = 'a'").unwrap();
-        assert!(matches!(q.conjuncts[0], BExpr::Cmp { .. }));
-    }
-
-    #[test]
-    fn ambiguous_column_is_rejected() {
-        let err = bind_str("SELECT * FROM users u, logins l WHERE id = 1").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("ambiguous")));
-    }
-
-    #[test]
-    fn predict_star_needs_single_relation() {
-        let err =
-            bind_str("SELECT COUNT(*) FROM users u, logins l WHERE predict(*) = 1").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("ambiguous")));
-        let ok = bind_str("SELECT COUNT(*) FROM users WHERE predict(*) = 1").unwrap();
-        assert!(matches!(ok.conjuncts[0], BExpr::Cmp { .. }));
-    }
-
-    #[test]
-    fn predict_requires_features() {
-        let err = bind_str("SELECT COUNT(*) FROM logins WHERE predict(*) = 1").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("feature matrix")));
-    }
-
-    #[test]
-    fn predict_inside_arithmetic_is_rejected() {
-        let err =
-            bind_str("SELECT COUNT(*) FROM users WHERE predict(*) + 1 = 2").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("arithmetic")));
-    }
-
-    #[test]
-    fn bare_predict_predicate_is_rejected() {
-        let err = bind_str("SELECT COUNT(*) FROM users WHERE predict(*)").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("bare boolean")));
-    }
-
-    #[test]
-    fn group_by_key_binding() {
-        let q = bind_str("SELECT COUNT(*) AS n FROM users GROUP BY name").unwrap();
-        match q.kind {
-            QueryKind::Aggregate { keys, aggs } => {
-                assert_eq!(keys.len(), 1);
-                assert!(matches!(keys[0], GroupKey::Col { name: ref n, .. } if n == "name"));
-                assert_eq!(aggs[0].name, "n");
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-    }
-
-    #[test]
-    fn group_by_predict_binds() {
-        let q = bind_str("SELECT COUNT(*) FROM users GROUP BY predict(*)").unwrap();
-        match q.kind {
-            QueryKind::Aggregate { keys, .. } => {
-                assert_eq!(keys, vec![GroupKey::Predict { rel: 0 }]);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-    }
-
-    #[test]
-    fn nonkey_select_item_in_aggregate_rejected() {
-        let err = bind_str("SELECT name, COUNT(*) FROM users GROUP BY id").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("GROUP BY keys")));
-        // Key items are fine.
-        assert!(bind_str("SELECT name, COUNT(*) FROM users GROUP BY name").is_ok());
-    }
-
-    #[test]
-    fn star_expansion_qualifies_on_multi_rel() {
-        let q = bind_str("SELECT * FROM users u, logins l WHERE u.id = l.id").unwrap();
-        match q.kind {
+        match &self.kind {
             QueryKind::Select { items } => {
-                let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
-                assert_eq!(names, vec!["u_id", "u_name", "l_id", "l_active"]);
+                let cols: Vec<String> = items
+                    .iter()
+                    .map(|(e, n)| format!("{} AS {n}", self.expr_sql(e, db)))
+                    .collect();
+                push(format!("Project [{}]", cols.join(", ")), indent, &mut out);
             }
-            other => panic!("unexpected {other:?}"),
+            QueryKind::Aggregate { keys, aggs } => {
+                let key_strs: Vec<String> = keys
+                    .iter()
+                    .map(|k| match k {
+                        GroupKey::Col { name, .. } => name.clone(),
+                        GroupKey::Predict { rel } => {
+                            format!("predict({})", self.rels[*rel].alias)
+                        }
+                    })
+                    .collect();
+                let agg_strs: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        let arg = match &a.arg {
+                            BoundAggArg::CountStar => "*".to_string(),
+                            BoundAggArg::Scalar(e) => self.expr_sql(e, db),
+                            BoundAggArg::Predict { rel } => {
+                                format!("predict({})", self.rels[*rel].alias)
+                            }
+                            BoundAggArg::ScaledPredict { rel, factor } => format!(
+                                "{} * predict({})",
+                                self.expr_sql(factor, db),
+                                self.rels[*rel].alias
+                            ),
+                        };
+                        format!("{}({arg})", a.func.as_str())
+                    })
+                    .collect();
+                push(
+                    format!(
+                        "Aggregate keys=[{}] aggs=[{}]",
+                        key_strs.join(", "),
+                        agg_strs.join(", ")
+                    ),
+                    indent,
+                    &mut out,
+                );
+            }
         }
+        indent += 1;
+        if !self.conjuncts.is_empty() {
+            let preds: Vec<String> = self
+                .conjuncts
+                .iter()
+                .map(|c| self.expr_sql(c, db))
+                .collect();
+            push(
+                format!("Filter [{}]", preds.join(" AND ")),
+                indent,
+                &mut out,
+            );
+            indent += 1;
+        }
+        if self.rels.len() > 1 {
+            push("Join".to_string(), indent, &mut out);
+            indent += 1;
+        }
+        for (ri, rel) in self.rels.iter().enumerate() {
+            let schema = db.table_by_id(rel.id).schema();
+            let cols: Vec<&str> = self.used_cols[ri]
+                .iter()
+                .map(|&c| schema.col(c).name.as_str())
+                .collect();
+            let mut line = format!(
+                "Scan {} AS {} cols=[{}]",
+                rel.table,
+                rel.alias,
+                cols.join(", ")
+            );
+            if !self.scan_filters[ri].is_empty() {
+                let preds: Vec<String> = self.scan_filters[ri]
+                    .iter()
+                    .map(|c| self.expr_sql(c, db))
+                    .collect();
+                line.push_str(&format!(" filter=[{}]", preds.join(" AND ")));
+            }
+            push(line, indent, &mut out);
+        }
+        out
     }
 
-    #[test]
-    fn unknown_table_is_rejected() {
-        let err = bind_str("SELECT * FROM missing").unwrap_err();
-        assert!(matches!(err, QueryError::Bind(msg) if msg.contains("unknown table")));
+    /// Render a bound expression with alias-qualified column names.
+    pub fn expr_sql(&self, e: &BExpr, db: &Database) -> String {
+        match e {
+            BExpr::Lit(v) => match v {
+                crate::value::Value::Str(s) => format!("'{s}'"),
+                other => other.to_string(),
+            },
+            BExpr::Col { rel, col } => {
+                let r = &self.rels[*rel];
+                let name = &db.table_by_id(r.id).schema().col(*col).name;
+                if self.rels.len() > 1 {
+                    format!("{}.{}", r.alias, name)
+                } else {
+                    name.clone()
+                }
+            }
+            BExpr::Predict { rel } => format!("predict({})", self.rels[*rel].alias),
+            BExpr::Not(inner) => format!("NOT ({})", self.expr_sql(inner, db)),
+            BExpr::And(terms) => {
+                let parts: Vec<String> = terms.iter().map(|t| self.expr_sql(t, db)).collect();
+                format!("({})", parts.join(" AND "))
+            }
+            BExpr::Or(terms) => {
+                let parts: Vec<String> = terms.iter().map(|t| self.expr_sql(t, db)).collect();
+                format!("({})", parts.join(" OR "))
+            }
+            BExpr::Cmp { op, left, right } => {
+                format!(
+                    "{} {} {}",
+                    self.expr_sql(left, db),
+                    op.as_str(),
+                    self.expr_sql(right, db)
+                )
+            }
+            BExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => format!(
+                "{}{} LIKE '{pattern}'",
+                self.expr_sql(expr, db),
+                if *negated { " NOT" } else { "" }
+            ),
+            BExpr::Arith { op, left, right } => {
+                use crate::ast::ArithOp;
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                format!(
+                    "({} {sym} {})",
+                    self.expr_sql(left, db),
+                    self.expr_sql(right, db)
+                )
+            }
+        }
     }
 }

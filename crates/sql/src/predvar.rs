@@ -40,17 +40,15 @@ impl PredVarRegistry {
     /// Get-or-create the variable for `(table, row)`; `hard_pred` supplies
     /// the model's argmax prediction on first sight (a closure so callers
     /// only run inference for genuinely new variables).
-    pub fn var_for(
-        &mut self,
-        table: &str,
-        row: usize,
-        hard_pred: impl FnOnce() -> usize,
-    ) -> VarId {
+    pub fn var_for(&mut self, table: &str, row: usize, hard_pred: impl FnOnce() -> usize) -> VarId {
         if let Some(&v) = self.map.get(&(table.to_string(), row)) {
             return v;
         }
         let id = self.infos.len() as VarId;
-        self.infos.push(PredVarInfo { table: table.to_string(), row });
+        self.infos.push(PredVarInfo {
+            table: table.to_string(),
+            row,
+        });
         self.map.insert((table.to_string(), row), id);
         self.preds.push(hard_pred());
         id
@@ -117,7 +115,13 @@ mod tests {
         assert_eq!(reg.lookup("t", 0), None);
         let v = reg.var_for("t", 0, || 0);
         assert_eq!(reg.lookup("t", 0), Some(v));
-        assert_eq!(reg.info(v), &PredVarInfo { table: "t".into(), row: 0 });
+        assert_eq!(
+            reg.info(v),
+            &PredVarInfo {
+                table: "t".into(),
+                row: 0
+            }
+        );
     }
 
     #[test]

@@ -22,17 +22,32 @@ pub fn expr_to_sql(e: &Expr) -> String {
             }
         }
         Expr::Literal(Value::Str(s)) => format!("'{}'", s.replace('\'', "''")),
-        Expr::Column { qualifier: Some(q), name } => format!("{q}.{name}"),
-        Expr::Column { qualifier: None, name } => name.clone(),
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } => format!("{q}.{name}"),
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => name.clone(),
         Expr::Predict { rel: Some(r) } => format!("predict({r})"),
         Expr::Predict { rel: None } => "predict(*)".into(),
         Expr::Not(inner) => format!("NOT ({})", expr_to_sql(inner)),
         Expr::And(terms) => paren_join(terms, " AND "),
         Expr::Or(terms) => paren_join(terms, " OR "),
         Expr::Cmp { op, left, right } => {
-            format!("({}) {} ({})", expr_to_sql(left), op.as_str(), expr_to_sql(right))
+            format!(
+                "({}) {} ({})",
+                expr_to_sql(left),
+                op.as_str(),
+                expr_to_sql(right)
+            )
         }
-        Expr::Like { expr, pattern, negated } => format!(
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
             "({}) {}LIKE '{}'",
             expr_to_sql(expr),
             if *negated { "NOT " } else { "" },
@@ -51,7 +66,10 @@ pub fn expr_to_sql(e: &Expr) -> String {
 }
 
 fn paren_join(terms: &[Expr], sep: &str) -> String {
-    let parts: Vec<String> = terms.iter().map(|t| format!("({})", expr_to_sql(t))).collect();
+    let parts: Vec<String> = terms
+        .iter()
+        .map(|t| format!("({})", expr_to_sql(t)))
+        .collect();
     parts.join(sep)
 }
 
@@ -139,10 +157,13 @@ mod tests {
     fn roundtrip(sql: &str) {
         let ast1 = parse_select(sql).unwrap();
         let printed = stmt_to_sql(&ast1);
-        let ast2 = parse_select(&printed)
-            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let ast2 =
+            parse_select(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
         let printed2 = stmt_to_sql(&ast2);
-        assert_eq!(printed, printed2, "print→parse→print not a fixpoint for {sql}");
+        assert_eq!(
+            printed, printed2,
+            "print→parse→print not a fixpoint for {sql}"
+        );
     }
 
     #[test]

@@ -188,9 +188,7 @@ impl BoolProv {
         match self {
             BoolProv::Const(b) => *b,
             BoolProv::PredIs { var, class } => preds[*var as usize] == *class,
-            BoolProv::PredEq { left, right } => {
-                preds[*left as usize] == preds[*right as usize]
-            }
+            BoolProv::PredEq { left, right } => preds[*left as usize] == preds[*right as usize],
             BoolProv::Not(inner) => !inner.eval_discrete(preds),
             BoolProv::And(terms) => terms.iter().all(|t| t.eval_discrete(preds)),
             BoolProv::Or(terms) => terms.iter().any(|t| t.eval_discrete(preds)),
@@ -210,7 +208,10 @@ impl BoolProv {
             BoolProv::Not(inner) => 1.0 - inner.eval_relaxed(probs),
             BoolProv::And(terms) => terms.iter().map(|t| t.eval_relaxed(probs)).product(),
             BoolProv::Or(terms) => {
-                1.0 - terms.iter().map(|t| 1.0 - t.eval_relaxed(probs)).product::<f64>()
+                1.0 - terms
+                    .iter()
+                    .map(|t| 1.0 - t.eval_relaxed(probs))
+                    .product::<f64>()
             }
         }
     }
@@ -258,8 +259,7 @@ impl BoolProv {
             }
             BoolProv::Or(terms) => {
                 // 1 - Π(1-x_j): adjoint of child i = adj · Π_{j≠i}(1-x_j).
-                let vals: Vec<f64> =
-                    terms.iter().map(|t| 1.0 - t.eval_relaxed(probs)).collect();
+                let vals: Vec<f64> = terms.iter().map(|t| 1.0 - t.eval_relaxed(probs)).collect();
                 let n = vals.len();
                 let mut prefix = vec![1.0; n + 1];
                 for i in 0..n {
@@ -451,8 +451,7 @@ impl CellProv {
                 for s in [num, den] {
                     for (f, t) in &s.terms {
                         f.collect_vars(&mut out);
-                        if let AggTerm::PredValue(v) | AggTerm::ScaledPred { var: v, .. } = t
-                        {
+                        if let AggTerm::PredValue(v) | AggTerm::ScaledPred { var: v, .. } = t {
                             out.insert(*v);
                         }
                     }
@@ -468,7 +467,9 @@ mod tests {
     use super::*;
 
     fn binary_probs(ps: &[f64]) -> Probs {
-        Probs { p: ps.iter().map(|&p| vec![1.0 - p, p]).collect() }
+        Probs {
+            p: ps.iter().map(|&p| vec![1.0 - p, p]).collect(),
+        }
     }
 
     fn atom(var: VarId) -> BoolProv {
@@ -477,10 +478,7 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        assert_eq!(
-            BoolProv::and(vec![BoolProv::Const(true), atom(0)]),
-            atom(0)
-        );
+        assert_eq!(BoolProv::and(vec![BoolProv::Const(true), atom(0)]), atom(0));
         assert_eq!(
             BoolProv::and(vec![BoolProv::Const(false), atom(0)]),
             BoolProv::Const(false)
@@ -526,14 +524,16 @@ mod tests {
             atom(2).negate(),
         ]);
         for bits in 0..8u32 {
-            let preds: Vec<usize> =
-                (0..3).map(|i| ((bits >> i) & 1) as usize).collect();
+            let preds: Vec<usize> = (0..3).map(|i| ((bits >> i) & 1) as usize).collect();
             let probs = Probs {
-                p: preds.iter().map(|&c| {
-                    let mut row = vec![0.0, 0.0];
-                    row[c] = 1.0;
-                    row
-                }).collect(),
+                p: preds
+                    .iter()
+                    .map(|&c| {
+                        let mut row = vec![0.0, 0.0];
+                        row[c] = 1.0;
+                        row
+                    })
+                    .collect(),
             };
             assert_eq!(
                 f.eval_discrete(&preds) as u8 as f64,
@@ -566,7 +566,9 @@ mod tests {
 
     #[test]
     fn pred_eq_relaxes_to_dot_product() {
-        let probs = Probs { p: vec![vec![0.2, 0.5, 0.3], vec![0.1, 0.8, 0.1]] };
+        let probs = Probs {
+            p: vec![vec![0.2, 0.5, 0.3], vec![0.1, 0.8, 0.1]],
+        };
         let f = BoolProv::PredEq { left: 0, right: 1 };
         let expect = 0.2 * 0.1 + 0.5 * 0.8 + 0.3 * 0.1;
         assert!((f.eval_relaxed(&probs) - expect).abs() < 1e-12);
@@ -594,7 +596,9 @@ mod tests {
 
     #[test]
     fn gradients_match_finite_differences() {
-        let probs = Probs { p: vec![vec![0.7, 0.3], vec![0.4, 0.6], vec![0.9, 0.1]] };
+        let probs = Probs {
+            p: vec![vec![0.7, 0.3], vec![0.4, 0.6], vec![0.9, 0.1]],
+        };
         // Shared-variable formula exercises the product rules.
         let f = BoolProv::or(vec![
             BoolProv::and(vec![atom(0), atom(1)]),
@@ -625,8 +629,13 @@ mod tests {
         };
         check_grad(&CellProv::Ratio(num, den), &probs);
         // PredEq gradient.
-        let probs3 = Probs { p: vec![vec![0.2, 0.5, 0.3], vec![0.1, 0.8, 0.1]] };
-        check_grad(&CellProv::Bool(BoolProv::PredEq { left: 0, right: 1 }), &probs3);
+        let probs3 = Probs {
+            p: vec![vec![0.2, 0.5, 0.3], vec![0.1, 0.8, 0.1]],
+        };
+        check_grad(
+            &CellProv::Bool(BoolProv::PredEq { left: 0, right: 1 }),
+            &probs3,
+        );
     }
 
     #[test]

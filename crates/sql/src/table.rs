@@ -149,7 +149,10 @@ impl Column {
             (Column::Float(c), Value::Float(x)) => c.push(x),
             (Column::Float(c), Value::Int(x)) => c.push(x as f64),
             (Column::Str(c), Value::Str(s)) => c.push(s),
-            (c, v) => panic!("type mismatch pushing {v:?} into {:?} column", discriminant(c)),
+            (c, v) => panic!(
+                "type mismatch pushing {v:?} into {:?} column",
+                discriminant(c)
+            ),
         }
     }
 
@@ -181,7 +184,12 @@ impl Table {
     /// Empty table over a schema.
     pub fn empty(schema: Schema) -> Self {
         let columns = schema.iter().map(|c| Column::empty(c.ty)).collect();
-        Table { schema, columns, n_rows: 0, features: None }
+        Table {
+            schema,
+            columns,
+            n_rows: 0,
+            features: None,
+        }
     }
 
     /// Build a table from equal-length columns.
@@ -189,13 +197,22 @@ impl Table {
     /// # Panics
     /// Panics if column counts/lengths or types disagree with the schema.
     pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Self {
-        assert_eq!(schema.len(), columns.len(), "Table: schema/column count mismatch");
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "Table: schema/column count mismatch"
+        );
         let n_rows = columns.first().map_or(0, Column::len);
         for (def, col) in schema.iter().zip(&columns) {
             assert_eq!(col.len(), n_rows, "Table: ragged column {}", def.name);
             assert_eq!(col.ty(), def.ty, "Table: column {} type mismatch", def.name);
         }
-        Table { schema, columns, n_rows, features: None }
+        Table {
+            schema,
+            columns,
+            n_rows,
+            features: None,
+        }
     }
 
     /// Attach a feature matrix (one row per tuple).
@@ -288,7 +305,11 @@ mod tests {
     use super::*;
 
     fn people() -> Table {
-        let schema = Schema::new(&[("id", ColType::Int), ("name", ColType::Str), ("active", ColType::Bool)]);
+        let schema = Schema::new(&[
+            ("id", ColType::Int),
+            ("name", ColType::Str),
+            ("active", ColType::Bool),
+        ]);
         Table::from_columns(
             schema,
             vec![
@@ -317,7 +338,10 @@ mod tests {
     #[test]
     fn push_row_grows_all_columns() {
         let mut t = people();
-        t.push_row(vec![Value::Int(3), Value::Str("eve".into()), Value::Bool(true)], None);
+        t.push_row(
+            vec![Value::Int(3), Value::Str("eve".into()), Value::Bool(true)],
+            None,
+        );
         assert_eq!(t.n_rows(), 3);
         assert_eq!(t.value(2, 0), Value::Int(3));
     }

@@ -120,9 +120,15 @@ mod tests {
 
     #[test]
     fn comparisons_across_numeric_types() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::Str("a".into()).compare(&Value::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("a".into()).compare(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
         assert_eq!(Value::Str("1".into()).compare(&Value::Int(1)), None);
     }

@@ -1,0 +1,291 @@
+//! Binder integration tests: one test per [`BindError`] variant plus the
+//! positive name-resolution behaviours (alias scoping, star expansion,
+//! conjunct splitting, GROUP BY key binding).
+
+use rain_linalg::Matrix;
+use rain_sql::binder::{bind, BExpr, BoundStatement, GroupKey, QueryKind};
+use rain_sql::table::{ColType, Column, Schema, Table};
+use rain_sql::{parse_select, BindError, Database};
+
+/// users(id int, name str) with features; logins(id int, active bool)
+/// without features.
+fn db() -> Database {
+    let mut db = Database::new();
+    let users = Table::from_columns(
+        Schema::new(&[("id", ColType::Int), ("name", ColType::Str)]),
+        vec![
+            Column::Int(vec![1, 2]),
+            Column::Str(vec!["a".into(), "b".into()]),
+        ],
+    )
+    .with_features(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
+    db.register("users", users);
+    let logins = Table::from_columns(
+        Schema::new(&[("id", ColType::Int), ("active", ColType::Bool)]),
+        vec![Column::Int(vec![1, 2]), Column::Bool(vec![true, false])],
+    );
+    db.register("logins", logins);
+    db
+}
+
+fn bind_str(sql: &str) -> Result<BoundStatement, BindError> {
+    bind(&parse_select(sql).unwrap(), &db())
+}
+
+// ---- one test per BindError variant ----------------------------------
+
+#[test]
+fn unknown_table() {
+    let err = bind_str("SELECT * FROM missing").unwrap_err();
+    assert_eq!(err, BindError::UnknownTable("missing".into()));
+    assert!(err.to_string().contains("unknown table"));
+}
+
+#[test]
+fn duplicate_alias() {
+    let err = bind_str("SELECT * FROM users u, logins u").unwrap_err();
+    assert_eq!(err, BindError::DuplicateAlias("u".into()));
+    // A table joined with itself under distinct aliases is fine.
+    assert!(bind_str("SELECT COUNT(*) FROM users a, users b WHERE a.id = b.id").is_ok());
+}
+
+#[test]
+fn unknown_column_unqualified_and_qualified() {
+    let err = bind_str("SELECT name FROM users WHERE missing = 1").unwrap_err();
+    assert_eq!(
+        err,
+        BindError::UnknownColumn {
+            qualifier: None,
+            name: "missing".into()
+        }
+    );
+    let err = bind_str("SELECT u.ghost FROM users u").unwrap_err();
+    assert_eq!(
+        err,
+        BindError::UnknownColumn {
+            qualifier: Some("u".into()),
+            name: "ghost".into()
+        }
+    );
+    // `active` lives in logins, not users.
+    let err = bind_str("SELECT name FROM users WHERE active = true").unwrap_err();
+    assert!(matches!(err, BindError::UnknownColumn { .. }));
+}
+
+#[test]
+fn ambiguous_column() {
+    let err = bind_str("SELECT * FROM users u, logins l WHERE id = 1").unwrap_err();
+    assert_eq!(err, BindError::AmbiguousColumn("id".into()));
+    // Qualifying resolves the ambiguity.
+    assert!(bind_str("SELECT * FROM users u, logins l WHERE u.id = 1").is_ok());
+    // Unqualified names unique to one relation resolve.
+    assert!(bind_str("SELECT * FROM users u, logins l WHERE name = 'a'").is_ok());
+}
+
+#[test]
+fn unknown_alias() {
+    let err = bind_str("SELECT COUNT(*) FROM users u WHERE ghost.id = 1").unwrap_err();
+    assert_eq!(err, BindError::UnknownAlias("ghost".into()));
+    let err = bind_str("SELECT COUNT(*) FROM users u WHERE predict(ghost) = 1").unwrap_err();
+    assert_eq!(err, BindError::UnknownAlias("ghost".into()));
+}
+
+#[test]
+fn ambiguous_predict_star() {
+    let err = bind_str("SELECT COUNT(*) FROM users u, users v WHERE predict(*) = 1").unwrap_err();
+    assert_eq!(err, BindError::AmbiguousPredict);
+    assert!(bind_str("SELECT COUNT(*) FROM users WHERE predict(*) = 1").is_ok());
+}
+
+#[test]
+fn missing_features() {
+    let err = bind_str("SELECT COUNT(*) FROM logins WHERE predict(*) = 1").unwrap_err();
+    assert_eq!(err, BindError::MissingFeatures("logins".into()));
+    assert!(err.to_string().contains("feature matrix"));
+}
+
+#[test]
+fn type_mismatch_comparison() {
+    let err = bind_str("SELECT COUNT(*) FROM users WHERE name = 1").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BindError::TypeMismatch {
+                context: "comparison",
+                ..
+            }
+        ),
+        "unexpected {err:?}"
+    );
+    // NULL compares with anything (yields no ordering at run time).
+    assert!(bind_str("SELECT COUNT(*) FROM users WHERE name = null").is_ok());
+    // Numeric types compare freely among themselves.
+    assert!(bind_str("SELECT COUNT(*) FROM users WHERE id = 1.5").is_ok());
+}
+
+#[test]
+fn type_mismatch_arithmetic() {
+    let err = bind_str("SELECT COUNT(*) FROM users WHERE name + 1 = 2").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BindError::TypeMismatch {
+                context: "arithmetic",
+                ..
+            }
+        ),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn type_mismatch_like() {
+    let err = bind_str("SELECT COUNT(*) FROM users WHERE id LIKE '%x%'").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BindError::TypeMismatch {
+                context: "LIKE",
+                ..
+            }
+        ),
+        "unexpected {err:?}"
+    );
+    assert!(bind_str("SELECT COUNT(*) FROM users WHERE name LIKE '%x%'").is_ok());
+}
+
+#[test]
+fn invalid_predict_placements() {
+    // Inside arithmetic.
+    let err = bind_str("SELECT COUNT(*) FROM users WHERE predict(*) + 1 = 2").unwrap_err();
+    assert!(matches!(err, BindError::InvalidPredict(m) if m.contains("arithmetic")));
+    // As a bare boolean predicate.
+    let err = bind_str("SELECT COUNT(*) FROM users WHERE predict(*)").unwrap_err();
+    assert!(matches!(err, BindError::InvalidPredict(m) if m.contains("bare boolean")));
+    // Under LIKE.
+    let err = bind_str("SELECT COUNT(*) FROM users WHERE predict(*) LIKE '%x%'").unwrap_err();
+    assert!(matches!(err, BindError::InvalidPredict(m) if m.contains("LIKE")));
+    // Non-bare in the select list.
+    let err = bind_str("SELECT (predict(*) = 1) FROM users").unwrap_err();
+    assert!(matches!(err, BindError::InvalidPredict(m) if m.contains("select list")));
+}
+
+#[test]
+fn invalid_aggregate_shapes() {
+    let err = bind_str("SELECT COUNT(id) FROM users").unwrap_err();
+    assert!(matches!(err, BindError::InvalidAggregate(m) if m.contains("COUNT(expr)")));
+    let err = bind_str("SELECT SUM(predict(u) * predict(u)) FROM users u").unwrap_err();
+    assert!(
+        matches!(err, BindError::InvalidAggregate(_)),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn invalid_group_by() {
+    // GROUP BY without aggregates.
+    let err = bind_str("SELECT name FROM users GROUP BY name").unwrap_err();
+    assert!(matches!(err, BindError::InvalidGroupBy(m) if m.contains("aggregates")));
+    // Non-column, non-predict key.
+    let err = bind_str("SELECT COUNT(*) FROM users GROUP BY id + 1").unwrap_err();
+    assert!(matches!(err, BindError::InvalidGroupBy(m) if m.contains("columns or predict")));
+}
+
+#[test]
+fn non_key_select_item() {
+    let err = bind_str("SELECT name, COUNT(*) FROM users GROUP BY id").unwrap_err();
+    assert_eq!(err, BindError::NonKeySelectItem("name".into()));
+    // Key items are fine.
+    assert!(bind_str("SELECT name, COUNT(*) FROM users GROUP BY name").is_ok());
+}
+
+#[test]
+fn star_with_aggregate() {
+    let err = bind_str("SELECT *, COUNT(*) FROM users").unwrap_err();
+    assert_eq!(err, BindError::StarWithAggregate);
+}
+
+// ---- positive binding behaviour --------------------------------------
+
+#[test]
+fn binds_columns_and_splits_conjuncts() {
+    let q = bind_str(
+        "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id \
+         WHERE l.active = true AND predict(u) = 1",
+    )
+    .unwrap();
+    assert_eq!(q.rels.len(), 2);
+    assert_eq!(q.conjuncts.len(), 3);
+    // The ON condition resolves to rel 0 / rel 1 id columns.
+    match &q.conjuncts[0] {
+        BExpr::Cmp { left, right, .. } => {
+            assert_eq!(**left, BExpr::Col { rel: 0, col: 0 });
+            assert_eq!(**right, BExpr::Col { rel: 1, col: 0 });
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn rels_carry_stable_catalog_ids() {
+    let q = bind_str("SELECT COUNT(*) FROM users u, logins l WHERE u.id = l.id").unwrap();
+    let db = db();
+    assert_eq!(Some(q.rels[0].id), db.resolve("users"));
+    assert_eq!(Some(q.rels[1].id), db.resolve("logins"));
+    assert_eq!(q.rels[0].alias, "u");
+}
+
+#[test]
+fn star_expansion_qualifies_on_multi_rel() {
+    let q = bind_str("SELECT * FROM users u, logins l WHERE u.id = l.id").unwrap();
+    match q.kind {
+        QueryKind::Select { items } => {
+            let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
+            assert_eq!(names, vec!["u_id", "u_name", "l_id", "l_active"]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn group_by_key_binding() {
+    let q = bind_str("SELECT COUNT(*) AS n FROM users GROUP BY name").unwrap();
+    match q.kind {
+        QueryKind::Aggregate { keys, aggs } => {
+            assert_eq!(keys.len(), 1);
+            assert!(matches!(keys[0], GroupKey::Col { name: ref n, .. } if n == "name"));
+            assert_eq!(aggs[0].name, "n");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn group_by_predict_binds() {
+    let q = bind_str("SELECT COUNT(*) FROM users GROUP BY predict(*)").unwrap();
+    match q.kind {
+        QueryKind::Aggregate { keys, .. } => {
+            assert_eq!(keys, vec![GroupKey::Predict { rel: 0 }]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn bind_errors_flow_through_run_query() {
+    use rain_model::LogisticRegression;
+    use rain_sql::{run_query, ExecOptions, QueryError};
+    let model = LogisticRegression::new(2, 0.0);
+    let err = run_query(
+        &db(),
+        &model,
+        "SELECT * FROM missing",
+        ExecOptions::default(),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        QueryError::Bind(BindError::UnknownTable("missing".into()))
+    );
+    assert!(err.to_string().starts_with("bind error:"));
+}

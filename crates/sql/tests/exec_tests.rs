@@ -80,8 +80,13 @@ fn digits_db() -> Database {
 fn q1_count_with_model_filter() {
     let db = enron_db();
     let model = step_model();
-    let out = run_query(&db, &model, "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
-        ExecOptions::default()).unwrap();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        ExecOptions::default(),
+    )
+    .unwrap();
     assert_eq!(out.scalar(), Some(Value::Int(2)));
 }
 
@@ -125,8 +130,13 @@ fn debug_and_normal_results_agree() {
 fn provenance_discrete_eval_reproduces_result() {
     let db = enron_db();
     let model = step_model();
-    let out = run_query(&db, &model, "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
-        ExecOptions { debug: true }).unwrap();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
     let cell = &out.agg_cells[0][0];
     let count = cell.eval_discrete(out.predvars.preds());
     assert_eq!(count, 2.0);
@@ -248,7 +258,10 @@ fn concrete_hash_join_with_model_filter() {
     .with_features(Matrix::from_rows(&[&[1.0], &[1.0], &[-1.0]]));
     let logins = Table::from_columns(
         Schema::new(&[("id", ColType::Int), ("active_last_month", ColType::Bool)]),
-        vec![Column::Int(vec![1, 2, 3]), Column::Bool(vec![true, false, true])],
+        vec![
+            Column::Int(vec![1, 2, 3]),
+            Column::Bool(vec![true, false, true]),
+        ],
     );
     let mut db = Database::new();
     db.register("users", users);
@@ -330,8 +343,13 @@ fn relaxed_count_gradient_points_toward_complaint() {
     // any variable's class-1 probability increases the relaxed count.
     let db = enron_db();
     let model = step_model();
-    let out = run_query(&db, &model, "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
-        ExecOptions { debug: true }).unwrap();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
+        ExecOptions { debug: true },
+    )
+    .unwrap();
     let probs = probs_of(&out.predvars, &db, &model);
     let g = out.agg_cells[0][0].grad(&probs);
     for gs in g.g.values() {
@@ -341,11 +359,7 @@ fn relaxed_count_gradient_points_toward_complaint() {
 }
 
 /// Model probabilities for every prediction variable of an output.
-fn probs_of(
-    reg: &rain_sql::PredVarRegistry,
-    db: &Database,
-    model: &dyn Classifier,
-) -> Probs {
+fn probs_of(reg: &rain_sql::PredVarRegistry, db: &Database, model: &dyn Classifier) -> Probs {
     let p = reg
         .infos()
         .iter()
@@ -355,4 +369,72 @@ fn probs_of(
         })
         .collect();
     Probs { p }
+}
+
+#[test]
+fn duplicate_output_names_are_uniquified() {
+    // `SELECT x, x` (or `SELECT *, *`) must not panic the output schema
+    // builder; duplicate names get `_2`-style suffixes.
+    let db = enron_db();
+    let model = step_model();
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT id, id, *, * FROM emails",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.table.n_rows(), 5);
+    let names: Vec<&str> = out.table.schema().iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["id", "id_2", "id_3", "text", "id_4", "text_2"]);
+    let agg = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) AS n, SUM(id) AS n FROM emails",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(agg.table.schema().index_of("n_2"), Some(1));
+}
+
+#[test]
+fn null_select_output_is_a_typed_error() {
+    // Columns have no null representation; projecting NULL must surface a
+    // typed execution error, never a panic (reachable from plain SQL).
+    let db = enron_db();
+    let model = step_model();
+    for sql in ["SELECT id / 0 FROM emails", "SELECT null FROM emails"] {
+        let err = run_query(&db, &model, sql, ExecOptions::default()).unwrap_err();
+        assert!(
+            matches!(&err, rain_sql::QueryError::Exec(m) if m.contains("NULL")),
+            "{sql}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn output_types_agree_between_naive_and_optimized_plans() {
+    // Constant folding turns `true + 2` into `3`; both plans must still
+    // type the output column identically (shared binder inference).
+    use rain_sql::{bind, execute, optimize, parse_select, QueryPlan};
+    let db = enron_db();
+    let model = step_model();
+    let stmt = parse_select("SELECT true + 2 AS x, id / 2 AS h FROM emails").unwrap();
+    let bound = bind(&stmt, &db).unwrap();
+    let naive = execute(
+        &db,
+        &model,
+        &QueryPlan::naive(bound.clone(), &db),
+        ExecOptions::default(),
+    )
+    .unwrap();
+    let opt = execute(&db, &model, &optimize(bound, &db), ExecOptions::default()).unwrap();
+    for c in 0..2 {
+        assert_eq!(
+            naive.table.schema().col(c).ty,
+            opt.table.schema().col(c).ty,
+            "column {c} types diverge"
+        );
+        assert_eq!(naive.table.value(0, c), opt.table.value(0, c));
+    }
 }

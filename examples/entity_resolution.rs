@@ -40,24 +40,35 @@ fn main() {
         ExecOptions { debug: true },
     )
     .expect("query");
-    println!("model links {} pairs as the same entity", out.table.n_rows());
+    println!(
+        "model links {} pairs as the same entity",
+        out.table.n_rows()
+    );
 
     // The scientist samples output rows and flags the ones that are
     // obviously wrong (ground truth says non-match).
     let mut complaints = Vec::new();
     for row in 0..out.table.n_rows() {
-        let Value::Int(id) = out.table.value(row, 0) else { continue };
+        let Value::Int(id) = out.table.value(row, 0) else {
+            continue;
+        };
         if w.query.y(id as usize) == 0 && complaints.len() < 25 {
             complaints.push(Complaint::prediction_is("pairs", id as usize, 0));
         }
     }
-    println!("scientist files {} complaints about wrong links", complaints.len());
+    println!(
+        "scientist files {} complaints about wrong links",
+        complaints.len()
+    );
 
-    let session = DebugSession::new(db, train, Box::new(LogisticRegression::new(N_FEATURES, 0.01)))
-        .with_query(
-            QuerySpec::new("SELECT id FROM pairs WHERE predict(*) = 1")
-                .with_complaints(complaints),
-        );
+    let session = DebugSession::new(
+        db,
+        train,
+        Box::new(LogisticRegression::new(N_FEATURES, 0.01)),
+    )
+    .with_query(
+        QuerySpec::new("SELECT id FROM pairs WHERE predict(*) = 1").with_complaints(complaints),
+    );
 
     // These are unambiguous labeled mispredictions, so the §5.1 heuristic
     // picks TwoStep.

@@ -1,0 +1,65 @@
+//! Inspecting the query stack: bind a query, compare the naive plan with
+//! the optimized plan (`EXPLAIN`-style), and see typed bind errors.
+//!
+//! ```text
+//! cargo run --release --example explain_plan
+//! ```
+
+use rain::linalg::Matrix;
+use rain::model::{Classifier, LogisticRegression};
+use rain::sql::table::{ColType, Column, Schema, Table};
+use rain::sql::{bind, execute, optimize, parse_select, Database, ExecOptions, QueryPlan};
+
+fn main() {
+    // users(id, age) with churn features; logins(id, active).
+    let users = Table::from_columns(
+        Schema::new(&[("id", ColType::Int), ("age", ColType::Int)]),
+        vec![
+            Column::Int(vec![1, 2, 3, 4]),
+            Column::Int(vec![25, 31, 47, 52]),
+        ],
+    )
+    .with_features(Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0], &[-1.0]]));
+    let logins = Table::from_columns(
+        Schema::new(&[("id", ColType::Int), ("active", ColType::Bool)]),
+        vec![
+            Column::Int(vec![1, 2, 3, 4]),
+            Column::Bool(vec![true, false, true, true]),
+        ],
+    );
+    let mut db = Database::new();
+    db.register("users", users);
+    db.register("logins", logins);
+
+    let sql = "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id \
+               WHERE l.active = true AND u.age > 18 + 12 AND predict(u) = 1";
+    println!("query:\n  {sql}\n");
+
+    let stmt = parse_select(sql).expect("parses");
+    let bound = bind(&stmt, &db).expect("binds");
+
+    println!(
+        "naive plan:\n{}",
+        QueryPlan::naive(bound.clone(), &db).explain(&db)
+    );
+    let plan = optimize(bound, &db);
+    println!("optimized plan:\n{}", plan.explain(&db));
+
+    // Execute the optimized plan with a churn model.
+    let mut model = LogisticRegression::new(1, 0.0);
+    model.set_params(&[50.0, 0.0]);
+    let out = execute(&db, &model, &plan, ExecOptions { debug: true }).expect("runs");
+    println!("result:\n{}", out.table.to_tsv());
+    println!("prediction variables captured: {}", out.predvars.len());
+
+    // The binder rejects bad queries with typed errors instead of panics.
+    for bad in [
+        "SELECT * FROM missing",
+        "SELECT * FROM users u, logins l WHERE id = 1",
+        "SELECT COUNT(*) FROM users WHERE age LIKE '%x%'",
+        "SELECT COUNT(*) FROM logins WHERE predict(*) = 1",
+    ] {
+        let err = bind(&parse_select(bad).expect("parses"), &db).unwrap_err();
+        println!("bind {bad:60} -> {err}");
+    }
+}

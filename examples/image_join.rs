@@ -10,7 +10,7 @@
 use rain::core::prelude::*;
 use rain::data::digits::DigitsConfig;
 use rain::data::flip_labels_where;
-use rain::model::{SoftmaxRegression, train_lbfgs};
+use rain::model::{train_lbfgs, SoftmaxRegression};
 use rain::sql::{run_query, Database, ExecOptions};
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     // The "labeling function" bug: 50% of training 1s are labeled 7.
     let mut train = w.train.clone();
     let truth = flip_labels_where(&mut train, |_, _, y| y == 1, 0.5, |_| 7, 33);
-    println!("labeling function corrupted {} images (1 -> 7)", truth.len());
+    println!(
+        "labeling function corrupted {} images (1 -> 7)",
+        truth.len()
+    );
 
     let mut db = Database::new();
     db.register("left", w.query_table_for(&[1, 2, 3, 4, 5], 250));

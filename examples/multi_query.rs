@@ -24,7 +24,10 @@ fn main() {
     let pred = w.corruption_predicate();
     let truth = flip_labels_where(&mut train, |id, x, y| pred(id, x, y), 0.5, |_| 1, 55);
     drop(pred);
-    println!("corrupted {} training records (low-income ∧ male ∧ 40s)", truth.len());
+    println!(
+        "corrupted {} training records (low-income ∧ male ∧ 40s)",
+        truth.len()
+    );
 
     let mut db = Database::new();
     db.register("adult", w.query_table());

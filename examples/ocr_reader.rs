@@ -47,7 +47,10 @@ fn main() {
     let mut model = SoftmaxRegression::new(N_PIXELS, N_CLASSES, 0.01);
     train_lbfgs(&mut model, &train, &Default::default());
     let out = run_query(&db, &model, sql, ExecOptions::default()).expect("query");
-    println!("document says 941; the corrupted model reads: {}", out.scalar().unwrap());
+    println!(
+        "document says 941; the corrupted model reads: {}",
+        out.scalar().unwrap()
+    );
 
     // Complain that the number should be 941 and debug.
     let session = DebugSession::new(

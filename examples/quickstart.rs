@@ -25,7 +25,11 @@ fn main() {
     // 2. Systematic corruption: flip 50% of the match labels.
     let mut train = workload.train.clone();
     let truth = flip_labels_where(&mut train, |_, _, y| y == 1, 0.5, |_| 0, 7);
-    println!("corrupted {} of {} training records", truth.len(), train.len());
+    println!(
+        "corrupted {} of {} training records",
+        truth.len(),
+        train.len()
+    );
 
     // 3. Register the queried relation and state the complaint: the
     //    count of predicted matches should equal the true match count.
@@ -33,15 +37,11 @@ fn main() {
     db.register("dblp", workload.query_table());
     let expected = workload.true_match_count() as f64;
 
-    let session = DebugSession::new(
-        db,
-        train,
-        Box::new(LogisticRegression::new(17, 0.01)),
-    )
-    .with_query(
-        QuerySpec::new("SELECT COUNT(*) FROM dblp WHERE predict(*) = 1")
-            .with_complaint(Complaint::scalar_eq(expected)),
-    );
+    let session = DebugSession::new(db, train, Box::new(LogisticRegression::new(17, 0.01)))
+        .with_query(
+            QuerySpec::new("SELECT COUNT(*) FROM dblp WHERE predict(*) = 1")
+                .with_complaint(Complaint::scalar_eq(expected)),
+        );
 
     // 4. Train-rank-fix with the Holistic debugger.
     let report = session
@@ -50,11 +50,20 @@ fn main() {
 
     // 5. How well did we do? Recall@k against the ground truth.
     let recall = report.recall_curve(&truth);
-    println!("removed {} records over {} iterations", report.removed.len(),
-        report.iterations.len());
+    println!(
+        "removed {} records over {} iterations",
+        report.removed.len(),
+        report.iterations.len()
+    );
     println!("AUCCR          = {:.3}", report.auccr(&truth));
     println!("final recall   = {:.3}", recall.last().unwrap());
     let (t, e, r) = report.mean_timings();
-    println!("per-iteration  = {:.2}s train, {:.2}s encode, {:.2}s rank", t, e, r);
-    println!("first removals = {:?}", &report.removed[..10.min(report.removed.len())]);
+    println!(
+        "per-iteration  = {:.2}s train, {:.2}s encode, {:.2}s rank",
+        t, e, r
+    );
+    println!(
+        "first removals = {:?}",
+        &report.removed[..10.min(report.removed.len())]
+    );
 }

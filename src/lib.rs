@@ -9,8 +9,10 @@
 //!   analytic gradients and Hessian-vector products, L-BFGS training.
 //! - [`influence`] — influence-function engine (conjugate-gradient
 //!   `H⁻¹v`, record scoring).
-//! - [`sql`] — the Query 2.0 substrate: storage, SQL parser, SPJA executor,
-//!   provenance polynomials and their differentiable relaxation.
+//! - [`sql`] — the Query 2.0 substrate: storage with a table catalog, a
+//!   four-stage query stack (SQL parser → binder with typed `BindError`s →
+//!   rule-based optimizer → SPJA executor with pushed-down scans), and
+//!   provenance polynomials with their differentiable relaxation.
 //! - [`ilp`] — simplex + branch-and-bound 0/1 ILP solver and the Tseitin
 //!   linearization used by TwoStep.
 //! - [`data`] — synthetic workload generators mirroring the paper's four

@@ -3,8 +3,8 @@
 //! influence ranking → train-rank-fix) on every complaint shape.
 
 use rain::core::prelude::*;
-use rain::data::digits::DigitsConfig;
 use rain::data::dblp::DblpConfig;
+use rain::data::digits::DigitsConfig;
 use rain::data::enron::{self, EnronConfig};
 use rain::data::flip_labels_where;
 use rain::model::{LogisticRegression, SoftmaxRegression};
@@ -46,15 +46,14 @@ fn enron_like_predicate_complaint_end_to_end() {
     let mut db = Database::new();
     db.register("enron", w.query_table());
     let target = w.true_spam_count_with(enron::HTTP) as f64;
-    let session =
-        DebugSession::new(db, train, Box::new(LogisticRegression::new(w.vocab, 0.01)))
-            .with_query(
-                QuerySpec::new(
-                    "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 \
+    let session = DebugSession::new(db, train, Box::new(LogisticRegression::new(w.vocab, 0.01)))
+        .with_query(
+            QuerySpec::new(
+                "SELECT COUNT(*) FROM enron WHERE predict(*) = 1 \
                      AND text LIKE '%http%'",
-                )
-                .with_complaint(Complaint::scalar_eq(target)),
-            );
+            )
+            .with_complaint(Complaint::scalar_eq(target)),
+        );
     let report = session
         .run(Method::Holistic, &RunConfig::paper(truth.len()))
         .unwrap();
@@ -68,7 +67,11 @@ fn enron_like_predicate_complaint_end_to_end() {
 #[test]
 fn join_delete_complaints_end_to_end() {
     // Digits join: 1s × 7s should be empty; complain about joined pairs.
-    let w = DigitsConfig { n_train: 250, n_query: 150 }.generate(3);
+    let w = DigitsConfig {
+        n_train: 250,
+        n_query: 150,
+    }
+    .generate(3);
     let mut train = w.train.clone();
     let truth = flip_labels_where(&mut train, |_, _, y| y == 1, 0.6, |_| 7, 3);
     let mut db = Database::new();
@@ -91,7 +94,10 @@ fn join_delete_complaints_end_to_end() {
             complaints.push(Complaint::join_delete(&li.table, li.row, &ri.table, ri.row));
         }
     }
-    assert!(!complaints.is_empty(), "corruption should cause join results");
+    assert!(
+        !complaints.is_empty(),
+        "corruption should cause join results"
+    );
     let session = DebugSession::new(
         db,
         train,
@@ -136,11 +142,12 @@ fn group_by_avg_complaint_end_to_end() {
         Value::Float(v) => v,
         _ => unreachable!(),
     };
-    let session =
-        DebugSession::new(db, train, Box::new(LogisticRegression::new(N_FEATURES, 0.01)))
-            .with_query(
-                QuerySpec::new(q).with_complaint(Complaint::value_eq(male_row, 0, target)),
-            );
+    let session = DebugSession::new(
+        db,
+        train,
+        Box::new(LogisticRegression::new(N_FEATURES, 0.01)),
+    )
+    .with_query(QuerySpec::new(q).with_complaint(Complaint::value_eq(male_row, 0, target)));
     let report = session
         .run(Method::Holistic, &RunConfig::paper(truth.len()))
         .unwrap();
@@ -152,7 +159,11 @@ fn group_by_avg_complaint_end_to_end() {
 #[test]
 fn group_by_predict_query_runs_with_provenance() {
     // Table 1's Q5 shape: GROUP BY over the model prediction itself.
-    let w = DigitsConfig { n_train: 200, n_query: 100 }.generate(5);
+    let w = DigitsConfig {
+        n_train: 200,
+        n_query: 100,
+    }
+    .generate(5);
     let mut model = SoftmaxRegression::new(
         rain::data::digits::N_PIXELS,
         rain::data::digits::N_CLASSES,
@@ -200,8 +211,7 @@ fn multi_query_sessions_combine_gradients() {
     let q2 = QuerySpec::new("SELECT AVG(predict(*)) FROM pairs").with_complaint(
         Complaint::scalar_eq(w.true_match_count() as f64 / w.query.len() as f64),
     );
-    let mut session =
-        DebugSession::new(db, train, Box::new(LogisticRegression::new(17, 0.01)));
+    let mut session = DebugSession::new(db, train, Box::new(LogisticRegression::new(17, 0.01)));
     session.queries = vec![q1, q2];
     let report = session
         .run(Method::Holistic, &RunConfig::paper(truth.len().min(30)))
@@ -241,5 +251,9 @@ fn misspecified_direction_hurts_but_does_not_crash() {
         .unwrap();
     // A wrong-direction complaint should do clearly worse than chance-at-
     // finding-corruptions (which the Exact variant nails, per other tests).
-    assert!(wrong.auccr(&truth) < 0.5, "wrong-direction auccr {}", wrong.auccr(&truth));
+    assert!(
+        wrong.auccr(&truth) < 0.5,
+        "wrong-direction auccr {}",
+        wrong.auccr(&truth)
+    );
 }
