@@ -32,7 +32,7 @@ fn fixture() -> Fixture {
     let mut model = LogisticRegression::new(17, 0.01);
     train_lbfgs(&mut model, &train, &LbfgsConfig::default());
     let sql = "SELECT COUNT(*) FROM dblp WHERE predict(*) = 1";
-    let out = run_query(&db, &model, sql, ExecOptions { debug: true }).unwrap();
+    let out = run_query(&db, &model, sql, ExecOptions::debug()).unwrap();
     let queries =
         vec![QuerySpec::new(sql).with_complaint(Complaint::scalar_eq(w.true_match_count() as f64))];
     Fixture {
@@ -53,13 +53,7 @@ fn bench_iteration() {
         train_lbfgs(&mut m, &f.train, &LbfgsConfig::warm())
     });
     g.bench("exec_debug_mode", || {
-        run_query(
-            &f.db,
-            &f.model,
-            &f.queries[0].sql,
-            ExecOptions { debug: true },
-        )
-        .unwrap()
+        run_query(&f.db, &f.model, &f.queries[0].sql, ExecOptions::debug()).unwrap()
     });
     for method in [M::Loss, M::TwoStep, M::Holistic] {
         let influence = Default::default();

@@ -37,7 +37,7 @@ fn bench_exec() {
     for (name, sql) in [("filter", filter), ("pred_join", join)] {
         for (mode, debug) in [("normal", false), ("debug", true)] {
             g.bench(&format!("{name}_{mode}"), || {
-                run_query(&db, &model, sql, ExecOptions { debug }).unwrap()
+                run_query(&db, &model, sql, ExecOptions::with_debug(debug)).unwrap()
             });
         }
     }
@@ -79,17 +79,17 @@ fn bench_optimizer_vs_naive() {
     let optimized = optimize(bound, &db);
 
     // Both plans must agree before we time them.
-    let a = execute(&db, &model, &naive, ExecOptions { debug: true }).unwrap();
-    let b = execute(&db, &model, &optimized, ExecOptions { debug: true }).unwrap();
+    let a = execute(&db, &model, &naive, ExecOptions::debug()).unwrap();
+    let b = execute(&db, &model, &optimized, ExecOptions::debug()).unwrap();
     assert_eq!(a.table.to_tsv(), b.table.to_tsv(), "plans disagree");
 
     let mut g = BenchGroup::new("dblp_join_plans", 20);
     for (mode, debug) in [("normal", false), ("debug", true)] {
         g.bench(&format!("naive_{mode}"), || {
-            execute(&db, &model, &naive, ExecOptions { debug }).unwrap()
+            execute(&db, &model, &naive, ExecOptions::with_debug(debug)).unwrap()
         });
         g.bench(&format!("optimized_{mode}"), || {
-            execute(&db, &model, &optimized, ExecOptions { debug }).unwrap()
+            execute(&db, &model, &optimized, ExecOptions::with_debug(debug)).unwrap()
         });
     }
     g.finish();

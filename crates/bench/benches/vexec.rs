@@ -1,0 +1,123 @@
+//! vexec-vs-tuple microbench on the DBLP join workload.
+//!
+//! Times the PR-1 *optimized* plan (predicate pushdown + pruning) on both
+//! engines over two DBLP self-join shapes:
+//!
+//! - `join`: the model-free equi-join with a pushed-down filter — pure
+//!   executor throughput (scan kernels + typed hash join).
+//! - `full`: the same join with the paper's model predicate
+//!   `predict(a) = 1` on top, in normal and debug (provenance) mode.
+//!
+//! Outputs the usual timing table plus a `BENCH_vexec.json` artifact
+//! (path overridable via `RAIN_BENCH_JSON`) recording the speedups, which
+//! CI uploads. Before timing, both engines' outputs are asserted equal.
+
+use rain_bench::BenchGroup;
+use rain_data::{dblp::DblpConfig, tables::dataset_to_table};
+use rain_model::{train_lbfgs, LogisticRegression};
+use rain_sql::table::Column;
+use rain_sql::{bind, execute, optimize, parse_select, Database, Engine, ExecOptions, QueryPlan};
+
+const JOIN_SQL: &str = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
+                        WHERE a.id = b.id AND b.bucket < 2";
+const FULL_SQL: &str = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
+                        WHERE a.id = b.id AND a.bucket < 2 AND b.bucket < 4 \
+                        AND predict(a) = 1";
+
+fn plan_for(sql: &str, db: &Database) -> QueryPlan {
+    let stmt = parse_select(sql).unwrap();
+    let bound = bind(&stmt, db).unwrap();
+    optimize(bound, db)
+}
+
+fn main() {
+    let quick = rain_bench::is_quick();
+    let n_query = if quick { 600 } else { 4000 };
+    let w = DblpConfig {
+        n_train: 400,
+        n_query,
+        ..Default::default()
+    }
+    .generate(42);
+    let mut model = LogisticRegression::new(17, 0.01);
+    train_lbfgs(&mut model, &w.train, &Default::default());
+
+    // The queried pairs, duplicated into two relations; `bucket` gives
+    // the pushed-down filters something selective.
+    let n = w.query.len();
+    let bucket = Column::Int((0..n as i64).map(|i| i % 10).collect());
+    let mut db = Database::new();
+    db.register(
+        "pairs_a",
+        dataset_to_table(&w.query, vec![("bucket", bucket.clone())]),
+    );
+    db.register(
+        "pairs_b",
+        dataset_to_table(&w.query, vec![("bucket", bucket)]),
+    );
+
+    let cases = [
+        ("join", plan_for(JOIN_SQL, &db), vec![("", false)]),
+        (
+            "full",
+            plan_for(FULL_SQL, &db),
+            vec![("_normal", false), ("_debug", true)],
+        ),
+    ];
+    println!("{}", cases[1].1.explain_engine(&db, Engine::Vectorized));
+
+    // Both engines must agree (rows AND provenance) before we time them.
+    for (name, plan, modes) in &cases {
+        for (_, debug) in modes {
+            let opts = ExecOptions::with_debug(*debug);
+            let t = execute(&db, &model, plan, opts.on(Engine::Tuple)).unwrap();
+            let v = execute(&db, &model, plan, opts.on(Engine::Vectorized)).unwrap();
+            assert_eq!(t.table.to_tsv(), v.table.to_tsv(), "{name}: rows disagree");
+            assert_eq!(t.agg_cells, v.agg_cells, "{name}: provenance disagrees");
+        }
+    }
+
+    let samples = if quick { 3 } else { 30 };
+    let mut g = BenchGroup::new("dblp_join_vexec", samples);
+    for (name, plan, modes) in &cases {
+        for (suffix, debug) in modes {
+            let opts = ExecOptions::with_debug(*debug);
+            g.bench(&format!("tuple_{name}{suffix}"), || {
+                execute(&db, &model, plan, opts.on(Engine::Tuple)).unwrap()
+            });
+            g.bench(&format!("vexec_{name}{suffix}"), || {
+                execute(&db, &model, plan, opts.on(Engine::Vectorized)).unwrap()
+            });
+        }
+    }
+    g.finish();
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"dblp_join_vexec\",\n  \"n_query\": {n_query},\n  \"samples\": {samples}"
+    );
+    for (name, _, modes) in &cases {
+        for (suffix, _) in modes {
+            let key = format!("{name}{suffix}");
+            let (t, v) = (
+                g.median_secs(&format!("tuple_{key}")).unwrap(),
+                g.median_secs(&format!("vexec_{key}")).unwrap(),
+            );
+            println!(
+                "speedup_{key}: {:.2}x (tuple {:.3} ms → vexec {:.3} ms)",
+                t / v,
+                t * 1e3,
+                v * 1e3
+            );
+            json.push_str(&format!(
+                ",\n  \"{key}\": {{ \"tuple_ms\": {:.6}, \"vexec_ms\": {:.6}, \"speedup\": {:.3} }}",
+                t * 1e3,
+                v * 1e3,
+                t / v
+            ));
+        }
+    }
+    json.push_str("\n}\n");
+    let path = std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_vexec.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+}

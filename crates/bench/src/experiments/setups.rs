@@ -107,7 +107,7 @@ pub fn first_output(sess: &DebugSession) -> QueryOutput {
         &sess.db,
         model.as_ref(),
         &sess.queries[0].sql,
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .expect("query runs")
 }
@@ -120,8 +120,8 @@ pub fn find_group_row(out: &QueryOutput, key: &Value) -> Option<usize> {
 /// Concrete scalar of a one-aggregate output as f64.
 pub fn scalar_f64(out: &QueryOutput) -> f64 {
     match out.scalar() {
-        Some(Value::Int(v)) => v as f64,
-        Some(Value::Float(v)) => v,
+        rain_sql::ScalarResult::Value(Value::Int(v)) => v as f64,
+        rain_sql::ScalarResult::Value(Value::Float(v)) => v,
         other => panic!("no scalar: {other:?}"),
     }
 }

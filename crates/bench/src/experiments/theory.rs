@@ -95,7 +95,7 @@ pub fn thm_a1(quick: bool) -> String {
                 &db,
                 &model,
                 "SELECT COUNT(*) FROM q WHERE predict(*) = 1",
-                ExecOptions { debug: true },
+                ExecOptions::debug(),
             )
             .expect("query");
             let cfg = SqlStepConfig {

@@ -270,7 +270,7 @@ mod tests {
             &db,
             &m,
             "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true },
+            ExecOptions::debug(),
         )
         .unwrap();
         assert!(Complaint::prediction_is("t", 0, 1).satisfied(&out));

@@ -13,7 +13,7 @@ use crate::rank::{rank, Method, RankContext, RankError};
 use crate::twostep::SqlStepConfig;
 use rain_influence::InfluenceConfig;
 use rain_model::{train_lbfgs, Classifier, Dataset, LbfgsConfig};
-use rain_sql::{execute, Database, ExecOptions, QueryError, QueryOutput, QueryPlan};
+use rain_sql::{execute, Database, Engine, ExecOptions, QueryError, QueryOutput, QueryPlan};
 use std::time::Instant;
 
 /// A debugging session: the queried database, the (possibly corrupted)
@@ -94,7 +94,9 @@ impl DebugSession {
             let report = train_lbfgs(model.as_mut(), &train, &warm);
             let train_s = t_train.elapsed().as_secs_f64();
 
-            // (1-2) Execute the queries in debug mode.
+            // (1-2) Execute the queries in debug mode. Re-execution runs
+            // on the vectorized engine: it dominates per-iteration cost,
+            // and vexec is provenance-identical to the tuple oracle.
             let t_exec = Instant::now();
             let mut outputs: Vec<QueryOutput> = Vec::with_capacity(plans.len());
             for plan in &plans {
@@ -102,7 +104,7 @@ impl DebugSession {
                     &self.db,
                     model.as_ref(),
                     plan,
-                    ExecOptions { debug: true },
+                    ExecOptions::debug().on(Engine::Vectorized),
                 )?);
             }
             let exec_s = t_exec.elapsed().as_secs_f64();

@@ -184,7 +184,7 @@ mod tests {
             &db,
             &m,
             "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true },
+            ExecOptions::debug(),
         )
         .unwrap();
         let probs = probs_for(&db, &out, &m);
@@ -208,7 +208,7 @@ mod tests {
         // central differences of v_relaxed through the model.
         let (db, mut m) = setup();
         let sql = "SELECT COUNT(*) FROM t WHERE predict(*) = 1";
-        let out = run_query(&db, &m, sql, ExecOptions { debug: true }).unwrap();
+        let out = run_query(&db, &m, sql, ExecOptions::debug()).unwrap();
         let complaints = vec![Complaint::scalar_eq(3.0)];
         let concrete = concrete_cell(&out, 0, 0).unwrap();
         let target = 3.0;
@@ -249,7 +249,7 @@ mod tests {
             &db,
             &m,
             "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true },
+            ExecOptions::debug(),
         )
         .unwrap();
         // Concrete count is 2; "should be ≤ 3" is satisfied → inactive.
@@ -288,7 +288,7 @@ mod tests {
             &db,
             &m,
             "SELECT COUNT(*) FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true },
+            ExecOptions::debug(),
         )
         .unwrap();
         let probs = probs_for(&db, &out, &m);
@@ -312,7 +312,7 @@ mod tests {
             &db,
             &m,
             "SELECT id FROM t WHERE predict(*) = 1",
-            ExecOptions { debug: true },
+            ExecOptions::debug(),
         )
         .unwrap();
         assert!(out.table.n_rows() >= 1);

@@ -221,7 +221,7 @@ fn sql_step_cardinality_presolve() {
         &db,
         &model,
         "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // Current count of class 0 is 2; complain it should be 4.
@@ -261,7 +261,7 @@ fn sql_step_prediction_complaints_are_fixed_points() {
         &db,
         &model,
         "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     let repairs = match sql_step(
@@ -289,7 +289,7 @@ fn sql_step_join_pairs_use_vertex_cover() {
         &db,
         &model,
         "SELECT * FROM l, r WHERE predict(l) = predict(r)",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     assert_eq!(out.table.n_rows(), 3);
@@ -318,7 +318,7 @@ fn sql_step_join_count_zero_partitions_classes() {
         &db,
         &model,
         "SELECT COUNT(*) FROM l, r WHERE predict(l) = predict(r)",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // One joining pair (left digit 1 × right digit 1); complain count = 0.
@@ -354,7 +354,7 @@ fn sql_step_generic_path_handles_conjunctions() {
         &db,
         &model,
         "SELECT * FROM l, r WHERE predict(l) = 0 AND predict(r) = 1",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     assert_eq!(out.table.n_rows(), 1);
@@ -388,7 +388,7 @@ fn sql_step_timeout_on_oversized_ilp() {
         &db,
         &model,
         "SELECT * FROM l, r WHERE predict(l) = 0 AND predict(r) = 1",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     let cfg = SqlStepConfig {
@@ -410,7 +410,7 @@ fn sql_step_different_seeds_pick_different_repairs() {
         &db,
         &model,
         "SELECT COUNT(*) FROM l WHERE predict(*) = 0",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     let mut picks = std::collections::HashSet::new();

@@ -1,11 +1,18 @@
 //! SPJA execution with optional provenance capture ("debug mode", §5.1).
 //!
-//! The executor is tuple-at-a-time over materialized row sets, driven by a
-//! physical [`QueryPlan`] (the binder/optimizer's output). Each relation is
-//! scanned through its pushed-down filters first, joins are scheduled
-//! left-to-right, residual conjuncts are applied as soon as all the
-//! relations they mention are in scope, and concrete equi-join conjuncts
-//! drive hash joins over the filtered scans.
+//! Two engines sit behind [`execute`], selected by [`ExecOptions::engine`]:
+//!
+//! - [`Engine::Vectorized`] (the default) — the columnar batch engine in
+//!   [`vexec`](crate::vexec): selection-vector scans with predicate
+//!   kernels, hash joins over typed key columns, struct-of-arrays joined
+//!   tuples.
+//! - [`Engine::Tuple`] — the original tuple-at-a-time engine below, kept
+//!   as the semantic oracle for differential testing.
+//!
+//! Both engines share one evaluation core ([`eval`](crate::eval)), so
+//! results *and* provenance polynomials are bit-identical: same rows,
+//! same prediction-variable ids, same formulas. The randomized
+//! differential suite (`tests/vexec_differential.rs`) enforces this.
 //!
 //! The two execution modes share one code path:
 //!
@@ -22,30 +29,102 @@
 //! candidate tuples, which downstream crates relax (Holistic) or linearize
 //! into an ILP (TwoStep).
 
-use crate::ast::{AggFunc, ArithOp, CmpOp, SelectStmt};
-use crate::binder::{bind, BExpr, BoundAgg, BoundAggArg, GroupKey, QueryKind};
+use crate::ast::SelectStmt;
+use crate::binder::bind;
 use crate::catalog::Database;
+use crate::eval::{self, EvalCtx, Sym, Tup};
 use crate::optimize::optimize;
 use crate::plan::QueryPlan;
 use crate::predvar::PredVarRegistry;
-use crate::prov::{AggSum, AggTerm, BoolProv, CellProv, VarId};
-use crate::table::{ColType, Schema, Table};
-use crate::value::{like_match, Value};
+use crate::prov::{BoolProv, CellProv};
+use crate::table::Table;
+use crate::value::Value;
 use crate::QueryError;
 use rain_model::Classifier;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
+
+/// Which execution engine runs the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Columnar batch execution ([`vexec`](crate::vexec)): the default.
+    #[default]
+    Vectorized,
+    /// Tuple-at-a-time execution: the differential-testing oracle.
+    Tuple,
+}
 
 /// Execution options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Capture provenance (the paper's "debug mode" re-execution).
     pub debug: bool,
+    /// Engine selection (vectorized unless overridden).
+    pub engine: Engine,
+}
+
+impl ExecOptions {
+    /// Debug (provenance-capturing) execution on the default engine.
+    pub fn debug() -> Self {
+        ExecOptions {
+            debug: true,
+            engine: Engine::default(),
+        }
+    }
+
+    /// Options with an explicit debug flag on the default engine.
+    pub fn with_debug(debug: bool) -> Self {
+        ExecOptions {
+            debug,
+            engine: Engine::default(),
+        }
+    }
+
+    /// The same options pinned to a specific engine.
+    pub fn on(self, engine: Engine) -> Self {
+        ExecOptions { engine, ..self }
+    }
+}
+
+/// The scalar of a one-row, one-aggregate output — typed so callers can
+/// tell "no rows" from "a NULL cell" (both used to collapse to `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarResult {
+    /// Exactly one row with a non-NULL cell.
+    Value(Value),
+    /// Exactly one row whose cell is SQL NULL.
+    Null,
+    /// The right shape (one value column), but zero rows.
+    NoRows,
+    /// Not a one-row-one-value output shape (multiple rows or columns).
+    NonScalar,
+}
+
+impl ScalarResult {
+    /// The scalar, if the query produced exactly one non-NULL value.
+    pub fn value(self) -> Option<Value> {
+        match self {
+            ScalarResult::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unwrap the scalar value.
+    ///
+    /// # Panics
+    /// Panics (with the actual shape) when the output was not a single
+    /// non-NULL value.
+    pub fn unwrap(self) -> Value {
+        match self {
+            ScalarResult::Value(v) => v,
+            other => panic!("expected a scalar value, got {other:?}"),
+        }
+    }
 }
 
 /// The result of executing a query.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
-    /// Concrete result table (identical across modes).
+    /// Concrete result table (identical across modes and engines).
     pub table: Table,
     /// Membership formula per output row (debug mode, non-aggregate
     /// queries; empty otherwise).
@@ -61,12 +140,19 @@ pub struct QueryOutput {
 }
 
 impl QueryOutput {
-    /// Convenience: the single scalar of a one-row one-aggregate query.
-    pub fn scalar(&self) -> Option<Value> {
-        if self.table.n_rows() == 1 && self.table.schema().len() == self.n_key_cols + 1 {
-            Some(self.table.value(0, self.n_key_cols))
-        } else {
-            None
+    /// The single scalar of a one-row one-aggregate query, distinguishing
+    /// a NULL cell from an empty result.
+    pub fn scalar(&self) -> ScalarResult {
+        if self.table.schema().len() != self.n_key_cols + 1 {
+            return ScalarResult::NonScalar;
+        }
+        match self.table.n_rows() {
+            0 => ScalarResult::NoRows,
+            1 => match self.table.value(0, self.n_key_cols) {
+                Value::Null => ScalarResult::Null,
+                v => ScalarResult::Value(v),
+            },
+            _ => ScalarResult::NonScalar,
         }
     }
 }
@@ -95,8 +181,8 @@ pub fn run_stmt(
     execute(db, model, &plan, opts)
 }
 
-/// Execute a physical plan. The plan must have been bound against `db`
-/// (table ids are resolved through it).
+/// Execute a physical plan on the engine selected by `opts`. The plan
+/// must have been bound against `db` (table ids are resolved through it).
 pub fn execute(
     db: &Database,
     model: &dyn Classifier,
@@ -110,126 +196,50 @@ pub fn execute(
             .all(|r| db.resolve(&r.table) == Some(r.id)),
         "plan was bound against a different database"
     );
-    let mut exec = Exec {
-        db,
-        model,
-        query,
-        debug: opts.debug,
-        reg: PredVarRegistry::new(),
-    };
-    exec.run()
-}
-
-/// A (possibly partial) joined tuple: one row index per bound relation.
-#[derive(Debug, Clone)]
-struct Tup {
-    rows: Vec<u32>,
-    prov: BoolProv,
-}
-
-/// Hashable group-key value (floats keyed by total-order bits).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-enum KeyVal {
-    Null,
-    Bool(bool),
-    Int(i64),
-    F64(u64),
-    Str(String),
-}
-
-fn keyval(v: &Value) -> KeyVal {
-    match v {
-        Value::Null => KeyVal::Null,
-        Value::Bool(b) => KeyVal::Bool(*b),
-        Value::Int(i) => KeyVal::Int(*i),
-        Value::Float(f) => {
-            // Total-order bit trick so Ord matches numeric order.
-            let bits = f.to_bits() as i64;
-            KeyVal::F64((bits ^ (((bits >> 63) as u64) >> 1) as i64) as u64 ^ (1u64 << 63))
+    match opts.engine {
+        Engine::Vectorized => crate::vexec::run(db, model, query, opts.debug),
+        Engine::Tuple => {
+            let mut exec = TupleExec {
+                ctx: EvalCtx::new(db, model, query, opts.debug),
+            };
+            exec.run()
         }
-        Value::Str(s) => KeyVal::Str(s.clone()),
     }
 }
 
-fn keyval_to_value(k: &KeyVal) -> Value {
-    match k {
-        KeyVal::Null => Value::Null,
-        KeyVal::Bool(b) => Value::Bool(*b),
-        KeyVal::Int(i) => Value::Int(*i),
-        KeyVal::F64(bits) => {
-            let b = bits ^ (1u64 << 63);
-            let b = b as i64;
-            Value::Float(f64::from_bits(
-                (b ^ ((((b >> 63) as u64) >> 1) as i64)) as u64,
-            ))
-        }
-        KeyVal::Str(s) => Value::Str(s.clone()),
-    }
+/// The tuple-at-a-time engine: materialized `Vec<Tup>` row sets driven
+/// through scan → hash-join → residual-filter stages.
+struct TupleExec<'a> {
+    ctx: EvalCtx<'a>,
 }
 
-/// Accumulator for one output group.
-#[derive(Debug, Default)]
-struct GroupAcc {
-    /// Concrete members (tuples that concretely belong to this group).
-    members: usize,
-    /// Concrete per-aggregate accumulators: (sum, non-null count).
-    concrete: Vec<(f64, usize)>,
-    /// Provenance per aggregate: numerator terms (and denominator terms
-    /// for AVG).
-    num: Vec<AggSum>,
-    den: Vec<AggSum>,
-}
-
-struct Exec<'a> {
-    db: &'a Database,
-    model: &'a dyn Classifier,
-    query: &'a QueryPlan,
-    debug: bool,
-    reg: PredVarRegistry,
-}
-
-impl<'a> Exec<'a> {
-    fn table_of(&self, rel: usize) -> &Table {
-        self.db.table_by_id(self.query.rels[rel].id)
-    }
-
-    fn var_of(&mut self, rel: usize, row: u32) -> VarId {
-        let table_name = &self.query.rels[rel].table;
-        let table = self.db.table_by_id(self.query.rels[rel].id);
-        let model = self.model;
-        let feats = table
-            .feature_row(row as usize)
-            .expect("features checked at bind time");
-        self.reg
-            .var_for(table_name, row as usize, || model.predict(feats))
-    }
-
+impl<'a> TupleExec<'a> {
     /// Base-row ids of `rel` surviving its pushed-down scan filters.
     /// Scan filters are model-free by construction (the optimizer never
     /// pushes a `predict()` atom), so they evaluate concretely and prune
     /// identically in normal and debug mode — provenance is unaffected.
     fn scan(&mut self, rel: usize) -> Result<Vec<u32>, QueryError> {
-        let n = self.table_of(rel).n_rows();
-        if self.query.scan_filters[rel].is_empty() {
+        let n = self.ctx.table_of(rel).n_rows();
+        if self.ctx.query.scan_filters[rel].is_empty() {
             return Ok((0..n as u32).collect());
         }
-        // `self.query` is a shared reference with its own lifetime, so
+        // `ctx.query` is a shared reference with its own lifetime, so
         // reading expressions through a hoisted copy of it does not hold
         // a borrow of `self` — no per-row clones needed.
-        let query = self.query;
+        let query = self.ctx.query;
         let mut rows_buf = vec![0u32; rel + 1];
         let mut out = Vec::with_capacity(n);
         'row: for r in 0..n {
             rows_buf[rel] = r as u32;
             for f in &query.scan_filters[rel] {
-                match self.eval_pred(f, &rows_buf)? {
+                match self.ctx.eval_pred(f, &rows_buf)? {
                     Sym::Const(false) => continue 'row,
                     Sym::Const(true) => {}
                     // Unreachable for optimizer-built plans; evaluate
                     // discretely as a defensive fallback (identical in
                     // both modes for a concrete model).
                     Sym::Prov(p) => {
-                        if !p.eval_discrete(self.reg.preds()) {
+                        if !p.eval_discrete(self.ctx.reg.preds()) {
                             continue 'row;
                         }
                     }
@@ -242,28 +252,16 @@ impl<'a> Exec<'a> {
 
     fn run(&mut self) -> Result<QueryOutput, QueryError> {
         let tuples = self.join_pipeline()?;
-        match &self.query.kind {
-            QueryKind::Select { items } => self.project(tuples, items),
-            QueryKind::Aggregate { keys, aggs } => self.aggregate(tuples, keys, aggs),
-        }
+        let kind = &self.ctx.query.kind;
+        eval::finalize(&mut self.ctx, tuples, kind)
     }
 
     /// Build the joined candidate-tuple set with pushdown.
     fn join_pipeline(&mut self) -> Result<Vec<Tup>, QueryError> {
-        let n_rels = self.query.rels.len();
-        let n_conj = self.query.conjuncts.len();
+        let n_rels = self.ctx.query.rels.len();
+        let n_conj = self.ctx.query.conjuncts.len();
         let mut applied = vec![false; n_conj];
-        // Conjunct relation footprints.
-        let footprints: Vec<BTreeSet<usize>> = self
-            .query
-            .conjuncts
-            .iter()
-            .map(|c| {
-                let mut s = BTreeSet::new();
-                c.rels_used(&mut s);
-                s
-            })
-            .collect();
+        let footprints = eval::conjunct_footprints(self.ctx.query);
 
         // Seed with relation 0's scan (pushed-down filters applied).
         let mut tuples: Vec<Tup> = self
@@ -278,39 +276,7 @@ impl<'a> Exec<'a> {
 
         for rel in 1..n_rels {
             // Equi-join keys available for hash joining into `rel`.
-            let equi: Vec<(BExpr, BExpr, usize)> = (0..n_conj)
-                .filter(|&ci| !applied[ci] && footprints[ci].iter().all(|&r| r <= rel))
-                .filter_map(|ci| match &self.query.conjuncts[ci] {
-                    BExpr::Cmp {
-                        op: CmpOp::Eq,
-                        left,
-                        right,
-                    } => {
-                        let lset = {
-                            let mut s = BTreeSet::new();
-                            left.rels_used(&mut s);
-                            s
-                        };
-                        let rset = {
-                            let mut s = BTreeSet::new();
-                            right.rels_used(&mut s);
-                            s
-                        };
-                        if left.contains_predict() || right.contains_predict() {
-                            return None;
-                        }
-                        // One side must be exactly {rel}, the other ⊆ {0..rel-1}.
-                        if lset == BTreeSet::from([rel]) && rset.iter().all(|&r| r < rel) {
-                            Some(((**right).clone(), (**left).clone(), ci))
-                        } else if rset == BTreeSet::from([rel]) && lset.iter().all(|&r| r < rel) {
-                            Some(((**left).clone(), (**right).clone(), ci))
-                        } else {
-                            None
-                        }
-                    }
-                    _ => None,
-                })
-                .collect();
+            let equi = eval::equi_keys(self.ctx.query, &applied, &footprints, rel);
 
             // Scan the new relation once: pushed-down filters prune its
             // base rows before any join work (hash build or cross loop).
@@ -333,25 +299,35 @@ impl<'a> Exec<'a> {
                 for (_, _, ci) in &equi {
                     applied[*ci] = true;
                 }
-                // Hash the new relation on its key expressions.
-                let mut index: HashMap<Vec<KeyVal>, Vec<u32>> = HashMap::new();
+                // Hash the new relation on its key expressions. Keys are
+                // canonicalized so hash equality matches `=` semantics
+                // (NULL/NaN keys match nothing and are skipped).
+                let mut index: HashMap<Vec<eval::JoinKey>, Vec<u32>> = HashMap::new();
                 let mut probe_rows = vec![0u32; rel + 1];
                 for &r in &right_rows {
                     // Position `rel` must be addressable; pad with a
                     // sentinel row vector of the right length.
                     probe_rows[rel] = r;
-                    let key: Result<Vec<KeyVal>, QueryError> = equi
-                        .iter()
-                        .map(|(_, re, _)| Ok(keyval(&self.eval_value(re, &probe_rows)?)))
-                        .collect();
-                    index.entry(key?).or_default().push(r);
+                    let mut key = Vec::with_capacity(equi.len());
+                    for (_, re, _) in &equi {
+                        match eval::join_key(&self.ctx.eval_value(re, &probe_rows)?) {
+                            Some(k) => key.push(k),
+                            None => break,
+                        }
+                    }
+                    if key.len() == equi.len() {
+                        index.entry(key).or_default().push(r);
+                    }
                 }
-                for t in &tuples {
-                    let key: Result<Vec<KeyVal>, QueryError> = equi
-                        .iter()
-                        .map(|(le, _, _)| Ok(keyval(&self.eval_value(le, &t.rows)?)))
-                        .collect();
-                    if let Some(rows) = index.get(&key?) {
+                'probe: for t in &tuples {
+                    let mut key = Vec::with_capacity(equi.len());
+                    for (le, _, _) in &equi {
+                        match eval::join_key(&self.ctx.eval_value(le, &t.rows)?) {
+                            Some(k) => key.push(k),
+                            None => continue 'probe,
+                        }
+                    }
+                    if let Some(rows) = index.get(&key) {
                         for &r in rows {
                             let mut new_rows = t.rows.clone();
                             new_rows.push(r);
@@ -374,7 +350,7 @@ impl<'a> Exec<'a> {
         &mut self,
         tuples: Vec<Tup>,
         applied: &mut [bool],
-        footprints: &[BTreeSet<usize>],
+        footprints: &[std::collections::BTreeSet<usize>],
         in_scope: usize,
     ) -> Result<Vec<Tup>, QueryError> {
         let todo: Vec<usize> = (0..applied.len())
@@ -386,17 +362,17 @@ impl<'a> Exec<'a> {
         for &ci in &todo {
             applied[ci] = true;
         }
-        let query = self.query;
+        let query = self.ctx.query;
         let mut out = Vec::with_capacity(tuples.len());
         'tuple: for mut t in tuples {
             for &ci in &todo {
-                match self.eval_pred(&query.conjuncts[ci], &t.rows)? {
+                match self.ctx.eval_pred(&query.conjuncts[ci], &t.rows)? {
                     Sym::Const(false) => continue 'tuple,
                     Sym::Const(true) => {}
                     Sym::Prov(f) => {
-                        if self.debug {
+                        if self.ctx.debug {
                             t.prov = BoolProv::and(vec![t.prov, f]);
-                        } else if !f.eval_discrete(self.reg.preds()) {
+                        } else if !f.eval_discrete(self.ctx.reg.preds()) {
                             continue 'tuple;
                         }
                     }
@@ -406,482 +382,4 @@ impl<'a> Exec<'a> {
         }
         Ok(out)
     }
-
-    /// Evaluate a predicate over a tuple into either a constant or a
-    /// provenance formula (constants fold; model atoms stay symbolic).
-    fn eval_pred(&mut self, e: &BExpr, rows: &[u32]) -> Result<Sym, QueryError> {
-        Ok(match e {
-            BExpr::Not(inner) => match self.eval_pred(inner, rows)? {
-                Sym::Const(b) => Sym::Const(!b),
-                Sym::Prov(f) => Sym::Prov(f.negate()),
-            },
-            BExpr::And(terms) => {
-                let mut provs = Vec::new();
-                for t in terms {
-                    match self.eval_pred(t, rows)? {
-                        Sym::Const(false) => return Ok(Sym::Const(false)),
-                        Sym::Const(true) => {}
-                        Sym::Prov(f) => provs.push(f),
-                    }
-                }
-                if provs.is_empty() {
-                    Sym::Const(true)
-                } else {
-                    Sym::Prov(BoolProv::and(provs))
-                }
-            }
-            BExpr::Or(terms) => {
-                let mut provs = Vec::new();
-                for t in terms {
-                    match self.eval_pred(t, rows)? {
-                        Sym::Const(true) => return Ok(Sym::Const(true)),
-                        Sym::Const(false) => {}
-                        Sym::Prov(f) => provs.push(f),
-                    }
-                }
-                if provs.is_empty() {
-                    Sym::Const(false)
-                } else {
-                    Sym::Prov(BoolProv::or(provs))
-                }
-            }
-            BExpr::Cmp { op, left, right } => {
-                let lp = matches!(**left, BExpr::Predict { .. });
-                let rp = matches!(**right, BExpr::Predict { .. });
-                match (lp, rp) {
-                    (true, true) => {
-                        let (BExpr::Predict { rel: lr }, BExpr::Predict { rel: rr }) =
-                            (&**left, &**right)
-                        else {
-                            unreachable!()
-                        };
-                        let lv = self.var_of(*lr, rows[*lr]);
-                        let rv = self.var_of(*rr, rows[*rr]);
-                        let eq = if lv == rv {
-                            BoolProv::Const(true)
-                        } else {
-                            BoolProv::PredEq {
-                                left: lv,
-                                right: rv,
-                            }
-                        };
-                        match op {
-                            CmpOp::Eq => Sym::from(eq),
-                            CmpOp::Ne => Sym::from(eq.negate()),
-                            _ => {
-                                return Err(QueryError::Exec(
-                                    "only =/!= between two predict() calls".into(),
-                                ))
-                            }
-                        }
-                    }
-                    (true, false) | (false, true) => {
-                        let (rel, other, op) = if lp {
-                            let BExpr::Predict { rel } = &**left else {
-                                unreachable!()
-                            };
-                            (*rel, right, *op)
-                        } else {
-                            let BExpr::Predict { rel } = &**right else {
-                                unreachable!()
-                            };
-                            // Flip the operator: `c op predict` ⇔ `predict op' c`.
-                            let flipped = match op {
-                                CmpOp::Lt => CmpOp::Gt,
-                                CmpOp::Le => CmpOp::Ge,
-                                CmpOp::Gt => CmpOp::Lt,
-                                CmpOp::Ge => CmpOp::Le,
-                                other => *other,
-                            };
-                            (*rel, left, flipped)
-                        };
-                        let val = self.eval_value(other, rows)?;
-                        let class = val.as_i64().ok_or_else(|| {
-                            QueryError::Exec(format!("predict() compared to non-integer {val}"))
-                        })?;
-                        let var = self.var_of(rel, rows[rel]);
-                        let n_classes = self.model.n_classes() as i64;
-                        let classes: Vec<usize> = (0..n_classes)
-                            .filter(|&c| op.eval(c.cmp(&class)))
-                            .map(|c| c as usize)
-                            .collect();
-                        Sym::from(BoolProv::or(
-                            classes
-                                .into_iter()
-                                .map(|class| BoolProv::PredIs { var, class })
-                                .collect(),
-                        ))
-                    }
-                    (false, false) => {
-                        let l = self.eval_value(left, rows)?;
-                        let r = self.eval_value(right, rows)?;
-                        Sym::Const(l.compare(&r).is_some_and(|ord| op.eval(ord)))
-                    }
-                }
-            }
-            BExpr::Like {
-                expr,
-                pattern,
-                negated,
-            } => {
-                let v = self.eval_value(expr, rows)?;
-                let matched = match v {
-                    Value::Str(s) => like_match(&s, pattern),
-                    Value::Null => false,
-                    other => return Err(QueryError::Exec(format!("LIKE on non-string {other}"))),
-                };
-                Sym::Const(matched != *negated)
-            }
-            BExpr::Predict { .. } => {
-                return Err(QueryError::Exec("bare predict() as a predicate".into()))
-            }
-            other => Sym::Const(self.eval_value(other, rows)?.is_truthy()),
-        })
-    }
-
-    /// Concrete scalar evaluation (predictions evaluate to the hard class).
-    fn eval_value(&mut self, e: &BExpr, rows: &[u32]) -> Result<Value, QueryError> {
-        Ok(match e {
-            BExpr::Lit(v) => v.clone(),
-            BExpr::Col { rel, col } => self.table_of(*rel).value(rows[*rel] as usize, *col),
-            BExpr::Predict { rel } => {
-                let var = self.var_of(*rel, rows[*rel]);
-                Value::Int(self.reg.preds()[var as usize] as i64)
-            }
-            BExpr::Arith { op, left, right } => {
-                let l = self.eval_value(left, rows)?;
-                let r = self.eval_value(right, rows)?;
-                match (l.as_f64(), r.as_f64()) {
-                    (Some(a), Some(b)) => {
-                        let both_int = matches!(
-                            (&l, &r),
-                            (
-                                Value::Int(_) | Value::Bool(_),
-                                Value::Int(_) | Value::Bool(_)
-                            )
-                        );
-                        let out = match op {
-                            ArithOp::Add => a + b,
-                            ArithOp::Sub => a - b,
-                            ArithOp::Mul => a * b,
-                            ArithOp::Div => {
-                                if b == 0.0 {
-                                    return Ok(Value::Null);
-                                }
-                                a / b
-                            }
-                        };
-                        if both_int && *op != ArithOp::Div {
-                            Value::Int(out as i64)
-                        } else {
-                            Value::Float(out)
-                        }
-                    }
-                    _ => Value::Null,
-                }
-            }
-            // Boolean-valued expressions in scalar position.
-            other => {
-                let sym = self.eval_pred(other, rows)?;
-                match sym {
-                    Sym::Const(b) => Value::Bool(b),
-                    Sym::Prov(f) => Value::Bool(f.eval_discrete(self.reg.preds())),
-                }
-            }
-        })
-    }
-
-    /// Output column type of an expression — delegates to the binder's
-    /// [`infer_type`](crate::binder::infer_type) so naive and optimized
-    /// plans (where constant folding may turn `true + 2` into `3`) always
-    /// agree on the schema. Statically unknown (NULL-only) expressions
-    /// type as Float, the type NULL-producing arithmetic would have had.
-    fn infer_type(&self, e: &BExpr) -> ColType {
-        crate::binder::infer_type(e, &|rel, col| self.table_of(rel).schema().col(col).ty)
-            .unwrap_or(ColType::Float)
-    }
-
-    fn project(
-        &mut self,
-        tuples: Vec<Tup>,
-        items: &[(BExpr, String)],
-    ) -> Result<QueryOutput, QueryError> {
-        let mut schema = Schema::default();
-        for (e, name) in items {
-            push_unique(&mut schema, name, self.infer_type(e));
-        }
-        let mut table = Table::empty(schema);
-        let mut row_prov = Vec::new();
-        for t in tuples {
-            // Emit only concretely-true rows; keep their formulas.
-            if !t.prov.eval_discrete(self.reg.preds()) {
-                continue;
-            }
-            let mut row = Vec::with_capacity(items.len());
-            for (e, name) in items {
-                let v = self.eval_value(e, &t.rows)?;
-                if v == Value::Null {
-                    // Columns carry no null representation yet; surface a
-                    // typed error instead of panicking the schema builder.
-                    return Err(QueryError::Exec(format!(
-                        "NULL in select output column {name} is unsupported; \
-                         filter NULLs out"
-                    )));
-                }
-                row.push(v);
-            }
-            table.push_row(row, None);
-            if self.debug {
-                row_prov.push(t.prov);
-            }
-        }
-        Ok(QueryOutput {
-            table,
-            row_prov,
-            agg_cells: Vec::new(),
-            n_key_cols: 0,
-            predvars: std::mem::take(&mut self.reg),
-        })
-    }
-
-    fn aggregate(
-        &mut self,
-        tuples: Vec<Tup>,
-        keys: &[GroupKey],
-        aggs: &[BoundAgg],
-    ) -> Result<QueryOutput, QueryError> {
-        let mut groups: HashMap<Vec<KeyVal>, GroupAcc> = HashMap::new();
-        let n_aggs = aggs.len();
-        let new_acc = || GroupAcc {
-            members: 0,
-            concrete: vec![(0.0, 0); n_aggs],
-            num: vec![AggSum::default(); n_aggs],
-            den: vec![AggSum::default(); n_aggs],
-        };
-        // A global aggregate always has its single group, even when empty.
-        if keys.is_empty() {
-            groups.insert(Vec::new(), new_acc());
-        }
-
-        for t in tuples {
-            // Resolve key parts. Predict keys fan the tuple out per class
-            // (symbolically); concretely it belongs to one class group.
-            let mut col_parts: Vec<Option<KeyVal>> = Vec::with_capacity(keys.len());
-            let mut pred_keys: Vec<(usize, VarId)> = Vec::new(); // (key position, var)
-            for (pos, k) in keys.iter().enumerate() {
-                match k {
-                    GroupKey::Col { rel, col, .. } => {
-                        let v = self.table_of(*rel).value(t.rows[*rel] as usize, *col);
-                        col_parts.push(Some(keyval(&v)));
-                    }
-                    GroupKey::Predict { rel } => {
-                        let var = self.var_of(*rel, t.rows[*rel]);
-                        pred_keys.push((pos, var));
-                        col_parts.push(None);
-                    }
-                }
-            }
-            let concrete_member = t.prov.eval_discrete(self.reg.preds());
-
-            // Enumerate class assignments for predict keys (cartesian; in
-            // practice there is at most one predict key).
-            let n_classes = self.model.n_classes();
-            let combos: Vec<Vec<usize>> = if pred_keys.is_empty() {
-                vec![Vec::new()]
-            } else if self.debug {
-                cartesian(n_classes, pred_keys.len())
-            } else {
-                // Normal mode: only the concrete class combination.
-                vec![pred_keys
-                    .iter()
-                    .map(|(_, v)| self.reg.preds()[*v as usize])
-                    .collect()]
-            };
-
-            for combo in combos {
-                let mut key = Vec::with_capacity(keys.len());
-                let mut membership = t.prov.clone();
-                let mut concrete_combo = concrete_member;
-                for (pos, part) in col_parts.iter().enumerate() {
-                    match part {
-                        Some(kv) => key.push(kv.clone()),
-                        None => {
-                            let (idx, var) = pred_keys
-                                .iter()
-                                .enumerate()
-                                .find_map(|(i, (p, v))| (*p == pos).then_some((i, *v)))
-                                .expect("predict key present");
-                            let class = combo[idx];
-                            key.push(KeyVal::Int(class as i64));
-                            if self.debug {
-                                membership = BoolProv::and(vec![
-                                    membership,
-                                    BoolProv::PredIs { var, class },
-                                ]);
-                            }
-                            concrete_combo &= self.reg.preds()[var as usize] == class;
-                        }
-                    }
-                }
-
-                let acc = groups.entry(key).or_insert_with(new_acc);
-                if concrete_combo {
-                    acc.members += 1;
-                }
-                for (ai, agg) in aggs.iter().enumerate() {
-                    // Term contributed by this tuple to aggregate `ai`.
-                    let term: Option<(AggTerm, f64)> = match &agg.arg {
-                        BoundAggArg::CountStar => Some((AggTerm::One, 1.0)),
-                        BoundAggArg::Predict { rel } => {
-                            let var = self.var_of(*rel, t.rows[*rel]);
-                            let concrete_val = self.reg.preds()[var as usize] as f64;
-                            Some((AggTerm::PredValue(var), concrete_val))
-                        }
-                        BoundAggArg::ScaledPredict { rel, factor } => {
-                            let var = self.var_of(*rel, t.rows[*rel]);
-                            let w =
-                                self.eval_value(factor, &t.rows)?.as_f64().ok_or_else(|| {
-                                    QueryError::Exec("non-numeric factor in scaled predict".into())
-                                })?;
-                            let concrete_val = w * self.reg.preds()[var as usize] as f64;
-                            Some((AggTerm::ScaledPred { var, weight: w }, concrete_val))
-                        }
-                        BoundAggArg::Scalar(e) => {
-                            let v = self.eval_value(e, &t.rows)?;
-                            v.as_f64().map(|f| (AggTerm::Const(f), f))
-                        }
-                    };
-                    let Some((term, concrete_val)) = term else {
-                        continue; // NULL: skipped by SUM/AVG, as in SQL.
-                    };
-                    if concrete_combo {
-                        acc.concrete[ai].0 += concrete_val;
-                        acc.concrete[ai].1 += 1;
-                    }
-                    if self.debug {
-                        acc.num[ai].terms.push((membership.clone(), term));
-                        if agg.func == AggFunc::Avg {
-                            acc.den[ai].terms.push((membership.clone(), AggTerm::One));
-                        }
-                    }
-                }
-            }
-        }
-
-        // Deterministic output order.
-        let mut keys_sorted: Vec<Vec<KeyVal>> = groups.keys().cloned().collect();
-        keys_sorted.sort();
-
-        // Output schema: group keys then aggregates.
-        let mut schema = Schema::default();
-        for k in keys {
-            match k {
-                GroupKey::Col { rel, col, name } => {
-                    let ty = self.table_of(*rel).schema().col(*col).ty;
-                    push_unique(&mut schema, name, ty);
-                }
-                GroupKey::Predict { .. } => push_unique(&mut schema, "predict", ColType::Int),
-            }
-        }
-        for agg in aggs {
-            let ty = if agg.func == AggFunc::Count {
-                ColType::Int
-            } else {
-                ColType::Float
-            };
-            push_unique(&mut schema, &agg.name, ty);
-        }
-        let mut table = Table::empty(schema);
-        let mut agg_cells = Vec::new();
-
-        for key in keys_sorted {
-            let acc = groups.remove(&key).expect("group exists");
-            // Groups with no concrete member are not part of the concrete
-            // result (matching normal execution); the exception is the
-            // global group of an ungrouped aggregate.
-            if acc.members == 0 && !keys.is_empty() {
-                continue;
-            }
-            let mut row: Vec<Value> = key.iter().map(keyval_to_value).collect();
-            for (ai, agg) in aggs.iter().enumerate() {
-                let (sum, cnt) = acc.concrete[ai];
-                row.push(match agg.func {
-                    AggFunc::Count => Value::Int(cnt as i64),
-                    AggFunc::Sum => Value::Float(sum),
-                    AggFunc::Avg => Value::Float(if cnt == 0 { 0.0 } else { sum / cnt as f64 }),
-                });
-            }
-            table.push_row(row, None);
-            if self.debug {
-                let mut cells = Vec::with_capacity(aggs.len());
-                for (ai, agg) in aggs.iter().enumerate() {
-                    let num = acc.num[ai].clone();
-                    cells.push(match agg.func {
-                        AggFunc::Avg => CellProv::Ratio(num, acc.den[ai].clone()),
-                        _ => CellProv::Sum(num),
-                    });
-                }
-                agg_cells.push(cells);
-            }
-        }
-
-        Ok(QueryOutput {
-            table,
-            row_prov: Vec::new(),
-            agg_cells,
-            n_key_cols: keys.len(),
-            predvars: std::mem::take(&mut self.reg),
-        })
-    }
-}
-
-/// Append an output column, uniquifying duplicate names (`x`, `x_2`, …)
-/// so user-written select lists like `SELECT x, x` or `SELECT *, *`
-/// cannot panic the schema builder.
-fn push_unique(schema: &mut Schema, name: &str, ty: ColType) {
-    if schema.index_of(name).is_none() {
-        schema.push(name, ty);
-        return;
-    }
-    let mut i = 2;
-    loop {
-        let cand = format!("{name}_{i}");
-        if schema.index_of(&cand).is_none() {
-            schema.push(&cand, ty);
-            return;
-        }
-        i += 1;
-    }
-}
-
-/// Symbolic-or-constant predicate value.
-enum Sym {
-    Const(bool),
-    Prov(BoolProv),
-}
-
-impl From<BoolProv> for Sym {
-    fn from(f: BoolProv) -> Self {
-        match f {
-            BoolProv::Const(b) => Sym::Const(b),
-            other => Sym::Prov(other),
-        }
-    }
-}
-
-/// All `len`-tuples over `0..n` (cartesian power).
-fn cartesian(n: usize, len: usize) -> Vec<Vec<usize>> {
-    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
-    for _ in 0..len {
-        let mut next = Vec::with_capacity(out.len() * n);
-        for prefix in &out {
-            for c in 0..n {
-                let mut v = prefix.clone();
-                v.push(c);
-                next.push(v);
-            }
-        }
-        out = next;
-    }
-    out
 }

@@ -14,7 +14,12 @@
 //! - a rule-based [`optimize`]r — constant folding, predicate pushdown,
 //!   projection pruning, all provenance-preserving — lowering to a
 //!   physical [`plan::QueryPlan`],
-//! - a pushdown [`exec`]utor with hash joins,
+//! - two execution engines behind one [`exec::execute`] entry point: the
+//!   default **vectorized columnar engine** ([`vexec`] — selection-vector
+//!   scans with typed predicate kernels, hash joins over column slices,
+//!   struct-of-arrays joined tuples) and the tuple-at-a-time oracle it is
+//!   differentially tested against, both sharing one evaluation core so
+//!   results and provenance are bit-identical,
 //! - **provenance polynomials** ([`prov`]) over prediction variables,
 //!   captured during debug-mode execution, and their **differentiable
 //!   relaxation** with reverse-mode gradients — the machinery behind the
@@ -45,10 +50,10 @@
 //!     &db,
 //!     &model,
 //!     "SELECT COUNT(*) FROM users WHERE predict(*) = 1",
-//!     ExecOptions { debug: true },
+//!     ExecOptions::debug(),
 //! )
 //! .unwrap();
-//! assert_eq!(out.scalar(), Some(rain_sql::Value::Int(1)));
+//! assert_eq!(out.scalar().value(), Some(rain_sql::Value::Int(1)));
 //! // Debug mode captured a provenance polynomial over 2 prediction vars.
 //! assert_eq!(out.predvars.len(), 2);
 //! ```
@@ -56,6 +61,7 @@
 pub mod ast;
 pub mod binder;
 pub mod catalog;
+mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod optimize;
@@ -66,11 +72,12 @@ pub mod printer;
 pub mod prov;
 pub mod table;
 pub mod value;
+pub mod vexec;
 
 pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
 pub use binder::{bind, BExpr, BindError, Binder, BoundStatement};
 pub use catalog::{ColumnRef, Database, TableId};
-pub use exec::{execute, run_query, run_stmt, ExecOptions, QueryOutput};
+pub use exec::{execute, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult};
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;

@@ -476,6 +476,46 @@ mod tests {
     }
 
     #[test]
+    fn explain_engine_annotates_kernels_and_strategy() {
+        use crate::exec::Engine;
+        let db = db();
+        let stmt = parse_select(
+            "SELECT COUNT(*) FROM users u, logins l \
+             WHERE u.id = l.id AND l.active = true AND u.age + 1 > 30 AND predict(u) = 1",
+        )
+        .unwrap();
+        let bound = bind(&stmt, &db).unwrap();
+        let plan = optimize(bound, &db);
+        let text = plan.explain_engine(&db, Engine::Vectorized);
+        assert!(text.starts_with("Engine: vectorized\n"), "{text}");
+        assert!(text.contains("Join [hash(num)]"), "{text}");
+        // `l.active = true` compiles to a numeric-comparison kernel; the
+        // arithmetic filter on users falls back to the scalar evaluator.
+        assert!(text.contains("kernels=[cmp(num,lit)]"), "{text}");
+        assert!(text.contains("kernels=[row-fallback]"), "{text}");
+        let tuple = plan.explain_engine(&db, Engine::Tuple);
+        assert!(tuple.starts_with("Engine: tuple\n"), "{tuple}");
+        assert!(tuple.contains("Join [hash]"), "{tuple}");
+        assert!(!tuple.contains("kernels="), "{tuple}");
+        // The engine-agnostic explain stays unannotated.
+        assert!(!plan.explain(&db).contains("Engine:"));
+
+        // The annotation reflects the key the join will actually use: an
+        // expression key cannot take the typed path, and a join the
+        // schedule cannot key at all is a nested loop.
+        let expr_key =
+            parse_select("SELECT COUNT(*) FROM users u, logins l WHERE u.id + 0 = l.id").unwrap();
+        let plan = optimize(bind(&expr_key, &db).unwrap(), &db);
+        let text = plan.explain_engine(&db, Engine::Vectorized);
+        assert!(text.contains("Join [hash(general)]"), "{text}");
+        let cross =
+            parse_select("SELECT COUNT(*) FROM users u, logins l WHERE u.id < l.id").unwrap();
+        let plan = optimize(bind(&cross, &db).unwrap(), &db);
+        let text = plan.explain_engine(&db, Engine::Vectorized);
+        assert!(text.contains("Join [nested-loop]"), "{text}");
+    }
+
+    #[test]
     fn naive_config_is_identity_lowering() {
         let p = plan_for(
             "SELECT COUNT(*) FROM users WHERE 1 = 1 AND age > 35",

@@ -11,10 +11,15 @@
 //!
 //! [`QueryPlan::explain`] renders the plan as an indented operator tree,
 //! which is how the optimizer's work (pushdown, folding, pruning) is made
-//! visible to users and asserted in tests.
+//! visible to users and asserted in tests. [`QueryPlan::explain_engine`]
+//! additionally annotates which engine would run the plan, which
+//! predicate kernels each scan filter compiles to, and the join strategy.
 
 use crate::binder::{BExpr, BoundAggArg, BoundRel, BoundStatement, GroupKey, QueryKind};
 use crate::catalog::Database;
+use crate::exec::Engine;
+
+use crate::table::Table;
 use std::collections::BTreeSet;
 
 /// A physical SPJA plan, ready for execution.
@@ -68,8 +73,28 @@ impl QueryPlan {
     ///       Scan logins AS l cols=[id]
     /// ```
     pub fn explain(&self, db: &Database) -> String {
+        self.render(db, None)
+    }
+
+    /// [`QueryPlan::explain`] for a specific engine: prefixes an
+    /// `Engine:` line, tags the join strategy, and (for the vectorized
+    /// engine) annotates each scan with the predicate kernels its filters
+    /// compile to — `row-fallback` marks filters the kernel compiler
+    /// hands back to the shared scalar evaluator.
+    pub fn explain_engine(&self, db: &Database, engine: Engine) -> String {
+        self.render(db, Some(engine))
+    }
+
+    fn render(&self, db: &Database, engine: Option<Engine>) -> String {
         let mut out = String::new();
         let mut indent = 0usize;
+        let vectorized = engine == Some(Engine::Vectorized);
+        if let Some(engine) = engine {
+            out.push_str(&format!(
+                "Engine: {}\n",
+                crate::printer::engine_name(engine)
+            ));
+        }
         let push = |line: String, indent: usize, out: &mut String| {
             out.push_str(&"  ".repeat(indent));
             out.push_str(&line);
@@ -136,8 +161,32 @@ impl QueryPlan {
             );
             indent += 1;
         }
+        let tables: Vec<&Table> = self.rels.iter().map(|r| db.table_by_id(r.id)).collect();
         if self.rels.len() > 1 {
-            push("Join".to_string(), indent, &mut out);
+            let mut line = "Join".to_string();
+            if engine.is_some() {
+                // Derive the annotation from the engines' actual schedule
+                // (and, for vexec, the same key classification the join
+                // dispatch uses) — one entry per join step.
+                let steps: Vec<&str> = crate::eval::join_schedule(self)
+                    .iter()
+                    .map(|keys| {
+                        if keys.is_empty() {
+                            "nested-loop"
+                        } else if vectorized {
+                            let pairs: Vec<(BExpr, BExpr)> = keys
+                                .iter()
+                                .map(|(le, re, _)| (le.clone(), re.clone()))
+                                .collect();
+                            crate::vexec::join::strategy(&tables, &pairs).describe()
+                        } else {
+                            "hash"
+                        }
+                    })
+                    .collect();
+                line.push_str(&format!(" [{}]", steps.join("; ")));
+            }
+            push(line, indent, &mut out);
             indent += 1;
         }
         for (ri, rel) in self.rels.iter().enumerate() {
@@ -158,6 +207,16 @@ impl QueryPlan {
                     .map(|c| self.expr_sql(c, db))
                     .collect();
                 line.push_str(&format!(" filter=[{}]", preds.join(" AND ")));
+                if vectorized {
+                    let kernels: Vec<String> = self.scan_filters[ri]
+                        .iter()
+                        .map(|c| {
+                            crate::vexec::kernels::describe(c, &tables)
+                                .unwrap_or_else(|| "row-fallback".into())
+                        })
+                        .collect();
+                    line.push_str(&format!(" kernels=[{}]", kernels.join(", ")));
+                }
             }
             push(line, indent, &mut out);
         }

@@ -24,10 +24,14 @@ pub struct PredVarInfo {
 }
 
 /// Registry of prediction variables created during one query execution.
+///
+/// The lookup map is keyed table-first so the per-tuple hot path
+/// (`var_for` on an existing variable) hashes a borrowed `&str` — no
+/// `String` allocation per joined tuple.
 #[derive(Debug, Clone, Default)]
 pub struct PredVarRegistry {
     infos: Vec<PredVarInfo>,
-    map: HashMap<(String, usize), VarId>,
+    map: HashMap<String, HashMap<usize, VarId>>,
     preds: Vec<usize>,
 }
 
@@ -41,7 +45,7 @@ impl PredVarRegistry {
     /// the model's argmax prediction on first sight (a closure so callers
     /// only run inference for genuinely new variables).
     pub fn var_for(&mut self, table: &str, row: usize, hard_pred: impl FnOnce() -> usize) -> VarId {
-        if let Some(&v) = self.map.get(&(table.to_string(), row)) {
+        if let Some(&v) = self.map.get(table).and_then(|rows| rows.get(&row)) {
             return v;
         }
         let id = self.infos.len() as VarId;
@@ -49,14 +53,17 @@ impl PredVarRegistry {
             table: table.to_string(),
             row,
         });
-        self.map.insert((table.to_string(), row), id);
+        self.map
+            .entry(table.to_string())
+            .or_default()
+            .insert(row, id);
         self.preds.push(hard_pred());
         id
     }
 
     /// Look up an existing variable without creating one.
     pub fn lookup(&self, table: &str, row: usize) -> Option<VarId> {
-        self.map.get(&(table.to_string(), row)).copied()
+        self.map.get(table).and_then(|rows| rows.get(&row)).copied()
     }
 
     /// Number of variables.

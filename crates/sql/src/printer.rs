@@ -4,8 +4,18 @@
 //! fixpoint) and for diagnostics.
 
 use crate::ast::{AggFunc, ArithOp, Expr, SelectItem, SelectStmt};
+use crate::exec::Engine;
 use crate::value::Value;
 use std::fmt::Write;
+
+/// Human name of an execution engine, used by `EXPLAIN` headers and the
+/// bench reports.
+pub fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Vectorized => "vectorized",
+        Engine::Tuple => "tuple",
+    }
+}
 
 /// Render an expression to SQL text (fully parenthesized, so precedence
 /// never changes meaning on re-parse).
@@ -187,5 +197,12 @@ mod tests {
     #[test]
     fn string_escaping_roundtrips() {
         roundtrip("SELECT COUNT(*) FROM t WHERE name = 'it''s' AND name NOT LIKE '%x%'");
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(engine_name(Engine::Vectorized), "vectorized");
+        assert_eq!(engine_name(Engine::Tuple), "tuple");
+        assert_eq!(engine_name(Engine::default()), "vectorized");
     }
 }

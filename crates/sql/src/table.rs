@@ -165,6 +165,51 @@ impl Column {
             Column::Str(_) => ColType::Str,
         }
     }
+
+    /// Zero-copy view of an integer column (`None` for other types). The
+    /// vectorized kernels use these typed slices instead of per-row
+    /// [`Value`] boxing through [`Column::get`].
+    pub fn as_i64s(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of a float column (`None` for other types).
+    pub fn as_f64s(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of a string column (`None` for other types).
+    pub fn as_strs(&self) -> Option<&[String]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of a boolean column (`None` for other types).
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Append the type's zero value (the physical filler under a NULL
+    /// cell; the table's null bitmap marks it invalid).
+    pub fn push_zero(&mut self) {
+        match self {
+            Column::Bool(v) => v.push(false),
+            Column::Int(v) => v.push(0),
+            Column::Float(v) => v.push(0.0),
+            Column::Str(v) => v.push(String::new()),
+        }
+    }
 }
 
 fn discriminant(c: &Column) -> ColType {
@@ -172,10 +217,17 @@ fn discriminant(c: &Column) -> ColType {
 }
 
 /// A columnar table, optionally with a row-aligned feature matrix.
+///
+/// NULLs are represented out of band: each column may carry a null
+/// bitmap (`nulls[col]`), lazily materialized the first time a NULL is
+/// pushed. Fully valid columns carry no bitmap, so the common case stays
+/// a plain typed vector the kernels can slice zero-copy.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
+    /// Per-column null bitmap; `None` = all cells valid.
+    nulls: Vec<Option<Vec<bool>>>,
     n_rows: usize,
     features: Option<Matrix>,
 }
@@ -183,10 +235,12 @@ pub struct Table {
 impl Table {
     /// Empty table over a schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = schema.iter().map(|c| Column::empty(c.ty)).collect();
+        let columns: Vec<Column> = schema.iter().map(|c| Column::empty(c.ty)).collect();
+        let nulls = vec![None; columns.len()];
         Table {
             schema,
             columns,
+            nulls,
             n_rows: 0,
             features: None,
         }
@@ -207,9 +261,11 @@ impl Table {
             assert_eq!(col.len(), n_rows, "Table: ragged column {}", def.name);
             assert_eq!(col.ty(), def.ty, "Table: column {} type mismatch", def.name);
         }
+        let nulls = vec![None; columns.len()];
         Table {
             schema,
             columns,
+            nulls,
             n_rows,
             features: None,
         }
@@ -240,9 +296,25 @@ impl Table {
         &self.columns[i]
     }
 
-    /// Cell accessor.
+    /// Cell accessor (NULL-aware: masked cells read as [`Value::Null`]).
     pub fn value(&self, row: usize, col: usize) -> Value {
+        if self.is_null(row, col) {
+            return Value::Null;
+        }
         self.columns[col].get(row)
+    }
+
+    /// True when the cell is NULL.
+    pub fn is_null(&self, row: usize, col: usize) -> bool {
+        self.nulls[col].as_deref().is_some_and(|m| m[row])
+    }
+
+    /// Null bitmap of a column: `Some(mask)` once the column holds any
+    /// NULL (with `mask[row] == true` for NULL cells), `None` while the
+    /// column is fully valid. Kernels check this before slicing a column
+    /// zero-copy through the `as_*s` accessors.
+    pub fn null_mask(&self, col: usize) -> Option<&[bool]> {
+        self.nulls[col].as_deref()
     }
 
     /// Feature vector of a row, if the table carries features.
@@ -262,8 +334,18 @@ impl Table {
     /// whether the table carries features.
     pub fn push_row(&mut self, row: Vec<Value>, feat: Option<&[f64]>) {
         assert_eq!(row.len(), self.columns.len(), "push_row: arity mismatch");
-        for (col, v) in self.columns.iter_mut().zip(row) {
-            col.push(v);
+        for (ci, (col, v)) in self.columns.iter_mut().zip(row).enumerate() {
+            if v == Value::Null {
+                col.push_zero();
+                self.nulls[ci]
+                    .get_or_insert_with(|| vec![false; self.n_rows])
+                    .push(true);
+            } else {
+                col.push(v);
+                if let Some(mask) = &mut self.nulls[ci] {
+                    mask.push(false);
+                }
+            }
         }
         match (&mut self.features, feat) {
             (Some(m), Some(f)) => {
@@ -370,6 +452,42 @@ mod tests {
         let mut c = Column::Int(vec![]);
         c.push(Value::Bool(true));
         assert_eq!(c.get(0), Value::Int(1));
+    }
+
+    #[test]
+    fn typed_zero_copy_accessors() {
+        let t = people();
+        assert_eq!(t.column(0).as_i64s(), Some(&[1i64, 2][..]));
+        assert_eq!(t.column(2).as_bools(), Some(&[true, false][..]));
+        assert_eq!(t.column(1).as_strs().map(|s| s.len()), Some(2));
+        assert_eq!(t.column(0).as_f64s(), None);
+        assert_eq!(t.column(1).as_i64s(), None);
+        let f = Column::Float(vec![1.5]);
+        assert_eq!(f.as_f64s(), Some(&[1.5][..]));
+    }
+
+    #[test]
+    fn null_cells_are_tracked_by_bitmap() {
+        let mut t = people();
+        assert!(t.null_mask(0).is_none());
+        t.push_row(
+            vec![Value::Null, Value::Str("eve".into()), Value::Bool(true)],
+            None,
+        );
+        // Only the column that received a NULL grows a bitmap.
+        assert_eq!(t.null_mask(0), Some(&[false, false, true][..]));
+        assert!(t.null_mask(1).is_none());
+        assert_eq!(t.value(2, 0), Value::Null);
+        assert!(t.is_null(2, 0));
+        assert!(!t.is_null(0, 0));
+        // Subsequent non-NULL pushes keep the bitmap aligned.
+        t.push_row(
+            vec![Value::Int(9), Value::Str("f".into()), Value::Bool(false)],
+            None,
+        );
+        assert_eq!(t.value(3, 0), Value::Int(9));
+        assert!(!t.is_null(3, 0));
+        assert!(t.to_tsv().contains("NULL"));
     }
 
     #[test]

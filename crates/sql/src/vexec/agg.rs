@@ -1,0 +1,140 @@
+//! Batch-wise aggregation over struct-of-arrays row sets.
+//!
+//! Two tiers, both yielding byte-identical [`QueryOutput`]s:
+//!
+//! - A **columnar fast path** for ungrouped, model-free aggregates in
+//!   normal mode (`COUNT(*)`, `SUM/AVG(col)`): accumulates straight off
+//!   the gathered column slices, skipping the per-tuple group machinery
+//!   entirely. Accumulation order is tuple order, so float sums match
+//!   the shared path bit for bit.
+//! - The **shared finalizer** ([`eval::aggregate`]) for everything else
+//!   (grouping, debug-mode provenance, `predict()` aggregates), fed
+//!   through the [`Tuples`] sink without materializing per-tuple row
+//!   vectors.
+
+use super::batch::RowSet;
+use crate::binder::{BoundAgg, BoundAggArg, GroupKey};
+use crate::eval::{self, EvalCtx, Tuples};
+use crate::exec::QueryOutput;
+use crate::table::Table;
+use crate::value::Value;
+use crate::QueryError;
+
+impl Tuples for RowSet {
+    fn emit(mut self, sink: &mut crate::eval::TupleSink) -> Result<(), QueryError> {
+        let n_rels = self.n_rels();
+        let mut buf = vec![0u32; n_rels];
+        for i in 0..self.len() {
+            self.gather(i, &mut buf);
+            let prov = self.take_prov(i);
+            sink(&buf, prov)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate a row set, taking the columnar fast path when it provably
+/// matches the shared finalizer.
+pub(crate) fn aggregate_rowset(
+    ctx: &mut EvalCtx,
+    rows: RowSet,
+    keys: &[GroupKey],
+    aggs: &[BoundAgg],
+) -> Result<QueryOutput, QueryError> {
+    // Fast path: normal mode, one global group, model-free arguments.
+    // (Scalar aggregate arguments are model-free by binder construction.)
+    let fast = !ctx.debug
+        && keys.is_empty()
+        && aggs
+            .iter()
+            .all(|a| matches!(a.arg, BoundAggArg::CountStar | BoundAggArg::Scalar(_)));
+    if !fast {
+        return eval::aggregate(ctx, rows, keys, aggs);
+    }
+
+    let n = rows.len();
+    let mut sums = vec![(0.0f64, 0usize); aggs.len()];
+    let mut rows_buf = vec![0u32; rows.n_rels()];
+    for (ai, agg) in aggs.iter().enumerate() {
+        match &agg.arg {
+            BoundAggArg::CountStar => {
+                sums[ai] = (n as f64, n);
+            }
+            BoundAggArg::Scalar(e) => {
+                // Plain column arguments accumulate off the typed slice;
+                // anything else evaluates per tuple through the shared
+                // evaluator (same order, same float-summation sequence).
+                let (sum, cnt) = &mut sums[ai];
+                match column_slice(ctx, &rows, e) {
+                    Some(ColSlice::I64(rel, vals)) => {
+                        for &r in rows.rel(rel) {
+                            *sum += vals[r as usize] as f64;
+                        }
+                        *cnt = n;
+                    }
+                    Some(ColSlice::F64(rel, vals)) => {
+                        for &r in rows.rel(rel) {
+                            *sum += vals[r as usize];
+                        }
+                        *cnt = n;
+                    }
+                    None => {
+                        for i in 0..n {
+                            rows.gather(i, &mut rows_buf);
+                            let v = ctx.eval_value(e, &rows_buf)?;
+                            if let Some(f) = v.as_f64() {
+                                *sum += f;
+                                *cnt += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            BoundAggArg::Predict { .. } | BoundAggArg::ScaledPredict { .. } => {
+                unreachable!("fast path excludes model aggregates")
+            }
+        }
+    }
+
+    let mut table = Table::empty(eval::agg_schema(ctx, keys, aggs));
+    let row: Vec<Value> = aggs
+        .iter()
+        .zip(&sums)
+        .map(|(agg, &(sum, cnt))| eval::agg_value(agg.func, sum, cnt))
+        .collect();
+    table.push_row(row, None);
+    Ok(QueryOutput {
+        table,
+        row_prov: Vec::new(),
+        agg_cells: Vec::new(),
+        n_key_cols: 0,
+        predvars: std::mem::take(&mut ctx.reg),
+    })
+}
+
+/// A numeric column slice usable for direct accumulation.
+enum ColSlice<'a> {
+    I64(usize, &'a [i64]),
+    F64(usize, &'a [f64]),
+}
+
+fn column_slice<'a>(
+    ctx: &EvalCtx<'a>,
+    rows: &RowSet,
+    e: &crate::binder::BExpr,
+) -> Option<ColSlice<'a>> {
+    let crate::binder::BExpr::Col { rel, col } = e else {
+        return None;
+    };
+    if *rel >= rows.n_rels() {
+        return None;
+    }
+    let table = ctx.table_of(*rel);
+    if table.null_mask(*col).is_some() {
+        return None;
+    }
+    let c = table.column(*col);
+    c.as_i64s()
+        .map(|v| ColSlice::I64(*rel, v))
+        .or_else(|| c.as_f64s().map(|v| ColSlice::F64(*rel, v)))
+}

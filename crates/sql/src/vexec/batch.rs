@@ -1,0 +1,275 @@
+//! Columnar batch types: selection vectors over fixed-size table windows
+//! and struct-of-arrays joined-tuple sets.
+
+use crate::prov::BoolProv;
+use crate::table::Table;
+
+/// Rows processed per batch by the vectorized scan. Large enough to
+/// amortize kernel dispatch, small enough that selection vectors and
+/// masks stay cache-resident.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A selection vector: the base-row ids still live in one batch window.
+/// Kernels evaluate predicates into a mask aligned with the selection and
+/// [`SelVec::retain_mask`] compacts it in place.
+#[derive(Debug, Clone, Default)]
+pub struct SelVec {
+    ids: Vec<u32>,
+}
+
+impl SelVec {
+    /// A dense selection covering `start..end`.
+    pub fn dense(start: u32, end: u32) -> Self {
+        SelVec {
+            ids: (start..end).collect(),
+        }
+    }
+
+    /// The selected row ids, in ascending order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing survives.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Keep only the rows whose aligned mask entry is true.
+    ///
+    /// # Panics
+    /// Panics if `mask` is shorter than the selection.
+    pub fn retain_mask(&mut self, mask: &[bool]) {
+        assert!(mask.len() >= self.ids.len(), "mask shorter than selection");
+        let mut keep = mask.iter();
+        self.ids.retain(|_| *keep.next().expect("mask aligned"));
+    }
+
+    /// Keep only the rows for which `keep` returns true.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        self.ids.retain(|&r| keep(r));
+    }
+}
+
+/// A read-only columnar view of one table window plus its live selection:
+/// what the scan kernels consume batch by batch.
+#[derive(Debug)]
+pub struct Batch<'a> {
+    /// The scanned base table (columns sliced zero-copy by the kernels).
+    pub table: &'a Table,
+    /// Live rows of this window.
+    pub sel: SelVec,
+}
+
+impl<'a> Batch<'a> {
+    /// The window `start..end` of `table`, fully selected.
+    pub fn window(table: &'a Table, start: u32, end: u32) -> Self {
+        Batch {
+            table,
+            sel: SelVec::dense(start, end),
+        }
+    }
+}
+
+/// Struct-of-arrays set of (partially) joined tuples: `rel(r)[i]` is the
+/// base-row id of relation `r` for tuple `i`. This replaces the tuple
+/// engine's per-tuple `Vec<u32>` allocations — growing a join appends one
+/// column instead of cloning every row vector.
+#[derive(Debug, Clone)]
+pub struct RowSet {
+    rels: Vec<Vec<u32>>,
+    /// Per-tuple membership formula; empty in normal mode (every tuple is
+    /// concretely true until a model predicate says otherwise).
+    prov: Vec<BoolProv>,
+    debug: bool,
+}
+
+impl RowSet {
+    /// Seed tuples from relation 0's scan output.
+    pub fn seed(rows: Vec<u32>, debug: bool) -> Self {
+        let prov = if debug {
+            vec![BoolProv::Const(true); rows.len()]
+        } else {
+            Vec::new()
+        };
+        RowSet {
+            rels: vec![rows],
+            prov,
+            debug,
+        }
+    }
+
+    /// An empty set spanning `n_rels` relations.
+    pub fn with_rels(n_rels: usize, debug: bool) -> Self {
+        RowSet {
+            rels: vec![Vec::new(); n_rels],
+            prov: Vec::new(),
+            debug,
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rels.first().map_or(0, Vec::len)
+    }
+
+    /// True when no tuple survives.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of joined relations.
+    pub fn n_rels(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether provenance is tracked (debug mode).
+    pub fn is_debug(&self) -> bool {
+        self.debug
+    }
+
+    /// Base-row column of one relation.
+    pub fn rel(&self, rel: usize) -> &[u32] {
+        &self.rels[rel]
+    }
+
+    /// Base-row id of relation `rel` in tuple `i`.
+    pub fn row(&self, rel: usize, i: usize) -> u32 {
+        self.rels[rel][i]
+    }
+
+    /// Membership formula of tuple `i` (constant true in normal mode).
+    pub fn prov(&self, i: usize) -> &BoolProv {
+        if self.prov.is_empty() {
+            const TRUE: BoolProv = BoolProv::Const(true);
+            &TRUE
+        } else {
+            &self.prov[i]
+        }
+    }
+
+    /// Append tuple `i` of `left` extended with base row `r` of the new
+    /// relation (the join emit path; `self` must span one more relation).
+    pub fn push_joined(&mut self, left: &RowSet, i: usize, r: u32) {
+        let n = left.n_rels();
+        debug_assert_eq!(self.n_rels(), n + 1);
+        for rel in 0..n {
+            self.rels[rel].push(left.rels[rel][i]);
+        }
+        self.rels[n].push(r);
+        if self.debug {
+            self.prov.push(left.prov[i].clone());
+        }
+    }
+
+    /// Keep only tuples whose aligned mask entry is true.
+    pub fn retain_mask(&mut self, mask: &[bool]) {
+        let n = self.len();
+        debug_assert!(mask.len() >= n);
+        let mut write = 0;
+        for read in 0..n {
+            if mask[read] {
+                if write != read {
+                    for col in &mut self.rels {
+                        col[write] = col[read];
+                    }
+                    if !self.prov.is_empty() {
+                        self.prov.swap(write, read);
+                    }
+                }
+                write += 1;
+            }
+        }
+        self.truncate(write);
+    }
+
+    /// Drop every tuple past `len`.
+    pub fn truncate(&mut self, len: usize) {
+        for col in &mut self.rels {
+            col.truncate(len);
+        }
+        if !self.prov.is_empty() {
+            self.prov.truncate(len);
+        }
+    }
+
+    /// Overwrite tuple `write` with tuple `read` (compaction helper for
+    /// in-place filtering with provenance rewrites).
+    pub fn move_tuple(&mut self, write: usize, read: usize) {
+        if write == read {
+            return;
+        }
+        for col in &mut self.rels {
+            col[write] = col[read];
+        }
+        if !self.prov.is_empty() {
+            self.prov.swap(write, read);
+        }
+    }
+
+    /// Replace tuple `i`'s membership formula (debug mode only).
+    pub fn set_prov(&mut self, i: usize, prov: BoolProv) {
+        if self.debug {
+            self.prov[i] = prov;
+        }
+    }
+
+    /// Take tuple `i`'s membership formula, leaving a constant.
+    pub fn take_prov(&mut self, i: usize) -> BoolProv {
+        if self.prov.is_empty() {
+            BoolProv::Const(true)
+        } else {
+            std::mem::replace(&mut self.prov[i], BoolProv::Const(true))
+        }
+    }
+
+    /// Gather tuple `i`'s per-relation base rows into `buf`.
+    pub fn gather(&self, i: usize, buf: &mut [u32]) {
+        for (rel, col) in self.rels.iter().enumerate() {
+            buf[rel] = col[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selvec_retain() {
+        let mut s = SelVec::dense(10, 15);
+        assert_eq!(s.ids(), &[10, 11, 12, 13, 14]);
+        s.retain_mask(&[true, false, true, false, true]);
+        assert_eq!(s.ids(), &[10, 12, 14]);
+        s.retain_rows(|r| r > 10);
+        assert_eq!(s.ids(), &[12, 14]);
+    }
+
+    #[test]
+    fn rowset_join_and_filter() {
+        let left = RowSet::seed(vec![0, 1, 2], true);
+        let mut joined = RowSet::with_rels(2, true);
+        joined.push_joined(&left, 0, 7);
+        joined.push_joined(&left, 2, 9);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined.rel(0), &[0, 2]);
+        assert_eq!(joined.rel(1), &[7, 9]);
+        joined.retain_mask(&[false, true]);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.row(0, 0), 2);
+        let mut buf = [0u32; 2];
+        joined.gather(0, &mut buf);
+        assert_eq!(buf, [2, 9]);
+    }
+
+    #[test]
+    fn normal_mode_prov_is_constant_true() {
+        let rs = RowSet::seed(vec![0, 1], false);
+        assert_eq!(rs.prov(1), &BoolProv::Const(true));
+    }
+}

@@ -1,0 +1,206 @@
+//! Vectorized joins over struct-of-arrays row sets.
+//!
+//! The hash join builds over the new relation's (already scan-filtered)
+//! base rows and probes with the accumulated tuples, exactly like the
+//! tuple engine — build entries in scan order, probes in tuple order —
+//! so the joined tuple sequence is identical. What changes is the data
+//! plane: single-column `Col = Col` keys hash canonical key values read
+//! straight off the typed column slices (numerics as canonical `f64`
+//! bits, strings as `&str`) instead of allocating a key vector per row,
+//! and output tuples append to per-relation columns instead of cloning
+//! row vectors.
+//!
+//! Key equality matches the `=` predicate exactly (the shared
+//! [`join_key`] canonicalization): every numeric type compares as `f64`
+//! — so `3 = 3.0` hash-matches — while NULL and NaN keys match nothing
+//! and are skipped during build and probe. A string-vs-numeric key pair
+//! can never compare equal, so those joins short-circuit to an empty
+//! result. [`strategy`] classifies a key set once; the dispatch below
+//! and `EXPLAIN`'s annotation both consume the same classification.
+
+use super::batch::RowSet;
+use super::kernels::NumCol;
+use crate::binder::BExpr;
+use crate::eval::{f64_key_bits, join_key, EvalCtx, JoinKey};
+use crate::table::{ColType, Table};
+use crate::QueryError;
+use std::collections::HashMap;
+
+/// How a hash join will key one join step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Strategy {
+    /// Single `Col = Col` key, both numeric: canonical-f64-bit map over
+    /// the typed slices.
+    TypedNum,
+    /// Single `Col = Col` key, both strings: `&str` map over the slices.
+    TypedStr,
+    /// Single `Col = Col` key of incomparable types (string vs numeric):
+    /// no pair can satisfy `=`, the join is empty.
+    Disjoint,
+    /// Anything else (multi-key, expression keys, nullable columns):
+    /// canonical [`JoinKey`] vectors through the shared evaluator.
+    General,
+}
+
+impl Strategy {
+    /// Label used by `EXPLAIN`.
+    pub(crate) fn describe(self) -> &'static str {
+        match self {
+            Strategy::TypedNum => "hash(num)",
+            Strategy::TypedStr => "hash(str)",
+            Strategy::Disjoint => "hash(disjoint: empty)",
+            Strategy::General => "hash(general)",
+        }
+    }
+}
+
+/// Classify how `keys` will be executed against the plan's tables.
+pub(crate) fn strategy(tables: &[&Table], keys: &[(BExpr, BExpr)]) -> Strategy {
+    let [(BExpr::Col { rel: lr, col: lc }, BExpr::Col { rel: rr, col: rc })] = keys else {
+        return Strategy::General;
+    };
+    let (lt, rt) = (tables[*lr], tables[*rr]);
+    if lt.null_mask(*lc).is_some() || rt.null_mask(*rc).is_some() {
+        return Strategy::General;
+    }
+    let numeric = |t: ColType| matches!(t, ColType::Int | ColType::Float | ColType::Bool);
+    let (lty, rty) = (lt.schema().col(*lc).ty, rt.schema().col(*rc).ty);
+    match (numeric(lty), numeric(rty)) {
+        (true, true) => Strategy::TypedNum,
+        (false, false) => Strategy::TypedStr, // both Str: the only non-numeric type
+        _ => Strategy::Disjoint,
+    }
+}
+
+/// Nested-loop cross join (no usable equi keys): every accumulated tuple
+/// against every scanned base row, in order.
+pub(crate) fn cross_join(left: RowSet, right_rows: &[u32], debug: bool) -> RowSet {
+    let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+    for i in 0..left.len() {
+        for &r in right_rows {
+            out.push_joined(&left, i, r);
+        }
+    }
+    out
+}
+
+/// Hash join of the accumulated tuples with relation `rel` on the given
+/// `(probe expr, build expr)` key pairs.
+pub(crate) fn hash_join(
+    ctx: &mut EvalCtx,
+    left: RowSet,
+    right_rows: &[u32],
+    keys: &[(BExpr, BExpr)],
+    rel: usize,
+) -> Result<RowSet, QueryError> {
+    let debug = ctx.debug;
+    let tables: Vec<&Table> = ctx
+        .query
+        .rels
+        .iter()
+        .map(|r| ctx.db.table_by_id(r.id))
+        .collect();
+    match strategy(&tables, keys) {
+        Strategy::Disjoint => Ok(RowSet::with_rels(left.n_rels() + 1, debug)),
+        Strategy::TypedNum => {
+            let [(BExpr::Col { rel: lr, col: lc }, BExpr::Col { col: rc, .. })] = keys else {
+                unreachable!("classified as typed")
+            };
+            let build = NumCol::of(tables[rel], *rc).expect("numeric column");
+            let probe = NumCol::of(tables[*lr], *lc).expect("numeric column");
+            // NaN keys match nothing: skipped on both sides.
+            Ok(typed_join(
+                left,
+                right_rows,
+                debug,
+                |r| {
+                    let v = build.get(r);
+                    (!v.is_nan()).then(|| f64_key_bits(v))
+                },
+                |i, l| {
+                    let v = probe.get(l.row(*lr, i) as usize);
+                    (!v.is_nan()).then(|| f64_key_bits(v))
+                },
+            ))
+        }
+        Strategy::TypedStr => {
+            let [(BExpr::Col { rel: lr, col: lc }, BExpr::Col { col: rc, .. })] = keys else {
+                unreachable!("classified as typed")
+            };
+            let build = tables[rel].column(*rc).as_strs().expect("string column");
+            let probe = tables[*lr].column(*lc).as_strs().expect("string column");
+            Ok(typed_join(
+                left,
+                right_rows,
+                debug,
+                |r| Some(build[r].as_str()),
+                |i, l| Some(probe[l.row(*lr, i) as usize].as_str()),
+            ))
+        }
+        Strategy::General => {
+            // Arbitrary key expressions through the shared scalar
+            // evaluator into canonical key vectors (identical to the
+            // tuple engine, NULL/NaN skipping included).
+            let mut index: HashMap<Vec<JoinKey>, Vec<u32>> = HashMap::new();
+            let mut probe_rows = vec![0u32; rel + 1];
+            for &r in right_rows {
+                probe_rows[rel] = r;
+                let mut key = Vec::with_capacity(keys.len());
+                for (_, re) in keys {
+                    match join_key(&ctx.eval_value(re, &probe_rows)?) {
+                        Some(k) => key.push(k),
+                        None => break,
+                    }
+                }
+                if key.len() == keys.len() {
+                    index.entry(key).or_default().push(r);
+                }
+            }
+            let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+            let mut rows_buf = vec![0u32; left.n_rels()];
+            'probe: for i in 0..left.len() {
+                left.gather(i, &mut rows_buf);
+                let mut key = Vec::with_capacity(keys.len());
+                for (le, _) in keys {
+                    match join_key(&ctx.eval_value(le, &rows_buf)?) {
+                        Some(k) => key.push(k),
+                        None => continue 'probe,
+                    }
+                }
+                if let Some(rows) = index.get(&key) {
+                    for &r in rows {
+                        out.push_joined(&left, i, r);
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Hash join on one typed key: `build_key(base row)` indexes the new
+/// relation, `probe_key(tuple, left)` reads the accumulated side. A
+/// `None` key (NULL/NaN) matches nothing and is skipped.
+fn typed_join<K: std::hash::Hash + Eq>(
+    left: RowSet,
+    right_rows: &[u32],
+    debug: bool,
+    build_key: impl Fn(usize) -> Option<K>,
+    probe_key: impl Fn(usize, &RowSet) -> Option<K>,
+) -> RowSet {
+    let mut index: HashMap<K, Vec<u32>> = HashMap::with_capacity(right_rows.len());
+    for &r in right_rows {
+        if let Some(k) = build_key(r as usize) {
+            index.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+    for i in 0..left.len() {
+        if let Some(rows) = probe_key(i, &left).and_then(|k| index.get(&k)) {
+            for &r in rows {
+                out.push_joined(&left, i, r);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,591 @@
+//! Branch-light predicate kernels over typed column slices.
+//!
+//! A model-free [`BExpr`] is compiled once per scan/filter into a
+//! [`Kernel`] tree; evaluation then runs tight per-type loops over the
+//! zero-copy column slices ([`Column::as_i64s`] and friends), writing a
+//! boolean mask aligned with the batch — no per-row [`Value`] boxing.
+//!
+//! Semantics replicate the row-at-a-time evaluator *exactly*, including
+//! its quirks: numeric comparisons (ints included) go through `f64` like
+//! [`Value::compare`]; incomparable or NULL operands compare false; NaN
+//! fails every comparison, `!=` included. Expressions the compiler does
+//! not recognize — arithmetic, `predict()`, nullable columns — return
+//! `None` from [`compile`] and the engine falls back to the shared scalar
+//! evaluator, so coverage is a performance property, never a correctness
+//! one.
+
+use crate::ast::CmpOp;
+use crate::binder::BExpr;
+use crate::table::{ColType, Table};
+use crate::value::{like_match, Value};
+
+/// Row lookup for kernel evaluation: maps `(relation, batch position)` to
+/// a base-table row. Scans index a selection vector; joined filters index
+/// a [`RowSet`](super::batch::RowSet) column.
+pub trait RowLookup {
+    /// Number of candidate positions in the batch.
+    fn len(&self) -> usize;
+    /// True when the batch is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Base row of `rel` at batch position `i`.
+    fn row(&self, rel: usize, i: usize) -> u32;
+}
+
+/// A selection vector over a single scanned relation.
+pub struct SelLookup<'a>(pub &'a [u32]);
+
+impl RowLookup for SelLookup<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn row(&self, _rel: usize, i: usize) -> u32 {
+        self.0[i]
+    }
+}
+
+impl RowLookup for super::batch::RowSet {
+    fn len(&self) -> usize {
+        RowSet::len(self)
+    }
+    fn row(&self, rel: usize, i: usize) -> u32 {
+        RowSet::row(self, rel, i)
+    }
+}
+
+use super::batch::RowSet;
+
+/// How two operand types compare (mirrors [`Value::compare`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpMode {
+    /// Both numeric (Int/Float/Bool): compare as `f64`.
+    Num,
+    /// Both strings: lexicographic.
+    Str,
+    /// Incomparable (mixed string/numeric): always false.
+    Never,
+}
+
+/// A compiled, model-free predicate over base-table columns.
+#[derive(Debug, Clone)]
+pub enum Kernel {
+    /// Constant predicate (folded literals).
+    Const(bool),
+    /// `col <op> literal` with a numeric column and numeric literal.
+    CmpNumLit {
+        /// Relation index.
+        rel: usize,
+        /// Column index.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal, widened to f64 (exactly what `Value::compare` does).
+        lit: f64,
+    },
+    /// `col <op> literal` with string operands.
+    CmpStrLit {
+        /// Relation index.
+        rel: usize,
+        /// Column index.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        lit: String,
+    },
+    /// `col <op> col`, possibly across relations.
+    CmpColCol {
+        /// Left (relation, column).
+        left: (usize, usize),
+        /// Right (relation, column).
+        right: (usize, usize),
+        /// Operator.
+        op: CmpOp,
+        /// Type-pair comparison mode.
+        mode: CmpMode,
+    },
+    /// `col [NOT] LIKE 'pattern'` over a string column.
+    Like {
+        /// Relation index.
+        rel: usize,
+        /// Column index.
+        col: usize,
+        /// Pattern.
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// A bare column as a predicate (SQL truthiness).
+    Truthy {
+        /// Relation index.
+        rel: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// Negation.
+    Not(Box<Kernel>),
+    /// Conjunction (no short-circuit needed: operands are effect-free).
+    And(Vec<Kernel>),
+    /// Disjunction.
+    Or(Vec<Kernel>),
+}
+
+/// Compile a model-free predicate into a kernel tree. Returns `None`
+/// when any sub-expression needs the scalar fallback (arithmetic,
+/// `predict()`, nullable or type-incompatible columns).
+pub fn compile(e: &BExpr, tables: &[&Table]) -> Option<Kernel> {
+    // A column usable by a typed kernel: known type, no null bitmap.
+    let col_ty = |rel: usize, col: usize| -> Option<ColType> {
+        let t = tables[rel];
+        if t.null_mask(col).is_some() {
+            return None;
+        }
+        Some(t.schema().col(col).ty)
+    };
+    Some(match e {
+        BExpr::Lit(v) => Kernel::Const(v.is_truthy()),
+        BExpr::Col { rel, col } => {
+            col_ty(*rel, *col)?;
+            Kernel::Truthy {
+                rel: *rel,
+                col: *col,
+            }
+        }
+        BExpr::Not(inner) => Kernel::Not(Box::new(compile(inner, tables)?)),
+        BExpr::And(terms) => Kernel::And(
+            terms
+                .iter()
+                .map(|t| compile(t, tables))
+                .collect::<Option<_>>()?,
+        ),
+        BExpr::Or(terms) => Kernel::Or(
+            terms
+                .iter()
+                .map(|t| compile(t, tables))
+                .collect::<Option<_>>()?,
+        ),
+        BExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let BExpr::Col { rel, col } = &**expr else {
+                return None;
+            };
+            if col_ty(*rel, *col)? != ColType::Str {
+                return None;
+            }
+            Kernel::Like {
+                rel: *rel,
+                col: *col,
+                pattern: pattern.clone(),
+                negated: *negated,
+            }
+        }
+        BExpr::Cmp { op, left, right } => match (&**left, &**right) {
+            (BExpr::Lit(l), BExpr::Lit(r)) => {
+                Kernel::Const(l.compare(r).is_some_and(|ord| op.eval(ord)))
+            }
+            (BExpr::Col { rel, col }, BExpr::Lit(lit)) => {
+                compile_col_lit(*rel, *col, *op, lit, col_ty(*rel, *col)?)?
+            }
+            (BExpr::Lit(lit), BExpr::Col { rel, col }) => {
+                // Flip `lit op col` into `col op' lit`.
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => *other,
+                };
+                compile_col_lit(*rel, *col, flipped, lit, col_ty(*rel, *col)?)?
+            }
+            (BExpr::Col { rel: lr, col: lc }, BExpr::Col { rel: rr, col: rc }) => {
+                let (lt, rt) = (col_ty(*lr, *lc)?, col_ty(*rr, *rc)?);
+                let numeric =
+                    |t: ColType| matches!(t, ColType::Int | ColType::Float | ColType::Bool);
+                let mode = if numeric(lt) && numeric(rt) {
+                    CmpMode::Num
+                } else if lt == ColType::Str && rt == ColType::Str {
+                    CmpMode::Str
+                } else {
+                    CmpMode::Never
+                };
+                Kernel::CmpColCol {
+                    left: (*lr, *lc),
+                    right: (*rr, *rc),
+                    op: *op,
+                    mode,
+                }
+            }
+            _ => return None,
+        },
+        // Arithmetic and predict() take the scalar fallback.
+        _ => return None,
+    })
+}
+
+fn compile_col_lit(rel: usize, col: usize, op: CmpOp, lit: &Value, ty: ColType) -> Option<Kernel> {
+    let numeric_col = matches!(ty, ColType::Int | ColType::Float | ColType::Bool);
+    Some(match lit {
+        // NULL compares with nothing.
+        Value::Null => Kernel::Const(false),
+        Value::Str(s) if ty == ColType::Str => Kernel::CmpStrLit {
+            rel,
+            col,
+            op,
+            lit: s.clone(),
+        },
+        Value::Int(_) | Value::Float(_) | Value::Bool(_) if numeric_col => {
+            let lit = lit.as_f64().expect("numeric literal");
+            Kernel::CmpNumLit { rel, col, op, lit }
+        }
+        // Mixed string/numeric: incomparable, always false.
+        _ => Kernel::Const(false),
+    })
+}
+
+/// `!=` with `Value::compare` semantics: incomparable (NaN) operands
+/// fail — deliberately NOT `a != b`, which is true for NaN.
+#[allow(clippy::double_comparisons)]
+#[inline]
+fn cmp_ne(a: f64, b: f64) -> bool {
+    a < b || a > b
+}
+
+/// f64 comparison with `Value::compare` semantics: NaN (incomparable)
+/// fails every operator, `!=` included.
+#[inline]
+fn cmp_f64(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => cmp_ne(a, b),
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Numeric view of a non-null column (kernels only compile over these;
+/// the typed hash join reuses it to canonicalize key columns to f64).
+pub(crate) enum NumCol<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+    B(&'a [bool]),
+}
+
+impl NumCol<'_> {
+    pub(crate) fn of<'a>(table: &'a Table, col: usize) -> Option<NumCol<'a>> {
+        let c = table.column(col);
+        c.as_i64s()
+            .map(NumCol::I)
+            .or_else(|| c.as_f64s().map(NumCol::F))
+            .or_else(|| c.as_bools().map(NumCol::B))
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize) -> f64 {
+        match self {
+            NumCol::I(v) => v[row] as f64,
+            NumCol::F(v) => v[row],
+            NumCol::B(v) => v[row] as u8 as f64,
+        }
+    }
+}
+
+impl Kernel {
+    /// Evaluate the kernel over a batch, writing one mask entry per
+    /// position in `rows`.
+    pub fn eval<R: RowLookup>(&self, tables: &[&Table], rows: &R, out: &mut Vec<bool>) {
+        let n = rows.len();
+        out.clear();
+        out.resize(n, false);
+        match self {
+            Kernel::Const(b) => out.iter_mut().for_each(|m| *m = *b),
+            Kernel::CmpNumLit { rel, col, op, lit } => {
+                let vals = NumCol::of(tables[*rel], *col).expect("numeric column");
+                let (op, lit) = (*op, *lit);
+                // One operator dispatch per batch, then a tight loop.
+                macro_rules! run {
+                    ($cmp:expr) => {
+                        for (i, m) in out.iter_mut().enumerate() {
+                            let a = vals.get(rows.row(*rel, i) as usize);
+                            *m = $cmp(a, lit);
+                        }
+                    };
+                }
+                match op {
+                    CmpOp::Eq => run!(|a, b| a == b),
+                    CmpOp::Ne => run!(cmp_ne),
+                    CmpOp::Lt => run!(|a, b| a < b),
+                    CmpOp::Le => run!(|a, b| a <= b),
+                    CmpOp::Gt => run!(|a, b| a > b),
+                    CmpOp::Ge => run!(|a, b| a >= b),
+                }
+            }
+            Kernel::CmpStrLit { rel, col, op, lit } => {
+                let vals = tables[*rel].column(*col).as_strs().expect("string column");
+                for (i, m) in out.iter_mut().enumerate() {
+                    let a = &vals[rows.row(*rel, i) as usize];
+                    *m = op.eval(a.as_str().cmp(lit.as_str()));
+                }
+            }
+            Kernel::CmpColCol {
+                left,
+                right,
+                op,
+                mode,
+            } => match mode {
+                CmpMode::Never => {}
+                CmpMode::Num => {
+                    let l = NumCol::of(tables[left.0], left.1).expect("numeric column");
+                    let r = NumCol::of(tables[right.0], right.1).expect("numeric column");
+                    for (i, m) in out.iter_mut().enumerate() {
+                        let a = l.get(rows.row(left.0, i) as usize);
+                        let b = r.get(rows.row(right.0, i) as usize);
+                        *m = cmp_f64(*op, a, b);
+                    }
+                }
+                CmpMode::Str => {
+                    let l = tables[left.0].column(left.1).as_strs().expect("str column");
+                    let r = tables[right.0]
+                        .column(right.1)
+                        .as_strs()
+                        .expect("str column");
+                    for (i, m) in out.iter_mut().enumerate() {
+                        let a = &l[rows.row(left.0, i) as usize];
+                        let b = &r[rows.row(right.0, i) as usize];
+                        *m = op.eval(a.cmp(b));
+                    }
+                }
+            },
+            Kernel::Like {
+                rel,
+                col,
+                pattern,
+                negated,
+            } => {
+                let vals = tables[*rel].column(*col).as_strs().expect("string column");
+                for (i, m) in out.iter_mut().enumerate() {
+                    let a = &vals[rows.row(*rel, i) as usize];
+                    *m = like_match(a, pattern) != *negated;
+                }
+            }
+            Kernel::Truthy { rel, col } => match tables[*rel].column(*col) {
+                crate::table::Column::Bool(v) => {
+                    for (i, m) in out.iter_mut().enumerate() {
+                        *m = v[rows.row(*rel, i) as usize];
+                    }
+                }
+                crate::table::Column::Int(v) => {
+                    for (i, m) in out.iter_mut().enumerate() {
+                        *m = v[rows.row(*rel, i) as usize] != 0;
+                    }
+                }
+                crate::table::Column::Float(v) => {
+                    for (i, m) in out.iter_mut().enumerate() {
+                        *m = v[rows.row(*rel, i) as usize] != 0.0;
+                    }
+                }
+                // Strings are never truthy.
+                crate::table::Column::Str(_) => {}
+            },
+            Kernel::Not(inner) => {
+                inner.eval(tables, rows, out);
+                out.iter_mut().for_each(|m| *m = !*m);
+            }
+            Kernel::And(terms) => {
+                out.iter_mut().for_each(|m| *m = true);
+                let mut tmp = Vec::new();
+                for t in terms {
+                    t.eval(tables, rows, &mut tmp);
+                    for (m, &v) in out.iter_mut().zip(&tmp) {
+                        *m &= v;
+                    }
+                }
+            }
+            Kernel::Or(terms) => {
+                let mut tmp = Vec::new();
+                for t in terms {
+                    t.eval(tables, rows, &mut tmp);
+                    for (m, &v) in out.iter_mut().zip(&tmp) {
+                        *m |= v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Short description for `EXPLAIN` output, e.g. `cmp(int,lit)`.
+    pub fn describe(&self) -> String {
+        match self {
+            Kernel::Const(b) => format!("const({b})"),
+            Kernel::CmpNumLit { .. } => "cmp(num,lit)".into(),
+            Kernel::CmpStrLit { .. } => "cmp(str,lit)".into(),
+            Kernel::CmpColCol { mode, .. } => match mode {
+                CmpMode::Num => "cmp(num,num)".into(),
+                CmpMode::Str => "cmp(str,str)".into(),
+                CmpMode::Never => "const(false)".into(),
+            },
+            Kernel::Like { .. } => "like(str)".into(),
+            Kernel::Truthy { .. } => "truthy".into(),
+            Kernel::Not(inner) => format!("not({})", inner.describe()),
+            Kernel::And(terms) => {
+                let parts: Vec<String> = terms.iter().map(Kernel::describe).collect();
+                format!("and({})", parts.join(","))
+            }
+            Kernel::Or(terms) => {
+                let parts: Vec<String> = terms.iter().map(Kernel::describe).collect();
+                format!("or({})", parts.join(","))
+            }
+        }
+    }
+}
+
+/// Describe the kernel a predicate compiles to, or `None` when it takes
+/// the row-at-a-time fallback. Used by `EXPLAIN` to annotate scans.
+pub fn describe(e: &BExpr, tables: &[&Table]) -> Option<String> {
+    compile(e, tables).map(|k| k.describe())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, Schema};
+
+    fn table() -> Table {
+        Table::from_columns(
+            Schema::new(&[
+                ("x", ColType::Int),
+                ("f", ColType::Float),
+                ("s", ColType::Str),
+                ("b", ColType::Bool),
+            ]),
+            vec![
+                Column::Int(vec![1, 2, 3, 4]),
+                Column::Float(vec![0.5, f64::NAN, 2.5, -1.0]),
+                Column::Str(vec!["ab".into(), "cd".into(), "ae".into(), "".into()]),
+                Column::Bool(vec![true, false, true, false]),
+            ],
+        )
+    }
+
+    fn run(e: &BExpr, t: &Table) -> Vec<bool> {
+        let tables = [t];
+        let k = compile(e, &tables).expect("compiles");
+        let sel: Vec<u32> = (0..t.n_rows() as u32).collect();
+        let mut mask = Vec::new();
+        k.eval(&tables, &SelLookup(&sel), &mut mask);
+        mask
+    }
+
+    fn col(c: usize) -> BExpr {
+        BExpr::Col { rel: 0, col: c }
+    }
+
+    fn cmp(op: CmpOp, l: BExpr, r: BExpr) -> BExpr {
+        BExpr::Cmp {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let t = table();
+        let e = cmp(CmpOp::Gt, col(0), BExpr::Lit(Value::Int(2)));
+        assert_eq!(run(&e, &t), vec![false, false, true, true]);
+        // Flipped literal side.
+        let e = cmp(CmpOp::Gt, BExpr::Lit(Value::Int(2)), col(0));
+        assert_eq!(run(&e, &t), vec![true, false, false, false]);
+        // NaN fails every comparison, != included (Value::compare parity).
+        let e = cmp(CmpOp::Ne, col(1), BExpr::Lit(Value::Float(0.5)));
+        assert_eq!(run(&e, &t), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn string_and_like_kernels() {
+        let t = table();
+        let e = cmp(CmpOp::Ge, col(2), BExpr::Lit(Value::Str("ae".into())));
+        assert_eq!(run(&e, &t), vec![false, true, true, false]);
+        let e = BExpr::Like {
+            expr: Box::new(col(2)),
+            pattern: "a%".into(),
+            negated: false,
+        };
+        assert_eq!(run(&e, &t), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn boolean_combinators_and_truthiness() {
+        let t = table();
+        let e = BExpr::And(vec![
+            col(3),
+            cmp(CmpOp::Lt, col(0), BExpr::Lit(Value::Int(3))),
+        ]);
+        assert_eq!(run(&e, &t), vec![true, false, false, false]);
+        let e = BExpr::Or(vec![col(3), BExpr::Not(Box::new(col(3)))]);
+        assert_eq!(run(&e, &t), vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn incomparable_types_compile_to_false() {
+        let t = table();
+        let e = cmp(CmpOp::Eq, col(2), BExpr::Lit(Value::Int(1)));
+        assert_eq!(run(&e, &t), vec![false; 4]);
+        let e = cmp(CmpOp::Eq, col(0), BExpr::Lit(Value::Null));
+        assert_eq!(run(&e, &t), vec![false; 4]);
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        let t = table();
+        let tables = [&t];
+        // Arithmetic needs the scalar fallback.
+        let e = cmp(
+            CmpOp::Eq,
+            BExpr::Arith {
+                op: crate::ast::ArithOp::Add,
+                left: Box::new(col(0)),
+                right: Box::new(BExpr::Lit(Value::Int(1))),
+            },
+            BExpr::Lit(Value::Int(3)),
+        );
+        assert!(compile(&e, &tables).is_none());
+        // predict() never compiles.
+        assert!(compile(&BExpr::Predict { rel: 0 }, &tables).is_none());
+    }
+
+    #[test]
+    fn nullable_columns_fall_back() {
+        let mut t = table();
+        t.push_row(
+            vec![
+                Value::Null,
+                Value::Float(0.0),
+                Value::Str("x".into()),
+                Value::Bool(false),
+            ],
+            None,
+        );
+        let e = cmp(CmpOp::Gt, col(0), BExpr::Lit(Value::Int(2)));
+        assert!(compile(&e, &[&t]).is_none());
+    }
+
+    #[test]
+    fn describe_names_kernels() {
+        let t = table();
+        let e = BExpr::And(vec![
+            cmp(CmpOp::Gt, col(0), BExpr::Lit(Value::Int(2))),
+            BExpr::Like {
+                expr: Box::new(col(2)),
+                pattern: "a%".into(),
+                negated: true,
+            },
+        ]);
+        assert_eq!(describe(&e, &[&t]).unwrap(), "and(cmp(num,lit),like(str))");
+    }
+}

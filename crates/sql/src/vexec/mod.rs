@@ -1,0 +1,259 @@
+//! `vexec` — the vectorized columnar execution engine.
+//!
+//! The default engine behind [`execute`](crate::exec::execute)
+//! ([`Engine::Vectorized`](crate::exec::Engine)). Instead of driving one
+//! tuple at a time through scan → join → filter, it works on columnar
+//! batches end to end:
+//!
+//! - **[`scan`]** walks each base table in [`batch::BATCH_SIZE`] windows,
+//!   evaluating pushed-down filters with compiled predicate
+//!   [`kernels`] over zero-copy typed column slices and compacting a
+//!   selection vector ([`batch::SelVec`]).
+//! - **[`join`]** hash-joins on typed key columns (canonical-`f64`-bit
+//!   and `&str` maps for single `Col = Col` keys; canonical key vectors
+//!   otherwise — key equality always matches `=` semantics), emitting
+//!   struct-of-arrays row sets ([`batch::RowSet`]) — no per-tuple
+//!   row-vector allocations.
+//! - **Residual conjuncts** vectorize while they stay model-free; from
+//!   the first `predict()` conjunct on, tuples flow through the shared
+//!   evaluator so prediction variables and provenance formulas are
+//!   created in exactly the tuple engine's order.
+//! - **[`agg`]** accumulates ungrouped model-free aggregates straight
+//!   off the column slices and bridges everything else into the shared
+//!   finalizer.
+//!
+//! **Provenance invariant.** Both engines share one evaluation core
+//! ([`eval`](crate::eval)) and enumerate tuples in the same order, so
+//! debug-mode output is *bit-identical*: same rows, same variable ids,
+//! same [`BoolProv`](crate::prov::BoolProv) polynomials. The randomized
+//! differential suite (`tests/vexec_differential.rs`) holds both engines
+//! to that.
+
+pub mod batch;
+pub mod kernels;
+
+mod agg;
+pub(crate) mod join;
+mod scan;
+
+use crate::binder::{BExpr, QueryKind};
+use crate::catalog::Database;
+use crate::eval::{self, EvalCtx, Sym};
+use crate::exec::QueryOutput;
+use crate::plan::QueryPlan;
+use crate::prov::BoolProv;
+use crate::table::{Column, Table};
+use crate::QueryError;
+use batch::RowSet;
+use rain_model::Classifier;
+
+/// Execute a plan on the vectorized engine.
+pub(crate) fn run(
+    db: &Database,
+    model: &dyn Classifier,
+    query: &QueryPlan,
+    debug: bool,
+) -> Result<QueryOutput, QueryError> {
+    let mut ctx = EvalCtx::new(db, model, query, debug);
+    let rows = join_pipeline(&mut ctx)?;
+    match &query.kind {
+        QueryKind::Select { items } => project_rowset(&mut ctx, rows, items),
+        QueryKind::Aggregate { keys, aggs } => agg::aggregate_rowset(&mut ctx, rows, keys, aggs),
+    }
+}
+
+/// Build the joined candidate set with pushdown, mirroring the tuple
+/// engine's schedule (scan order, equi-key selection, conjunct order).
+fn join_pipeline(ctx: &mut EvalCtx) -> Result<RowSet, QueryError> {
+    let query = ctx.query;
+    let debug = ctx.debug;
+    let n_rels = query.rels.len();
+    let mut applied = vec![false; query.conjuncts.len()];
+    let footprints = eval::conjunct_footprints(query);
+
+    let mut rows = RowSet::seed(scan::scan(ctx, 0)?, debug);
+    apply_conjuncts(ctx, &mut rows, &mut applied, &footprints, 1)?;
+
+    for rel in 1..n_rels {
+        let equi = eval::equi_keys(query, &applied, &footprints, rel);
+        let right_rows = scan::scan(ctx, rel)?;
+        rows = if equi.is_empty() {
+            join::cross_join(rows, &right_rows, debug)
+        } else {
+            for (_, _, ci) in &equi {
+                applied[*ci] = true;
+            }
+            let keys: Vec<(BExpr, BExpr)> = equi.into_iter().map(|(le, re, _)| (le, re)).collect();
+            join::hash_join(ctx, rows, &right_rows, &keys, rel)?
+        };
+        apply_conjuncts(ctx, &mut rows, &mut applied, &footprints, rel + 1)?;
+    }
+    Ok(rows)
+}
+
+/// Apply every not-yet-applied conjunct whose footprint fits in the first
+/// `in_scope` relations. Model-free conjuncts preceding the first model
+/// conjunct filter vectorized (kernel masks over the row set); the rest
+/// run per tuple through the shared evaluator, preserving the tuple
+/// engine's variable-creation and provenance order exactly.
+fn apply_conjuncts(
+    ctx: &mut EvalCtx,
+    rows: &mut RowSet,
+    applied: &mut [bool],
+    footprints: &[std::collections::BTreeSet<usize>],
+    in_scope: usize,
+) -> Result<(), QueryError> {
+    let query = ctx.query;
+    let todo: Vec<usize> = (0..applied.len())
+        .filter(|&ci| !applied[ci] && footprints[ci].iter().all(|&r| r < in_scope))
+        .collect();
+    if todo.is_empty() {
+        return Ok(());
+    }
+    for &ci in &todo {
+        applied[ci] = true;
+    }
+
+    // The vectorizable prefix: model-free conjuncts up to the first one
+    // that can create prediction variables. (A model conjunct must see
+    // every tuple that survived the conjuncts *before* it — and none
+    // that a *later* conjunct would have pruned first.)
+    let split = todo
+        .iter()
+        .position(|&ci| query.conjuncts[ci].contains_predict())
+        .unwrap_or(todo.len());
+    let (prefix, suffix) = todo.split_at(split);
+
+    let tables: Vec<&Table> = query
+        .rels
+        .iter()
+        .map(|r| ctx.db.table_by_id(r.id))
+        .collect();
+    let mut mask: Vec<bool> = Vec::new();
+    for &ci in prefix {
+        if rows.is_empty() {
+            break;
+        }
+        let c = &query.conjuncts[ci];
+        match kernels::compile(c, &tables) {
+            Some(kernel) => {
+                kernel.eval(&tables, &*rows, &mut mask);
+                rows.retain_mask(&mask);
+            }
+            None => filter_scalar(ctx, rows, c)?,
+        }
+    }
+
+    if suffix.is_empty() || rows.is_empty() {
+        return Ok(());
+    }
+    // Per-tuple tail: identical control flow to the tuple engine.
+    let n_rels = rows.n_rels();
+    let mut buf = vec![0u32; n_rels];
+    let mut write = 0;
+    let n = rows.len();
+    for i in 0..n {
+        rows.gather(i, &mut buf);
+        let mut prov = rows.take_prov(i);
+        let mut keep = true;
+        for &ci in suffix {
+            match ctx.eval_pred(&query.conjuncts[ci], &buf)? {
+                Sym::Const(false) => {
+                    keep = false;
+                    break;
+                }
+                Sym::Const(true) => {}
+                Sym::Prov(f) => {
+                    if ctx.debug {
+                        prov = BoolProv::and(vec![prov, f]);
+                    } else if !f.eval_discrete(ctx.reg.preds()) {
+                        keep = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if keep {
+            rows.move_tuple(write, i);
+            rows.set_prov(write, prov);
+            write += 1;
+        }
+    }
+    rows.truncate(write);
+    Ok(())
+}
+
+/// Scalar fallback for a model-free conjunct with no kernel: evaluate per
+/// tuple through the shared evaluator and compact in place.
+fn filter_scalar(ctx: &mut EvalCtx, rows: &mut RowSet, c: &BExpr) -> Result<(), QueryError> {
+    let n_rels = rows.n_rels();
+    let mut buf = vec![0u32; n_rels];
+    let mut write = 0;
+    let n = rows.len();
+    for i in 0..n {
+        rows.gather(i, &mut buf);
+        let keep = match ctx.eval_pred(c, &buf)? {
+            Sym::Const(b) => b,
+            // Defensive: model-free conjuncts always fold to constants.
+            Sym::Prov(f) => f.eval_discrete(ctx.reg.preds()),
+        };
+        if keep {
+            rows.move_tuple(write, i);
+            write += 1;
+        }
+    }
+    rows.truncate(write);
+    Ok(())
+}
+
+/// Project a row set. Plain-column select lists in normal mode gather
+/// output columns directly from the typed slices; everything else (debug
+/// mode, expressions, `predict()` outputs) goes through the shared
+/// finalizer.
+fn project_rowset(
+    ctx: &mut EvalCtx,
+    rows: RowSet,
+    items: &[(BExpr, String)],
+) -> Result<QueryOutput, QueryError> {
+    let fast = !ctx.debug
+        && items.iter().all(|(e, _)| {
+            let BExpr::Col { rel, col } = e else {
+                return false;
+            };
+            ctx.table_of(*rel).null_mask(*col).is_none()
+        });
+    if !fast {
+        return eval::project(ctx, rows, items);
+    }
+
+    let mut schema = crate::table::Schema::default();
+    for (e, name) in items {
+        eval::push_unique(&mut schema, name, ctx.infer_type(e));
+    }
+    let columns: Vec<Column> = items
+        .iter()
+        .map(|(e, _)| {
+            let BExpr::Col { rel, col } = e else {
+                unreachable!("fast path is column-only")
+            };
+            gather_column(ctx.table_of(*rel).column(*col), rows.rel(*rel))
+        })
+        .collect();
+    Ok(QueryOutput {
+        table: Table::from_columns(schema, columns),
+        row_prov: Vec::new(),
+        agg_cells: Vec::new(),
+        n_key_cols: 0,
+        predvars: std::mem::take(&mut ctx.reg),
+    })
+}
+
+/// Gather `src[rows[i]]` into a fresh output column.
+fn gather_column(src: &Column, rows: &[u32]) -> Column {
+    match src {
+        Column::Bool(v) => Column::Bool(rows.iter().map(|&r| v[r as usize]).collect()),
+        Column::Int(v) => Column::Int(rows.iter().map(|&r| v[r as usize]).collect()),
+        Column::Float(v) => Column::Float(rows.iter().map(|&r| v[r as usize]).collect()),
+        Column::Str(v) => Column::Str(rows.iter().map(|&r| v[r as usize].clone()).collect()),
+    }
+}

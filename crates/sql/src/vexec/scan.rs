@@ -1,0 +1,84 @@
+//! Vectorized table scans: pushed-down filters evaluated batch by batch.
+//!
+//! The scan walks the base table in [`BATCH_SIZE`] windows. Each pushed
+//! filter is compiled once into a [`Kernel`]; per batch, each kernel
+//! writes a mask over the live selection and [`SelVec::retain_mask`]
+//! compacts it. Filters that do not compile (arithmetic shapes, nullable
+//! columns) drop to the shared row-at-a-time evaluator for the surviving
+//! rows — semantics are always those of [`EvalCtx::eval_pred`].
+//!
+//! Scan filters are model-free by construction (the optimizer never
+//! pushes a `predict()` atom), so they prune identically in normal and
+//! debug mode and provenance is unaffected.
+
+use super::batch::{Batch, BATCH_SIZE};
+use super::kernels::{self, Kernel, SelLookup};
+use crate::eval::{EvalCtx, Sym};
+use crate::table::Table;
+use crate::QueryError;
+
+/// Base-row ids of `rel` surviving its pushed-down scan filters, in
+/// ascending order (the same survivors, in the same order, as the tuple
+/// engine's scan).
+pub(crate) fn scan(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
+    let table = ctx.table_of(rel);
+    let n = table.n_rows();
+    let query = ctx.query;
+    let filters = &query.scan_filters[rel];
+    if filters.is_empty() {
+        return Ok((0..n as u32).collect());
+    }
+
+    let tables: Vec<&Table> = query
+        .rels
+        .iter()
+        .map(|r| ctx.db.table_by_id(r.id))
+        .collect();
+    let compiled: Vec<Option<Kernel>> = filters
+        .iter()
+        .map(|f| kernels::compile(f, &tables))
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    let mut mask: Vec<bool> = Vec::with_capacity(BATCH_SIZE);
+    let mut rows_buf = vec![0u32; rel + 1];
+    for start in (0..n).step_by(BATCH_SIZE) {
+        let end = (start + BATCH_SIZE).min(n);
+        let mut batch = Batch::window(table, start as u32, end as u32);
+        for (f, k) in filters.iter().zip(&compiled) {
+            if batch.sel.is_empty() {
+                break;
+            }
+            match k {
+                Some(kernel) => {
+                    kernel.eval(&tables, &SelLookup(batch.sel.ids()), &mut mask);
+                    batch.sel.retain_mask(&mask);
+                }
+                None => {
+                    // Row-at-a-time fallback with the shared evaluator
+                    // (including its defensive symbolic branch).
+                    let mut err = None;
+                    batch.sel.retain_rows(|r| {
+                        if err.is_some() {
+                            return false;
+                        }
+                        rows_buf[rel] = r;
+                        match ctx.eval_pred(f, &rows_buf) {
+                            Ok(Sym::Const(b)) => b,
+                            Ok(Sym::Prov(p)) => p.eval_discrete(ctx.reg.preds()),
+                            Err(e) => {
+                                err = Some(e);
+                                false
+                            }
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(batch.sel.ids());
+    }
+    Ok(out)
+}

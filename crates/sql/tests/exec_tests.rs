@@ -87,7 +87,7 @@ fn q1_count_with_model_filter() {
         ExecOptions::default(),
     )
     .unwrap();
-    assert_eq!(out.scalar(), Some(Value::Int(2)));
+    assert_eq!(out.scalar().value(), Some(Value::Int(2)));
 }
 
 #[test]
@@ -98,10 +98,10 @@ fn q2_like_plus_model_filter() {
         &db,
         &model,
         "SELECT COUNT(*) FROM emails WHERE predict(*) = 1 AND text LIKE '%http%'",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
-    assert_eq!(out.scalar(), Some(Value::Int(2)));
+    assert_eq!(out.scalar().value(), Some(Value::Int(2)));
     // Rows 1,3,4 fail predict; rows 1, 3 also mention no http. Candidate
     // terms: only rows passing the concrete LIKE filter (0 and 2).
     let cell = &out.agg_cells[0][0];
@@ -120,8 +120,8 @@ fn debug_and_normal_results_agree() {
         "SELECT COUNT(*) FROM emails WHERE predict(*) = 0 AND text LIKE '%deal%'",
         "SELECT id FROM emails WHERE predict(*) = 1",
     ] {
-        let normal = run_query(&db, &model, sql, ExecOptions { debug: false }).unwrap();
-        let debug = run_query(&db, &model, sql, ExecOptions { debug: true }).unwrap();
+        let normal = run_query(&db, &model, sql, ExecOptions::with_debug(false)).unwrap();
+        let debug = run_query(&db, &model, sql, ExecOptions::debug()).unwrap();
         assert_eq!(normal.table.to_tsv(), debug.table.to_tsv(), "query {sql}");
     }
 }
@@ -134,7 +134,7 @@ fn provenance_discrete_eval_reproduces_result() {
         &db,
         &model,
         "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     let cell = &out.agg_cells[0][0];
@@ -155,7 +155,7 @@ fn q3_join_on_predictions() {
         &db,
         &model,
         "SELECT * FROM left l, right r WHERE predict(l) = predict(r)",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // left digits [1,1,2] × right digits [7,1,9]: matches are the two 1s
@@ -177,10 +177,10 @@ fn q4_count_over_prediction_join() {
         &db,
         &model,
         "SELECT COUNT(*) FROM left l, right r WHERE predict(l) = predict(r)",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
-    assert_eq!(out.scalar(), Some(Value::Int(2)));
+    assert_eq!(out.scalar().value(), Some(Value::Int(2)));
     // Debug mode keeps ALL 9 candidate pairs symbolically: fixing the
     // complaint may require flipping pairs into the join.
     match &out.agg_cells[0][0] {
@@ -202,7 +202,7 @@ fn q5_group_by_predict() {
         &db,
         &model,
         "SELECT COUNT(*) FROM left GROUP BY predict(*)",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // left digits [1,1,2] → group 1 has 2 members, group 2 has 1.
@@ -237,7 +237,7 @@ fn q6_avg_predict_group_by_column() {
         &db,
         &model,
         "SELECT AVG(predict(*)) AS income FROM adult GROUP BY gender",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // groups sorted: f → (1+1)/2 = 1.0 ; m → (1+0)/2 = 0.5.
@@ -272,12 +272,12 @@ fn concrete_hash_join_with_model_filter() {
         &model,
         "SELECT COUNT(*) FROM users u JOIN logins l ON u.id = l.id \
          WHERE l.active_last_month AND predict(u) = 1",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // user 1: active + churn ✓; user 2: inactive ✗ (pruned concretely);
     // user 3: active but not churn (kept symbolically).
-    assert_eq!(out.scalar(), Some(Value::Int(1)));
+    assert_eq!(out.scalar().value(), Some(Value::Int(1)));
     match &out.agg_cells[0][0] {
         rain_sql::CellProv::Sum(s) => assert_eq!(s.terms.len(), 2),
         other => panic!("unexpected {other:?}"),
@@ -296,7 +296,7 @@ fn predict_inequality_expands_to_class_set() {
     )
     .unwrap();
     // right digits [7,1,9] → two rows with class ≥ 7.
-    assert_eq!(out.scalar(), Some(Value::Int(2)));
+    assert_eq!(out.scalar().value(), Some(Value::Int(2)));
 }
 
 #[test]
@@ -331,10 +331,10 @@ fn empty_global_aggregate_has_one_row() {
         &db,
         &model,
         "SELECT COUNT(*) FROM emails WHERE id > 100",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
-    assert_eq!(out.scalar(), Some(Value::Int(0)));
+    assert_eq!(out.scalar().value(), Some(Value::Int(0)));
 }
 
 #[test]
@@ -347,7 +347,7 @@ fn relaxed_count_gradient_points_toward_complaint() {
         &db,
         &model,
         "SELECT COUNT(*) FROM emails WHERE predict(*) = 1",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     let probs = probs_of(&out.predvars, &db, &model);
@@ -398,17 +398,141 @@ fn duplicate_output_names_are_uniquified() {
 }
 
 #[test]
-fn null_select_output_is_a_typed_error() {
-    // Columns have no null representation; projecting NULL must surface a
-    // typed execution error, never a panic (reachable from plain SQL).
+fn null_select_output_uses_the_null_bitmap() {
+    // Projected NULLs (division by zero, NULL literals) are carried by
+    // the output table's per-column null bitmap instead of erroring.
     let db = enron_db();
     let model = step_model();
     for sql in ["SELECT id / 0 FROM emails", "SELECT null FROM emails"] {
-        let err = run_query(&db, &model, sql, ExecOptions::default()).unwrap_err();
-        assert!(
-            matches!(&err, rain_sql::QueryError::Exec(m) if m.contains("NULL")),
-            "{sql}: unexpected {err:?}"
-        );
+        let out = run_query(&db, &model, sql, ExecOptions::default())
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert_eq!(out.table.n_rows(), 5, "{sql}");
+        assert!(out.table.is_null(0, 0), "{sql}");
+        assert_eq!(out.table.value(0, 0), Value::Null, "{sql}");
+    }
+}
+
+#[test]
+fn scalar_distinguishes_null_norows_and_nonscalar() {
+    use rain_sql::ScalarResult;
+    let db = enron_db();
+    let model = step_model();
+    // A single non-NULL value.
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), ScalarResult::Value(Value::Int(5)));
+    assert_eq!(out.scalar().unwrap(), Value::Int(5));
+    // One row whose only cell is NULL.
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT id / 0 FROM emails WHERE id = 3",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), ScalarResult::Null);
+    assert_eq!(out.scalar().value(), None);
+    // The right one-column shape but zero rows (a filter matching no row).
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT id FROM emails WHERE id > 100",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), ScalarResult::NoRows);
+    // A grouped aggregate whose groups all vanish also has no rows.
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*) FROM emails WHERE id > 100 GROUP BY text",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), ScalarResult::NoRows);
+    // Multiple rows or multiple value columns are not scalar.
+    let out = run_query(&db, &model, "SELECT id FROM emails", ExecOptions::default()).unwrap();
+    assert_eq!(out.scalar(), ScalarResult::NonScalar);
+    let out = run_query(
+        &db,
+        &model,
+        "SELECT COUNT(*), SUM(id) FROM emails",
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.scalar(), ScalarResult::NonScalar);
+}
+
+#[test]
+fn hash_join_keys_match_equality_semantics() {
+    // Hash-join key equality must agree with the `=` predicate on both
+    // engines: NULL and NaN keys join nothing, `-0.0` joins `0`, and
+    // numeric keys of different column types (Float vs Int) join exactly
+    // when `Value::compare` calls them equal.
+    use rain_sql::{bind, execute, optimize, parse_select, Engine, QueryPlan};
+    let mut left = Table::empty(Schema::new(&[("x", ColType::Float)]));
+    for v in [
+        Value::Float(3.0),
+        Value::Null,
+        Value::Float(f64::NAN),
+        Value::Float(-0.0),
+    ] {
+        left.push_row(vec![v], None);
+    }
+    let mut right = Table::empty(Schema::new(&[("k", ColType::Int)]));
+    for v in [Value::Int(3), Value::Null, Value::Int(0)] {
+        right.push_row(vec![v], None);
+    }
+    let mut db = Database::new();
+    db.register("l", left);
+    db.register("r", right);
+    let model = step_model();
+
+    // The equi form takes the hash join; the OR-wrapped form in a naive
+    // plan is not recognized as an equi key, so it runs as a cross join
+    // with a per-tuple `=` — the oracle for the join's semantics.
+    let equi = parse_select("SELECT COUNT(*) FROM l a, r b WHERE a.x = b.k").unwrap();
+    let cross = parse_select("SELECT COUNT(*) FROM l a, r b WHERE (a.x = b.k OR 2 > 3)").unwrap();
+    let oracle = execute(
+        &db,
+        &model,
+        &QueryPlan::naive(bind(&cross, &db).unwrap(), &db),
+        ExecOptions::default().on(Engine::Tuple),
+    )
+    .unwrap();
+    assert_eq!(oracle.scalar().value(), Some(Value::Int(2))); // 3.0=3 and -0.0=0
+    for engine in [Engine::Tuple, Engine::Vectorized] {
+        let plan = optimize(bind(&equi, &db).unwrap(), &db);
+        let out = execute(&db, &model, &plan, ExecOptions::default().on(engine)).unwrap();
+        assert_eq!(out.scalar(), oracle.scalar(), "{engine:?}");
+    }
+
+    // Non-nullable Float-vs-Int key columns take vexec's typed numeric
+    // path and must still match `=` semantics.
+    let mut db2 = Database::new();
+    db2.register(
+        "l",
+        Table::from_columns(
+            Schema::new(&[("x", ColType::Float)]),
+            vec![Column::Float(vec![3.0, 2.5])],
+        ),
+    );
+    db2.register(
+        "r",
+        Table::from_columns(
+            Schema::new(&[("k", ColType::Int)]),
+            vec![Column::Int(vec![3, 2])],
+        ),
+    );
+    for engine in [Engine::Tuple, Engine::Vectorized] {
+        let plan = optimize(bind(&equi, &db2).unwrap(), &db2);
+        let out = execute(&db2, &model, &plan, ExecOptions::default().on(engine)).unwrap();
+        assert_eq!(out.scalar().value(), Some(Value::Int(1)), "{engine:?}");
     }
 }
 

@@ -447,7 +447,7 @@ fn optimizer_preserves_results_and_provenance() {
         }
 
         for debug in [false, true] {
-            let opts = ExecOptions { debug };
+            let opts = ExecOptions::with_debug(debug);
             let out_n = execute(&db, &model, &naive_plan, opts)
                 .unwrap_or_else(|e| panic!("seed {seed} `{sql}` naive: {e}"));
             let out_o = execute(&db, &model, &opt_plan, opts)
@@ -486,11 +486,11 @@ fn individual_rules_preserve_results() {
         let stmt = parse_select(&sql).unwrap();
         let bound = bind(&stmt, &db).unwrap();
         let naive_plan = QueryPlan::naive(bound.clone(), &db);
-        let base = execute(&db, &model, &naive_plan, ExecOptions { debug: true })
+        let base = execute(&db, &model, &naive_plan, ExecOptions::debug())
             .unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
         for cfg in &configs {
             let plan = rain_sql::optimize_with(bound.clone(), &db, cfg);
-            let out = execute(&db, &model, &plan, ExecOptions { debug: true })
+            let out = execute(&db, &model, &plan, ExecOptions::debug())
                 .unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
             assert_equivalent(seed, &base, &out, &mut rng);
         }

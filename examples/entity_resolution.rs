@@ -37,7 +37,7 @@ fn main() {
         &db,
         &model,
         "SELECT id FROM pairs WHERE predict(*) = 1",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .expect("query");
     println!(

@@ -8,7 +8,7 @@
 use rain::linalg::Matrix;
 use rain::model::{Classifier, LogisticRegression};
 use rain::sql::table::{ColType, Column, Schema, Table};
-use rain::sql::{bind, execute, optimize, parse_select, Database, ExecOptions, QueryPlan};
+use rain::sql::{bind, execute, optimize, parse_select, Database, Engine, ExecOptions, QueryPlan};
 
 fn main() {
     // users(id, age) with churn features; logins(id, active).
@@ -45,10 +45,17 @@ fn main() {
     let plan = optimize(bound, &db);
     println!("optimized plan:\n{}", plan.explain(&db));
 
+    // The engine-annotated explain additionally shows the join strategy
+    // and which predicate kernels each pushed-down filter compiles to.
+    println!(
+        "optimized plan on the vectorized engine:\n{}",
+        plan.explain_engine(&db, Engine::Vectorized)
+    );
+
     // Execute the optimized plan with a churn model.
     let mut model = LogisticRegression::new(1, 0.0);
     model.set_params(&[50.0, 0.0]);
-    let out = execute(&db, &model, &plan, ExecOptions { debug: true }).expect("runs");
+    let out = execute(&db, &model, &plan, ExecOptions::debug()).expect("runs");
     println!("result:\n{}", out.table.to_tsv());
     println!("prediction variables captured: {}", out.predvars.len());
 

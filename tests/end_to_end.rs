@@ -85,7 +85,7 @@ fn join_delete_complaints_end_to_end() {
         0.01,
     );
     rain::model::train_lbfgs(&mut model, &train, &Default::default());
-    let out = run_query(&db, &model, sql, ExecOptions { debug: true }).unwrap();
+    let out = run_query(&db, &model, sql, ExecOptions::debug()).unwrap();
     let mut complaints = Vec::new();
     for prov in &out.row_prov {
         if let rain::sql::BoolProv::PredEq { left, right } = prov {
@@ -177,7 +177,7 @@ fn group_by_predict_query_runs_with_provenance() {
         &db,
         &model,
         "SELECT COUNT(*) FROM mnist GROUP BY predict(*)",
-        ExecOptions { debug: true },
+        ExecOptions::debug(),
     )
     .unwrap();
     // Groups = predicted classes present; counts sum to the table size.
