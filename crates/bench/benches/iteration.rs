@@ -1,14 +1,27 @@
 //! Figure 5 / Figure 12 microbenches: the cost of one train–rank–fix
 //! iteration, split by phase (train / encode / rank), for Loss, TwoStep,
-//! and Holistic on the DBLP workload.
+//! and Holistic on the DBLP workload — plus the incremental-vs-full
+//! re-execution comparison for the loop's encode phase.
+//!
+//! The incremental section pits a prepared skeleton's per-iteration
+//! `refresh` against a full debug-mode `execute` on the same plans (the
+//! paper's count complaint and a self-join with a model predicate),
+//! asserts the outputs are bit-identical before timing, and writes the
+//! speedups to `BENCH_iteration.json` (path overridable via
+//! `RAIN_BENCH_JSON`), which CI uploads as the loop's bench trajectory.
 
 use rain_bench::BenchGroup;
 use rain_core::prelude::*;
 use rain_core::rank::{rank, Method as M, RankContext};
 use rain_data::dblp::DblpConfig;
 use rain_data::flip_labels_where;
+use rain_data::tables::dataset_to_table;
 use rain_model::{train_lbfgs, LbfgsConfig, LogisticRegression};
-use rain_sql::{run_query, Database, ExecOptions};
+use rain_sql::table::Column;
+use rain_sql::{
+    bind, execute, optimize, parse_select, prepare, run_query, Database, Engine, ExecOptions,
+    QueryPlan,
+};
 
 struct Fixture {
     db: Database,
@@ -74,6 +87,120 @@ fn bench_iteration() {
     g.finish();
 }
 
+fn plan_for(sql: &str, db: &Database) -> QueryPlan {
+    let stmt = parse_select(sql).unwrap();
+    let bound = bind(&stmt, db).unwrap();
+    optimize(bound, db)
+}
+
+/// Incremental refresh vs full debug-mode re-execution, per iteration of
+/// the loop: the tentpole comparison, exported as `BENCH_iteration.json`.
+fn bench_incremental() {
+    let quick = rain_bench::is_quick();
+    let n_query = if quick { 400 } else { 2000 };
+    let w = DblpConfig {
+        n_train: 400,
+        n_query,
+        ..Default::default()
+    }
+    .generate(42);
+    let mut model = LogisticRegression::new(17, 0.01);
+    train_lbfgs(&mut model, &w.train, &Default::default());
+
+    // The paper's count-complaint workload plus a self-join with a model
+    // predicate (the shape where the cached join skeleton pays most).
+    let n = w.query.len();
+    let bucket = Column::Int((0..n as i64).map(|i| i % 10).collect());
+    let mut db = Database::new();
+    db.register(
+        "dblp",
+        dataset_to_table(&w.query, vec![("bucket", bucket.clone())]),
+    );
+    db.register(
+        "dblp_b",
+        dataset_to_table(&w.query, vec![("bucket", bucket)]),
+    );
+    let cases = [
+        (
+            "count",
+            plan_for("SELECT COUNT(*) FROM dblp WHERE predict(*) = 1", &db),
+        ),
+        (
+            "join",
+            plan_for(
+                "SELECT COUNT(*) FROM dblp a, dblp_b b \
+                 WHERE a.id = b.id AND b.bucket < 4 AND predict(a) = 1",
+                &db,
+            ),
+        ),
+    ];
+
+    // Prepare once; assert refresh ≡ full execution before timing.
+    let prepared: Vec<_> = cases
+        .iter()
+        .map(|(name, plan)| {
+            let p = prepare(&db, &model, plan, Engine::Vectorized).expect(name);
+            let full = execute(&db, &model, plan, ExecOptions::debug()).unwrap();
+            let refreshed = p.refresh(&db, &model).unwrap();
+            assert_eq!(
+                full.table.to_tsv(),
+                refreshed.table.to_tsv(),
+                "{name}: rows disagree"
+            );
+            assert_eq!(
+                full.agg_cells, refreshed.agg_cells,
+                "{name}: provenance disagrees"
+            );
+            assert_eq!(
+                full.predvars.preds(),
+                refreshed.predvars.preds(),
+                "{name}: predictions disagree"
+            );
+            p
+        })
+        .collect();
+
+    let samples = if quick { 3 } else { 30 };
+    let mut g = BenchGroup::new("iteration_incremental", samples);
+    for ((name, plan), p) in cases.iter().zip(&prepared) {
+        g.bench(&format!("full_{name}"), || {
+            execute(&db, &model, plan, ExecOptions::debug()).unwrap()
+        });
+        g.bench(&format!("refresh_{name}"), || {
+            p.refresh(&db, &model).unwrap()
+        });
+    }
+    g.finish();
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"iteration_incremental\",\n  \"n_query\": {n_query},\n  \"samples\": {samples}"
+    );
+    for (name, _) in &cases {
+        let (full, refresh) = (
+            g.median_secs(&format!("full_{name}")).unwrap(),
+            g.median_secs(&format!("refresh_{name}")).unwrap(),
+        );
+        println!(
+            "speedup_{name}: {:.2}x (full {:.3} ms → refresh {:.3} ms)",
+            full / refresh,
+            full * 1e3,
+            refresh * 1e3
+        );
+        json.push_str(&format!(
+            ",\n  \"{name}\": {{ \"full_ms\": {:.6}, \"refresh_ms\": {:.6}, \"speedup\": {:.3} }}",
+            full * 1e3,
+            refresh * 1e3,
+            full / refresh
+        ));
+    }
+    json.push_str("\n}\n");
+    let path =
+        std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_iteration.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+}
+
 fn main() {
     bench_iteration();
+    bench_incremental();
 }

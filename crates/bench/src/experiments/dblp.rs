@@ -87,6 +87,7 @@ pub fn fig5(quick: bool) -> String {
                     k_per_iter: 10,
                     budget: 10 * iters,
                     stop_when_satisfied: false,
+                    incremental: true,
                 },
             )
             .expect("run");

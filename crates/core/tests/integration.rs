@@ -111,6 +111,7 @@ fn driver_respects_budget_and_batch_size() {
                 k_per_iter: 10,
                 budget,
                 stop_when_satisfied: false,
+                incremental: true,
             },
         )
         .unwrap();
@@ -155,6 +156,7 @@ fn stop_when_satisfied_halts_early() {
                 k_per_iter: 10,
                 budget: 50,
                 stop_when_satisfied: true,
+                incremental: true,
             },
         )
         .unwrap();
@@ -494,10 +496,50 @@ fn inequality_complaints_drive_until_satisfied() {
                 k_per_iter: 10,
                 budget: truth.len(),
                 stop_when_satisfied: true,
+                incremental: true,
             },
         )
         .unwrap();
     // Either satisfied early (good) or kept working; report must be sane.
     assert!(report.failure.is_none());
     assert!(!report.iterations.is_empty());
+}
+
+#[test]
+fn incremental_refresh_reproduces_full_reexecution_loop() {
+    // The driver with incremental refresh ON must walk exactly the same
+    // trajectory as with full per-iteration re-execution: same
+    // per-iteration rankings (removed-id batches, in rank order), same
+    // complaint status, same final explanation.
+    let (session, truth, _) = dblp_session(7);
+    let budget = 30.min(truth.len());
+    let run_with = |incremental: bool| {
+        session
+            .run(
+                Method::Holistic,
+                &RunConfig {
+                    k_per_iter: 10,
+                    budget,
+                    stop_when_satisfied: false,
+                    incremental,
+                },
+            )
+            .unwrap()
+    };
+    let inc = run_with(true);
+    let full = run_with(false);
+    assert_eq!(inc.removed, full.removed, "explanations diverge");
+    assert_eq!(
+        inc.iterations.len(),
+        full.iterations.len(),
+        "iteration counts diverge"
+    );
+    for (i, (a, b)) in inc.iterations.iter().zip(&full.iterations).enumerate() {
+        assert_eq!(a.removed, b.removed, "iteration {i}: rankings diverge");
+        assert_eq!(
+            a.complaints_satisfied, b.complaints_satisfied,
+            "iteration {i}: complaint status diverges"
+        );
+        assert_eq!(a.train_loss, b.train_loss, "iteration {i}: loss diverges");
+    }
 }

@@ -107,6 +107,18 @@ impl Classifier for LogisticRegression {
         vec![1.0 - p1, p1]
     }
 
+    fn predict_batch(&self, x: &rain_linalg::Matrix) -> Vec<usize> {
+        // Allocation-free batched path: one dot product per row, argmax
+        // over a stack pair — bitwise the same classes as per-row
+        // `predict` (which argmaxes the heap-allocated proba vector).
+        x.iter_rows()
+            .map(|r| {
+                let p1 = self.proba1(r);
+                rain_linalg::vecops::argmax(&[1.0 - p1, p1]).expect("non-empty proba")
+            })
+            .collect()
+    }
+
     fn example_loss(&self, x: &[f64], y: usize) -> f64 {
         debug_assert!(y < 2);
         let p = Self::clamp_p(self.proba1(x));

@@ -52,6 +52,18 @@ pub trait Classifier: Send + Sync {
         rain_linalg::vecops::argmax(&self.predict_proba(x)).expect("non-empty proba")
     }
 
+    /// Hard predictions for a batch of feature rows (one example per
+    /// matrix row).
+    ///
+    /// The default walks the rows through [`Classifier::predict`];
+    /// implementations may override with an allocation-free batched path,
+    /// but must return exactly the per-row `predict` results — the
+    /// incremental query-refresh machinery relies on batched and per-row
+    /// inference agreeing bit for bit.
+    fn predict_batch(&self, x: &rain_linalg::Matrix) -> Vec<usize> {
+        x.iter_rows().map(|r| self.predict(r)).collect()
+    }
+
     /// Unregularized per-example loss `ℓ(z, θ)`.
     fn example_loss(&self, x: &[f64], y: usize) -> f64;
 

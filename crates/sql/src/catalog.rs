@@ -35,6 +35,10 @@ pub struct TableEntry {
     pub id: TableId,
     /// Lowercase catalog name.
     pub name: String,
+    /// Data version: bumped every time the name is re-registered. Cached
+    /// artifacts keyed on row identity (e.g. prepared query skeletons)
+    /// record it at build time and revalidate before reuse.
+    pub version: u64,
     /// The table itself.
     pub table: Table,
 }
@@ -60,15 +64,29 @@ impl Database {
         match self.by_name.get(&name) {
             Some(&slot) => {
                 self.entries[slot].table = table;
+                self.entries[slot].version += 1;
                 self.entries[slot].id
             }
             None => {
                 let id = TableId(self.entries.len() as u32);
                 self.by_name.insert(name.clone(), self.entries.len());
-                self.entries.push(TableEntry { id, name, table });
+                self.entries.push(TableEntry {
+                    id,
+                    name,
+                    version: 0,
+                    table,
+                });
                 id
             }
         }
+    }
+
+    /// Data version of a table id (see [`TableEntry::version`]).
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this database.
+    pub fn version_of(&self, id: TableId) -> u64 {
+        self.entries[id.0 as usize].version
     }
 
     /// Look up a table by case-insensitive name.
@@ -166,6 +184,17 @@ mod tests {
         assert_eq!(a, a2);
         assert_eq!(db.table_by_id(a).n_rows(), 2);
         assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn versions_bump_on_replacement() {
+        let mut db = Database::new();
+        let a = db.register("a", ints("x", vec![1]));
+        assert_eq!(db.version_of(a), 0);
+        db.register("a", ints("x", vec![1, 2]));
+        assert_eq!(db.version_of(a), 1, "replacement bumps the version");
+        let b = db.register("b", ints("x", vec![3]));
+        assert_eq!(db.version_of(b), 0, "fresh names start at version 0");
     }
 
     #[test]

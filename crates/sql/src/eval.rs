@@ -510,11 +510,28 @@ impl<'a> EvalCtx<'a> {
 /// Project a tuple stream into the output table (plus per-row membership
 /// formulas in debug mode). NULL output cells are carried by the table's
 /// null bitmap.
+///
+/// Debug mode routes through the incremental capture + refresh pair so a
+/// full execution and a [`PreparedQuery::refresh`]
+/// (crate::incremental::PreparedQuery::refresh) share one output-assembly
+/// path — refresh output is bit-identical to full re-execution by
+/// construction.
 pub(crate) fn project(
     ctx: &mut EvalCtx,
     tuples: impl Tuples,
     items: &[(BExpr, String)],
 ) -> Result<QueryOutput, QueryError> {
+    if ctx.debug {
+        let skel = crate::incremental::capture_select(ctx, tuples, items)?;
+        let (table, row_prov) = crate::incremental::refresh_select(&skel, ctx.reg.preds());
+        return Ok(QueryOutput {
+            table,
+            row_prov,
+            agg_cells: Vec::new(),
+            n_key_cols: 0,
+            predvars: std::mem::take(&mut ctx.reg),
+        });
+    }
     let mut schema = Schema::default();
     for (e, name) in items {
         push_unique(&mut schema, name, ctx.infer_type(e));
@@ -548,12 +565,29 @@ pub(crate) fn project(
 
 /// Aggregate a tuple stream into grouped output rows and (in debug mode)
 /// per-cell provenance sums.
+///
+/// Like [`project`], debug mode goes through incremental capture +
+/// refresh: the group partitions and provenance sums are
+/// model-independent, so building them *is* the skeleton capture, and the
+/// concrete rows fall out of a discrete refresh against the current hard
+/// predictions. The body below is the normal-mode (provenance-free) path.
 pub(crate) fn aggregate(
     ctx: &mut EvalCtx,
     tuples: impl Tuples,
     keys: &[GroupKey],
     aggs: &[BoundAgg],
 ) -> Result<QueryOutput, QueryError> {
+    if ctx.debug {
+        let (skel, _) = crate::incremental::capture_groups(ctx, tuples, keys, aggs)?;
+        let (table, agg_cells) = crate::incremental::refresh_groups(&skel, ctx.reg.preds());
+        return Ok(QueryOutput {
+            table,
+            row_prov: Vec::new(),
+            agg_cells,
+            n_key_cols: keys.len(),
+            predvars: std::mem::take(&mut ctx.reg),
+        });
+    }
     let mut groups: HashMap<Vec<KeyVal>, GroupAcc> = HashMap::new();
     let n_aggs = aggs.len();
     let new_acc = || GroupAcc {
@@ -766,7 +800,7 @@ pub(crate) fn push_unique(schema: &mut Schema, name: &str, ty: ColType) {
 }
 
 /// All `len`-tuples over `0..n` (cartesian power).
-fn cartesian(n: usize, len: usize) -> Vec<Vec<usize>> {
+pub(crate) fn cartesian(n: usize, len: usize) -> Vec<Vec<usize>> {
     let mut out: Vec<Vec<usize>> = vec![Vec::new()];
     for _ in 0..len {
         let mut next = Vec::with_capacity(out.len() * n);

@@ -199,26 +199,45 @@ pub fn execute(
     match opts.engine {
         Engine::Vectorized => crate::vexec::run(db, model, query, opts.debug),
         Engine::Tuple => {
-            let mut exec = TupleExec {
-                ctx: EvalCtx::new(db, model, query, opts.debug),
-            };
-            exec.run()
+            let mut ctx = EvalCtx::new(db, model, query, opts.debug);
+            let tuples = tuple_pipeline(&mut ctx, None)?;
+            eval::finalize(&mut ctx, tuples, &query.kind)
         }
     }
 }
 
-/// The tuple-at-a-time engine: materialized `Vec<Tup>` row sets driven
-/// through scan → hash-join → residual-filter stages.
-struct TupleExec<'a> {
-    ctx: EvalCtx<'a>,
+/// Build the tuple engine's joined candidate set (scan → hash-join →
+/// residual filters), optionally tracing scan selections and join steps
+/// for skeleton capture ([`crate::incremental::prepare`] on
+/// [`Engine::Tuple`]).
+pub(crate) fn tuple_pipeline(
+    ctx: &mut EvalCtx,
+    trace: Option<&mut crate::incremental::PipelineTrace>,
+) -> Result<Vec<Tup>, QueryError> {
+    TupleExec { ctx, trace }.join_pipeline()
 }
 
-impl<'a> TupleExec<'a> {
+/// The tuple-at-a-time engine: materialized `Vec<Tup>` row sets driven
+/// through scan → hash-join → residual-filter stages.
+struct TupleExec<'a, 'b> {
+    ctx: &'b mut EvalCtx<'a>,
+    trace: Option<&'b mut crate::incremental::PipelineTrace>,
+}
+
+impl<'a, 'b> TupleExec<'a, 'b> {
     /// Base-row ids of `rel` surviving its pushed-down scan filters.
     /// Scan filters are model-free by construction (the optimizer never
     /// pushes a `predict()` atom), so they evaluate concretely and prune
     /// identically in normal and debug mode — provenance is unaffected.
     fn scan(&mut self, rel: usize) -> Result<Vec<u32>, QueryError> {
+        let out = self.scan_inner(rel)?;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.scan_rows.push(out.len());
+        }
+        Ok(out)
+    }
+
+    fn scan_inner(&mut self, rel: usize) -> Result<Vec<u32>, QueryError> {
         let n = self.ctx.table_of(rel).n_rows();
         if self.ctx.query.scan_filters[rel].is_empty() {
             return Ok((0..n as u32).collect());
@@ -248,12 +267,6 @@ impl<'a> TupleExec<'a> {
             out.push(r as u32);
         }
         Ok(out)
-    }
-
-    fn run(&mut self) -> Result<QueryOutput, QueryError> {
-        let tuples = self.join_pipeline()?;
-        let kind = &self.ctx.query.kind;
-        eval::finalize(&mut self.ctx, tuples, kind)
     }
 
     /// Build the joined candidate-tuple set with pushdown.
@@ -338,6 +351,16 @@ impl<'a> TupleExec<'a> {
                         }
                     }
                 }
+            }
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.join_steps.push((
+                    if equi.is_empty() {
+                        "nested-loop"
+                    } else {
+                        "hash"
+                    },
+                    joined.len(),
+                ));
             }
             tuples = self.apply_conjuncts(joined, &mut applied, &footprints, rel + 1)?;
         }

@@ -1,0 +1,560 @@
+//! Incremental per-iteration re-execution: **prepare** once, **refresh**
+//! per model update.
+//!
+//! The train–rank–fix loop (paper §5.1) re-executes every complained-about
+//! query in debug mode on each iteration, yet between iterations only the
+//! model parameters change — the scan/join/group skeleton of each query is
+//! bit-identical. In debug mode that skeleton is *fully* model-independent:
+//!
+//! - scan filters and residual model-free conjuncts prune concretely and
+//!   never mention `predict()` (the optimizer never pushes a model atom);
+//! - model atoms never prune — they only AND symbolic
+//!   [`BoolProv`] atoms into tuple membership;
+//! - prediction-variable ids are assigned in tuple-enumeration order,
+//!   which depends only on the plan and the data, never on the params.
+//!
+//! So one debug execution splits into a *prepare* phase that materializes
+//! a [`PreparedQuery`] — the joined candidate tuples with their membership
+//! formulas, the group partitions with their provenance sums, and the
+//! per-variable feature bindings that feed `predict()` — and a cheap
+//! *refresh* phase that, given new model parameters, runs one **batched
+//! inference** over the cached feature matrix
+//! ([`Classifier::predict_batch`]) and then discretely re-evaluates the
+//! cached formulas to re-assemble the concrete rows, `ScalarResult`s, and
+//! provenance polynomials of a full execution.
+//!
+//! Full debug-mode execution itself is routed through capture + refresh
+//! (see [`project`](crate::eval) / `aggregate` in the evaluation core), so
+//! there is exactly **one** output-assembly code path:
+//! `refresh(θ) ≡ execute(θ)` holds by construction, and the randomized
+//! differential suite (`tests/incremental_differential.rs`) pins it across
+//! both engines, including prediction-variable ids and provenance.
+//!
+//! **Invalidation.** The skeleton is a cache over the *queried* tables.
+//! Fixes in the loop mutate the training set, never the queried database,
+//! so the driver can refresh for the whole run; [`PreparedQuery::refresh`]
+//! still revalidates table versions and row counts and fails loudly if a
+//! queried table was re-registered since prepare.
+
+use crate::ast::AggFunc;
+use crate::binder::{BExpr, BoundAgg, BoundAggArg, GroupKey, QueryKind};
+use crate::catalog::{Database, TableId};
+use crate::eval::{self, keyval, keyval_to_value, EvalCtx, KeyVal, Tuples};
+use crate::exec::{Engine, QueryOutput};
+use crate::plan::QueryPlan;
+use crate::predvar::PredVarRegistry;
+use crate::prov::{AggSum, AggTerm, BoolProv, CellProv, VarId};
+use crate::table::{Schema, Table};
+use crate::value::Value;
+use crate::QueryError;
+use rain_linalg::Matrix;
+use rain_model::Classifier;
+use std::collections::HashMap;
+
+/// What the join pipeline saw while building the candidate set; captured
+/// during prepare by both engines and surfaced in [`SkeletonStats`].
+#[derive(Debug, Default)]
+pub(crate) struct PipelineTrace {
+    /// Scan survivors per relation, in scan order.
+    pub(crate) scan_rows: Vec<usize>,
+    /// `(strategy label, output tuples)` per join step.
+    pub(crate) join_steps: Vec<(&'static str, usize)>,
+}
+
+/// One projected cell of one candidate tuple: either a model-independent
+/// constant or a prediction variable whose class is the cell value.
+#[derive(Debug, Clone)]
+pub(crate) enum CellSkel {
+    /// Model-free expression, evaluated once at capture time.
+    Lit(Value),
+    /// Bare `predict(alias)` select item.
+    Pred(VarId),
+}
+
+/// One candidate tuple of a projection query.
+#[derive(Debug, Clone)]
+pub(crate) struct TupleSkel {
+    /// Membership formula (constant true for model-free tuples).
+    prov: BoolProv,
+    /// Projected cells in select-list order.
+    cells: Vec<CellSkel>,
+}
+
+/// Skeleton of a projection query: every candidate tuple, whether or not
+/// it is concretely emitted under the current parameters.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectSkeleton {
+    schema: Schema,
+    tuples: Vec<TupleSkel>,
+}
+
+/// One group partition of an aggregate query, with its full provenance.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupSkel {
+    /// Key values, already converted for output.
+    key: Vec<Value>,
+    /// Membership formula per candidate (tuple × class-combination); a
+    /// group concretely exists iff any of these evaluates true.
+    members: Vec<BoolProv>,
+    /// Numerator provenance per aggregate (the `CellProv` sums).
+    num: Vec<AggSum>,
+    /// Denominator provenance per AVG aggregate.
+    den: Vec<AggSum>,
+}
+
+/// Skeleton of an aggregate query: the group partitions in output order.
+#[derive(Debug, Clone)]
+pub(crate) struct AggSkeleton {
+    schema: Schema,
+    /// Aggregate functions in select-list order.
+    funcs: Vec<AggFunc>,
+    /// Number of leading group-key columns.
+    n_keys: usize,
+    /// True for ungrouped aggregates: the single global group is emitted
+    /// even when no tuple concretely belongs to it.
+    global: bool,
+    /// Groups in sorted key order (the engines' output order).
+    groups: Vec<GroupSkel>,
+}
+
+/// The model-independent finalization skeleton of one query.
+#[derive(Debug, Clone)]
+pub(crate) enum KindSkeleton {
+    Select(SelectSkeleton),
+    Aggregate(AggSkeleton),
+}
+
+/// Prepare-time facts about a skeleton, for introspection and benches.
+#[derive(Debug, Clone)]
+pub struct SkeletonStats {
+    /// Engine that built the candidate set.
+    pub engine: Engine,
+    /// Scan survivors per relation.
+    pub scan_rows: Vec<usize>,
+    /// `(join strategy, output tuples)` per join step.
+    pub join_steps: Vec<(&'static str, usize)>,
+    /// Candidate tuples feeding the finalizer.
+    pub candidate_tuples: usize,
+    /// Prediction variables bound to the skeleton.
+    pub n_vars: usize,
+    /// True when no operator of the plan reads the model; refreshes of
+    /// such a skeleton are pure re-emissions.
+    pub model_free: bool,
+}
+
+/// A query prepared for incremental re-execution: the model-independent
+/// skeleton plus the feature bindings needed to refresh predictions.
+///
+/// Build one with [`prepare`]; call [`PreparedQuery::refresh`] after every
+/// parameter update. The refresh output is bit-identical to a fresh
+/// debug-mode [`execute`](crate::exec::execute) under the same parameters.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    kind: KindSkeleton,
+    /// The prepare-time registry, kept as a structurally shared template:
+    /// each refresh derives its registry via
+    /// [`PredVarRegistry::with_preds`] — same variables, same ids, fresh
+    /// predictions, no per-variable allocation.
+    reg: PredVarRegistry,
+    /// One feature row per prediction variable, packed at prepare time so
+    /// refresh inference is a single batched call.
+    features: Matrix,
+    /// Class count the skeleton's formulas were built for.
+    n_classes: usize,
+    /// `(table id, catalog version, row count)` per plan relation, used to
+    /// detect stale skeletons.
+    rels: Vec<(TableId, u64, usize)>,
+    stats: SkeletonStats,
+}
+
+/// Execute the model-independent part of `plan` once (in debug mode, on
+/// `engine`) and capture the reusable skeleton.
+///
+/// The model is needed for its architecture (class count, feature
+/// dimension) and to seed the first predictions; its *parameters* do not
+/// affect the captured structure.
+pub fn prepare(
+    db: &Database,
+    model: &dyn Classifier,
+    plan: &QueryPlan,
+    engine: Engine,
+) -> Result<PreparedQuery, QueryError> {
+    let mut ctx = EvalCtx::new(db, model, plan, true);
+    let mut trace = PipelineTrace::default();
+    let (kind, candidate_tuples) = match engine {
+        Engine::Vectorized => {
+            let rows = crate::vexec::join_pipeline(&mut ctx, Some(&mut trace))?;
+            capture(&mut ctx, rows, &plan.kind)?
+        }
+        Engine::Tuple => {
+            let tuples = crate::exec::tuple_pipeline(&mut ctx, Some(&mut trace))?;
+            capture(&mut ctx, tuples, &plan.kind)?
+        }
+    };
+
+    let reg = std::mem::take(&mut ctx.reg);
+    let dim = model.dim();
+    let mut features = Matrix::zeros(reg.len(), dim);
+    for (i, info) in reg.infos().iter().enumerate() {
+        let table = db
+            .table(&info.table)
+            .expect("prediction variable over an unregistered table");
+        let feat = table
+            .feature_row(info.row)
+            .expect("features checked at bind time");
+        if feat.len() != dim {
+            return Err(QueryError::Exec(format!(
+                "feature width {} of table {} does not match model dim {dim}",
+                feat.len(),
+                info.table
+            )));
+        }
+        features.row_mut(i).copy_from_slice(feat);
+    }
+
+    let rels = plan
+        .rels
+        .iter()
+        .map(|r| (r.id, db.version_of(r.id), db.table_by_id(r.id).n_rows()))
+        .collect();
+    let stats = SkeletonStats {
+        engine,
+        scan_rows: trace.scan_rows,
+        join_steps: trace.join_steps,
+        candidate_tuples,
+        n_vars: reg.len(),
+        model_free: plan.model_deps().is_model_free(),
+    };
+    Ok(PreparedQuery {
+        kind,
+        reg,
+        features,
+        n_classes: model.n_classes(),
+        rels,
+        stats,
+    })
+}
+
+impl PreparedQuery {
+    /// Re-assemble the debug-mode [`QueryOutput`] under (possibly new)
+    /// model parameters: one batched inference over the cached feature
+    /// matrix, then a discrete re-evaluation of the cached formulas.
+    ///
+    /// Fails if the model architecture changed (class count, feature
+    /// dimension) or a queried table was re-registered since [`prepare`]
+    /// (the skeleton caches row identities, so it must be rebuilt).
+    pub fn refresh(
+        &self,
+        db: &Database,
+        model: &dyn Classifier,
+    ) -> Result<QueryOutput, QueryError> {
+        if model.n_classes() != self.n_classes {
+            return Err(QueryError::Exec(format!(
+                "stale query skeleton: prepared for {} classes, model has {}",
+                self.n_classes,
+                model.n_classes()
+            )));
+        }
+        if !self.reg.is_empty() && model.dim() != self.features.cols() {
+            return Err(QueryError::Exec(format!(
+                "stale query skeleton: prepared for feature dim {}, model wants {}",
+                self.features.cols(),
+                model.dim()
+            )));
+        }
+        for &(id, version, n_rows) in &self.rels {
+            let table = db.table_by_id(id);
+            if db.version_of(id) != version || table.n_rows() != n_rows {
+                return Err(QueryError::Exec(format!(
+                    "stale query skeleton: table {} changed since prepare; \
+                     re-prepare the query",
+                    db.name_of(id)
+                )));
+            }
+        }
+
+        let reg = self.reg.with_preds(model.predict_batch(&self.features));
+        Ok(match &self.kind {
+            KindSkeleton::Select(s) => {
+                let (table, row_prov) = refresh_select(s, reg.preds());
+                QueryOutput {
+                    table,
+                    row_prov,
+                    agg_cells: Vec::new(),
+                    n_key_cols: 0,
+                    predvars: reg,
+                }
+            }
+            KindSkeleton::Aggregate(a) => {
+                let (table, agg_cells) = refresh_groups(a, reg.preds());
+                QueryOutput {
+                    table,
+                    row_prov: Vec::new(),
+                    agg_cells,
+                    n_key_cols: a.n_keys,
+                    predvars: reg,
+                }
+            }
+        })
+    }
+
+    /// Prepare-time statistics (scan/join trace, candidate count, model
+    /// dependence).
+    pub fn stats(&self) -> &SkeletonStats {
+        &self.stats
+    }
+}
+
+/// Capture the finalization skeleton for a candidate tuple stream.
+pub(crate) fn capture(
+    ctx: &mut EvalCtx,
+    tuples: impl Tuples,
+    kind: &QueryKind,
+) -> Result<(KindSkeleton, usize), QueryError> {
+    Ok(match kind {
+        QueryKind::Select { items } => {
+            let s = capture_select(ctx, tuples, items)?;
+            let n = s.tuples.len();
+            (KindSkeleton::Select(s), n)
+        }
+        QueryKind::Aggregate { keys, aggs } => {
+            let (a, n) = capture_groups(ctx, tuples, keys, aggs)?;
+            (KindSkeleton::Aggregate(a), n)
+        }
+    })
+}
+
+/// Capture a projection skeleton: every candidate tuple's membership
+/// formula plus its cells — model-free cells evaluated once, bare
+/// `predict()` cells bound to their (stable) prediction variables.
+///
+/// Variable creation runs in candidate-tuple order for *all* candidates
+/// (a tuple concretely excluded today may be emitted after retraining),
+/// which is also what keeps ids refresh-stable.
+pub(crate) fn capture_select(
+    ctx: &mut EvalCtx,
+    tuples: impl Tuples,
+    items: &[(BExpr, String)],
+) -> Result<SelectSkeleton, QueryError> {
+    let mut schema = Schema::default();
+    for (e, name) in items {
+        eval::push_unique(&mut schema, name, ctx.infer_type(e));
+    }
+    let mut skel = Vec::new();
+    tuples.emit(&mut |rows, prov| {
+        let mut cells = Vec::with_capacity(items.len());
+        for (e, _) in items {
+            cells.push(match e {
+                BExpr::Predict { rel } => CellSkel::Pred(ctx.var_of(*rel, rows[*rel])),
+                // Model-free by binder construction (`predict()` must
+                // appear bare in select lists), so this value can never
+                // change across refreshes.
+                other => CellSkel::Lit(ctx.eval_value(other, rows)?),
+            });
+        }
+        skel.push(TupleSkel { prov, cells });
+        Ok(())
+    })?;
+    Ok(SelectSkeleton {
+        schema,
+        tuples: skel,
+    })
+}
+
+/// Emit the concrete projection rows of a skeleton under `preds`.
+pub(crate) fn refresh_select(skel: &SelectSkeleton, preds: &[usize]) -> (Table, Vec<BoolProv>) {
+    let mut table = Table::empty(skel.schema.clone());
+    let mut row_prov = Vec::with_capacity(skel.tuples.len());
+    for t in &skel.tuples {
+        if !t.prov.eval_discrete(preds) {
+            continue;
+        }
+        let row = t
+            .cells
+            .iter()
+            .map(|c| match c {
+                CellSkel::Lit(v) => v.clone(),
+                CellSkel::Pred(var) => Value::Int(preds[*var as usize] as i64),
+            })
+            .collect();
+        table.push_row(row, None);
+        row_prov.push(t.prov.clone());
+    }
+    (table, row_prov)
+}
+
+/// Per-group accumulator while capturing.
+#[derive(Debug, Default)]
+struct GroupBuild {
+    members: Vec<BoolProv>,
+    num: Vec<AggSum>,
+    den: Vec<AggSum>,
+}
+
+/// Capture an aggregation skeleton: the group partitions (predict keys
+/// fanned out over every class, as debug mode requires) with the full
+/// numerator/denominator provenance sums. Term order within each group is
+/// candidate-tuple order, so refresh accumulates floats in exactly the
+/// sequence a full execution would.
+pub(crate) fn capture_groups(
+    ctx: &mut EvalCtx,
+    tuples: impl Tuples,
+    keys: &[GroupKey],
+    aggs: &[BoundAgg],
+) -> Result<(AggSkeleton, usize), QueryError> {
+    let mut groups: HashMap<Vec<KeyVal>, GroupBuild> = HashMap::new();
+    let n_aggs = aggs.len();
+    let new_acc = || GroupBuild {
+        members: Vec::new(),
+        num: vec![AggSum::default(); n_aggs],
+        den: vec![AggSum::default(); n_aggs],
+    };
+    // A global aggregate always has its single group, even when empty.
+    if keys.is_empty() {
+        groups.insert(Vec::new(), new_acc());
+    }
+    let n_classes = ctx.model.n_classes();
+    let mut candidates = 0usize;
+
+    tuples.emit(&mut |rows, prov| {
+        candidates += 1;
+        // Resolve key parts; predict keys fan the tuple out per class.
+        let mut col_parts: Vec<Option<KeyVal>> = Vec::with_capacity(keys.len());
+        let mut pred_keys: Vec<(usize, VarId)> = Vec::new(); // (key position, var)
+        for (pos, k) in keys.iter().enumerate() {
+            match k {
+                GroupKey::Col { rel, col, .. } => {
+                    let v = ctx.table_of(*rel).value(rows[*rel] as usize, *col);
+                    col_parts.push(Some(keyval(&v)));
+                }
+                GroupKey::Predict { rel } => {
+                    let var = ctx.var_of(*rel, rows[*rel]);
+                    pred_keys.push((pos, var));
+                    col_parts.push(None);
+                }
+            }
+        }
+
+        for combo in eval::cartesian(n_classes, pred_keys.len()) {
+            let mut key = Vec::with_capacity(keys.len());
+            let mut membership = prov.clone();
+            for (pos, part) in col_parts.iter().enumerate() {
+                match part {
+                    Some(kv) => key.push(kv.clone()),
+                    None => {
+                        let (idx, var) = pred_keys
+                            .iter()
+                            .enumerate()
+                            .find_map(|(i, (p, v))| (*p == pos).then_some((i, *v)))
+                            .expect("predict key present");
+                        let class = combo[idx];
+                        key.push(KeyVal::Int(class as i64));
+                        membership =
+                            BoolProv::and(vec![membership, BoolProv::PredIs { var, class }]);
+                    }
+                }
+            }
+
+            let acc = groups.entry(key).or_insert_with(new_acc);
+            acc.members.push(membership.clone());
+            for (ai, agg) in aggs.iter().enumerate() {
+                // Term contributed by this tuple to aggregate `ai`; the
+                // term itself is model-independent (weights and scalar
+                // arguments never contain `predict()`).
+                let term: Option<AggTerm> = match &agg.arg {
+                    BoundAggArg::CountStar => Some(AggTerm::One),
+                    BoundAggArg::Predict { rel } => {
+                        Some(AggTerm::PredValue(ctx.var_of(*rel, rows[*rel])))
+                    }
+                    BoundAggArg::ScaledPredict { rel, factor } => {
+                        let var = ctx.var_of(*rel, rows[*rel]);
+                        let w = ctx.eval_value(factor, rows)?.as_f64().ok_or_else(|| {
+                            QueryError::Exec("non-numeric factor in scaled predict".into())
+                        })?;
+                        Some(AggTerm::ScaledPred { var, weight: w })
+                    }
+                    BoundAggArg::Scalar(e) => ctx.eval_value(e, rows)?.as_f64().map(AggTerm::Const),
+                };
+                let Some(term) = term else {
+                    continue; // NULL: skipped by SUM/AVG, as in SQL.
+                };
+                acc.num[ai].terms.push((membership.clone(), term));
+                if agg.func == AggFunc::Avg {
+                    acc.den[ai].terms.push((membership.clone(), AggTerm::One));
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    // Deterministic output order.
+    let mut keys_sorted: Vec<Vec<KeyVal>> = groups.keys().cloned().collect();
+    keys_sorted.sort();
+    let sorted = keys_sorted
+        .into_iter()
+        .map(|k| {
+            let b = groups.remove(&k).expect("group exists");
+            GroupSkel {
+                key: k.iter().map(keyval_to_value).collect(),
+                members: b.members,
+                num: b.num,
+                den: b.den,
+            }
+        })
+        .collect();
+
+    Ok((
+        AggSkeleton {
+            schema: eval::agg_schema(ctx, keys, aggs),
+            funcs: aggs.iter().map(|a| a.func).collect(),
+            n_keys: keys.len(),
+            global: keys.is_empty(),
+            groups: sorted,
+        },
+        candidates,
+    ))
+}
+
+/// The concrete value a term contributes under hard predictions.
+fn term_value(term: &AggTerm, preds: &[usize]) -> f64 {
+    match term {
+        AggTerm::One => 1.0,
+        AggTerm::Const(f) => *f,
+        AggTerm::PredValue(var) => preds[*var as usize] as f64,
+        AggTerm::ScaledPred { var, weight } => weight * preds[*var as usize] as f64,
+    }
+}
+
+/// Emit the concrete aggregate rows (and per-cell provenance) of a
+/// skeleton under `preds`.
+pub(crate) fn refresh_groups(skel: &AggSkeleton, preds: &[usize]) -> (Table, Vec<Vec<CellProv>>) {
+    let mut table = Table::empty(skel.schema.clone());
+    let mut agg_cells = Vec::new();
+    for g in &skel.groups {
+        // Groups with no concrete member are not part of the concrete
+        // result, except the global group of an ungrouped aggregate.
+        let alive = g.members.iter().any(|m| m.eval_discrete(preds));
+        if !alive && !skel.global {
+            continue;
+        }
+        let mut row = g.key.clone();
+        let mut cells = Vec::with_capacity(skel.funcs.len());
+        for (ai, func) in skel.funcs.iter().enumerate() {
+            let (mut sum, mut cnt) = (0.0f64, 0usize);
+            for (membership, term) in &g.num[ai].terms {
+                if membership.eval_discrete(preds) {
+                    sum += term_value(term, preds);
+                    cnt += 1;
+                }
+            }
+            row.push(eval::agg_value(*func, sum, cnt));
+            cells.push(match func {
+                AggFunc::Avg => CellProv::Ratio(g.num[ai].clone(), g.den[ai].clone()),
+                _ => CellProv::Sum(g.num[ai].clone()),
+            });
+        }
+        table.push_row(row, None);
+        agg_cells.push(cells);
+    }
+    (table, agg_cells)
+}

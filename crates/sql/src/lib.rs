@@ -23,7 +23,13 @@
 //! - **provenance polynomials** ([`prov`]) over prediction variables,
 //!   captured during debug-mode execution, and their **differentiable
 //!   relaxation** with reverse-mode gradients — the machinery behind the
-//!   Holistic approach and the input to TwoStep's ILP encoding.
+//!   Holistic approach and the input to TwoStep's ILP encoding,
+//! - an **incremental re-execution subsystem** ([`incremental`]):
+//!   [`prepare`] captures a query's model-independent skeleton once and
+//!   [`PreparedQuery::refresh`] re-assembles the full debug-mode output
+//!   under new model parameters from one batched inference — bit-identical
+//!   to a fresh execution, at a fraction of the cost, which is what the
+//!   train–rank–fix loop re-executes through each iteration.
 //!
 //! # Example
 //!
@@ -63,6 +69,7 @@ pub mod binder;
 pub mod catalog;
 mod eval;
 pub mod exec;
+pub mod incremental;
 pub mod lexer;
 pub mod optimize;
 pub mod parser;
@@ -78,10 +85,11 @@ pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
 pub use binder::{bind, BExpr, BindError, Binder, BoundStatement};
 pub use catalog::{ColumnRef, Database, TableId};
 pub use exec::{execute, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult};
+pub use incremental::{prepare, PreparedQuery, SkeletonStats};
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;
-pub use plan::QueryPlan;
+pub use plan::{ModelDeps, QueryPlan};
 pub use predvar::{PredVarInfo, PredVarRegistry};
 pub use prov::{AggSum, AggTerm, BoolProv, CellProv, ProbGrad, Probs, VarId};
 pub use value::Value;

@@ -43,7 +43,59 @@ pub struct QueryPlan {
     pub used_cols: Vec<BTreeSet<usize>>,
 }
 
+/// Which operators of a plan read the model — the classification the
+/// incremental prepare/refresh machinery is built on. Scan filters are
+/// model-free by construction (the optimizer never pushes a `predict()`
+/// atom), so model dependence can only sit in residual conjuncts or in the
+/// projection/aggregation shape.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelDeps {
+    /// Indices into [`QueryPlan::conjuncts`] that contain a `predict()`
+    /// atom. These never prune in debug mode — they only contribute
+    /// symbolic membership formulas.
+    pub model_conjuncts: Vec<usize>,
+    /// True when the output shape itself reads the model: a bare
+    /// `predict()` select item, a `GROUP BY predict(...)` key, or a
+    /// `SUM/AVG(predict(...))` aggregate argument.
+    pub model_output: bool,
+}
+
+impl ModelDeps {
+    /// True when no operator reads the model at all; re-executing such a
+    /// plan under new parameters can reuse the cached result verbatim.
+    pub fn is_model_free(&self) -> bool {
+        self.model_conjuncts.is_empty() && !self.model_output
+    }
+}
+
 impl QueryPlan {
+    /// Classify which operators of this plan depend on the model.
+    pub fn model_deps(&self) -> ModelDeps {
+        let model_conjuncts = self
+            .conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.contains_predict())
+            .map(|(i, _)| i)
+            .collect();
+        let model_output = match &self.kind {
+            QueryKind::Select { items } => items.iter().any(|(e, _)| e.contains_predict()),
+            QueryKind::Aggregate { keys, aggs } => {
+                keys.iter().any(|k| matches!(k, GroupKey::Predict { .. }))
+                    || aggs.iter().any(|a| {
+                        matches!(
+                            a.arg,
+                            BoundAggArg::Predict { .. } | BoundAggArg::ScaledPredict { .. }
+                        )
+                    })
+            }
+        };
+        ModelDeps {
+            model_conjuncts,
+            model_output,
+        }
+    }
+
     /// Lower a bound statement with **no** rewriting: no scan filters, no
     /// folding, full-schema column footprints. This is exactly the shape
     /// the seed executor ran, kept as the optimizer's baseline.

@@ -13,6 +13,7 @@
 
 use crate::prov::VarId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where a prediction variable's features come from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,10 +29,17 @@ pub struct PredVarInfo {
 /// The lookup map is keyed table-first so the per-tuple hot path
 /// (`var_for` on an existing variable) hashes a borrowed `&str` — no
 /// `String` allocation per joined tuple.
+///
+/// The variable structure (`infos`, lookup map) sits behind [`Arc`]s:
+/// cloning a registry — which the incremental refresh path does once per
+/// iteration via [`PredVarRegistry::with_preds`] — shares it instead of
+/// re-allocating every source string and map node. Mutation through
+/// [`PredVarRegistry::var_for`] copy-on-writes only when shared, so
+/// ordinary execution never pays for it.
 #[derive(Debug, Clone, Default)]
 pub struct PredVarRegistry {
-    infos: Vec<PredVarInfo>,
-    map: HashMap<String, HashMap<usize, VarId>>,
+    infos: Arc<Vec<PredVarInfo>>,
+    map: Arc<HashMap<String, HashMap<usize, VarId>>>,
     preds: Vec<usize>,
 }
 
@@ -39,6 +47,28 @@ impl PredVarRegistry {
     /// Empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A registry with the same variables — structurally *shared*, not
+    /// copied — and different hard predictions: the per-iteration refresh
+    /// registry, built in O(number of variables) with no per-variable
+    /// allocation. This is what keeps prediction-variable ids stable
+    /// across incremental refreshes: ids are positional in the shared
+    /// `infos`, never re-derived from lookup order.
+    ///
+    /// # Panics
+    /// Panics if `preds` does not supply one prediction per variable.
+    pub fn with_preds(&self, preds: Vec<usize>) -> Self {
+        assert_eq!(
+            preds.len(),
+            self.infos.len(),
+            "one hard prediction per variable"
+        );
+        PredVarRegistry {
+            infos: Arc::clone(&self.infos),
+            map: Arc::clone(&self.map),
+            preds,
+        }
     }
 
     /// Get-or-create the variable for `(table, row)`; `hard_pred` supplies
@@ -49,11 +79,11 @@ impl PredVarRegistry {
             return v;
         }
         let id = self.infos.len() as VarId;
-        self.infos.push(PredVarInfo {
+        Arc::make_mut(&mut self.infos).push(PredVarInfo {
             table: table.to_string(),
             row,
         });
-        self.map
+        Arc::make_mut(&mut self.map)
             .entry(table.to_string())
             .or_default()
             .insert(row, id);
@@ -129,6 +159,26 @@ mod tests {
                 row: 0
             }
         );
+    }
+
+    #[test]
+    fn with_preds_shares_structure_and_keeps_ids() {
+        let mut reg = PredVarRegistry::new();
+        let a = reg.var_for("t", 0, || 0);
+        let b = reg.var_for("t", 5, || 1);
+        let refreshed = reg.with_preds(vec![1, 0]);
+        assert_eq!(refreshed.lookup("t", 0), Some(a));
+        assert_eq!(refreshed.lookup("t", 5), Some(b));
+        assert_eq!(refreshed.preds(), &[1, 0]);
+        assert_eq!(refreshed.infos(), reg.infos());
+        // A structurally shared registry can still grow: mutation
+        // copy-on-writes and leaves the original untouched.
+        let mut grown = refreshed.clone();
+        let c = grown.var_for("t", 9, || 2);
+        assert_eq!(c, 2);
+        assert_eq!(grown.len(), 3);
+        assert_eq!(reg.len(), 2, "original untouched");
+        assert_eq!(reg.lookup("t", 9), None);
     }
 
     #[test]

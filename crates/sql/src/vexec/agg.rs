@@ -33,7 +33,7 @@ impl Tuples for RowSet {
     }
 }
 
-/// Aggregate a row set, taking the columnar fast path when it provably
+/// Aggregate a row set, taking a columnar fast path when it provably
 /// matches the shared finalizer.
 pub(crate) fn aggregate_rowset(
     ctx: &mut EvalCtx,
@@ -41,6 +41,9 @@ pub(crate) fn aggregate_rowset(
     keys: &[GroupKey],
     aggs: &[BoundAgg],
 ) -> Result<QueryOutput, QueryError> {
+    if let Some(out) = grouped_fast_path(ctx, &rows, keys, aggs)? {
+        return Ok(out);
+    }
     // Fast path: normal mode, one global group, model-free arguments.
     // (Scalar aggregate arguments are model-free by binder construction.)
     let fast = !ctx.debug
@@ -110,6 +113,103 @@ pub(crate) fn aggregate_rowset(
         n_key_cols: 0,
         predvars: std::mem::take(&mut ctx.reg),
     })
+}
+
+/// Vectorized grouped aggregation: normal mode, a single non-nullable
+/// `Int` group key, and aggregate arguments readable straight off typed
+/// column slices. Group ids come from one hash per tuple on the raw `i64`
+/// key (no `Value`/`KeyVal` boxing per tuple), accumulation runs in tuple
+/// order within each group, and groups are emitted in ascending key order
+/// — exactly the shared finalizer's float-summation sequence and output
+/// order, so results stay bit-identical (the grouped property suite in
+/// `tests/properties.rs` pins this against the tuple oracle).
+///
+/// Returns `None` when the shape doesn't fit, handing over to the shared
+/// path.
+fn grouped_fast_path(
+    ctx: &mut EvalCtx,
+    rows: &RowSet,
+    keys: &[GroupKey],
+    aggs: &[BoundAgg],
+) -> Result<Option<QueryOutput>, QueryError> {
+    let [GroupKey::Col { rel, col, .. }] = keys else {
+        return Ok(None);
+    };
+    if ctx.debug {
+        return Ok(None);
+    }
+    let key_table = ctx.table_of(*rel);
+    if key_table.null_mask(*col).is_some() {
+        return Ok(None);
+    }
+    let Some(key_slice) = key_table.column(*col).as_i64s() else {
+        return Ok(None);
+    };
+    // Every aggregate argument must gather from a typed slice; anything
+    // else (expressions, model arguments, nullable columns) bails.
+    let arg_slices: Option<Vec<Option<ColSlice>>> = aggs
+        .iter()
+        .map(|a| match &a.arg {
+            BoundAggArg::CountStar => Some(None),
+            BoundAggArg::Scalar(e) => column_slice(ctx, rows, e).map(Some),
+            _ => None,
+        })
+        .collect();
+    let Some(arg_slices) = arg_slices else {
+        return Ok(None);
+    };
+
+    // One accumulator row per group, discovered in tuple order.
+    let mut group_of: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+    let mut group_keys: Vec<i64> = Vec::new();
+    let mut accs: Vec<Vec<(f64, usize)>> = Vec::new();
+    let key_rows = rows.rel(*rel);
+    for (i, &kr) in key_rows.iter().enumerate() {
+        let k = key_slice[kr as usize];
+        let gid = *group_of.entry(k).or_insert_with(|| {
+            group_keys.push(k);
+            accs.push(vec![(0.0, 0); aggs.len()]);
+            accs.len() - 1
+        });
+        for (ai, slice) in arg_slices.iter().enumerate() {
+            let (sum, cnt) = &mut accs[gid][ai];
+            match slice {
+                None => {
+                    *sum += 1.0;
+                    *cnt += 1;
+                }
+                Some(ColSlice::I64(arel, vals)) => {
+                    *sum += vals[rows.row(*arel, i) as usize] as f64;
+                    *cnt += 1;
+                }
+                Some(ColSlice::F64(arel, vals)) => {
+                    *sum += vals[rows.row(*arel, i) as usize];
+                    *cnt += 1;
+                }
+            }
+        }
+    }
+
+    // Ascending key order = the shared path's sorted `KeyVal` order.
+    let mut order: Vec<usize> = (0..group_keys.len()).collect();
+    order.sort_by_key(|&g| group_keys[g]);
+
+    let mut table = Table::empty(eval::agg_schema(ctx, keys, aggs));
+    for g in order {
+        let mut row = Vec::with_capacity(1 + aggs.len());
+        row.push(Value::Int(group_keys[g]));
+        for (agg, &(sum, cnt)) in aggs.iter().zip(&accs[g]) {
+            row.push(eval::agg_value(agg.func, sum, cnt));
+        }
+        table.push_row(row, None);
+    }
+    Ok(Some(QueryOutput {
+        table,
+        row_prov: Vec::new(),
+        agg_cells: Vec::new(),
+        n_key_cols: 1,
+        predvars: std::mem::take(&mut ctx.reg),
+    }))
 }
 
 /// A numeric column slice usable for direct accumulation.

@@ -85,14 +85,16 @@ pub(crate) fn cross_join(left: RowSet, right_rows: &[u32], debug: bool) -> RowSe
 }
 
 /// Hash join of the accumulated tuples with relation `rel` on the given
-/// `(probe expr, build expr)` key pairs.
+/// `(probe expr, build expr)` key pairs. Returns the joined row set plus
+/// the [`Strategy`] that executed it, so callers capturing a query
+/// skeleton can record how each step's match lists were built.
 pub(crate) fn hash_join(
     ctx: &mut EvalCtx,
     left: RowSet,
     right_rows: &[u32],
     keys: &[(BExpr, BExpr)],
     rel: usize,
-) -> Result<RowSet, QueryError> {
+) -> Result<(RowSet, Strategy), QueryError> {
     let debug = ctx.debug;
     let tables: Vec<&Table> = ctx
         .query
@@ -100,8 +102,9 @@ pub(crate) fn hash_join(
         .iter()
         .map(|r| ctx.db.table_by_id(r.id))
         .collect();
-    match strategy(&tables, keys) {
-        Strategy::Disjoint => Ok(RowSet::with_rels(left.n_rels() + 1, debug)),
+    let strat = strategy(&tables, keys);
+    let rows = match strat {
+        Strategy::Disjoint => RowSet::with_rels(left.n_rels() + 1, debug),
         Strategy::TypedNum => {
             let [(BExpr::Col { rel: lr, col: lc }, BExpr::Col { col: rc, .. })] = keys else {
                 unreachable!("classified as typed")
@@ -109,7 +112,7 @@ pub(crate) fn hash_join(
             let build = NumCol::of(tables[rel], *rc).expect("numeric column");
             let probe = NumCol::of(tables[*lr], *lc).expect("numeric column");
             // NaN keys match nothing: skipped on both sides.
-            Ok(typed_join(
+            typed_join(
                 left,
                 right_rows,
                 debug,
@@ -121,7 +124,7 @@ pub(crate) fn hash_join(
                     let v = probe.get(l.row(*lr, i) as usize);
                     (!v.is_nan()).then(|| f64_key_bits(v))
                 },
-            ))
+            )
         }
         Strategy::TypedStr => {
             let [(BExpr::Col { rel: lr, col: lc }, BExpr::Col { col: rc, .. })] = keys else {
@@ -129,13 +132,13 @@ pub(crate) fn hash_join(
             };
             let build = tables[rel].column(*rc).as_strs().expect("string column");
             let probe = tables[*lr].column(*lc).as_strs().expect("string column");
-            Ok(typed_join(
+            typed_join(
                 left,
                 right_rows,
                 debug,
                 |r| Some(build[r].as_str()),
                 |i, l| Some(probe[l.row(*lr, i) as usize].as_str()),
-            ))
+            )
         }
         Strategy::General => {
             // Arbitrary key expressions through the shared scalar
@@ -173,9 +176,10 @@ pub(crate) fn hash_join(
                     }
                 }
             }
-            Ok(out)
+            out
         }
-    }
+    };
+    Ok((rows, strat))
 }
 
 /// Hash join on one typed key: `build_key(base row)` indexes the new

@@ -40,6 +40,7 @@ use crate::binder::{BExpr, QueryKind};
 use crate::catalog::Database;
 use crate::eval::{self, EvalCtx, Sym};
 use crate::exec::QueryOutput;
+use crate::incremental::PipelineTrace;
 use crate::plan::QueryPlan;
 use crate::prov::BoolProv;
 use crate::table::{Column, Table};
@@ -55,7 +56,7 @@ pub(crate) fn run(
     debug: bool,
 ) -> Result<QueryOutput, QueryError> {
     let mut ctx = EvalCtx::new(db, model, query, debug);
-    let rows = join_pipeline(&mut ctx)?;
+    let rows = join_pipeline(&mut ctx, None)?;
     match &query.kind {
         QueryKind::Select { items } => project_rowset(&mut ctx, rows, items),
         QueryKind::Aggregate { keys, aggs } => agg::aggregate_rowset(&mut ctx, rows, keys, aggs),
@@ -64,28 +65,40 @@ pub(crate) fn run(
 
 /// Build the joined candidate set with pushdown, mirroring the tuple
 /// engine's schedule (scan order, equi-key selection, conjunct order).
-fn join_pipeline(ctx: &mut EvalCtx) -> Result<RowSet, QueryError> {
+/// With `trace`, records the per-relation scan selections and per-step
+/// join strategies for skeleton capture ([`crate::incremental::prepare`]).
+pub(crate) fn join_pipeline(
+    ctx: &mut EvalCtx,
+    mut trace: Option<&mut PipelineTrace>,
+) -> Result<RowSet, QueryError> {
     let query = ctx.query;
     let debug = ctx.debug;
     let n_rels = query.rels.len();
     let mut applied = vec![false; query.conjuncts.len()];
     let footprints = eval::conjunct_footprints(query);
 
-    let mut rows = RowSet::seed(scan::scan(ctx, 0)?, debug);
+    let mut rows = RowSet::seed(scan::scan(ctx, 0, trace.as_deref_mut())?, debug);
     apply_conjuncts(ctx, &mut rows, &mut applied, &footprints, 1)?;
 
     for rel in 1..n_rels {
         let equi = eval::equi_keys(query, &applied, &footprints, rel);
-        let right_rows = scan::scan(ctx, rel)?;
+        let right_rows = scan::scan(ctx, rel, trace.as_deref_mut())?;
+        let step;
         rows = if equi.is_empty() {
+            step = "nested-loop";
             join::cross_join(rows, &right_rows, debug)
         } else {
             for (_, _, ci) in &equi {
                 applied[*ci] = true;
             }
             let keys: Vec<(BExpr, BExpr)> = equi.into_iter().map(|(le, re, _)| (le, re)).collect();
-            join::hash_join(ctx, rows, &right_rows, &keys, rel)?
+            let (joined, strat) = join::hash_join(ctx, rows, &right_rows, &keys, rel)?;
+            step = strat.describe();
+            joined
         };
+        if let Some(t) = trace.as_deref_mut() {
+            t.join_steps.push((step, rows.len()));
+        }
         apply_conjuncts(ctx, &mut rows, &mut applied, &footprints, rel + 1)?;
     }
     Ok(rows)

@@ -14,13 +14,29 @@
 use super::batch::{Batch, BATCH_SIZE};
 use super::kernels::{self, Kernel, SelLookup};
 use crate::eval::{EvalCtx, Sym};
+use crate::incremental::PipelineTrace;
 use crate::table::Table;
 use crate::QueryError;
 
 /// Base-row ids of `rel` surviving its pushed-down scan filters, in
 /// ascending order (the same survivors, in the same order, as the tuple
-/// engine's scan).
-pub(crate) fn scan(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
+/// engine's scan). When a skeleton capture is in flight, the post-filter
+/// selection vector's cardinality is recorded in `trace` — the scan
+/// output *is* the model-independent selection the prepared skeleton
+/// reuses across refreshes.
+pub(crate) fn scan(
+    ctx: &mut EvalCtx,
+    rel: usize,
+    trace: Option<&mut PipelineTrace>,
+) -> Result<Vec<u32>, QueryError> {
+    let out = scan_inner(ctx, rel)?;
+    if let Some(t) = trace {
+        t.scan_rows.push(out.len());
+    }
+    Ok(out)
+}
+
+fn scan_inner(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
     let table = ctx.table_of(rel);
     let n = table.n_rows();
     let query = ctx.query;

@@ -562,3 +562,131 @@ fn output_types_agree_between_naive_and_optimized_plans() {
         assert_eq!(naive.table.value(0, c), opt.table.value(0, c));
     }
 }
+
+// ---------------------------------------------------------------------
+// Predict-keyed grouping: the `GroupKey::Predict` schema path (the
+// `push_unique(..., "predict", ColType::Int)` branch) with duplicate
+// class labels among the grouped rows.
+// ---------------------------------------------------------------------
+
+/// 3-class digits db with duplicate class labels: classes 1, 1, 2, 1, 0, 2.
+fn dup_class_db() -> (Database, SoftmaxRegression) {
+    let classes = [1usize, 1, 2, 1, 0, 2];
+    let mut m = SoftmaxRegression::new(3, 3, 0.0);
+    let mut p = vec![0.0; 4 * 3];
+    for j in 0..3 {
+        p[j * 3 + j] = 40.0;
+    }
+    m.set_params(&p);
+    let rows: Vec<Vec<f64>> = classes
+        .iter()
+        .map(|&c| {
+            let mut v = vec![0.0; 3];
+            v[c] = 1.0;
+            v
+        })
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let t = Table::from_columns(
+        Schema::new(&[("id", ColType::Int)]),
+        vec![Column::Int((0..classes.len() as i64).collect())],
+    )
+    .with_features(Matrix::from_rows(&refs));
+    let mut db = Database::new();
+    db.register("t", t);
+    (db, m)
+}
+
+#[test]
+fn predict_keyed_grouping_merges_duplicate_class_labels() {
+    use rain_sql::Engine;
+    let (db, m) = dup_class_db();
+    for engine in [Engine::Tuple, Engine::Vectorized] {
+        for debug in [false, true] {
+            let opts = ExecOptions::with_debug(debug).on(engine);
+            let out =
+                run_query(&db, &m, "SELECT COUNT(*) FROM t GROUP BY predict(*)", opts).unwrap();
+            // Key column comes from the GroupKey::Predict schema branch.
+            assert_eq!(out.n_key_cols, 1);
+            assert_eq!(out.table.schema().col(0).name, "predict");
+            assert_eq!(out.table.schema().col(0).ty, ColType::Int);
+            // Duplicate labels merge into one group per class, in class
+            // order: class 0 × 1 row, class 1 × 3 rows, class 2 × 2 rows.
+            assert_eq!(
+                out.table.to_tsv(),
+                "predict\tcount\n0\t1\n1\t3\n2\t2\n",
+                "[{engine:?} debug={debug}]"
+            );
+
+            // SUM(predict(*)) keyed by predict(*): per-class sums are
+            // class × multiplicity.
+            let out = run_query(
+                &db,
+                &m,
+                "SELECT SUM(predict(t)) FROM t t GROUP BY predict(t)",
+                opts,
+            )
+            .unwrap();
+            assert_eq!(
+                out.table.to_tsv(),
+                "predict\tsum\n0\t0\n1\t3\n2\t4\n",
+                "[{engine:?} debug={debug}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn predict_key_schema_uniquifies_colliding_names() {
+    use rain_sql::Engine;
+    let (db, m) = dup_class_db();
+    for engine in [Engine::Tuple, Engine::Vectorized] {
+        // An aggregate aliased to the key's reserved name must be
+        // uniquified, not panic or shadow the key column.
+        let out = run_query(
+            &db,
+            &m,
+            "SELECT COUNT(*) AS predict FROM t GROUP BY predict(*)",
+            ExecOptions::debug().on(engine),
+        )
+        .unwrap();
+        let names: Vec<&str> = out.table.schema().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["predict", "predict_2"], "{engine:?}");
+    }
+}
+
+#[test]
+fn two_predict_keys_group_and_uniquify() {
+    use rain_sql::Engine;
+    let (mut db, m) = dup_class_db();
+    let t = db.table("t").unwrap().clone();
+    db.register("u", t);
+    let sql = "SELECT predict(a), predict(b), COUNT(*) FROM t a, u b \
+               WHERE a.id = b.id GROUP BY predict(a), predict(b)";
+    for engine in [Engine::Tuple, Engine::Vectorized] {
+        for debug in [false, true] {
+            let out = run_query(&db, &m, sql, ExecOptions::with_debug(debug).on(engine)).unwrap();
+            let names: Vec<&str> = out.table.schema().iter().map(|c| c.name.as_str()).collect();
+            assert_eq!(names, ["predict", "predict_2", "count"]);
+            // The self-join pairs each row with itself, so only diagonal
+            // class groups exist, with duplicate labels merged.
+            assert_eq!(
+                out.table.to_tsv(),
+                "predict\tpredict_2\tcount\n0\t0\t1\n1\t1\t3\n2\t2\t2\n",
+                "[{engine:?} debug={debug}]"
+            );
+            if debug {
+                // Discrete evaluation of the captured per-cell provenance
+                // must reproduce the concrete counts.
+                let preds = out.predvars.preds().to_vec();
+                for (ri, cells) in out.agg_cells.iter().enumerate() {
+                    let concrete = match out.table.value(ri, 2) {
+                        Value::Int(v) => v as f64,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    assert_eq!(cells[0].eval_discrete(&preds), concrete);
+                }
+            }
+        }
+    }
+}

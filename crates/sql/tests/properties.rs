@@ -457,6 +457,101 @@ fn optimizer_preserves_results_and_provenance() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Vectorized grouped aggregation: the vexec grouped-key paths (typed
+// single-key fast path and shared-finalizer bridge) against the
+// tuple-engine oracle, bit for bit — rows, schema, provenance, and the
+// prediction-variable registry.
+// ---------------------------------------------------------------------
+
+/// A random grouped aggregate over the generated schema: single- and
+/// multi-column keys, predict keys, and mixed aggregate lists.
+fn random_grouped_query(rng: &mut RainRng) -> String {
+    let two_rels = rng.bernoulli(0.5);
+    let from = if two_rels { "t1 a, t2 b" } else { "t1 a" };
+    let mut terms = Vec::new();
+    if two_rels && rng.bernoulli(0.7) {
+        terms.push("a.x = b.k".to_string());
+    }
+    if rng.bernoulli(0.7) {
+        terms.push(atom(rng, "a", true));
+    }
+    let where_sql = if terms.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", terms.join(" AND "))
+    };
+    let aggs = [
+        "COUNT(*)",
+        "SUM(x)",
+        "AVG(x), COUNT(*)",
+        "SUM(predict(a)), COUNT(*)",
+    ][rng.below(4)];
+    let group = match rng.below(5) {
+        0 => "x",
+        1 => "flag",
+        2 => "x, flag",
+        3 if two_rels => "k",
+        _ => return format!("SELECT {aggs} FROM {from}{where_sql} GROUP BY predict(a)"),
+    };
+    format!("SELECT {aggs} FROM {from}{where_sql} GROUP BY {group}")
+}
+
+/// Assert both engines agree bit for bit on one output pair.
+fn assert_bit_identical(label: &str, tuple: &QueryOutput, vexec: &QueryOutput) {
+    assert_eq!(
+        tuple.table.to_tsv(),
+        vexec.table.to_tsv(),
+        "{label}: result rows differ"
+    );
+    let (ts, vs) = (tuple.table.schema(), vexec.table.schema());
+    assert_eq!(ts.len(), vs.len(), "{label}: schema arity differs");
+    for (a, b) in ts.iter().zip(vs.iter()) {
+        assert_eq!(a, b, "{label}: schema column differs");
+    }
+    assert_eq!(tuple.n_key_cols, vexec.n_key_cols, "{label}: n_key_cols");
+    assert_eq!(tuple.row_prov, vexec.row_prov, "{label}: row provenance");
+    assert_eq!(
+        tuple.agg_cells, vexec.agg_cells,
+        "{label}: aggregate provenance"
+    );
+    assert_eq!(
+        tuple.predvars.infos(),
+        vexec.predvars.infos(),
+        "{label}: prediction-variable sources"
+    );
+    assert_eq!(
+        tuple.predvars.preds(),
+        vexec.predvars.preds(),
+        "{label}: hard predictions"
+    );
+}
+
+/// Randomized GROUP BY workloads must agree across engines in both modes;
+/// this pins the vexec grouped-aggregation key paths to the tuple oracle.
+#[test]
+fn vexec_grouped_aggregation_matches_tuple_oracle() {
+    use rain_sql::Engine;
+    let model = step_model();
+    for seed in 0..CASES {
+        let mut rng = RainRng::seed_from_u64(0x6B0 ^ seed);
+        let db = spja_db(&mut rng);
+        let sql = random_grouped_query(&mut rng);
+        let stmt = parse_select(&sql).unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
+        let bound = bind(&stmt, &db).unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
+        let plan = optimize(bound, &db);
+        for debug in [false, true] {
+            let label = format!("seed {seed} `{sql}` [debug={debug}]");
+            let opts = ExecOptions::with_debug(debug);
+            let tuple = execute(&db, &model, &plan, opts.on(Engine::Tuple))
+                .unwrap_or_else(|e| panic!("{label} tuple: {e}"));
+            let vexec = execute(&db, &model, &plan, opts.on(Engine::Vectorized))
+                .unwrap_or_else(|e| panic!("{label} vexec: {e}"));
+            assert_bit_identical(&label, &tuple, &vexec);
+        }
+    }
+}
+
 /// Each rule on its own must also preserve results (catches a rule that
 /// is only correct in combination with another).
 #[test]
