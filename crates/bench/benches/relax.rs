@@ -30,7 +30,10 @@ fn join_count_cell(n_left: usize, n_right: usize) -> (CellProv, Probs) {
             row
         })
         .collect();
-    (CellProv::Sum(AggSum { terms }), Probs { p })
+    (
+        CellProv::Sum(std::sync::Arc::new(AggSum { terms })),
+        Probs { p },
+    )
 }
 
 fn bench_relax() {

@@ -1,0 +1,180 @@
+//! Serving-layer concurrency bench: requests/sec and p50/p95 latency of
+//! cached debug-mode queries against a live `rain-serve` server, at 1, 4,
+//! and 16 concurrent clients on the DBLP workload.
+//!
+//! Each client owns one session (its own catalog, model, and skeleton
+//! cache), which is the serving layer's scaling unit: requests serialize
+//! per session and parallelize across sessions, so throughput should grow
+//! from 1 → 4 clients on multi-core hardware. Results land in
+//! `BENCH_serve.json` (path overridable via `RAIN_BENCH_JSON`), which CI
+//! uploads next to the vexec/iteration artifacts. The bench doubles as a
+//! smoke test: every response is checked for the expected count and for
+//! cache-hit behavior, so a wrong answer panics the job.
+
+use rain_data::dblp::DblpConfig;
+use rain_serve::json::Json;
+use rain_serve::{start, Client, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const SQL: &str = "SELECT COUNT(*) FROM dblp WHERE predict(*) = 1";
+
+/// Per-concurrency-level results.
+struct Level {
+    clients: usize,
+    rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Set up one session per client: register the DBLP table, upload the
+/// training set, and warm nothing — the first query of the run pays the
+/// miss, the rest must hit.
+fn setup_sessions(addr: SocketAddr, n: usize, table: &Json, train: &Json) {
+    let mut client = Client::connect(addr).expect("connect for setup");
+    for si in 0..n {
+        let name = format!("bench-{si}");
+        client
+            .post_ok(
+                "/sessions",
+                &Json::obj(vec![
+                    ("name", Json::str(name.clone())),
+                    (
+                        "model",
+                        Json::obj(vec![
+                            ("kind", Json::str("logistic")),
+                            ("dim", Json::num(rain_data::dblp::N_FEATURES as f64)),
+                            ("l2", Json::num(0.01)),
+                        ]),
+                    ),
+                ]),
+            )
+            .expect("create session");
+        client
+            .post_ok(&format!("/sessions/{name}/tables"), table)
+            .expect("register table");
+        client
+            .post_ok(&format!("/sessions/{name}/train"), train)
+            .expect("upload train");
+    }
+}
+
+/// Drive `clients` threads, `requests` queries each, against their own
+/// sessions; returns the latency distribution and wall time.
+fn drive(addr: SocketAddr, clients: usize, requests: usize) -> Level {
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|ci| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let path = format!("/sessions/bench-{ci}/query");
+                let body = Json::obj(vec![("sql", Json::str(SQL))]);
+                let mut latencies = Vec::with_capacity(requests);
+                let mut count = None;
+                for _ in 0..requests {
+                    let t = Instant::now();
+                    let resp = client.post_ok(&path, &body).expect("query");
+                    latencies.push(t.elapsed().as_secs_f64());
+                    // Smoke checks: stable count, warm cache after the
+                    // first round (every level reuses the sessions, so
+                    // only the very first query of the bench misses).
+                    let rows = resp.get("result").unwrap().get("rows").unwrap();
+                    let c = rows.as_arr().unwrap()[0].as_arr().unwrap()[0]
+                        .as_i64()
+                        .unwrap();
+                    match count {
+                        None => count = Some(c),
+                        Some(prev) => assert_eq!(prev, c, "count drifted between requests"),
+                    }
+                    let hits = resp
+                        .get("cache_stats")
+                        .unwrap()
+                        .get("hits")
+                        .unwrap()
+                        .as_i64()
+                        .unwrap();
+                    assert!(
+                        hits + 1 >= latencies.len() as i64,
+                        "repeat queries must hit the skeleton cache"
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("bench client panicked"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    Level {
+        clients,
+        rps: latencies.len() as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50) * 1e3,
+        p95_ms: percentile(&latencies, 0.95) * 1e3,
+    }
+}
+
+fn main() {
+    let quick = rain_bench::is_quick();
+    let (n_query, requests) = if quick { (300, 25) } else { (1500, 150) };
+
+    // One shared generated workload; every session registers the same
+    // table so per-session results are comparable.
+    let w = DblpConfig {
+        n_train: 400,
+        n_query,
+        ..Default::default()
+    }
+    .generate(42);
+    let table = rain_serve::protocol::table_to_json("dblp", &w.query_table());
+    let train = rain_serve::protocol::dataset_to_json(&w.train);
+
+    let server = start(ServerConfig {
+        job_workers: 2,
+        ..Default::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    const MAX_CLIENTS: usize = 16;
+    setup_sessions(addr, MAX_CLIENTS, &table, &train);
+
+    let mut levels = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        let level = drive(addr, clients, requests);
+        println!(
+            "{:>2} clients: {:>8.1} req/s   p50 {:>7.3} ms   p95 {:>7.3} ms",
+            level.clients, level.rps, level.p50_ms, level.p95_ms
+        );
+        levels.push(level);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scaling_1_to_4 = levels[1].rps / levels[0].rps;
+    println!("throughput scaling 1→4 clients: {scaling_1_to_4:.2}x on {cores} core(s)");
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"serve_concurrency\",\n  \"workload\": \"dblp\",\n  \"n_query\": {n_query},\n  \"requests_per_client\": {requests},\n  \"cores\": {cores},\n  \"scaling_1_to_4\": {scaling_1_to_4:.3},\n  \"levels\": ["
+    );
+    for (i, l) in levels.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{ \"clients\": {}, \"rps\": {:.3}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6} }}",
+            l.clients, l.rps, l.p50_ms, l.p95_ms
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    let path = std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+    server.shutdown();
+}

@@ -21,9 +21,19 @@ use rain_influence::InfluenceConfig;
 use rain_model::{train_lbfgs, Classifier, Dataset, LbfgsConfig};
 use rain_sql::{
     execute, prepare, Database, Engine, ExecOptions, PreparedQuery, QueryError, QueryOutput,
-    QueryPlan,
+    QueryPlan, StalePolicy,
 };
 use std::time::Instant;
+
+// The serving layer moves sessions and their prepared state across
+// threads (job-runner workers execute runs off the accept path); keep
+// that guaranteed at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<DebugSession>();
+    assert_send::<PreparedQueries>();
+    assert_send::<DebugReport>();
+};
 
 /// A debugging session: the queried database, the (possibly corrupted)
 /// training set, the model, and the complained-about queries.
@@ -64,10 +74,10 @@ impl DebugSession {
         self
     }
 
-    /// Parse, bind, and optimize every attached query once
+    /// Parse, bind, and optimize every attached query
     /// (`parser → binder → optimizer`); the returned plans are executed
     /// directly on each iteration of the loop.
-    fn plan_queries(&self) -> Result<Vec<QueryPlan>, QueryError> {
+    pub fn plan_queries(&self) -> Result<Vec<QueryPlan>, QueryError> {
         self.queries
             .iter()
             .map(|q| {
@@ -78,34 +88,71 @@ impl DebugSession {
             .collect()
     }
 
+    /// Plan — and, when `incremental` is on, *prepare* — every attached
+    /// query: the model-independent skeleton (joined candidate tuples,
+    /// group partitions, provenance sums, feature bindings) is captured
+    /// once, and each loop iteration re-runs only the model — a batched
+    /// inference plus a discrete re-evaluation.
+    ///
+    /// The result is deliberately separable from the session: a serving
+    /// layer keeps it (or the skeletons inside it, via its query cache)
+    /// alive across runs, so a follow-up debug run skips planning and
+    /// skeleton capture entirely.
+    pub fn prepare_queries(&self, incremental: bool) -> Result<PreparedQueries, QueryError> {
+        let t_prepare = Instant::now();
+        let plans = self.plan_queries()?;
+        let prepared: Vec<PreparedQuery> = if incremental {
+            plans
+                .iter()
+                .map(|p| prepare(&self.db, self.model.as_ref(), p, Engine::Vectorized))
+                .collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+        Ok(PreparedQueries {
+            plans,
+            prepared,
+            prepare_s: t_prepare.elapsed().as_secs_f64(),
+        })
+    }
+
     /// Run the train–rank–fix loop with one method.
     pub fn run(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, QueryError> {
-        // Queries are planned once: re-executing per iteration only pays
-        // for execution, not parsing/binding/rewriting.
-        let plans = self.plan_queries()?;
-        // With incremental refresh on, each query is additionally
-        // *prepared* once: the model-independent skeleton (joined
-        // candidate tuples, group partitions, provenance sums, feature
-        // bindings) is captured up front, and each iteration re-runs only
-        // the model — a batched inference plus a discrete re-evaluation.
-        // Fixes mutate the training set, never the queried database, so
-        // the skeleton stays valid for the whole run (refresh still
-        // revalidates table versions defensively).
-        let t_prepare = Instant::now();
-        let prepared: Option<Vec<PreparedQuery>> = if cfg.incremental {
-            Some(
-                plans
-                    .iter()
-                    .map(|p| prepare(&self.db, self.model.as_ref(), p, Engine::Vectorized))
-                    .collect::<Result<_, _>>()?,
-            )
-        } else {
-            None
-        };
-        // The one-time prepare cost is charged to the first iteration's
-        // encode phase so incremental timing trajectories stay
-        // cost-complete against full re-execution.
-        let mut pending_prepare_s = t_prepare.elapsed().as_secs_f64();
+        let mut pq = self.prepare_queries(cfg.incremental)?;
+        self.run_prepared(method, cfg, &mut pq)
+    }
+
+    /// [`DebugSession::run`] against externally held planned/prepared
+    /// state. `pq` is borrowed mutably because refreshes transparently
+    /// re-prepare stale skeletons ([`StalePolicy::Rebuild`]) — a
+    /// long-lived server's fix path may re-register queried tables
+    /// between runs; inside the library loop fixes mutate only the
+    /// training set, so rebuilds never trigger there.
+    pub fn run_prepared(
+        &self,
+        method: Method,
+        cfg: &RunConfig,
+        pq: &mut PreparedQueries,
+    ) -> Result<DebugReport, QueryError> {
+        // The one-time plan/prepare cost is charged to the first
+        // iteration's encode phase so incremental timing trajectories
+        // stay cost-complete against full re-execution. (Taken, so state
+        // reused across runs is not double-charged.)
+        let mut pending_prepare_s = std::mem::take(&mut pq.prepare_s);
+        let mut skeleton_rebuilds = 0usize;
+        // Refresh-aware complaint checking: a query's debug output is a
+        // pure function of the hard predictions over its variables (the
+        // skeleton is fixed for the run), so if no prediction the query
+        // depends on flipped this iteration, last iteration's
+        // satisfied/violated verdict still stands. Model-free plans
+        // (`QueryPlan::model_deps`) can never flip; model-dependent ones
+        // are re-checked only when their prediction vector changed.
+        let model_free: Vec<bool> = pq
+            .plans
+            .iter()
+            .map(|p| p.model_deps().is_model_free())
+            .collect();
+        let mut last_verdict: Vec<Option<(Vec<usize>, bool)>> = vec![None; self.queries.len()];
         let mut model = self.model.clone();
         let mut train = self.train.clone();
         let mut removed: Vec<usize> = Vec::new();
@@ -130,26 +177,46 @@ impl DebugSession {
             // on the vectorized engine: it dominates per-iteration cost,
             // and vexec is provenance-identical to the tuple oracle.
             let t_exec = Instant::now();
-            let mut outputs: Vec<QueryOutput> = Vec::with_capacity(plans.len());
-            for (qi, plan) in plans.iter().enumerate() {
-                outputs.push(match &prepared {
-                    Some(ps) => ps[qi].refresh(&self.db, model.as_ref())?,
-                    None => execute(
+            let mut outputs: Vec<QueryOutput> = Vec::with_capacity(pq.plans.len());
+            for qi in 0..pq.plans.len() {
+                outputs.push(if pq.prepared.is_empty() {
+                    execute(
                         &self.db,
                         model.as_ref(),
-                        plan,
+                        &pq.plans[qi],
                         ExecOptions::debug().on(Engine::Vectorized),
-                    )?,
+                    )?
+                } else {
+                    let (out, rebuilt) = pq.prepared[qi].refresh_with(
+                        &self.db,
+                        model.as_ref(),
+                        StalePolicy::Rebuild,
+                    )?;
+                    skeleton_rebuilds += rebuilt as usize;
+                    out
                 });
             }
             let exec_s = t_exec.elapsed().as_secs_f64();
 
-            // (3) Complaint check.
-            let satisfied = self
-                .queries
-                .iter()
-                .zip(&outputs)
-                .all(|(q, out)| q.complaints.iter().all(|c| c.satisfied(out)));
+            // (3) Complaint check, skipping queries whose depended-on
+            // predictions did not flip this iteration.
+            let mut checks_skipped = 0usize;
+            let mut satisfied = true;
+            for (qi, (q, out)) in self.queries.iter().zip(&outputs).enumerate() {
+                let preds = out.predvars.preds();
+                let q_sat = match &last_verdict[qi] {
+                    Some((prev, sat)) if model_free[qi] || prev == preds => {
+                        checks_skipped += q.complaints.len();
+                        *sat
+                    }
+                    _ => {
+                        let sat = q.complaints.iter().all(|c| c.satisfied(out));
+                        last_verdict[qi] = Some((preds.to_vec(), sat));
+                        sat
+                    }
+                };
+                satisfied &= q_sat;
+            }
             if satisfied && cfg.stop_when_satisfied {
                 iterations.push(IterStats {
                     train_s,
@@ -157,6 +224,7 @@ impl DebugSession {
                     rank_s: 0.0,
                     removed: Vec::new(),
                     complaints_satisfied: true,
+                    checks_skipped,
                     train_loss: report.final_loss,
                 });
                 break;
@@ -198,6 +266,7 @@ impl DebugSession {
                 rank_s: ranking.rank_s,
                 removed: batch,
                 complaints_satisfied: satisfied,
+                checks_skipped,
                 train_loss: report.final_loss,
             });
             if train.is_empty() {
@@ -207,8 +276,52 @@ impl DebugSession {
         Ok(DebugReport {
             removed,
             iterations,
+            skeleton_rebuilds,
             failure,
         })
+    }
+}
+
+/// The planned (and optionally skeleton-prepared) form of a session's
+/// queries: what [`DebugSession::run_prepared`] actually executes,
+/// separable from the session so callers can keep it warm across runs.
+#[derive(Debug, Clone)]
+pub struct PreparedQueries {
+    /// Optimized physical plan per attached query, in query order.
+    pub plans: Vec<QueryPlan>,
+    /// Prepared skeleton per query; empty = full re-execution per
+    /// iteration (the `incremental: false` oracle path).
+    pub prepared: Vec<PreparedQuery>,
+    /// Seconds spent planning + preparing, charged to the first
+    /// iteration's encode phase of the next run (then zeroed).
+    prepare_s: f64,
+}
+
+impl PreparedQueries {
+    /// Assemble from externally cached parts (e.g. skeletons checked out
+    /// of a [`QueryCache`](rain_sql::QueryCache)); `prepared` must be
+    /// empty or match `plans` element-wise.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch between non-empty `prepared` and
+    /// `plans`.
+    pub fn from_parts(plans: Vec<QueryPlan>, prepared: Vec<PreparedQuery>) -> Self {
+        assert!(
+            prepared.is_empty() || prepared.len() == plans.len(),
+            "one prepared skeleton per plan"
+        );
+        PreparedQueries {
+            plans,
+            prepared,
+            prepare_s: 0.0,
+        }
+    }
+
+    /// Tear down into `(plans, prepared)` — the inverse of
+    /// [`PreparedQueries::from_parts`], used to return skeletons to a
+    /// cache after a run.
+    pub fn into_parts(self) -> (Vec<QueryPlan>, Vec<PreparedQuery>) {
+        (self.plans, self.prepared)
     }
 }
 
@@ -254,6 +367,9 @@ pub struct IterStats {
     pub removed: Vec<usize>,
     /// Whether all complaints were satisfied *before* this removal.
     pub complaints_satisfied: bool,
+    /// Complaint checks skipped because no prediction the query depends
+    /// on flipped since the last check (refresh-aware checking).
+    pub checks_skipped: usize,
     /// Training objective after retraining.
     pub train_loss: f64,
 }
@@ -265,6 +381,9 @@ pub struct DebugReport {
     pub removed: Vec<usize>,
     /// Per-iteration statistics.
     pub iterations: Vec<IterStats>,
+    /// Stale query skeletons transparently re-prepared during the run
+    /// (non-zero only when queried tables changed under the session).
+    pub skeleton_rebuilds: usize,
     /// Set when the method failed (e.g. TwoStep ILP timeout).
     pub failure: Option<String>,
 }

@@ -506,6 +506,63 @@ fn inequality_complaints_drive_until_satisfied() {
 }
 
 #[test]
+fn run_prepared_reuses_state_and_skips_static_complaint_checks() {
+    let (session, truth, _) = dblp_session(8);
+    // Add a model-free query whose complaint verdict can never change
+    // across iterations: refresh-aware checking must skip it after the
+    // first check (its prediction dependency set is empty).
+    let session = DebugSession {
+        queries: {
+            let mut qs = session.queries.clone();
+            qs.push(
+                QuerySpec::new("SELECT COUNT(*) FROM pairs")
+                    .with_complaint(Complaint::scalar_eq(150.0)),
+            );
+            qs
+        },
+        ..session
+    };
+    let budget = 20.min(truth.len());
+    let cfg = RunConfig {
+        k_per_iter: 10,
+        budget,
+        stop_when_satisfied: false,
+        incremental: true,
+    };
+    let mut pq = session.prepare_queries(true).unwrap();
+    let first = session.run_prepared(Method::Loss, &cfg, &mut pq).unwrap();
+    assert_eq!(
+        first.skeleton_rebuilds, 0,
+        "queried tables never change inside the loop"
+    );
+    assert!(first.iterations.len() >= 2);
+    assert!(
+        first.iterations[0].checks_skipped == 0,
+        "first iteration has no prior verdicts"
+    );
+    assert!(
+        first
+            .iterations
+            .iter()
+            .skip(1)
+            .all(|it| it.checks_skipped >= 1),
+        "the model-free query must not be re-checked: {:?}",
+        first
+            .iterations
+            .iter()
+            .map(|it| it.checks_skipped)
+            .collect::<Vec<_>>()
+    );
+    // Equivalent to a self-contained run…
+    let fresh = session.run(Method::Loss, &cfg).unwrap();
+    assert_eq!(first.removed, fresh.removed);
+    // …and the same prepared state drives a second run (what the serving
+    // layer does with cached skeletons).
+    let second = session.run_prepared(Method::Loss, &cfg, &mut pq).unwrap();
+    assert_eq!(second.removed, fresh.removed);
+}
+
+#[test]
 fn incremental_refresh_reproduces_full_reexecution_loop() {
     // The driver with incremental refresh ON must walk exactly the same
     // trajectory as with full per-iteration re-execution: same

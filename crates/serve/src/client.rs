@@ -1,0 +1,154 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`Client`] holds one keep-alive connection; requests on it are
+//! sequential (that is the HTTP/1.1 contract) — spin up one client per
+//! thread for concurrent load, the way the integration tests and the
+//! `serve` bench do.
+
+use crate::json::{self, Json};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking JSON-over-HTTP client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A non-2xx response, surfaced as an error by the `expect_*` helpers.
+#[derive(Debug, Clone)]
+pub struct ClientError {
+    /// HTTP status.
+    pub status: u16,
+    /// The response's `error` field (or the whole body).
+    pub message: String,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server returned {}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl Client {
+    /// Open a connection (`TCP_NODELAY`: requests are small and
+    /// latency-bound, never throughput-bound on the socket).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Issue one request; returns `(status, parsed body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<(u16, Json)> {
+        let body_text = body.map(Json::to_string).unwrap_or_default();
+        // One write per request: a request split across two segments sits
+        // out a delayed ACK under Nagle's algorithm.
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\nHost: rain\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body_text.len(),
+        );
+        message.push_str(&body_text);
+        self.writer.write_all(message.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, Json)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// `DELETE path`.
+    pub fn delete(&mut self, path: &str) -> io::Result<(u16, Json)> {
+        self.request("DELETE", path, None)
+    }
+
+    /// `POST` that must return 2xx; non-2xx becomes a [`ClientError`].
+    pub fn post_ok(&mut self, path: &str, body: &Json) -> io::Result<Json> {
+        let (status, v) = self.post(path, body)?;
+        expect_2xx(status, v)
+    }
+
+    /// `GET` that must return 2xx.
+    pub fn get_ok(&mut self, path: &str) -> io::Result<Json> {
+        let (status, v) = self.get(path)?;
+        expect_2xx(status, v)
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Json)> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?;
+        let v = if text.trim().is_empty() {
+            Json::Null
+        } else {
+            json::parse(&text).map_err(|e| bad(format!("invalid JSON body: {e}")))?
+        };
+        Ok((status, v))
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-response"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn expect_2xx(status: u16, v: Json) -> io::Result<Json> {
+    if (200..300).contains(&status) {
+        return Ok(v);
+    }
+    let message = v
+        .get("error")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| v.to_string());
+    Err(io::Error::other(ClientError { status, message }))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}

@@ -1,0 +1,79 @@
+//! # rain-serve: the long-lived complaint-debugging server
+//!
+//! The library crates make one debugging interaction cheap; this crate
+//! makes *many* of them cheap by keeping the engine resident and warm.
+//! It turns [`DebugSession`](rain_core::driver::DebugSession) into a
+//! multi-client service — std only, like the rest of the workspace: the
+//! HTTP/1.1 framing, the JSON codec, the thread pool, and the wire
+//! protocol are all hand-rolled in-repo.
+//!
+//! ```text
+//!        TcpListener (accept thread)
+//!             │  one thread per connection, HTTP/1.1 keep-alive
+//!             ▼
+//!        server::handle ──────────────► jobs::JobRunner (worker threads)
+//!             │                                  │ POST …/debug-run → job id,
+//!             ▼                                  │ GET /jobs/{id} → report
+//!        pool::SessionPool                       │
+//!         "s1" ─ Mutex<SessionState> ◄───────────┘  (same mutex: jobs and
+//!         "s2" ─ Mutex<SessionState>                 requests serialize
+//!          …        │                                per session)
+//!                   ├─ DebugSession (Database, Dataset, model, complaints)
+//!                   └─ QueryCache   (normalized SQL → prepared skeleton)
+//! ```
+//!
+//! - **Session pool** ([`pool`]) — named sessions, each owning its
+//!   database, training set, model, and complaints. Per-session mutex +
+//!   generation counter: requests serialize within a session and run in
+//!   parallel across sessions.
+//! - **Skeleton cache** ([`rain_sql::QueryCache`], one per session) —
+//!   repeat queries and successive debug runs skip parse/bind/optimize
+//!   and skeleton capture; re-registered tables invalidate by catalog
+//!   version and transparently re-prepare.
+//! - **Job runner** ([`jobs`]) — debug runs execute on a worker pool off
+//!   the accept path, with job-id polling for status and reports.
+//! - **Wire protocol** ([`server`] routes, [`protocol`] shapes,
+//!   [`json`] codec, [`http`] framing) and a blocking [`client`].
+//!
+//! ## Example
+//!
+//! ```
+//! use rain_serve::{json::Json, Client, ServerConfig};
+//!
+//! let server = rain_serve::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//!
+//! client
+//!     .post_ok(
+//!         "/sessions",
+//!         &Json::obj(vec![
+//!             ("name", Json::str("demo")),
+//!             (
+//!                 "model",
+//!                 Json::obj(vec![
+//!                     ("kind", Json::str("logistic")),
+//!                     ("dim", Json::num(1.0)),
+//!                 ]),
+//!             ),
+//!         ]),
+//!     )
+//!     .unwrap();
+//! let stats = client.get_ok("/stats").unwrap();
+//! assert_eq!(stats.get("sessions").unwrap().as_i64(), Some(1));
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use jobs::{JobInfo, JobRunner, JobState, JobStats};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use pool::{SessionPool, SessionSlot, SessionState};
+pub use protocol::ApiError;
+pub use server::{start, ServerConfig, ServerHandle, ServerState};

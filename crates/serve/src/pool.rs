@@ -1,0 +1,395 @@
+//! The session pool: named, long-lived debugging sessions.
+//!
+//! Each session owns a full [`DebugSession`] (queried `Database`, training
+//! `Dataset`, model, attached complaints) plus its private
+//! [`QueryCache`] of prepared skeletons. A session's state sits behind one
+//! `Mutex`: concurrent requests against the *same* session serialize (the
+//! catalog, cache, and training set are one consistent unit), while
+//! requests against *different* sessions run fully in parallel — there is
+//! no shared lock on the request path beyond the brief pool-map read.
+//!
+//! A `generation` counter on each slot records every observable mutation
+//! (table registration, training upload, complaint, completed debug run).
+//! It is monotonic under the mutex, which makes per-session serialization
+//! externally checkable: N concurrent mutations always land N distinct
+//! generations. Cache statistics are mirrored into atomics after each
+//! cache-touching request so `GET /stats` never has to queue behind a
+//! long-running debug job for a session lock.
+
+use crate::protocol::ApiError;
+use rain_core::driver::{DebugReport, DebugSession, PreparedQueries, RunConfig};
+use rain_core::rank::Method;
+use rain_model::{Classifier, Dataset};
+use rain_sql::{CacheStats, Database, Engine, QueryCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Everything a session's mutex guards.
+pub struct SessionState {
+    /// The library session: database + training set + model + queries.
+    pub sess: DebugSession,
+    /// Prepared-skeleton cache for this session's SQL.
+    pub cache: QueryCache,
+    /// The most recent completed debug report, if any.
+    pub last_report: Option<DebugReport>,
+}
+
+/// One named session: its mutex-guarded state plus lock-free metadata.
+pub struct SessionSlot {
+    /// Session name (the URL path segment).
+    pub name: String,
+    state: Mutex<SessionState>,
+    /// Monotonic mutation counter (see the module docs).
+    generation: AtomicU64,
+    /// Lock-free mirror of the cache counters, refreshed after each
+    /// cache-touching request.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for SessionSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionSlot")
+            .field("name", &self.name)
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionSlot {
+    fn new(name: String, model: Box<dyn Classifier>) -> Self {
+        let dim = model.dim();
+        let sess = DebugSession::new(
+            Database::new(),
+            Dataset::new(
+                rain_linalg::Matrix::zeros(0, dim),
+                Vec::new(),
+                model.n_classes().max(2),
+            ),
+            model,
+        );
+        SessionSlot {
+            name,
+            state: Mutex::new(SessionState {
+                sess,
+                cache: QueryCache::new(Engine::Vectorized),
+                last_report: None,
+            }),
+            generation: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the session's state. Survives a poisoned mutex (a panicking
+    /// job must not brick the session: state mutations are all
+    /// whole-value swaps, so the state stays consistent).
+    pub fn lock(&self) -> MutexGuard<'_, SessionState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record one observable mutation, returning the new generation.
+    pub fn bump_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Mutations so far.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Mirror the cache counters into the lock-free snapshot; call while
+    /// holding (or just before releasing) the state lock.
+    pub fn publish_cache_stats(&self, stats: CacheStats) {
+        self.cache_hits.store(stats.hits, Ordering::Relaxed);
+        self.cache_misses.store(stats.misses, Ordering::Relaxed);
+        self.cache_invalidations
+            .store(stats.invalidations, Ordering::Relaxed);
+    }
+
+    /// The lock-free cache-counter snapshot.
+    pub fn cache_stats_snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute one debug run against this session, routing every query
+    /// through the session's skeleton cache: skeletons are checked out,
+    /// refreshed across all train–rank–fix iterations, and checked back
+    /// in afterwards — so a *second* run over the same complaints starts
+    /// from cache hits and skips planning and capture entirely.
+    pub fn run_debug(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, ApiError> {
+        let mut st = self.lock();
+        let st = &mut *st;
+        if st.sess.train.is_empty() {
+            return Err(ApiError::bad_request(
+                "session has no training data; POST …/train first",
+            ));
+        }
+        if st.sess.queries.is_empty() {
+            return Err(ApiError::bad_request(
+                "session has no complaints; POST …/complain first",
+            ));
+        }
+        let result = if cfg.incremental {
+            // Check out every query's skeleton first; if any checkout
+            // fails (e.g. a re-registered table broke a later query),
+            // the ones already checked out are returned to the cache
+            // below instead of being silently dropped.
+            let mut checked = Vec::with_capacity(st.sess.queries.len());
+            let mut checkout_err = None;
+            for q in &st.sess.queries {
+                match st
+                    .cache
+                    .checkout(&st.sess.db, st.sess.model.as_ref(), &q.sql)
+                {
+                    Ok(cq) => checked.push(cq),
+                    Err(e) => {
+                        checkout_err = Some(ApiError::from(e));
+                        break;
+                    }
+                }
+            }
+            let result = match checkout_err {
+                Some(e) => Err(e),
+                None => {
+                    let mut keys = Vec::with_capacity(checked.len());
+                    let mut plans = Vec::with_capacity(checked.len());
+                    let mut prepared = Vec::with_capacity(checked.len());
+                    for cq in checked.drain(..) {
+                        plans.push(cq.prepared.plan().clone());
+                        keys.push(cq.key);
+                        prepared.push(cq.prepared);
+                    }
+                    let mut pq = PreparedQueries::from_parts(plans, prepared);
+                    let run = st.sess.run_prepared(method, cfg, &mut pq);
+                    // Return the (possibly rebuilt) skeletons to the
+                    // cache even when the run failed.
+                    let (_, prepared) = pq.into_parts();
+                    for (key, p) in keys.into_iter().zip(prepared) {
+                        st.cache.checkin(rain_sql::CachedQuery {
+                            key,
+                            prepared: p,
+                            event: rain_sql::CacheEvent::Hit,
+                        });
+                    }
+                    run.map_err(ApiError::from)
+                }
+            };
+            for cq in checked {
+                st.cache.checkin(cq);
+            }
+            result
+        } else {
+            st.sess.run(method, cfg).map_err(ApiError::from)
+        };
+        // Stats and (on success) the mutation counter are published on
+        // every exit path — a failed run still moved cache counters.
+        self.publish_cache_stats(st.cache.stats());
+        match result {
+            Ok(report) => {
+                st.last_report = Some(report.clone());
+                self.bump_generation();
+                Ok(report)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The pool: name → session slot. The map itself is behind an `RwLock`
+/// held only for lookups/creation — request handling happens on the
+/// slot's own mutex, outside the map lock.
+#[derive(Default)]
+pub struct SessionPool {
+    slots: RwLock<HashMap<String, Arc<SessionSlot>>>,
+}
+
+/// Valid session names: path-segment safe.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+impl SessionPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        SessionPool::default()
+    }
+
+    /// Create a named session owning `model`. 409 when the name exists.
+    pub fn create(
+        &self,
+        name: &str,
+        model: Box<dyn Classifier>,
+    ) -> Result<Arc<SessionSlot>, ApiError> {
+        if !valid_name(name) {
+            return Err(ApiError::bad_request(
+                "session names are 1-64 chars of [a-zA-Z0-9._-]",
+            ));
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        if slots.contains_key(name) {
+            return Err(ApiError::conflict(format!(
+                "session '{name}' already exists"
+            )));
+        }
+        let slot = Arc::new(SessionSlot::new(name.to_string(), model));
+        slots.insert(name.to_string(), Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// Look up a session. 404 when missing.
+    pub fn get(&self, name: &str) -> Result<Arc<SessionSlot>, ApiError> {
+        self.slots
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found(format!("no session '{name}'")))
+    }
+
+    /// Drop a session. In-flight requests holding the slot's `Arc` finish
+    /// against the detached state. 404 when missing.
+    pub fn remove(&self, name: &str) -> Result<(), ApiError> {
+        self.slots
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ApiError::not_found(format!("no session '{name}'")))
+    }
+
+    /// Snapshot of all slots, in name order.
+    pub fn list(&self) -> Vec<Arc<SessionSlot>> {
+        let mut slots: Vec<Arc<SessionSlot>> = self
+            .slots
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        slots.sort_by(|a, b| a.name.cmp(&b.name));
+        slots
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.slots.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// True when no session exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_model::LogisticRegression;
+
+    fn logistic() -> Box<dyn Classifier> {
+        Box::new(LogisticRegression::new(2, 0.01))
+    }
+
+    #[test]
+    fn create_get_remove_lifecycle() {
+        let pool = SessionPool::new();
+        assert!(pool.is_empty());
+        pool.create("alpha", logistic()).unwrap();
+        assert_eq!(pool.create("alpha", logistic()).unwrap_err().status, 409);
+        assert_eq!(pool.create("no/slash", logistic()).unwrap_err().status, 400);
+        assert_eq!(pool.create("", logistic()).unwrap_err().status, 400);
+        assert_eq!(pool.get("alpha").unwrap().name, "alpha");
+        assert_eq!(pool.get("beta").unwrap_err().status, 404);
+        pool.create("beta", logistic()).unwrap();
+        let names: Vec<String> = pool.list().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        pool.remove("alpha").unwrap();
+        assert_eq!(pool.remove("alpha").unwrap_err().status, 404);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn generations_count_mutations_exactly_once_each() {
+        let pool = SessionPool::new();
+        let slot = pool.create("s", logistic()).unwrap();
+        assert_eq!(slot.generation(), 0);
+        let gens: Vec<u64> = (0..5).map(|_| slot.bump_generation()).collect();
+        assert_eq!(gens, [1, 2, 3, 4, 5]);
+        assert_eq!(slot.generation(), 5);
+    }
+
+    #[test]
+    fn failed_checkout_returns_earlier_skeletons_to_the_cache() {
+        use rain_core::complaint::{Complaint, QuerySpec};
+        use rain_linalg::Matrix;
+        use rain_sql::table::{ColType, Column, Schema, Table};
+
+        let pool = SessionPool::new();
+        let slot = pool.create("s", logistic()).unwrap();
+        {
+            let mut st = slot.lock();
+            let t = Table::from_columns(
+                Schema::new(&[("id", ColType::Int)]),
+                vec![Column::Int(vec![0, 1, 2, 3])],
+            )
+            .with_features(Matrix::from_rows(&[
+                &[1.0, 0.0],
+                &[1.0, 1.0],
+                &[-1.0, 0.0],
+                &[-1.0, -1.0],
+            ]));
+            st.sess.db.register("t", t);
+            st.sess.train = rain_model::Dataset::new(
+                Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0]]),
+                vec![1, 0],
+                2,
+            );
+            st.sess.queries = vec![
+                QuerySpec::new("SELECT COUNT(*) FROM t WHERE predict(*) = 1")
+                    .with_complaint(Complaint::scalar_eq(2.0)),
+                QuerySpec::new("SELECT COUNT(*) FROM missing")
+                    .with_complaint(Complaint::scalar_eq(1.0)),
+            ];
+        }
+        // The second query's checkout fails (unknown table); the first
+        // query's freshly prepared skeleton must land back in the cache.
+        let err = slot
+            .run_debug(Method::Loss, &RunConfig::paper(2))
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        let st = slot.lock();
+        assert_eq!(st.cache.len(), 1, "checked-out skeleton was not returned");
+        // Both lookups missed (the broken query misses before its
+        // prepare fails); only the first produced a resident entry.
+        assert_eq!(st.cache.stats().misses, 2);
+        drop(st);
+
+        // Drop the broken query: the retained skeleton is a warm hit.
+        slot.lock().sess.queries.truncate(1);
+        slot.run_debug(Method::Loss, &RunConfig::paper(2)).unwrap();
+        assert!(slot.cache_stats_snapshot().hits >= 1);
+    }
+
+    #[test]
+    fn debug_run_without_data_is_a_client_error() {
+        let pool = SessionPool::new();
+        let slot = pool.create("s", logistic()).unwrap();
+        let err = slot
+            .run_debug(Method::Loss, &RunConfig::paper(4))
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("training data"));
+    }
+}

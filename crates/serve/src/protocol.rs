@@ -1,0 +1,663 @@
+//! The wire protocol: API errors plus JSON ↔ domain conversions.
+//!
+//! Everything a client sends or receives crosses this module, so the
+//! shapes are documented here once:
+//!
+//! - **model spec** — `{"kind":"logistic","dim":D,"l2":λ}`,
+//!   `{"kind":"softmax","dim":D,"classes":C,"l2":λ}`, or
+//!   `{"kind":"mlp","dim":D,"hidden":H,"classes":C,"l2":λ,"seed":S}`.
+//! - **table** — `{"name":N,"columns":[{"name":C,"type":"int"|"float"|
+//!   "bool"|"str","values":[…]}…],"features":[[…]…]}`; `null` cells are
+//!   allowed, `features` (one row per tuple) is required for tables that
+//!   `predict()` touches.
+//! - **training set** — `{"features":[[…]…],"labels":[…],"classes":C}`.
+//! - **complaint** — `{"kind":"value","row":R,"agg":A,"op":"eq"|"le"|"ge",
+//!   "target":T}`, `{"kind":"tuple_delete","row":R}`,
+//!   `{"kind":"join_delete","left_table":…,"left_row":…,"right_table":…,
+//!   "right_row":…}`, or `{"kind":"prediction_is","table":…,"row":…,
+//!   "class":…}`.
+//! - **run config** — `{"method":M,"budget":B,"k_per_iter":K,
+//!   "stop_when_satisfied":bool,"incremental":bool}` (method required,
+//!   budget required, rest defaulted).
+
+use crate::json::Json;
+use rain_core::complaint::{Complaint, ValueOp};
+use rain_core::driver::{DebugReport, RunConfig};
+use rain_core::rank::Method;
+use rain_linalg::Matrix;
+use rain_model::{Classifier, Dataset, LogisticRegression, Mlp, SoftmaxRegression};
+use rain_sql::table::{ColType, Schema, Table};
+use rain_sql::{QueryError, QueryOutput, Value};
+
+/// A protocol-level failure: an HTTP status plus a message the client can
+/// read. Every handler error funnels through this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Human-readable explanation, returned as `{"error": …}`.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400: the request itself is malformed or semantically invalid.
+    pub fn bad_request(msg: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: msg.into(),
+        }
+    }
+
+    /// 404: the addressed session/job/route does not exist.
+    pub fn not_found(msg: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 404,
+            message: msg.into(),
+        }
+    }
+
+    /// 409: the request conflicts with current state (duplicate session).
+    pub fn conflict(msg: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 409,
+            message: msg.into(),
+        }
+    }
+
+    /// 500: the server broke (bug or poisoned state).
+    pub fn internal(msg: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            message: msg.into(),
+        }
+    }
+
+    /// The `{"error": …}` response body.
+    pub fn body(&self) -> Json {
+        Json::obj(vec![("error", Json::str(self.message.clone()))])
+    }
+}
+
+impl From<QueryError> for ApiError {
+    fn from(e: QueryError) -> Self {
+        // Parse/bind/execution failures are the client's query, not a
+        // server fault.
+        ApiError::bad_request(e.to_string())
+    }
+}
+
+/// A required field of `v`, with a field-path error message.
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ApiError> {
+    v.get(key)
+        .ok_or_else(|| ApiError::bad_request(format!("missing field '{key}'")))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, ApiError> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ApiError::bad_request(format!("field '{key}' must be a string")))
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, ApiError> {
+    field(v, key)?.as_usize().ok_or_else(|| {
+        ApiError::bad_request(format!("field '{key}' must be a non-negative integer"))
+    })
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, ApiError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| ApiError::bad_request(format!("field '{key}' must be a number")))
+}
+
+/// Largest accepted model feature dimension. Caps what an unauthenticated
+/// request can make the server allocate (parameter vectors are O(dim ×
+/// classes); an unchecked huge `dim` would abort the whole process on
+/// allocation failure).
+pub const MAX_MODEL_DIM: usize = 1 << 20;
+/// Largest accepted class count.
+pub const MAX_MODEL_CLASSES: usize = 1 << 14;
+/// Largest accepted MLP hidden width.
+pub const MAX_MODEL_HIDDEN: usize = 1 << 14;
+
+fn bounded(value: usize, what: &str, min: usize, max: usize) -> Result<usize, ApiError> {
+    if (min..=max).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ApiError::bad_request(format!(
+            "model {what} {value} outside [{min}, {max}]"
+        )))
+    }
+}
+
+/// Build a classifier from a model spec.
+pub fn model_from_json(v: &Json) -> Result<Box<dyn Classifier>, ApiError> {
+    let kind = str_field(v, "kind")?;
+    let dim = bounded(usize_field(v, "dim")?, "dim", 1, MAX_MODEL_DIM)?;
+    let l2 = v.get("l2").and_then(Json::as_f64).unwrap_or(0.01);
+    match kind.as_str() {
+        "logistic" => Ok(Box::new(LogisticRegression::new(dim, l2))),
+        "softmax" => {
+            let classes = bounded(usize_field(v, "classes")?, "classes", 2, MAX_MODEL_CLASSES)?;
+            Ok(Box::new(SoftmaxRegression::new(dim, classes, l2)))
+        }
+        "mlp" => {
+            let classes = bounded(usize_field(v, "classes")?, "classes", 2, MAX_MODEL_CLASSES)?;
+            let hidden = bounded(
+                v.get("hidden").and_then(Json::as_usize).unwrap_or(16),
+                "hidden",
+                1,
+                MAX_MODEL_HIDDEN,
+            )?;
+            let seed = v.get("seed").and_then(Json::as_usize).unwrap_or(42) as u64;
+            Ok(Box::new(Mlp::new(dim, hidden, classes, l2, seed)))
+        }
+        other => Err(ApiError::bad_request(format!(
+            "unknown model kind '{other}'"
+        ))),
+    }
+}
+
+fn coltype_from_str(s: &str) -> Result<ColType, ApiError> {
+    match s {
+        "bool" => Ok(ColType::Bool),
+        "int" => Ok(ColType::Int),
+        "float" => Ok(ColType::Float),
+        "str" => Ok(ColType::Str),
+        other => Err(ApiError::bad_request(format!(
+            "unknown column type '{other}'"
+        ))),
+    }
+}
+
+fn coltype_name(ty: ColType) -> &'static str {
+    match ty {
+        ColType::Bool => "bool",
+        ColType::Int => "int",
+        ColType::Float => "float",
+        ColType::Str => "str",
+    }
+}
+
+fn cell_from_json(v: &Json, ty: ColType) -> Result<Value, ApiError> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ColType::Bool => v.as_bool().map(Value::Bool),
+        ColType::Int => v.as_i64().map(Value::Int),
+        ColType::Float => v.as_f64().map(Value::Float),
+        ColType::Str => v.as_str().map(|s| Value::Str(s.to_string())),
+    }
+    .ok_or_else(|| ApiError::bad_request(format!("cell {v} does not fit column type")))
+}
+
+/// JSON form of a result cell.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Num(*i as f64),
+        Value::Float(f) => Json::Num(*f),
+        Value::Str(s) => Json::str(s.clone()),
+    }
+}
+
+/// Parse a feature matrix: a non-ragged array of equal-length number rows.
+fn matrix_from_json(v: &Json, what: &str) -> Result<Matrix, ApiError> {
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| ApiError::bad_request(format!("{what} must be an array of rows")))?;
+    let mut data: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| ApiError::bad_request(format!("{what} row {i} must be an array")))?;
+        let mut r = Vec::with_capacity(cells.len());
+        for c in cells {
+            r.push(c.as_f64().ok_or_else(|| {
+                ApiError::bad_request(format!("{what} row {i} holds a non-number"))
+            })?);
+        }
+        if let Some(first) = data.first() {
+            if r.len() != first.len() {
+                return Err(ApiError::bad_request(format!("{what} rows are ragged")));
+            }
+        }
+        data.push(r);
+    }
+    if data.is_empty() {
+        return Err(ApiError::bad_request(format!("{what} must not be empty")));
+    }
+    let refs: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+    Ok(Matrix::from_rows(&refs))
+}
+
+/// Build a `(name, table)` pair from a table upload.
+pub fn table_from_json(v: &Json) -> Result<(String, Table), ApiError> {
+    let name = str_field(v, "name")?;
+    let cols = field(v, "columns")?
+        .as_arr()
+        .ok_or_else(|| ApiError::bad_request("field 'columns' must be an array"))?;
+    if cols.is_empty() {
+        return Err(ApiError::bad_request("table needs at least one column"));
+    }
+    let mut schema = Schema::default();
+    let mut types = Vec::with_capacity(cols.len());
+    let mut values: Vec<&[Json]> = Vec::with_capacity(cols.len());
+    let mut n_rows = None;
+    for c in cols {
+        let cname = str_field(c, "name")?;
+        let ty = coltype_from_str(&str_field(c, "type")?)?;
+        if schema.index_of(&cname).is_some() {
+            return Err(ApiError::bad_request(format!("duplicate column '{cname}'")));
+        }
+        schema.push(&cname, ty);
+        let vals = field(c, "values")?
+            .as_arr()
+            .ok_or_else(|| ApiError::bad_request("column 'values' must be an array"))?;
+        match n_rows {
+            None => n_rows = Some(vals.len()),
+            Some(n) if n != vals.len() => {
+                return Err(ApiError::bad_request("columns have differing lengths"))
+            }
+            _ => {}
+        }
+        types.push(ty);
+        values.push(vals);
+    }
+    let n_rows = n_rows.unwrap_or(0);
+
+    let features = match v.get("features") {
+        None | Some(Json::Null) => None,
+        Some(f) => {
+            let m = matrix_from_json(f, "features")?;
+            if m.rows() != n_rows {
+                return Err(ApiError::bad_request(format!(
+                    "features have {} rows, table has {n_rows}",
+                    m.rows()
+                )));
+            }
+            Some(m)
+        }
+    };
+
+    // Assemble row-wise so NULL cells land in the null bitmaps.
+    let dim = features.as_ref().map(|m| m.cols()).unwrap_or(0);
+    let mut table = Table::empty(schema);
+    if let Some(_m) = &features {
+        table = table.with_features(Matrix::zeros(0, dim));
+    }
+    for r in 0..n_rows {
+        let row: Vec<Value> = types
+            .iter()
+            .zip(&values)
+            .map(|(&ty, vals)| cell_from_json(&vals[r], ty))
+            .collect::<Result<_, _>>()?;
+        table.push_row(row, features.as_ref().map(|m| m.row(r)));
+    }
+    Ok((name, table))
+}
+
+/// JSON form of a table (used by clients to upload generated workloads).
+pub fn table_to_json(name: &str, table: &Table) -> Json {
+    let mut cols = Vec::with_capacity(table.schema().len());
+    for (ci, def) in table.schema().iter().enumerate() {
+        let vals: Vec<Json> = (0..table.n_rows())
+            .map(|r| value_to_json(&table.value(r, ci)))
+            .collect();
+        cols.push(Json::obj(vec![
+            ("name", Json::str(def.name.clone())),
+            ("type", Json::str(coltype_name(def.ty))),
+            ("values", Json::Arr(vals)),
+        ]));
+    }
+    let mut pairs = vec![("name", Json::str(name)), ("columns", Json::Arr(cols))];
+    if let Some(m) = table.features() {
+        let rows: Vec<Json> = m
+            .iter_rows()
+            .map(|r| Json::Arr(r.iter().map(|&x| Json::Num(x)).collect()))
+            .collect();
+        pairs.push(("features", Json::Arr(rows)));
+    }
+    Json::obj(pairs)
+}
+
+/// Build a training set from an upload.
+pub fn dataset_from_json(v: &Json) -> Result<Dataset, ApiError> {
+    let features = matrix_from_json(field(v, "features")?, "features")?;
+    let labels_json = field(v, "labels")?
+        .as_arr()
+        .ok_or_else(|| ApiError::bad_request("field 'labels' must be an array"))?;
+    let labels: Vec<usize> = labels_json
+        .iter()
+        .map(|l| {
+            l.as_usize()
+                .ok_or_else(|| ApiError::bad_request("labels must be non-negative integers"))
+        })
+        .collect::<Result<_, _>>()?;
+    let classes = usize_field(v, "classes")?;
+    if labels.len() != features.rows() {
+        return Err(ApiError::bad_request(format!(
+            "{} labels for {} feature rows",
+            labels.len(),
+            features.rows()
+        )));
+    }
+    if classes < 2 || labels.iter().any(|&y| y >= classes) {
+        return Err(ApiError::bad_request("labels out of range for class count"));
+    }
+    Ok(Dataset::new(features, labels, classes))
+}
+
+/// JSON form of a training set.
+pub fn dataset_to_json(data: &Dataset) -> Json {
+    let rows: Vec<Json> = data
+        .features()
+        .iter_rows()
+        .map(|r| Json::Arr(r.iter().map(|&x| Json::Num(x)).collect()))
+        .collect();
+    Json::obj(vec![
+        ("features", Json::Arr(rows)),
+        (
+            "labels",
+            Json::Arr(data.labels().iter().map(|&y| Json::Num(y as f64)).collect()),
+        ),
+        ("classes", Json::Num(data.n_classes() as f64)),
+    ])
+}
+
+/// Parse one complaint.
+pub fn complaint_from_json(v: &Json) -> Result<Complaint, ApiError> {
+    match str_field(v, "kind")?.as_str() {
+        "value" => {
+            let op = match str_field(v, "op")?.as_str() {
+                "eq" => ValueOp::Eq,
+                "le" => ValueOp::Le,
+                "ge" => ValueOp::Ge,
+                other => {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown value op '{other}' (want eq/le/ge)"
+                    )))
+                }
+            };
+            Ok(Complaint::Value {
+                row: v.get("row").and_then(Json::as_usize).unwrap_or(0),
+                agg: v.get("agg").and_then(Json::as_usize).unwrap_or(0),
+                op,
+                target: f64_field(v, "target")?,
+            })
+        }
+        "tuple_delete" => Ok(Complaint::TupleDelete {
+            row: usize_field(v, "row")?,
+        }),
+        "join_delete" => Ok(Complaint::JoinDelete {
+            left: (str_field(v, "left_table")?, usize_field(v, "left_row")?),
+            right: (str_field(v, "right_table")?, usize_field(v, "right_row")?),
+        }),
+        "prediction_is" => Ok(Complaint::PredictionIs {
+            table: str_field(v, "table")?,
+            row: usize_field(v, "row")?,
+            class: usize_field(v, "class")?,
+        }),
+        other => Err(ApiError::bad_request(format!(
+            "unknown complaint kind '{other}'"
+        ))),
+    }
+}
+
+/// Parse the ranking method of a debug-run request.
+pub fn method_from_str(s: &str) -> Result<Method, ApiError> {
+    match s.to_ascii_lowercase().as_str() {
+        "loss" => Ok(Method::Loss),
+        "infloss" => Ok(Method::InfLoss),
+        "twostep" => Ok(Method::TwoStep),
+        "holistic" => Ok(Method::Holistic),
+        "auto" => Ok(Method::Auto),
+        other => Err(ApiError::bad_request(format!("unknown method '{other}'"))),
+    }
+}
+
+/// Parse a debug-run request into `(method, run config)`.
+pub fn run_request_from_json(v: &Json) -> Result<(Method, RunConfig), ApiError> {
+    let method = method_from_str(&str_field(v, "method")?)?;
+    let budget = usize_field(v, "budget")?;
+    if budget == 0 {
+        return Err(ApiError::bad_request("budget must be positive"));
+    }
+    let mut cfg = RunConfig::paper(budget);
+    if let Some(k) = v.get("k_per_iter").and_then(Json::as_usize) {
+        if k == 0 {
+            return Err(ApiError::bad_request("k_per_iter must be positive"));
+        }
+        cfg.k_per_iter = k;
+    }
+    if let Some(s) = v.get("stop_when_satisfied").and_then(Json::as_bool) {
+        cfg.stop_when_satisfied = s;
+    }
+    if let Some(i) = v.get("incremental").and_then(Json::as_bool) {
+        cfg.incremental = i;
+    }
+    Ok((method, cfg))
+}
+
+/// JSON form of a query output: schema, rows, and shape metadata.
+pub fn output_to_json(out: &QueryOutput) -> Json {
+    let schema: Vec<Json> = out
+        .table
+        .schema()
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("name", Json::str(d.name.clone())),
+                ("type", Json::str(coltype_name(d.ty))),
+            ])
+        })
+        .collect();
+    let rows: Vec<Json> = (0..out.table.n_rows())
+        .map(|r| {
+            Json::Arr(
+                (0..out.table.schema().len())
+                    .map(|c| value_to_json(&out.table.value(r, c)))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Arr(schema)),
+        ("rows", Json::Arr(rows)),
+        ("n_key_cols", Json::Num(out.n_key_cols as f64)),
+        ("n_predvars", Json::Num(out.predvars.len() as f64)),
+    ])
+}
+
+/// JSON form of a finished debug report.
+pub fn report_to_json(report: &DebugReport) -> Json {
+    let iterations: Vec<Json> = report
+        .iterations
+        .iter()
+        .map(|it| {
+            Json::obj(vec![
+                ("train_s", Json::Num(it.train_s)),
+                ("encode_s", Json::Num(it.encode_s)),
+                ("rank_s", Json::Num(it.rank_s)),
+                (
+                    "removed",
+                    Json::Arr(it.removed.iter().map(|&id| Json::Num(id as f64)).collect()),
+                ),
+                ("complaints_satisfied", Json::Bool(it.complaints_satisfied)),
+                ("checks_skipped", Json::Num(it.checks_skipped as f64)),
+                ("train_loss", Json::Num(it.train_loss)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "removed",
+            Json::Arr(
+                report
+                    .removed
+                    .iter()
+                    .map(|&id| Json::Num(id as f64))
+                    .collect(),
+            ),
+        ),
+        ("iterations", Json::Arr(iterations)),
+        (
+            "skeleton_rebuilds",
+            Json::Num(report.skeleton_rebuilds as f64),
+        ),
+        (
+            "failure",
+            match &report.failure {
+                Some(f) => Json::str(f.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn table_roundtrips_through_json_including_nulls_and_features() {
+        let mut t = Table::empty(Schema::new(&[
+            ("id", ColType::Int),
+            ("score", ColType::Float),
+            ("tag", ColType::Str),
+            ("ok", ColType::Bool),
+        ]))
+        .with_features(Matrix::zeros(0, 2));
+        t.push_row(
+            vec![
+                Value::Int(1),
+                Value::Float(0.5),
+                Value::Str("a".into()),
+                Value::Bool(true),
+            ],
+            Some(&[1.0, -1.0]),
+        );
+        t.push_row(
+            vec![Value::Int(2), Value::Null, Value::Null, Value::Bool(false)],
+            Some(&[0.0, 2.0]),
+        );
+        let j = table_to_json("demo", &t);
+        let reparsed = json::parse(&j.to_string()).unwrap();
+        let (name, back) = table_from_json(&reparsed).unwrap();
+        assert_eq!(name, "demo");
+        assert_eq!(back.to_tsv(), t.to_tsv());
+        assert!(back.is_null(1, 1) && back.is_null(1, 2));
+        assert_eq!(back.feature_row(1), Some(&[0.0, 2.0][..]));
+    }
+
+    #[test]
+    fn dataset_roundtrips() {
+        let d = Dataset::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]),
+            vec![0, 1],
+            2,
+        );
+        let back = dataset_from_json(&dataset_to_json(&d)).unwrap();
+        assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.features().as_slice(), d.features().as_slice());
+        assert_eq!(back.n_classes(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_uploads() {
+        for (what, text) in [
+            ("no name", r#"{"columns":[]}"#),
+            ("no columns", r#"{"name":"t"}"#),
+            ("empty columns", r#"{"name":"t","columns":[]}"#),
+            (
+                "ragged columns",
+                r#"{"name":"t","columns":[
+                    {"name":"a","type":"int","values":[1,2]},
+                    {"name":"b","type":"int","values":[1]}]}"#,
+            ),
+            (
+                "bad type",
+                r#"{"name":"t","columns":[{"name":"a","type":"uuid","values":[]}]}"#,
+            ),
+            (
+                "cell type mismatch",
+                r#"{"name":"t","columns":[{"name":"a","type":"int","values":["x"]}]}"#,
+            ),
+            (
+                "feature row count",
+                r#"{"name":"t","columns":[{"name":"a","type":"int","values":[1,2]}],
+                    "features":[[0.0]]}"#,
+            ),
+            (
+                "duplicate column",
+                r#"{"name":"t","columns":[
+                    {"name":"a","type":"int","values":[1]},
+                    {"name":"a","type":"int","values":[1]}]}"#,
+            ),
+        ] {
+            let v = json::parse(text).unwrap();
+            let e = table_from_json(&v).unwrap_err();
+            assert_eq!(e.status, 400, "{what}: wrong status");
+        }
+    }
+
+    #[test]
+    fn complaints_parse() {
+        let v = json::parse(r#"{"kind":"value","op":"eq","target":42}"#).unwrap();
+        assert_eq!(complaint_from_json(&v).unwrap(), Complaint::scalar_eq(42.0));
+        let v = json::parse(
+            r#"{"kind":"join_delete","left_table":"l","left_row":1,"right_table":"r","right_row":2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            complaint_from_json(&v).unwrap(),
+            Complaint::join_delete("l", 1, "r", 2)
+        );
+        let v = json::parse(r#"{"kind":"prediction_is","table":"t","row":3,"class":1}"#).unwrap();
+        assert_eq!(
+            complaint_from_json(&v).unwrap(),
+            Complaint::prediction_is("t", 3, 1)
+        );
+        let v = json::parse(r#"{"kind":"sue"}"#).unwrap();
+        assert_eq!(complaint_from_json(&v).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn run_requests_parse_with_defaults() {
+        let v = json::parse(r#"{"method":"holistic","budget":30}"#).unwrap();
+        let (m, cfg) = run_request_from_json(&v).unwrap();
+        assert_eq!(m, Method::Holistic);
+        assert_eq!(cfg.budget, 30);
+        assert_eq!(cfg.k_per_iter, 10);
+        assert!(cfg.incremental);
+        let v = json::parse(
+            r#"{"method":"auto","budget":8,"k_per_iter":2,"stop_when_satisfied":true,"incremental":false}"#,
+        )
+        .unwrap();
+        let (m, cfg) = run_request_from_json(&v).unwrap();
+        assert_eq!(m, Method::Auto);
+        assert_eq!(
+            (cfg.k_per_iter, cfg.stop_when_satisfied, cfg.incremental),
+            (2, true, false)
+        );
+        let v = json::parse(r#"{"method":"holistic","budget":0}"#).unwrap();
+        assert!(run_request_from_json(&v).is_err());
+    }
+
+    #[test]
+    fn model_specs_build() {
+        let v = json::parse(r#"{"kind":"logistic","dim":3,"l2":0.5}"#).unwrap();
+        let m = model_from_json(&v).unwrap();
+        assert_eq!((m.dim(), m.n_classes()), (3, 2));
+        let v = json::parse(r#"{"kind":"softmax","dim":2,"classes":4}"#).unwrap();
+        assert_eq!(model_from_json(&v).unwrap().n_classes(), 4);
+        let v = json::parse(r#"{"kind":"mlp","dim":2,"classes":3,"hidden":4}"#).unwrap();
+        assert_eq!(model_from_json(&v).unwrap().n_classes(), 3);
+        let v = json::parse(r#"{"kind":"gpt","dim":2}"#).unwrap();
+        assert!(model_from_json(&v).is_err());
+    }
+}

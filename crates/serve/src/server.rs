@@ -1,0 +1,459 @@
+//! The server: TCP accept loop, connection threads, endpoint dispatch.
+//!
+//! ## Endpoints
+//!
+//! | method & path                     | body → effect |
+//! |-----------------------------------|---------------|
+//! | `GET  /healthz`                   | liveness probe |
+//! | `GET  /stats`                     | server-wide counters (sessions, requests, cache totals, job runner) |
+//! | `POST /sessions`                  | `{"name":…,"model":…}` → create a session |
+//! | `GET  /sessions`                  | list sessions (generation + cache counters) |
+//! | `DELETE /sessions/{s}`            | drop a session |
+//! | `POST /sessions/{s}/tables`       | table upload → register (replacing invalidates cached skeletons) |
+//! | `POST /sessions/{s}/train`        | training-set upload |
+//! | `POST /sessions/{s}/query`        | `{"sql":…}` → debug-mode execution through the skeleton cache |
+//! | `POST /sessions/{s}/complain`     | `{"sql":…,"complaints":[…]}` → attach complaints |
+//! | `POST /sessions/{s}/debug-run`    | `{"method":…,"budget":…}` → enqueue job, `202 {"job":id}` |
+//! | `GET  /jobs/{id}`                 | poll status; the report rides on `"done"` |
+//!
+//! Connections are HTTP/1.1 keep-alive, one thread per connection; every
+//! request against a session serializes on that session's mutex while
+//! distinct sessions proceed in parallel (see [`crate::pool`]). Long
+//! debug runs never execute on a connection thread — they go through the
+//! job runner ([`crate::jobs`]).
+
+use crate::http::{read_request, write_response, Request};
+use crate::jobs::{JobRunner, JobState};
+use crate::json::{self, Json};
+use crate::pool::SessionPool;
+use crate::protocol::{
+    complaint_from_json, dataset_from_json, model_from_json, output_to_json, report_to_json,
+    run_request_from_json, table_from_json, ApiError,
+};
+use rain_sql::QueryCache;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back off
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing debug-run jobs.
+    pub job_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            job_workers: 4,
+        }
+    }
+}
+
+/// Shared server state: the session pool, the job runner, and counters.
+pub struct ServerState {
+    pool: SessionPool,
+    jobs: JobRunner,
+    requests: AtomicU64,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads serving until process
+/// exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Bind and start serving in background threads; returns immediately.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        pool: SessionPool::new(),
+        jobs: JobRunner::new(cfg.job_workers),
+        requests: AtomicU64::new(0),
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("rain-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections, drain the job workers, and join the
+    /// accept thread. Open connections see `503` on their next request.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.state.jobs.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("rain-serve-conn".to_string())
+            .spawn(move || handle_conn(stream, state));
+    }
+}
+
+fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF between requests
+            Err(_) => {
+                let body = ApiError::bad_request("malformed HTTP request").body();
+                let _ = write_response(&mut stream, 400, &body.to_string(), false);
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (status, body, keep_alive) = if state.shutdown.load(Ordering::SeqCst) {
+            (503, ApiError::internal("shutting down").body(), false)
+        } else {
+            let (status, body) = match handle(&state, &req) {
+                Ok((status, body)) => (status, body),
+                Err(e) => (e.status, e.body()),
+            };
+            (status, body, req.keep_alive)
+        };
+        if write_response(&mut stream, status, &body.to_string(), keep_alive).is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+/// Parse a request body as JSON (empty bodies are an error for routes
+/// that call this).
+fn body_json(req: &Request) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(ApiError::bad_request("request body must be JSON"));
+    }
+    json::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, ApiError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ApiError::bad_request(format!("missing string field '{key}'")))
+}
+
+/// Route and execute one request.
+fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => Ok((200, Json::obj(vec![("ok", Json::Bool(true))]))),
+        ("GET", ["stats"]) => Ok((200, stats(state))),
+        ("POST", ["sessions"]) => create_session(state, req),
+        ("GET", ["sessions"]) => Ok((200, list_sessions(state))),
+        ("DELETE", ["sessions", name]) => {
+            state.pool.remove(name)?;
+            Ok((200, Json::obj(vec![("dropped", Json::str(*name))])))
+        }
+        ("POST", ["sessions", name, "tables"]) => register_table(state, name, req),
+        ("POST", ["sessions", name, "train"]) => upload_train(state, name, req),
+        ("POST", ["sessions", name, "query"]) => query(state, name, req),
+        ("POST", ["sessions", name, "complain"]) => complain(state, name, req),
+        ("POST", ["sessions", name, "debug-run"]) => debug_run(state, name, req),
+        ("GET", ["jobs", id]) => job_status(state, id),
+        _ => Err(ApiError::not_found(format!(
+            "no route {} {}",
+            req.method, req.path
+        ))),
+    }
+}
+
+fn stats(state: &ServerState) -> Json {
+    let mut cache = rain_sql::CacheStats::default();
+    for slot in state.pool.list() {
+        let s = slot.cache_stats_snapshot();
+        cache.hits += s.hits;
+        cache.misses += s.misses;
+        cache.invalidations += s.invalidations;
+    }
+    let jobs = state.jobs.stats();
+    Json::obj(vec![
+        ("sessions", Json::Num(state.pool.len() as f64)),
+        (
+            "requests",
+            Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+        ),
+        ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::Num(cache.hits as f64)),
+                ("misses", Json::Num(cache.misses as f64)),
+                ("invalidations", Json::Num(cache.invalidations as f64)),
+            ]),
+        ),
+        (
+            "jobs",
+            Json::obj(vec![
+                ("queued", Json::Num(jobs.queued as f64)),
+                ("running", Json::Num(jobs.running as f64)),
+                ("done", Json::Num(jobs.done as f64)),
+                ("failed", Json::Num(jobs.failed as f64)),
+                ("peak_running", Json::Num(jobs.peak_running as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn list_sessions(state: &ServerState) -> Json {
+    let sessions: Vec<Json> = state
+        .pool
+        .list()
+        .iter()
+        .map(|slot| {
+            let s = slot.cache_stats_snapshot();
+            Json::obj(vec![
+                ("name", Json::str(slot.name.clone())),
+                ("generation", Json::Num(slot.generation() as f64)),
+                (
+                    "cache",
+                    Json::obj(vec![
+                        ("hits", Json::Num(s.hits as f64)),
+                        ("misses", Json::Num(s.misses as f64)),
+                        ("invalidations", Json::Num(s.invalidations as f64)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("sessions", Json::Arr(sessions))])
+}
+
+fn create_session(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let name = str_field(&body, "name")?;
+    let model = model_from_json(
+        body.get("model")
+            .ok_or_else(|| ApiError::bad_request("missing field 'model'"))?,
+    )?;
+    let kind = model.name();
+    state.pool.create(&name, model)?;
+    Ok((
+        200,
+        Json::obj(vec![
+            ("session", Json::str(name)),
+            ("model", Json::str(kind)),
+        ]),
+    ))
+}
+
+fn register_table(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let (table_name, table) = table_from_json(&body)?;
+    let slot = state.pool.get(name)?;
+    let mut st = slot.lock();
+    let rows = table.n_rows();
+    let id = st.sess.db.register(&table_name, table);
+    let version = st.sess.db.version_of(id);
+    let generation = slot.bump_generation();
+    drop(st);
+    Ok((
+        200,
+        Json::obj(vec![
+            ("table", Json::str(table_name)),
+            ("rows", Json::Num(rows as f64)),
+            ("version", Json::Num(version as f64)),
+            ("generation", Json::Num(generation as f64)),
+        ]),
+    ))
+}
+
+fn upload_train(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let data = dataset_from_json(&body)?;
+    let slot = state.pool.get(name)?;
+    let mut st = slot.lock();
+    if data.dim() != st.sess.model.dim() {
+        return Err(ApiError::bad_request(format!(
+            "training dim {} does not match model dim {}",
+            data.dim(),
+            st.sess.model.dim()
+        )));
+    }
+    if data.n_classes() != st.sess.model.n_classes() {
+        return Err(ApiError::bad_request(format!(
+            "training classes {} do not match model classes {}",
+            data.n_classes(),
+            st.sess.model.n_classes()
+        )));
+    }
+    let n = data.len();
+    st.sess.train = data;
+    let generation = slot.bump_generation();
+    drop(st);
+    Ok((
+        200,
+        Json::obj(vec![
+            ("train_records", Json::Num(n as f64)),
+            ("generation", Json::Num(generation as f64)),
+        ]),
+    ))
+}
+
+fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let sql = str_field(&body, "sql")?;
+    let slot = state.pool.get(name)?;
+    let mut st = slot.lock();
+    let st = &mut *st;
+    let (out, event) = st
+        .cache
+        .execute(&st.sess.db, st.sess.model.as_ref(), &sql)?;
+    let stats = st.cache.stats();
+    slot.publish_cache_stats(stats);
+    Ok((
+        200,
+        Json::obj(vec![
+            ("result", output_to_json(&out)),
+            ("cache", Json::str(event.as_str())),
+            (
+                "cache_stats",
+                Json::obj(vec![
+                    ("hits", Json::Num(stats.hits as f64)),
+                    ("misses", Json::Num(stats.misses as f64)),
+                    ("invalidations", Json::Num(stats.invalidations as f64)),
+                ]),
+            ),
+        ]),
+    ))
+}
+
+fn complain(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let sql = str_field(&body, "sql")?;
+    // Reject unparseable SQL up front (also yields the canonical key used
+    // to merge complaints against the same statement).
+    let key = QueryCache::normalize(&sql).map_err(ApiError::from)?;
+    let mut complaints = Vec::new();
+    if let Some(one) = body.get("complaint") {
+        complaints.push(complaint_from_json(one)?);
+    }
+    if let Some(many) = body.get("complaints").and_then(Json::as_arr) {
+        for c in many {
+            complaints.push(complaint_from_json(c)?);
+        }
+    }
+    if complaints.is_empty() {
+        return Err(ApiError::bad_request(
+            "provide 'complaint' or a non-empty 'complaints' array",
+        ));
+    }
+    let slot = state.pool.get(name)?;
+    let mut st = slot.lock();
+    let n = complaints.len();
+    let spec = st
+        .sess
+        .queries
+        .iter_mut()
+        .find(|q| QueryCache::normalize(&q.sql).as_deref() == Ok(key.as_str()));
+    let (sql_out, total) = match spec {
+        Some(q) => {
+            q.complaints.extend(complaints);
+            (q.sql.clone(), q.complaints.len())
+        }
+        None => {
+            let mut q = rain_core::complaint::QuerySpec::new(sql);
+            q.complaints = complaints;
+            let out = (q.sql.clone(), q.complaints.len());
+            st.sess.queries.push(q);
+            out
+        }
+    };
+    let n_queries = st.sess.queries.len();
+    let generation = slot.bump_generation();
+    drop(st);
+    Ok((
+        200,
+        Json::obj(vec![
+            ("sql", Json::str(sql_out)),
+            ("added", Json::Num(n as f64)),
+            ("total_complaints", Json::Num(total as f64)),
+            ("queries", Json::Num(n_queries as f64)),
+            ("generation", Json::Num(generation as f64)),
+        ]),
+    ))
+}
+
+fn debug_run(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let (method, cfg) = run_request_from_json(&body)?;
+    let slot = state.pool.get(name)?;
+    let id = state.jobs.submit(slot, method, cfg);
+    Ok((
+        202,
+        Json::obj(vec![
+            ("job", Json::Num(id as f64)),
+            ("status", Json::str("queued")),
+        ]),
+    ))
+}
+
+fn job_status(state: &ServerState, id: &str) -> Result<(u16, Json), ApiError> {
+    let id: u64 = id
+        .parse()
+        .map_err(|_| ApiError::bad_request("job ids are integers"))?;
+    let info = state.jobs.info(id)?;
+    let mut pairs = vec![
+        ("job", Json::Num(id as f64)),
+        ("session", Json::str(info.session)),
+        ("status", Json::str(info.state.label())),
+    ];
+    match info.state {
+        JobState::Done(report) => pairs.push(("report", report_to_json(&report))),
+        JobState::Failed(msg) => pairs.push(("error", Json::str(msg))),
+        _ => {}
+    }
+    Ok((
+        200,
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+    ))
+}

@@ -1,0 +1,617 @@
+//! Multi-threaded integration tests for the serving layer: N client
+//! threads against one server doing register/query/debug concurrently,
+//! asserting per-session serialization, cross-session parallelism,
+//! cache-hit counters, transparent invalidation, and the protocol error
+//! paths.
+
+use rain_serve::json::Json;
+use rain_serve::{start, Client, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// A linearly separable toy table: `n` rows, 1-D features, class 1 iff
+/// the feature is positive. `positives` of the rows are positive.
+fn table_json(name: &str, n: usize, positives: usize) -> Json {
+    let ids: Vec<Json> = (0..n).map(|i| Json::num(i as f64)).collect();
+    let feats: Vec<Json> = (0..n)
+        .map(|i| {
+            let x = if i < positives {
+                1.0 + (i % 3) as f64 * 0.2
+            } else {
+                -1.0 - (i % 3) as f64 * 0.2
+            };
+            Json::Arr(vec![Json::num(x)])
+        })
+        .collect();
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        (
+            "columns",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", Json::str("id")),
+                ("type", Json::str("int")),
+                ("values", Json::Arr(ids)),
+            ])]),
+        ),
+        ("features", Json::Arr(feats)),
+    ])
+}
+
+/// A 1-D training set with `flipped` of the positive labels corrupted to
+/// class 0 — the debugging target.
+fn train_json(n: usize, flipped: usize) -> Json {
+    let mut feats = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let positive = i % 2 == 0;
+        let x = if positive { 1.0 } else { -1.0 } * (1.0 + (i % 5) as f64 * 0.1);
+        feats.push(Json::Arr(vec![Json::num(x)]));
+        let mut y = positive as usize;
+        if positive && i / 2 < flipped {
+            y = 0; // corrupted match label
+        }
+        labels.push(Json::num(y as f64));
+    }
+    Json::obj(vec![
+        ("features", Json::Arr(feats)),
+        ("labels", Json::Arr(labels)),
+        ("classes", Json::num(2.0)),
+    ])
+}
+
+fn logistic_session(name: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        (
+            "model",
+            Json::obj(vec![
+                ("kind", Json::str("logistic")),
+                ("dim", Json::num(1.0)),
+                ("l2", Json::num(0.01)),
+            ]),
+        ),
+    ])
+}
+
+/// Poll a job until it settles; panics on timeout or failure.
+fn await_job(client: &mut Client, id: i64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let v = client.get_ok(&format!("/jobs/{id}")).unwrap();
+        match v.get("status").unwrap().as_str().unwrap() {
+            "done" => return v,
+            "failed" => panic!("job {id} failed: {v}"),
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never settled");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// The acceptance-criteria scenario: 16 client threads, one session
+/// each, concurrently registering tables, querying (twice — the repeat
+/// must hit the skeleton cache), filing complaints, and running debug
+/// jobs. Everything completes without deadlock or cross-session
+/// interference, and the cache-hit counters are visible on the wire.
+#[test]
+fn sixteen_concurrent_clients_query_and_debug_without_interference() {
+    let server = start(ServerConfig {
+        job_workers: 4,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..16)
+        .map(|ci| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let session = format!("client-{ci}");
+                client
+                    .post_ok("/sessions", &logistic_session(&session))
+                    .unwrap();
+                // Distinct data per session so cross-talk would be visible.
+                let n = 20 + ci;
+                let positives = 6 + ci % 5;
+                client
+                    .post_ok(
+                        &format!("/sessions/{session}/tables"),
+                        &table_json("pairs", n, positives),
+                    )
+                    .unwrap();
+                client
+                    .post_ok(&format!("/sessions/{session}/train"), &train_json(40, 8))
+                    .unwrap();
+
+                let sql = "SELECT COUNT(*) FROM pairs WHERE predict(*) = 1";
+                let q = Json::obj(vec![("sql", Json::str(sql))]);
+                let first = client
+                    .post_ok(&format!("/sessions/{session}/query"), &q)
+                    .unwrap();
+                assert_eq!(first.get("cache").unwrap().as_str(), Some("miss"));
+                // Different spelling, same statement: must hit the cache.
+                let q2 = Json::obj(vec![(
+                    "sql",
+                    Json::str("select  count(*)  from PAIRS where predict(*) = 1"),
+                )]);
+                let second = client
+                    .post_ok(&format!("/sessions/{session}/query"), &q2)
+                    .unwrap();
+                assert_eq!(second.get("cache").unwrap().as_str(), Some("hit"));
+                assert_eq!(
+                    second
+                        .get("cache_stats")
+                        .unwrap()
+                        .get("hits")
+                        .unwrap()
+                        .as_i64(),
+                    Some(1)
+                );
+                // Results are this session's data, not a neighbor's.
+                assert_eq!(
+                    first.get("result").unwrap().get("rows").unwrap(),
+                    second.get("result").unwrap().get("rows").unwrap()
+                );
+
+                client
+                    .post_ok(
+                        &format!("/sessions/{session}/complain"),
+                        &Json::obj(vec![
+                            ("sql", Json::str(sql)),
+                            (
+                                "complaint",
+                                Json::obj(vec![
+                                    ("kind", Json::str("value")),
+                                    ("op", Json::str("eq")),
+                                    ("target", Json::num(positives as f64)),
+                                ]),
+                            ),
+                        ]),
+                    )
+                    .unwrap();
+                let run = client
+                    .post_ok(
+                        &format!("/sessions/{session}/debug-run"),
+                        &Json::obj(vec![
+                            ("method", Json::str("loss")),
+                            ("budget", Json::num(4.0)),
+                            ("k_per_iter", Json::num(2.0)),
+                        ]),
+                    )
+                    .unwrap();
+                let job = run.get("job").unwrap().as_i64().unwrap();
+                let done = await_job(&mut client, job);
+                let report = done.get("report").unwrap();
+                let removed = report.get("removed").unwrap().as_arr().unwrap();
+                assert!(removed.len() <= 4, "budget respected");
+                assert_eq!(done.get("session").unwrap().as_str().unwrap(), session);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread panicked");
+    }
+
+    // Server-wide counters: all sessions live, every repeat query hit.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.get_ok("/stats").unwrap();
+    assert_eq!(stats.get("sessions").unwrap().as_i64(), Some(16));
+    let cache = stats.get("cache").unwrap();
+    assert!(
+        cache.get("hits").unwrap().as_i64().unwrap() >= 16,
+        "expected ≥16 cache hits, got {cache}"
+    );
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("done").unwrap().as_i64(), Some(16));
+    assert_eq!(jobs.get("failed").unwrap().as_i64(), Some(0));
+    server.shutdown();
+}
+
+/// Per-session serialization: concurrent mutations against one session
+/// each land a distinct generation (the counter is bumped under the
+/// session mutex), and the final generation equals the mutation count.
+#[test]
+fn mutations_on_one_session_serialize() {
+    let server = start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    setup
+        .post_ok("/sessions", &logistic_session("shared"))
+        .unwrap();
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 25;
+    let threads: Vec<_> = (0..THREADS)
+        .map(|ti| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut gens = Vec::with_capacity(PER_THREAD);
+                for i in 0..PER_THREAD {
+                    let v = client
+                        .post_ok(
+                            "/sessions/shared/tables",
+                            &table_json("pairs", 8 + (ti + i) % 3, 4),
+                        )
+                        .unwrap();
+                    gens.push(v.get("generation").unwrap().as_i64().unwrap());
+                }
+                gens
+            })
+        })
+        .collect();
+    let mut all_gens: Vec<i64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("mutator panicked"))
+        .collect();
+    all_gens.sort_unstable();
+    let expected: Vec<i64> = (1..=(THREADS * PER_THREAD) as i64).collect();
+    assert_eq!(
+        all_gens, expected,
+        "every mutation must land its own generation"
+    );
+    server.shutdown();
+}
+
+/// Re-registering a queried table invalidates the cached skeleton and the
+/// next query transparently re-prepares against the new data.
+#[test]
+fn reregistration_invalidates_and_transparently_reprepares() {
+    let server = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .post_ok("/sessions", &logistic_session("inv"))
+        .unwrap();
+    client
+        .post_ok("/sessions/inv/tables", &table_json("pairs", 10, 4))
+        .unwrap();
+    // A model-free count: its value is a pure function of the registered
+    // data, so it pins exactly what invalidation must refresh.
+    let q = Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]);
+    let first = client.post_ok("/sessions/inv/query", &q).unwrap();
+    assert_eq!(first.get("cache").unwrap().as_str(), Some("miss"));
+    let count = |v: &Json| {
+        v.get("result")
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .as_arr()
+            .unwrap()[0]
+            .as_i64()
+            .unwrap()
+    };
+    assert_eq!(count(&first), 10);
+
+    // Replace the table with a larger one.
+    client
+        .post_ok("/sessions/inv/tables", &table_json("pairs", 14, 7))
+        .unwrap();
+    let second = client.post_ok("/sessions/inv/query", &q).unwrap();
+    assert_eq!(second.get("cache").unwrap().as_str(), Some("invalidated"));
+    assert_eq!(count(&second), 14, "result reflects the new data");
+    let third = client.post_ok("/sessions/inv/query", &q).unwrap();
+    assert_eq!(third.get("cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        third
+            .get("cache_stats")
+            .unwrap()
+            .get("invalidations")
+            .unwrap()
+            .as_i64(),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+/// Cross-session parallelism: debug jobs against distinct sessions
+/// occupy multiple workers at once (`peak_running ≥ 2`), while two jobs
+/// against the *same* session serialize on its mutex and both finish.
+#[test]
+fn debug_jobs_run_in_parallel_across_sessions() {
+    let server = start(ServerConfig {
+        job_workers: 4,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Four sessions with enough work per job (~hundreds of ms each) that
+    // the four workers demonstrably overlap.
+    for si in 0..4 {
+        let name = format!("par-{si}");
+        client
+            .post_ok("/sessions", &logistic_session(&name))
+            .unwrap();
+        client
+            .post_ok(
+                &format!("/sessions/{name}/tables"),
+                &table_json("pairs", 60, 24),
+            )
+            .unwrap();
+        client
+            .post_ok(&format!("/sessions/{name}/train"), &train_json(2000, 300))
+            .unwrap();
+        client
+            .post_ok(
+                &format!("/sessions/{name}/complain"),
+                &Json::obj(vec![
+                    (
+                        "sql",
+                        Json::str("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1"),
+                    ),
+                    (
+                        "complaint",
+                        Json::obj(vec![
+                            ("kind", Json::str("value")),
+                            ("op", Json::str("eq")),
+                            ("target", Json::num(24.0)),
+                        ]),
+                    ),
+                ]),
+            )
+            .unwrap();
+    }
+    // Submit all four concurrently (sequential HTTP round-trips would
+    // let a fast worker drain job N before job N+1 even arrives), then
+    // one duplicate on session 0 (it must queue behind the first job's
+    // session lock, not deadlock).
+    let submitters: Vec<_> = (0..4)
+        .map(|si| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let run = c
+                    .post_ok(
+                        &format!("/sessions/par-{si}/debug-run"),
+                        &Json::obj(vec![
+                            ("method", Json::str("holistic")),
+                            ("budget", Json::num(40.0)),
+                            ("k_per_iter", Json::num(5.0)),
+                        ]),
+                    )
+                    .unwrap();
+                run.get("job").unwrap().as_i64().unwrap()
+            })
+        })
+        .collect();
+    let mut job_ids: Vec<i64> = submitters
+        .into_iter()
+        .map(|t| t.join().expect("submitter panicked"))
+        .collect();
+    let rerun = client
+        .post_ok(
+            "/sessions/par-0/debug-run",
+            &Json::obj(vec![
+                ("method", Json::str("loss")),
+                ("budget", Json::num(5.0)),
+            ]),
+        )
+        .unwrap();
+    job_ids.push(rerun.get("job").unwrap().as_i64().unwrap());
+
+    for id in &job_ids {
+        await_job(&mut client, *id);
+    }
+    let stats = client.get_ok("/stats").unwrap();
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("done").unwrap().as_i64(), Some(5));
+    assert!(
+        jobs.get("peak_running").unwrap().as_i64().unwrap() >= 2,
+        "jobs on distinct sessions must overlap; stats: {jobs}"
+    );
+    server.shutdown();
+}
+
+/// A second debug run over the same complaints starts from cache hits:
+/// its skeletons were checked back in by the first run.
+#[test]
+fn successive_debug_runs_reuse_cached_skeletons() {
+    let server = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .post_ok("/sessions", &logistic_session("warm"))
+        .unwrap();
+    client
+        .post_ok("/sessions/warm/tables", &table_json("pairs", 30, 10))
+        .unwrap();
+    client
+        .post_ok("/sessions/warm/train", &train_json(60, 10))
+        .unwrap();
+    client
+        .post_ok(
+            "/sessions/warm/complain",
+            &Json::obj(vec![
+                (
+                    "sql",
+                    Json::str("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1"),
+                ),
+                (
+                    "complaint",
+                    Json::obj(vec![
+                        ("kind", Json::str("value")),
+                        ("op", Json::str("eq")),
+                        ("target", Json::num(10.0)),
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+    let run_once = |client: &mut Client| {
+        let run = client
+            .post_ok(
+                "/sessions/warm/debug-run",
+                &Json::obj(vec![
+                    ("method", Json::str("loss")),
+                    ("budget", Json::num(4.0)),
+                    ("k_per_iter", Json::num(2.0)),
+                ]),
+            )
+            .unwrap();
+        let id = run.get("job").unwrap().as_i64().unwrap();
+        await_job(client, id);
+    };
+    run_once(&mut client);
+    run_once(&mut client);
+    let sessions = client.get_ok("/sessions").unwrap();
+    let warm = &sessions.get("sessions").unwrap().as_arr().unwrap()[0];
+    let cache = warm.get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_i64(), Some(1), "{cache}");
+    assert!(
+        cache.get("hits").unwrap().as_i64().unwrap() >= 1,
+        "second run must check out the first run's skeleton: {cache}"
+    );
+    server.shutdown();
+}
+
+/// Protocol error paths: malformed requests, unknown sessions, stale job
+/// ids, duplicate sessions, bad SQL — each with the right status code,
+/// none of them wedging the connection.
+#[test]
+fn protocol_error_paths() {
+    let server = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unknown route and unknown session.
+    assert_eq!(client.get("/nope").unwrap().0, 404);
+    assert_eq!(
+        client
+            .post(
+                "/sessions/ghost/query",
+                &Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM t"))]),
+            )
+            .unwrap()
+            .0,
+        404
+    );
+    // Stale/unknown job id, non-numeric job id.
+    assert_eq!(client.get("/jobs/999").unwrap().0, 404);
+    assert_eq!(client.get("/jobs/xyz").unwrap().0, 400);
+
+    // Malformed JSON body, sent over a raw socket (the typed client can
+    // only produce valid JSON).
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        let body = "{not json";
+        write!(
+            raw,
+            "POST /sessions HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut resp = String::new();
+        raw.read_to_string(&mut resp).unwrap();
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "malformed JSON must 400, got: {}",
+            resp.lines().next().unwrap_or("")
+        );
+        assert!(resp.contains("invalid JSON"), "{resp}");
+    }
+    // A well-formed JSON body of the wrong shape is also a 400.
+    let (status, body) = client
+        .request("POST", "/sessions", Some(&Json::str("not an object")))
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    // Session lifecycle conflicts and validation.
+    client
+        .post_ok("/sessions", &logistic_session("errs"))
+        .unwrap();
+    assert_eq!(
+        client
+            .post("/sessions", &logistic_session("errs"))
+            .unwrap()
+            .0,
+        409
+    );
+    assert_eq!(
+        client
+            .post(
+                "/sessions",
+                &Json::obj(vec![("name", Json::str("bad/name"))])
+            )
+            .unwrap()
+            .0,
+        400
+    );
+
+    // Query against an empty catalog / bad SQL.
+    assert_eq!(
+        client
+            .post(
+                "/sessions/errs/query",
+                &Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM missing"))]),
+            )
+            .unwrap()
+            .0,
+        400
+    );
+    assert_eq!(
+        client
+            .post(
+                "/sessions/errs/query",
+                &Json::obj(vec![("sql", Json::str("SELEC nonsense"))]),
+            )
+            .unwrap()
+            .0,
+        400
+    );
+    // Complaint with no complaints; debug-run without method.
+    assert_eq!(
+        client
+            .post(
+                "/sessions/errs/complain",
+                &Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]),
+            )
+            .unwrap()
+            .0,
+        400
+    );
+    assert_eq!(
+        client
+            .post(
+                "/sessions/errs/debug-run",
+                &Json::obj(vec![("budget", Json::num(4.0))])
+            )
+            .unwrap()
+            .0,
+        400
+    );
+    // Train dim mismatch.
+    client
+        .post_ok("/sessions/errs/tables", &table_json("pairs", 6, 3))
+        .unwrap();
+    let bad_train = Json::obj(vec![
+        (
+            "features",
+            Json::Arr(vec![Json::Arr(vec![Json::num(1.0), Json::num(2.0)])]),
+        ),
+        ("labels", Json::Arr(vec![Json::num(0.0)])),
+        ("classes", Json::num(2.0)),
+    ]);
+    assert_eq!(
+        client.post("/sessions/errs/train", &bad_train).unwrap().0,
+        400
+    );
+
+    // The connection still works after every error.
+    let ok = client
+        .post_ok(
+            "/sessions/errs/query",
+            &Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]),
+        )
+        .unwrap();
+    assert_eq!(ok.get("cache").unwrap().as_str(), Some("miss"));
+    // Dropping the session 404s subsequent use.
+    client.delete("/sessions/errs").unwrap();
+    assert!(!client
+        .get("/sessions")
+        .unwrap()
+        .1
+        .to_string()
+        .contains("errs"));
+    server.shutdown();
+}

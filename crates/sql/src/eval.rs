@@ -21,7 +21,7 @@ use crate::catalog::Database;
 use crate::exec::QueryOutput;
 use crate::plan::QueryPlan;
 use crate::predvar::PredVarRegistry;
-use crate::prov::{AggSum, AggTerm, BoolProv, CellProv, VarId};
+use crate::prov::{BoolProv, VarId};
 use crate::table::{ColType, Schema, Table};
 use crate::value::{like_match, Value};
 use crate::QueryError;
@@ -240,17 +240,14 @@ pub(crate) fn join_schedule(query: &QueryPlan) -> Vec<Vec<(BExpr, BExpr, usize)>
     out
 }
 
-/// Accumulator for one output group.
+/// Accumulator for one output group (normal mode — debug-mode grouping
+/// lives in the incremental capture path, which keeps full provenance).
 #[derive(Debug, Default)]
 struct GroupAcc {
     /// Concrete members (tuples that concretely belong to this group).
     members: usize,
     /// Concrete per-aggregate accumulators: (sum, non-null count).
     concrete: Vec<(f64, usize)>,
-    /// Provenance per aggregate: numerator terms (and denominator terms
-    /// for AVG).
-    num: Vec<AggSum>,
-    den: Vec<AggSum>,
 }
 
 /// Shared evaluation state: catalog, model, plan, mode, and the
@@ -537,10 +534,8 @@ pub(crate) fn project(
         push_unique(&mut schema, name, ctx.infer_type(e));
     }
     let mut table = Table::empty(schema);
-    let mut row_prov = Vec::new();
-    let debug = ctx.debug;
     tuples.emit(&mut |rows, prov| {
-        // Emit only concretely-true rows; keep their formulas.
+        // Normal mode: emit only concretely-true rows, keep no lineage.
         if !prov.eval_discrete(ctx.reg.preds()) {
             return Ok(());
         }
@@ -549,14 +544,11 @@ pub(crate) fn project(
             row.push(ctx.eval_value(e, rows)?);
         }
         table.push_row(row, None);
-        if debug {
-            row_prov.push(prov);
-        }
         Ok(())
     })?;
     Ok(QueryOutput {
         table,
-        row_prov,
+        row_prov: Vec::new(),
         agg_cells: Vec::new(),
         n_key_cols: 0,
         predvars: std::mem::take(&mut ctx.reg),
@@ -593,18 +585,15 @@ pub(crate) fn aggregate(
     let new_acc = || GroupAcc {
         members: 0,
         concrete: vec![(0.0, 0); n_aggs],
-        num: vec![AggSum::default(); n_aggs],
-        den: vec![AggSum::default(); n_aggs],
     };
     // A global aggregate always has its single group, even when empty.
     if keys.is_empty() {
         groups.insert(Vec::new(), new_acc());
     }
-    let debug = ctx.debug;
 
     tuples.emit(&mut |rows, prov| {
-        // Resolve key parts. Predict keys fan the tuple out per class
-        // (symbolically); concretely it belongs to one class group.
+        // Resolve key parts. Concretely every tuple belongs to exactly
+        // one group (predict keys resolve to the hard class).
         let mut col_parts: Vec<Option<KeyVal>> = Vec::with_capacity(keys.len());
         let mut pred_keys: Vec<(usize, VarId)> = Vec::new(); // (key position, var)
         for (pos, k) in keys.iter().enumerate() {
@@ -622,84 +611,49 @@ pub(crate) fn aggregate(
         }
         let concrete_member = prov.eval_discrete(ctx.reg.preds());
 
-        // Enumerate class assignments for predict keys (cartesian; in
-        // practice there is at most one predict key).
-        let n_classes = ctx.model.n_classes();
-        let combos: Vec<Vec<usize>> = if pred_keys.is_empty() {
-            vec![Vec::new()]
-        } else if debug {
-            cartesian(n_classes, pred_keys.len())
-        } else {
-            // Normal mode: only the concrete class combination.
-            vec![pred_keys
-                .iter()
-                .map(|(_, v)| ctx.reg.preds()[*v as usize])
-                .collect()]
-        };
-
-        for combo in combos {
-            let mut key = Vec::with_capacity(keys.len());
-            let mut membership = prov.clone();
-            let mut concrete_combo = concrete_member;
-            for (pos, part) in col_parts.iter().enumerate() {
-                match part {
-                    Some(kv) => key.push(kv.clone()),
-                    None => {
-                        let (idx, var) = pred_keys
-                            .iter()
-                            .enumerate()
-                            .find_map(|(i, (p, v))| (*p == pos).then_some((i, *v)))
-                            .expect("predict key present");
-                        let class = combo[idx];
-                        key.push(KeyVal::Int(class as i64));
-                        if debug {
-                            membership =
-                                BoolProv::and(vec![membership, BoolProv::PredIs { var, class }]);
-                        }
-                        concrete_combo &= ctx.reg.preds()[var as usize] == class;
-                    }
+        // Resolve the tuple's single concrete group key (predict keys
+        // take the hard class the model assigns their record).
+        let mut key = Vec::with_capacity(keys.len());
+        for (pos, part) in col_parts.iter().enumerate() {
+            match part {
+                Some(kv) => key.push(kv.clone()),
+                None => {
+                    let var = pred_keys
+                        .iter()
+                        .find_map(|(p, v)| (*p == pos).then_some(*v))
+                        .expect("predict key present");
+                    key.push(KeyVal::Int(ctx.reg.preds()[var as usize] as i64));
                 }
             }
+        }
 
-            let acc = groups.entry(key).or_insert_with(new_acc);
-            if concrete_combo {
-                acc.members += 1;
-            }
-            for (ai, agg) in aggs.iter().enumerate() {
-                // Term contributed by this tuple to aggregate `ai`.
-                let term: Option<(AggTerm, f64)> = match &agg.arg {
-                    BoundAggArg::CountStar => Some((AggTerm::One, 1.0)),
-                    BoundAggArg::Predict { rel } => {
-                        let var = ctx.var_of(*rel, rows[*rel]);
-                        let concrete_val = ctx.reg.preds()[var as usize] as f64;
-                        Some((AggTerm::PredValue(var), concrete_val))
-                    }
-                    BoundAggArg::ScaledPredict { rel, factor } => {
-                        let var = ctx.var_of(*rel, rows[*rel]);
-                        let w = ctx.eval_value(factor, rows)?.as_f64().ok_or_else(|| {
-                            QueryError::Exec("non-numeric factor in scaled predict".into())
-                        })?;
-                        let concrete_val = w * ctx.reg.preds()[var as usize] as f64;
-                        Some((AggTerm::ScaledPred { var, weight: w }, concrete_val))
-                    }
-                    BoundAggArg::Scalar(e) => {
-                        let v = ctx.eval_value(e, rows)?;
-                        v.as_f64().map(|f| (AggTerm::Const(f), f))
-                    }
-                };
-                let Some((term, concrete_val)) = term else {
-                    continue; // NULL: skipped by SUM/AVG, as in SQL.
-                };
-                if concrete_combo {
-                    acc.concrete[ai].0 += concrete_val;
-                    acc.concrete[ai].1 += 1;
+        let acc = groups.entry(key).or_insert_with(new_acc);
+        if concrete_member {
+            acc.members += 1;
+        }
+        for (ai, agg) in aggs.iter().enumerate() {
+            // Concrete value this tuple contributes to aggregate `ai`.
+            let val: Option<f64> = match &agg.arg {
+                BoundAggArg::CountStar => Some(1.0),
+                BoundAggArg::Predict { rel } => {
+                    let var = ctx.var_of(*rel, rows[*rel]);
+                    Some(ctx.reg.preds()[var as usize] as f64)
                 }
-                if debug {
-                    acc.num[ai].terms.push((membership.clone(), term));
-                    if agg.func == AggFunc::Avg {
-                        acc.den[ai].terms.push((membership.clone(), AggTerm::One));
-                    }
+                BoundAggArg::ScaledPredict { rel, factor } => {
+                    let var = ctx.var_of(*rel, rows[*rel]);
+                    let w = ctx.eval_value(factor, rows)?.as_f64().ok_or_else(|| {
+                        QueryError::Exec("non-numeric factor in scaled predict".into())
+                    })?;
+                    Some(w * ctx.reg.preds()[var as usize] as f64)
                 }
+                BoundAggArg::Scalar(e) => ctx.eval_value(e, rows)?.as_f64(),
+            };
+            let Some(val) = val else {
+                continue; // NULL: skipped by SUM/AVG, as in SQL.
+            };
+            if concrete_member {
+                acc.concrete[ai].0 += val;
+                acc.concrete[ai].1 += 1;
             }
         }
         Ok(())
@@ -710,13 +664,12 @@ pub(crate) fn aggregate(
     keys_sorted.sort();
 
     let mut table = Table::empty(agg_schema(ctx, keys, aggs));
-    let mut agg_cells = Vec::new();
 
     for key in keys_sorted {
         let acc = groups.remove(&key).expect("group exists");
         // Groups with no concrete member are not part of the concrete
-        // result (matching normal execution); the exception is the
-        // global group of an ungrouped aggregate.
+        // result; the exception is the global group of an ungrouped
+        // aggregate.
         if acc.members == 0 && !keys.is_empty() {
             continue;
         }
@@ -726,23 +679,12 @@ pub(crate) fn aggregate(
             row.push(agg_value(agg.func, sum, cnt));
         }
         table.push_row(row, None);
-        if debug {
-            let mut cells = Vec::with_capacity(aggs.len());
-            for (ai, agg) in aggs.iter().enumerate() {
-                let num = acc.num[ai].clone();
-                cells.push(match agg.func {
-                    AggFunc::Avg => CellProv::Ratio(num, acc.den[ai].clone()),
-                    _ => CellProv::Sum(num),
-                });
-            }
-            agg_cells.push(cells);
-        }
     }
 
     Ok(QueryOutput {
         table,
         row_prov: Vec::new(),
-        agg_cells,
+        agg_cells: Vec::new(),
         n_key_cols: keys.len(),
         predvars: std::mem::take(&mut ctx.reg),
     })

@@ -34,7 +34,11 @@
 //! Fixes in the loop mutate the training set, never the queried database,
 //! so the driver can refresh for the whole run; [`PreparedQuery::refresh`]
 //! still revalidates table versions and row counts and fails loudly if a
-//! queried table was re-registered since prepare.
+//! queried table was re-registered since prepare. A long-lived server
+//! whose fix path *does* mutate registered tables uses
+//! [`PreparedQuery::refresh_with`] under [`StalePolicy::Rebuild`] instead:
+//! a stale skeleton is transparently re-prepared from its cached plan (the
+//! explicit-error behavior stays available as [`StalePolicy::Error`]).
 
 use crate::ast::AggFunc;
 use crate::binder::{BExpr, BoundAgg, BoundAggArg, GroupKey, QueryKind};
@@ -50,6 +54,7 @@ use crate::QueryError;
 use rain_linalg::Matrix;
 use rain_model::Classifier;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What the join pipeline saw while building the candidate set; captured
 /// during prepare by both engines and surfaced in [`SkeletonStats`].
@@ -96,10 +101,12 @@ pub(crate) struct GroupSkel {
     /// Membership formula per candidate (tuple × class-combination); a
     /// group concretely exists iff any of these evaluates true.
     members: Vec<BoolProv>,
-    /// Numerator provenance per aggregate (the `CellProv` sums).
-    num: Vec<AggSum>,
+    /// Numerator provenance per aggregate (the `CellProv` sums). Behind
+    /// `Arc` so every refresh emits the skeleton's sums by reference
+    /// instead of cloning each cell's full term list.
+    num: Vec<Arc<AggSum>>,
     /// Denominator provenance per AVG aggregate.
-    den: Vec<AggSum>,
+    den: Vec<Arc<AggSum>>,
 }
 
 /// Skeleton of an aggregate query: the group partitions in output order.
@@ -151,6 +158,10 @@ pub struct SkeletonStats {
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     kind: KindSkeleton,
+    /// The physical plan the skeleton was captured from, kept so a stale
+    /// skeleton can be transparently re-prepared
+    /// ([`PreparedQuery::refresh_with`] under [`StalePolicy::Rebuild`]).
+    plan: QueryPlan,
     /// The prepare-time registry, kept as a structurally shared template:
     /// each refresh derives its registry via
     /// [`PredVarRegistry::with_preds`] — same variables, same ids, fresh
@@ -227,12 +238,29 @@ pub fn prepare(
     };
     Ok(PreparedQuery {
         kind,
+        plan: plan.clone(),
         reg,
         features,
         n_classes: model.n_classes(),
         rels,
         stats,
     })
+}
+
+/// How a refresh reacts to a stale skeleton — a queried table
+/// re-registered (data version or row count changed) or a model whose
+/// architecture no longer matches the captured feature bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StalePolicy {
+    /// Transparently re-run [`prepare`] on the cached plan and refresh the
+    /// fresh skeleton. This is what a long-lived service wants: fixes that
+    /// mutate registered tables invalidate skeletons mid-session, and the
+    /// next refresh should pay one re-prepare, not fail.
+    #[default]
+    Rebuild,
+    /// Fail with the explicit staleness error (the behavior of
+    /// [`PreparedQuery::refresh`]).
+    Error,
 }
 
 impl PreparedQuery {
@@ -248,29 +276,8 @@ impl PreparedQuery {
         db: &Database,
         model: &dyn Classifier,
     ) -> Result<QueryOutput, QueryError> {
-        if model.n_classes() != self.n_classes {
-            return Err(QueryError::Exec(format!(
-                "stale query skeleton: prepared for {} classes, model has {}",
-                self.n_classes,
-                model.n_classes()
-            )));
-        }
-        if !self.reg.is_empty() && model.dim() != self.features.cols() {
-            return Err(QueryError::Exec(format!(
-                "stale query skeleton: prepared for feature dim {}, model wants {}",
-                self.features.cols(),
-                model.dim()
-            )));
-        }
-        for &(id, version, n_rows) in &self.rels {
-            let table = db.table_by_id(id);
-            if db.version_of(id) != version || table.n_rows() != n_rows {
-                return Err(QueryError::Exec(format!(
-                    "stale query skeleton: table {} changed since prepare; \
-                     re-prepare the query",
-                    db.name_of(id)
-                )));
-            }
+        if let Some(why) = self.staleness(db, model) {
+            return Err(QueryError::Exec(why));
         }
 
         let reg = self.reg.with_preds(model.predict_batch(&self.features));
@@ -296,6 +303,78 @@ impl PreparedQuery {
                 }
             }
         })
+    }
+
+    /// [`PreparedQuery::refresh`] with an explicit staleness policy.
+    ///
+    /// Under [`StalePolicy::Rebuild`] a stale skeleton (re-registered
+    /// queried table, or a model architecture mismatch) is transparently
+    /// re-prepared from the cached plan on the capture engine before
+    /// refreshing; the returned flag reports whether a rebuild happened.
+    /// Under [`StalePolicy::Error`] this is exactly `refresh`.
+    ///
+    /// Rebuilding assumes the replacement tables are schema-compatible
+    /// with the cached (bound) plan — a column the plan reads must still
+    /// exist with its type. Incompatible replacements surface as
+    /// execution errors from the re-prepare.
+    pub fn refresh_with(
+        &mut self,
+        db: &Database,
+        model: &dyn Classifier,
+        policy: StalePolicy,
+    ) -> Result<(QueryOutput, bool), QueryError> {
+        let rebuilt = match policy {
+            StalePolicy::Rebuild if self.staleness(db, model).is_some() => {
+                let plan = self.plan.clone();
+                *self = prepare(db, model, &plan, self.stats.engine)?;
+                true
+            }
+            _ => false,
+        };
+        Ok((self.refresh(db, model)?, rebuilt))
+    }
+
+    /// True when a queried table was re-registered since [`prepare`] (the
+    /// skeleton caches row identities, so its cached tuples no longer
+    /// describe the catalog's data). Model-architecture staleness is
+    /// checked separately at refresh time.
+    pub fn is_stale(&self, db: &Database) -> bool {
+        self.rels.iter().any(|&(id, version, n_rows)| {
+            db.version_of(id) != version || db.table_by_id(id).n_rows() != n_rows
+        })
+    }
+
+    /// Why this skeleton cannot refresh against `(db, model)`, if anything.
+    fn staleness(&self, db: &Database, model: &dyn Classifier) -> Option<String> {
+        if model.n_classes() != self.n_classes {
+            return Some(format!(
+                "stale query skeleton: prepared for {} classes, model has {}",
+                self.n_classes,
+                model.n_classes()
+            ));
+        }
+        if !self.reg.is_empty() && model.dim() != self.features.cols() {
+            return Some(format!(
+                "stale query skeleton: prepared for feature dim {}, model wants {}",
+                self.features.cols(),
+                model.dim()
+            ));
+        }
+        for &(id, version, n_rows) in &self.rels {
+            if db.version_of(id) != version || db.table_by_id(id).n_rows() != n_rows {
+                return Some(format!(
+                    "stale query skeleton: table {} changed since prepare; \
+                     re-prepare the query",
+                    db.name_of(id)
+                ));
+            }
+        }
+        None
+    }
+
+    /// The physical plan the skeleton was captured from.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
     }
 
     /// Prepare-time statistics (scan/join trace, candidate count, model
@@ -497,8 +576,8 @@ pub(crate) fn capture_groups(
             GroupSkel {
                 key: k.iter().map(keyval_to_value).collect(),
                 members: b.members,
-                num: b.num,
-                den: b.den,
+                num: b.num.into_iter().map(Arc::new).collect(),
+                den: b.den.into_iter().map(Arc::new).collect(),
             }
         })
         .collect();

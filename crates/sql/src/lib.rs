@@ -29,7 +29,11 @@
 //!   [`PreparedQuery::refresh`] re-assembles the full debug-mode output
 //!   under new model parameters from one batched inference — bit-identical
 //!   to a fresh execution, at a fraction of the cost, which is what the
-//!   train–rank–fix loop re-executes through each iteration.
+//!   train–rank–fix loop re-executes through each iteration,
+//! - a **prepared-skeleton cache** ([`cache::QueryCache`]) keyed by
+//!   normalized SQL and validated against catalog versions — the serving
+//!   layer's warm path, with hit/miss/invalidation counters and
+//!   transparent re-prepare on invalidation.
 //!
 //! # Example
 //!
@@ -66,6 +70,7 @@
 
 pub mod ast;
 pub mod binder;
+pub mod cache;
 pub mod catalog;
 mod eval;
 pub mod exec;
@@ -83,9 +88,10 @@ pub mod vexec;
 
 pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
 pub use binder::{bind, BExpr, BindError, Binder, BoundStatement};
+pub use cache::{CacheEvent, CacheStats, CachedQuery, QueryCache};
 pub use catalog::{ColumnRef, Database, TableId};
 pub use exec::{execute, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult};
-pub use incremental::{prepare, PreparedQuery, SkeletonStats};
+pub use incremental::{prepare, PreparedQuery, SkeletonStats, StalePolicy};
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;

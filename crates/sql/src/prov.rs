@@ -21,6 +21,7 @@
 //!    analysis.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a prediction variable (one model inference instance).
 pub type VarId = u32;
@@ -84,14 +85,20 @@ pub struct AggSum {
 }
 
 /// Provenance of one output cell.
+///
+/// Aggregate sums sit behind [`Arc`]: the incremental refresh path emits
+/// one `CellProv` per aggregate cell per iteration, and the underlying
+/// [`AggSum`] (one term per candidate tuple — thousands of formulas on the
+/// paper's workloads) is owned by the cached query skeleton. Sharing it
+/// makes a refresh's provenance emission O(cells) instead of O(terms).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellProv {
     /// Membership formula of a non-aggregate output row.
     Bool(BoolProv),
     /// COUNT or SUM cell.
-    Sum(AggSum),
+    Sum(Arc<AggSum>),
     /// AVG cell: numerator / denominator (both sums over the same rows).
-    Ratio(AggSum, AggSum),
+    Ratio(Arc<AggSum>, Arc<AggSum>),
 }
 
 /// Per-variable class probabilities: `probs[var][class]`.
@@ -613,7 +620,7 @@ mod tests {
                 (BoolProv::and(vec![atom(0), atom(2)]), AggTerm::One),
             ],
         };
-        check_grad(&CellProv::Sum(sum.clone()), &probs);
+        check_grad(&CellProv::Sum(Arc::new(sum.clone())), &probs);
         // An AVG (ratio) with a PredValue numerator.
         let num = AggSum {
             terms: vec![
@@ -627,7 +634,7 @@ mod tests {
                 (BoolProv::Const(true), AggTerm::One),
             ],
         };
-        check_grad(&CellProv::Ratio(num, den), &probs);
+        check_grad(&CellProv::Ratio(Arc::new(num), Arc::new(den)), &probs);
         // PredEq gradient.
         let probs3 = Probs {
             p: vec![vec![0.2, 0.5, 0.3], vec![0.1, 0.8, 0.1]],
@@ -643,7 +650,7 @@ mod tests {
         let sum = AggSum {
             terms: vec![(atom(0), AggTerm::One), (atom(1), AggTerm::One)],
         };
-        let cell = CellProv::Sum(sum);
+        let cell = CellProv::Sum(Arc::new(sum));
         assert_eq!(cell.eval_discrete(&[1, 0]), 1.0);
         let probs = binary_probs(&[0.9, 0.2]);
         assert!((cell.eval_relaxed(&probs) - 1.1).abs() < 1e-12);
@@ -664,12 +671,12 @@ mod tests {
                 (BoolProv::Const(true), AggTerm::One),
             ],
         };
-        let cell = CellProv::Ratio(num, den);
+        let cell = CellProv::Ratio(Arc::new(num), Arc::new(den));
         assert_eq!(cell.eval_discrete(&[1, 0]), 0.5);
         let probs = binary_probs(&[0.8, 0.4]);
         assert!((cell.eval_relaxed(&probs) - 0.6).abs() < 1e-12);
         // Empty denominator → 0, not NaN.
-        let empty = CellProv::Ratio(AggSum::default(), AggSum::default());
+        let empty = CellProv::Ratio(Arc::default(), Arc::default());
         assert_eq!(empty.eval_discrete(&[]), 0.0);
     }
 

@@ -16,6 +16,7 @@ use rain_model::{Classifier, LogisticRegression};
 use rain_sql::table::{ColType, Column, Schema, Table};
 use rain_sql::{
     bind, execute, optimize, parse_select, prepare, Database, Engine, ExecOptions, QueryOutput,
+    StalePolicy,
 };
 
 const CASES: u64 = 128;
@@ -347,6 +348,66 @@ fn refresh_rejects_model_architecture_changes() {
         err.to_string().contains("classes"),
         "unexpected error: {err}"
     );
+}
+
+/// Under `StalePolicy::Rebuild` a stale skeleton transparently
+/// re-prepares from its cached plan and matches a fresh execution —
+/// including when the re-registered table has entirely different rows.
+#[test]
+fn refresh_with_rebuild_recovers_from_reregistration() {
+    let mut rng = RainRng::seed_from_u64(19);
+    let mut db = random_db(&mut rng);
+    let sql = "SELECT COUNT(*) FROM t1 a WHERE predict(a) = 1";
+    let stmt = parse_select(sql).unwrap();
+    let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+    let mut prepared = prepare(&db, &step_model(), &plan, Engine::Vectorized).unwrap();
+    let (_, rebuilt) = prepared
+        .refresh_with(&db, &step_model(), StalePolicy::Rebuild)
+        .unwrap();
+    assert!(!rebuilt, "fresh skeleton must not rebuild");
+    assert!(!prepared.is_stale(&db));
+
+    // Replace t1 with a same-schema table of different rows.
+    let other = random_db(&mut rng);
+    db.register("t1", other.table("t1").unwrap().clone());
+    assert!(prepared.is_stale(&db));
+    let (out, rebuilt) = prepared
+        .refresh_with(&db, &step_model(), StalePolicy::Rebuild)
+        .unwrap();
+    assert!(rebuilt, "stale skeleton must transparently re-prepare");
+    let fresh = execute(&db, &step_model(), &plan, ExecOptions::debug()).unwrap();
+    assert_identical("rebuild", &fresh, &out);
+
+    // The rebuilt skeleton is warm again...
+    let (_, again) = prepared
+        .refresh_with(&db, &step_model(), StalePolicy::Rebuild)
+        .unwrap();
+    assert!(!again);
+    // ...and the explicit-error path is still available as an option.
+    let t1 = db.table("t1").unwrap().clone();
+    db.register("t1", t1);
+    assert!(prepared
+        .refresh_with(&db, &step_model(), StalePolicy::Error)
+        .is_err());
+}
+
+/// Rebuild also recovers from a model-architecture change: the class
+/// fan-out of predict-keyed groups is re-captured for the new class set.
+#[test]
+fn refresh_with_rebuild_recaptures_for_new_architecture() {
+    let mut rng = RainRng::seed_from_u64(23);
+    let db = random_db(&mut rng);
+    let sql = "SELECT COUNT(*) FROM t1 a GROUP BY predict(a)";
+    let stmt = parse_select(sql).unwrap();
+    let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+    let mut prepared = prepare(&db, &step_model(), &plan, Engine::Tuple).unwrap();
+    let tri = rain_model::SoftmaxRegression::new(1, 3, 0.0);
+    let (out, rebuilt) = prepared
+        .refresh_with(&db, &tri, StalePolicy::Rebuild)
+        .unwrap();
+    assert!(rebuilt);
+    let fresh = execute(&db, &tri, &plan, ExecOptions::debug().on(Engine::Tuple)).unwrap();
+    assert_identical("arch rebuild", &fresh, &out);
 }
 
 /// The prepare-time stats reflect the pipeline: scan selections per

@@ -147,7 +147,7 @@ fn count_relaxation_is_exact_expectation() {
                 )
             })
             .collect();
-        let cell = CellProv::Sum(AggSum { terms });
+        let cell = CellProv::Sum(std::sync::Arc::new(AggSum { terms }));
         let expect: f64 = classes.iter().enumerate().map(|(i, &c)| p.p[i][c]).sum();
         assert!(
             (cell.eval_relaxed(&p) - expect).abs() < 1e-12,

@@ -1,0 +1,146 @@
+//! The serving layer end to end: boot a `rain-serve` server in-process,
+//! then drive it over TCP the way an analyst's tooling would — create a
+//! session, upload the DBLP entity-resolution workload, query (twice, to
+//! see the skeleton cache hit), file a complaint, run the debugger as a
+//! background job, poll for the report, and score it against the known
+//! ground truth.
+//!
+//! Run with: `cargo run --release --example serve_dblp`
+
+use rain::data::dblp::{DblpConfig, N_FEATURES};
+use rain::data::flip_labels_where;
+use rain::serve::json::Json;
+use rain::serve::protocol::{dataset_to_json, table_to_json};
+use rain::serve::{start, Client, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn main() -> std::io::Result<()> {
+    // ---- The workload: DBLP-style matching with corrupted labels. ----
+    // Half of the "match" training labels are flipped to "non-match";
+    // the flipped ids are the ground truth the debugger should recover.
+    let w = DblpConfig {
+        n_train: 600,
+        n_query: 300,
+        ..Default::default()
+    }
+    .generate(7);
+    let mut train = w.train.clone();
+    let truth = flip_labels_where(&mut train, |_, _, y| y == 1, 0.5, |_| 0, 7);
+    println!(
+        "workload: {} train pairs ({} corrupted), {} queried pairs",
+        train.len(),
+        truth.len(),
+        w.query.len()
+    );
+
+    // ---- Server + client. ----
+    let server = start(ServerConfig::default())?;
+    println!("server listening on {}", server.addr());
+    let mut client = Client::connect(server.addr())?;
+
+    // ---- Session: a named unit of catalog + model + training set. ----
+    client.post_ok(
+        "/sessions",
+        &Json::obj(vec![
+            ("name", Json::str("analyst")),
+            (
+                "model",
+                Json::obj(vec![
+                    ("kind", Json::str("logistic")),
+                    ("dim", Json::num(N_FEATURES as f64)),
+                    ("l2", Json::num(0.01)),
+                ]),
+            ),
+        ]),
+    )?;
+    client.post_ok(
+        "/sessions/analyst/tables",
+        &table_to_json("dblp", &w.query_table()),
+    )?;
+    client.post_ok("/sessions/analyst/train", &dataset_to_json(&train))?;
+    println!("session 'analyst': table 'dblp' registered, training set uploaded");
+
+    // ---- Query twice: miss, then skeleton-cache hit. ----
+    let sql = "SELECT COUNT(*) FROM dblp WHERE predict(*) = 1";
+    let q = Json::obj(vec![("sql", Json::str(sql))]);
+    for round in 1..=2 {
+        let resp = client.post_ok("/sessions/analyst/query", &q)?;
+        let rows = resp.get("result").unwrap().get("rows").unwrap();
+        println!(
+            "query round {round}: {sql}\n  -> rows {rows}, cache {}",
+            resp.get("cache").unwrap().as_str().unwrap_or("?"),
+        );
+    }
+
+    // ---- Complain and debug in the background. ----
+    let target = w.true_match_count() as f64;
+    client.post_ok(
+        "/sessions/analyst/complain",
+        &Json::obj(vec![
+            ("sql", Json::str(sql)),
+            (
+                "complaint",
+                Json::obj(vec![
+                    ("kind", Json::str("value")),
+                    ("op", Json::str("eq")),
+                    ("target", Json::num(target)),
+                ]),
+            ),
+        ]),
+    )?;
+    println!("complaint filed: the count should be {target}");
+    let run = client.post_ok(
+        "/sessions/analyst/debug-run",
+        &Json::obj(vec![
+            ("method", Json::str("holistic")),
+            ("budget", Json::num(truth.len().min(40) as f64)),
+        ]),
+    )?;
+    let job = run.get("job").unwrap().as_i64().unwrap();
+    println!("debug run queued as job {job}; polling…");
+
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let report = loop {
+        let v = client.get_ok(&format!("/jobs/{job}"))?;
+        match v.get("status").unwrap().as_str().unwrap() {
+            "done" => break v.get("report").unwrap().clone(),
+            "failed" => panic!("job failed: {v}"),
+            status => {
+                assert!(Instant::now() < deadline, "job stuck in '{status}'");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+
+    // ---- Score the explanation against the known ground truth. ----
+    let removed: Vec<usize> = report
+        .get("removed")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_usize().unwrap())
+        .collect();
+    let hits = removed.iter().filter(|id| truth.contains(id)).count();
+    println!(
+        "report: {} records removed over {} iterations, {}/{} are true corruptions (recall {:.2})",
+        removed.len(),
+        report.get("iterations").unwrap().as_arr().unwrap().len(),
+        hits,
+        removed.len(),
+        hits as f64 / truth.len() as f64,
+    );
+
+    // ---- Server-wide stats. ----
+    let stats = client.get_ok("/stats")?;
+    println!(
+        "stats: sessions {}, requests {}, cache {}, jobs {}",
+        stats.get("sessions").unwrap(),
+        stats.get("requests").unwrap(),
+        stats.get("cache").unwrap(),
+        stats.get("jobs").unwrap(),
+    );
+    server.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}

@@ -19,6 +19,9 @@
 //!   datasets, with systematic label-corruption injection.
 //! - [`core`] — the Rain system itself: complaints, TwoStep, Holistic,
 //!   baselines, and the train–rank–fix driver.
+//! - [`serve`] — the long-lived serving layer: session pool, per-session
+//!   skeleton caches, a job runner for concurrent debug runs, and a
+//!   hand-rolled JSON-over-HTTP wire protocol (std only).
 //!
 //! ## Quickstart
 //!
@@ -56,4 +59,5 @@ pub use rain_ilp as ilp;
 pub use rain_influence as influence;
 pub use rain_linalg as linalg;
 pub use rain_model as model;
+pub use rain_serve as serve;
 pub use rain_sql as sql;
