@@ -97,7 +97,7 @@ fn plan_for(sql: &str, db: &Database) -> QueryPlan {
 /// the loop: the tentpole comparison, exported as `BENCH_iteration.json`.
 fn bench_incremental() {
     let quick = rain_bench::is_quick();
-    let n_query = if quick { 400 } else { 2000 };
+    let n_query = 2000;
     let w = DblpConfig {
         n_train: 400,
         n_query,

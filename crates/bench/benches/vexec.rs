@@ -32,7 +32,7 @@ fn plan_for(sql: &str, db: &Database) -> QueryPlan {
 
 fn main() {
     let quick = rain_bench::is_quick();
-    let n_query = if quick { 600 } else { 4000 };
+    let n_query = 8000;
     let w = DblpConfig {
         n_train: 400,
         n_query,

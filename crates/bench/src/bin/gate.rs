@@ -1,0 +1,267 @@
+//! Bench regression gate: fail CI when a headline speedup regresses.
+//!
+//! Reads the checked-in floors file (`bench_floors.json`, path as the
+//! first argument) and the fresh `BENCH_*.json` artifacts the bench
+//! smoke steps just wrote, and exits non-zero if any gated metric falls
+//! below its floor. Floors live next to the artifacts:
+//!
+//! ```json
+//! {
+//!   "floors": [
+//!     { "file": "BENCH_vexec.json", "metric": "join.speedup", "min": 3.0 },
+//!     { "file": "BENCH_parallel.json", "metric": "join.scaling_4t",
+//!       "min": 2.0, "min_cores": 4 }
+//!   ]
+//! }
+//! ```
+//!
+//! - `file` is resolved relative to the floors file's directory (the
+//!   bench binaries write artifacts into the package root).
+//! - `metric` is a dot path into the artifact's JSON object.
+//! - `min_cores` (optional) skips the floor — loudly — when the
+//!   artifact's `host_cores` says the bench ran on fewer cores than the
+//!   floor needs: parallel-scaling floors are meaningless on a 1-core
+//!   runner, but must bite on real CI hardware.
+//!
+//! Everything else (missing file, missing metric, malformed floors) is a
+//! hard failure: a gate that silently skips is no gate.
+
+use rain_serve::json::{parse, Json};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One gated metric, parsed from the floors file.
+#[derive(Debug, Clone, PartialEq)]
+struct Floor {
+    file: String,
+    metric: String,
+    min: f64,
+    min_cores: Option<usize>,
+}
+
+/// What evaluating one floor concluded.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    Pass { value: f64 },
+    Fail { reason: String },
+    Skip { reason: String },
+}
+
+fn floors_from_json(v: &Json) -> Result<Vec<Floor>, String> {
+    let list = v
+        .get("floors")
+        .and_then(Json::as_arr)
+        .ok_or("floors file needs a top-level 'floors' array")?;
+    let mut out = Vec::with_capacity(list.len());
+    for (i, f) in list.iter().enumerate() {
+        let field = |key: &str| {
+            f.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("floor #{i}: missing string field '{key}'"))
+        };
+        out.push(Floor {
+            file: field("file")?,
+            metric: field("metric")?,
+            min: f
+                .get("min")
+                .and_then(Json::as_f64)
+                .ok_or(format!("floor #{i}: missing numeric field 'min'"))?,
+            min_cores: f.get("min_cores").and_then(Json::as_usize),
+        });
+    }
+    if out.is_empty() {
+        return Err("floors file gates nothing".into());
+    }
+    Ok(out)
+}
+
+/// Navigate a dot path ("join.speedup") into nested objects.
+fn metric_value(doc: &Json, path: &str) -> Option<f64> {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+/// Evaluate one floor against its (already parsed) artifact.
+fn check(floor: &Floor, doc: &Json) -> Verdict {
+    if let Some(need) = floor.min_cores {
+        match doc.get("host_cores").and_then(Json::as_usize) {
+            Some(have) if have < need => {
+                return Verdict::Skip {
+                    reason: format!("bench ran on {have} core(s), floor needs {need}"),
+                }
+            }
+            Some(_) => {}
+            None => {
+                return Verdict::Fail {
+                    reason: "floor has 'min_cores' but artifact lacks 'host_cores'".into(),
+                }
+            }
+        }
+    }
+    match metric_value(doc, &floor.metric) {
+        Some(v) if v >= floor.min => Verdict::Pass { value: v },
+        Some(v) => Verdict::Fail {
+            reason: format!("{v:.3} < floor {:.3}", floor.min),
+        },
+        None => Verdict::Fail {
+            reason: format!("metric '{}' not found", floor.metric),
+        },
+    }
+}
+
+fn run(floors_path: &Path) -> Result<bool, String> {
+    let text = std::fs::read_to_string(floors_path)
+        .map_err(|e| format!("cannot read {}: {e}", floors_path.display()))?;
+    let floors = floors_from_json(
+        &parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", floors_path.display()))?,
+    )?;
+    let base = floors_path.parent().unwrap_or(Path::new("."));
+
+    let mut ok = true;
+    for floor in &floors {
+        let artifact = base.join(&floor.file);
+        let verdict = match std::fs::read_to_string(&artifact) {
+            Ok(text) => match parse(&text) {
+                Ok(doc) => check(floor, &doc),
+                Err(e) => Verdict::Fail {
+                    reason: format!("invalid JSON: {e}"),
+                },
+            },
+            Err(e) => Verdict::Fail {
+                reason: format!("cannot read {}: {e}", artifact.display()),
+            },
+        };
+        let tag = format!("{}:{}", floor.file, floor.metric);
+        match verdict {
+            Verdict::Pass { value } => {
+                println!("PASS  {tag}  {value:.3} >= {:.3}", floor.min)
+            }
+            Verdict::Skip { reason } => println!("SKIP  {tag}  {reason}"),
+            Verdict::Fail { reason } => {
+                ok = false;
+                println!("FAIL  {tag}  {reason}");
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench_floors.json"));
+    match run(&path) {
+        Ok(true) => {
+            println!("bench gate: all floors hold");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench gate: regression below a checked-in floor");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn metric_paths_navigate_nested_objects() {
+        let d = doc(r#"{"join":{"speedup":4.5},"flat":2.0}"#);
+        assert_eq!(metric_value(&d, "join.speedup"), Some(4.5));
+        assert_eq!(metric_value(&d, "flat"), Some(2.0));
+        assert_eq!(metric_value(&d, "join.missing"), None);
+        assert_eq!(metric_value(&d, "nope.speedup"), None);
+    }
+
+    #[test]
+    fn floors_parse_and_reject_malformed_files() {
+        let v = doc(r#"{"floors":[
+                {"file":"a.json","metric":"x.y","min":3.0},
+                {"file":"b.json","metric":"z","min":2.0,"min_cores":4}]}"#);
+        let floors = floors_from_json(&v).unwrap();
+        assert_eq!(floors.len(), 2);
+        assert_eq!(floors[1].min_cores, Some(4));
+        assert!(floors_from_json(&doc(r#"{"floors":[]}"#)).is_err());
+        assert!(floors_from_json(&doc(r#"{"floors":[{"metric":"m","min":1}]}"#)).is_err());
+        assert!(floors_from_json(&doc(r#"{}"#)).is_err());
+    }
+
+    #[test]
+    fn verdicts_pass_fail_and_core_skip() {
+        let artifact = doc(r#"{"host_cores":1,"join":{"scaling_4t":0.94,"speedup":4.0}}"#);
+        let plain = Floor {
+            file: "f".into(),
+            metric: "join.speedup".into(),
+            min: 3.0,
+            min_cores: None,
+        };
+        assert_eq!(check(&plain, &artifact), Verdict::Pass { value: 4.0 });
+
+        let too_low = Floor {
+            min: 5.0,
+            ..plain.clone()
+        };
+        assert!(matches!(check(&too_low, &artifact), Verdict::Fail { .. }));
+
+        // A scaling floor skips on an under-provisioned host…
+        let scaling = Floor {
+            metric: "join.scaling_4t".into(),
+            min: 2.0,
+            min_cores: Some(4),
+            ..plain.clone()
+        };
+        assert!(matches!(check(&scaling, &artifact), Verdict::Skip { .. }));
+        // …bites when the host had the cores…
+        let beefy = doc(r#"{"host_cores":8,"join":{"scaling_4t":0.94}}"#);
+        assert!(matches!(check(&scaling, &beefy), Verdict::Fail { .. }));
+        let scaled = doc(r#"{"host_cores":8,"join":{"scaling_4t":2.7}}"#);
+        assert_eq!(check(&scaling, &scaled), Verdict::Pass { value: 2.7 });
+        // …and fails loudly when the artifact cannot prove its cores.
+        let anon = doc(r#"{"join":{"scaling_4t":2.7}}"#);
+        assert!(matches!(check(&scaling, &anon), Verdict::Fail { .. }));
+
+        let missing = Floor {
+            metric: "nope".into(),
+            ..plain
+        };
+        assert!(matches!(check(&missing, &artifact), Verdict::Fail { .. }));
+    }
+
+    #[test]
+    fn run_gates_real_files_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("rain-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), r#"{"join":{"speedup":4.0}}"#).unwrap();
+        let floors = dir.join("bench_floors.json");
+        std::fs::write(
+            &floors,
+            r#"{"floors":[{"file":"BENCH_x.json","metric":"join.speedup","min":3.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&floors), Ok(true));
+        std::fs::write(
+            &floors,
+            r#"{"floors":[
+                {"file":"BENCH_x.json","metric":"join.speedup","min":5.0},
+                {"file":"BENCH_missing.json","metric":"a.b","min":1.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&floors), Ok(false));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -81,15 +81,7 @@ pub fn fig5(quick: bool) -> String {
             3
         };
         let report = sess
-            .run(
-                method,
-                &RunConfig {
-                    k_per_iter: 10,
-                    budget: 10 * iters,
-                    stop_when_satisfied: false,
-                    incremental: true,
-                },
-            )
+            .run(method, &RunConfig::paper(10 * iters))
             .expect("run");
         let (t, e, r) = report.mean_timings();
         tsv.row(&[method.name().into(), f3(t), f3(e), f3(r), f3(t + e + r)]);

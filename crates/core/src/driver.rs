@@ -20,7 +20,7 @@ use crate::twostep::SqlStepConfig;
 use rain_influence::InfluenceConfig;
 use rain_model::{train_lbfgs, Classifier, Dataset, LbfgsConfig};
 use rain_sql::{
-    execute, prepare, Database, Engine, ExecOptions, PreparedQuery, QueryError, QueryOutput,
+    execute, prepare_with, Database, Engine, ExecOptions, PreparedQuery, QueryError, QueryOutput,
     QueryPlan, StalePolicy,
 };
 use std::time::Instant;
@@ -99,12 +99,25 @@ impl DebugSession {
     /// alive across runs, so a follow-up debug run skips planning and
     /// skeleton capture entirely.
     pub fn prepare_queries(&self, incremental: bool) -> Result<PreparedQueries, QueryError> {
+        self.prepare_queries_with(incremental, Engine::Vectorized, 0)
+    }
+
+    /// [`DebugSession::prepare_queries`] with an explicit capture engine
+    /// and worker budget (`threads`: `0` = auto, `1` = sequential) — what
+    /// [`DebugSession::run`] calls with [`RunConfig::engine`] /
+    /// [`RunConfig::threads`].
+    pub fn prepare_queries_with(
+        &self,
+        incremental: bool,
+        engine: Engine,
+        threads: usize,
+    ) -> Result<PreparedQueries, QueryError> {
         let t_prepare = Instant::now();
         let plans = self.plan_queries()?;
         let prepared: Vec<PreparedQuery> = if incremental {
             plans
                 .iter()
-                .map(|p| prepare(&self.db, self.model.as_ref(), p, Engine::Vectorized))
+                .map(|p| prepare_with(&self.db, self.model.as_ref(), p, engine, threads))
                 .collect::<Result<_, _>>()?
         } else {
             Vec::new()
@@ -118,7 +131,7 @@ impl DebugSession {
 
     /// Run the train–rank–fix loop with one method.
     pub fn run(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, QueryError> {
-        let mut pq = self.prepare_queries(cfg.incremental)?;
+        let mut pq = self.prepare_queries_with(cfg.incremental, cfg.engine, cfg.threads)?;
         self.run_prepared(method, cfg, &mut pq)
     }
 
@@ -174,8 +187,9 @@ impl DebugSession {
             let train_s = t_train.elapsed().as_secs_f64();
 
             // (1-2) Execute the queries in debug mode. Re-execution runs
-            // on the vectorized engine: it dominates per-iteration cost,
-            // and vexec is provenance-identical to the tuple oracle.
+            // on `cfg.engine` (the vectorized engine by default — it
+            // dominates per-iteration cost and is provenance-identical
+            // to the tuple oracle) under the run's worker budget.
             let t_exec = Instant::now();
             let mut outputs: Vec<QueryOutput> = Vec::with_capacity(pq.plans.len());
             for qi in 0..pq.plans.len() {
@@ -184,13 +198,16 @@ impl DebugSession {
                         &self.db,
                         model.as_ref(),
                         &pq.plans[qi],
-                        ExecOptions::debug().on(Engine::Vectorized),
+                        ExecOptions::debug()
+                            .with_engine(cfg.engine)
+                            .with_threads(cfg.threads),
                     )?
                 } else {
-                    let (out, rebuilt) = pq.prepared[qi].refresh_with(
+                    let (out, rebuilt) = pq.prepared[qi].refresh_with_threaded(
                         &self.db,
                         model.as_ref(),
                         StalePolicy::Rebuild,
+                        cfg.threads,
                     )?;
                     skeleton_rebuilds += rebuilt as usize;
                     out
@@ -339,6 +356,15 @@ pub struct RunConfig {
     /// each iteration only refreshes predictions. Off = full debug-mode
     /// re-execution per iteration (the oracle path; output is identical).
     pub incremental: bool,
+    /// Engine for query capture and (non-incremental) re-execution.
+    /// Results and provenance are engine-independent; the tuple engine is
+    /// the slow differential oracle.
+    pub engine: Engine,
+    /// Worker budget for morsel-parallel execution and batched refresh
+    /// inference: `0` (the default) = the machine's available
+    /// parallelism, `1` = fully sequential. Output is bit-identical at
+    /// every setting; a server uses this as a per-session cap.
+    pub threads: usize,
 }
 
 impl RunConfig {
@@ -349,6 +375,8 @@ impl RunConfig {
             budget,
             stop_when_satisfied: false,
             incremental: true,
+            engine: Engine::Vectorized,
+            threads: 0,
         }
     }
 }

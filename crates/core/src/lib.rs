@@ -13,7 +13,7 @@
 //!   encoding, §5.3; also used by TwoStep's influence step).
 //! - [`twostep`] — the ILP SQL step of §5.2 (presolve + Tseitin + branch
 //!   and bound), producing marked mispredictions.
-//! - [`rank`] — the four ranking methods (`Loss`, `InfLoss`, `TwoStep`,
+//! - [`rank`](mod@rank) — the four ranking methods (`Loss`, `InfLoss`, `TwoStep`,
 //!   `Holistic`) plus the §5.1 `Auto` heuristic.
 //! - [`driver`] — the train–rank–fix loop and reporting.
 //! - [`metrics`] — recall@k and AUCCR (§6.1.5).

@@ -105,15 +105,7 @@ fn driver_respects_budget_and_batch_size() {
     let (session, truth, _) = dblp_session(4);
     let budget = 23.min(truth.len());
     let report = session
-        .run(
-            Method::Holistic,
-            &RunConfig {
-                k_per_iter: 10,
-                budget,
-                stop_when_satisfied: false,
-                incremental: true,
-            },
-        )
+        .run(Method::Holistic, &RunConfig::paper(budget))
         .unwrap();
     assert_eq!(report.removed.len(), budget);
     // Batches: 10, 10, 3.
@@ -153,10 +145,8 @@ fn stop_when_satisfied_halts_early() {
         .run(
             Method::Holistic,
             &RunConfig {
-                k_per_iter: 10,
-                budget: 50,
                 stop_when_satisfied: true,
-                incremental: true,
+                ..RunConfig::paper(50)
             },
         )
         .unwrap();
@@ -493,10 +483,8 @@ fn inequality_complaints_drive_until_satisfied() {
         .run(
             Method::Holistic,
             &RunConfig {
-                k_per_iter: 10,
-                budget: truth.len(),
                 stop_when_satisfied: true,
-                incremental: true,
+                ..RunConfig::paper(truth.len())
             },
         )
         .unwrap();
@@ -523,12 +511,7 @@ fn run_prepared_reuses_state_and_skips_static_complaint_checks() {
         ..session
     };
     let budget = 20.min(truth.len());
-    let cfg = RunConfig {
-        k_per_iter: 10,
-        budget,
-        stop_when_satisfied: false,
-        incremental: true,
-    };
+    let cfg = RunConfig::paper(budget);
     let mut pq = session.prepare_queries(true).unwrap();
     let first = session.run_prepared(Method::Loss, &cfg, &mut pq).unwrap();
     assert_eq!(
@@ -575,10 +558,8 @@ fn incremental_refresh_reproduces_full_reexecution_loop() {
             .run(
                 Method::Holistic,
                 &RunConfig {
-                    k_per_iter: 10,
-                    budget,
-                    stop_when_satisfied: false,
                     incremental,
+                    ..RunConfig::paper(budget)
                 },
             )
             .unwrap()

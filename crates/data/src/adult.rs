@@ -1,6 +1,6 @@
 //! Adult ("Census Income")-style workload (§6.1.2, §6.5).
 //!
-//! Following the preprocessing of Calmon et al. [16] that the paper
+//! Following the preprocessing of Calmon et al. \[16\] that the paper
 //! borrows, each record keeps only three attributes — age decade,
 //! education level, and gender — one-hot encoded into **18 binary
 //! features** (6 + 10 + 2). The label predicts >$50K income.

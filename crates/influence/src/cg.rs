@@ -1,7 +1,7 @@
 //! Conjugate-gradient solver for symmetric positive-definite operators.
 //!
 //! The operator is a closure (`v ↦ A·v`), so callers never materialize the
-//! Hessian — exactly the Hessian-free approach of Martens [51] that the
+//! Hessian — exactly the Hessian-free approach of Martens \[51\] that the
 //! paper adopts for influence computation.
 
 use rain_linalg::vecops;

@@ -119,6 +119,15 @@ impl Classifier for LogisticRegression {
             .collect()
     }
 
+    fn predict_range_into(&self, x: &rain_linalg::Matrix, start: usize, out: &mut [usize]) {
+        // Same allocation-free kernel as `predict_batch`, over a row
+        // range — what each parallel-refresh worker runs on its chunk.
+        for (k, slot) in out.iter_mut().enumerate() {
+            let p1 = self.proba1(x.row(start + k));
+            *slot = rain_linalg::vecops::argmax(&[1.0 - p1, p1]).expect("non-empty proba");
+        }
+    }
+
     fn example_loss(&self, x: &[f64], y: usize) -> f64 {
         debug_assert!(y < 2);
         let p = Self::clamp_p(self.proba1(x));
@@ -288,6 +297,25 @@ mod tests {
             let g = m.example_grad(data.x(i), data.y(i));
             let direct = m.example_grad_dot(data.x(i), data.y(i), &v);
             assert!((vecops::dot(&g, &v) - direct).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn batched_and_range_inference_match_per_row_predict() {
+        let data = toy_data(67, 11);
+        let m = fitted_model(&data);
+        let x = data.features();
+        let per_row: Vec<usize> = x.iter_rows().map(|r| m.predict(r)).collect();
+        assert_eq!(m.predict_batch(x), per_row);
+        // Range chunks (the parallel-refresh sharding unit) must agree
+        // too, at any chunking.
+        for chunk in [1usize, 7, 64, 100] {
+            let mut out = vec![0usize; x.rows()];
+            for start in (0..x.rows()).step_by(chunk) {
+                let end = (start + chunk).min(x.rows());
+                m.predict_range_into(x, start, &mut out[start..end]);
+            }
+            assert_eq!(out, per_row, "chunk={chunk}");
         }
     }
 

@@ -55,13 +55,29 @@ pub trait Classifier: Send + Sync {
     /// Hard predictions for a batch of feature rows (one example per
     /// matrix row).
     ///
-    /// The default walks the rows through [`Classifier::predict`];
+    /// The default routes through [`Classifier::predict_range_into`];
     /// implementations may override with an allocation-free batched path,
     /// but must return exactly the per-row `predict` results — the
     /// incremental query-refresh machinery relies on batched and per-row
     /// inference agreeing bit for bit.
     fn predict_batch(&self, x: &rain_linalg::Matrix) -> Vec<usize> {
-        x.iter_rows().map(|r| self.predict(r)).collect()
+        let mut out = vec![0usize; x.rows()];
+        self.predict_range_into(x, 0, &mut out);
+        out
+    }
+
+    /// Hard predictions for the row range `start .. start + out.len()`
+    /// of `x`, written into `out` — the unit the parallel refresh path
+    /// shards over (each worker owns a disjoint output slice).
+    ///
+    /// The default walks the rows through [`Classifier::predict`];
+    /// implementations overriding [`Classifier::predict_batch`] with an
+    /// allocation-free kernel should override this consistently — both
+    /// must return exactly the per-row `predict` results, bit for bit.
+    fn predict_range_into(&self, x: &rain_linalg::Matrix, start: usize, out: &mut [usize]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.predict(x.row(start + k));
+        }
     }
 
     /// Unregularized per-example loss `ℓ(z, θ)`.

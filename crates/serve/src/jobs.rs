@@ -2,7 +2,7 @@
 //!
 //! A train–rank–fix run takes seconds to minutes — far too long to hold
 //! an HTTP connection (or its handler thread) hostage. `POST …/debug-run`
-//! therefore just enqueues a [`Job`] and returns its id; a fixed pool of
+//! therefore just enqueues a job and returns its id; a fixed pool of
 //! `std::thread` workers drains the queue, and clients poll
 //! `GET /jobs/{id}` for status and the finished report.
 //!

@@ -20,7 +20,7 @@ use crate::protocol::ApiError;
 use rain_core::driver::{DebugReport, DebugSession, PreparedQueries, RunConfig};
 use rain_core::rank::Method;
 use rain_model::{Classifier, Dataset};
-use rain_sql::{CacheStats, Database, Engine, QueryCache};
+use rain_sql::{CacheStats, Database, ExecOptions, QueryCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -39,6 +39,13 @@ pub struct SessionState {
 pub struct SessionSlot {
     /// Session name (the URL path segment).
     pub name: String,
+    /// The session's execution config, fixed at creation: the engine
+    /// every capture and debug run in this session uses (no more silent
+    /// default-engine assumption between the cache and the driver) and
+    /// the worker-budget cap applied to every execution (`threads`, `0`
+    /// = the machine's parallelism). Operators set it on
+    /// `POST /sessions`.
+    pub opts: ExecOptions,
     state: Mutex<SessionState>,
     /// Monotonic mutation counter (see the module docs).
     generation: AtomicU64,
@@ -59,7 +66,7 @@ impl std::fmt::Debug for SessionSlot {
 }
 
 impl SessionSlot {
-    fn new(name: String, model: Box<dyn Classifier>) -> Self {
+    fn new(name: String, model: Box<dyn Classifier>, opts: ExecOptions) -> Self {
         let dim = model.dim();
         let sess = DebugSession::new(
             Database::new(),
@@ -72,9 +79,13 @@ impl SessionSlot {
         );
         SessionSlot {
             name,
+            opts,
             state: Mutex::new(SessionState {
                 sess,
-                cache: QueryCache::new(Engine::Vectorized),
+                // The cache captures on the session's configured engine
+                // under its thread cap — the same engine/budget debug
+                // runs use, so cached skeletons and runs always agree.
+                cache: QueryCache::new(opts.engine).with_threads(opts.threads),
                 last_report: None,
             }),
             generation: AtomicU64::new(0),
@@ -119,12 +130,32 @@ impl SessionSlot {
         }
     }
 
+    /// The worker budget a run may actually use: the request's ask capped
+    /// by the session's configured budget (`0` means "no preference" on
+    /// the request side and "machine parallelism" on the session side).
+    pub fn effective_threads(&self, requested: usize) -> usize {
+        match (self.opts.threads, requested) {
+            (0, r) => r,
+            (cap, 0) => cap,
+            (cap, r) => r.min(cap),
+        }
+    }
+
     /// Execute one debug run against this session, routing every query
     /// through the session's skeleton cache: skeletons are checked out,
     /// refreshed across all train–rank–fix iterations, and checked back
     /// in afterwards — so a *second* run over the same complaints starts
     /// from cache hits and skips planning and capture entirely.
+    ///
+    /// The run executes on the session's configured engine, and its
+    /// worker budget is the request's `threads` capped by the session's
+    /// (see [`SessionSlot::effective_threads`]).
     pub fn run_debug(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, ApiError> {
+        let cfg = &RunConfig {
+            engine: self.opts.engine,
+            threads: self.effective_threads(cfg.threads),
+            ..cfg.clone()
+        };
         let mut st = self.lock();
         let st = &mut *st;
         if st.sess.train.is_empty() {
@@ -145,10 +176,14 @@ impl SessionSlot {
             let mut checked = Vec::with_capacity(st.sess.queries.len());
             let mut checkout_err = None;
             for q in &st.sess.queries {
-                match st
-                    .cache
-                    .checkout(&st.sess.db, st.sess.model.as_ref(), &q.sql)
-                {
+                // The run's (session-capped) budget governs capture too,
+                // not only refreshes.
+                match st.cache.checkout_threaded(
+                    &st.sess.db,
+                    st.sess.model.as_ref(),
+                    &q.sql,
+                    cfg.threads,
+                ) {
                     Ok(cq) => checked.push(cq),
                     Err(e) => {
                         checkout_err = Some(ApiError::from(e));
@@ -226,11 +261,24 @@ impl SessionPool {
         SessionPool::default()
     }
 
-    /// Create a named session owning `model`. 409 when the name exists.
+    /// Create a named session owning `model`, with the default execution
+    /// config (vectorized engine, automatic worker budget). 409 when the
+    /// name exists.
     pub fn create(
         &self,
         name: &str,
         model: Box<dyn Classifier>,
+    ) -> Result<Arc<SessionSlot>, ApiError> {
+        self.create_with(name, model, ExecOptions::default())
+    }
+
+    /// [`SessionPool::create`] with an explicit per-session execution
+    /// config (engine + worker-budget cap).
+    pub fn create_with(
+        &self,
+        name: &str,
+        model: Box<dyn Classifier>,
+        opts: ExecOptions,
     ) -> Result<Arc<SessionSlot>, ApiError> {
         if !valid_name(name) {
             return Err(ApiError::bad_request(
@@ -243,7 +291,7 @@ impl SessionPool {
                 "session '{name}' already exists"
             )));
         }
-        let slot = Arc::new(SessionSlot::new(name.to_string(), model));
+        let slot = Arc::new(SessionSlot::new(name.to_string(), model, opts));
         slots.insert(name.to_string(), Arc::clone(&slot));
         Ok(slot)
     }
@@ -318,6 +366,39 @@ mod tests {
         pool.remove("alpha").unwrap();
         assert_eq!(pool.remove("alpha").unwrap_err().status, 404);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn session_exec_config_drives_the_cache_and_caps_run_threads() {
+        use rain_sql::Engine;
+        let pool = SessionPool::new();
+        let slot = pool
+            .create_with(
+                "capped",
+                logistic(),
+                ExecOptions::default()
+                    .with_engine(Engine::Tuple)
+                    .with_threads(2),
+            )
+            .unwrap();
+        assert_eq!(slot.opts.engine, Engine::Tuple);
+        // The skeleton cache captures on the session's engine under its
+        // thread cap — no silent default-engine assumption.
+        let st = slot.lock();
+        assert_eq!(st.cache.engine(), Engine::Tuple);
+        assert_eq!(st.cache.threads(), 2);
+        drop(st);
+        // Request threads are capped by the session's budget; `0` means
+        // "no preference" on the request side.
+        assert_eq!(slot.effective_threads(0), 2);
+        assert_eq!(slot.effective_threads(8), 2);
+        assert_eq!(slot.effective_threads(1), 1);
+
+        let uncapped = pool.create("open", logistic()).unwrap();
+        assert_eq!(uncapped.opts.engine, Engine::Vectorized);
+        assert_eq!(uncapped.lock().cache.engine(), Engine::Vectorized);
+        assert_eq!(uncapped.effective_threads(0), 0);
+        assert_eq!(uncapped.effective_threads(3), 3);
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //!   "right_row":…}`, or `{"kind":"prediction_is","table":…,"row":…,
 //!   "class":…}`.
 //! - **run config** — `{"method":M,"budget":B,"k_per_iter":K,
-//!   "stop_when_satisfied":bool,"incremental":bool}` (method required,
-//!   budget required, rest defaulted).
+//!   "stop_when_satisfied":bool,"incremental":bool,"threads":T}` (method
+//!   required, budget required, rest defaulted; `threads` `0`/absent =
+//!   the session's budget, otherwise capped by it).
+//! - **session exec config** — optional on session creation:
+//!   `{"engine":"vectorized"|"tuple","threads":T}`. The engine drives the
+//!   session's skeleton cache and debug runs; `threads` caps the worker
+//!   budget of every execution in the session (`0`/absent = the
+//!   machine's available parallelism).
 
 use crate::json::Json;
 use rain_core::complaint::{Complaint, ValueOp};
@@ -27,7 +33,7 @@ use rain_core::rank::Method;
 use rain_linalg::Matrix;
 use rain_model::{Classifier, Dataset, LogisticRegression, Mlp, SoftmaxRegression};
 use rain_sql::table::{ColType, Schema, Table};
-use rain_sql::{QueryError, QueryOutput, Value};
+use rain_sql::{Engine, ExecOptions, QueryError, QueryOutput, Value};
 
 /// A protocol-level failure: an HTTP status plus a message the client can
 /// read. Every handler error funnels through this.
@@ -157,6 +163,62 @@ pub fn model_from_json(v: &Json) -> Result<Box<dyn Classifier>, ApiError> {
             "unknown model kind '{other}'"
         ))),
     }
+}
+
+/// Largest accepted worker-thread request. Mirrors the engine's own
+/// [`rain_sql::MAX_EXEC_THREADS`] clamp, but rejects over-asks at the
+/// protocol boundary with a 400 instead of silently clamping — an
+/// unauthenticated request must not even *ask* for a thread-spawn storm.
+pub const MAX_THREADS: usize = rain_sql::MAX_EXEC_THREADS;
+
+/// Parse a `"threads"` field: a non-negative integer up to
+/// [`MAX_THREADS`] (`0` = automatic).
+fn threads_field(v: &Json) -> Result<usize, ApiError> {
+    let n = v
+        .as_usize()
+        .ok_or_else(|| ApiError::bad_request("field 'threads' must be a non-negative integer"))?;
+    if n > MAX_THREADS {
+        return Err(ApiError::bad_request(format!(
+            "threads {n} above the maximum {MAX_THREADS}"
+        )));
+    }
+    Ok(n)
+}
+
+/// Parse an engine name off the wire.
+pub fn engine_from_str(s: &str) -> Result<Engine, ApiError> {
+    match s.to_ascii_lowercase().as_str() {
+        "vectorized" | "vexec" => Ok(Engine::Vectorized),
+        "tuple" => Ok(Engine::Tuple),
+        other => Err(ApiError::bad_request(format!(
+            "unknown engine '{other}' (want vectorized/tuple)"
+        ))),
+    }
+}
+
+/// Wire name of an engine.
+pub fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Vectorized => "vectorized",
+        Engine::Tuple => "tuple",
+    }
+}
+
+/// Parse the optional per-session execution config off a session-creation
+/// body: `"engine"` selects the session's capture/execution engine,
+/// `"threads"` caps its worker budget (`0`/absent = auto).
+pub fn exec_options_from_json(v: &Json) -> Result<ExecOptions, ApiError> {
+    let mut opts = ExecOptions::default();
+    if let Some(e) = v.get("engine") {
+        let name = e
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("field 'engine' must be a string"))?;
+        opts = opts.with_engine(engine_from_str(name)?);
+    }
+    if let Some(t) = v.get("threads") {
+        opts = opts.with_threads(threads_field(t)?);
+    }
+    Ok(opts)
 }
 
 fn coltype_from_str(s: &str) -> Result<ColType, ApiError> {
@@ -439,6 +501,9 @@ pub fn run_request_from_json(v: &Json) -> Result<(Method, RunConfig), ApiError> 
     if let Some(i) = v.get("incremental").and_then(Json::as_bool) {
         cfg.incremental = i;
     }
+    if let Some(t) = v.get("threads") {
+        cfg.threads = threads_field(t)?;
+    }
     Ok((method, cfg))
 }
 
@@ -627,6 +692,31 @@ mod tests {
     }
 
     #[test]
+    fn session_exec_config_parses_with_defaults() {
+        let v = json::parse(r#"{"name":"s","engine":"tuple","threads":2}"#).unwrap();
+        let opts = exec_options_from_json(&v).unwrap();
+        assert_eq!(opts.engine, Engine::Tuple);
+        assert_eq!(opts.threads, 2);
+        let v = json::parse(r#"{"name":"s"}"#).unwrap();
+        let opts = exec_options_from_json(&v).unwrap();
+        assert_eq!(opts.engine, Engine::Vectorized);
+        assert_eq!(opts.threads, 0);
+        let v = json::parse(r#"{"engine":"turbo"}"#).unwrap();
+        assert_eq!(exec_options_from_json(&v).unwrap_err().status, 400);
+        let v = json::parse(r#"{"threads":"many"}"#).unwrap();
+        assert_eq!(exec_options_from_json(&v).unwrap_err().status, 400);
+        // Thread-spawn storms are rejected at the protocol boundary.
+        let v = json::parse(&format!(r#"{{"threads":{}}}"#, MAX_THREADS + 1)).unwrap();
+        assert_eq!(exec_options_from_json(&v).unwrap_err().status, 400);
+        let v = json::parse(&format!(r#"{{"threads":{MAX_THREADS}}}"#)).unwrap();
+        assert_eq!(exec_options_from_json(&v).unwrap().threads, MAX_THREADS);
+        assert_eq!(
+            engine_from_str(engine_name(Engine::Tuple)).unwrap(),
+            Engine::Tuple
+        );
+    }
+
+    #[test]
     fn run_requests_parse_with_defaults() {
         let v = json::parse(r#"{"method":"holistic","budget":30}"#).unwrap();
         let (m, cfg) = run_request_from_json(&v).unwrap();
@@ -634,6 +724,14 @@ mod tests {
         assert_eq!(cfg.budget, 30);
         assert_eq!(cfg.k_per_iter, 10);
         assert!(cfg.incremental);
+        assert_eq!(cfg.threads, 0, "threads default to the session budget");
+        let v = json::parse(r#"{"method":"loss","budget":5,"threads":3}"#).unwrap();
+        let (_, cfg) = run_request_from_json(&v).unwrap();
+        assert_eq!(cfg.threads, 3);
+        let v = json::parse(r#"{"method":"loss","budget":5,"threads":true}"#).unwrap();
+        assert_eq!(run_request_from_json(&v).unwrap_err().status, 400);
+        let v = json::parse(r#"{"method":"loss","budget":5,"threads":1000000000}"#).unwrap();
+        assert_eq!(run_request_from_json(&v).unwrap_err().status, 400);
         let v = json::parse(
             r#"{"method":"auto","budget":8,"k_per_iter":2,"stop_when_satisfied":true,"incremental":false}"#,
         )

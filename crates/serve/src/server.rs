@@ -6,7 +6,7 @@
 //! |-----------------------------------|---------------|
 //! | `GET  /healthz`                   | liveness probe |
 //! | `GET  /stats`                     | server-wide counters (sessions, requests, cache totals, job runner) |
-//! | `POST /sessions`                  | `{"name":…,"model":…}` → create a session |
+//! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…]}` → create a session (engine + worker-budget cap fixed at creation) |
 //! | `GET  /sessions`                  | list sessions (generation + cache counters) |
 //! | `DELETE /sessions/{s}`            | drop a session |
 //! | `POST /sessions/{s}/tables`       | table upload → register (replacing invalidates cached skeletons) |
@@ -27,8 +27,8 @@ use crate::jobs::{JobRunner, JobState};
 use crate::json::{self, Json};
 use crate::pool::SessionPool;
 use crate::protocol::{
-    complaint_from_json, dataset_from_json, model_from_json, output_to_json, report_to_json,
-    run_request_from_json, table_from_json, ApiError,
+    complaint_from_json, dataset_from_json, engine_name, exec_options_from_json, model_from_json,
+    output_to_json, report_to_json, run_request_from_json, table_from_json, ApiError,
 };
 use rain_sql::QueryCache;
 use std::io::{self, BufReader};
@@ -254,6 +254,8 @@ fn list_sessions(state: &ServerState) -> Json {
             Json::obj(vec![
                 ("name", Json::str(slot.name.clone())),
                 ("generation", Json::Num(slot.generation() as f64)),
+                ("engine", Json::str(engine_name(slot.opts.engine))),
+                ("threads", Json::Num(slot.opts.threads as f64)),
                 (
                     "cache",
                     Json::obj(vec![
@@ -275,13 +277,16 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, Json), Api
         body.get("model")
             .ok_or_else(|| ApiError::bad_request("missing field 'model'"))?,
     )?;
+    let opts = exec_options_from_json(&body)?;
     let kind = model.name();
-    state.pool.create(&name, model)?;
+    state.pool.create_with(&name, model, opts)?;
     Ok((
         200,
         Json::obj(vec![
             ("session", Json::str(name)),
             ("model", Json::str(kind)),
+            ("engine", Json::str(engine_name(opts.engine))),
+            ("threads", Json::Num(opts.threads as f64)),
         ]),
     ))
 }

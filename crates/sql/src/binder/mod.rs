@@ -2,8 +2,8 @@
 //!
 //! The binder is the middle layer of the query stack
 //! (`parser → binder → optimizer → executor`). It consumes a raw
-//! [`SelectStmt`](crate::ast::SelectStmt), resolves every table and column
-//! against the [`Database`](crate::catalog::Database) catalog — honoring
+//! [`SelectStmt`], resolves every table and column
+//! against the [`Database`] catalog — honoring
 //! table aliases and scoped binding contexts — type-checks expressions,
 //! enforces the dialect's `predict()` placement rules (paper §3.1), and
 //! emits a [`BoundStatement`] whose expressions address relations and

@@ -20,7 +20,7 @@
 
 use crate::catalog::Database;
 use crate::exec::{Engine, QueryOutput};
-use crate::incremental::{prepare, PreparedQuery};
+use crate::incremental::{prepare_with, PreparedQuery};
 use crate::optimize::optimize;
 use crate::QueryError;
 use rain_model::Classifier;
@@ -77,18 +77,41 @@ pub struct CachedQuery {
 #[derive(Debug)]
 pub struct QueryCache {
     engine: Engine,
+    /// Worker budget for captures and refreshes issued through this
+    /// cache (`0` = auto, `1` = sequential) — a per-session parallelism
+    /// cap in the serving layer.
+    threads: usize,
     entries: HashMap<String, PreparedQuery>,
     stats: CacheStats,
 }
 
 impl QueryCache {
-    /// An empty cache capturing skeletons on `engine`.
+    /// An empty cache capturing skeletons on `engine`, with an automatic
+    /// worker budget.
     pub fn new(engine: Engine) -> Self {
         QueryCache {
             engine,
+            threads: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// The same cache with an explicit worker budget for its captures
+    /// and refreshes (`0` = auto, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The cache's capture engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The cache's worker budget (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The canonical cache key of a SQL string: parse + re-print, so any
@@ -103,12 +126,27 @@ impl QueryCache {
     /// re-planned from the SQL, so even schema-changing re-registrations
     /// recover). The entry is *removed* from the cache until
     /// [`QueryCache::checkin`] returns it — callers hold it across a whole
-    /// debug run's refreshes.
+    /// debug run's refreshes. Captures run under the cache's worker
+    /// budget.
     pub fn checkout(
         &mut self,
         db: &Database,
         model: &dyn Classifier,
         sql: &str,
+    ) -> Result<CachedQuery, QueryError> {
+        self.checkout_threaded(db, model, sql, self.threads)
+    }
+
+    /// [`QueryCache::checkout`] with an explicit worker budget for any
+    /// capture this lookup triggers (`0` = auto) — a debug run passes
+    /// its own (session-capped) budget so a throttled run's skeleton
+    /// capture is throttled too, not just its refreshes.
+    pub fn checkout_threaded(
+        &mut self,
+        db: &Database,
+        model: &dyn Classifier,
+        sql: &str,
+        threads: usize,
     ) -> Result<CachedQuery, QueryError> {
         let key = Self::normalize(sql)?;
         let event = match self.entries.remove(&key) {
@@ -132,7 +170,7 @@ impl QueryCache {
         let stmt = crate::parser::parse_select(sql).map_err(QueryError::Parse)?;
         let bound = crate::binder::bind(&stmt, db)?;
         let plan = optimize(bound, db);
-        let prepared = prepare(db, model, &plan, self.engine)?;
+        let prepared = prepare_with(db, model, &plan, self.engine, threads)?;
         Ok(CachedQuery {
             key,
             prepared,
@@ -155,7 +193,7 @@ impl QueryCache {
         sql: &str,
     ) -> Result<(QueryOutput, CacheEvent), QueryError> {
         let cq = self.checkout(db, model, sql)?;
-        let out = cq.prepared.refresh(db, model)?;
+        let out = cq.prepared.refresh_threaded(db, model, self.threads)?;
         let event = cq.event;
         self.checkin(cq);
         Ok((out, event))

@@ -257,6 +257,9 @@ pub(crate) struct EvalCtx<'a> {
     pub(crate) model: &'a dyn Classifier,
     pub(crate) query: &'a QueryPlan,
     pub(crate) debug: bool,
+    /// Resolved worker budget for morsel-parallel operators (≥ 1). Only
+    /// the vectorized engine reads it; 1 means fully sequential.
+    pub(crate) threads: usize,
     pub(crate) reg: PredVarRegistry,
 }
 
@@ -272,8 +275,15 @@ impl<'a> EvalCtx<'a> {
             model,
             query,
             debug,
+            threads: 1,
             reg: PredVarRegistry::new(),
         }
+    }
+
+    /// The same context with a resolved worker budget (clamped to ≥ 1).
+    pub(crate) fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Base table of the plan's `rel`-th relation (borrowed from the

@@ -9,8 +9,8 @@
 //! - [`Engine::Tuple`] — the original tuple-at-a-time engine below, kept
 //!   as the semantic oracle for differential testing.
 //!
-//! Both engines share one evaluation core ([`eval`](crate::eval)), so
-//! results *and* provenance polynomials are bit-identical: same rows,
+//! Both engines share one evaluation core (the crate-private `eval`
+//! module), so results *and* provenance polynomials are bit-identical: same rows,
 //! same prediction-variable ids, same formulas. The randomized
 //! differential suite (`tests/vexec_differential.rs`) enforces this.
 //!
@@ -54,12 +54,22 @@ pub enum Engine {
 }
 
 /// Execution options.
+///
+/// Built fluently: start from [`ExecOptions::default`] (or the
+/// [`ExecOptions::debug`] / [`ExecOptions::with_debug`] constructors) and
+/// chain [`with_engine`](ExecOptions::with_engine) /
+/// [`with_threads`](ExecOptions::with_threads).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Capture provenance (the paper's "debug mode" re-execution).
     pub debug: bool,
     /// Engine selection (vectorized unless overridden).
     pub engine: Engine,
+    /// Worker threads for morsel-parallel execution on the vectorized
+    /// engine: `0` (the default) resolves to the machine's available
+    /// parallelism, `1` runs fully sequentially (the pre-parallel
+    /// behavior). The tuple oracle always runs single-threaded.
+    pub threads: usize,
 }
 
 impl ExecOptions {
@@ -67,7 +77,7 @@ impl ExecOptions {
     pub fn debug() -> Self {
         ExecOptions {
             debug: true,
-            engine: Engine::default(),
+            ..ExecOptions::default()
         }
     }
 
@@ -75,13 +85,51 @@ impl ExecOptions {
     pub fn with_debug(debug: bool) -> Self {
         ExecOptions {
             debug,
-            engine: Engine::default(),
+            ..ExecOptions::default()
         }
     }
 
     /// The same options pinned to a specific engine.
-    pub fn on(self, engine: Engine) -> Self {
+    pub fn with_engine(self, engine: Engine) -> Self {
         ExecOptions { engine, ..self }
+    }
+
+    /// The same options with a worker-thread budget (`0` = auto, `1` =
+    /// sequential).
+    pub fn with_threads(self, threads: usize) -> Self {
+        ExecOptions { threads, ..self }
+    }
+
+    /// Alias for [`ExecOptions::with_engine`] (the original builder name,
+    /// kept for existing call sites).
+    pub fn on(self, engine: Engine) -> Self {
+        self.with_engine(engine)
+    }
+
+    /// The concrete worker count this option resolves to: `0` becomes
+    /// [`std::thread::available_parallelism`] (1 if unknown).
+    pub fn resolved_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+}
+
+/// Hard ceiling on explicit worker-thread requests. Oversubscribing
+/// beyond this never helps (morsel workers are CPU-bound), and an
+/// unbounded request could otherwise ask a `std::thread::scope` to
+/// spawn one OS thread per morsel — on a server, a remote
+/// process-abort. Requests above the ceiling clamp to it.
+pub const MAX_EXEC_THREADS: usize = 256;
+
+/// Resolve a thread knob: `0` = the machine's available parallelism
+/// (falling back to 1 when unknown); any other value is honored up to
+/// [`MAX_EXEC_THREADS`].
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads.min(MAX_EXEC_THREADS)
     }
 }
 
@@ -197,8 +245,9 @@ pub fn execute(
         "plan was bound against a different database"
     );
     match opts.engine {
-        Engine::Vectorized => crate::vexec::run(db, model, query, opts.debug),
+        Engine::Vectorized => crate::vexec::run(db, model, query, &opts),
         Engine::Tuple => {
+            // The oracle stays single-threaded regardless of `threads`.
             let mut ctx = EvalCtx::new(db, model, query, opts.debug);
             let tuples = tuple_pipeline(&mut ctx, None)?;
             eval::finalize(&mut ctx, tuples, &query.kind)

@@ -24,7 +24,7 @@
 //! provenance polynomials of a full execution.
 //!
 //! Full debug-mode execution itself is routed through capture + refresh
-//! (see [`project`](crate::eval) / `aggregate` in the evaluation core), so
+//! (see `project` / `aggregate` in the evaluation core), so
 //! there is exactly **one** output-assembly code path:
 //! `refresh(θ) ≡ execute(θ)` holds by construction, and the randomized
 //! differential suite (`tests/incremental_differential.rs`) pins it across
@@ -183,14 +183,30 @@ pub struct PreparedQuery {
 ///
 /// The model is needed for its architecture (class count, feature
 /// dimension) and to seed the first predictions; its *parameters* do not
-/// affect the captured structure.
+/// affect the captured structure. Capture runs with the machine's
+/// available parallelism; use [`prepare_with`] to cap it.
 pub fn prepare(
     db: &Database,
     model: &dyn Classifier,
     plan: &QueryPlan,
     engine: Engine,
 ) -> Result<PreparedQuery, QueryError> {
-    let mut ctx = EvalCtx::new(db, model, plan, true);
+    prepare_with(db, model, plan, engine, 0)
+}
+
+/// [`prepare`] with an explicit worker budget for the capture pipeline
+/// (`0` = auto, `1` = sequential). Thread count never changes the
+/// captured skeleton — morsel outputs merge in deterministic order — it
+/// only bounds how many cores the capture may occupy.
+pub fn prepare_with(
+    db: &Database,
+    model: &dyn Classifier,
+    plan: &QueryPlan,
+    engine: Engine,
+    threads: usize,
+) -> Result<PreparedQuery, QueryError> {
+    let mut ctx =
+        EvalCtx::new(db, model, plan, true).with_threads(crate::exec::resolve_threads(threads));
     let mut trace = PipelineTrace::default();
     let (kind, candidate_tuples) = match engine {
         Engine::Vectorized => {
@@ -267,6 +283,9 @@ impl PreparedQuery {
     /// Re-assemble the debug-mode [`QueryOutput`] under (possibly new)
     /// model parameters: one batched inference over the cached feature
     /// matrix, then a discrete re-evaluation of the cached formulas.
+    /// Inference fans out over feature-matrix chunks with the machine's
+    /// available parallelism; use [`PreparedQuery::refresh_threaded`] to
+    /// cap it.
     ///
     /// Fails if the model architecture changed (class count, feature
     /// dimension) or a queried table was re-registered since [`prepare`]
@@ -276,11 +295,27 @@ impl PreparedQuery {
         db: &Database,
         model: &dyn Classifier,
     ) -> Result<QueryOutput, QueryError> {
+        self.refresh_threaded(db, model, 0)
+    }
+
+    /// [`PreparedQuery::refresh`] with an explicit worker budget for the
+    /// batched inference (`0` = auto, `1` = sequential). Output is
+    /// bit-identical at every thread count: workers write hard
+    /// predictions for disjoint variable ranges and each prediction is a
+    /// pure per-row function of the model.
+    pub fn refresh_threaded(
+        &self,
+        db: &Database,
+        model: &dyn Classifier,
+        threads: usize,
+    ) -> Result<QueryOutput, QueryError> {
         if let Some(why) = self.staleness(db, model) {
             return Err(QueryError::Exec(why));
         }
 
-        let reg = self.reg.with_preds(model.predict_batch(&self.features));
+        let reg = self
+            .reg
+            .with_preds(predict_batch_sharded(model, &self.features, threads));
         Ok(match &self.kind {
             KindSkeleton::Select(s) => {
                 let (table, row_prov) = refresh_select(s, reg.preds());
@@ -323,15 +358,28 @@ impl PreparedQuery {
         model: &dyn Classifier,
         policy: StalePolicy,
     ) -> Result<(QueryOutput, bool), QueryError> {
+        self.refresh_with_threaded(db, model, policy, 0)
+    }
+
+    /// [`PreparedQuery::refresh_with`] with an explicit worker budget
+    /// (`0` = auto, `1` = sequential), applied to both the refresh
+    /// inference and any transparent re-prepare.
+    pub fn refresh_with_threaded(
+        &mut self,
+        db: &Database,
+        model: &dyn Classifier,
+        policy: StalePolicy,
+        threads: usize,
+    ) -> Result<(QueryOutput, bool), QueryError> {
         let rebuilt = match policy {
             StalePolicy::Rebuild if self.staleness(db, model).is_some() => {
                 let plan = self.plan.clone();
-                *self = prepare(db, model, &plan, self.stats.engine)?;
+                *self = prepare_with(db, model, &plan, self.stats.engine, threads)?;
                 true
             }
             _ => false,
         };
-        Ok((self.refresh(db, model)?, rebuilt))
+        Ok((self.refresh_threaded(db, model, threads)?, rebuilt))
     }
 
     /// True when a queried table was re-registered since [`prepare`] (the
@@ -592,6 +640,40 @@ pub(crate) fn capture_groups(
         },
         candidates,
     ))
+}
+
+/// Feature matrices below this many rows run through the model's own
+/// (possibly vectorized) `predict_batch` on one thread — per-example
+/// inference is microseconds, so small refreshes don't pay thread spawns.
+const PREDICT_SHARD_MIN_ROWS: usize = 1024;
+
+/// Hard predictions for every feature row, fanned out over contiguous
+/// row chunks across `threads` scoped workers (`0` = auto).
+///
+/// Each worker owns a disjoint slice of the output and runs the model's
+/// batched range kernel ([`Classifier::predict_range_into`]) over its
+/// chunk; by the trait contract, batched and per-row inference agree
+/// bit for bit, so the sharded result is identical to the
+/// single-threaded batched call at every thread count.
+pub(crate) fn predict_batch_sharded(
+    model: &dyn Classifier,
+    features: &Matrix,
+    threads: usize,
+) -> Vec<usize> {
+    let n = features.rows();
+    let workers = crate::exec::resolve_threads(threads).clamp(1, n.max(1));
+    if workers <= 1 || n < PREDICT_SHARD_MIN_ROWS {
+        return model.predict_batch(features);
+    }
+    let mut preds = vec![0usize; n];
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, out) in preds.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            scope.spawn(move || model.predict_range_into(features, start, out));
+        }
+    });
+    preds
 }
 
 /// The concrete value a term contributes under hard predictions.

@@ -11,15 +11,17 @@
 //!   `predict(alias)` model predicates,
 //! - a [`binder`] that resolves names against the catalog (aliases,
 //!   scoped contexts, typed [`BindError`]s) into a [`BoundStatement`],
-//! - a rule-based [`optimize`]r — constant folding, predicate pushdown,
+//! - a rule-based [`optimize()`]r — constant folding, predicate pushdown,
 //!   projection pruning, all provenance-preserving — lowering to a
 //!   physical [`plan::QueryPlan`],
 //! - two execution engines behind one [`exec::execute`] entry point: the
 //!   default **vectorized columnar engine** ([`vexec`] — selection-vector
 //!   scans with typed predicate kernels, hash joins over column slices,
-//!   struct-of-arrays joined tuples) and the tuple-at-a-time oracle it is
-//!   differentially tested against, both sharing one evaluation core so
-//!   results and provenance are bit-identical,
+//!   struct-of-arrays joined tuples, and **morsel-parallel** scans and
+//!   join probes behind [`ExecOptions::threads`]) and the tuple-at-a-time
+//!   oracle it is differentially tested against, both sharing one
+//!   evaluation core so results and provenance are bit-identical at every
+//!   thread count,
 //! - **provenance polynomials** ([`prov`]) over prediction variables,
 //!   captured during debug-mode execution, and their **differentiable
 //!   relaxation** with reverse-mode gradients — the machinery behind the
@@ -90,8 +92,11 @@ pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
 pub use binder::{bind, BExpr, BindError, Binder, BoundStatement};
 pub use cache::{CacheEvent, CacheStats, CachedQuery, QueryCache};
 pub use catalog::{ColumnRef, Database, TableId};
-pub use exec::{execute, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult};
-pub use incremental::{prepare, PreparedQuery, SkeletonStats, StalePolicy};
+pub use exec::{
+    execute, resolve_threads, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult,
+    MAX_EXEC_THREADS,
+};
+pub use incremental::{prepare, prepare_with, PreparedQuery, SkeletonStats, StalePolicy};
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;

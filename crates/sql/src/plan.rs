@@ -1,7 +1,7 @@
 //! Physical query plans: what the executor runs.
 //!
 //! A [`QueryPlan`] is the lowered form of a
-//! [`BoundStatement`](crate::binder::BoundStatement): the FROM relations in
+//! [`BoundStatement`]: the FROM relations in
 //! join order, per-relation **scan filters** (predicates the optimizer
 //! pushed below the joins), the residual join/filter conjuncts, and the
 //! projection/aggregation shape. [`QueryPlan::naive`] lowers a bound

@@ -167,6 +167,22 @@ impl RowSet {
         }
     }
 
+    /// Append every tuple of `other` (same relation span and debug mode)
+    /// after this set's tuples — the morsel-order merge step of the
+    /// parallel join probe.
+    ///
+    /// # Panics
+    /// Panics when the relation counts differ.
+    pub fn append(&mut self, other: RowSet) {
+        assert_eq!(self.n_rels(), other.n_rels(), "relation span mismatch");
+        for (col, more) in self.rels.iter_mut().zip(other.rels) {
+            col.extend(more);
+        }
+        if self.debug {
+            self.prov.extend(other.prov);
+        }
+    }
+
     /// Keep only tuples whose aligned mask entry is true.
     pub fn retain_mask(&mut self, mask: &[bool]) {
         let n = self.len();

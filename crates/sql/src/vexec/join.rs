@@ -10,6 +10,14 @@
 //! and output tuples append to per-relation columns instead of cloning
 //! row vectors.
 //!
+//! With a thread budget and enough accumulated tuples, the **probe**
+//! phase shards into [`morsel`]s against the shared read-only build
+//! table: each worker probes its tuple range into a private row set and
+//! the per-morsel outputs merge in morsel order, reproducing the
+//! sequential probe sequence exactly (rows and provenance). The build
+//! phase stays sequential — build input is the scan-filtered base table,
+//! typically far smaller than the probe stream.
+//!
 //! Key equality matches the `=` predicate exactly (the shared
 //! [`join_key`] canonicalization): every numeric type compares as `f64`
 //! — so `3 = 3.0` hash-matches — while NULL and NaN keys match nothing
@@ -20,6 +28,7 @@
 
 use super::batch::RowSet;
 use super::kernels::NumCol;
+use super::morsel;
 use crate::binder::BExpr;
 use crate::eval::{f64_key_bits, join_key, EvalCtx, JoinKey};
 use crate::table::{ColType, Table};
@@ -96,6 +105,7 @@ pub(crate) fn hash_join(
     rel: usize,
 ) -> Result<(RowSet, Strategy), QueryError> {
     let debug = ctx.debug;
+    let threads = ctx.threads;
     let tables: Vec<&Table> = ctx
         .query
         .rels
@@ -116,6 +126,7 @@ pub(crate) fn hash_join(
                 left,
                 right_rows,
                 debug,
+                threads,
                 |r| {
                     let v = build.get(r);
                     (!v.is_nan()).then(|| f64_key_bits(v))
@@ -136,6 +147,7 @@ pub(crate) fn hash_join(
                 left,
                 right_rows,
                 debug,
+                threads,
                 |r| Some(build[r].as_str()),
                 |i, l| Some(probe[l.row(*lr, i) as usize].as_str()),
             )
@@ -143,7 +155,8 @@ pub(crate) fn hash_join(
         Strategy::General => {
             // Arbitrary key expressions through the shared scalar
             // evaluator into canonical key vectors (identical to the
-            // tuple engine, NULL/NaN skipping included).
+            // tuple engine, NULL/NaN skipping included). Build first,
+            // sequentially, with the caller's context.
             let mut index: HashMap<Vec<JoinKey>, Vec<u32>> = HashMap::new();
             let mut probe_rows = vec![0u32; rel + 1];
             for &r in right_rows {
@@ -159,38 +172,80 @@ pub(crate) fn hash_join(
                     index.entry(key).or_default().push(r);
                 }
             }
-            let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
-            let mut rows_buf = vec![0u32; left.n_rels()];
-            'probe: for i in 0..left.len() {
-                left.gather(i, &mut rows_buf);
-                let mut key = Vec::with_capacity(keys.len());
-                for (le, _) in keys {
-                    match join_key(&ctx.eval_value(le, &rows_buf)?) {
-                        Some(k) => key.push(k),
-                        None => continue 'probe,
-                    }
+            let n = left.len();
+            // Equi keys are model-free by construction (`equi_keys` never
+            // selects a `predict()` conjunct), so parallel probe workers
+            // can evaluate them in scratch contexts; guard anyway so a
+            // hand-built plan degrades to the sequential path instead of
+            // splitting variable creation across workers.
+            let model_free = keys
+                .iter()
+                .all(|(le, re)| !le.contains_predict() && !re.contains_predict());
+            if morsel::worth_parallel(threads, n) && model_free {
+                let (db, model, query) = (ctx.db, ctx.model, ctx.query);
+                let index_ref = &index;
+                let left_ref = &left;
+                let parts = morsel::run_morsels(threads, n, |start, end| {
+                    let mut wctx = EvalCtx::new(db, model, query, debug);
+                    general_probe(&mut wctx, left_ref, keys, index_ref, start, end)
+                });
+                let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+                for p in parts {
+                    out.append(p?);
                 }
-                if let Some(rows) = index.get(&key) {
-                    for &r in rows {
-                        out.push_joined(&left, i, r);
-                    }
-                }
+                out
+            } else {
+                general_probe(ctx, &left, keys, &index, 0, n)?
             }
-            out
         }
     };
     Ok((rows, strat))
 }
 
+/// Probe tuples `start..end` of `left` against a built general-key index,
+/// in order — the unit of work shared by the sequential and the
+/// morsel-parallel probe.
+fn general_probe(
+    ctx: &mut EvalCtx,
+    left: &RowSet,
+    keys: &[(BExpr, BExpr)],
+    index: &HashMap<Vec<JoinKey>, Vec<u32>>,
+    start: usize,
+    end: usize,
+) -> Result<RowSet, QueryError> {
+    let mut out = RowSet::with_rels(left.n_rels() + 1, ctx.debug);
+    let mut rows_buf = vec![0u32; left.n_rels()];
+    'probe: for i in start..end {
+        left.gather(i, &mut rows_buf);
+        let mut key = Vec::with_capacity(keys.len());
+        for (le, _) in keys {
+            match join_key(&ctx.eval_value(le, &rows_buf)?) {
+                Some(k) => key.push(k),
+                None => continue 'probe,
+            }
+        }
+        if let Some(rows) = index.get(&key) {
+            for &r in rows {
+                out.push_joined(left, i, r);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Hash join on one typed key: `build_key(base row)` indexes the new
 /// relation, `probe_key(tuple, left)` reads the accumulated side. A
-/// `None` key (NULL/NaN) matches nothing and is skipped.
-fn typed_join<K: std::hash::Hash + Eq>(
+/// `None` key (NULL/NaN) matches nothing and is skipped. The probe
+/// shards across morsel workers when `threads` and the tuple count
+/// warrant it; outputs merge in morsel order, so the joined sequence is
+/// identical at every thread count.
+fn typed_join<K: std::hash::Hash + Eq + Sync>(
     left: RowSet,
     right_rows: &[u32],
     debug: bool,
+    threads: usize,
     build_key: impl Fn(usize) -> Option<K>,
-    probe_key: impl Fn(usize, &RowSet) -> Option<K>,
+    probe_key: impl Fn(usize, &RowSet) -> Option<K> + Sync,
 ) -> RowSet {
     let mut index: HashMap<K, Vec<u32>> = HashMap::with_capacity(right_rows.len());
     for &r in right_rows {
@@ -198,13 +253,26 @@ fn typed_join<K: std::hash::Hash + Eq>(
             index.entry(k).or_default().push(r);
         }
     }
-    let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
-    for i in 0..left.len() {
-        if let Some(rows) = probe_key(i, &left).and_then(|k| index.get(&k)) {
-            for &r in rows {
-                out.push_joined(&left, i, r);
+    let probe_range = |start: usize, end: usize| {
+        let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+        for i in start..end {
+            if let Some(rows) = probe_key(i, &left).and_then(|k| index.get(&k)) {
+                for &r in rows {
+                    out.push_joined(&left, i, r);
+                }
             }
         }
+        out
+    };
+    let n = left.len();
+    if morsel::worth_parallel(threads, n) {
+        let parts = morsel::run_morsels(threads, n, probe_range);
+        let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+        for p in parts {
+            out.append(p);
+        }
+        out
+    } else {
+        probe_range(0, n)
     }
-    out
 }

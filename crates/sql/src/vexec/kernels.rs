@@ -2,7 +2,8 @@
 //!
 //! A model-free [`BExpr`] is compiled once per scan/filter into a
 //! [`Kernel`] tree; evaluation then runs tight per-type loops over the
-//! zero-copy column slices ([`Column::as_i64s`] and friends), writing a
+//! zero-copy column slices ([`Column::as_i64s`](crate::table::Column::as_i64s)
+//! and friends), writing a
 //! boolean mask aligned with the batch — no per-row [`Value`] boxing.
 //!
 //! Semantics replicate the row-at-a-time evaluator *exactly*, including
@@ -21,7 +22,7 @@ use crate::value::{like_match, Value};
 
 /// Row lookup for kernel evaluation: maps `(relation, batch position)` to
 /// a base-table row. Scans index a selection vector; joined filters index
-/// a [`RowSet`](super::batch::RowSet) column.
+/// a [`RowSet`] column.
 pub trait RowLookup {
     /// Number of candidate positions in the batch.
     fn len(&self) -> usize;

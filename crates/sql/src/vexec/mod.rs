@@ -5,11 +5,11 @@
 //! tuple at a time through scan → join → filter, it works on columnar
 //! batches end to end:
 //!
-//! - **[`scan`]** walks each base table in [`batch::BATCH_SIZE`] windows,
+//! - The **scan** walks each base table in [`batch::BATCH_SIZE`] windows,
 //!   evaluating pushed-down filters with compiled predicate
 //!   [`kernels`] over zero-copy typed column slices and compacting a
 //!   selection vector ([`batch::SelVec`]).
-//! - **[`join`]** hash-joins on typed key columns (canonical-`f64`-bit
+//! - The **join** hash-joins on typed key columns (canonical-`f64`-bit
 //!   and `&str` maps for single `Col = Col` keys; canonical key vectors
 //!   otherwise — key equality always matches `=` semantics), emitting
 //!   struct-of-arrays row sets ([`batch::RowSet`]) — no per-tuple
@@ -18,28 +18,39 @@
 //!   the first `predict()` conjunct on, tuples flow through the shared
 //!   evaluator so prediction variables and provenance formulas are
 //!   created in exactly the tuple engine's order.
-//! - **[`agg`]** accumulates ungrouped model-free aggregates straight
-//!   off the column slices and bridges everything else into the shared
-//!   finalizer.
+//! - The **aggregator** accumulates ungrouped model-free aggregates
+//!   straight off the column slices and bridges everything else into the
+//!   shared finalizer.
+//!
+//! **Morsel parallelism.** With a thread budget
+//! ([`ExecOptions::threads`](crate::exec::ExecOptions)) and large enough
+//! inputs, scans and hash-join probes shard into contiguous *morsels*
+//! executed by `std::thread::scope` workers and merged in morsel order —
+//! the output stream is the sequential stream, bit for bit, at every
+//! thread count. The model-dependent tail (prediction variables,
+//! provenance, finalization) always runs sequentially on the caller's
+//! thread, which is what keeps variable-creation order a pure function
+//! of the plan and the data.
 //!
 //! **Provenance invariant.** Both engines share one evaluation core
-//! ([`eval`](crate::eval)) and enumerate tuples in the same order, so
-//! debug-mode output is *bit-identical*: same rows, same variable ids,
-//! same [`BoolProv`](crate::prov::BoolProv) polynomials. The randomized
-//! differential suite (`tests/vexec_differential.rs`) holds both engines
-//! to that.
+//! (`eval`) and enumerate tuples in the same order, so debug-mode output
+//! is *bit-identical*: same rows, same variable ids, same
+//! [`BoolProv`] polynomials. The randomized differential suite
+//! (`tests/vexec_differential.rs`) holds both engines to that — across
+//! `threads ∈ {1, 2, 8}`.
 
 pub mod batch;
 pub mod kernels;
 
 mod agg;
 pub(crate) mod join;
+pub(crate) mod morsel;
 mod scan;
 
 use crate::binder::{BExpr, QueryKind};
 use crate::catalog::Database;
 use crate::eval::{self, EvalCtx, Sym};
-use crate::exec::QueryOutput;
+use crate::exec::{ExecOptions, QueryOutput};
 use crate::incremental::PipelineTrace;
 use crate::plan::QueryPlan;
 use crate::prov::BoolProv;
@@ -48,14 +59,15 @@ use crate::QueryError;
 use batch::RowSet;
 use rain_model::Classifier;
 
-/// Execute a plan on the vectorized engine.
+/// Execute a plan on the vectorized engine (`opts.engine` is ignored —
+/// the caller already dispatched; `debug` and `threads` apply).
 pub(crate) fn run(
     db: &Database,
     model: &dyn Classifier,
     query: &QueryPlan,
-    debug: bool,
+    opts: &ExecOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let mut ctx = EvalCtx::new(db, model, query, debug);
+    let mut ctx = EvalCtx::new(db, model, query, opts.debug).with_threads(opts.resolved_threads());
     let rows = join_pipeline(&mut ctx, None)?;
     match &query.kind {
         QueryKind::Select { items } => project_rowset(&mut ctx, rows, items),

@@ -1,0 +1,114 @@
+//! Morsel-driven parallelism: deterministic work sharding for the
+//! vectorized operators.
+//!
+//! A *morsel* is a contiguous range of work items — base-table rows for a
+//! scan, accumulated tuples for a join probe, prediction variables for a
+//! batched refresh. Workers (plain `std::thread::scope` threads, like
+//! `rain-influence`'s record scoring) pull morsel indices off one atomic
+//! counter, so load balances dynamically, but every morsel's *output* is
+//! written into its own pre-allocated slot and the caller concatenates
+//! the slots **in morsel order**. That makes parallel execution
+//! bit-identical to sequential execution by construction: the merged
+//! stream is the same rows in the same order no matter how many workers
+//! ran or how they interleaved — which is what keeps the vectorized
+//! engine's determinism guarantee (rows *and* provenance equal to the
+//! tuple oracle) intact at every thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Work items per morsel. A multiple of the scan batch size so a morsel
+/// always holds whole batches; small enough that medium inputs still
+/// split across workers, large enough that the per-morsel atomic claim
+/// is noise.
+pub(crate) const MORSEL_SIZE: usize = 4 * super::batch::BATCH_SIZE;
+
+/// Inputs below this many items run sequentially even when a thread
+/// budget is available — thread spawn costs more than the work saves.
+pub(crate) const MIN_PARALLEL_ITEMS: usize = 2 * MORSEL_SIZE;
+
+/// True when `n_items` is worth sharding across `threads` workers.
+pub(crate) fn worth_parallel(threads: usize, n_items: usize) -> bool {
+    threads > 1 && n_items >= MIN_PARALLEL_ITEMS
+}
+
+/// Split `n_items` into contiguous morsels and run `work(start, end)` for
+/// each across up to `threads` scoped workers, returning the per-morsel
+/// outputs **in morsel order**.
+///
+/// `work` runs concurrently from several threads and must not rely on
+/// claim order; determinism comes from the ordered collection. Callers
+/// handle `n_items == 0` (returns no morsels) and sequential fallbacks
+/// themselves — this function always spawns.
+pub(crate) fn run_morsels<T, F>(threads: usize, n_items: usize, work: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let n_morsels = n_items.div_ceil(MORSEL_SIZE);
+    let slots: Vec<OnceLock<T>> = (0..n_morsels).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n_morsels.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let m = next.fetch_add(1, Ordering::Relaxed);
+                if m >= n_morsels {
+                    break;
+                }
+                let start = m * MORSEL_SIZE;
+                let end = (start + MORSEL_SIZE).min(n_items);
+                let out = work(start, end);
+                let _ = slots[m].set(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every morsel claimed exactly once"))
+        .collect()
+}
+
+/// Concatenate per-morsel `Result<Vec<_>, E>` outputs in morsel order,
+/// surfacing the first (lowest-morsel) error — the same error a
+/// sequential pass would have hit first.
+pub(crate) fn concat_results<T, E>(parts: Vec<Result<Vec<T>, E>>) -> Result<Vec<T>, E> {
+    let mut out = Vec::with_capacity(parts.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum());
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_outputs_collect_in_order_at_any_thread_count() {
+        let n = 3 * MORSEL_SIZE + 17;
+        let expect: Vec<usize> = (0..n).collect();
+        for threads in [1, 2, 8] {
+            let parts = run_morsels(threads, n, |s, e| (s..e).collect::<Vec<_>>());
+            assert_eq!(parts.len(), n.div_ceil(MORSEL_SIZE));
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn concat_surfaces_the_first_error() {
+        let parts: Vec<Result<Vec<u32>, &str>> =
+            vec![Ok(vec![1, 2]), Err("second"), Err("third"), Ok(vec![3])];
+        assert_eq!(concat_results(parts), Err("second"));
+        let ok: Vec<Result<Vec<u32>, &str>> = vec![Ok(vec![1]), Ok(vec![2, 3])];
+        assert_eq!(concat_results(ok), Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn small_inputs_are_not_worth_parallelizing() {
+        assert!(!worth_parallel(8, MIN_PARALLEL_ITEMS - 1));
+        assert!(!worth_parallel(1, 1 << 20));
+        assert!(worth_parallel(2, MIN_PARALLEL_ITEMS));
+    }
+}

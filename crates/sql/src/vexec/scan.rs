@@ -1,18 +1,26 @@
-//! Vectorized table scans: pushed-down filters evaluated batch by batch.
+//! Vectorized table scans: pushed-down filters evaluated batch by batch,
+//! sharded across morsels when a thread budget allows.
 //!
 //! The scan walks the base table in [`BATCH_SIZE`] windows. Each pushed
 //! filter is compiled once into a [`Kernel`]; per batch, each kernel
-//! writes a mask over the live selection and [`SelVec::retain_mask`]
+//! writes a mask over the live selection and `SelVec::retain_mask`
 //! compacts it. Filters that do not compile (arithmetic shapes, nullable
 //! columns) drop to the shared row-at-a-time evaluator for the surviving
-//! rows — semantics are always those of [`EvalCtx::eval_pred`].
+//! rows — semantics are always those of `EvalCtx::eval_pred`.
 //!
 //! Scan filters are model-free by construction (the optimizer never
 //! pushes a `predict()` atom), so they prune identically in normal and
-//! debug mode and provenance is unaffected.
+//! debug mode and provenance is unaffected. Model-freeness is also what
+//! makes the scan embarrassingly parallel: with `threads > 1` and a large
+//! enough table, the row range is split into [`morsel`]s filtered by
+//! scoped workers (each with its own scratch context — no prediction
+//! variable can be created here) and the per-morsel selections are merged
+//! in morsel order, yielding the exact sequential output.
 
 use super::batch::{Batch, BATCH_SIZE};
-use super::kernels::{self, Kernel, SelLookup};
+use super::kernels::{Kernel, SelLookup};
+use super::morsel;
+use crate::binder::BExpr;
 use crate::eval::{EvalCtx, Sym};
 use crate::incremental::PipelineTrace;
 use crate::table::Table;
@@ -20,10 +28,10 @@ use crate::QueryError;
 
 /// Base-row ids of `rel` surviving its pushed-down scan filters, in
 /// ascending order (the same survivors, in the same order, as the tuple
-/// engine's scan). When a skeleton capture is in flight, the post-filter
-/// selection vector's cardinality is recorded in `trace` — the scan
-/// output *is* the model-independent selection the prepared skeleton
-/// reuses across refreshes.
+/// engine's scan — at every thread count). When a skeleton capture is in
+/// flight, the post-filter selection vector's cardinality is recorded in
+/// `trace` — the scan output *is* the model-independent selection the
+/// prepared skeleton reuses across refreshes.
 pub(crate) fn scan(
     ctx: &mut EvalCtx,
     rel: usize,
@@ -52,22 +60,55 @@ fn scan_inner(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
         .collect();
     let compiled: Vec<Option<Kernel>> = filters
         .iter()
-        .map(|f| kernels::compile(f, &tables))
+        .map(|f| super::kernels::compile(f, &tables))
         .collect();
 
-    let mut out = Vec::with_capacity(n);
+    // Parallel path: shard the row range into morsels. Guarded on the
+    // filters being model-free (always true for optimizer-built plans) so
+    // a worker's scratch context can never observe or create prediction
+    // variables — the workers only ever prune concretely.
+    if morsel::worth_parallel(ctx.threads, n) && filters.iter().all(|f| !f.contains_predict()) {
+        let (db, model, debug) = (ctx.db, ctx.model, ctx.debug);
+        let parts = morsel::run_morsels(ctx.threads, n, |start, end| {
+            let mut wctx = EvalCtx::new(db, model, query, debug);
+            scan_range(
+                &mut wctx, rel, table, &tables, filters, &compiled, start, end,
+            )
+        });
+        return morsel::concat_results(parts);
+    }
+
+    scan_range(ctx, rel, table, &tables, filters, &compiled, 0, n)
+}
+
+/// Filter the window `start..end` of `rel`'s base table, batch by batch,
+/// returning the surviving row ids in ascending order. The unit of work
+/// shared by the sequential scan (one call over the whole table) and the
+/// parallel scan (one call per morsel, each with its own scratch `ctx`).
+#[allow(clippy::too_many_arguments)]
+fn scan_range(
+    ctx: &mut EvalCtx,
+    rel: usize,
+    table: &Table,
+    tables: &[&Table],
+    filters: &[BExpr],
+    compiled: &[Option<Kernel>],
+    start: usize,
+    end: usize,
+) -> Result<Vec<u32>, QueryError> {
+    let mut out = Vec::with_capacity(end - start);
     let mut mask: Vec<bool> = Vec::with_capacity(BATCH_SIZE);
     let mut rows_buf = vec![0u32; rel + 1];
-    for start in (0..n).step_by(BATCH_SIZE) {
-        let end = (start + BATCH_SIZE).min(n);
-        let mut batch = Batch::window(table, start as u32, end as u32);
-        for (f, k) in filters.iter().zip(&compiled) {
+    for batch_start in (start..end).step_by(BATCH_SIZE) {
+        let batch_end = (batch_start + BATCH_SIZE).min(end);
+        let mut batch = Batch::window(table, batch_start as u32, batch_end as u32);
+        for (f, k) in filters.iter().zip(compiled) {
             if batch.sel.is_empty() {
                 break;
             }
             match k {
                 Some(kernel) => {
-                    kernel.eval(&tables, &SelLookup(batch.sel.ids()), &mut mask);
+                    kernel.eval(tables, &SelLookup(batch.sel.ids()), &mut mask);
                     batch.sel.retain_mask(&mask);
                 }
                 None => {

@@ -222,15 +222,22 @@ fn check_case(label: &str, db: &Database, sql: &str, refresh_models: &[&dyn Clas
                 .unwrap_or_else(|e| panic!("{label} `{sql}` full[{engine:?}]: {e}"))
         });
         for (pq, prep_engine) in prepared.iter().zip(["tuple", "vexec"]) {
-            let refreshed = pq
-                .refresh(db, *model)
-                .unwrap_or_else(|e| panic!("{label} `{sql}` refresh[{prep_engine}]: {e}"));
-            for (full, full_engine) in fulls.iter().zip(["tuple", "vexec"]) {
-                assert_identical(
-                    &format!("{label} `{sql}` [prep={prep_engine}, full={full_engine}]"),
-                    full,
-                    &refreshed,
-                );
+            for threads in [1, 2, 8] {
+                let refreshed = pq
+                    .refresh_threaded(db, *model, threads)
+                    .unwrap_or_else(|e| {
+                        panic!("{label} `{sql}` refresh[{prep_engine}, threads={threads}]: {e}")
+                    });
+                for (full, full_engine) in fulls.iter().zip(["tuple", "vexec"]) {
+                    assert_identical(
+                        &format!(
+                            "{label} `{sql}` \
+                             [prep={prep_engine}, full={full_engine}, threads={threads}]"
+                        ),
+                        full,
+                        &refreshed,
+                    );
+                }
             }
         }
     }
@@ -291,6 +298,74 @@ fn refresh_matches_full_reexecution_on_nullable_tables() {
             "SELECT COUNT(*) FROM t2 b WHERE predict(b) = 1 GROUP BY predict(b)",
         ][rng.below(4)];
         check_case(&format!("seed {seed} [nullable]"), &db, sql, &[&flipped]);
+    }
+}
+
+/// Large-input refresh sweep: enough prediction variables that the
+/// batched-inference fan-out actually shards across workers (small cases
+/// stay under its row threshold), and a table big enough that capture
+/// runs the morsel-parallel scan/probe paths. Skeletons captured under
+/// different worker budgets and refreshed under `threads ∈ {1, 2, 8}`
+/// must all be bit-identical to full re-execution.
+#[test]
+fn threaded_refresh_and_capture_are_bit_identical_on_large_inputs() {
+    let mut rng = RainRng::seed_from_u64(0xBEEF);
+    let n = 9_000usize;
+    let feats = Matrix::from_rows(
+        &(0..n)
+            .map(|_| [if rng.bernoulli(0.5) { 1.0 } else { -1.0 }])
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|r| &r[..])
+            .collect::<Vec<_>>(),
+    );
+    let t1 = Table::from_columns(
+        Schema::new(&[("x", ColType::Int), ("f", ColType::Float)]),
+        vec![
+            Column::Int((0..n).map(|i| (i % 3001) as i64).collect()),
+            Column::Float((0..n).map(|_| rng.uniform_range(-2.0, 4.0)).collect()),
+        ],
+    )
+    .with_features(feats);
+    let mut db = Database::new();
+    db.register("t1", t1.clone());
+    db.register("t2", t1);
+
+    let flipped = flipped_model();
+    for sql in [
+        "SELECT COUNT(*) FROM t1 a WHERE a.f < 3.0 AND predict(a) = 1",
+        "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.x AND a.f < 2.0 AND predict(a) = 1",
+    ] {
+        let stmt = parse_select(sql).unwrap();
+        let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+        let full = execute(
+            &db,
+            &flipped,
+            &plan,
+            ExecOptions::debug().on(Engine::Vectorized),
+        )
+        .unwrap();
+        for capture_threads in [1, 8] {
+            let prepared = rain_sql::prepare_with(
+                &db,
+                &step_model(),
+                &plan,
+                Engine::Vectorized,
+                capture_threads,
+            )
+            .unwrap();
+            assert!(prepared.stats().n_vars >= 1024, "fan-out must shard");
+            for refresh_threads in [1, 2, 8] {
+                let out = prepared
+                    .refresh_threaded(&db, &flipped, refresh_threads)
+                    .unwrap();
+                assert_identical(
+                    &format!("`{sql}` [capture={capture_threads}, refresh={refresh_threads}]"),
+                    &full,
+                    &out,
+                );
+            }
+        }
     }
 }
 

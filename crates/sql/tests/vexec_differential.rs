@@ -207,13 +207,22 @@ fn run_differential(seed: u64, model: &dyn Classifier) {
     ];
     for (plan_name, plan) in &plans {
         for debug in [false, true] {
-            let label = format!("seed {seed} `{sql}` [{plan_name}, debug={debug}]");
             let opts = ExecOptions::with_debug(debug);
-            let tuple = execute(&db, model, plan, opts.on(Engine::Tuple))
-                .unwrap_or_else(|e| panic!("{label} tuple: {e}"));
-            let vexec = execute(&db, model, plan, opts.on(Engine::Vectorized))
+            let tuple = execute(&db, model, plan, opts.on(Engine::Tuple)).unwrap_or_else(|e| {
+                panic!("seed {seed} `{sql}` [{plan_name}, debug={debug}] tuple: {e}")
+            });
+            for threads in [1, 2, 8] {
+                let label =
+                    format!("seed {seed} `{sql}` [{plan_name}, debug={debug}, threads={threads}]");
+                let vexec = execute(
+                    &db,
+                    model,
+                    plan,
+                    opts.on(Engine::Vectorized).with_threads(threads),
+                )
                 .unwrap_or_else(|e| panic!("{label} vexec: {e}"));
-            assert_identical(&label, &tuple, &vexec);
+                assert_identical(&label, &tuple, &vexec);
+            }
         }
     }
 }
@@ -224,6 +233,87 @@ fn vexec_matches_tuple_engine_bit_for_bit() {
     let model = step_model();
     for seed in 0..CASES {
         run_differential(seed, &model);
+    }
+}
+
+/// Large-input differential: tables big enough that the morsel-parallel
+/// scan and hash-join-probe paths actually engage (the small randomized
+/// cases above stay under the parallel thresholds and exercise the
+/// sequential guard). Rows, provenance, and prediction variables must be
+/// bit-identical to the tuple oracle for `threads ∈ {1, 2, 8}` — and
+/// therefore across thread counts.
+#[test]
+fn morsel_parallel_paths_match_the_oracle_on_large_inputs() {
+    let model = step_model();
+    let mut rng = RainRng::seed_from_u64(0x60AF);
+    let n1 = 20_000usize;
+    let n2 = 12_000usize;
+    let feats = |rng: &mut RainRng, n: usize| {
+        Matrix::from_rows(
+            &(0..n)
+                .map(|_| [if rng.bernoulli(0.5) { 1.0 } else { -1.0 }])
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|r| &r[..])
+                .collect::<Vec<_>>(),
+        )
+    };
+    let mut db = Database::new();
+    let t1 = Table::from_columns(
+        Schema::new(&[
+            ("x", ColType::Int),
+            ("f", ColType::Float),
+            ("flag", ColType::Bool),
+        ]),
+        vec![
+            Column::Int((0..n1).map(|i| (i % 4999) as i64).collect()),
+            Column::Float((0..n1).map(|_| rng.uniform_range(-2.0, 4.0)).collect()),
+            Column::Bool((0..n1).map(|_| rng.bernoulli(0.5)).collect()),
+        ],
+    )
+    .with_features(feats(&mut rng, n1));
+    db.register("t1", t1);
+    // t2.y carries NULL holes so its pushed-down filter takes the
+    // kernel-fallback (row-at-a-time) path inside parallel scan workers.
+    let mut t2 = Table::empty(Schema::new(&[("y", ColType::Int), ("k", ColType::Int)]));
+    for i in 0..n2 {
+        let y = if rng.bernoulli(0.1) {
+            rain_sql::Value::Null
+        } else {
+            rain_sql::Value::Int(rng.int_range(0, 10))
+        };
+        t2.push_row(vec![y, rain_sql::Value::Int((i % 4999) as i64)], None);
+    }
+    db.register("t2", t2.with_features(feats(&mut rng, n2)));
+
+    let cases = [
+        // Typed-key hash join with parallel scans on both sides (t2's
+        // filter falls back row-at-a-time over the null bitmap).
+        "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k AND a.f < 2.0 AND b.y >= 3",
+        // Expression key: the general-strategy probe, morsel-parallel,
+        // with a model predicate evaluated sequentially on top.
+        "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x + 0 = b.k AND predict(a) = 1",
+        // Grouped aggregate over the parallel join output.
+        "SELECT flag, COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k AND a.f < 1.0 GROUP BY flag",
+    ];
+    for sql in cases {
+        let stmt = parse_select(sql).unwrap();
+        let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+        for debug in [false, true] {
+            let opts = ExecOptions::with_debug(debug);
+            let tuple = execute(&db, &model, &plan, opts.on(Engine::Tuple)).unwrap();
+            for threads in [1, 2, 8] {
+                let label = format!("`{sql}` [debug={debug}, threads={threads}]");
+                let vexec = execute(
+                    &db,
+                    &model,
+                    &plan,
+                    opts.on(Engine::Vectorized).with_threads(threads),
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_identical(&label, &tuple, &vexec);
+            }
+        }
     }
 }
 
