@@ -1,0 +1,113 @@
+//! Instrumentation-overhead bench on the DBLP join workload.
+//!
+//! Times the model-free DBLP equi-join (the `BENCH_parallel.json` join
+//! shape) twice: with tracing disabled (the default — every span is
+//! inert, no clock reads) and with a live trace harvested per run the
+//! way `?profile=1` does it (activate, root span, execute, take the
+//! subtree). Before timing, the two modes' outputs are asserted
+//! bit-identical — instrumentation is a pure observer.
+//!
+//! Writes `BENCH_obs.json` (path overridable via `RAIN_BENCH_JSON`)
+//! with the headline `overhead.ratio = disabled_ms / enabled_ms`; the
+//! regression gate floors it at 0.95, i.e. tracing may cost at most
+//! ~5% on the end-to-end join.
+
+use rain_bench::BenchGroup;
+use rain_data::{dblp::DblpConfig, tables::dataset_to_table};
+use rain_model::{train_lbfgs, LogisticRegression};
+use rain_sql::table::Column;
+use rain_sql::{bind, execute, optimize, parse_select, Database, ExecOptions, QueryPlan};
+
+const JOIN_SQL: &str = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
+                        WHERE a.id = b.id AND b.bucket < 2";
+
+fn plan_for(sql: &str, db: &Database) -> QueryPlan {
+    let stmt = parse_select(sql).unwrap();
+    let bound = bind(&stmt, db).unwrap();
+    optimize(bound, db)
+}
+
+fn main() {
+    let quick = rain_bench::is_quick();
+    let n_query = if quick { 150_000 } else { 300_000 };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let w = DblpConfig {
+        n_train: 400,
+        n_query,
+        ..Default::default()
+    }
+    .generate(42);
+    let mut model = LogisticRegression::new(17, 0.01);
+    train_lbfgs(&mut model, &w.train, &Default::default());
+
+    let n = w.query.len();
+    let bucket = |n: usize| Column::Int((0..n as i64).map(|i| i % 10).collect());
+    let n_build = (n / 5).min(20_000);
+    let b_side = w.query.select(&(0..n_build).collect::<Vec<_>>());
+    let mut db = Database::new();
+    db.register(
+        "pairs_a",
+        dataset_to_table(&w.query, vec![("bucket", bucket(n))]),
+    );
+    db.register(
+        "pairs_b",
+        dataset_to_table(&b_side, vec![("bucket", bucket(n_build))]),
+    );
+    let plan = plan_for(JOIN_SQL, &db);
+    let opts = ExecOptions::default;
+
+    // One profiled execution, exactly as the serving layer runs it.
+    let run_traced = || {
+        let _on = rain_obs::activate();
+        let root = rain_obs::Span::enter("query");
+        let root_id = root.id();
+        let out = execute(&db, &model, &plan, opts()).unwrap();
+        drop(root);
+        (out, rain_obs::take_subtree(root_id))
+    };
+
+    // Correctness before timing: tracing must not perturb results, and
+    // the harvested tree must actually cover the execution.
+    let baseline = execute(&db, &model, &plan, opts()).unwrap();
+    let (traced_out, tree) = run_traced();
+    assert_eq!(
+        baseline.table.to_tsv(),
+        traced_out.table.to_tsv(),
+        "tracing changed query results"
+    );
+    let tree = tree.expect("no trace harvested");
+    assert!(tree.find("join").is_some(), "trace misses the join span");
+    assert!(tree.find("scan").is_some(), "trace misses the scan span");
+    assert!(!rain_obs::enabled(), "trace guard leaked past its scope");
+
+    let samples = if quick { 3 } else { 20 };
+    let mut g = BenchGroup::new("obs_overhead", samples);
+    g.bench("join_disabled", || {
+        execute(&db, &model, &plan, opts()).unwrap()
+    });
+    g.bench("join_enabled", &run_traced);
+    g.finish();
+
+    let disabled_ms = g.median_secs("join_disabled").unwrap() * 1e3;
+    let enabled_ms = g.median_secs("join_enabled").unwrap() * 1e3;
+    let ratio = disabled_ms / enabled_ms;
+    println!("host_cores: {host_cores}");
+    println!(
+        "instrumentation overhead: {:.2}% ({disabled_ms:.3} ms off -> {enabled_ms:.3} ms on, ratio {ratio:.3})",
+        (enabled_ms / disabled_ms - 1.0) * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"n_query\": {n_query},\n  \
+         \"samples\": {samples},\n  \"host_cores\": {host_cores},\n  \
+         \"trace_spans\": {},\n  \
+         \"overhead\": {{ \"disabled_ms\": {disabled_ms:.6}, \
+         \"enabled_ms\": {enabled_ms:.6}, \"ratio\": {ratio:.3} }}\n}}\n",
+        tree.size()
+    );
+    let path = std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+}

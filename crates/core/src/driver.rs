@@ -130,9 +130,26 @@ impl DebugSession {
     }
 
     /// Run the train–rank–fix loop with one method.
+    ///
+    /// With [`RunConfig::profile`] on, the whole run — including the
+    /// one-time plan/prepare — executes under a `debug-run` trace span
+    /// and the harvested tree lands in [`DebugReport::profile`].
     pub fn run(&self, method: Method, cfg: &RunConfig) -> Result<DebugReport, QueryError> {
-        let mut pq = self.prepare_queries_with(cfg.incremental, cfg.engine, cfg.threads)?;
-        self.run_prepared(method, cfg, &mut pq)
+        let _tracing = cfg.profile.then(rain_obs::activate);
+        let root = rain_obs::Span::enter("debug-run");
+        let root_id = root.id();
+        let pq = {
+            let _s = rain_obs::Span::enter("prepare-queries");
+            self.prepare_queries_with(cfg.incremental, cfg.engine, cfg.threads)
+        };
+        let result = pq.and_then(|mut pq| self.run_loop(method, cfg, &mut pq));
+        drop(root);
+        // Drain this run's subtree even on error so the bounded global
+        // buffer never accumulates orphaned records.
+        let profile = rain_obs::take_subtree(root_id);
+        let mut report = result?;
+        report.profile = profile;
+        Ok(report)
     }
 
     /// [`DebugSession::run`] against externally held planned/prepared
@@ -142,6 +159,26 @@ impl DebugSession {
     /// between runs; inside the library loop fixes mutate only the
     /// training set, so rebuilds never trigger there.
     pub fn run_prepared(
+        &self,
+        method: Method,
+        cfg: &RunConfig,
+        pq: &mut PreparedQueries,
+    ) -> Result<DebugReport, QueryError> {
+        let _tracing = cfg.profile.then(rain_obs::activate);
+        let root = rain_obs::Span::enter("debug-run");
+        let root_id = root.id();
+        let result = self.run_loop(method, cfg, pq);
+        drop(root);
+        let profile = rain_obs::take_subtree(root_id);
+        let mut report = result?;
+        report.profile = profile;
+        Ok(report)
+    }
+
+    /// The iteration loop shared by [`DebugSession::run`] and
+    /// [`DebugSession::run_prepared`]; the callers own the trace root so
+    /// a run's profile is harvested exactly once.
+    fn run_loop(
         &self,
         method: Method,
         cfg: &RunConfig,
@@ -173,6 +210,7 @@ impl DebugSession {
         let mut failure = None;
 
         while removed.len() < cfg.budget {
+            let mut iter_span = rain_obs::Span::enter("iteration");
             // (0) Train, warm-started.
             let t_train = Instant::now();
             let warm = if iterations.is_empty() {
@@ -183,7 +221,10 @@ impl DebugSession {
                     ..self.train_cfg.clone()
                 }
             };
-            let report = train_lbfgs(model.as_mut(), &train, &warm);
+            let report = {
+                let _s = rain_obs::Span::enter("train");
+                train_lbfgs(model.as_mut(), &train, &warm)
+            };
             let train_s = t_train.elapsed().as_secs_f64();
 
             // (1-2) Execute the queries in debug mode. Re-execution runs
@@ -192,26 +233,31 @@ impl DebugSession {
             // to the tuple oracle) under the run's worker budget.
             let t_exec = Instant::now();
             let mut outputs: Vec<QueryOutput> = Vec::with_capacity(pq.plans.len());
-            for qi in 0..pq.plans.len() {
-                outputs.push(if pq.prepared.is_empty() {
-                    execute(
-                        &self.db,
-                        model.as_ref(),
-                        &pq.plans[qi],
-                        ExecOptions::debug()
-                            .with_engine(cfg.engine)
-                            .with_threads(cfg.threads),
-                    )?
-                } else {
-                    let (out, rebuilt) = pq.prepared[qi].refresh_with_threaded(
-                        &self.db,
-                        model.as_ref(),
-                        StalePolicy::Rebuild,
-                        cfg.threads,
-                    )?;
-                    skeleton_rebuilds += rebuilt as usize;
-                    out
-                });
+            {
+                // The sql layer's own spans (refresh/inference/re-eval,
+                // or scan/join/… on the full path) nest under this one.
+                let _s = rain_obs::Span::enter("execute");
+                for qi in 0..pq.plans.len() {
+                    outputs.push(if pq.prepared.is_empty() {
+                        execute(
+                            &self.db,
+                            model.as_ref(),
+                            &pq.plans[qi],
+                            ExecOptions::debug()
+                                .with_engine(cfg.engine)
+                                .with_threads(cfg.threads),
+                        )?
+                    } else {
+                        let (out, rebuilt) = pq.prepared[qi].refresh_with_threaded(
+                            &self.db,
+                            model.as_ref(),
+                            StalePolicy::Rebuild,
+                            cfg.threads,
+                        )?;
+                        skeleton_rebuilds += rebuilt as usize;
+                        out
+                    });
+                }
             }
             let exec_s = t_exec.elapsed().as_secs_f64();
 
@@ -219,6 +265,7 @@ impl DebugSession {
             // predictions did not flip this iteration.
             let mut checks_skipped = 0usize;
             let mut satisfied = true;
+            let check_span = rain_obs::Span::enter("check");
             for (qi, (q, out)) in self.queries.iter().zip(&outputs).enumerate() {
                 let preds = out.predvars.preds();
                 let q_sat = match &last_verdict[qi] {
@@ -234,6 +281,8 @@ impl DebugSession {
                 };
                 satisfied &= q_sat;
             }
+            drop(check_span);
+            iter_span.add("checks_skipped", checks_skipped as u64);
             if satisfied && cfg.stop_when_satisfied {
                 iterations.push(IterStats {
                     train_s,
@@ -261,6 +310,7 @@ impl DebugSession {
                 influence: &self.influence,
                 sqlstep: &sqlstep,
             };
+            let rank_span = rain_obs::Span::enter("rank");
             let ranking = match rank(method, &ctx) {
                 Ok(r) => r,
                 Err(e @ (RankError::IlpTimeout | RankError::Infeasible)) => {
@@ -268,6 +318,7 @@ impl DebugSession {
                     break;
                 }
             };
+            drop(rank_span);
 
             // (5) Remove the top-k.
             let k = cfg.k_per_iter.min(cfg.budget - removed.len());
@@ -277,6 +328,7 @@ impl DebugSession {
             }
             train = train.remove_ids(&batch);
             removed.extend(batch.iter().copied());
+            iter_span.add("removed", batch.len() as u64);
             iterations.push(IterStats {
                 train_s,
                 encode_s: exec_s + ranking.encode_s + std::mem::take(&mut pending_prepare_s),
@@ -295,6 +347,7 @@ impl DebugSession {
             iterations,
             skeleton_rebuilds,
             failure,
+            profile: None,
         })
     }
 }
@@ -365,6 +418,11 @@ pub struct RunConfig {
     /// parallelism, `1` = fully sequential. Output is bit-identical at
     /// every setting; a server uses this as a per-session cap.
     pub threads: usize,
+    /// Collect a per-iteration trace of the run ([`rain_obs`] spans) and
+    /// attach it as [`DebugReport::profile`]. Off by default: instrumented
+    /// code paths are inert when no trace is active, and the loop's
+    /// outputs are bit-identical either way.
+    pub profile: bool,
 }
 
 impl RunConfig {
@@ -377,6 +435,7 @@ impl RunConfig {
             incremental: true,
             engine: Engine::Vectorized,
             threads: 0,
+            profile: false,
         }
     }
 }
@@ -414,6 +473,11 @@ pub struct DebugReport {
     pub skeleton_rebuilds: usize,
     /// Set when the method failed (e.g. TwoStep ILP timeout).
     pub failure: Option<String>,
+    /// Span tree of the run — one `iteration` child per loop pass, each
+    /// covering `train`/`execute`/`check`/`rank` (with the sql layer's
+    /// operator and refresh spans nested below). `Some` only when
+    /// [`RunConfig::profile`] was on (or an ambient trace was active).
+    pub profile: Option<rain_obs::TraceNode>,
 }
 
 impl DebugReport {

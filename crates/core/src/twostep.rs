@@ -72,6 +72,9 @@ pub fn sql_step(
     cfg: &SqlStepConfig,
 ) -> SqlStep {
     let preds = out.predvars.preds();
+    let mut span = rain_obs::Span::enter("sql-step");
+    span.add("n_vars", preds.len() as u64);
+    span.add("n_complaints", complaints.len() as u64);
     let mut rng = RainRng::seed_from_u64(cfg.seed);
     // Final assignment overrides: var → class (repairs and fixed points).
     let mut assign: BTreeMap<VarId, usize> = BTreeMap::new();
@@ -146,6 +149,7 @@ pub fn sql_step(
 
     // Stage 5: generic Tseitin + branch & bound.
     if !generic.is_empty() {
+        let _s = rain_obs::Span::enter("ilp");
         match solve_generic(out, &generic, preds, &assign, n_classes, cfg) {
             GenericOutcome::Solved(sol) => assign.extend(sol),
             GenericOutcome::Timeout => return SqlStep::Timeout,
@@ -476,6 +480,7 @@ fn solve_generic(
     n_classes: usize,
     cfg: &SqlStepConfig,
 ) -> GenericOutcome {
+    let mut encode_span = rain_obs::Span::enter("encode");
     let mut enc = Encoder {
         prob: IlpProblem::new(),
         tvar: HashMap::new(),
@@ -554,6 +559,9 @@ fn solve_generic(
         let tv = enc.tvar_of(v, preds[v as usize]);
         enc.prob.objective[tv] -= 1.0;
     }
+    encode_span.add("ilp_vars", enc.prob.n_vars() as u64);
+    drop(encode_span);
+    let _solve = rain_obs::Span::enter("solve");
     match solve_ilp(
         &enc.prob,
         &BbConfig {

@@ -581,3 +581,39 @@ fn incremental_refresh_reproduces_full_reexecution_loop() {
         assert_eq!(a.train_loss, b.train_loss, "iteration {i}: loss diverges");
     }
 }
+
+#[test]
+fn profile_captures_a_per_iteration_span_tree() {
+    let (session, truth, _) = dblp_session(6);
+    let budget = 20.min(truth.len());
+    let cfg = RunConfig {
+        profile: true,
+        ..RunConfig::paper(budget)
+    };
+    let report = session.run(Method::Holistic, &cfg).unwrap();
+    let tree = report.profile.expect("profile requested but absent");
+    assert_eq!(tree.name, "debug-run");
+    // The one-time plan/prepare runs under the same root as the loop.
+    let prep = tree.find("prepare-queries").expect("prepare-queries span");
+    assert!(prep.find("prepare").is_some(), "skeleton capture traced");
+    let iters: Vec<_> = tree
+        .children
+        .iter()
+        .filter(|c| c.name == "iteration")
+        .collect();
+    assert_eq!(iters.len(), report.iterations.len());
+    for it in &iters {
+        for stage in ["train", "execute", "check", "rank"] {
+            assert!(it.find(stage).is_some(), "iteration missing {stage} span");
+        }
+        // Incremental re-execution: the sql layer's refresh spans nest
+        // under the driver's execute span.
+        let exec = it.find("execute").unwrap();
+        assert!(exec.find("refresh").is_some(), "refresh under execute");
+    }
+    // Profiling is opt-in: a plain run carries no tree.
+    let plain = session
+        .run(Method::Loss, &RunConfig::paper(5.min(truth.len())))
+        .unwrap();
+    assert!(plain.profile.is_none());
+}

@@ -1,0 +1,31 @@
+//! `rain-obs` — std-only observability: spans/traces and metrics.
+//!
+//! Two halves, both dependency-free and thread-safe:
+//!
+//! - [`trace`]: an RAII span API ([`Span::enter`] / [`Span::enter_under`])
+//!   over monotonic clocks with a global atomic enable switch. Disabled
+//!   spans cost one relaxed load and a branch — cheap enough to leave
+//!   compiled into every operator of the query pipeline. Enabled spans
+//!   record into a bounded global buffer; a consumer wraps its work in a
+//!   root span and harvests exactly that subtree with [`take_subtree`],
+//!   so concurrent traces don't bleed into each other.
+//! - [`metrics`]: a [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s with lock-free updates, rendered in
+//!   Prometheus text exposition format (served by `rain-serve` at
+//!   `GET /metrics`) and re-parseable via [`parse_exposition`].
+//!
+//! The serve layer turns harvested [`TraceNode`] trees into the JSON
+//! profiles returned by `?profile=1` debug runs and `EXPLAIN ANALYZE`
+//! queries; `rain-core` attaches them to `DebugReport`s.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    parse_exposition, Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Sample,
+    LATENCY_BUCKETS_S,
+};
+pub use trace::{
+    activate, clear, dropped_records, enabled, set_enabled, take_subtree, ActiveTrace, Span,
+    SpanId, TraceNode, MAX_RECORDS,
+};

@@ -1,0 +1,517 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms with
+//! a Prometheus text-exposition renderer and a small parser for it.
+//!
+//! All instruments are lock-free on the hot path — counters and
+//! histogram buckets are `AtomicU64`s, gauges and histogram sums store
+//! `f64` bits in an `AtomicU64` (the sum via a CAS loop). The
+//! [`Registry`] hands out `Arc` handles (get-or-create by name) and
+//! renders every registered instrument in the [Prometheus text
+//! exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! `# TYPE` comments, `_bucket{le="..."}` cumulative buckets ending at
+//! `+Inf`, `_sum` and `_count` series. [`parse_exposition`] inverts the
+//! renderer far enough for round-trip tests and scrape assertions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter. `store` exists for mirrored values
+/// (e.g. cache stats kept elsewhere and copied in at scrape time); such
+/// mirrors must themselves be monotonic.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an externally tracked monotonic value.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down; stored as `f64` bits.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `<= bounds[i]`
+/// (non-cumulative internally; the renderer and [`HistogramSnapshot::cumulative`]
+/// produce the Prometheus cumulative view); one overflow bucket catches
+/// the rest.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// Default latency buckets in seconds: 100µs .. 10s, roughly 1-2.5-5.
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 10.0,
+];
+
+impl Histogram {
+    /// Build a histogram over strictly increasing finite `bounds`.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be strictly increasing and finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| v > b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (buckets are read
+    /// individually; a scrape racing `observe` may be off by in-flight
+    /// observations, never corrupted).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]; mergeable across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `bounds.len() + 1` entries,
+    /// the last is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self`. Panics when bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Cumulative bucket counts the way Prometheus exposes them; the
+    /// final entry is the `+Inf` bucket and equals `count`.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.buckets
+            .iter()
+            .map(|&b| {
+                acc += b;
+                acc
+            })
+            .collect()
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Named instruments with get-or-create registration and text
+/// exposition. Handles are `Arc`s: register once, update lock-free.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(String, Instrument)>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is registered
+    /// as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.lock();
+        if let Some((_, i)) = inner.iter().find(|(n, _)| n == name) {
+            match i {
+                Instrument::Counter(c) => return Arc::clone(c),
+                other => panic!("{name} already registered as {}", other.kind()),
+            }
+        }
+        let c = Arc::new(Counter::default());
+        inner.push((name.to_string(), Instrument::Counter(Arc::clone(&c))));
+        c
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        if let Some((_, i)) = inner.iter().find(|(n, _)| n == name) {
+            match i {
+                Instrument::Gauge(g) => return Arc::clone(g),
+                other => panic!("{name} already registered as {}", other.kind()),
+            }
+        }
+        let g = Arc::new(Gauge::default());
+        inner.push((name.to_string(), Instrument::Gauge(Arc::clone(&g))));
+        g
+    }
+
+    /// Get or create the histogram `name` over `bounds` (bounds are fixed
+    /// at first registration; later calls ignore the argument).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut inner = self.lock();
+        if let Some((_, i)) = inner.iter().find(|(n, _)| n == name) {
+            match i {
+                Instrument::Histogram(h) => return Arc::clone(h),
+                other => panic!("{name} already registered as {}", other.kind()),
+            }
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        inner.push((name.to_string(), Instrument::Histogram(Arc::clone(&h))));
+        h
+    }
+
+    /// Render every instrument in Prometheus text exposition format,
+    /// sorted by metric name for a stable scrape.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut names: Vec<usize> = (0..inner.len()).collect();
+        names.sort_by(|&a, &b| inner[a].0.cmp(&inner[b].0));
+        let mut out = String::new();
+        for i in names {
+            let (name, inst) = &inner[i];
+            out.push_str(&format!("# TYPE {name} {}\n", inst.kind()));
+            match inst {
+                Instrument::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Instrument::Gauge(g) => out.push_str(&format!("{name} {}\n", fmt_f64(g.get()))),
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let cum = snap.cumulative();
+                    for (bound, c) in snap.bounds.iter().zip(&cum) {
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {c}\n",
+                            fmt_f64(*bound)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                        cum.last().copied().unwrap_or(0)
+                    ));
+                    out.push_str(&format!("{name}_sum {}\n", fmt_f64(snap.sum)));
+                    out.push_str(&format!("{name}_count {}\n", snap.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shortest round-trippable float text (Rust's default `Display`), with
+/// non-finite values in Prometheus spelling.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse().map_err(|_| format!("bad float: {s:?}")),
+    }
+}
+
+/// One sample line of a parsed exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full series name as written (`foo`, `foo_bucket`, `foo_sum`, ...).
+    pub name: String,
+    /// The `le` label for histogram buckets, if present.
+    pub le: Option<f64>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One metric family: a `# TYPE` comment plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Samples in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+impl Metric {
+    /// The value of the plain sample named exactly `name` (counters and
+    /// gauges) or of a suffixed series like `foo_count`.
+    pub fn value_of(&self, series: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == series && s.le.is_none())
+            .map(|s| s.value)
+    }
+}
+
+/// Parse the subset of the Prometheus text format that [`Registry::render`]
+/// emits: `# TYPE` comments, optional single `le` label, float values.
+pub fn parse_exposition(text: &str) -> Result<Vec<Metric>, String> {
+    let mut metrics: Vec<Metric> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (
+                it.next().ok_or("TYPE line missing name")?,
+                it.next().ok_or("TYPE line missing kind")?,
+            );
+            metrics.push(Metric {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("bad sample line: {line:?}"))?;
+        let value = parse_f64(value.trim())?;
+        let (name, le) = match series.split_once('{') {
+            None => (series.to_string(), None),
+            Some((base, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated labels: {line:?}"))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unsupported labels: {line:?}"))?;
+                (base.to_string(), Some(parse_f64(le)?))
+            }
+        };
+        let fam = metrics
+            .last_mut()
+            .filter(|m| name.starts_with(m.name.as_str()))
+            .ok_or_else(|| format!("sample {name:?} outside its TYPE block"))?;
+        fam.samples.push(Sample { name, le, value });
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        for v in [0.0005, 0.001, 0.004, 0.05, 7.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // <=0.001 gets 0.0005 and the exact-boundary 0.001.
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.cumulative(), vec![2, 3, 4, 5]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 7.0555).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        a.observe(1.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.buckets, vec![1, 2, 1]);
+        assert_eq!(m.count, 4);
+        assert!((m.sum - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn histogram_merge_rejects_different_bounds() {
+        let mut a = Histogram::new(&[1.0]).snapshot();
+        a.merge(&Histogram::new(&[2.0]).snapshot());
+    }
+
+    #[test]
+    fn concurrent_observes_are_not_lost() {
+        let h = std::sync::Arc::new(Histogram::new(&[0.5]));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(0.25);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.buckets[0], 8000);
+        assert!((snap.sum - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let reg = Registry::new();
+        reg.counter("rain_requests_total").add(42);
+        reg.gauge("rain_sessions").set(3.0);
+        let h = reg.histogram("rain_request_seconds", &[0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.5);
+        let text = reg.render();
+        let metrics = parse_exposition(&text).expect("valid exposition");
+        assert_eq!(metrics.len(), 3);
+
+        let req = metrics
+            .iter()
+            .find(|m| m.name == "rain_requests_total")
+            .unwrap();
+        assert_eq!(req.kind, "counter");
+        assert_eq!(req.value_of("rain_requests_total"), Some(42.0));
+
+        let sess = metrics.iter().find(|m| m.name == "rain_sessions").unwrap();
+        assert_eq!(sess.kind, "gauge");
+        assert_eq!(sess.value_of("rain_sessions"), Some(3.0));
+
+        let lat = metrics
+            .iter()
+            .find(|m| m.name == "rain_request_seconds")
+            .unwrap();
+        assert_eq!(lat.kind, "histogram");
+        assert_eq!(lat.value_of("rain_request_seconds_count"), Some(2.0));
+        assert_eq!(lat.value_of("rain_request_seconds_sum"), Some(0.5005));
+        let buckets: Vec<(f64, f64)> = lat
+            .samples
+            .iter()
+            .filter_map(|s| s.le.map(|le| (le, s.value)))
+            .collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (0.001, 1.0));
+        assert_eq!(buckets[2], (f64::INFINITY, 2.0));
+        // Cumulative +Inf bucket equals _count.
+        assert_eq!(
+            buckets[2].1,
+            lat.value_of("rain_request_seconds_count").unwrap()
+        );
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_the_same_instrument() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.counter("c").inc();
+        assert_eq!(reg.counter("c").get(), 2);
+        let h1 = reg.histogram("h", &[1.0]);
+        let h2 = reg.histogram("h", &[99.0]); // bounds fixed at first registration
+        h1.observe(0.5);
+        assert_eq!(h2.snapshot().bounds, vec![1.0]);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("no_type_block 1").is_err());
+        assert!(parse_exposition("# TYPE a counter\na notanumber").is_err());
+        assert!(parse_exposition("# TYPE a histogram\na_bucket{le=\"0.1\" 3").is_err());
+    }
+}

@@ -92,7 +92,28 @@ impl Client {
         expect_2xx(status, v)
     }
 
+    /// `GET path` returning the raw body text, unparsed.
+    ///
+    /// For non-JSON endpoints — notably `GET /metrics`, which serves the
+    /// Prometheus text exposition format.
+    pub fn get_text(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let message = format!("GET {path} HTTP/1.1\r\nHost: rain\r\nContent-Length: 0\r\n\r\n",);
+        self.writer.write_all(message.as_bytes())?;
+        self.writer.flush()?;
+        self.read_raw_response()
+    }
+
     fn read_response(&mut self) -> io::Result<(u16, Json)> {
+        let (status, text) = self.read_raw_response()?;
+        let v = if text.trim().is_empty() {
+            Json::Null
+        } else {
+            json::parse(&text).map_err(|e| bad(format!("invalid JSON body: {e}")))?
+        };
+        Ok((status, v))
+    }
+
+    fn read_raw_response(&mut self) -> io::Result<(u16, String)> {
         let status_line = self.read_line()?;
         let status: u16 = status_line
             .split_whitespace()
@@ -117,12 +138,7 @@ impl Client {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         let text = String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?;
-        let v = if text.trim().is_empty() {
-            Json::Null
-        } else {
-            json::parse(&text).map_err(|e| bad(format!("invalid JSON body: {e}")))?
-        };
-        Ok((status, v))
+        Ok((status, text))
     }
 
     fn read_line(&mut self) -> io::Result<String> {

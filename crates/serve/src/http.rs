@@ -21,12 +21,30 @@ const MAX_LINE: usize = 16 << 10;
 pub struct Request {
     /// Uppercase method (`GET`, `POST`, `DELETE`, …).
     pub method: String,
-    /// Request path (query strings are not used by the protocol).
+    /// Request path, without the query string.
     pub path: String,
+    /// Raw query string (everything after `?`, empty when absent). The
+    /// protocol uses it only for boolean flags — see
+    /// [`Request::query_flag`].
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
     /// False when the client sent `Connection: close`.
     pub keep_alive: bool,
+}
+
+impl Request {
+    /// True when the query string enables flag `name`: bare (`?profile`),
+    /// `=1`, or `=true`. `=0`/`=false` (or absence) leave it off.
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query.split('&').any(|pair| {
+            let (k, v) = match pair.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (pair, ""),
+            };
+            k == name && matches!(v, "" | "1" | "true")
+        })
+    }
 }
 
 /// Read one request off a keep-alive connection. Returns `Ok(None)` on a
@@ -38,11 +56,15 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
         None => return Ok(None),
     };
     let mut parts = line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
             (m.to_ascii_uppercase(), p.to_string(), v)
         }
         _ => return Err(bad(format!("malformed request line {line:?}"))),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
     };
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
@@ -73,6 +95,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
     Ok(Some(Request {
         method,
         path,
+        query,
         body,
         keep_alive,
     }))
@@ -146,8 +169,20 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the `/metrics`
+/// endpoint answers in Prometheus text exposition format, not JSON.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let mut message = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

@@ -18,10 +18,13 @@ use crate::pool::SessionSlot;
 use crate::protocol::ApiError;
 use rain_core::driver::{DebugReport, RunConfig};
 use rain_core::rank::Method;
+use rain_obs::Histogram;
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Where a job is in its life.
 #[derive(Debug, Clone)]
@@ -62,6 +65,20 @@ struct Job {
     slot: Arc<SessionSlot>,
     method: Method,
     cfg: RunConfig,
+    /// When the job entered the queue; the dequeue-time delta feeds the
+    /// queue-wait histogram.
+    enqueued: Instant,
+}
+
+/// The message carried by a worker panic, for the job's `Failed` status.
+/// `panic!` payloads are `&str` or `String` in practice; anything exotic
+/// falls back to a generic message rather than being dropped.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".into())
 }
 
 /// Aggregate runner counters for `GET /stats`.
@@ -89,6 +106,9 @@ struct Inner {
     peak_running: AtomicUsize,
     done: AtomicUsize,
     failed: AtomicUsize,
+    /// Observes queue residence time (enqueue → dequeue) when the server
+    /// wires its metrics registry in.
+    queue_wait: Option<Arc<Histogram>>,
 }
 
 /// Most recent settled (done/failed) jobs kept pollable; older ones are
@@ -137,6 +157,12 @@ pub struct JobRunner {
 impl JobRunner {
     /// Spawn `n_workers` worker threads (at least one).
     pub fn new(n_workers: usize) -> Self {
+        JobRunner::with_queue_wait(n_workers, None)
+    }
+
+    /// [`JobRunner::new`] with a histogram observing how long jobs sit
+    /// queued before a worker picks them up.
+    pub fn with_queue_wait(n_workers: usize, queue_wait: Option<Arc<Histogram>>) -> Self {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
@@ -147,6 +173,7 @@ impl JobRunner {
             peak_running: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
+            queue_wait,
         });
         let workers = (0..n_workers.max(1))
             .map(|wi| {
@@ -178,6 +205,7 @@ impl JobRunner {
             slot,
             method,
             cfg,
+            enqueued: Instant::now(),
         });
         self.inner.wake.notify_one();
         id
@@ -242,6 +270,9 @@ fn worker_loop(inner: &Inner) {
             }
         };
 
+        if let Some(h) = &inner.queue_wait {
+            h.observe(job.enqueued.elapsed().as_secs_f64());
+        }
         inner.set_state(job.id, JobState::Running);
         let now = inner.running.fetch_add(1, Ordering::SeqCst) + 1;
         inner.peak_running.fetch_max(now, Ordering::SeqCst);
@@ -261,11 +292,7 @@ fn worker_loop(inner: &Inner) {
                 inner.set_state(job.id, JobState::Failed(e.message));
             }
             Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "job panicked".into());
+                let msg = panic_message(panic.as_ref());
                 inner.failed.fetch_add(1, Ordering::Relaxed);
                 inner.set_state(job.id, JobState::Failed(format!("panic: {msg}")));
             }
@@ -276,6 +303,47 @@ fn worker_loop(inner: &Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn panic_payloads_are_extracted_for_failed_job_status() {
+        let p: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p: Box<dyn Any + Send> = Box::new(String::from("kaput"));
+        assert_eq!(panic_message(p.as_ref()), "kaput");
+        // Exotic payloads fall back instead of being dropped.
+        let p: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(p.as_ref()), "job panicked");
+        // `panic!` with format args carries a `String` payload — the case
+        // the worker loop actually sees.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let payload = std::panic::catch_unwind(|| panic!("exploded: {}", 7)).unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(panic_message(payload.as_ref()), "exploded: 7");
+    }
+
+    #[test]
+    fn queue_wait_histogram_observes_each_dequeued_job() {
+        use rain_model::LogisticRegression;
+        let hist = Arc::new(Histogram::new(&rain_obs::LATENCY_BUCKETS_S));
+        let pool = crate::pool::SessionPool::new();
+        let slot = pool
+            .create("s", Box::new(LogisticRegression::new(2, 0.01)))
+            .unwrap();
+        let runner = JobRunner::with_queue_wait(1, Some(Arc::clone(&hist)));
+        for _ in 0..3 {
+            runner.submit(Arc::clone(&slot), Method::Loss, RunConfig::paper(4));
+        }
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while hist.snapshot().count < 3 {
+            assert!(Instant::now() < deadline, "jobs never dequeued");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 3);
+        assert!(snap.sum >= 0.0);
+        runner.shutdown();
+    }
 
     #[test]
     fn unknown_job_ids_are_not_found() {

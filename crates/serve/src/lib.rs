@@ -34,6 +34,11 @@
 //!   the accept path, with job-id polling for status and reports.
 //! - **Wire protocol** ([`server`] routes, [`protocol`] shapes,
 //!   [`json`] codec, [`http`] framing) and a blocking [`client`].
+//! - **Observability** — `GET /metrics` exports a [`rain_obs`] metrics
+//!   registry (request latency, queue/lock waits, cache and job
+//!   counters) in Prometheus text exposition format; `?profile=1`
+//!   debug runs and `"analyze": true` queries return span trees (see
+//!   [`server`] and [`protocol`]).
 //!
 //! ## Example
 //!

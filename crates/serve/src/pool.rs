@@ -20,10 +20,12 @@ use crate::protocol::ApiError;
 use rain_core::driver::{DebugReport, DebugSession, PreparedQueries, RunConfig};
 use rain_core::rank::Method;
 use rain_model::{Classifier, Dataset};
+use rain_obs::Histogram;
 use rain_sql::{CacheStats, Database, ExecOptions, QueryCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// Everything a session's mutex guards.
 pub struct SessionState {
@@ -47,6 +49,9 @@ pub struct SessionSlot {
     /// `POST /sessions`.
     pub opts: ExecOptions,
     state: Mutex<SessionState>,
+    /// Observes how long callers block acquiring the session mutex, when
+    /// the server wires its metrics registry in.
+    lock_wait: Option<Arc<Histogram>>,
     /// Monotonic mutation counter (see the module docs).
     generation: AtomicU64,
     /// Lock-free mirror of the cache counters, refreshed after each
@@ -66,7 +71,12 @@ impl std::fmt::Debug for SessionSlot {
 }
 
 impl SessionSlot {
-    fn new(name: String, model: Box<dyn Classifier>, opts: ExecOptions) -> Self {
+    fn new(
+        name: String,
+        model: Box<dyn Classifier>,
+        opts: ExecOptions,
+        lock_wait: Option<Arc<Histogram>>,
+    ) -> Self {
         let dim = model.dim();
         let sess = DebugSession::new(
             Database::new(),
@@ -88,6 +98,7 @@ impl SessionSlot {
                 cache: QueryCache::new(opts.engine).with_threads(opts.threads),
                 last_report: None,
             }),
+            lock_wait,
             generation: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -99,7 +110,12 @@ impl SessionSlot {
     /// job must not brick the session: state mutations are all
     /// whole-value swaps, so the state stays consistent).
     pub fn lock(&self) -> MutexGuard<'_, SessionState> {
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
+        let t = self.lock_wait.as_ref().map(|_| Instant::now());
+        let guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let (Some(h), Some(t)) = (&self.lock_wait, t) {
+            h.observe(t.elapsed().as_secs_f64());
+        }
+        guard
     }
 
     /// Record one observable mutation, returning the new generation.
@@ -173,6 +189,16 @@ impl SessionSlot {
             // fails (e.g. a re-registered table broke a later query),
             // the ones already checked out are returned to the cache
             // below instead of being silently dropped.
+            //
+            // A profiled run traces the checkout phase too — cache
+            // lookups and (on a miss) skeleton capture happen here,
+            // before the driver opens its own `debug-run` root — and the
+            // harvested `checkout` subtree is grafted onto the report's
+            // profile below so `?profile=1` covers prepare as well as
+            // refresh/rank.
+            let _checkout_trace = cfg.profile.then(rain_obs::activate);
+            let checkout_span = rain_obs::Span::enter("checkout");
+            let checkout_id = checkout_span.id();
             let mut checked = Vec::with_capacity(st.sess.queries.len());
             let mut checkout_err = None;
             for q in &st.sess.queries {
@@ -191,6 +217,8 @@ impl SessionSlot {
                     }
                 }
             }
+            drop(checkout_span);
+            let checkout_tree = rain_obs::take_subtree(checkout_id);
             let result = match checkout_err {
                 Some(e) => Err(e),
                 None => {
@@ -203,7 +231,14 @@ impl SessionSlot {
                         prepared.push(cq.prepared);
                     }
                     let mut pq = PreparedQueries::from_parts(plans, prepared);
-                    let run = st.sess.run_prepared(method, cfg, &mut pq);
+                    let mut run = st.sess.run_prepared(method, cfg, &mut pq);
+                    if let (Ok(report), Some(co)) = (&mut run, checkout_tree) {
+                        if let Some(profile) = &mut report.profile {
+                            // Offsets inside each grafted subtree stay
+                            // relative to that subtree's own root.
+                            profile.children.insert(0, co);
+                        }
+                    }
                     // Return the (possibly rebuilt) skeletons to the
                     // cache even when the run failed.
                     let (_, prepared) = pq.into_parts();
@@ -244,6 +279,8 @@ impl SessionSlot {
 #[derive(Default)]
 pub struct SessionPool {
     slots: RwLock<HashMap<String, Arc<SessionSlot>>>,
+    /// Handed to every created slot; see [`SessionSlot::lock`].
+    lock_wait: Option<Arc<Histogram>>,
 }
 
 /// Valid session names: path-segment safe.
@@ -259,6 +296,16 @@ impl SessionPool {
     /// Empty pool.
     pub fn new() -> Self {
         SessionPool::default()
+    }
+
+    /// Empty pool whose sessions observe mutex acquisition time into
+    /// `lock_wait` (the server wires its
+    /// `rain_session_lock_wait_seconds` histogram here).
+    pub fn with_lock_wait(lock_wait: Arc<Histogram>) -> Self {
+        SessionPool {
+            slots: RwLock::default(),
+            lock_wait: Some(lock_wait),
+        }
     }
 
     /// Create a named session owning `model`, with the default execution
@@ -291,7 +338,12 @@ impl SessionPool {
                 "session '{name}' already exists"
             )));
         }
-        let slot = Arc::new(SessionSlot::new(name.to_string(), model, opts));
+        let slot = Arc::new(SessionSlot::new(
+            name.to_string(),
+            model,
+            opts,
+            self.lock_wait.clone(),
+        ));
         slots.insert(name.to_string(), Arc::clone(&slot));
         Ok(slot)
     }

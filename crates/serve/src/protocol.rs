@@ -17,9 +17,14 @@
 //!   "right_row":…}`, or `{"kind":"prediction_is","table":…,"row":…,
 //!   "class":…}`.
 //! - **run config** — `{"method":M,"budget":B,"k_per_iter":K,
-//!   "stop_when_satisfied":bool,"incremental":bool,"threads":T}` (method
-//!   required, budget required, rest defaulted; `threads` `0`/absent =
-//!   the session's budget, otherwise capped by it).
+//!   "stop_when_satisfied":bool,"incremental":bool,"threads":T,
+//!   "profile":bool}` (method required, budget required, rest defaulted;
+//!   `threads` `0`/absent = the session's budget, otherwise capped by
+//!   it). `profile` (also settable as `?profile=1` on the debug-run URL)
+//!   attaches the run's span tree to the finished report.
+//! - **trace node** — `{"name":…,"start_ns":…,"dur_ns":…,
+//!   "counters":{…},"children":[…]}`; `start_ns` is relative to the
+//!   enclosing subtree's root.
 //! - **session exec config** — optional on session creation:
 //!   `{"engine":"vectorized"|"tuple","threads":T}`. The engine drives the
 //!   session's skeleton cache and debug runs; `threads` caps the worker
@@ -504,7 +509,29 @@ pub fn run_request_from_json(v: &Json) -> Result<(Method, RunConfig), ApiError> 
     if let Some(t) = v.get("threads") {
         cfg.threads = threads_field(t)?;
     }
+    if let Some(p) = v.get("profile").and_then(Json::as_bool) {
+        cfg.profile = p;
+    }
     Ok((method, cfg))
+}
+
+/// JSON form of a harvested span tree.
+pub fn trace_to_json(node: &rain_obs::TraceNode) -> Json {
+    let counters: Vec<(String, Json)> = node
+        .counters
+        .iter()
+        .map(|&(k, v)| (k.to_string(), Json::Num(v as f64)))
+        .collect();
+    Json::obj(vec![
+        ("name", Json::str(node.name)),
+        ("start_ns", Json::Num(node.start_ns as f64)),
+        ("dur_ns", Json::Num(node.dur_ns as f64)),
+        ("counters", Json::Obj(counters)),
+        (
+            "children",
+            Json::Arr(node.children.iter().map(trace_to_json).collect()),
+        ),
+    ])
 }
 
 /// JSON form of a query output: schema, rows, and shape metadata.
@@ -577,6 +604,13 @@ pub fn report_to_json(report: &DebugReport) -> Json {
             "failure",
             match &report.failure {
                 Some(f) => Json::str(f.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "profile",
+            match &report.profile {
+                Some(tree) => trace_to_json(tree),
                 None => Json::Null,
             },
         ),
@@ -744,6 +778,11 @@ mod tests {
         );
         let v = json::parse(r#"{"method":"holistic","budget":0}"#).unwrap();
         assert!(run_request_from_json(&v).is_err());
+        // Profile defaults off; the body flag switches it on.
+        let v = json::parse(r#"{"method":"loss","budget":5}"#).unwrap();
+        assert!(!run_request_from_json(&v).unwrap().1.profile);
+        let v = json::parse(r#"{"method":"loss","budget":5,"profile":true}"#).unwrap();
+        assert!(run_request_from_json(&v).unwrap().1.profile);
     }
 
     #[test]

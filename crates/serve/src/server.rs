@@ -6,14 +6,15 @@
 //! |-----------------------------------|---------------|
 //! | `GET  /healthz`                   | liveness probe |
 //! | `GET  /stats`                     | server-wide counters (sessions, requests, cache totals, job runner) |
+//! | `GET  /metrics`                   | Prometheus text exposition (request latency, queue/lock waits, cache + job counters) |
 //! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…]}` → create a session (engine + worker-budget cap fixed at creation) |
 //! | `GET  /sessions`                  | list sessions (generation + cache counters) |
 //! | `DELETE /sessions/{s}`            | drop a session |
 //! | `POST /sessions/{s}/tables`       | table upload → register (replacing invalidates cached skeletons) |
 //! | `POST /sessions/{s}/train`        | training-set upload |
-//! | `POST /sessions/{s}/query`        | `{"sql":…}` → debug-mode execution through the skeleton cache |
+//! | `POST /sessions/{s}/query`        | `{"sql":…[,"analyze":true]}` → debug-mode execution through the skeleton cache; `analyze` adds an `EXPLAIN ANALYZE`-style plan + span tree |
 //! | `POST /sessions/{s}/complain`     | `{"sql":…,"complaints":[…]}` → attach complaints |
-//! | `POST /sessions/{s}/debug-run`    | `{"method":…,"budget":…}` → enqueue job, `202 {"job":id}` |
+//! | `POST /sessions/{s}/debug-run`    | `{"method":…,"budget":…}` → enqueue job, `202 {"job":id}`; `?profile=1` (or `"profile":true`) attaches the run's span tree to the report |
 //! | `GET  /jobs/{id}`                 | poll status; the report rides on `"done"` |
 //!
 //! Connections are HTTP/1.1 keep-alive, one thread per connection; every
@@ -22,14 +23,16 @@
 //! debug runs never execute on a connection thread — they go through the
 //! job runner ([`crate::jobs`]).
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_typed, Request};
 use crate::jobs::{JobRunner, JobState};
 use crate::json::{self, Json};
 use crate::pool::SessionPool;
 use crate::protocol::{
     complaint_from_json, dataset_from_json, engine_name, exec_options_from_json, model_from_json,
-    output_to_json, report_to_json, run_request_from_json, table_from_json, ApiError,
+    output_to_json, report_to_json, run_request_from_json, table_from_json, trace_to_json,
+    ApiError,
 };
+use rain_obs::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_S};
 use rain_sql::QueryCache;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -57,6 +60,55 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server's metrics registry plus the instruments hot paths update.
+/// Request latency and queue/lock waits are observed where they happen;
+/// scrape-only values (session count, cache totals, job counters) are
+/// refreshed into their instruments at `GET /metrics` time instead of
+/// being double-counted on the request path.
+struct ServerMetrics {
+    registry: Registry,
+    http_request_seconds: Arc<Histogram>,
+    http_requests_total: Arc<Counter>,
+    job_queue_wait_seconds: Arc<Histogram>,
+    session_lock_wait_seconds: Arc<Histogram>,
+    sessions: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+    jobs_queued: Arc<Gauge>,
+    jobs_running: Arc<Gauge>,
+    jobs_done_total: Arc<Counter>,
+    jobs_failed_total: Arc<Counter>,
+    cache_hits_total: Arc<Counter>,
+    cache_misses_total: Arc<Counter>,
+    cache_invalidations_total: Arc<Counter>,
+    cache_hit_ratio: Arc<Gauge>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        ServerMetrics {
+            http_request_seconds: registry
+                .histogram("rain_http_request_seconds", &LATENCY_BUCKETS_S),
+            http_requests_total: registry.counter("rain_http_requests_total"),
+            job_queue_wait_seconds: registry
+                .histogram("rain_job_queue_wait_seconds", &LATENCY_BUCKETS_S),
+            session_lock_wait_seconds: registry
+                .histogram("rain_session_lock_wait_seconds", &LATENCY_BUCKETS_S),
+            sessions: registry.gauge("rain_sessions"),
+            uptime_seconds: registry.gauge("rain_uptime_seconds"),
+            jobs_queued: registry.gauge("rain_jobs_queued"),
+            jobs_running: registry.gauge("rain_jobs_running"),
+            jobs_done_total: registry.counter("rain_jobs_done_total"),
+            jobs_failed_total: registry.counter("rain_jobs_failed_total"),
+            cache_hits_total: registry.counter("rain_cache_hits_total"),
+            cache_misses_total: registry.counter("rain_cache_misses_total"),
+            cache_invalidations_total: registry.counter("rain_cache_invalidations_total"),
+            cache_hit_ratio: registry.gauge("rain_cache_hit_ratio"),
+            registry,
+        }
+    }
+}
+
 /// Shared server state: the session pool, the job runner, and counters.
 pub struct ServerState {
     pool: SessionPool,
@@ -64,6 +116,7 @@ pub struct ServerState {
     requests: AtomicU64,
     started: Instant,
     shutdown: AtomicBool,
+    metrics: ServerMetrics,
 }
 
 /// A running server. Dropping the handle without calling
@@ -79,12 +132,17 @@ pub struct ServerHandle {
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    let metrics = ServerMetrics::new();
     let state = Arc::new(ServerState {
-        pool: SessionPool::new(),
-        jobs: JobRunner::new(cfg.job_workers),
+        pool: SessionPool::with_lock_wait(Arc::clone(&metrics.session_lock_wait_seconds)),
+        jobs: JobRunner::with_queue_wait(
+            cfg.job_workers,
+            Some(Arc::clone(&metrics.job_queue_wait_seconds)),
+        ),
         requests: AtomicU64::new(0),
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
+        metrics,
     });
     let accept_state = Arc::clone(&state);
     let accept = std::thread::Builder::new()
@@ -147,18 +205,40 @@ fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
             }
         };
         state.requests.fetch_add(1, Ordering::Relaxed);
-        let (status, body, keep_alive) = if state.shutdown.load(Ordering::SeqCst) {
-            (503, ApiError::internal("shutting down").body(), false)
+        let t_req = Instant::now();
+        if state.shutdown.load(Ordering::SeqCst) {
+            let body = ApiError::internal("shutting down").body();
+            let _ = write_response(&mut stream, 503, &body.to_string(), false);
+            return;
+        }
+        // `/metrics` answers in Prometheus text exposition format; every
+        // other route speaks JSON.
+        let write_ok = if req.method == "GET" && req.path == "/metrics" {
+            let text = render_metrics(&state);
+            state
+                .metrics
+                .http_request_seconds
+                .observe(t_req.elapsed().as_secs_f64());
+            write_response_typed(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                &text,
+                req.keep_alive,
+            )
+            .is_ok()
         } else {
             let (status, body) = match handle(&state, &req) {
                 Ok((status, body)) => (status, body),
                 Err(e) => (e.status, e.body()),
             };
-            (status, body, req.keep_alive)
+            state
+                .metrics
+                .http_request_seconds
+                .observe(t_req.elapsed().as_secs_f64());
+            write_response(&mut stream, status, &body.to_string(), req.keep_alive).is_ok()
         };
-        if write_response(&mut stream, status, &body.to_string(), keep_alive).is_err()
-            || !keep_alive
-        {
+        if !write_ok || !req.keep_alive {
             return;
         }
     }
@@ -205,6 +285,42 @@ fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
             req.method, req.path
         ))),
     }
+}
+
+/// Refresh the scrape-time instruments and render the registry.
+///
+/// The mirrored counters load from the same sources as `GET /stats`
+/// (request counter, lock-free per-slot cache snapshots, job-runner
+/// counters), so the two endpoints always agree and counters stay
+/// monotonic without double bookkeeping on hot paths.
+fn render_metrics(state: &ServerState) -> String {
+    let m = &state.metrics;
+    m.http_requests_total
+        .store(state.requests.load(Ordering::Relaxed));
+    m.sessions.set(state.pool.len() as f64);
+    m.uptime_seconds.set(state.started.elapsed().as_secs_f64());
+    let mut cache = rain_sql::CacheStats::default();
+    for slot in state.pool.list() {
+        let s = slot.cache_stats_snapshot();
+        cache.hits += s.hits;
+        cache.misses += s.misses;
+        cache.invalidations += s.invalidations;
+    }
+    m.cache_hits_total.store(cache.hits);
+    m.cache_misses_total.store(cache.misses);
+    m.cache_invalidations_total.store(cache.invalidations);
+    let lookups = cache.hits + cache.misses;
+    m.cache_hit_ratio.set(if lookups == 0 {
+        0.0
+    } else {
+        cache.hits as f64 / lookups as f64
+    });
+    let jobs = state.jobs.stats();
+    m.jobs_queued.set(jobs.queued as f64);
+    m.jobs_running.set(jobs.running as f64);
+    m.jobs_done_total.store(jobs.done as u64);
+    m.jobs_failed_total.store(jobs.failed as u64);
+    m.registry.render()
 }
 
 fn stats(state: &ServerState) -> Json {
@@ -347,29 +463,61 @@ fn upload_train(state: &ServerState, name: &str, req: &Request) -> Result<(u16, 
 fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
     let sql = str_field(&body, "sql")?;
+    let analyze =
+        body.get("analyze").and_then(Json::as_bool).unwrap_or(false) || req.query_flag("analyze");
     let slot = state.pool.get(name)?;
     let mut st = slot.lock();
     let st = &mut *st;
-    let (out, event) = st
-        .cache
-        .execute(&st.sess.db, st.sess.model.as_ref(), &sql)?;
+    // `EXPLAIN ANALYZE` flavor: the response carries the executed plan
+    // (resolved engine, thread, and morsel counts) plus the harvested
+    // span tree of this execution. Results are bit-identical either way —
+    // tracing is a pure observer.
+    let (out, event, analysis) = if analyze {
+        let plan = {
+            let stmt = rain_sql::parse_select(&sql).map_err(rain_sql::QueryError::Parse)?;
+            let bound = rain_sql::bind(&stmt, &st.sess.db).map_err(rain_sql::QueryError::Bind)?;
+            rain_sql::optimize(bound, &st.sess.db)
+        };
+        let explain = plan.explain_exec(&st.sess.db, slot.opts.engine, st.cache.threads());
+        let _on = rain_obs::activate();
+        let root = rain_obs::Span::enter("query");
+        let root_id = root.id();
+        let res = st.cache.execute(&st.sess.db, st.sess.model.as_ref(), &sql);
+        drop(root);
+        let trace = rain_obs::take_subtree(root_id);
+        let (out, event) = res?;
+        (out, event, Some((explain, trace)))
+    } else {
+        let (out, event) = st
+            .cache
+            .execute(&st.sess.db, st.sess.model.as_ref(), &sql)?;
+        (out, event, None)
+    };
     let stats = st.cache.stats();
     slot.publish_cache_stats(stats);
-    Ok((
-        200,
-        Json::obj(vec![
-            ("result", output_to_json(&out)),
-            ("cache", Json::str(event.as_str())),
-            (
-                "cache_stats",
-                Json::obj(vec![
-                    ("hits", Json::Num(stats.hits as f64)),
-                    ("misses", Json::Num(stats.misses as f64)),
-                    ("invalidations", Json::Num(stats.invalidations as f64)),
-                ]),
-            ),
-        ]),
-    ))
+    let mut pairs = vec![
+        ("result", output_to_json(&out)),
+        ("cache", Json::str(event.as_str())),
+        (
+            "cache_stats",
+            Json::obj(vec![
+                ("hits", Json::Num(stats.hits as f64)),
+                ("misses", Json::Num(stats.misses as f64)),
+                ("invalidations", Json::Num(stats.invalidations as f64)),
+            ]),
+        ),
+    ];
+    if let Some((explain, trace)) = analysis {
+        pairs.push(("explain", Json::str(explain)));
+        pairs.push((
+            "profile",
+            match trace {
+                Some(t) => trace_to_json(&t),
+                None => Json::Null,
+            },
+        ));
+    }
+    Ok((200, Json::obj(pairs)))
 }
 
 fn complain(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
@@ -430,7 +578,10 @@ fn complain(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json
 
 fn debug_run(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
-    let (method, cfg) = run_request_from_json(&body)?;
+    let (method, mut cfg) = run_request_from_json(&body)?;
+    if req.query_flag("profile") {
+        cfg.profile = true;
+    }
     let slot = state.pool.get(name)?;
     let id = state.jobs.submit(slot, method, cfg);
     Ok((

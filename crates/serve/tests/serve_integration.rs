@@ -4,6 +4,7 @@
 //! cache-hit counters, transparent invalidation, and the protocol error
 //! paths.
 
+use rain_obs::{parse_exposition, Metric};
 use rain_serve::json::Json;
 use rain_serve::{start, Client, ServerConfig};
 use std::time::{Duration, Instant};
@@ -613,5 +614,294 @@ fn protocol_error_paths() {
         .1
         .to_string()
         .contains("errs"));
+    server.shutdown();
+}
+
+fn family<'a>(metrics: &'a [Metric], name: &str) -> &'a Metric {
+    metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("missing metric family {name}"))
+}
+
+fn scrape(client: &mut Client) -> Vec<Metric> {
+    let (status, text) = client.get_text("/metrics").unwrap();
+    assert_eq!(status, 200, "{text}");
+    parse_exposition(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"))
+}
+
+/// `GET /metrics` under 16 concurrent clients that query and scrape at
+/// once: every scrape is a valid Prometheus exposition, counters are
+/// monotonic across scrapes, gauges reflect server state, and every
+/// histogram family is internally consistent (cumulative buckets, the
+/// `+Inf` bucket equal to `_count`, sum zero iff count is zero).
+#[test]
+fn metrics_endpoint_is_consistent_under_concurrent_scrapes() {
+    let server = start(ServerConfig {
+        job_workers: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let threads: Vec<_> = (0..16)
+        .map(|ci| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let session = format!("metrics-{ci}");
+                client
+                    .post_ok("/sessions", &logistic_session(&session))
+                    .unwrap();
+                client
+                    .post_ok(
+                        &format!("/sessions/{session}/tables"),
+                        &table_json("pairs", 12, 5),
+                    )
+                    .unwrap();
+                let q = Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]);
+                client
+                    .post_ok(&format!("/sessions/{session}/query"), &q)
+                    .unwrap();
+                client
+                    .post_ok(&format!("/sessions/{session}/query"), &q)
+                    .unwrap();
+                // Scrape concurrently with the other 15 clients' traffic.
+                let metrics = scrape(&mut client);
+                assert!(!metrics.is_empty());
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread panicked");
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let first = scrape(&mut client);
+    let second = scrape(&mut client);
+
+    // Counters never go backwards between scrapes.
+    for name in [
+        "rain_http_requests_total",
+        "rain_cache_hits_total",
+        "rain_cache_misses_total",
+        "rain_jobs_done_total",
+        "rain_jobs_failed_total",
+    ] {
+        let a = family(&first, name).value_of(name).unwrap();
+        let b = family(&second, name).value_of(name).unwrap();
+        assert!(b >= a, "{name} went backwards: {a} -> {b}");
+    }
+    // Gauges reflect server state; the aggregate hit ratio is a ratio.
+    assert_eq!(
+        family(&second, "rain_sessions").value_of("rain_sessions"),
+        Some(16.0)
+    );
+    let ratio = family(&second, "rain_cache_hit_ratio")
+        .value_of("rain_cache_hit_ratio")
+        .unwrap();
+    assert!((0.0..=1.0).contains(&ratio), "hit ratio {ratio}");
+    // Each client issued 5 requests before the final scrapes, and every
+    // repeated query hit its session's skeleton cache.
+    let requests = family(&second, "rain_http_requests_total")
+        .value_of("rain_http_requests_total")
+        .unwrap();
+    assert!(requests >= 16.0 * 5.0, "only {requests} requests counted");
+    let hits = family(&second, "rain_cache_hits_total")
+        .value_of("rain_cache_hits_total")
+        .unwrap();
+    assert!(hits >= 16.0, "only {hits} cache hits counted");
+
+    for m in &second {
+        if m.kind != "histogram" {
+            continue;
+        }
+        let count = m.value_of(&format!("{}_count", m.name)).unwrap();
+        let sum = m.value_of(&format!("{}_sum", m.name)).unwrap();
+        let buckets: Vec<_> = m.samples.iter().filter(|s| s.le.is_some()).collect();
+        assert!(!buckets.is_empty(), "{} has no buckets", m.name);
+        let mut prev = 0.0;
+        for b in &buckets {
+            assert!(
+                b.value >= prev,
+                "{} buckets not cumulative: {} after {prev}",
+                m.name,
+                b.value
+            );
+            prev = b.value;
+        }
+        let last = buckets.last().unwrap();
+        assert_eq!(last.le, Some(f64::INFINITY), "{}", m.name);
+        assert_eq!(
+            last.value, count,
+            "{}: +Inf bucket must equal _count",
+            m.name
+        );
+        assert!(
+            sum >= 0.0 && (count > 0.0 || sum == 0.0),
+            "{}: sum {sum} inconsistent with count {count}",
+            m.name
+        );
+    }
+    // The latency histogram saw every request that preceded the scrape.
+    let lat = family(&second, "rain_http_request_seconds");
+    assert!(
+        lat.value_of("rain_http_request_seconds_count").unwrap() >= 16.0 * 5.0,
+        "latency histogram undercounts"
+    );
+    server.shutdown();
+}
+
+/// Walk a JSON trace node's children for one with the given span name.
+fn child<'a>(node: &'a Json, name: &str) -> &'a Json {
+    node.get("children")
+        .and_then(Json::as_arr)
+        .and_then(|cs| {
+            cs.iter()
+                .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+        })
+        .unwrap_or_else(|| panic!("no child span {name:?} in {node}"))
+}
+
+/// `?profile=1` on a debug run returns the run's span tree in the job
+/// report: the skeleton checkout, then one `iteration` subtree per loop
+/// pass with train/execute/check/rank children and the incremental
+/// `refresh` under execute. Without the flag the field is null.
+#[test]
+fn debug_run_profile_flag_returns_span_tree() {
+    let server = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .post_ok("/sessions", &logistic_session("prof"))
+        .unwrap();
+    client
+        .post_ok("/sessions/prof/tables", &table_json("pairs", 30, 10))
+        .unwrap();
+    client
+        .post_ok("/sessions/prof/train", &train_json(60, 10))
+        .unwrap();
+    client
+        .post_ok(
+            "/sessions/prof/complain",
+            &Json::obj(vec![
+                (
+                    "sql",
+                    Json::str("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1"),
+                ),
+                (
+                    "complaint",
+                    Json::obj(vec![
+                        ("kind", Json::str("value")),
+                        ("op", Json::str("eq")),
+                        ("target", Json::num(10.0)),
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+    let run_body = Json::obj(vec![
+        ("method", Json::str("loss")),
+        ("budget", Json::num(4.0)),
+        ("k_per_iter", Json::num(2.0)),
+    ]);
+
+    let run = client
+        .post_ok("/sessions/prof/debug-run?profile=1", &run_body)
+        .unwrap();
+    let done = await_job(&mut client, run.get("job").unwrap().as_i64().unwrap());
+    let report = done.get("report").unwrap();
+    let profile = report.get("profile").unwrap();
+    assert_eq!(
+        profile.get("name").and_then(Json::as_str),
+        Some("debug-run")
+    );
+    assert!(profile.get("dur_ns").and_then(Json::as_f64).is_some());
+    // The serving layer grafts its skeleton-checkout work into the tree.
+    let checkout = child(profile, "checkout");
+    assert!(checkout.get("dur_ns").and_then(Json::as_f64).unwrap() >= 0.0);
+    let iterations: Vec<&Json> = profile
+        .get("children")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|c| c.get("name").and_then(Json::as_str) == Some("iteration"))
+        .collect();
+    let reported = report.get("iterations").unwrap().as_arr().unwrap().len();
+    assert_eq!(
+        iterations.len(),
+        reported,
+        "one iteration span per reported iteration"
+    );
+    for it in &iterations {
+        let execute = child(it, "execute");
+        child(execute, "refresh");
+        child(it, "train");
+        child(it, "check");
+        child(it, "rank");
+        let removed = it
+            .get("counters")
+            .and_then(|c| c.get("removed"))
+            .and_then(Json::as_f64);
+        assert!(removed.is_some(), "iteration missing removed counter");
+    }
+
+    // Without the flag (and no body option) there is no profile.
+    let plain = client
+        .post_ok("/sessions/prof/debug-run", &run_body)
+        .unwrap();
+    let done = await_job(&mut client, plain.get("job").unwrap().as_i64().unwrap());
+    assert_eq!(
+        done.get("report").unwrap().get("profile"),
+        Some(&Json::Null)
+    );
+    server.shutdown();
+}
+
+/// `"analyze": true` on a query returns the executed plan (with the
+/// resolved engine and thread count) plus the execution's span tree —
+/// and the result rows are identical to a plain run of the same query.
+#[test]
+fn analyze_query_returns_plan_and_execution_profile() {
+    let server = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .post_ok("/sessions", &logistic_session("analyze"))
+        .unwrap();
+    client
+        .post_ok("/sessions/analyze/tables", &table_json("pairs", 25, 9))
+        .unwrap();
+    let sql = "SELECT COUNT(*) FROM pairs";
+    let plain = client
+        .post_ok(
+            "/sessions/analyze/query",
+            &Json::obj(vec![("sql", Json::str(sql))]),
+        )
+        .unwrap();
+    assert!(plain.get("explain").is_none(), "plain runs carry no plan");
+
+    let analyzed = client
+        .post_ok(
+            "/sessions/analyze/query",
+            &Json::obj(vec![("sql", Json::str(sql)), ("analyze", Json::Bool(true))]),
+        )
+        .unwrap();
+    assert_eq!(
+        analyzed.get("result").unwrap().get("rows"),
+        plain.get("result").unwrap().get("rows"),
+        "analyze must not perturb results"
+    );
+    let explain = analyzed.get("explain").unwrap().as_str().unwrap();
+    assert!(explain.contains("Engine:"), "{explain}");
+    assert!(explain.contains("threads="), "{explain}");
+    let profile = analyzed.get("profile").unwrap();
+    assert_eq!(profile.get("name").and_then(Json::as_str), Some("query"));
+    assert!(
+        !profile
+            .get("children")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty(),
+        "execution trace is empty: {profile}"
+    );
     server.shutdown();
 }

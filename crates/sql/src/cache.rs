@@ -148,10 +148,12 @@ impl QueryCache {
         sql: &str,
         threads: usize,
     ) -> Result<CachedQuery, QueryError> {
+        let mut span = rain_obs::Span::enter("cache-checkout");
         let key = Self::normalize(sql)?;
         let event = match self.entries.remove(&key) {
             Some(prepared) if !prepared.is_stale(db) => {
                 self.stats.hits += 1;
+                span.add("hit", 1);
                 return Ok(CachedQuery {
                     key,
                     prepared,
@@ -167,6 +169,7 @@ impl QueryCache {
                 CacheEvent::Miss
             }
         };
+        span.add("hit", 0);
         let stmt = crate::parser::parse_select(sql).map_err(QueryError::Parse)?;
         let bound = crate::binder::bind(&stmt, db)?;
         let plan = optimize(bound, db);

@@ -212,7 +212,10 @@ pub fn run_query(
     sql: &str,
     opts: ExecOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let stmt = crate::parser::parse_select(sql).map_err(QueryError::Parse)?;
+    let stmt = {
+        let _s = rain_obs::Span::enter("parse");
+        crate::parser::parse_select(sql).map_err(QueryError::Parse)?
+    };
     run_stmt(db, model, &stmt, opts)
 }
 
@@ -224,8 +227,14 @@ pub fn run_stmt(
     stmt: &SelectStmt,
     opts: ExecOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let bound = bind(stmt, db).map_err(QueryError::Bind)?;
-    let plan = optimize(bound, db);
+    let bound = {
+        let _s = rain_obs::Span::enter("bind");
+        bind(stmt, db).map_err(QueryError::Bind)?
+    };
+    let plan = {
+        let _s = rain_obs::Span::enter("optimize");
+        optimize(bound, db)
+    };
     execute(db, model, &plan, opts)
 }
 
@@ -250,6 +259,7 @@ pub fn execute(
             // The oracle stays single-threaded regardless of `threads`.
             let mut ctx = EvalCtx::new(db, model, query, opts.debug);
             let tuples = tuple_pipeline(&mut ctx, None)?;
+            let _s = rain_obs::Span::enter("finalize");
             eval::finalize(&mut ctx, tuples, &query.kind)
         }
     }
@@ -279,7 +289,10 @@ impl<'a, 'b> TupleExec<'a, 'b> {
     /// pushes a `predict()` atom), so they evaluate concretely and prune
     /// identically in normal and debug mode — provenance is unaffected.
     fn scan(&mut self, rel: usize) -> Result<Vec<u32>, QueryError> {
+        let mut span = rain_obs::Span::enter("scan");
+        span.add("rows_in", self.ctx.table_of(rel).n_rows() as u64);
         let out = self.scan_inner(rel)?;
+        span.add("rows_out", out.len() as u64);
         if let Some(t) = self.trace.as_deref_mut() {
             t.scan_rows.push(out.len());
         }
@@ -343,6 +356,8 @@ impl<'a, 'b> TupleExec<'a, 'b> {
             // Scan the new relation once: pushed-down filters prune its
             // base rows before any join work (hash build or cross loop).
             let right_rows = self.scan(rel)?;
+            let mut join_span = rain_obs::Span::enter("join");
+            join_span.add("rows_in", tuples.len() as u64);
             let mut joined = Vec::new();
             if equi.is_empty() {
                 // Nested-loop cross join; remaining conjuncts filter below.
@@ -401,6 +416,8 @@ impl<'a, 'b> TupleExec<'a, 'b> {
                     }
                 }
             }
+            join_span.add("rows_out", joined.len() as u64);
+            drop(join_span);
             if let Some(t) = self.trace.as_deref_mut() {
                 t.join_steps.push((
                     if equi.is_empty() {
@@ -434,6 +451,8 @@ impl<'a, 'b> TupleExec<'a, 'b> {
         for &ci in &todo {
             applied[ci] = true;
         }
+        let mut span = rain_obs::Span::enter("filter");
+        span.add("rows_in", tuples.len() as u64);
         let query = self.ctx.query;
         let mut out = Vec::with_capacity(tuples.len());
         'tuple: for mut t in tuples {
@@ -452,6 +471,7 @@ impl<'a, 'b> TupleExec<'a, 'b> {
             }
             out.push(t);
         }
+        span.add("rows_out", out.len() as u64);
         Ok(out)
     }
 }

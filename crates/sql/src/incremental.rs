@@ -205,21 +205,28 @@ pub fn prepare_with(
     engine: Engine,
     threads: usize,
 ) -> Result<PreparedQuery, QueryError> {
+    let mut prep_span = rain_obs::Span::enter("prepare");
     let mut ctx =
         EvalCtx::new(db, model, plan, true).with_threads(crate::exec::resolve_threads(threads));
     let mut trace = PipelineTrace::default();
-    let (kind, candidate_tuples) = match engine {
-        Engine::Vectorized => {
-            let rows = crate::vexec::join_pipeline(&mut ctx, Some(&mut trace))?;
-            capture(&mut ctx, rows, &plan.kind)?
-        }
-        Engine::Tuple => {
-            let tuples = crate::exec::tuple_pipeline(&mut ctx, Some(&mut trace))?;
-            capture(&mut ctx, tuples, &plan.kind)?
+    let (kind, candidate_tuples) = {
+        let _cap = rain_obs::Span::enter("capture");
+        match engine {
+            Engine::Vectorized => {
+                let rows = crate::vexec::join_pipeline(&mut ctx, Some(&mut trace))?;
+                capture(&mut ctx, rows, &plan.kind)?
+            }
+            Engine::Tuple => {
+                let tuples = crate::exec::tuple_pipeline(&mut ctx, Some(&mut trace))?;
+                capture(&mut ctx, tuples, &plan.kind)?
+            }
         }
     };
 
     let reg = std::mem::take(&mut ctx.reg);
+    prep_span.add("candidate_tuples", candidate_tuples as u64);
+    prep_span.add("n_vars", reg.len() as u64);
+    let _feat_span = rain_obs::Span::enter("pack-features");
     let dim = model.dim();
     let mut features = Matrix::zeros(reg.len(), dim);
     for (i, info) in reg.infos().iter().enumerate() {
@@ -313,9 +320,12 @@ impl PreparedQuery {
             return Err(QueryError::Exec(why));
         }
 
+        let mut refresh_span = rain_obs::Span::enter("refresh");
+        refresh_span.add("n_vars", self.reg.len() as u64);
         let reg = self
             .reg
             .with_preds(predict_batch_sharded(model, &self.features, threads));
+        let _reeval = rain_obs::Span::enter("re-eval");
         Ok(match &self.kind {
             KindSkeleton::Select(s) => {
                 let (table, row_prov) = refresh_select(s, reg.preds());
@@ -661,16 +671,23 @@ pub(crate) fn predict_batch_sharded(
     threads: usize,
 ) -> Vec<usize> {
     let n = features.rows();
+    let mut span = rain_obs::Span::enter("inference");
+    span.add("rows_in", n as u64);
     let workers = crate::exec::resolve_threads(threads).clamp(1, n.max(1));
     if workers <= 1 || n < PREDICT_SHARD_MIN_ROWS {
         return model.predict_batch(features);
     }
     let mut preds = vec![0usize; n];
     let chunk = n.div_ceil(workers);
+    let span_id = span.id();
     std::thread::scope(|scope| {
         for (w, out) in preds.chunks_mut(chunk).enumerate() {
             let start = w * chunk;
-            scope.spawn(move || model.predict_range_into(features, start, out));
+            scope.spawn(move || {
+                let mut shard = rain_obs::Span::enter_under(span_id, "shard");
+                shard.add("items", out.len() as u64);
+                model.predict_range_into(features, start, out)
+            });
         }
     });
     preds

@@ -125,7 +125,7 @@ impl QueryPlan {
     ///       Scan logins AS l cols=[id]
     /// ```
     pub fn explain(&self, db: &Database) -> String {
-        self.render(db, None)
+        self.render(db, None, None)
     }
 
     /// [`QueryPlan::explain`] for a specific engine: prefixes an
@@ -134,18 +134,39 @@ impl QueryPlan {
     /// compile to — `row-fallback` marks filters the kernel compiler
     /// hands back to the shared scalar evaluator.
     pub fn explain_engine(&self, db: &Database, engine: Engine) -> String {
-        self.render(db, Some(engine))
+        self.render(db, Some(engine), None)
     }
 
-    fn render(&self, db: &Database, engine: Option<Engine>) -> String {
+    /// [`QueryPlan::explain_engine`] for a concrete execution
+    /// configuration: the `Engine:` line reports the resolved worker
+    /// count (`threads` as an [`ExecOptions::threads`](crate::exec::ExecOptions)-style
+    /// knob, `0` = auto; the tuple oracle always resolves to 1) and each
+    /// vectorized scan is annotated with the number of morsels it would
+    /// shard into — the same counts a traced run records as per-morsel
+    /// worker spans.
+    pub fn explain_exec(&self, db: &Database, engine: Engine, threads: usize) -> String {
+        let resolved = match engine {
+            Engine::Vectorized => crate::exec::resolve_threads(threads),
+            Engine::Tuple => 1,
+        };
+        self.render(db, Some(engine), Some(resolved))
+    }
+
+    fn render(&self, db: &Database, engine: Option<Engine>, threads: Option<usize>) -> String {
         let mut out = String::new();
         let mut indent = 0usize;
         let vectorized = engine == Some(Engine::Vectorized);
         if let Some(engine) = engine {
-            out.push_str(&format!(
-                "Engine: {}\n",
-                crate::printer::engine_name(engine)
-            ));
+            match threads {
+                Some(t) => out.push_str(&format!(
+                    "Engine: {} threads={t}\n",
+                    crate::printer::engine_name(engine)
+                )),
+                None => out.push_str(&format!(
+                    "Engine: {}\n",
+                    crate::printer::engine_name(engine)
+                )),
+            }
         }
         let push = |line: String, indent: usize, out: &mut String| {
             out.push_str(&"  ".repeat(indent));
@@ -269,6 +290,19 @@ impl QueryPlan {
                         .collect();
                     line.push_str(&format!(" kernels=[{}]", kernels.join(", ")));
                 }
+            }
+            if let Some(t) = threads.filter(|_| vectorized) {
+                // Mirror the scan's parallel guard exactly: no filters =
+                // identity scan, and only model-free filters shard.
+                let n = db.table_by_id(rel.id).n_rows();
+                let shardable = !self.scan_filters[ri].is_empty()
+                    && self.scan_filters[ri].iter().all(|f| !f.contains_predict());
+                let morsels = if shardable {
+                    crate::vexec::morsel::morsel_count(t, n)
+                } else {
+                    1
+                };
+                line.push_str(&format!(" morsels={morsels}"));
             }
             push(line, indent, &mut out);
         }

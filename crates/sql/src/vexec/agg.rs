@@ -41,6 +41,8 @@ pub(crate) fn aggregate_rowset(
     keys: &[GroupKey],
     aggs: &[BoundAgg],
 ) -> Result<QueryOutput, QueryError> {
+    let mut span = rain_obs::Span::enter("aggregate");
+    span.add("rows_in", rows.len() as u64);
     if let Some(out) = grouped_fast_path(ctx, &rows, keys, aggs)? {
         return Ok(out);
     }

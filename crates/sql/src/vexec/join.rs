@@ -157,6 +157,8 @@ pub(crate) fn hash_join(
             // evaluator into canonical key vectors (identical to the
             // tuple engine, NULL/NaN skipping included). Build first,
             // sequentially, with the caller's context.
+            let mut build_span = rain_obs::Span::enter("build");
+            build_span.add("rows_in", right_rows.len() as u64);
             let mut index: HashMap<Vec<JoinKey>, Vec<u32>> = HashMap::new();
             let mut probe_rows = vec![0u32; rel + 1];
             for &r in right_rows {
@@ -172,7 +174,10 @@ pub(crate) fn hash_join(
                     index.entry(key).or_default().push(r);
                 }
             }
+            drop(build_span);
             let n = left.len();
+            let mut probe_span = rain_obs::Span::enter("probe");
+            probe_span.add("rows_in", n as u64);
             // Equi keys are model-free by construction (`equi_keys` never
             // selects a `predict()` conjunct), so parallel probe workers
             // can evaluate them in scratch contexts; guard anyway so a
@@ -181,11 +186,14 @@ pub(crate) fn hash_join(
             let model_free = keys
                 .iter()
                 .all(|(le, re)| !le.contains_predict() && !re.contains_predict());
-            if morsel::worth_parallel(threads, n) && model_free {
+            let out = if morsel::worth_parallel(threads, n) && model_free {
                 let (db, model, query) = (ctx.db, ctx.model, ctx.query);
                 let index_ref = &index;
                 let left_ref = &left;
+                let probe_id = probe_span.id();
                 let parts = morsel::run_morsels(threads, n, |start, end| {
+                    let mut mspan = rain_obs::Span::enter_under(probe_id, "morsel");
+                    mspan.add("items", (end - start) as u64);
                     let mut wctx = EvalCtx::new(db, model, query, debug);
                     general_probe(&mut wctx, left_ref, keys, index_ref, start, end)
                 });
@@ -196,7 +204,9 @@ pub(crate) fn hash_join(
                 out
             } else {
                 general_probe(ctx, &left, keys, &index, 0, n)?
-            }
+            };
+            probe_span.add("rows_out", out.len() as u64);
+            out
         }
     };
     Ok((rows, strat))
@@ -247,12 +257,15 @@ fn typed_join<K: std::hash::Hash + Eq + Sync>(
     build_key: impl Fn(usize) -> Option<K>,
     probe_key: impl Fn(usize, &RowSet) -> Option<K> + Sync,
 ) -> RowSet {
+    let mut build_span = rain_obs::Span::enter("build");
+    build_span.add("rows_in", right_rows.len() as u64);
     let mut index: HashMap<K, Vec<u32>> = HashMap::with_capacity(right_rows.len());
     for &r in right_rows {
         if let Some(k) = build_key(r as usize) {
             index.entry(k).or_default().push(r);
         }
     }
+    drop(build_span);
     let probe_range = |start: usize, end: usize| {
         let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
         for i in start..end {
@@ -265,8 +278,15 @@ fn typed_join<K: std::hash::Hash + Eq + Sync>(
         out
     };
     let n = left.len();
-    if morsel::worth_parallel(threads, n) {
-        let parts = morsel::run_morsels(threads, n, probe_range);
+    let mut probe_span = rain_obs::Span::enter("probe");
+    probe_span.add("rows_in", n as u64);
+    let out = if morsel::worth_parallel(threads, n) {
+        let probe_id = probe_span.id();
+        let parts = morsel::run_morsels(threads, n, |start, end| {
+            let mut mspan = rain_obs::Span::enter_under(probe_id, "morsel");
+            mspan.add("items", (end - start) as u64);
+            probe_range(start, end)
+        });
         let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
         for p in parts {
             out.append(p);
@@ -274,5 +294,7 @@ fn typed_join<K: std::hash::Hash + Eq + Sync>(
         out
     } else {
         probe_range(0, n)
-    }
+    };
+    probe_span.add("rows_out", out.len() as u64);
+    out
 }

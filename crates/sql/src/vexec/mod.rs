@@ -95,6 +95,9 @@ pub(crate) fn join_pipeline(
     for rel in 1..n_rels {
         let equi = eval::equi_keys(query, &applied, &footprints, rel);
         let right_rows = scan::scan(ctx, rel, trace.as_deref_mut())?;
+        let mut join_span = rain_obs::Span::enter("join");
+        join_span.add("rows_in", rows.len() as u64);
+        join_span.add("right_rows", right_rows.len() as u64);
         let step;
         rows = if equi.is_empty() {
             step = "nested-loop";
@@ -108,6 +111,8 @@ pub(crate) fn join_pipeline(
             step = strat.describe();
             joined
         };
+        join_span.add("rows_out", rows.len() as u64);
+        drop(join_span);
         if let Some(t) = trace.as_deref_mut() {
             t.join_steps.push((step, rows.len()));
         }
@@ -138,6 +143,8 @@ fn apply_conjuncts(
     for &ci in &todo {
         applied[ci] = true;
     }
+    let mut span = rain_obs::Span::enter("filter");
+    span.add("rows_in", rows.len() as u64);
 
     // The vectorizable prefix: model-free conjuncts up to the first one
     // that can create prediction variables. (A model conjunct must see
@@ -170,6 +177,7 @@ fn apply_conjuncts(
     }
 
     if suffix.is_empty() || rows.is_empty() {
+        span.add("rows_out", rows.len() as u64);
         return Ok(());
     }
     // Per-tuple tail: identical control flow to the tuple engine.
@@ -205,6 +213,7 @@ fn apply_conjuncts(
         }
     }
     rows.truncate(write);
+    span.add("rows_out", rows.len() as u64);
     Ok(())
 }
 
@@ -240,6 +249,8 @@ fn project_rowset(
     rows: RowSet,
     items: &[(BExpr, String)],
 ) -> Result<QueryOutput, QueryError> {
+    let mut span = rain_obs::Span::enter("project");
+    span.add("rows_in", rows.len() as u64);
     let fast = !ctx.debug
         && items.iter().all(|(e, _)| {
             let BExpr::Col { rel, col } = e else {

@@ -32,6 +32,17 @@ pub(crate) fn worth_parallel(threads: usize, n_items: usize) -> bool {
     threads > 1 && n_items >= MIN_PARALLEL_ITEMS
 }
 
+/// How many morsels `n_items` would shard into under a `threads` budget —
+/// `1` when the input runs sequentially. `EXPLAIN` uses this so its
+/// reported plan shape matches the per-morsel spans a traced run records.
+pub(crate) fn morsel_count(threads: usize, n_items: usize) -> usize {
+    if worth_parallel(threads, n_items) {
+        n_items.div_ceil(MORSEL_SIZE)
+    } else {
+        1
+    }
+}
+
 /// Split `n_items` into contiguous morsels and run `work(start, end)` for
 /// each across up to `threads` scoped workers, returning the per-morsel
 /// outputs **in morsel order**.

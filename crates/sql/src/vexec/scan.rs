@@ -49,7 +49,10 @@ fn scan_inner(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
     let n = table.n_rows();
     let query = ctx.query;
     let filters = &query.scan_filters[rel];
+    let mut span = rain_obs::Span::enter("scan");
+    span.add("rows_in", n as u64);
     if filters.is_empty() {
+        span.add("rows_out", n as u64);
         return Ok((0..n as u32).collect());
     }
 
@@ -69,16 +72,25 @@ fn scan_inner(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
     // variables — the workers only ever prune concretely.
     if morsel::worth_parallel(ctx.threads, n) && filters.iter().all(|f| !f.contains_predict()) {
         let (db, model, debug) = (ctx.db, ctx.model, ctx.debug);
+        let scan_id = span.id();
         let parts = morsel::run_morsels(ctx.threads, n, |start, end| {
+            // Workers don't share the spawner's span stack; attach their
+            // per-morsel timings to the scan span explicitly.
+            let mut mspan = rain_obs::Span::enter_under(scan_id, "morsel");
+            mspan.add("items", (end - start) as u64);
             let mut wctx = EvalCtx::new(db, model, query, debug);
             scan_range(
                 &mut wctx, rel, table, &tables, filters, &compiled, start, end,
             )
         });
-        return morsel::concat_results(parts);
+        let out = morsel::concat_results(parts)?;
+        span.add("rows_out", out.len() as u64);
+        return Ok(out);
     }
 
-    scan_range(ctx, rel, table, &tables, filters, &compiled, 0, n)
+    let out = scan_range(ctx, rel, table, &tables, filters, &compiled, 0, n)?;
+    span.add("rows_out", out.len() as u64);
+    Ok(out)
 }
 
 /// Filter the window `start..end` of `rel`'s base table, batch by batch,

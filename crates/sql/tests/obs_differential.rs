@@ -1,0 +1,221 @@
+//! Observability differential tests.
+//!
+//! Instrumentation must be a pure observer: running with tracing enabled
+//! has to produce **bit-identical** output to running with it disabled
+//! (which in turn is the seed behavior — disabled spans don't read
+//! clocks, allocate, or touch the evaluator). The tests also pin what a
+//! harvested trace contains: every pipeline operator, rows-in/rows-out
+//! counters, per-morsel worker spans matching `explain_exec`'s reported
+//! plan shape, and the incremental prepare/refresh stages.
+
+use rain_linalg::{Matrix, RainRng};
+use rain_model::{Classifier, LogisticRegression};
+use rain_obs::{take_subtree, Span, TraceNode};
+use rain_sql::table::{ColType, Column, Schema, Table};
+use rain_sql::{
+    bind, optimize, parse_select, prepare_with, run_query, Database, Engine, ExecOptions,
+    QueryOutput,
+};
+
+fn step_model() -> LogisticRegression {
+    let mut m = LogisticRegression::new(1, 0.0);
+    m.set_params(&[50.0, 0.0]);
+    m
+}
+
+/// One featured table big enough to engage the morsel-parallel scan.
+fn big_db(n: usize) -> Database {
+    let mut rng = RainRng::seed_from_u64(0x0B5);
+    let feats: Vec<[f64; 1]> = (0..n)
+        .map(|_| [if rng.bernoulli(0.5) { 1.0 } else { -1.0 }])
+        .collect();
+    let refs: Vec<&[f64]> = feats.iter().map(|r| &r[..]).collect();
+    let t = Table::from_columns(
+        Schema::new(&[("x", ColType::Int), ("k", ColType::Int)]),
+        vec![
+            Column::Int((0..n).map(|i| (i % 997) as i64).collect()),
+            Column::Int((0..n).map(|i| (i % 53) as i64).collect()),
+        ],
+    )
+    .with_features(Matrix::from_rows(&refs));
+    let mut db = Database::new();
+    db.register("t", t);
+    db
+}
+
+fn assert_identical(label: &str, a: &QueryOutput, b: &QueryOutput) {
+    assert_eq!(a.table.to_tsv(), b.table.to_tsv(), "{label}: rows");
+    assert_eq!(a.row_prov, b.row_prov, "{label}: row provenance");
+    assert_eq!(a.agg_cells, b.agg_cells, "{label}: agg provenance");
+    assert_eq!(
+        a.predvars.infos(),
+        b.predvars.infos(),
+        "{label}: var sources"
+    );
+    assert_eq!(
+        a.predvars.preds(),
+        b.predvars.preds(),
+        "{label}: predictions"
+    );
+}
+
+const QUERIES: [&str; 4] = [
+    "SELECT COUNT(*) FROM t WHERE x < 500",
+    "SELECT COUNT(*) FROM t WHERE x < 500 AND predict(t) = 1",
+    "SELECT k, SUM(x) FROM t WHERE x < 800 GROUP BY k",
+    "SELECT COUNT(*) FROM t a, t b WHERE a.x = b.x AND a.k < 5 AND predict(a) = 1",
+];
+
+/// Tracing on vs. off changes nothing about query results — rows,
+/// provenance, variable ids, and predictions are bit-identical (and the
+/// disabled runs are the seed behavior: inert spans do no work).
+#[test]
+fn enabled_instrumentation_is_bit_identical_to_disabled() {
+    let db = big_db(12_000);
+    let model = step_model();
+    for sql in QUERIES {
+        for debug in [false, true] {
+            for threads in [1, 8] {
+                let opts = ExecOptions::with_debug(debug).with_threads(threads);
+                let label = format!("`{sql}` [debug={debug}, threads={threads}]");
+                let off = run_query(&db, &model, sql, opts).unwrap();
+                let traced = {
+                    let _on = rain_obs::activate();
+                    let root = Span::enter("query");
+                    let id = root.id();
+                    let out = run_query(&db, &model, sql, opts).unwrap();
+                    drop(root);
+                    (out, take_subtree(id))
+                };
+                assert_identical(&label, &off, &traced.0);
+                let tree = traced.1.unwrap_or_else(|| panic!("{label}: no trace"));
+                assert!(tree.size() > 1, "{label}: empty trace tree");
+            }
+        }
+    }
+}
+
+fn counter(node: &TraceNode, key: &str) -> Option<u64> {
+    node.counters
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+}
+
+/// A traced query records every pipeline stage with row counters.
+#[test]
+fn trace_tree_covers_the_pipeline_operators() {
+    let db = big_db(12_000);
+    let model = step_model();
+    let sql = "SELECT COUNT(*) FROM t a, t b WHERE a.x = b.x AND a.k < 5 AND predict(a) = 1";
+    let _on = rain_obs::activate();
+    let root = Span::enter("query");
+    let id = root.id();
+    run_query(&db, &model, sql, ExecOptions::debug().with_threads(8)).unwrap();
+    drop(root);
+    let tree = take_subtree(id).expect("trace recorded");
+    for stage in [
+        "parse",
+        "bind",
+        "optimize",
+        "scan",
+        "join",
+        "filter",
+        "aggregate",
+    ] {
+        assert!(tree.find(stage).is_some(), "missing span: {stage}");
+    }
+    // The join splits into hash build + morsel-sharded probe.
+    let join = tree.find("join").unwrap();
+    assert!(join.find("build").is_some(), "missing build under join");
+    let probe = join.find("probe").expect("missing probe under join");
+    assert!(counter(probe, "rows_in").is_some());
+    assert!(counter(probe, "rows_out").is_some());
+    let scan = tree.find("scan").unwrap();
+    assert_eq!(counter(scan, "rows_in"), Some(12_000));
+    assert!(counter(scan, "rows_out").unwrap() <= 12_000);
+}
+
+/// `explain_exec` reports the resolved thread count and per-scan morsel
+/// counts, and a traced run records exactly that many per-morsel worker
+/// spans under the scan.
+#[test]
+fn explain_exec_matches_traced_morsel_counts() {
+    let n = 20_000;
+    let db = big_db(n);
+    let model = step_model();
+    let sql = "SELECT COUNT(*) FROM t WHERE x < 500";
+    let plan = optimize(bind(&parse_select(sql).unwrap(), &db).unwrap(), &db);
+
+    let explain = plan.explain_exec(&db, Engine::Vectorized, 4);
+    assert!(
+        explain.contains("Engine: vectorized threads=4"),
+        "missing resolved thread count:\n{explain}"
+    );
+    let morsels: usize = explain
+        .lines()
+        .find_map(|l| l.split(" morsels=").nth(1))
+        .expect("scan line carries a morsel count")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(morsels > 1, "large scan should shard: {explain}");
+
+    let _on = rain_obs::activate();
+    let root = Span::enter("query");
+    let id = root.id();
+    run_query(&db, &model, sql, ExecOptions::default().with_threads(4)).unwrap();
+    drop(root);
+    let tree = take_subtree(id).unwrap();
+    let scan = tree.find("scan").unwrap();
+    let worker_spans = scan.children.iter().filter(|c| c.name == "morsel").count();
+    assert_eq!(
+        worker_spans, morsels,
+        "explain vs trace disagree:\n{explain}"
+    );
+    // Morsel items cover the whole table exactly once.
+    let items: u64 = scan
+        .children
+        .iter()
+        .filter(|c| c.name == "morsel")
+        .map(|c| counter(c, "items").unwrap())
+        .sum();
+    assert_eq!(items, n as u64);
+
+    // The tuple oracle is always sequential and says so.
+    let tuple = plan.explain_exec(&db, Engine::Tuple, 4);
+    assert!(tuple.contains("Engine: tuple threads=1"), "{tuple}");
+    assert!(!tuple.contains("morsels="), "{tuple}");
+}
+
+/// The incremental subsystem's stages appear in traces: skeleton capture
+/// inside prepare, sharded inference and formula re-eval inside refresh.
+#[test]
+fn prepare_and_refresh_record_their_stages() {
+    let db = big_db(12_000);
+    let model = step_model();
+    let sql = "SELECT COUNT(*) FROM t WHERE x < 500 AND predict(t) = 1";
+    let plan = optimize(bind(&parse_select(sql).unwrap(), &db).unwrap(), &db);
+
+    let _on = rain_obs::activate();
+    let root = Span::enter("run");
+    let id = root.id();
+    let pq = prepare_with(&db, &model, &plan, Engine::Vectorized, 4).unwrap();
+    let out = pq.refresh_threaded(&db, &model, 4).unwrap();
+    drop(root);
+    assert!(!out.predvars.is_empty());
+
+    let tree = take_subtree(id).unwrap();
+    let prep = tree.find("prepare").expect("prepare span");
+    assert!(prep.find("capture").is_some(), "capture under prepare");
+    assert!(prep.find("pack-features").is_some());
+    assert!(counter(prep, "n_vars").unwrap() > 0);
+    let refresh = tree.find("refresh").expect("refresh span");
+    let inference = refresh.find("inference").expect("inference under refresh");
+    // Enough variables to shard: per-shard worker spans attach.
+    assert!(
+        inference.children.iter().any(|c| c.name == "shard"),
+        "sharded inference records worker spans"
+    );
+    assert!(refresh.find("re-eval").is_some(), "re-eval under refresh");
+}
