@@ -7,16 +7,25 @@
 //! subtree). Before timing, the two modes' outputs are asserted
 //! bit-identical — instrumentation is a pure observer.
 //!
+//! A second section measures **always-on sampling** end to end: the
+//! 16-client serve workload (one session per client, cached debug-mode
+//! queries) with per-session sampling off versus sampling 1-in-16 into
+//! the profile ring — the serving layer's production default.
+//!
 //! Writes `BENCH_obs.json` (path overridable via `RAIN_BENCH_JSON`)
-//! with the headline `overhead.ratio = disabled_ms / enabled_ms`; the
-//! regression gate floors it at 0.95, i.e. tracing may cost at most
-//! ~5% on the end-to-end join.
+//! with the headline `overhead.ratio = disabled_ms / enabled_ms` and
+//! `sampling.ratio` (same definition, serve workload); the regression
+//! gate floors both at 0.95, i.e. tracing/sampling may cost at most
+//! ~5% end to end.
 
 use rain_bench::BenchGroup;
 use rain_data::{dblp::DblpConfig, tables::dataset_to_table};
 use rain_model::{train_lbfgs, LogisticRegression};
+use rain_serve::json::Json;
+use rain_serve::{start, Client, ServerConfig};
 use rain_sql::table::Column;
 use rain_sql::{bind, execute, optimize, parse_select, Database, ExecOptions, QueryPlan};
+use std::net::SocketAddr;
 
 const JOIN_SQL: &str = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
                         WHERE a.id = b.id AND b.bucket < 2";
@@ -25,6 +34,63 @@ fn plan_for(sql: &str, db: &Database) -> QueryPlan {
     let stmt = parse_select(sql).unwrap();
     let bound = bind(&stmt, db).unwrap();
     optimize(bound, db)
+}
+
+const SERVE_CLIENTS: usize = 16;
+const SERVE_SQL: &str = "SELECT COUNT(*) FROM dblp WHERE predict(*) = 1";
+
+/// One session per client, prefixed `prefix-`, with explicit sampling
+/// knobs (`slow_ms` pushed out of reach so only the 1-in-N sampler
+/// differs between the two phases).
+fn serve_sessions(addr: SocketAddr, prefix: &str, sample_every: f64, table: &Json, train: &Json) {
+    let mut client = Client::connect(addr).expect("connect for setup");
+    for si in 0..SERVE_CLIENTS {
+        let name = format!("{prefix}-{si}");
+        client
+            .post_ok(
+                "/sessions",
+                &Json::obj(vec![
+                    ("name", Json::str(name.clone())),
+                    (
+                        "model",
+                        Json::obj(vec![
+                            ("kind", Json::str("logistic")),
+                            ("dim", Json::num(rain_data::dblp::N_FEATURES as f64)),
+                            ("l2", Json::num(0.01)),
+                        ]),
+                    ),
+                    ("sample_every", Json::num(sample_every)),
+                    ("slow_ms", Json::num(3_600_000.0)),
+                ]),
+            )
+            .expect("create session");
+        client
+            .post_ok(&format!("/sessions/{name}/tables"), table)
+            .expect("register table");
+        client
+            .post_ok(&format!("/sessions/{name}/train"), train)
+            .expect("upload train");
+    }
+}
+
+/// Drive 16 client threads, `requests` cached queries each, against the
+/// `prefix-` sessions; returns when every thread is done.
+fn serve_drive(addr: SocketAddr, prefix: &str, requests: usize) {
+    let threads: Vec<_> = (0..SERVE_CLIENTS)
+        .map(|ci| {
+            let path = format!("/sessions/{prefix}-{ci}/query");
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let body = Json::obj(vec![("sql", Json::str(SERVE_SQL))]);
+                for _ in 0..requests {
+                    client.post_ok(&path, &body).expect("query");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("bench client panicked");
+    }
 }
 
 fn main() {
@@ -99,12 +165,66 @@ fn main() {
         (enabled_ms / disabled_ms - 1.0) * 100.0
     );
 
+    // --- Always-on sampling on the 16-client serve workload ---
+    let (serve_rows, serve_requests) = if quick { (300, 20) } else { (1500, 80) };
+    let sw = DblpConfig {
+        n_train: 400,
+        n_query: serve_rows,
+        ..Default::default()
+    }
+    .generate(42);
+    let table = rain_serve::protocol::table_to_json("dblp", &sw.query_table());
+    let train = rain_serve::protocol::dataset_to_json(&sw.train);
+    let server = start(ServerConfig {
+        job_workers: 2,
+        ..Default::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    serve_sessions(addr, "off", 0.0, &table, &train);
+    serve_sessions(addr, "on", 16.0, &table, &train);
+    // Warm both session sets (skeleton-cache misses happen here).
+    serve_drive(addr, "off", 1);
+    serve_drive(addr, "on", 1);
+
+    let mut sg = BenchGroup::new("obs_sampling", samples);
+    sg.bench("serve_sampling_off", || {
+        serve_drive(addr, "off", serve_requests)
+    });
+    sg.bench("serve_sampling_on", || {
+        serve_drive(addr, "on", serve_requests)
+    });
+    sg.finish();
+    let s_disabled_ms = sg.median_secs("serve_sampling_off").unwrap() * 1e3;
+    let s_enabled_ms = sg.median_secs("serve_sampling_on").unwrap() * 1e3;
+    let s_ratio = s_disabled_ms / s_enabled_ms;
+    println!(
+        "sampling overhead: {:.2}% ({s_disabled_ms:.3} ms off -> {s_enabled_ms:.3} ms on, ratio {s_ratio:.3})",
+        (s_enabled_ms / s_disabled_ms - 1.0) * 100.0
+    );
+    // The enabled phase must actually have filled the profile ring —
+    // otherwise the "overhead" was measured against a sampler that
+    // never fired.
+    let mut probe = Client::connect(addr).expect("connect");
+    let profiles = probe.get_ok("/debug/profiles").expect("profiles");
+    let captured = profiles
+        .get("recent")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    assert!(captured > 0, "sampling-on phase captured no profiles");
+    server.shutdown();
+
     let json = format!(
         "{{\n  \"bench\": \"obs_overhead\",\n  \"n_query\": {n_query},\n  \
          \"samples\": {samples},\n  \"host_cores\": {host_cores},\n  \
          \"trace_spans\": {},\n  \
          \"overhead\": {{ \"disabled_ms\": {disabled_ms:.6}, \
-         \"enabled_ms\": {enabled_ms:.6}, \"ratio\": {ratio:.3} }}\n}}\n",
+         \"enabled_ms\": {enabled_ms:.6}, \"ratio\": {ratio:.3} }},\n  \
+         \"sampling\": {{ \"clients\": {SERVE_CLIENTS}, \
+         \"requests_per_client\": {serve_requests}, \
+         \"profiles_captured\": {captured}, \
+         \"disabled_ms\": {s_disabled_ms:.6}, \
+         \"enabled_ms\": {s_enabled_ms:.6}, \"ratio\": {s_ratio:.3} }}\n}}\n",
         tree.size()
     );
     let path = std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_obs.json".to_string());

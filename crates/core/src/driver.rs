@@ -145,10 +145,14 @@ impl DebugSession {
         let result = pq.and_then(|mut pq| self.run_loop(method, cfg, &mut pq));
         drop(root);
         // Drain this run's subtree even on error so the bounded global
-        // buffer never accumulates orphaned records.
+        // buffer never accumulates orphaned records. The tree is attached
+        // only when this run asked for it: an ambient trace (another
+        // run's sampling window, a live `EXPLAIN ANALYZE`) may have
+        // recorded our root, and attaching that would make the report's
+        // shape depend on unrelated concurrent activity.
         let profile = rain_obs::take_subtree(root_id);
         let mut report = result?;
-        report.profile = profile;
+        report.profile = cfg.profile.then_some(profile).flatten();
         Ok(report)
     }
 
@@ -171,7 +175,7 @@ impl DebugSession {
         drop(root);
         let profile = rain_obs::take_subtree(root_id);
         let mut report = result?;
-        report.profile = profile;
+        report.profile = cfg.profile.then_some(profile).flatten();
         Ok(report)
     }
 
@@ -208,9 +212,23 @@ impl DebugSession {
         let mut removed: Vec<usize> = Vec::new();
         let mut iterations = Vec::new();
         let mut failure = None;
+        // Always-on sampled profiling: 1-in-N iterations run under a
+        // scoped trace of their own and are harvested after the loop.
+        // Skipped whenever a trace is already live — a `?profile=1` run
+        // (or ambient trace) records everything, and claiming the
+        // iteration subtree here would tear that full profile apart.
+        let mut sampled: Vec<(usize, rain_obs::SpanId)> = Vec::new();
+        let mut exec_err: Option<QueryError> = None;
 
-        while removed.len() < cfg.budget {
+        'run: while removed.len() < cfg.budget {
+            let sampling = cfg.sample_every > 0
+                && !rain_obs::enabled()
+                && iterations.len() % cfg.sample_every == 0;
+            let _iter_trace = sampling.then(rain_obs::activate);
             let mut iter_span = rain_obs::Span::enter("iteration");
+            if sampling && iter_span.is_recording() {
+                sampled.push((iterations.len(), iter_span.id()));
+            }
             // (0) Train, warm-started.
             let t_train = Instant::now();
             let warm = if iterations.is_empty() {
@@ -238,24 +256,40 @@ impl DebugSession {
                 // or scan/join/… on the full path) nest under this one.
                 let _s = rain_obs::Span::enter("execute");
                 for qi in 0..pq.plans.len() {
+                    // Errors break to the post-loop harvest (instead of
+                    // `?`-returning) so sampled iteration records never
+                    // linger in the trace buffers.
                     outputs.push(if pq.prepared.is_empty() {
-                        execute(
+                        match execute(
                             &self.db,
                             model.as_ref(),
                             &pq.plans[qi],
                             ExecOptions::debug()
                                 .with_engine(cfg.engine)
                                 .with_threads(cfg.threads),
-                        )?
+                        ) {
+                            Ok(out) => out,
+                            Err(e) => {
+                                exec_err = Some(e);
+                                break 'run;
+                            }
+                        }
                     } else {
-                        let (out, rebuilt) = pq.prepared[qi].refresh_with_threaded(
+                        match pq.prepared[qi].refresh_with_threaded(
                             &self.db,
                             model.as_ref(),
                             StalePolicy::Rebuild,
                             cfg.threads,
-                        )?;
-                        skeleton_rebuilds += rebuilt as usize;
-                        out
+                        ) {
+                            Ok((out, rebuilt)) => {
+                                skeleton_rebuilds += rebuilt as usize;
+                                out
+                            }
+                            Err(e) => {
+                                exec_err = Some(e);
+                                break 'run;
+                            }
+                        }
                     });
                 }
             }
@@ -342,12 +376,30 @@ impl DebugSession {
                 break;
             }
         }
+        // Harvest the sampled iteration subtrees (in iteration order),
+        // retaining the most recent [`MAX_ITERATION_PROFILES`]. Older
+        // ones are still drained from the trace buffers — sampling must
+        // never leak records — and harvest happens even when the run
+        // failed, before the error propagates.
+        let mut iteration_profiles = Vec::new();
+        for (iteration, id) in sampled {
+            if let Some(profile) = rain_obs::take_subtree(id) {
+                iteration_profiles.push(IterationProfile { iteration, profile });
+                if iteration_profiles.len() > MAX_ITERATION_PROFILES {
+                    iteration_profiles.remove(0);
+                }
+            }
+        }
+        if let Some(e) = exec_err {
+            return Err(e);
+        }
         Ok(DebugReport {
             removed,
             iterations,
             skeleton_rebuilds,
             failure,
             profile: None,
+            iteration_profiles,
         })
     }
 }
@@ -423,6 +475,16 @@ pub struct RunConfig {
     /// code paths are inert when no trace is active, and the loop's
     /// outputs are bit-identical either way.
     pub profile: bool,
+    /// Always-on sampled profiling: every `sample_every`-th iteration
+    /// (starting with the first) runs under a scoped trace and its span
+    /// tree lands in [`DebugReport::iteration_profiles`] — so the
+    /// profile of the iteration that went wrong already exists when the
+    /// operator asks for it. `0` disables sampling; sampling also stands
+    /// down while any trace is already live ([`RunConfig::profile`] or
+    /// an ambient [`rain_obs::activate`] covers everything). Outputs are
+    /// bit-identical at every setting. Default 16 (1-in-16); the serving
+    /// layer overrides it per session.
+    pub sample_every: usize,
 }
 
 impl RunConfig {
@@ -436,6 +498,7 @@ impl RunConfig {
             engine: Engine::Vectorized,
             threads: 0,
             profile: false,
+            sample_every: 16,
         }
     }
 }
@@ -476,9 +539,26 @@ pub struct DebugReport {
     /// Span tree of the run — one `iteration` child per loop pass, each
     /// covering `train`/`execute`/`check`/`rank` (with the sql layer's
     /// operator and refresh spans nested below). `Some` only when
-    /// [`RunConfig::profile`] was on (or an ambient trace was active).
+    /// [`RunConfig::profile`] was on.
     pub profile: Option<rain_obs::TraceNode>,
+    /// Sampled per-iteration span trees ([`RunConfig::sample_every`]),
+    /// oldest evicted past [`MAX_ITERATION_PROFILES`]. Empty when
+    /// sampling was off or a full profile was being collected instead.
+    pub iteration_profiles: Vec<IterationProfile>,
 }
+
+/// One sampled iteration's span tree (see [`RunConfig::sample_every`]).
+#[derive(Debug, Clone)]
+pub struct IterationProfile {
+    /// Zero-based index of the loop pass this trace covers.
+    pub iteration: usize,
+    /// The harvested `iteration` span tree
+    /// (`train`/`execute`/`check`/`rank` children).
+    pub profile: rain_obs::TraceNode,
+}
+
+/// Most sampled iteration profiles retained per run (most recent win).
+pub const MAX_ITERATION_PROFILES: usize = 8;
 
 impl DebugReport {
     /// Recall@k curve of the removals against ground-truth corruptions.

@@ -1,16 +1,21 @@
-//! Metrics registry: counters, gauges, and fixed-bucket histograms with
-//! a Prometheus text-exposition renderer and a small parser for it.
+//! Metrics registry: counters, gauges, fixed-bucket histograms, and
+//! log-bucketed quantile sketches with a Prometheus text-exposition
+//! renderer and a small parser for it.
 //!
 //! All instruments are lock-free on the hot path — counters and
 //! histogram buckets are `AtomicU64`s, gauges and histogram sums store
 //! `f64` bits in an `AtomicU64` (the sum via a CAS loop). The
-//! [`Registry`] hands out `Arc` handles (get-or-create by name) and
-//! renders every registered instrument in the [Prometheus text
-//! exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! [`Registry`] hands out `Arc` handles (get-or-create by name, plus an
+//! optional label set so one family can carry per-endpoint series like
+//! `rain_http_request_seconds{endpoint="query"}`) and renders every
+//! registered instrument in the [Prometheus text exposition
+//! format](https://prometheus.io/docs/instrumenting/exposition_formats/):
 //! `# TYPE` comments, `_bucket{le="..."}` cumulative buckets ending at
-//! `+Inf`, `_sum` and `_count` series. [`parse_exposition`] inverts the
-//! renderer far enough for round-trip tests and scrape assertions.
+//! `+Inf`, `summary` families with `quantile` labels for sketches, and
+//! `_sum`/`_count` series. [`parse_exposition`] inverts the renderer far
+//! enough for round-trip tests and scrape assertions.
 
+use crate::sketch::{Sketch, SLO_QUANTILES};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -176,6 +181,7 @@ enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Sketch(Arc<Sketch>),
 }
 
 impl Instrument {
@@ -184,15 +190,36 @@ impl Instrument {
             Instrument::Counter(_) => "counter",
             Instrument::Gauge(_) => "gauge",
             Instrument::Histogram(_) => "histogram",
+            Instrument::Sketch(_) => "summary",
         }
     }
 }
 
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    inst: Instrument,
+}
+
 /// Named instruments with get-or-create registration and text
 /// exposition. Handles are `Arc`s: register once, update lock-free.
+/// An entry is keyed by `(name, labels)`; all entries of one name form
+/// a family and must share an instrument kind.
 #[derive(Default)]
 pub struct Registry {
-    inner: Mutex<Vec<(String, Instrument)>>,
+    inner: Mutex<Vec<Entry>>,
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
 }
 
 impl Registry {
@@ -201,82 +228,173 @@ impl Registry {
         Registry::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(String, Instrument)>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Get-or-create: find `(name, labels)`, checking the family kind, or
+    /// insert with `make`.
+    fn entry<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
+        get: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: impl FnOnce() -> (Arc<T>, Instrument),
+    ) -> Arc<T> {
+        let mut inner = self.lock();
+        for e in inner.iter() {
+            if e.name != name {
+                continue;
+            }
+            if e.inst.kind() != kind {
+                panic!("{name} already registered as {}", e.inst.kind());
+            }
+            if e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            {
+                return get(&e.inst).expect("kind checked above");
+            }
+        }
+        let (handle, inst) = make();
+        inner.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            inst,
+        });
+        handle
     }
 
     /// Get or create the counter `name`. Panics if `name` is registered
     /// as a different instrument kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut inner = self.lock();
-        if let Some((_, i)) = inner.iter().find(|(n, _)| n == name) {
-            match i {
-                Instrument::Counter(c) => return Arc::clone(c),
-                other => panic!("{name} already registered as {}", other.kind()),
-            }
-        }
-        let c = Arc::new(Counter::default());
-        inner.push((name.to_string(), Instrument::Counter(Arc::clone(&c))));
-        c
+        self.entry(
+            name,
+            &[],
+            "counter",
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::default());
+                (Arc::clone(&c), Instrument::Counter(c))
+            },
+        )
     }
 
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut inner = self.lock();
-        if let Some((_, i)) = inner.iter().find(|(n, _)| n == name) {
-            match i {
-                Instrument::Gauge(g) => return Arc::clone(g),
-                other => panic!("{name} already registered as {}", other.kind()),
-            }
-        }
-        let g = Arc::new(Gauge::default());
-        inner.push((name.to_string(), Instrument::Gauge(Arc::clone(&g))));
-        g
+        self.entry(
+            name,
+            &[],
+            "gauge",
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::default());
+                (Arc::clone(&g), Instrument::Gauge(g))
+            },
+        )
     }
 
     /// Get or create the histogram `name` over `bounds` (bounds are fixed
     /// at first registration; later calls ignore the argument).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut inner = self.lock();
-        if let Some((_, i)) = inner.iter().find(|(n, _)| n == name) {
-            match i {
-                Instrument::Histogram(h) => return Arc::clone(h),
-                other => panic!("{name} already registered as {}", other.kind()),
-            }
-        }
-        let h = Arc::new(Histogram::new(bounds));
-        inner.push((name.to_string(), Instrument::Histogram(Arc::clone(&h))));
-        h
+        self.entry(
+            name,
+            &[],
+            "histogram",
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new(bounds));
+                (Arc::clone(&h), Instrument::Histogram(h))
+            },
+        )
+    }
+
+    /// Get or create the (unlabeled) quantile sketch `name`, exposed as a
+    /// Prometheus `summary` with `quantile` labels.
+    pub fn sketch(&self, name: &str) -> Arc<Sketch> {
+        self.sketch_with(name, &[])
+    }
+
+    /// Get or create the sketch `name` carrying a fixed label set — e.g.
+    /// `sketch_with("rain_http_request_seconds", &[("endpoint", "query")])`
+    /// for per-endpoint SLO series under one family.
+    pub fn sketch_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Sketch> {
+        self.entry(
+            name,
+            labels,
+            "summary",
+            |i| match i {
+                Instrument::Sketch(s) => Some(Arc::clone(s)),
+                _ => None,
+            },
+            || {
+                let s = Arc::new(Sketch::new());
+                (Arc::clone(&s), Instrument::Sketch(s))
+            },
+        )
     }
 
     /// Render every instrument in Prometheus text exposition format,
-    /// sorted by metric name for a stable scrape.
+    /// sorted by metric name (then labels) for a stable scrape; one
+    /// `# TYPE` line per family.
     pub fn render(&self) -> String {
         let inner = self.lock();
-        let mut names: Vec<usize> = (0..inner.len()).collect();
-        names.sort_by(|&a, &b| inner[a].0.cmp(&inner[b].0));
+        let mut order: Vec<usize> = (0..inner.len()).collect();
+        order.sort_by(|&a, &b| {
+            (&inner[a].name, &inner[a].labels).cmp(&(&inner[b].name, &inner[b].labels))
+        });
         let mut out = String::new();
-        for i in names {
-            let (name, inst) = &inner[i];
-            out.push_str(&format!("# TYPE {name} {}\n", inst.kind()));
+        let mut last_family: Option<&str> = None;
+        for i in order {
+            let Entry { name, labels, inst } = &inner[i];
+            if last_family != Some(name.as_str()) {
+                out.push_str(&format!("# TYPE {name} {}\n", inst.kind()));
+                last_family = Some(name.as_str());
+            }
+            let lbl = fmt_labels(labels, None);
             match inst {
-                Instrument::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
-                Instrument::Gauge(g) => out.push_str(&format!("{name} {}\n", fmt_f64(g.get()))),
+                Instrument::Counter(c) => out.push_str(&format!("{name}{lbl} {}\n", c.get())),
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!("{name}{lbl} {}\n", fmt_f64(g.get())))
+                }
                 Instrument::Histogram(h) => {
                     let snap = h.snapshot();
                     let cum = snap.cumulative();
                     for (bound, c) in snap.bounds.iter().zip(&cum) {
-                        out.push_str(&format!(
-                            "{name}_bucket{{le=\"{}\"}} {c}\n",
-                            fmt_f64(*bound)
-                        ));
+                        let l = fmt_labels(labels, Some(("le", &fmt_f64(*bound))));
+                        out.push_str(&format!("{name}_bucket{l} {c}\n"));
                     }
+                    let l = fmt_labels(labels, Some(("le", "+Inf")));
                     out.push_str(&format!(
-                        "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                        "{name}_bucket{l} {}\n",
                         cum.last().copied().unwrap_or(0)
                     ));
-                    out.push_str(&format!("{name}_sum {}\n", fmt_f64(snap.sum)));
-                    out.push_str(&format!("{name}_count {}\n", snap.count));
+                    out.push_str(&format!("{name}_sum{lbl} {}\n", fmt_f64(snap.sum)));
+                    out.push_str(&format!("{name}_count{lbl} {}\n", snap.count));
+                }
+                Instrument::Sketch(s) => {
+                    let snap = s.snapshot();
+                    for q in SLO_QUANTILES {
+                        let l = fmt_labels(labels, Some(("quantile", &fmt_f64(q))));
+                        out.push_str(&format!("{name}{l} {}\n", fmt_f64(snap.quantile(q))));
+                    }
+                    out.push_str(&format!("{name}_sum{lbl} {}\n", fmt_f64(snap.sum)));
+                    out.push_str(&format!("{name}_count{lbl} {}\n", snap.count));
                 }
             }
         }
@@ -312,10 +430,27 @@ fn parse_f64(s: &str) -> Result<f64, String> {
 pub struct Sample {
     /// Full series name as written (`foo`, `foo_bucket`, `foo_sum`, ...).
     pub name: String,
-    /// The `le` label for histogram buckets, if present.
+    /// All labels, in written order (`le` and `quantile` included).
+    pub labels: Vec<(String, String)>,
+    /// The `le` label for histogram buckets, parsed, if present.
     pub le: Option<f64>,
     /// Sample value.
     pub value: f64,
+}
+
+impl Sample {
+    /// Value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `quantile` label of a summary sample, parsed.
+    pub fn quantile(&self) -> Option<f64> {
+        self.label("quantile").and_then(|v| parse_f64(v).ok())
+    }
 }
 
 /// One metric family: a `# TYPE` comment plus its samples.
@@ -323,25 +458,54 @@ pub struct Sample {
 pub struct Metric {
     /// Family name from the `# TYPE` line.
     pub name: String,
-    /// `counter`, `gauge`, or `histogram`.
+    /// `counter`, `gauge`, `histogram`, or `summary`.
     pub kind: String,
     /// Samples in exposition order.
     pub samples: Vec<Sample>,
 }
 
 impl Metric {
-    /// The value of the plain sample named exactly `name` (counters and
-    /// gauges) or of a suffixed series like `foo_count`.
+    /// The value of the unlabeled sample named exactly `name` (counters
+    /// and gauges) or of a suffixed series like `foo_count`.
     pub fn value_of(&self, series: &str) -> Option<f64> {
         self.samples
             .iter()
-            .find(|s| s.name == series && s.le.is_none())
+            .find(|s| s.name == series && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The value of the sample named `series` carrying every label in
+    /// `labels` (other labels, e.g. `quantile`, may also be present).
+    pub fn value_with(&self, series: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == series && labels.iter().all(|(k, v)| s.label(k) == Some(v)))
             .map(|s| s.value)
     }
 }
 
+fn parse_labels(text: &str, line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let (key, after) = rest
+            .split_once("=\"")
+            .ok_or_else(|| format!("bad label in: {line:?}"))?;
+        let (value, after) = after
+            .split_once('"')
+            .ok_or_else(|| format!("unterminated label value in: {line:?}"))?;
+        labels.push((key.to_string(), value.to_string()));
+        rest = after.strip_prefix(',').unwrap_or(after);
+        if rest == after && !rest.is_empty() {
+            return Err(format!("bad label separator in: {line:?}"));
+        }
+    }
+    Ok(labels)
+}
+
 /// Parse the subset of the Prometheus text format that [`Registry::render`]
-/// emits: `# TYPE` comments, optional single `le` label, float values.
+/// emits: `# TYPE` comments, comma-separated `key="value"` labels, float
+/// values (`le` additionally parsed as a float).
 pub fn parse_exposition(text: &str) -> Result<Vec<Metric>, String> {
     let mut metrics: Vec<Metric> = Vec::new();
     for line in text.lines() {
@@ -369,24 +533,30 @@ pub fn parse_exposition(text: &str) -> Result<Vec<Metric>, String> {
             .rsplit_once(' ')
             .ok_or_else(|| format!("bad sample line: {line:?}"))?;
         let value = parse_f64(value.trim())?;
-        let (name, le) = match series.split_once('{') {
-            None => (series.to_string(), None),
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
             Some((base, labels)) => {
                 let labels = labels
                     .strip_suffix('}')
                     .ok_or_else(|| format!("unterminated labels: {line:?}"))?;
-                let le = labels
-                    .strip_prefix("le=\"")
-                    .and_then(|v| v.strip_suffix('"'))
-                    .ok_or_else(|| format!("unsupported labels: {line:?}"))?;
-                (base.to_string(), Some(parse_f64(le)?))
+                (base.to_string(), parse_labels(labels, line)?)
             }
         };
+        let le = labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| parse_f64(v))
+            .transpose()?;
         let fam = metrics
             .last_mut()
             .filter(|m| name.starts_with(m.name.as_str()))
             .ok_or_else(|| format!("sample {name:?} outside its TYPE block"))?;
-        fam.samples.push(Sample { name, le, value });
+        fam.samples.push(Sample {
+            name,
+            labels,
+            le,
+            value,
+        });
     }
     Ok(metrics)
 }
@@ -506,6 +676,64 @@ mod tests {
         h1.observe(0.5);
         assert_eq!(h2.snapshot().bounds, vec![1.0]);
         assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn sketch_summaries_round_trip_with_labels() {
+        let reg = Registry::new();
+        let q = reg.sketch_with("rain_http_request_seconds", &[("endpoint", "query")]);
+        let d = reg.sketch_with("rain_http_request_seconds", &[("endpoint", "debug_run")]);
+        for _ in 0..100 {
+            q.observe(0.002);
+        }
+        q.observe(1.0);
+        d.observe(0.5);
+        let text = reg.render();
+        let metrics = parse_exposition(&text).expect("valid exposition");
+        let fam = metrics
+            .iter()
+            .find(|m| m.name == "rain_http_request_seconds")
+            .unwrap();
+        assert_eq!(fam.kind, "summary");
+        // One # TYPE line for the whole family.
+        assert_eq!(text.matches("# TYPE rain_http_request_seconds").count(), 1);
+        assert_eq!(
+            fam.value_with("rain_http_request_seconds_count", &[("endpoint", "query")]),
+            Some(101.0)
+        );
+        assert_eq!(
+            fam.value_with(
+                "rain_http_request_seconds_count",
+                &[("endpoint", "debug_run")]
+            ),
+            Some(1.0)
+        );
+        let p50 = fam
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "rain_http_request_seconds"
+                    && s.label("endpoint") == Some("query")
+                    && s.quantile() == Some(0.5)
+            })
+            .expect("p50 sample");
+        assert!(
+            (p50.value - 0.002).abs() / 0.002 < 0.05,
+            "p50={}",
+            p50.value
+        );
+        let p999 = fam
+            .value_with(
+                "rain_http_request_seconds",
+                &[("endpoint", "query"), ("quantile", "0.999")],
+            )
+            .expect("p999 sample");
+        assert!((p999 - 1.0).abs() < 0.05, "p999={p999}");
+        // Same-name different-kind registration still panics.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.counter("rain_http_request_seconds")
+        }));
+        assert!(r.is_err());
     }
 
     #[test]

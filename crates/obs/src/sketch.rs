@@ -1,0 +1,288 @@
+//! HDR-style log-bucketed latency sketch with accurate tail quantiles.
+//!
+//! A [`Sketch`] replaces a fixed-bucket histogram where the question is
+//! "what is p99?" rather than "how many requests were faster than 10ms?".
+//! Buckets grow geometrically by [`SKETCH_GAMMA`] from [`SKETCH_MIN`]
+//! seconds, which bounds the *relative* error of every quantile estimate
+//! by `(γ-1)/(γ+1)` (≈2% at γ=1.04) uniformly from p50 to p999 — a
+//! fixed-bucket histogram is exact only at its hand-picked boundaries
+//! and unboundedly wrong between them.
+//!
+//! The hot path is identical in cost to the fixed-bucket histogram:
+//! one `ln` to pick the bucket, one relaxed `fetch_add`, one CAS-looped
+//! sum update. Sketches with the same constants (all of them — the
+//! layout is fixed at compile time) merge bucketwise, so per-shard or
+//! per-endpoint sketches fold into totals exactly: `merge(a, b)` yields
+//! the same quantiles as observing the concatenated stream.
+//!
+//! [`SketchSnapshot`] is the plain-data view used for rendering (the
+//! registry exposes sketches as Prometheus `summary` families with
+//! `quantile` labels) and for merging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest distinguishable value, in seconds (1µs); everything at or
+/// below lands in bucket 0.
+pub const SKETCH_MIN: f64 = 1e-6;
+
+/// Geometric bucket growth factor. Relative quantile error is bounded by
+/// `(γ-1)/(γ+1)` ≈ 1.96%.
+pub const SKETCH_GAMMA: f64 = 1.04;
+
+/// Worst-case relative error of a quantile estimate.
+pub const SKETCH_REL_ERROR: f64 = (SKETCH_GAMMA - 1.0) / (SKETCH_GAMMA + 1.0);
+
+/// Bucket count: covers [`SKETCH_MIN`] up to ~4.5 hours (`1e-6 ·
+/// 1.04^599`); the last bucket catches overflow.
+pub const SKETCH_BUCKETS: usize = 600;
+
+/// Default quantiles exposed on `/metrics` and `/stats`.
+pub const SLO_QUANTILES: [f64; 4] = [0.5, 0.95, 0.99, 0.999];
+
+#[inline]
+fn ln_gamma() -> f64 {
+    // Not a const fn in std; cheap enough to recompute (one ln).
+    SKETCH_GAMMA.ln()
+}
+
+/// Bucket index for a value: 0 for `v <= SKETCH_MIN`, else
+/// `⌊ln(v/MIN)/ln γ⌋ + 1`, clamped into the overflow bucket.
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= SKETCH_MIN {
+        // NaN and negatives also land here rather than poisoning state.
+        return 0;
+    }
+    let i = ((v / SKETCH_MIN).ln() / ln_gamma()).floor() as usize + 1;
+    i.min(SKETCH_BUCKETS - 1)
+}
+
+/// Representative value reported for bucket `i` — the point minimizing
+/// worst-case relative error within the bucket (`2γ^i/(γ+1) · MIN`).
+#[inline]
+fn bucket_value(i: usize) -> f64 {
+    if i == 0 {
+        return SKETCH_MIN;
+    }
+    SKETCH_MIN * SKETCH_GAMMA.powi(i as i32) * 2.0 / (SKETCH_GAMMA + 1.0)
+}
+
+/// Concurrent log-bucketed quantile sketch. All updates are lock-free.
+#[derive(Debug)]
+pub struct Sketch {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for Sketch {
+    fn default() -> Sketch {
+        Sketch::new()
+    }
+}
+
+impl Sketch {
+    /// Empty sketch.
+    pub fn new() -> Sketch {
+        Sketch {
+            buckets: (0..SKETCH_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation (seconds).
+    pub fn observe(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`), within
+    /// [`SKETCH_REL_ERROR`] relative error; `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Point-in-time copy; a scrape racing `observe` may be off by the
+    /// in-flight observations, never corrupted.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Sketch`]; mergeable (the bucket layout is the
+/// same for every sketch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSnapshot {
+    /// Per-bucket counts, [`SKETCH_BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl SketchSnapshot {
+    /// Fold `other` into `self`. Quantiles of the merge equal quantiles
+    /// of the concatenated observation stream.
+    pub fn merge(&mut self, other: &SketchSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Estimated `q`-quantile; `NaN` when the sketch is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_value(i);
+            }
+        }
+        bucket_value(SKETCH_BUCKETS - 1)
+    }
+
+    /// Mean of all observations; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        self.sum / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(est: f64, truth: f64, tol: f64) -> bool {
+        (est - truth).abs() <= tol * truth.abs()
+    }
+
+    // A hair above the theoretical bound to absorb float rounding in the
+    // bucket-index ln.
+    const TOL: f64 = SKETCH_REL_ERROR * 1.1;
+
+    #[test]
+    fn quantiles_of_a_uniform_stream_hit_the_error_bound() {
+        let s = Sketch::new();
+        let n = 100_000;
+        for i in 1..=n {
+            // Uniform 1µs .. 100ms.
+            s.observe(i as f64 * 1e-7);
+        }
+        for q in SLO_QUANTILES {
+            let truth = q * n as f64 * 1e-7;
+            let est = s.quantile(q);
+            assert!(
+                close(est, truth, TOL),
+                "q={q}: est={est} truth={truth} rel={}",
+                (est - truth).abs() / truth
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_heavy_tail_stay_accurate_at_p999() {
+        // 99.9% fast (1ms), 0.1% slow (2s): p99 must report the fast
+        // mode, p999 the slow one — exactly what fixed buckets blur.
+        let s = Sketch::new();
+        for i in 0..100_000u32 {
+            s.observe(if i % 1000 == 999 { 2.0 } else { 0.001 });
+        }
+        assert!(close(s.quantile(0.5), 0.001, TOL));
+        assert!(close(s.quantile(0.99), 0.001, TOL));
+        assert!(close(s.quantile(0.9995), 2.0, TOL));
+    }
+
+    #[test]
+    fn merge_equals_the_concatenated_stream() {
+        let a = Sketch::new();
+        let b = Sketch::new();
+        let all = Sketch::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..50_000u64 {
+            // Cheap xorshift for a spread of magnitudes.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 1e-6 * (1.0 + (x % 1_000_000) as f64);
+            (if i % 2 == 0 { &a } else { &b }).observe(v);
+            all.observe(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, all.count());
+        assert!((merged.sum - all.snapshot().sum).abs() < 1e-6 * merged.sum.abs());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 0.999] {
+            // Identical bucket counts → bit-identical quantiles.
+            assert_eq!(merged.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn edge_cases_do_not_poison_the_sketch() {
+        let s = Sketch::new();
+        s.observe(0.0);
+        s.observe(-1.0);
+        s.observe(f64::NAN);
+        s.observe(1e9); // overflow bucket
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.quantile(0.25), SKETCH_MIN);
+        assert!(s.quantile(1.0) >= bucket_value(SKETCH_BUCKETS - 1));
+        assert!(Sketch::new().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn concurrent_observes_are_not_lost() {
+        let s = std::sync::Arc::new(Sketch::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.observe(0.25);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert!((snap.sum - 2000.0).abs() < 1e-6);
+        assert!(close(snap.quantile(0.5), 0.25, TOL));
+    }
+}

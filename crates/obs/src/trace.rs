@@ -1,14 +1,32 @@
-//! Lightweight spans with near-zero disabled cost.
+//! Lightweight spans with near-zero disabled cost and sharded collection.
 //!
 //! A [`Span`] is an RAII guard around a region of work: [`Span::enter`]
 //! stamps a monotonic start time ([`Instant`]), `Drop` records the
-//! duration plus any counters attached with [`Span::add`] into a global,
-//! thread-safe collector. Recording is gated by one global switch read
+//! duration plus any counters attached with [`Span::add`] into a
+//! **per-thread shard**. Recording is gated by one global switch read
 //! with a single `Relaxed` atomic load — when tracing is off, `enter`
 //! costs a load and a branch and allocates nothing, so instrumentation
 //! can stay compiled into every hot path (the `benches/obs.rs` gate holds
 //! the *enabled* overhead under 5% on the DBLP join; disabled overhead is
 //! not measurable).
+//!
+//! ## Sharded collection
+//!
+//! Each recording thread owns a shard (a small mutexed `Vec` it alone
+//! writes) registered once in a global shard list. Concurrent cached
+//! queries and morsel workers therefore never contend on a shared lock:
+//! a span drop locks only its own thread's shard. Harvesting
+//! ([`take_subtree`]) locks the shard list plus every shard, stitches
+//! the claimed records into one tree, and removes exactly those records
+//! — records belonging to other in-flight traces stay where they are.
+//! Shards of exited threads are drained and pruned on the next harvest,
+//! so short-lived worker threads don't leak. The total buffered record
+//! count is bounded across all shards ([`MAX_RECORDS`]); records past
+//! the cap are dropped (counted, never blocking).
+//!
+//! Stitching is deterministic: children sort by `(start_ns, span id)`,
+//! not by buffer arrival order, so a harvested tree is stable no matter
+//! which worker thread flushed first.
 //!
 //! Parentage is tracked per thread: `enter` nests under the innermost
 //! live span on the calling thread. Worker threads (morsel scans, refresh
@@ -16,35 +34,41 @@
 //! explicitly with [`Span::enter_under`], passing the parent's
 //! [`Span::id`] into the closure. Multiple concurrent traces coexist:
 //! each consumer wraps its work in a root span and harvests exactly that
-//! subtree with [`take_subtree`], which drains the records it claims and
-//! leaves the rest. The buffer is bounded ([`MAX_RECORDS`]); records past
-//! the cap are dropped (counted, never blocking).
+//! subtree with [`take_subtree`].
 //!
 //! Enablement composes: [`set_enabled`] flips a process-wide switch (used
 //! by benches), while [`activate`] returns a guard for scoped enablement
-//! (used by `?profile=1` runs and `EXPLAIN ANALYZE`) — tracing records
-//! whenever either is on.
+//! (used by `?profile=1` runs, sampled serve-layer profiles, and
+//! `EXPLAIN ANALYZE`) — tracing records whenever either is on.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Identifier of a recorded span; `0` means "no span" (disabled or root).
 pub type SpanId = u64;
 
-/// Cap on buffered span records; pushes past it are dropped (counted by
-/// [`dropped_records`]) so an unharvested trace can never grow unbounded.
+/// Cap on buffered span records, summed across all shards; pushes past it
+/// are dropped (counted by [`dropped_records`]) so an unharvested trace
+/// can never grow unbounded.
 pub const MAX_RECORDS: usize = 1 << 16;
 
 static FORCED: AtomicBool = AtomicBool::new(false);
 static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Records currently buffered across every shard (the [`MAX_RECORDS`]
+/// budget). Reserved with a `fetch_add` before the shard push so the cap
+/// holds without any cross-shard lock.
+static BUFFERED: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+    /// This thread's shard; lazily created and registered on first record,
+    /// dropped (leaving the registry's Arc as sole owner) at thread exit.
+    static LOCAL: RefCell<Option<Arc<Shard>>> = const { RefCell::new(None) };
 }
 
 /// Process-wide monotonic epoch; span start times are offsets from it.
@@ -63,13 +87,36 @@ struct Rec {
     counters: Vec<(&'static str, u64)>,
 }
 
-fn collector() -> &'static Mutex<Vec<Rec>> {
-    static C: OnceLock<Mutex<Vec<Rec>>> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(Vec::new()))
+/// One thread's record buffer. Only its owner thread pushes; harvesters
+/// lock it to drain, so writer contention is zero in steady state.
+#[derive(Debug, Default)]
+struct Shard {
+    recs: Mutex<Vec<Rec>>,
 }
 
-fn lock_collector() -> std::sync::MutexGuard<'static, Vec<Rec>> {
-    collector().lock().unwrap_or_else(|p| p.into_inner())
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// All live (and recently-exited, not-yet-pruned) shards. Writers touch
+/// this once per thread lifetime, at registration.
+fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static R: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// This thread's shard, creating and registering it on first use.
+fn local_shard() -> Arc<Shard> {
+    LOCAL.with(|l| {
+        let mut slot = l.borrow_mut();
+        if let Some(s) = slot.as_ref() {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(Shard::default());
+        lock(registry()).push(Arc::clone(&s));
+        *slot = Some(Arc::clone(&s));
+        s
+    })
 }
 
 /// Force tracing on or off process-wide (benches, tests). Scoped
@@ -100,14 +147,29 @@ impl Drop for ActiveTrace {
     }
 }
 
-/// Records dropped because the buffer was at [`MAX_RECORDS`].
+/// Records dropped because the buffers were at [`MAX_RECORDS`].
 pub fn dropped_records() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
+/// Records currently buffered and unharvested, across all shards.
+pub fn buffered_records() -> usize {
+    BUFFERED.load(Ordering::Relaxed)
+}
+
 /// Drop every buffered record (tests and bench isolation).
 pub fn clear() {
-    lock_collector().clear();
+    let mut reg = lock(registry());
+    let mut cleared = 0usize;
+    for shard in reg.iter() {
+        let mut recs = lock(&shard.recs);
+        cleared += recs.len();
+        recs.clear();
+    }
+    // Prune shards whose owning thread has exited (the registry holds the
+    // only reference once the thread-local Arc dropped).
+    reg.retain(|s| Arc::strong_count(s) > 1);
+    BUFFERED.fetch_sub(cleared, Ordering::Relaxed);
     DROPPED.store(0, Ordering::Relaxed);
 }
 
@@ -203,12 +265,15 @@ impl Drop for Span {
                 st.remove(pos);
             }
         });
-        let mut buf = lock_collector();
-        if buf.len() >= MAX_RECORDS {
+        // Reserve budget before touching the shard; undo on overflow so
+        // the global cap holds without a cross-shard lock.
+        if BUFFERED.fetch_add(1, Ordering::Relaxed) >= MAX_RECORDS {
+            BUFFERED.fetch_sub(1, Ordering::Relaxed);
             DROPPED.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        buf.push(Rec {
+        let shard = local_shard();
+        lock(&shard.recs).push(Rec {
             id: self.id,
             parent: self.parent,
             name: self.name,
@@ -231,7 +296,8 @@ pub struct TraceNode {
     pub dur_ns: u64,
     /// Counters attached with [`Span::add`], in attach order.
     pub counters: Vec<(&'static str, u64)>,
-    /// Child spans in start order.
+    /// Child spans, ordered by `(start_ns, span id)` — deterministic even
+    /// when concurrent workers flushed to different shards in any order.
     pub children: Vec<TraceNode>,
 }
 
@@ -251,71 +317,99 @@ impl TraceNode {
 }
 
 /// Harvest the subtree rooted at `root` (a [`Span::id`] whose span has
-/// already dropped): claimed records are removed from the buffer, records
-/// belonging to other traces stay. Returns `None` when `root` is `0` or
-/// was never recorded (tracing disabled, or the buffer cap dropped it).
+/// already dropped): claimed records are removed from the shards they
+/// landed in, records belonging to other traces stay. Returns `None`
+/// when `root` is `0` or was never recorded (tracing disabled, or the
+/// buffer cap dropped it).
+///
+/// Concurrent harvesters serialize on the shard list; each claims a
+/// disjoint subtree, so two drains never lose or duplicate a record.
 pub fn take_subtree(root: SpanId) -> Option<TraceNode> {
     if root == 0 {
         return None;
     }
-    let mut buf = lock_collector();
-    let root_idx = buf.iter().position(|r| r.id == root)?;
-    // Children complete (and record) before their parent, so parent links
-    // always resolve within the buffer once the root has dropped.
-    let mut kids: HashMap<SpanId, Vec<usize>> = HashMap::new();
-    for (i, r) in buf.iter().enumerate() {
-        kids.entry(r.parent).or_default().push(i);
-    }
-    let mut claimed: Vec<usize> = vec![root_idx];
-    let mut frontier = vec![root];
-    while let Some(id) = frontier.pop() {
-        for &i in kids.get(&id).into_iter().flatten() {
-            claimed.push(i);
-            frontier.push(buf[i].id);
+    let mut reg = lock(registry());
+    // Hold every shard lock for the whole claim so the view is consistent
+    // (children complete — and record — before their parent, so once the
+    // root is visible the full subtree is too).
+    let mut guards: Vec<MutexGuard<'_, Vec<Rec>>> = reg.iter().map(|s| lock(&s.recs)).collect();
+    let root_pos = guards
+        .iter()
+        .enumerate()
+        .find_map(|(si, g)| g.iter().position(|r| r.id == root).map(|ri| (si, ri)))?;
+    let mut kids: HashMap<SpanId, Vec<(usize, usize)>> = HashMap::new();
+    for (si, g) in guards.iter().enumerate() {
+        for (ri, r) in g.iter().enumerate() {
+            kids.entry(r.parent).or_default().push((si, ri));
         }
     }
-    let mut keep_mask = vec![true; buf.len()];
-    for &i in &claimed {
-        keep_mask[i] = false;
+    let mut claimed: Vec<(usize, usize)> = vec![root_pos];
+    let mut frontier = vec![root];
+    while let Some(id) = frontier.pop() {
+        for &(si, ri) in kids.get(&id).into_iter().flatten() {
+            claimed.push((si, ri));
+            frontier.push(guards[si][ri].id);
+        }
     }
-    let taken: Vec<Rec> = claimed.iter().map(|&i| buf[i].clone()).collect();
-    let mut idx = 0;
-    buf.retain(|_| {
-        let keep = keep_mask[idx];
-        idx += 1;
-        keep
-    });
-    drop(buf);
+    let taken: Vec<Rec> = claimed
+        .iter()
+        .map(|&(si, ri)| guards[si][ri].clone())
+        .collect();
+    // Remove the claimed records shard by shard (position masks — indices
+    // stay valid because nothing else can mutate under our guards).
+    let mut masks: Vec<Vec<bool>> = guards.iter().map(|g| vec![true; g.len()]).collect();
+    for &(si, ri) in &claimed {
+        masks[si][ri] = false;
+    }
+    for (g, mask) in guards.iter_mut().zip(&masks) {
+        let mut idx = 0;
+        g.retain(|_| {
+            let keep = mask[idx];
+            idx += 1;
+            keep
+        });
+    }
+    BUFFERED.fetch_sub(taken.len(), Ordering::Relaxed);
+    drop(guards);
+    // Prune shards of exited threads once drained: the registry's Arc is
+    // the only reference left and the shard is empty.
+    reg.retain(|s| Arc::strong_count(s) > 1 || !lock(&s.recs).is_empty());
+    drop(reg);
 
+    Some(build_tree(taken))
+}
+
+/// Stitch a flat claimed record set into a tree. Children are ordered by
+/// `(start_ns, id)`: start-tick first, span id as the tie-break, so the
+/// result is independent of which shard (thread) flushed first.
+fn build_tree(taken: Vec<Rec>) -> TraceNode {
     let root_start = taken[0].start_ns;
     let mut children: HashMap<SpanId, Vec<&Rec>> = HashMap::new();
     for r in taken.iter().skip(1) {
         children.entry(r.parent).or_default().push(r);
     }
     fn build(r: &Rec, root_start: u64, children: &HashMap<SpanId, Vec<&Rec>>) -> TraceNode {
-        let mut kids: Vec<TraceNode> = children
-            .get(&r.id)
-            .into_iter()
-            .flatten()
-            .map(|c| build(c, root_start, children))
-            .collect();
-        kids.sort_by_key(|c| c.start_ns);
+        let mut kids: Vec<&Rec> = children.get(&r.id).into_iter().flatten().copied().collect();
+        kids.sort_by_key(|c| (c.start_ns, c.id));
         TraceNode {
             name: r.name,
             start_ns: r.start_ns.saturating_sub(root_start),
             dur_ns: r.dur_ns,
             counters: r.counters.clone(),
-            children: kids,
+            children: kids
+                .into_iter()
+                .map(|c| build(c, root_start, children))
+                .collect(),
         }
     }
-    Some(build(&taken[0], root_start, &children))
+    build(&taken[0], root_start, &children)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Trace tests share the global collector; run under one lock so
+    // Trace tests share the global shard registry; run under one lock so
     // parallel test threads don't interleave spans.
     fn serial() -> std::sync::MutexGuard<'static, ()> {
         static L: Mutex<()> = Mutex::new(());
@@ -365,6 +459,7 @@ mod tests {
         assert!(tree.dur_ns >= a.dur_ns);
         // The subtree was drained: a second take finds nothing.
         assert!(take_subtree(root_id).is_none());
+        assert_eq!(buffered_records(), 0);
     }
 
     #[test]
@@ -411,5 +506,99 @@ mod tests {
         assert!(ta.find("child-b").is_none());
         let tb = take_subtree(r2).unwrap();
         assert_eq!(tb.find("child-b").unwrap().name, "child-b");
+    }
+
+    #[test]
+    fn worker_threads_record_into_their_own_shards() {
+        let _g = serial();
+        clear();
+        let t = activate();
+        let root = Span::enter("root");
+        let rid = root.id();
+        let shards_before = lock(registry()).len();
+        // Plain spawn + join (join waits for full thread exit, so the
+        // workers' thread-local shard handles have been dropped too).
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let _m = Span::enter_under(rid, "w");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Each worker registered its own shard.
+        assert!(lock(registry()).len() >= shards_before + 4);
+        drop(root);
+        drop(t);
+        let tree = take_subtree(rid).unwrap();
+        assert_eq!(tree.children.len(), 4);
+        // The workers exited and their shards drained: harvest pruned them.
+        assert!(lock(registry()).len() <= shards_before + 1);
+    }
+
+    #[test]
+    fn stitching_orders_children_by_start_then_id_across_shards() {
+        let _g = serial();
+        clear();
+        let t = activate();
+        let root = Span::enter("root");
+        let rid = root.id();
+        // Sequential worker threads: each lands in a different shard, and
+        // arrival order at the registry differs from start order only if
+        // stitching were arrival-dependent — spans here strictly increase
+        // in both start tick and id, so the harvested order must match
+        // spawn order regardless of shard layout.
+        for i in 0..6u64 {
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let mut m = Span::enter_under(rid, "step");
+                    m.add("i", i);
+                });
+            });
+        }
+        drop(root);
+        drop(t);
+        let tree = take_subtree(rid).unwrap();
+        let order: Vec<u64> = tree
+            .children
+            .iter()
+            .map(|c| c.counters.iter().find(|(k, _)| *k == "i").unwrap().1)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+        assert!(tree
+            .children
+            .windows(2)
+            .all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn buffer_cap_holds_across_shards() {
+        let _g = serial();
+        clear();
+        let t = activate();
+        // Record the root up front so the flood below can't evict it.
+        let root = Span::enter("cap-root");
+        let rid = root.id();
+        drop(root);
+        let n_threads = 4;
+        let per_thread = MAX_RECORDS / n_threads + 64;
+        std::thread::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        let _x = Span::enter_under(rid, "x");
+                    }
+                });
+            }
+        });
+        drop(t);
+        assert!(buffered_records() <= MAX_RECORDS);
+        assert!(dropped_records() > 0);
+        let tree = take_subtree(rid).expect("root survived the cap");
+        assert!(tree.size() <= MAX_RECORDS);
+        clear();
+        assert_eq!(buffered_records(), 0);
     }
 }

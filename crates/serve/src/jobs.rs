@@ -15,10 +15,11 @@
 //! panics are caught and surface as failed jobs, never dead workers.
 
 use crate::pool::SessionSlot;
+use crate::profiles::ProfileRing;
 use crate::protocol::ApiError;
 use rain_core::driver::{DebugReport, RunConfig};
 use rain_core::rank::Method;
-use rain_obs::Histogram;
+use rain_obs::Sketch;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -108,7 +109,10 @@ struct Inner {
     failed: AtomicUsize,
     /// Observes queue residence time (enqueue → dequeue) when the server
     /// wires its metrics registry in.
-    queue_wait: Option<Arc<Histogram>>,
+    queue_wait: Option<Arc<Sketch>>,
+    /// Sampled iteration profiles of finished runs land here when the
+    /// server wires its profile ring in (see [`crate::profiles`]).
+    profiles: Option<Arc<ProfileRing>>,
 }
 
 /// Most recent settled (done/failed) jobs kept pollable; older ones are
@@ -157,12 +161,17 @@ pub struct JobRunner {
 impl JobRunner {
     /// Spawn `n_workers` worker threads (at least one).
     pub fn new(n_workers: usize) -> Self {
-        JobRunner::with_queue_wait(n_workers, None)
+        JobRunner::with_observability(n_workers, None, None)
     }
 
-    /// [`JobRunner::new`] with a histogram observing how long jobs sit
-    /// queued before a worker picks them up.
-    pub fn with_queue_wait(n_workers: usize, queue_wait: Option<Arc<Histogram>>) -> Self {
+    /// [`JobRunner::new`] with a latency sketch observing how long jobs
+    /// sit queued before a worker picks them up, and a profile ring
+    /// receiving the sampled iteration traces of finished runs.
+    pub fn with_observability(
+        n_workers: usize,
+        queue_wait: Option<Arc<Sketch>>,
+        profiles: Option<Arc<ProfileRing>>,
+    ) -> Self {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
@@ -174,6 +183,7 @@ impl JobRunner {
             done: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
             queue_wait,
+            profiles,
         });
         let workers = (0..n_workers.max(1))
             .map(|wi| {
@@ -284,6 +294,20 @@ fn worker_loop(inner: &Inner) {
 
         match outcome {
             Ok(Ok(report)) => {
+                if let Some(ring) = &inner.profiles {
+                    let slow_s = job.slot.slow_threshold_s();
+                    for ip in &report.iteration_profiles {
+                        let latency_s = ip.profile.dur_ns as f64 / 1e9;
+                        ring.push(
+                            "iteration",
+                            &job.slot.name,
+                            format!("{:?} iteration={}", job.method, ip.iteration),
+                            latency_s,
+                            Some(ip.profile.clone()),
+                            latency_s >= slow_s,
+                        );
+                    }
+                }
                 inner.done.fetch_add(1, Ordering::Relaxed);
                 inner.set_state(job.id, JobState::Done(report));
             }
@@ -323,14 +347,14 @@ mod tests {
     }
 
     #[test]
-    fn queue_wait_histogram_observes_each_dequeued_job() {
+    fn queue_wait_sketch_observes_each_dequeued_job() {
         use rain_model::LogisticRegression;
-        let hist = Arc::new(Histogram::new(&rain_obs::LATENCY_BUCKETS_S));
+        let hist = Arc::new(Sketch::new());
         let pool = crate::pool::SessionPool::new();
         let slot = pool
             .create("s", Box::new(LogisticRegression::new(2, 0.01)))
             .unwrap();
-        let runner = JobRunner::with_queue_wait(1, Some(Arc::clone(&hist)));
+        let runner = JobRunner::with_observability(1, Some(Arc::clone(&hist)), None);
         for _ in 0..3 {
             runner.submit(Arc::clone(&slot), Method::Loss, RunConfig::paper(4));
         }

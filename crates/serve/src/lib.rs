@@ -34,10 +34,14 @@
 //!   the accept path, with job-id polling for status and reports.
 //! - **Wire protocol** ([`server`] routes, [`protocol`] shapes,
 //!   [`json`] codec, [`http`] framing) and a blocking [`client`].
-//! - **Observability** — `GET /metrics` exports a [`rain_obs`] metrics
-//!   registry (request latency, queue/lock waits, cache and job
-//!   counters) in Prometheus text exposition format; `?profile=1`
-//!   debug runs and `"analyze": true` queries return span trees (see
+//! - **Observability** — always on. `GET /metrics` exports a
+//!   [`rain_obs`] metrics registry (per-endpoint request-latency
+//!   quantile summaries, queue/lock waits, cache and job counters) in
+//!   Prometheus text exposition format; the serve layer traces 1-in-N
+//!   queries and debug-run iterations per session into a bounded
+//!   [`profiles::ProfileRing`] served at `GET /debug/profiles`, with
+//!   slow requests force-captured; `?profile=1` debug runs and
+//!   `"analyze": true` queries still return span trees inline (see
 //!   [`server`] and [`protocol`]).
 //!
 //! ## Example
@@ -73,6 +77,7 @@ pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod pool;
+pub mod profiles;
 pub mod protocol;
 pub mod server;
 
@@ -80,5 +85,6 @@ pub use client::{Client, ClientError};
 pub use jobs::{JobInfo, JobRunner, JobState, JobStats};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use pool::{SessionPool, SessionSlot, SessionState};
+pub use profiles::{ProfileEntry, ProfileRing};
 pub use protocol::ApiError;
 pub use server::{start, ServerConfig, ServerHandle, ServerState};

@@ -20,12 +20,20 @@ use crate::protocol::ApiError;
 use rain_core::driver::{DebugReport, DebugSession, PreparedQueries, RunConfig};
 use rain_core::rank::Method;
 use rain_model::{Classifier, Dataset};
-use rain_obs::Histogram;
+use rain_obs::Sketch;
 use rain_sql::{CacheStats, Database, ExecOptions, QueryCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
+
+/// Default query/iteration sampling period: 1-in-16 (see
+/// [`SessionSlot::should_sample`]). Always-on by default; `0` disables.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 16;
+/// Default slow-capture threshold in milliseconds: queries slower than
+/// this are force-captured into the slow-profile ring even when the
+/// sampler skipped them.
+pub const DEFAULT_SLOW_MS: u64 = 500;
 
 /// Everything a session's mutex guards.
 pub struct SessionState {
@@ -51,7 +59,7 @@ pub struct SessionSlot {
     state: Mutex<SessionState>,
     /// Observes how long callers block acquiring the session mutex, when
     /// the server wires its metrics registry in.
-    lock_wait: Option<Arc<Histogram>>,
+    lock_wait: Option<Arc<Sketch>>,
     /// Monotonic mutation counter (see the module docs).
     generation: AtomicU64,
     /// Lock-free mirror of the cache counters, refreshed after each
@@ -59,6 +67,13 @@ pub struct SessionSlot {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_invalidations: AtomicU64,
+    /// Sampling period for always-on profiling: every Nth query (and
+    /// debug-run iteration) is traced into the profile ring. `0` = off.
+    sample_every: AtomicU64,
+    /// Slow-capture threshold in milliseconds (force-capture latency).
+    slow_ms: AtomicU64,
+    /// Queries seen so far — drives the 1-in-N sampling decision.
+    query_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for SessionSlot {
@@ -75,7 +90,7 @@ impl SessionSlot {
         name: String,
         model: Box<dyn Classifier>,
         opts: ExecOptions,
-        lock_wait: Option<Arc<Histogram>>,
+        lock_wait: Option<Arc<Sketch>>,
     ) -> Self {
         let dim = model.dim();
         let sess = DebugSession::new(
@@ -103,7 +118,44 @@ impl SessionSlot {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_invalidations: AtomicU64::new(0),
+            sample_every: AtomicU64::new(DEFAULT_SAMPLE_EVERY),
+            slow_ms: AtomicU64::new(DEFAULT_SLOW_MS),
+            query_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Configure always-on profiling for this session: trace 1-in-`every`
+    /// queries/iterations (`0` disables sampling) and force-capture
+    /// anything slower than `slow_ms` milliseconds.
+    pub fn set_sampling(&self, every: u64, slow_ms: u64) {
+        self.sample_every.store(every, Ordering::Relaxed);
+        self.slow_ms.store(slow_ms, Ordering::Relaxed);
+    }
+
+    /// The session's sampling period (`0` = sampling off).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// The session's slow-capture threshold, in milliseconds.
+    pub fn slow_ms(&self) -> u64 {
+        self.slow_ms.load(Ordering::Relaxed)
+    }
+
+    /// The session's slow-capture threshold, in seconds.
+    pub fn slow_threshold_s(&self) -> f64 {
+        self.slow_ms.load(Ordering::Relaxed) as f64 / 1e3
+    }
+
+    /// Sampling decision for the next query: true on the first query and
+    /// every `sample_every`-th after it.
+    pub fn should_sample(&self) -> bool {
+        let every = self.sample_every.load(Ordering::Relaxed);
+        every > 0
+            && self
+                .query_seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(every)
     }
 
     /// Lock the session's state. Survives a poisoned mutex (a panicking
@@ -280,7 +332,14 @@ impl SessionSlot {
 pub struct SessionPool {
     slots: RwLock<HashMap<String, Arc<SessionSlot>>>,
     /// Handed to every created slot; see [`SessionSlot::lock`].
-    lock_wait: Option<Arc<Histogram>>,
+    lock_wait: Option<Arc<Sketch>>,
+    /// Cache counters of removed sessions, folded in by
+    /// [`SessionPool::remove`] so pool-wide totals
+    /// ([`SessionPool::cache_totals`]) stay monotonic across session
+    /// churn. Locked *before* the slot map on both the fold and the
+    /// total paths — that ordering is what makes a concurrent scrape see
+    /// either the live slot or its retired counters, never neither.
+    retired: Mutex<CacheStats>,
 }
 
 /// Valid session names: path-segment safe.
@@ -300,11 +359,12 @@ impl SessionPool {
 
     /// Empty pool whose sessions observe mutex acquisition time into
     /// `lock_wait` (the server wires its
-    /// `rain_session_lock_wait_seconds` histogram here).
-    pub fn with_lock_wait(lock_wait: Arc<Histogram>) -> Self {
+    /// `rain_session_lock_wait_seconds` sketch here).
+    pub fn with_lock_wait(lock_wait: Arc<Sketch>) -> Self {
         SessionPool {
             slots: RwLock::default(),
             lock_wait: Some(lock_wait),
+            retired: Mutex::default(),
         }
     }
 
@@ -360,13 +420,48 @@ impl SessionPool {
 
     /// Drop a session. In-flight requests holding the slot's `Arc` finish
     /// against the detached state. 404 when missing.
+    ///
+    /// The slot's final cache counters fold into the pool's retired
+    /// totals under the `retired` lock *before* the slot leaves the map,
+    /// so [`SessionPool::cache_totals`] (and with it `GET /metrics`)
+    /// never regresses across a removal. Counter movement a detached
+    /// in-flight request publishes after this point is not totaled —
+    /// invisible growth, never a decrease.
     pub fn remove(&self, name: &str) -> Result<(), ApiError> {
-        self.slots
+        let mut retired = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = self
+            .slots
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| ApiError::not_found(format!("no session '{name}'")))
+            .ok_or_else(|| ApiError::not_found(format!("no session '{name}'")))?;
+        let s = slot.cache_stats_snapshot();
+        retired.hits += s.hits;
+        retired.misses += s.misses;
+        retired.invalidations += s.invalidations;
+        Ok(())
+    }
+
+    /// Pool-wide cache totals: retired sessions plus every live slot's
+    /// snapshot, read under the `retired` lock so a concurrent
+    /// [`SessionPool::remove`] can't be double- or zero-counted. The
+    /// result is monotonic over time (per-slot counters only grow, and
+    /// removal folds them into `retired` atomically w.r.t. this read).
+    pub fn cache_totals(&self) -> CacheStats {
+        let retired = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+        let mut total = *retired;
+        for slot in self
+            .slots
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
+            let s = slot.cache_stats_snapshot();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+        }
+        total
     }
 
     /// Snapshot of all slots, in name order.
@@ -513,6 +608,58 @@ mod tests {
         slot.lock().sess.queries.truncate(1);
         slot.run_debug(Method::Loss, &RunConfig::paper(2)).unwrap();
         assert!(slot.cache_stats_snapshot().hits >= 1);
+    }
+
+    #[test]
+    fn removal_folds_cache_counters_into_monotonic_totals() {
+        let pool = SessionPool::new();
+        let a = pool.create("a", logistic()).unwrap();
+        let b = pool.create("b", logistic()).unwrap();
+        a.publish_cache_stats(CacheStats {
+            hits: 5,
+            misses: 2,
+            invalidations: 1,
+        });
+        b.publish_cache_stats(CacheStats {
+            hits: 3,
+            misses: 4,
+            invalidations: 0,
+        });
+        let before = pool.cache_totals();
+        assert_eq!(
+            (before.hits, before.misses, before.invalidations),
+            (8, 6, 1)
+        );
+        // Removing a session must not regress the pool-wide totals.
+        pool.remove("a").unwrap();
+        let after = pool.cache_totals();
+        assert_eq!(before, after, "totals regressed across removal");
+        // A second removal folds on top of the first.
+        pool.remove("b").unwrap();
+        assert_eq!(pool.cache_totals(), before);
+        // New sessions add to the retired baseline.
+        let c = pool.create("c", logistic()).unwrap();
+        c.publish_cache_stats(CacheStats {
+            hits: 1,
+            misses: 0,
+            invalidations: 0,
+        });
+        assert_eq!(pool.cache_totals().hits, 9);
+    }
+
+    #[test]
+    fn sampling_defaults_on_and_is_configurable() {
+        let pool = SessionPool::new();
+        let slot = pool.create("s", logistic()).unwrap();
+        assert_eq!(slot.sample_every(), DEFAULT_SAMPLE_EVERY);
+        assert!((slot.slow_threshold_s() - DEFAULT_SLOW_MS as f64 / 1e3).abs() < 1e-12);
+        // 1-in-N: the first query samples, then every Nth.
+        let hits: usize = (0..32).filter(|_| slot.should_sample()).count();
+        assert_eq!(hits, 2, "32 queries at 1-in-16 sample twice");
+        slot.set_sampling(1, 10);
+        assert!((0..10).all(|_| slot.should_sample()), "1-in-1 samples all");
+        slot.set_sampling(0, 10);
+        assert!(!(0..10).any(|_| slot.should_sample()), "0 disables");
     }
 
     #[test]

@@ -512,6 +512,10 @@ pub fn run_request_from_json(v: &Json) -> Result<(Method, RunConfig), ApiError> 
     if let Some(p) = v.get("profile").and_then(Json::as_bool) {
         cfg.profile = p;
     }
+    if let Some(n) = v.get("sample_every").and_then(Json::as_usize) {
+        // `0` disables iteration sampling for this run.
+        cfg.sample_every = n;
+    }
     Ok((method, cfg))
 }
 
@@ -613,6 +617,21 @@ pub fn report_to_json(report: &DebugReport) -> Json {
                 Some(tree) => trace_to_json(tree),
                 None => Json::Null,
             },
+        ),
+        (
+            "iteration_profiles",
+            Json::Arr(
+                report
+                    .iteration_profiles
+                    .iter()
+                    .map(|ip| {
+                        Json::obj(vec![
+                            ("iteration", Json::Num(ip.iteration as f64)),
+                            ("profile", trace_to_json(&ip.profile)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }

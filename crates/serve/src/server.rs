@@ -5,9 +5,11 @@
 //! | method & path                     | body → effect |
 //! |-----------------------------------|---------------|
 //! | `GET  /healthz`                   | liveness probe |
-//! | `GET  /stats`                     | server-wide counters (sessions, requests, cache totals, job runner) |
-//! | `GET  /metrics`                   | Prometheus text exposition (request latency, queue/lock waits, cache + job counters) |
-//! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…]}` → create a session (engine + worker-budget cap fixed at creation) |
+//! | `GET  /stats`                     | server-wide counters (sessions, requests, cache totals, job runner, per-endpoint latency quantiles) |
+//! | `GET  /metrics`                   | Prometheus text exposition (per-endpoint request-latency summaries with p50/p95/p99/p999, queue/lock waits, cache + job counters) |
+//! | `GET  /debug/profiles`            | the always-on sampled profile ring: recent + slow captures (see [`crate::profiles`]) |
+//! | `GET  /debug/profiles/{id}`       | one captured profile with its full span tree |
+//! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…,"sample_every":…,"slow_ms":…]}` → create a session (engine + worker-budget cap fixed at creation; sampling knobs adjustable) |
 //! | `GET  /sessions`                  | list sessions (generation + cache counters) |
 //! | `DELETE /sessions/{s}`            | drop a session |
 //! | `POST /sessions/{s}/tables`       | table upload → register (replacing invalidates cached skeletons) |
@@ -27,12 +29,13 @@ use crate::http::{read_request, write_response, write_response_typed, Request};
 use crate::jobs::{JobRunner, JobState};
 use crate::json::{self, Json};
 use crate::pool::SessionPool;
+use crate::profiles::{ProfileEntry, ProfileRing};
 use crate::protocol::{
     complaint_from_json, dataset_from_json, engine_name, exec_options_from_json, model_from_json,
     output_to_json, report_to_json, run_request_from_json, table_from_json, trace_to_json,
     ApiError,
 };
-use rain_obs::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_S};
+use rain_obs::{Counter, Gauge, Registry, Sketch};
 use rain_sql::QueryCache;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -67,10 +70,14 @@ impl Default for ServerConfig {
 /// being double-counted on the request path.
 struct ServerMetrics {
     registry: Registry,
-    http_request_seconds: Arc<Histogram>,
+    /// Per-endpoint request-latency sketches (label `endpoint`), one per
+    /// entry of [`ENDPOINTS`], pre-registered so the request path never
+    /// takes the registry lock. Rendered as a `summary` family with
+    /// p50/p95/p99/p999 quantile series.
+    http_request_seconds: Vec<(&'static str, Arc<Sketch>)>,
     http_requests_total: Arc<Counter>,
-    job_queue_wait_seconds: Arc<Histogram>,
-    session_lock_wait_seconds: Arc<Histogram>,
+    job_queue_wait_seconds: Arc<Sketch>,
+    session_lock_wait_seconds: Arc<Sketch>,
     sessions: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
     jobs_queued: Arc<Gauge>,
@@ -83,17 +90,60 @@ struct ServerMetrics {
     cache_hit_ratio: Arc<Gauge>,
 }
 
+/// The fixed endpoint-label set for `rain_http_request_seconds`. Routes
+/// map onto these via [`endpoint_label`]; anything unroutable lands in
+/// `other` so the label cardinality stays bounded no matter what clients
+/// throw at the listener.
+const ENDPOINTS: &[&str] = &[
+    "healthz",
+    "stats",
+    "metrics",
+    "sessions",
+    "tables",
+    "train",
+    "query",
+    "complain",
+    "debug_run",
+    "jobs",
+    "debug_profiles",
+    "other",
+];
+
+/// Which [`ENDPOINTS`] bucket a request belongs to.
+fn endpoint_label(method: &str, path: &str) -> &'static str {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segs.as_slice()) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["stats"]) => "stats",
+        ("GET", ["metrics"]) => "metrics",
+        (_, ["sessions"]) | ("DELETE", ["sessions", _]) => "sessions",
+        ("POST", ["sessions", _, "tables"]) => "tables",
+        ("POST", ["sessions", _, "train"]) => "train",
+        ("POST", ["sessions", _, "query"]) => "query",
+        ("POST", ["sessions", _, "complain"]) => "complain",
+        ("POST", ["sessions", _, "debug-run"]) => "debug_run",
+        ("GET", ["jobs", _]) => "jobs",
+        ("GET", ["debug", "profiles", ..]) => "debug_profiles",
+        _ => "other",
+    }
+}
+
 impl ServerMetrics {
     fn new() -> ServerMetrics {
         let registry = Registry::new();
         ServerMetrics {
-            http_request_seconds: registry
-                .histogram("rain_http_request_seconds", &LATENCY_BUCKETS_S),
+            http_request_seconds: ENDPOINTS
+                .iter()
+                .map(|ep| {
+                    (
+                        *ep,
+                        registry.sketch_with("rain_http_request_seconds", &[("endpoint", ep)]),
+                    )
+                })
+                .collect(),
             http_requests_total: registry.counter("rain_http_requests_total"),
-            job_queue_wait_seconds: registry
-                .histogram("rain_job_queue_wait_seconds", &LATENCY_BUCKETS_S),
-            session_lock_wait_seconds: registry
-                .histogram("rain_session_lock_wait_seconds", &LATENCY_BUCKETS_S),
+            job_queue_wait_seconds: registry.sketch("rain_job_queue_wait_seconds"),
+            session_lock_wait_seconds: registry.sketch("rain_session_lock_wait_seconds"),
             sessions: registry.gauge("rain_sessions"),
             uptime_seconds: registry.gauge("rain_uptime_seconds"),
             jobs_queued: registry.gauge("rain_jobs_queued"),
@@ -107,12 +157,31 @@ impl ServerMetrics {
             registry,
         }
     }
+
+    /// Observe one request's latency into its endpoint's sketch.
+    fn observe_request(&self, endpoint: &str, seconds: f64) {
+        let sketch = self
+            .http_request_seconds
+            .iter()
+            .find(|(ep, _)| *ep == endpoint)
+            .or_else(|| {
+                self.http_request_seconds
+                    .iter()
+                    .find(|(ep, _)| *ep == "other")
+            });
+        if let Some((_, s)) = sketch {
+            s.observe(seconds);
+        }
+    }
 }
 
 /// Shared server state: the session pool, the job runner, and counters.
 pub struct ServerState {
     pool: SessionPool,
     jobs: JobRunner,
+    /// Always-on sampled profiles (1-in-N queries and debug-run
+    /// iterations, plus slow captures), served at `GET /debug/profiles`.
+    profiles: Arc<ProfileRing>,
     requests: AtomicU64,
     started: Instant,
     shutdown: AtomicBool,
@@ -133,12 +202,15 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = ServerMetrics::new();
+    let profiles = Arc::new(ProfileRing::new());
     let state = Arc::new(ServerState {
         pool: SessionPool::with_lock_wait(Arc::clone(&metrics.session_lock_wait_seconds)),
-        jobs: JobRunner::with_queue_wait(
+        jobs: JobRunner::with_observability(
             cfg.job_workers,
             Some(Arc::clone(&metrics.job_queue_wait_seconds)),
+            Some(Arc::clone(&profiles)),
         ),
+        profiles,
         requests: AtomicU64::new(0),
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
@@ -213,12 +285,12 @@ fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
         }
         // `/metrics` answers in Prometheus text exposition format; every
         // other route speaks JSON.
+        let endpoint = endpoint_label(&req.method, &req.path);
         let write_ok = if req.method == "GET" && req.path == "/metrics" {
             let text = render_metrics(&state);
             state
                 .metrics
-                .http_request_seconds
-                .observe(t_req.elapsed().as_secs_f64());
+                .observe_request(endpoint, t_req.elapsed().as_secs_f64());
             write_response_typed(
                 &mut stream,
                 200,
@@ -234,8 +306,7 @@ fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
             };
             state
                 .metrics
-                .http_request_seconds
-                .observe(t_req.elapsed().as_secs_f64());
+                .observe_request(endpoint, t_req.elapsed().as_secs_f64());
             write_response(&mut stream, status, &body.to_string(), req.keep_alive).is_ok()
         };
         if !write_ok || !req.keep_alive {
@@ -280,6 +351,8 @@ fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
         ("POST", ["sessions", name, "complain"]) => complain(state, name, req),
         ("POST", ["sessions", name, "debug-run"]) => debug_run(state, name, req),
         ("GET", ["jobs", id]) => job_status(state, id),
+        ("GET", ["debug", "profiles"]) => Ok((200, profiles_list(state))),
+        ("GET", ["debug", "profiles", id]) => profile_by_id(state, id),
         _ => Err(ApiError::not_found(format!(
             "no route {} {}",
             req.method, req.path
@@ -290,22 +363,19 @@ fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
 /// Refresh the scrape-time instruments and render the registry.
 ///
 /// The mirrored counters load from the same sources as `GET /stats`
-/// (request counter, lock-free per-slot cache snapshots, job-runner
+/// (request counter, the pool's churn-proof cache totals, job-runner
 /// counters), so the two endpoints always agree and counters stay
-/// monotonic without double bookkeeping on hot paths.
+/// monotonic without double bookkeeping on hot paths. Cache totals come
+/// from [`SessionPool::cache_totals`], which folds removed sessions'
+/// counters into a retired baseline — concurrent create/remove churn can
+/// no longer make a scrape see a counter regress.
 fn render_metrics(state: &ServerState) -> String {
     let m = &state.metrics;
     m.http_requests_total
         .store(state.requests.load(Ordering::Relaxed));
     m.sessions.set(state.pool.len() as f64);
     m.uptime_seconds.set(state.started.elapsed().as_secs_f64());
-    let mut cache = rain_sql::CacheStats::default();
-    for slot in state.pool.list() {
-        let s = slot.cache_stats_snapshot();
-        cache.hits += s.hits;
-        cache.misses += s.misses;
-        cache.invalidations += s.invalidations;
-    }
+    let cache = state.pool.cache_totals();
     m.cache_hits_total.store(cache.hits);
     m.cache_misses_total.store(cache.misses);
     m.cache_invalidations_total.store(cache.invalidations);
@@ -324,14 +394,29 @@ fn render_metrics(state: &ServerState) -> String {
 }
 
 fn stats(state: &ServerState) -> Json {
-    let mut cache = rain_sql::CacheStats::default();
-    for slot in state.pool.list() {
-        let s = slot.cache_stats_snapshot();
-        cache.hits += s.hits;
-        cache.misses += s.misses;
-        cache.invalidations += s.invalidations;
-    }
+    let cache = state.pool.cache_totals();
     let jobs = state.jobs.stats();
+    // Per-endpoint latency quantiles from the same sketches `/metrics`
+    // renders; endpoints nothing has hit yet are omitted.
+    let latency: Vec<(String, Json)> = state
+        .metrics
+        .http_request_seconds
+        .iter()
+        .filter_map(|(ep, sketch)| {
+            let snap = sketch.snapshot();
+            (snap.count > 0).then(|| {
+                (
+                    ep.to_string(),
+                    Json::obj(vec![
+                        ("count", Json::Num(snap.count as f64)),
+                        ("p50", Json::Num(snap.quantile(0.5))),
+                        ("p95", Json::Num(snap.quantile(0.95))),
+                        ("p99", Json::Num(snap.quantile(0.99))),
+                    ]),
+                )
+            })
+        })
+        .collect();
     Json::obj(vec![
         ("sessions", Json::Num(state.pool.len() as f64)),
         (
@@ -357,7 +442,64 @@ fn stats(state: &ServerState) -> Json {
                 ("peak_running", Json::Num(jobs.peak_running as f64)),
             ]),
         ),
+        ("latency_s", Json::Obj(latency)),
+        (
+            "profiles",
+            Json::obj(vec![("recent", Json::Num(state.profiles.len() as f64))]),
+        ),
     ])
+}
+
+/// Summary JSON of one profile-ring entry (no span tree; fetch by id for
+/// the full capture).
+fn profile_summary(e: &ProfileEntry) -> Vec<(&'static str, Json)> {
+    vec![
+        ("id", Json::Num(e.id as f64)),
+        ("kind", Json::str(e.kind)),
+        ("session", Json::str(e.session.clone())),
+        ("detail", Json::str(e.detail.clone())),
+        ("latency_s", Json::Num(e.latency_s)),
+        ("unix_ms", Json::Num(e.unix_ms as f64)),
+        (
+            "spans",
+            Json::Num(e.trace.as_ref().map_or(0, |t| t.size()) as f64),
+        ),
+    ]
+}
+
+fn profiles_list(state: &ServerState) -> Json {
+    let (recent, slow) = state.profiles.list();
+    let summarize = |entries: Vec<Arc<ProfileEntry>>| {
+        Json::Arr(
+            entries
+                .iter()
+                .map(|e| Json::obj(profile_summary(e)))
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("recent", summarize(recent)),
+        ("slow", summarize(slow)),
+    ])
+}
+
+fn profile_by_id(state: &ServerState, id: &str) -> Result<(u16, Json), ApiError> {
+    let id: u64 = id
+        .parse()
+        .map_err(|_| ApiError::bad_request("profile ids are integers"))?;
+    let entry = state
+        .profiles
+        .get(id)
+        .ok_or_else(|| ApiError::not_found(format!("no profile {id} (rings are bounded)")))?;
+    let mut pairs = profile_summary(&entry);
+    pairs.push((
+        "profile",
+        match &entry.trace {
+            Some(t) => trace_to_json(t),
+            None => Json::Null,
+        },
+    ));
+    Ok((200, Json::obj(pairs)))
 }
 
 fn list_sessions(state: &ServerState) -> Json {
@@ -395,7 +537,17 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, Json), Api
     )?;
     let opts = exec_options_from_json(&body)?;
     let kind = model.name();
-    state.pool.create_with(&name, model, opts)?;
+    let slot = state.pool.create_with(&name, model, opts)?;
+    // Optional sampling knobs; anything omitted keeps the always-on
+    // defaults (1-in-16, 500 ms slow threshold).
+    let sample_every = body.get("sample_every").and_then(Json::as_i64);
+    let slow_ms = body.get("slow_ms").and_then(Json::as_i64);
+    if sample_every.is_some() || slow_ms.is_some() {
+        slot.set_sampling(
+            sample_every.map_or_else(|| slot.sample_every(), |v| v.max(0) as u64),
+            slow_ms.map_or_else(|| slot.slow_ms(), |v| v.max(0) as u64),
+        );
+    }
     Ok((
         200,
         Json::obj(vec![
@@ -403,6 +555,8 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, Json), Api
             ("model", Json::str(kind)),
             ("engine", Json::str(engine_name(opts.engine))),
             ("threads", Json::Num(opts.threads as f64)),
+            ("sample_every", Json::Num(slot.sample_every() as f64)),
+            ("slow_ms", Json::Num(slot.slow_ms() as f64)),
         ]),
     ))
 }
@@ -466,13 +620,20 @@ fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), 
     let analyze =
         body.get("analyze").and_then(Json::as_bool).unwrap_or(false) || req.query_flag("analyze");
     let slot = state.pool.get(name)?;
+    // Always-on sampling: 1-in-N queries per session get the analyze
+    // path's tracing treatment and land in the profile ring. The sampler
+    // stands down while any trace is already live — an `analyze` request
+    // or a `?profile=1` run owns the collector then, and stealing its
+    // window would perturb *its* profile.
+    let sampled = !analyze && slot.should_sample() && !rain_obs::enabled();
+    let t_exec = Instant::now();
     let mut st = slot.lock();
     let st = &mut *st;
     // `EXPLAIN ANALYZE` flavor: the response carries the executed plan
     // (resolved engine, thread, and morsel counts) plus the harvested
     // span tree of this execution. Results are bit-identical either way —
     // tracing is a pure observer.
-    let (out, event, analysis) = if analyze {
+    let (out, event, analysis, sampled_trace) = if analyze {
         let plan = {
             let stmt = rain_sql::parse_select(&sql).map_err(rain_sql::QueryError::Parse)?;
             let bound = rain_sql::bind(&stmt, &st.sess.db).map_err(rain_sql::QueryError::Bind)?;
@@ -486,15 +647,51 @@ fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), 
         drop(root);
         let trace = rain_obs::take_subtree(root_id);
         let (out, event) = res?;
-        (out, event, Some((explain, trace)))
+        (out, event, Some((explain, trace)), None)
+    } else if sampled {
+        let _on = rain_obs::activate();
+        let root = rain_obs::Span::enter("query");
+        let root_id = root.id();
+        let res = st.cache.execute(&st.sess.db, st.sess.model.as_ref(), &sql);
+        drop(root);
+        let trace = rain_obs::take_subtree(root_id);
+        let (out, event) = res?;
+        (out, event, None, trace)
     } else {
         let (out, event) = st
             .cache
             .execute(&st.sess.db, st.sess.model.as_ref(), &sql)?;
-        (out, event, None)
+        (out, event, None, None)
     };
     let stats = st.cache.stats();
     slot.publish_cache_stats(stats);
+    // Park the capture (sampled or analyze) in the profile ring; slow
+    // queries the sampler skipped still get a traceless slow-ring entry
+    // (the latency is known, the trace can't be reconstructed after the
+    // fact). While a sampling window is open here, *other* sessions'
+    // untraced spans can record orphan records nobody will harvest —
+    // drain the buffer when it crosses half capacity and no trace is
+    // live, so always-on sampling never pins stale records.
+    let latency_s = t_exec.elapsed().as_secs_f64();
+    let slow = latency_s >= slot.slow_threshold_s();
+    let captured = sampled_trace.or_else(|| analysis.as_ref().and_then(|(_, t)| t.clone()));
+    if let Some(trace) = captured {
+        state.profiles.push(
+            "query",
+            &slot.name,
+            sql.clone(),
+            latency_s,
+            Some(trace),
+            slow,
+        );
+    } else if slow {
+        state
+            .profiles
+            .push("query", &slot.name, sql.clone(), latency_s, None, true);
+    }
+    if !rain_obs::enabled() && rain_obs::buffered_records() > rain_obs::MAX_RECORDS / 2 {
+        rain_obs::clear();
+    }
     let mut pairs = vec![
         ("result", output_to_json(&out)),
         ("cache", Json::str(event.as_str())),
@@ -583,6 +780,11 @@ fn debug_run(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Jso
         cfg.profile = true;
     }
     let slot = state.pool.get(name)?;
+    // The session's sampling period governs iteration profiling unless
+    // the request pins its own.
+    if body.get("sample_every").is_none() {
+        cfg.sample_every = slot.sample_every() as usize;
+    }
     let id = state.jobs.submit(slot, method, cfg);
     Ok((
         202,

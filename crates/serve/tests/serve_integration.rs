@@ -741,12 +741,166 @@ fn metrics_endpoint_is_consistent_under_concurrent_scrapes() {
             m.name
         );
     }
-    // The latency histogram saw every request that preceded the scrape.
+    // Summary families (the latency sketches) are internally consistent
+    // per label set: quantiles are present, finite once counted, and
+    // non-decreasing in q.
+    for m in &second {
+        if m.kind != "summary" {
+            continue;
+        }
+        let count: f64 = m
+            .samples
+            .iter()
+            .filter(|s| s.name == format!("{}_count", m.name))
+            .map(|s| s.value)
+            .sum();
+        if count == 0.0 {
+            continue;
+        }
+        // Quantiles are only comparable within one label set (e.g. one
+        // endpoint); group by the labels minus `quantile`.
+        let mut by_series: std::collections::HashMap<String, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for s in m.samples.iter().filter(|s| s.name == m.name) {
+            let Some(q) = s.quantile() else { continue };
+            let key: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "quantile")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            by_series
+                .entry(key.join(","))
+                .or_default()
+                .push((q, s.value));
+        }
+        assert!(!by_series.is_empty(), "{} has no quantile series", m.name);
+        for (series, mut quantiles) in by_series {
+            quantiles.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut prev = f64::NEG_INFINITY;
+            for (q, v) in quantiles {
+                assert!(
+                    v >= prev || v.is_nan(),
+                    "{}{{{series}}}: quantile {q} regressed: {v} after {prev}",
+                    m.name
+                );
+                if !v.is_nan() {
+                    prev = v;
+                }
+            }
+        }
+    }
+    // The request-latency summary is per-endpoint; across endpoints it
+    // saw every request that preceded the scrape, and the endpoints the
+    // clients hit all have their own quantile series.
     let lat = family(&second, "rain_http_request_seconds");
+    assert_eq!(lat.kind, "summary");
+    let total: f64 = lat
+        .samples
+        .iter()
+        .filter(|s| s.name == "rain_http_request_seconds_count")
+        .map(|s| s.value)
+        .sum();
+    assert!(total >= 16.0 * 5.0, "latency summary undercounts: {total}");
+    for ep in ["sessions", "tables", "query", "metrics"] {
+        assert!(
+            lat.value_with("rain_http_request_seconds_count", &[("endpoint", ep)])
+                .is_some(),
+            "no per-endpoint latency series for {ep}"
+        );
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(
+                lat.value_with(
+                    "rain_http_request_seconds",
+                    &[("endpoint", ep), ("quantile", q)]
+                )
+                .is_some(),
+                "missing p{q} for endpoint {ep}"
+            );
+        }
+    }
+    // `/stats` serves the same per-endpoint quantiles as JSON.
+    let stats = client.get_ok("/stats").unwrap();
+    let q_lat = stats
+        .get("latency_s")
+        .and_then(|l| l.get("query"))
+        .expect("stats carries query-endpoint latency");
+    for p in ["p50", "p95", "p99"] {
+        let v = q_lat.get(p).and_then(Json::as_f64).unwrap();
+        assert!(v >= 0.0, "{p} = {v}");
+    }
+    server.shutdown();
+}
+
+/// `GET /metrics` racing session create/remove churn: the mirrored cache
+/// counters fold removed sessions into a retired baseline, so no scrape
+/// ever observes a counter regress.
+#[test]
+fn metrics_cache_counters_stay_monotonic_across_session_churn() {
+    let server = start(ServerConfig {
+        job_workers: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Churners: create a session, run queries (moving its cache
+    // counters), remove it, repeat.
+    let churners: Vec<_> = (0..4)
+        .map(|ci| {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut round = 0;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let session = format!("churn-{ci}-{round}");
+                    round += 1;
+                    client
+                        .post_ok("/sessions", &logistic_session(&session))
+                        .unwrap();
+                    client
+                        .post_ok(
+                            &format!("/sessions/{session}/tables"),
+                            &table_json("pairs", 12, 5),
+                        )
+                        .unwrap();
+                    let q = Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]);
+                    for _ in 0..3 {
+                        client
+                            .post_ok(&format!("/sessions/{session}/query"), &q)
+                            .unwrap();
+                    }
+                    client.delete(&format!("/sessions/{session}")).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Scraper: cache counters must never go backwards while sessions
+    // come and go underneath the scrape.
+    let mut client = Client::connect(addr).unwrap();
+    let mut last = std::collections::HashMap::new();
+    for _ in 0..40 {
+        let metrics = scrape(&mut client);
+        for name in [
+            "rain_cache_hits_total",
+            "rain_cache_misses_total",
+            "rain_cache_invalidations_total",
+        ] {
+            let v = family(&metrics, name).value_of(name).unwrap();
+            let prev = last.insert(name, v).unwrap_or(0.0);
+            assert!(v >= prev, "{name} regressed under churn: {prev} -> {v}");
+        }
+    }
     assert!(
-        lat.value_of("rain_http_request_seconds_count").unwrap() >= 16.0 * 5.0,
-        "latency histogram undercounts"
+        last["rain_cache_misses_total"] > 0.0,
+        "churn never moved the cache counters"
     );
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in churners {
+        t.join().expect("churner panicked");
+    }
     server.shutdown();
 }
 
@@ -903,5 +1057,151 @@ fn analyze_query_returns_plan_and_execution_profile() {
             .is_empty(),
         "execution trace is empty: {profile}"
     );
+    server.shutdown();
+}
+
+/// The always-on sampler: with no profile flags and no analyze requests,
+/// the profile ring fills by itself. Queries land as `query` entries
+/// (the session's 1-in-N knob; first query always samples), debug-run
+/// iterations land as `iteration` entries, fetch-by-id returns the full
+/// span tree, results stay bit-identical, and a `slow_ms` threshold of
+/// zero force-captures every request into the slow ring.
+#[test]
+fn always_on_sampling_fills_the_profile_ring() {
+    let server = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // sample_every=2 on a fresh session: queries 0, 2, 4, … are traced.
+    // slow_ms=0 marks everything slow, exercising the force-capture ring.
+    let mut body = logistic_session("ring");
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push(("sample_every".into(), Json::num(2.0)));
+        pairs.push(("slow_ms".into(), Json::num(0.0)));
+    }
+    let created = client.post_ok("/sessions", &body).unwrap();
+    assert_eq!(
+        created.get("sample_every").and_then(Json::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(created.get("slow_ms").and_then(Json::as_f64), Some(0.0));
+    client
+        .post_ok("/sessions/ring/tables", &table_json("pairs", 30, 10))
+        .unwrap();
+
+    let q = Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]);
+    let mut results = Vec::new();
+    for _ in 0..4 {
+        let out = client.post_ok("/sessions/ring/query", &q).unwrap();
+        results.push(out.get("result").unwrap().clone());
+    }
+    // Sampling is a pure observer: traced and untraced queries agree.
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "sampled queries changed results"
+    );
+
+    // A plain debug run (no ?profile=1) contributes iteration profiles.
+    client
+        .post_ok("/sessions/ring/train", &train_json(60, 10))
+        .unwrap();
+    client
+        .post_ok(
+            "/sessions/ring/complain",
+            &Json::obj(vec![
+                (
+                    "sql",
+                    Json::str("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1"),
+                ),
+                (
+                    "complaint",
+                    Json::obj(vec![
+                        ("kind", Json::str("value")),
+                        ("op", Json::str("eq")),
+                        ("target", Json::num(10.0)),
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+    let run = client
+        .post_ok(
+            "/sessions/ring/debug-run",
+            &Json::obj(vec![
+                ("method", Json::str("loss")),
+                ("budget", Json::num(4.0)),
+                ("k_per_iter", Json::num(2.0)),
+                ("sample_every", Json::num(1.0)),
+            ]),
+        )
+        .unwrap();
+    let done = await_job(&mut client, run.get("job").unwrap().as_i64().unwrap());
+    let report = done.get("report").unwrap();
+    // The report itself carries the sampled iteration trees (profile
+    // stays null — nobody asked for the full-run tree)…
+    assert_eq!(report.get("profile"), Some(&Json::Null));
+    let iter_profiles = report.get("iteration_profiles").unwrap().as_arr().unwrap();
+    assert!(
+        !iter_profiles.is_empty(),
+        "1-in-1 run sampled no iterations"
+    );
+    for ip in iter_profiles {
+        let tree = ip.get("profile").unwrap();
+        assert_eq!(tree.get("name").and_then(Json::as_str), Some("iteration"));
+        assert!(ip.get("iteration").and_then(Json::as_f64).is_some());
+    }
+
+    // …and the ring now serves both kinds of capture.
+    let listing = client.get_ok("/debug/profiles").unwrap();
+    let recent = listing.get("recent").unwrap().as_arr().unwrap();
+    let slow = listing.get("slow").unwrap().as_arr().unwrap();
+    assert!(!recent.is_empty(), "recent ring empty: {listing}");
+    assert!(!slow.is_empty(), "slow_ms=0 captured nothing: {listing}");
+    let kind_of = |e: &Json| e.get("kind").and_then(Json::as_str).map(str::to_string);
+    assert!(
+        recent
+            .iter()
+            .any(|e| kind_of(e).as_deref() == Some("query")),
+        "no sampled query in ring: {listing}"
+    );
+    assert!(
+        recent
+            .iter()
+            .any(|e| kind_of(e).as_deref() == Some("iteration")),
+        "no sampled iteration in ring: {listing}"
+    );
+
+    // Every listed entry is fetchable by id; recent entries carry a
+    // valid span tree whose root matches the kind and whose summary
+    // span count matches the tree.
+    for e in recent {
+        let id = e.get("id").unwrap().as_i64().unwrap();
+        let full = client.get_ok(&format!("/debug/profiles/{id}")).unwrap();
+        let tree = full.get("profile").unwrap();
+        let root = tree.get("name").and_then(Json::as_str).unwrap();
+        assert!(root == "query" || root == "iteration", "odd root {root}");
+        assert!(tree.get("dur_ns").and_then(Json::as_f64).unwrap() >= 0.0);
+        fn count_spans(t: &Json) -> usize {
+            1 + t
+                .get("children")
+                .and_then(Json::as_arr)
+                .map_or(0, |cs| cs.iter().map(count_spans).sum())
+        }
+        assert_eq!(
+            count_spans(tree) as f64,
+            e.get("spans").unwrap().as_f64().unwrap(),
+            "span count disagrees with summary"
+        );
+        assert_eq!(full.get("detail"), e.get("detail"));
+    }
+    // Sampled queries record their SQL as the detail.
+    assert!(
+        recent.iter().any(|e| e
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("SELECT COUNT(*)"))),
+        "query detail lost: {listing}"
+    );
+    // Unknown ids 404.
+    let (status, _) = client.get("/debug/profiles/999999").unwrap();
+    assert_eq!(status, 404);
     server.shutdown();
 }

@@ -684,7 +684,10 @@ pub(crate) fn predict_batch_sharded(
         for (w, out) in preds.chunks_mut(chunk).enumerate() {
             let start = w * chunk;
             scope.spawn(move || {
+                // Shard index is the worker's (deterministic) chunk
+                // position, not its scheduling order.
                 let mut shard = rain_obs::Span::enter_under(span_id, "shard");
+                shard.add("index", w as u64);
                 shard.add("items", out.len() as u64);
                 model.predict_range_into(features, start, out)
             });

@@ -193,6 +193,7 @@ pub(crate) fn hash_join(
                 let probe_id = probe_span.id();
                 let parts = morsel::run_morsels(threads, n, |start, end| {
                     let mut mspan = rain_obs::Span::enter_under(probe_id, "morsel");
+                    mspan.add("index", (start / morsel::MORSEL_SIZE) as u64);
                     mspan.add("items", (end - start) as u64);
                     let mut wctx = EvalCtx::new(db, model, query, debug);
                     general_probe(&mut wctx, left_ref, keys, index_ref, start, end)
@@ -284,6 +285,7 @@ fn typed_join<K: std::hash::Hash + Eq + Sync>(
         let probe_id = probe_span.id();
         let parts = morsel::run_morsels(threads, n, |start, end| {
             let mut mspan = rain_obs::Span::enter_under(probe_id, "morsel");
+            mspan.add("index", (start / morsel::MORSEL_SIZE) as u64);
             mspan.add("items", (end - start) as u64);
             probe_range(start, end)
         });

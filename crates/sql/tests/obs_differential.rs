@@ -188,6 +188,124 @@ fn explain_exec_matches_traced_morsel_counts() {
     assert!(!tuple.contains("morsels="), "{tuple}");
 }
 
+/// 16 emitter threads record nested span trees while 2 harvesters drain
+/// completed roots concurrently: no span is lost, none is duplicated,
+/// and each harvested tree is stitched in deterministic emission order
+/// — even though writers land in per-thread shards and harvests race
+/// both the writers and each other.
+#[test]
+fn concurrent_emitters_and_harvesters_lose_and_duplicate_nothing() {
+    use std::sync::{mpsc, Arc, Mutex};
+    const EMITTERS: usize = 16;
+    const SPANS_PER: usize = 24;
+
+    let (tx, rx) = mpsc::channel::<(rain_obs::SpanId, u64)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let emitters: Vec<_> = (0..EMITTERS)
+        .map(|w| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _on = rain_obs::activate();
+                let mut root = Span::enter("stress-root");
+                root.add("worker", w as u64);
+                for i in 0..SPANS_PER {
+                    let mut child = Span::enter("stress-child");
+                    child.add("i", i as u64);
+                    let _grand = Span::enter("stress-grand");
+                }
+                let id = root.id();
+                drop(root);
+                tx.send((id, w as u64)).unwrap();
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let harvested = Arc::new(Mutex::new(Vec::<(u64, TraceNode)>::new()));
+    let harvesters: Vec<_> = (0..2)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let harvested = Arc::clone(&harvested);
+            std::thread::spawn(move || loop {
+                // Hold the receiver lock only for the recv, not the
+                // harvest, so both harvesters actually drain in parallel.
+                let msg = rx.lock().unwrap().recv();
+                let Ok((id, w)) = msg else { break };
+                let tree = take_subtree(id).expect("completed root is harvestable");
+                harvested.lock().unwrap().push((w, tree));
+            })
+        })
+        .collect();
+    for h in emitters {
+        h.join().unwrap();
+    }
+    for h in harvesters {
+        h.join().unwrap();
+    }
+
+    let harvested = harvested.lock().unwrap();
+    assert_eq!(
+        harvested.len(),
+        EMITTERS,
+        "every root harvested exactly once"
+    );
+    let mut workers: Vec<u64> = harvested
+        .iter()
+        .map(|(w, tree)| {
+            assert_eq!(counter(tree, "worker"), Some(*w), "trees don't bleed");
+            let children: Vec<&TraceNode> = tree
+                .children
+                .iter()
+                .filter(|c| c.name == "stress-child")
+                .collect();
+            assert_eq!(children.len(), SPANS_PER, "lost or duplicated child spans");
+            // Deterministic stitching: children come back in emission
+            // order, each with its one grandchild intact.
+            let idxs: Vec<u64> = children.iter().map(|c| counter(c, "i").unwrap()).collect();
+            let want: Vec<u64> = (0..SPANS_PER as u64).collect();
+            assert_eq!(idxs, want, "children out of emission order");
+            for c in children {
+                assert_eq!(c.children.len(), 1, "grandchild lost or duplicated");
+                assert_eq!(c.children[0].name, "stress-grand");
+            }
+            *w
+        })
+        .collect();
+    workers.sort_unstable();
+    let want: Vec<u64> = (0..EMITTERS as u64).collect();
+    assert_eq!(workers, want, "a worker's root was lost or harvested twice");
+}
+
+/// The always-on sampler's on/off cadence (trace 1-in-N executions,
+/// nothing the rest of the time) never changes what a query returns:
+/// sampled and unsampled executions are bit-identical to each other and
+/// to the never-traced baseline.
+#[test]
+fn sampled_execution_is_bit_identical_to_unsampled() {
+    let db = big_db(12_000);
+    let model = step_model();
+    for sql in QUERIES {
+        let opts = ExecOptions::with_debug(true).with_threads(8);
+        let label = format!("`{sql}`");
+        let baseline = run_query(&db, &model, sql, opts).unwrap();
+        // Alternate sampling windows the way the serve layer does.
+        for pass in 0..4 {
+            let sampling = pass % 2 == 0;
+            let _window = sampling.then(rain_obs::activate);
+            let root = Span::enter("query");
+            let id = root.id();
+            let out = run_query(&db, &model, sql, opts).unwrap();
+            drop(root);
+            let tree = take_subtree(id);
+            assert_identical(&format!("{label} pass {pass}"), &baseline, &out);
+            if sampling {
+                let tree = tree.unwrap_or_else(|| panic!("{label}: sampled pass lost its trace"));
+                assert!(tree.size() > 1, "{label}: sampled trace is empty");
+            }
+        }
+    }
+}
+
 /// The incremental subsystem's stages appear in traces: skeleton capture
 /// inside prepare, sharded inference and formula re-eval inside refresh.
 #[test]
