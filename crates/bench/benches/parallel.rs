@@ -1,9 +1,10 @@
 //! Morsel-parallel scaling bench on the DBLP join workload.
 //!
 //! Times the model-free DBLP equi-join (the `BENCH_vexec.json` `join`
-//! shape, scaled up so the parallel scan and join-probe paths dominate)
-//! at `threads ∈ {1, 2, 4}`, plus the debug-mode skeleton refresh
-//! (batched-inference fan-out) at 1 vs 4 workers. Before timing,
+//! shape, scaled up so the parallel scan, partitioned hash build, and
+//! join-probe paths dominate) and a grouped aggregation over the full
+//! pair set at `threads ∈ {1, 2, 4}`, plus the debug-mode skeleton
+//! refresh (batched-inference fan-out) at 1 vs 4 workers. Before timing,
 //! every thread count's output is asserted bit-identical to `threads=1`
 //! and to the tuple oracle — thread count must never change results.
 //!
@@ -24,6 +25,7 @@ const JOIN_SQL: &str = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
                         WHERE a.id = b.id AND b.bucket < 2";
 const DEBUG_SQL: &str = "SELECT COUNT(*) FROM pairs_a a, pairs_b b \
                          WHERE a.id = b.id AND b.bucket < 4 AND predict(a) = 1";
+const AGG_SQL: &str = "SELECT bucket, COUNT(*), SUM(id) FROM pairs_a GROUP BY bucket";
 
 fn plan_for(sql: &str, db: &Database) -> QueryPlan {
     let stmt = parse_select(sql).unwrap();
@@ -48,9 +50,9 @@ fn main() {
 
     // Probe-heavy shape: the full pair set probes against a 5×-smaller
     // build relation (plus its pushed-down bucket filter) — the realistic
-    // big-fact-vs-filtered-dimension case, and the one where the
-    // morsel-parallel probe dominates (the hash build stays sequential
-    // over the shared read-only table by design).
+    // big-fact-vs-filtered-dimension case. The morsel-parallel probe
+    // dominates, and the build relation is large enough that the
+    // hash build partitions across workers too.
     let n = w.query.len();
     let bucket = |n: usize| Column::Int((0..n as i64).map(|i| i % 10).collect());
     let n_build = (n / 5).min(20_000);
@@ -67,30 +69,21 @@ fn main() {
 
     let join_plan = plan_for(JOIN_SQL, &db);
     let debug_plan = plan_for(DEBUG_SQL, &db);
+    let agg_plan = plan_for(AGG_SQL, &db);
     let thread_counts = [1usize, 2, 4];
 
     // Correctness before timing: every thread count must reproduce the
     // sequential vexec output AND the tuple oracle, rows and provenance.
-    let oracle = execute(
-        &db,
-        &model,
-        &join_plan,
-        ExecOptions::default().on(Engine::Tuple),
-    )
-    .unwrap();
-    for &t in &thread_counts {
-        let out = execute(
-            &db,
-            &model,
-            &join_plan,
-            ExecOptions::default().with_threads(t),
-        )
-        .unwrap();
-        assert_eq!(
-            oracle.table.to_tsv(),
-            out.table.to_tsv(),
-            "threads={t}: rows disagree with the tuple oracle"
-        );
+    for (name, plan) in [("join", &join_plan), ("agg", &agg_plan)] {
+        let oracle = execute(&db, &model, plan, ExecOptions::default().on(Engine::Tuple)).unwrap();
+        for &t in &thread_counts {
+            let out = execute(&db, &model, plan, ExecOptions::default().with_threads(t)).unwrap();
+            assert_eq!(
+                oracle.table.to_tsv(),
+                out.table.to_tsv(),
+                "{name} threads={t}: rows disagree with the tuple oracle"
+            );
+        }
     }
     let prepared = prepare(&db, &model, &debug_plan, Engine::Vectorized).unwrap();
     let refresh_1 = prepared.refresh_threaded(&db, &model, 1).unwrap();
@@ -124,6 +117,15 @@ fn main() {
             )
             .unwrap()
         });
+        g.bench(&format!("agg_{t}t"), || {
+            execute(
+                &db,
+                &model,
+                &agg_plan,
+                ExecOptions::default().with_threads(t),
+            )
+            .unwrap()
+        });
     }
     for &t in &[1usize, 4] {
         g.bench(&format!("refresh_{t}t"), || {
@@ -136,14 +138,23 @@ fn main() {
         .iter()
         .map(|t| g.median_secs(&format!("join_{t}t")).unwrap() * 1e3)
         .collect();
+    let agg_ms: Vec<f64> = thread_counts
+        .iter()
+        .map(|t| g.median_secs(&format!("agg_{t}t")).unwrap() * 1e3)
+        .collect();
     let refresh_1t = g.median_secs("refresh_1t").unwrap() * 1e3;
     let refresh_4t = g.median_secs("refresh_4t").unwrap() * 1e3;
     let join_scaling = join_ms[0] / join_ms[2];
+    let agg_scaling = agg_ms[0] / agg_ms[2];
     let refresh_scaling = refresh_1t / refresh_4t;
     println!("host_cores: {host_cores}");
     println!(
         "join scaling at 4 threads: {join_scaling:.2}x ({:.3} ms -> {:.3} ms)",
         join_ms[0], join_ms[2]
+    );
+    println!(
+        "agg scaling at 4 threads: {agg_scaling:.2}x ({:.3} ms -> {:.3} ms)",
+        agg_ms[0], agg_ms[2]
     );
     println!(
         "refresh scaling at 4 threads: {refresh_scaling:.2}x ({refresh_1t:.3} ms -> {refresh_4t:.3} ms)"
@@ -154,9 +165,11 @@ fn main() {
          \"samples\": {samples},\n  \"host_cores\": {host_cores},\n  \
          \"join\": {{ \"t1_ms\": {:.6}, \"t2_ms\": {:.6}, \"t4_ms\": {:.6}, \
          \"scaling_4t\": {:.3} }},\n  \
+         \"agg\": {{ \"t1_ms\": {:.6}, \"t2_ms\": {:.6}, \"t4_ms\": {:.6}, \
+         \"scaling_4t\": {agg_scaling:.3} }},\n  \
          \"refresh\": {{ \"t1_ms\": {refresh_1t:.6}, \"t4_ms\": {refresh_4t:.6}, \
          \"scaling_4t\": {refresh_scaling:.3} }}\n}}\n",
-        join_ms[0], join_ms[1], join_ms[2], join_scaling
+        join_ms[0], join_ms[1], join_ms[2], join_scaling, agg_ms[0], agg_ms[1], agg_ms[2]
     );
     let path =
         std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_parallel.json".to_string());

@@ -131,6 +131,15 @@ fn run(floors_path: &Path) -> Result<bool, String> {
                     reason: format!("invalid JSON: {e}"),
                 },
             },
+            // A missing artifact means the bench step never ran: that is a
+            // FAIL, never a skip — a `min_cores` floor may only skip after
+            // reading `host_cores` from an artifact that actually exists.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Verdict::Fail {
+                reason: format!(
+                    "missing artifact {}: bench step did not run",
+                    artifact.display()
+                ),
+            },
             Err(e) => Verdict::Fail {
                 reason: format!("cannot read {}: {e}", artifact.display()),
             },
@@ -262,6 +271,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run(&floors), Ok(false));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_artifact_fails_even_when_the_floor_could_skip_on_cores() {
+        // A `min_cores` floor skips on an under-provisioned host, but that
+        // requires reading `host_cores` from a real artifact. If the
+        // artifact never got written (bench step didn't run), the gate must
+        // FAIL — not silently skip the floor.
+        let dir = std::env::temp_dir().join(format!("rain-gate-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let floors = dir.join("bench_floors.json");
+        std::fs::write(
+            &floors,
+            r#"{"floors":[{"file":"BENCH_parallel.json","metric":"join.scaling_4t",
+                           "min":2.0,"min_cores":4}]}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&floors), Ok(false));
+        // Once the artifact exists and proves it ran under-provisioned, the
+        // same floor skips and the gate passes.
+        std::fs::write(
+            dir.join("BENCH_parallel.json"),
+            r#"{"host_cores":1,"join":{"scaling_4t":0.9}}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&floors), Ok(true));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,7 +21,7 @@ use rain_influence::InfluenceConfig;
 use rain_model::{train_lbfgs, Classifier, Dataset, LbfgsConfig};
 use rain_sql::{
     execute, prepare_with, Database, Engine, ExecOptions, PreparedQuery, QueryError, QueryOutput,
-    QueryPlan, StalePolicy,
+    QueryPlan, ScoreMemo, StalePolicy,
 };
 use std::time::Instant;
 
@@ -219,6 +219,11 @@ impl DebugSession {
         // iteration subtree here would tear that full profile apart.
         let mut sampled: Vec<(usize, rain_obs::SpanId)> = Vec::new();
         let mut exec_err: Option<QueryError> = None;
+        // Prediction memo shared by every refresh of the run: within one
+        // iteration the queries' duplicate feature rows score once; the
+        // retrain at the top of each iteration advances the generation,
+        // which drops every cached score before it could go stale.
+        let mut memo = (cfg.memo && !pq.prepared.is_empty()).then(ScoreMemo::new);
 
         'run: while removed.len() < cfg.budget {
             let sampling = cfg.sample_every > 0
@@ -244,6 +249,11 @@ impl DebugSession {
                 train_lbfgs(model.as_mut(), &train, &warm)
             };
             let train_s = t_train.elapsed().as_secs_f64();
+            if let Some(m) = memo.as_mut() {
+                // The retrain produced a new model generation (numbered
+                // by loop pass); scores cached under the old one are dead.
+                m.advance(iterations.len() as u64 + 1);
+            }
 
             // (1-2) Execute the queries in debug mode. Re-execution runs
             // on `cfg.engine` (the vectorized engine by default — it
@@ -275,12 +285,22 @@ impl DebugSession {
                             }
                         }
                     } else {
-                        match pq.prepared[qi].refresh_with_threaded(
-                            &self.db,
-                            model.as_ref(),
-                            StalePolicy::Rebuild,
-                            cfg.threads,
-                        ) {
+                        let refreshed = match memo.as_mut() {
+                            Some(m) => pq.prepared[qi].refresh_with_memo_threaded(
+                                &self.db,
+                                model.as_ref(),
+                                StalePolicy::Rebuild,
+                                cfg.threads,
+                                m,
+                            ),
+                            None => pq.prepared[qi].refresh_with_threaded(
+                                &self.db,
+                                model.as_ref(),
+                                StalePolicy::Rebuild,
+                                cfg.threads,
+                            ),
+                        };
+                        match refreshed {
                             Ok((out, rebuilt)) => {
                                 skeleton_rebuilds += rebuilt as usize;
                                 out
@@ -393,10 +413,13 @@ impl DebugSession {
         if let Some(e) = exec_err {
             return Err(e);
         }
+        let (memo_hits, memo_misses) = memo.map_or((0, 0), |m| (m.hits(), m.misses()));
         Ok(DebugReport {
             removed,
             iterations,
             skeleton_rebuilds,
+            memo_hits,
+            memo_misses,
             failure,
             profile: None,
             iteration_profiles,
@@ -485,6 +508,14 @@ pub struct RunConfig {
     /// bit-identical at every setting. Default 16 (1-in-16); the serving
     /// layer overrides it per session.
     pub sample_every: usize,
+    /// Route incremental refreshes through a run-scoped
+    /// [`ScoreMemo`]: classifier scores are cached by (model generation,
+    /// feature-row hash), so within one iteration duplicate feature rows
+    /// — across tuples and across queries — run inference once. On by
+    /// default; outputs are bit-identical either way (the memo only
+    /// changes which rows reach the model). No effect when
+    /// [`RunConfig::incremental`] is off.
+    pub memo: bool,
 }
 
 impl RunConfig {
@@ -499,6 +530,7 @@ impl RunConfig {
             threads: 0,
             profile: false,
             sample_every: 16,
+            memo: true,
         }
     }
 }
@@ -534,6 +566,12 @@ pub struct DebugReport {
     /// Stale query skeletons transparently re-prepared during the run
     /// (non-zero only when queried tables changed under the session).
     pub skeleton_rebuilds: usize,
+    /// Feature rows whose refresh inference was served from the run's
+    /// [`ScoreMemo`] (0 when [`RunConfig::memo`] or
+    /// [`RunConfig::incremental`] was off).
+    pub memo_hits: u64,
+    /// Feature rows the memoized refreshes actually ran inference for.
+    pub memo_misses: u64,
     /// Set when the method failed (e.g. TwoStep ILP timeout).
     pub failure: Option<String>,
     /// Span tree of the run — one `iteration` child per loop pass, each

@@ -68,12 +68,20 @@ pub struct SessionSlot {
     cache_misses: AtomicU64,
     cache_invalidations: AtomicU64,
     /// Sampling period for always-on profiling: every Nth query (and
-    /// debug-run iteration) is traced into the profile ring. `0` = off.
+    /// debug-run iteration) is traced into the profile ring. `0` = off:
+    /// never sample (explicitly — the modulo path is not consulted).
     sample_every: AtomicU64,
     /// Slow-capture threshold in milliseconds (force-capture latency).
+    /// `0` = force-capture *everything* (explicitly — not as an accident
+    /// of every latency exceeding a zero threshold).
     slow_ms: AtomicU64,
     /// Queries seen so far — drives the 1-in-N sampling decision.
     query_seq: AtomicU64,
+    /// Lock-free running totals of the prediction-memo counters across
+    /// this session's debug runs (each run's [`DebugReport`] deltas are
+    /// folded in after the run).
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for SessionSlot {
@@ -121,12 +129,15 @@ impl SessionSlot {
             sample_every: AtomicU64::new(DEFAULT_SAMPLE_EVERY),
             slow_ms: AtomicU64::new(DEFAULT_SLOW_MS),
             query_seq: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
     /// Configure always-on profiling for this session: trace 1-in-`every`
     /// queries/iterations (`0` disables sampling) and force-capture
-    /// anything slower than `slow_ms` milliseconds.
+    /// anything slower than `slow_ms` milliseconds (`0` force-captures
+    /// everything).
     pub fn set_sampling(&self, every: u64, slow_ms: u64) {
         self.sample_every.store(every, Ordering::Relaxed);
         self.slow_ms.store(slow_ms, Ordering::Relaxed);
@@ -147,15 +158,44 @@ impl SessionSlot {
         self.slow_ms.load(Ordering::Relaxed) as f64 / 1e3
     }
 
+    /// Whether a request of `latency_s` seconds must be force-captured
+    /// into the slow-profile ring. `slow_ms == 0` means "capture
+    /// everything" **by decision**, not because every latency happens to
+    /// clear a zero threshold — zero-duration captures (a clock that
+    /// returned the same instant twice) are included either way.
+    pub fn is_slow_capture(&self, latency_s: f64) -> bool {
+        let ms = self.slow_ms.load(Ordering::Relaxed);
+        ms == 0 || latency_s >= ms as f64 / 1e3
+    }
+
     /// Sampling decision for the next query: true on the first query and
-    /// every `sample_every`-th after it.
+    /// every `sample_every`-th after it. `sample_every == 0` means
+    /// "never sample" — decided before the sequence counter or its
+    /// modulo are consulted (`x % 0` panics), so the knob is an explicit
+    /// off switch, not an accident of guard ordering.
     pub fn should_sample(&self) -> bool {
         let every = self.sample_every.load(Ordering::Relaxed);
-        every > 0
-            && self
-                .query_seq
-                .fetch_add(1, Ordering::Relaxed)
-                .is_multiple_of(every)
+        if every == 0 {
+            return false;
+        }
+        self.query_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+    }
+
+    /// Fold one debug run's prediction-memo counters into the session's
+    /// lifetime totals.
+    pub fn add_memo_counters(&self, hits: u64, misses: u64) {
+        self.memo_hits.fetch_add(hits, Ordering::Relaxed);
+        self.memo_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// The session's lifetime `(hits, misses)` prediction-memo totals.
+    pub fn memo_snapshot(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Lock the session's state. Survives a poisoned mutex (a panicking
@@ -316,6 +356,7 @@ impl SessionSlot {
         self.publish_cache_stats(st.cache.stats());
         match result {
             Ok(report) => {
+                self.add_memo_counters(report.memo_hits, report.memo_misses);
                 st.last_report = Some(report.clone());
                 self.bump_generation();
                 Ok(report)
@@ -323,6 +364,15 @@ impl SessionSlot {
             Err(e) => Err(e),
         }
     }
+}
+
+/// Counters of removed sessions, folded into the pool's baseline so
+/// pool-wide totals stay monotonic across session churn.
+#[derive(Debug, Default, Clone, Copy)]
+struct RetiredTotals {
+    cache: CacheStats,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 /// The pool: name → session slot. The map itself is behind an `RwLock`
@@ -333,13 +383,14 @@ pub struct SessionPool {
     slots: RwLock<HashMap<String, Arc<SessionSlot>>>,
     /// Handed to every created slot; see [`SessionSlot::lock`].
     lock_wait: Option<Arc<Sketch>>,
-    /// Cache counters of removed sessions, folded in by
+    /// Cache and memo counters of removed sessions, folded in by
     /// [`SessionPool::remove`] so pool-wide totals
-    /// ([`SessionPool::cache_totals`]) stay monotonic across session
-    /// churn. Locked *before* the slot map on both the fold and the
-    /// total paths — that ordering is what makes a concurrent scrape see
-    /// either the live slot or its retired counters, never neither.
-    retired: Mutex<CacheStats>,
+    /// ([`SessionPool::cache_totals`], [`SessionPool::memo_totals`])
+    /// stay monotonic across session churn. Locked *before* the slot map
+    /// on both the fold and the total paths — that ordering is what
+    /// makes a concurrent scrape see either the live slot or its retired
+    /// counters, never neither.
+    retired: Mutex<RetiredTotals>,
 }
 
 /// Valid session names: path-segment safe.
@@ -436,9 +487,12 @@ impl SessionPool {
             .remove(name)
             .ok_or_else(|| ApiError::not_found(format!("no session '{name}'")))?;
         let s = slot.cache_stats_snapshot();
-        retired.hits += s.hits;
-        retired.misses += s.misses;
-        retired.invalidations += s.invalidations;
+        retired.cache.hits += s.hits;
+        retired.cache.misses += s.misses;
+        retired.cache.invalidations += s.invalidations;
+        let (mh, mm) = slot.memo_snapshot();
+        retired.memo_hits += mh;
+        retired.memo_misses += mm;
         Ok(())
     }
 
@@ -449,7 +503,7 @@ impl SessionPool {
     /// removal folds them into `retired` atomically w.r.t. this read).
     pub fn cache_totals(&self) -> CacheStats {
         let retired = self.retired.lock().unwrap_or_else(|p| p.into_inner());
-        let mut total = *retired;
+        let mut total = retired.cache;
         for slot in self
             .slots
             .read()
@@ -462,6 +516,25 @@ impl SessionPool {
             total.invalidations += s.invalidations;
         }
         total
+    }
+
+    /// Pool-wide prediction-memo `(hits, misses)` totals, monotonic
+    /// across session churn for the same reason as
+    /// [`SessionPool::cache_totals`].
+    pub fn memo_totals(&self) -> (u64, u64) {
+        let retired = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+        let (mut hits, mut misses) = (retired.memo_hits, retired.memo_misses);
+        for slot in self
+            .slots
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
+            let (h, m) = slot.memo_snapshot();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
     }
 
     /// Snapshot of all slots, in name order.
@@ -645,6 +718,55 @@ mod tests {
             invalidations: 0,
         });
         assert_eq!(pool.cache_totals().hits, 9);
+    }
+
+    #[test]
+    fn sample_every_zero_means_never_sample() {
+        // Regression: `{"sample_every": 0}` must be an explicit off
+        // switch — decided before the sequence counter's modulo path
+        // (`x % 0` panics), and stable over any number of queries.
+        let pool = SessionPool::new();
+        let slot = pool.create("s", logistic()).unwrap();
+        slot.set_sampling(0, DEFAULT_SLOW_MS);
+        assert!(!(0..1000).any(|_| slot.should_sample()), "0 samples none");
+        // Re-enabling works; the first sampled query comes immediately
+        // (the off window never consumed sequence numbers).
+        slot.set_sampling(1, DEFAULT_SLOW_MS);
+        assert!(slot.should_sample());
+    }
+
+    #[test]
+    fn slow_ms_zero_means_force_capture_everything() {
+        // Regression: `{"slow_ms": 0}` must capture every request by
+        // decision — including zero-latency ones — not by the accident
+        // of `latency >= 0.0` holding for non-negative clocks.
+        let pool = SessionPool::new();
+        let slot = pool.create("s", logistic()).unwrap();
+        slot.set_sampling(DEFAULT_SAMPLE_EVERY, 0);
+        assert!(slot.is_slow_capture(0.0), "zero latency still captures");
+        assert!(slot.is_slow_capture(12.5));
+        // A non-zero threshold is a real threshold again.
+        slot.set_sampling(DEFAULT_SAMPLE_EVERY, 500);
+        assert!(!slot.is_slow_capture(0.499));
+        assert!(slot.is_slow_capture(0.5));
+        assert!(!slot.is_slow_capture(0.0));
+    }
+
+    #[test]
+    fn memo_counters_fold_into_monotonic_pool_totals() {
+        let pool = SessionPool::new();
+        let a = pool.create("a", logistic()).unwrap();
+        let b = pool.create("b", logistic()).unwrap();
+        a.add_memo_counters(10, 3);
+        a.add_memo_counters(5, 1); // per-run deltas accumulate
+        b.add_memo_counters(7, 2);
+        assert_eq!(a.memo_snapshot(), (15, 4));
+        assert_eq!(pool.memo_totals(), (22, 6));
+        // Removal folds the slot's totals into the retired baseline.
+        pool.remove("a").unwrap();
+        assert_eq!(pool.memo_totals(), (22, 6), "totals regressed");
+        pool.remove("b").unwrap();
+        assert_eq!(pool.memo_totals(), (22, 6));
     }
 
     #[test]

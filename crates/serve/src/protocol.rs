@@ -516,6 +516,9 @@ pub fn run_request_from_json(v: &Json) -> Result<(Method, RunConfig), ApiError> 
         // `0` disables iteration sampling for this run.
         cfg.sample_every = n;
     }
+    if let Some(m) = v.get("memo").and_then(Json::as_bool) {
+        cfg.memo = m;
+    }
     Ok((method, cfg))
 }
 
@@ -604,6 +607,8 @@ pub fn report_to_json(report: &DebugReport) -> Json {
             "skeleton_rebuilds",
             Json::Num(report.skeleton_rebuilds as f64),
         ),
+        ("memo_hits", Json::Num(report.memo_hits as f64)),
+        ("memo_misses", Json::Num(report.memo_misses as f64)),
         (
             "failure",
             match &report.failure {

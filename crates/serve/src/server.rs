@@ -5,8 +5,8 @@
 //! | method & path                     | body → effect |
 //! |-----------------------------------|---------------|
 //! | `GET  /healthz`                   | liveness probe |
-//! | `GET  /stats`                     | server-wide counters (sessions, requests, cache totals, job runner, per-endpoint latency quantiles) |
-//! | `GET  /metrics`                   | Prometheus text exposition (per-endpoint request-latency summaries with p50/p95/p99/p999, queue/lock waits, cache + job counters) |
+//! | `GET  /stats`                     | server-wide counters (sessions, requests, cache + prediction-memo totals, job runner, per-endpoint latency quantiles) |
+//! | `GET  /metrics`                   | Prometheus text exposition (per-endpoint request-latency summaries with p50/p95/p99/p999, queue/lock waits, cache + memo + job counters) |
 //! | `GET  /debug/profiles`            | the always-on sampled profile ring: recent + slow captures (see [`crate::profiles`]) |
 //! | `GET  /debug/profiles/{id}`       | one captured profile with its full span tree |
 //! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…,"sample_every":…,"slow_ms":…]}` → create a session (engine + worker-budget cap fixed at creation; sampling knobs adjustable) |
@@ -88,6 +88,8 @@ struct ServerMetrics {
     cache_misses_total: Arc<Counter>,
     cache_invalidations_total: Arc<Counter>,
     cache_hit_ratio: Arc<Gauge>,
+    memo_hits_total: Arc<Counter>,
+    memo_misses_total: Arc<Counter>,
 }
 
 /// The fixed endpoint-label set for `rain_http_request_seconds`. Routes
@@ -154,6 +156,8 @@ impl ServerMetrics {
             cache_misses_total: registry.counter("rain_cache_misses_total"),
             cache_invalidations_total: registry.counter("rain_cache_invalidations_total"),
             cache_hit_ratio: registry.gauge("rain_cache_hit_ratio"),
+            memo_hits_total: registry.counter("rain_memo_hits_total"),
+            memo_misses_total: registry.counter("rain_memo_misses_total"),
             registry,
         }
     }
@@ -385,6 +389,9 @@ fn render_metrics(state: &ServerState) -> String {
     } else {
         cache.hits as f64 / lookups as f64
     });
+    let (memo_hits, memo_misses) = state.pool.memo_totals();
+    m.memo_hits_total.store(memo_hits);
+    m.memo_misses_total.store(memo_misses);
     let jobs = state.jobs.stats();
     m.jobs_queued.set(jobs.queued as f64);
     m.jobs_running.set(jobs.running as f64);
@@ -395,6 +402,7 @@ fn render_metrics(state: &ServerState) -> String {
 
 fn stats(state: &ServerState) -> Json {
     let cache = state.pool.cache_totals();
+    let memo = state.pool.memo_totals();
     let jobs = state.jobs.stats();
     // Per-endpoint latency quantiles from the same sketches `/metrics`
     // renders; endpoints nothing has hit yet are omitted.
@@ -430,6 +438,13 @@ fn stats(state: &ServerState) -> Json {
                 ("hits", Json::Num(cache.hits as f64)),
                 ("misses", Json::Num(cache.misses as f64)),
                 ("invalidations", Json::Num(cache.invalidations as f64)),
+            ]),
+        ),
+        (
+            "memo",
+            Json::obj(vec![
+                ("hits", Json::Num(memo.0 as f64)),
+                ("misses", Json::Num(memo.1 as f64)),
             ]),
         ),
         (
@@ -509,6 +524,7 @@ fn list_sessions(state: &ServerState) -> Json {
         .iter()
         .map(|slot| {
             let s = slot.cache_stats_snapshot();
+            let (memo_hits, memo_misses) = slot.memo_snapshot();
             Json::obj(vec![
                 ("name", Json::str(slot.name.clone())),
                 ("generation", Json::Num(slot.generation() as f64)),
@@ -520,6 +536,13 @@ fn list_sessions(state: &ServerState) -> Json {
                         ("hits", Json::Num(s.hits as f64)),
                         ("misses", Json::Num(s.misses as f64)),
                         ("invalidations", Json::Num(s.invalidations as f64)),
+                    ]),
+                ),
+                (
+                    "memo",
+                    Json::obj(vec![
+                        ("hits", Json::Num(memo_hits as f64)),
+                        ("misses", Json::Num(memo_misses as f64)),
                     ]),
                 ),
             ])
@@ -673,7 +696,7 @@ fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), 
     // drain the buffer when it crosses half capacity and no trace is
     // live, so always-on sampling never pins stale records.
     let latency_s = t_exec.elapsed().as_secs_f64();
-    let slow = latency_s >= slot.slow_threshold_s();
+    let slow = slot.is_slow_capture(latency_s);
     let captured = sampled_trace.or_else(|| analysis.as_ref().and_then(|(_, t)| t.clone()));
     if let Some(trace) = captured {
         state.profiles.push(

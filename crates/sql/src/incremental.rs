@@ -39,6 +39,14 @@
 //! [`PreparedQuery::refresh_with`] under [`StalePolicy::Rebuild`] instead:
 //! a stale skeleton is transparently re-prepared from its cached plan (the
 //! explicit-error behavior stays available as [`StalePolicy::Error`]).
+//!
+//! **Memoization.** Between consecutive iterations most feature rows
+//! score the same class, and within one iteration the same base row
+//! often feeds several queries. A [`ScoreMemo`] shared across
+//! [`PreparedQuery::refresh_memo`] calls caches scores by (model
+//! generation, feature-row content hash) so inference runs only for
+//! rows whose features or model actually changed — with output
+//! bit-identical to the unmemoized refresh.
 
 use crate::ast::AggFunc;
 use crate::binder::{BExpr, BoundAgg, BoundAggArg, GroupKey, QueryKind};
@@ -53,7 +61,9 @@ use crate::value::Value;
 use crate::QueryError;
 use rain_linalg::Matrix;
 use rain_model::Classifier;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// What the join pipeline saw while building the candidate set; captured
@@ -170,6 +180,12 @@ pub struct PreparedQuery {
     /// One feature row per prediction variable, packed at prepare time so
     /// refresh inference is a single batched call.
     features: Matrix,
+    /// Content hash of each feature row (`f64` bit patterns through a
+    /// deterministic hasher), aligned with `features`. Computed once at
+    /// prepare time; [`ScoreMemo`] keys cached scores by these, so rows
+    /// with identical features — within this query or across queries —
+    /// share one inference per model generation.
+    feature_hashes: Vec<u64>,
     /// Class count the skeleton's formulas were built for.
     n_classes: usize,
     /// `(table id, catalog version, row count)` per plan relation, used to
@@ -245,6 +261,9 @@ pub fn prepare_with(
         }
         features.row_mut(i).copy_from_slice(feat);
     }
+    let feature_hashes = (0..features.rows())
+        .map(|i| feature_row_hash(features.row(i)))
+        .collect();
 
     let rels = plan
         .rels
@@ -264,10 +283,85 @@ pub fn prepare_with(
         plan: plan.clone(),
         reg,
         features,
+        feature_hashes,
         n_classes: model.n_classes(),
         rels,
         stats,
     })
+}
+
+/// Deterministic content hash of one feature row: the exact `f64` bit
+/// patterns through a seed-free hasher, so equal rows hash equal across
+/// queries, prepares, and processes — and any feature change (including
+/// `-0.0` vs `0.0` or a different NaN payload) changes the hash.
+fn feature_row_hash(row: &[f64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &v in row {
+        v.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Memoized classifier scores, keyed by (model generation, feature-row
+/// hash).
+///
+/// The debug loop re-scores a mostly-unchanged feature matrix every
+/// iteration, and within one iteration the same base row feeds prediction
+/// variables in several queries. A `ScoreMemo` shared across
+/// [`PreparedQuery::refresh_memo`] calls serves those repeats from cache:
+/// inference runs only for feature rows not seen under the current model
+/// generation. [`ScoreMemo::advance`] declares a generation (the driver
+/// uses its retrain counter); a generation change clears every cached
+/// score, so a stale model can never serve a hit.
+///
+/// Memoized refreshes are bit-identical to plain ones: a cached score is
+/// the score `predict_batch` computed for that exact feature row under
+/// the current generation, and by the [`Classifier`] contract inference
+/// is a pure per-row function of (model, features).
+#[derive(Debug, Clone, Default)]
+pub struct ScoreMemo {
+    generation: u64,
+    scores: HashMap<u64, usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreMemo {
+    /// An empty memo at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare the current model generation. Any change — forward after a
+    /// retrain, backward after a rollback — drops every cached score;
+    /// hit/miss totals survive (they describe the memo's lifetime, not
+    /// one generation).
+    pub fn advance(&mut self, generation: u64) {
+        if generation != self.generation {
+            self.generation = generation;
+            self.scores.clear();
+        }
+    }
+
+    /// Feature rows served from cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Feature rows that required inference since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct feature rows cached under the current generation.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no score is cached under the current generation.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
 }
 
 /// How a refresh reacts to a stale skeleton — a queried table
@@ -316,15 +410,63 @@ impl PreparedQuery {
         model: &dyn Classifier,
         threads: usize,
     ) -> Result<QueryOutput, QueryError> {
+        self.refresh_inner(db, model, threads, None)
+    }
+
+    /// [`PreparedQuery::refresh`] through a [`ScoreMemo`]: feature rows
+    /// already scored under the memo's current generation skip inference
+    /// and read their cached class; only the (deduplicated) misses run
+    /// through the model, batched. Output is bit-identical to a plain
+    /// refresh under the same parameters — the memo only changes *which
+    /// rows* reach the model, never what any row scores.
+    ///
+    /// The caller owns the generation discipline: call
+    /// [`ScoreMemo::advance`] with a new generation after every parameter
+    /// update, or the memo will serve scores of the model it last saw.
+    pub fn refresh_memo(
+        &self,
+        db: &Database,
+        model: &dyn Classifier,
+        memo: &mut ScoreMemo,
+    ) -> Result<QueryOutput, QueryError> {
+        self.refresh_memo_threaded(db, model, 0, memo)
+    }
+
+    /// [`PreparedQuery::refresh_memo`] with an explicit worker budget for
+    /// the miss inference (`0` = auto, `1` = sequential).
+    pub fn refresh_memo_threaded(
+        &self,
+        db: &Database,
+        model: &dyn Classifier,
+        threads: usize,
+        memo: &mut ScoreMemo,
+    ) -> Result<QueryOutput, QueryError> {
+        self.refresh_inner(db, model, threads, Some(memo))
+    }
+
+    fn refresh_inner(
+        &self,
+        db: &Database,
+        model: &dyn Classifier,
+        threads: usize,
+        memo: Option<&mut ScoreMemo>,
+    ) -> Result<QueryOutput, QueryError> {
         if let Some(why) = self.staleness(db, model) {
             return Err(QueryError::Exec(why));
         }
 
         let mut refresh_span = rain_obs::Span::enter("refresh");
         refresh_span.add("n_vars", self.reg.len() as u64);
-        let reg = self
-            .reg
-            .with_preds(predict_batch_sharded(model, &self.features, threads));
+        let preds = match memo {
+            None => predict_batch_sharded(model, &self.features, threads),
+            Some(memo) => {
+                let preds = self.predict_memoized(model, threads, memo);
+                refresh_span.add("memo_hits", memo.hits);
+                refresh_span.add("memo_misses", memo.misses);
+                preds
+            }
+        };
+        let reg = self.reg.with_preds(preds);
         let _reeval = rain_obs::Span::enter("re-eval");
         Ok(match &self.kind {
             KindSkeleton::Select(s) => {
@@ -390,6 +532,80 @@ impl PreparedQuery {
             _ => false,
         };
         Ok((self.refresh_threaded(db, model, threads)?, rebuilt))
+    }
+
+    /// [`PreparedQuery::refresh_with_threaded`] through a [`ScoreMemo`]
+    /// (the driver's per-iteration path). A transparent rebuild replaces
+    /// the skeleton — and with it the feature rows and their hashes — but
+    /// never invalidates the memo: cached scores are keyed by feature
+    /// content, not by variable ids, so they stay correct across
+    /// rebuilds within one model generation.
+    pub fn refresh_with_memo_threaded(
+        &mut self,
+        db: &Database,
+        model: &dyn Classifier,
+        policy: StalePolicy,
+        threads: usize,
+        memo: &mut ScoreMemo,
+    ) -> Result<(QueryOutput, bool), QueryError> {
+        let rebuilt = match policy {
+            StalePolicy::Rebuild if self.staleness(db, model).is_some() => {
+                let plan = self.plan.clone();
+                *self = prepare_with(db, model, &plan, self.stats.engine, threads)?;
+                true
+            }
+            _ => false,
+        };
+        Ok((self.refresh_inner(db, model, threads, Some(memo))?, rebuilt))
+    }
+
+    /// Hard predictions for every feature row, served from `memo` where
+    /// the row's feature hash is already cached under the current
+    /// generation. Misses are deduplicated by hash, gathered into a
+    /// compact matrix, scored in one sharded batch
+    /// ([`predict_batch_sharded`], so the inference span and its shard
+    /// children appear exactly when inference runs), scattered back, and
+    /// cached. A hit is any row that skipped inference — including the
+    /// second and later occurrences of a hash first seen this refresh.
+    fn predict_memoized(
+        &self,
+        model: &dyn Classifier,
+        threads: usize,
+        memo: &mut ScoreMemo,
+    ) -> Vec<usize> {
+        let n = self.features.rows();
+        let mut preds = vec![0usize; n];
+        // hash → rows of this refresh awaiting that hash's one inference;
+        // `miss_rows` holds each distinct hash's first row, in row order.
+        let mut pending: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut miss_rows: Vec<usize> = Vec::new();
+        for (i, &h) in self.feature_hashes.iter().enumerate() {
+            if let Some(&class) = memo.scores.get(&h) {
+                preds[i] = class;
+            } else {
+                pending
+                    .entry(h)
+                    .or_insert_with(|| {
+                        miss_rows.push(i);
+                        Vec::new()
+                    })
+                    .push(i);
+            }
+        }
+        memo.misses += miss_rows.len() as u64;
+        memo.hits += (n - miss_rows.len()) as u64;
+        if !miss_rows.is_empty() {
+            let compact = self.features.select_rows(&miss_rows);
+            let scored = predict_batch_sharded(model, &compact, threads);
+            for (j, &row) in miss_rows.iter().enumerate() {
+                let h = self.feature_hashes[row];
+                memo.scores.insert(h, scored[j]);
+                for &i in &pending[&h] {
+                    preds[i] = scored[j];
+                }
+            }
+        }
+        preds
     }
 
     /// True when a queried table was re-registered since [`prepare`] (the

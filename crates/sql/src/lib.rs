@@ -96,7 +96,9 @@ pub use exec::{
     execute, resolve_threads, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult,
     MAX_EXEC_THREADS,
 };
-pub use incremental::{prepare, prepare_with, PreparedQuery, SkeletonStats, StalePolicy};
+pub use incremental::{
+    prepare, prepare_with, PreparedQuery, ScoreMemo, SkeletonStats, StalePolicy,
+};
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;

@@ -13,6 +13,7 @@
 //!   vectors.
 
 use super::batch::RowSet;
+use super::morsel;
 use crate::binder::{BoundAgg, BoundAggArg, GroupKey};
 use crate::eval::{self, EvalCtx, Tuples};
 use crate::exec::QueryOutput;
@@ -43,7 +44,7 @@ pub(crate) fn aggregate_rowset(
 ) -> Result<QueryOutput, QueryError> {
     let mut span = rain_obs::Span::enter("aggregate");
     span.add("rows_in", rows.len() as u64);
-    if let Some(out) = grouped_fast_path(ctx, &rows, keys, aggs)? {
+    if let Some(out) = grouped_fast_path(ctx, &rows, keys, aggs, &mut span)? {
         return Ok(out);
     }
     // Fast path: normal mode, one global group, model-free arguments.
@@ -126,6 +127,17 @@ pub(crate) fn aggregate_rowset(
 /// order, so results stay bit-identical (the grouped property suite in
 /// `tests/properties.rs` pins this against the tuple oracle).
 ///
+/// With a thread budget and enough tuples, grouping shards by **key
+/// hash**: one morsel-parallel pass routes every tuple's key to one of
+/// [`morsel::partition_count`] partitions (a function of the input size
+/// only, so the traced plan shape is thread-independent), then one
+/// worker per partition walks **all** tuples in order, accumulating only
+/// the groups routed to it. Each group lives in exactly one partition
+/// and sees its tuples in full tuple order, so every per-group float sum
+/// is the sequential sum bit for bit; the merged groups sort ascending
+/// by key like the sequential path. Per-partition spans land under the
+/// `aggregate` span with deterministic indices.
+///
 /// Returns `None` when the shape doesn't fit, handing over to the shared
 /// path.
 fn grouped_fast_path(
@@ -133,6 +145,7 @@ fn grouped_fast_path(
     rows: &RowSet,
     keys: &[GroupKey],
     aggs: &[BoundAgg],
+    agg_span: &mut rain_obs::Span,
 ) -> Result<Option<QueryOutput>, QueryError> {
     let [GroupKey::Col { rel, col, .. }] = keys else {
         return Ok(None);
@@ -161,20 +174,13 @@ fn grouped_fast_path(
         return Ok(None);
     };
 
-    // One accumulator row per group, discovered in tuple order.
-    let mut group_of: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
-    let mut group_keys: Vec<i64> = Vec::new();
-    let mut accs: Vec<Vec<(f64, usize)>> = Vec::new();
-    let key_rows = rows.rel(*rel);
-    for (i, &kr) in key_rows.iter().enumerate() {
-        let k = key_slice[kr as usize];
-        let gid = *group_of.entry(k).or_insert_with(|| {
-            group_keys.push(k);
-            accs.push(vec![(0.0, 0); aggs.len()]);
-            accs.len() - 1
-        });
+    // Accumulate tuple `i` into one group's accumulator row. Shared by
+    // the sequential pass and the per-partition workers — within a
+    // group, both apply the same tuples in the same (full tuple) order,
+    // so the float-summation sequence is identical.
+    let accumulate = |acc: &mut [(f64, usize)], i: usize| {
         for (ai, slice) in arg_slices.iter().enumerate() {
-            let (sum, cnt) = &mut accs[gid][ai];
+            let (sum, cnt) = &mut acc[ai];
             match slice {
                 None => {
                     *sum += 1.0;
@@ -189,6 +195,74 @@ fn grouped_fast_path(
                     *cnt += 1;
                 }
             }
+        }
+    };
+
+    // One accumulator row per group; `group_keys[g]` and `accs[g]` stay
+    // index-aligned (discovery order is irrelevant — output sorts by key).
+    let mut group_keys: Vec<i64> = Vec::new();
+    let mut accs: Vec<Vec<(f64, usize)>> = Vec::new();
+    let key_rows = rows.rel(*rel);
+    let n = key_rows.len();
+    if morsel::worth_parallel(ctx.threads, n) {
+        let n_parts = morsel::partition_count(n);
+        agg_span.add("partitions", n_parts as u64);
+        // Phase 1: route each tuple's key to its partition,
+        // morsel-parallel, emitting per-morsel index lists per partition
+        // so phase 2 touches every tuple exactly once (a per-partition
+        // scan over all tuples would cost O(partitions × n) in skips).
+        let routed: Vec<Vec<Vec<u32>>> = morsel::run_morsels(ctx.threads, n, |start, end| {
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+            for (i, &kr) in key_rows[start..end].iter().enumerate() {
+                let p = morsel::part_of(&key_slice[kr as usize], n_parts);
+                lists[p].push((start + i) as u32);
+            }
+            lists
+        });
+        // Phase 2: one worker per partition accumulates its own groups.
+        // A partition's indices concatenate in morsel order — globally
+        // ascending — so per-group accumulation order matches the
+        // sequential pass and float sums stay bit-identical.
+        let agg_id = agg_span.id();
+        let parts = morsel::run_tasks(ctx.threads, n_parts, |p| {
+            let mut pspan = rain_obs::Span::enter_under(agg_id, "partition");
+            pspan.add("index", p as u64);
+            let mut group_of: std::collections::HashMap<i64, usize> =
+                std::collections::HashMap::new();
+            let mut pkeys: Vec<i64> = Vec::new();
+            let mut paccs: Vec<Vec<(f64, usize)>> = Vec::new();
+            let mut items = 0u64;
+            for lists in &routed {
+                for &i in &lists[p] {
+                    let i = i as usize;
+                    items += 1;
+                    let k = key_slice[key_rows[i] as usize];
+                    let gid = *group_of.entry(k).or_insert_with(|| {
+                        pkeys.push(k);
+                        paccs.push(vec![(0.0, 0); aggs.len()]);
+                        paccs.len() - 1
+                    });
+                    accumulate(&mut paccs[gid], i);
+                }
+            }
+            pspan.add("items", items);
+            pspan.add("groups", pkeys.len() as u64);
+            (pkeys, paccs)
+        });
+        for (pkeys, paccs) in parts {
+            group_keys.extend(pkeys);
+            accs.extend(paccs);
+        }
+    } else {
+        let mut group_of: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        for (i, &kr) in key_rows.iter().enumerate() {
+            let k = key_slice[kr as usize];
+            let gid = *group_of.entry(k).or_insert_with(|| {
+                group_keys.push(k);
+                accs.push(vec![(0.0, 0); aggs.len()]);
+                accs.len() - 1
+            });
+            accumulate(&mut accs[gid], i);
         }
     }
 

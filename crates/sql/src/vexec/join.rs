@@ -14,9 +14,19 @@
 //! phase shards into [`morsel`]s against the shared read-only build
 //! table: each worker probes its tuple range into a private row set and
 //! the per-morsel outputs merge in morsel order, reproducing the
-//! sequential probe sequence exactly (rows and provenance). The build
-//! phase stays sequential — build input is the scan-filtered base table,
-//! typically far smaller than the probe stream.
+//! sequential probe sequence exactly (rows and provenance).
+//!
+//! A large enough **build** side shards too, by key hash: one
+//! morsel-parallel pass extracts every build key and routes it to one of
+//! [`morsel::partition_count`] partitions (a function of the build size
+//! only, so the traced plan shape is thread-independent), then one
+//! worker per partition fills its private sub-table by walking the
+//! routed keys **in scan order**. Each key lives in exactly one
+//! partition, so every per-key row list is the sequential build's list —
+//! the merged [`PartitionedIndex`] answers probes identically, and
+//! NULL/NaN keys are skipped during routing exactly as the sequential
+//! build skips them. Cross joins shard over the accumulated tuples the
+//! same way the probe does.
 //!
 //! Key equality matches the `=` predicate exactly (the shared
 //! [`join_key`] canonicalization): every numeric type compares as `f64`
@@ -29,11 +39,13 @@
 use super::batch::RowSet;
 use super::kernels::NumCol;
 use super::morsel;
+use super::morsel::part_of;
 use crate::binder::BExpr;
 use crate::eval::{f64_key_bits, join_key, EvalCtx, JoinKey};
 use crate::table::{ColType, Table};
 use crate::QueryError;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 /// How a hash join will key one join step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,15 +94,136 @@ pub(crate) fn strategy(tables: &[&Table], keys: &[(BExpr, BExpr)]) -> Strategy {
 }
 
 /// Nested-loop cross join (no usable equi keys): every accumulated tuple
-/// against every scanned base row, in order.
-pub(crate) fn cross_join(left: RowSet, right_rows: &[u32], debug: bool) -> RowSet {
-    let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
-    for i in 0..left.len() {
-        for &r in right_rows {
-            out.push_joined(&left, i, r);
+/// against every scanned base row, in order. With a thread budget and
+/// enough accumulated tuples the expansion shards into [`morsel`]s over
+/// the left side (per-morsel outputs merge in morsel order), so the
+/// joined sequence is identical at every thread count.
+pub(crate) fn cross_join(left: RowSet, right_rows: &[u32], debug: bool, threads: usize) -> RowSet {
+    let n = left.len();
+    let mut span = rain_obs::Span::enter("cross");
+    span.add("rows_in", n as u64);
+    let expand = |start: usize, end: usize| {
+        let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+        for i in start..end {
+            for &r in right_rows {
+                out.push_joined(&left, i, r);
+            }
         }
-    }
+        out
+    };
+    let out = if morsel::worth_parallel(threads, n) {
+        let span_id = span.id();
+        let parts = morsel::run_morsels(threads, n, |start, end| {
+            let mut mspan = rain_obs::Span::enter_under(span_id, "morsel");
+            mspan.add("index", (start / morsel::MORSEL_SIZE) as u64);
+            mspan.add("items", (end - start) as u64);
+            expand(start, end)
+        });
+        let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+        for p in parts {
+            out.append(p);
+        }
+        out
+    } else {
+        expand(0, n)
+    };
+    span.add("rows_out", out.len() as u64);
     out
+}
+
+/// A hash-join build table, sharded by key hash. One partition means the
+/// build ran sequentially; probes route a key to its partition and look
+/// it up there. Because every key lives in exactly one partition and each
+/// partition is filled in scan order, the per-key row lists — and thus
+/// every probe result — are identical to a sequential single-map build.
+struct PartitionedIndex<K> {
+    parts: Vec<HashMap<K, Vec<u32>>>,
+}
+
+impl<K: Hash + Eq> PartitionedIndex<K> {
+    fn get(&self, k: &K) -> Option<&Vec<u32>> {
+        let p = if self.parts.len() == 1 {
+            0
+        } else {
+            part_of(k, self.parts.len())
+        };
+        self.parts[p].get(k)
+    }
+}
+
+/// Phase 2 of a parallel build: given per-morsel `(row, key)` lists per
+/// partition (each list in scan order), fill each partition's sub-table
+/// with one worker per partition. A partition's entries concatenate in
+/// morsel order — scan order — so every per-key row list is identical to
+/// a sequential build's, and each worker touches only its own rows (a
+/// per-partition scan over all routed keys would cost
+/// O(partitions × rows) in skips). Partition spans carry their
+/// (deterministic) partition index.
+fn fill_partitions<K>(
+    threads: usize,
+    routed: &[Vec<Vec<(u32, K)>>],
+    n_parts: usize,
+    build_id: rain_obs::SpanId,
+) -> Vec<HashMap<K, Vec<u32>>>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+{
+    morsel::run_tasks(threads, n_parts, |p| {
+        let mut pspan = rain_obs::Span::enter_under(build_id, "partition");
+        pspan.add("index", p as u64);
+        let mut map: HashMap<K, Vec<u32>> = HashMap::new();
+        let mut items = 0u64;
+        for lists in routed {
+            for (r, k) in &lists[p] {
+                map.entry(k.clone()).or_default().push(*r);
+                items += 1;
+            }
+        }
+        pspan.add("items", items);
+        map
+    })
+}
+
+/// Build the hash index over `right_rows` with `build_key`, sharding by
+/// key hash when the build side and thread budget warrant it. A `None`
+/// key (NULL/NaN) matches nothing and is skipped — in the parallel build
+/// it is dropped during routing, before any partition sees it, exactly
+/// mirroring the sequential skip.
+fn build_index<K>(
+    right_rows: &[u32],
+    threads: usize,
+    build_key: impl Fn(usize) -> Option<K> + Sync,
+) -> PartitionedIndex<K>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+{
+    let mut build_span = rain_obs::Span::enter("build");
+    build_span.add("rows_in", right_rows.len() as u64);
+    let n = right_rows.len();
+    if !morsel::worth_parallel(threads, n) {
+        let mut index: HashMap<K, Vec<u32>> = HashMap::with_capacity(n);
+        for &r in right_rows {
+            if let Some(k) = build_key(r as usize) {
+                index.entry(k).or_default().push(r);
+            }
+        }
+        return PartitionedIndex { parts: vec![index] };
+    }
+    let n_parts = morsel::partition_count(n);
+    build_span.add("partitions", n_parts as u64);
+    // Phase 1: morsel-parallel key extraction and partition routing. A
+    // NULL/NaN key is dropped here, before any partition sees it.
+    let routed: Vec<Vec<Vec<(u32, K)>>> = morsel::run_morsels(threads, n, |start, end| {
+        let mut lists: Vec<Vec<(u32, K)>> = vec![Vec::new(); n_parts];
+        for &r in &right_rows[start..end] {
+            if let Some(k) = build_key(r as usize) {
+                lists[part_of(&k, n_parts)].push((r, k));
+            }
+        }
+        lists
+    });
+    let parts = fill_partitions(threads, &routed, n_parts, build_span.id());
+    PartitionedIndex { parts }
 }
 
 /// Hash join of the accumulated tuples with relation `rel` on the given
@@ -155,37 +288,19 @@ pub(crate) fn hash_join(
         Strategy::General => {
             // Arbitrary key expressions through the shared scalar
             // evaluator into canonical key vectors (identical to the
-            // tuple engine, NULL/NaN skipping included). Build first,
-            // sequentially, with the caller's context.
-            let mut build_span = rain_obs::Span::enter("build");
-            build_span.add("rows_in", right_rows.len() as u64);
-            let mut index: HashMap<Vec<JoinKey>, Vec<u32>> = HashMap::new();
-            let mut probe_rows = vec![0u32; rel + 1];
-            for &r in right_rows {
-                probe_rows[rel] = r;
-                let mut key = Vec::with_capacity(keys.len());
-                for (_, re) in keys {
-                    match join_key(&ctx.eval_value(re, &probe_rows)?) {
-                        Some(k) => key.push(k),
-                        None => break,
-                    }
-                }
-                if key.len() == keys.len() {
-                    index.entry(key).or_default().push(r);
-                }
-            }
-            drop(build_span);
-            let n = left.len();
-            let mut probe_span = rain_obs::Span::enter("probe");
-            probe_span.add("rows_in", n as u64);
-            // Equi keys are model-free by construction (`equi_keys` never
-            // selects a `predict()` conjunct), so parallel probe workers
+            // tuple engine, NULL/NaN skipping included). Equi keys are
+            // model-free by construction (`equi_keys` never selects a
+            // `predict()` conjunct), so parallel build and probe workers
             // can evaluate them in scratch contexts; guard anyway so a
             // hand-built plan degrades to the sequential path instead of
             // splitting variable creation across workers.
             let model_free = keys
                 .iter()
                 .all(|(le, re)| !le.contains_predict() && !re.contains_predict());
+            let index = general_build(ctx, right_rows, keys, rel, threads, model_free)?;
+            let n = left.len();
+            let mut probe_span = rain_obs::Span::enter("probe");
+            probe_span.add("rows_in", n as u64);
             let out = if morsel::worth_parallel(threads, n) && model_free {
                 let (db, model, query) = (ctx.db, ctx.model, ctx.query);
                 let index_ref = &index;
@@ -213,6 +328,74 @@ pub(crate) fn hash_join(
     Ok((rows, strat))
 }
 
+/// Evaluate the build-side key of base row `r` into its canonical key
+/// vector — `None` as soon as any part is NULL/NaN (the row matches
+/// nothing and is skipped), exactly like the tuple engine.
+fn general_build_key(
+    ctx: &mut EvalCtx,
+    keys: &[(BExpr, BExpr)],
+    probe_rows: &mut [u32],
+    rel: usize,
+    r: u32,
+) -> Result<Option<Vec<JoinKey>>, QueryError> {
+    probe_rows[rel] = r;
+    let mut key = Vec::with_capacity(keys.len());
+    for (_, re) in keys {
+        match join_key(&ctx.eval_value(re, probe_rows)?) {
+            Some(k) => key.push(k),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(key))
+}
+
+/// Build the general-strategy hash index: sequential with the caller's
+/// context when the build side is small (or a key could touch the
+/// model), hash-partitioned across workers otherwise — phase 1 evaluates
+/// and routes keys morsel-parallel in scratch contexts, phase 2 fills
+/// one sub-table per partition in scan order ([`fill_partitions`]).
+fn general_build(
+    ctx: &mut EvalCtx,
+    right_rows: &[u32],
+    keys: &[(BExpr, BExpr)],
+    rel: usize,
+    threads: usize,
+    model_free: bool,
+) -> Result<PartitionedIndex<Vec<JoinKey>>, QueryError> {
+    let mut build_span = rain_obs::Span::enter("build");
+    build_span.add("rows_in", right_rows.len() as u64);
+    let n = right_rows.len();
+    if !morsel::worth_parallel(threads, n) || !model_free {
+        let mut index: HashMap<Vec<JoinKey>, Vec<u32>> = HashMap::new();
+        let mut probe_rows = vec![0u32; rel + 1];
+        for &r in right_rows {
+            if let Some(key) = general_build_key(ctx, keys, &mut probe_rows, rel, r)? {
+                index.entry(key).or_default().push(r);
+            }
+        }
+        return Ok(PartitionedIndex { parts: vec![index] });
+    }
+    let n_parts = morsel::partition_count(n);
+    build_span.add("partitions", n_parts as u64);
+    let debug = ctx.debug;
+    let (db, model, query) = (ctx.db, ctx.model, ctx.query);
+    let parts = morsel::run_morsels(threads, n, |start, end| {
+        let mut wctx = EvalCtx::new(db, model, query, debug);
+        let mut probe_rows = vec![0u32; rel + 1];
+        let mut lists: Vec<Vec<(u32, Vec<JoinKey>)>> = vec![Vec::new(); n_parts];
+        for &r in &right_rows[start..end] {
+            if let Some(k) = general_build_key(&mut wctx, keys, &mut probe_rows, rel, r)? {
+                lists[part_of(&k, n_parts)].push((r, k));
+            }
+        }
+        Ok::<_, QueryError>(lists)
+    });
+    // Surface the first (lowest-morsel) error, like a sequential pass.
+    let routed = parts.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let parts = fill_partitions(threads, &routed, n_parts, build_span.id());
+    Ok(PartitionedIndex { parts })
+}
+
 /// Probe tuples `start..end` of `left` against a built general-key index,
 /// in order — the unit of work shared by the sequential and the
 /// morsel-parallel probe.
@@ -220,7 +403,7 @@ fn general_probe(
     ctx: &mut EvalCtx,
     left: &RowSet,
     keys: &[(BExpr, BExpr)],
-    index: &HashMap<Vec<JoinKey>, Vec<u32>>,
+    index: &PartitionedIndex<Vec<JoinKey>>,
     start: usize,
     end: usize,
 ) -> Result<RowSet, QueryError> {
@@ -246,27 +429,24 @@ fn general_probe(
 
 /// Hash join on one typed key: `build_key(base row)` indexes the new
 /// relation, `probe_key(tuple, left)` reads the accumulated side. A
-/// `None` key (NULL/NaN) matches nothing and is skipped. The probe
-/// shards across morsel workers when `threads` and the tuple count
-/// warrant it; outputs merge in morsel order, so the joined sequence is
-/// identical at every thread count.
-fn typed_join<K: std::hash::Hash + Eq + Sync>(
+/// `None` key (NULL/NaN) matches nothing and is skipped — per partition
+/// in a parallel build, exactly as sequentially. Both phases shard
+/// across workers when `threads` and their input sizes warrant it
+/// (build by key-hash partition, probe by tuple morsel); outputs merge
+/// deterministically, so the joined sequence is identical at every
+/// thread count.
+fn typed_join<K>(
     left: RowSet,
     right_rows: &[u32],
     debug: bool,
     threads: usize,
-    build_key: impl Fn(usize) -> Option<K>,
+    build_key: impl Fn(usize) -> Option<K> + Sync,
     probe_key: impl Fn(usize, &RowSet) -> Option<K> + Sync,
-) -> RowSet {
-    let mut build_span = rain_obs::Span::enter("build");
-    build_span.add("rows_in", right_rows.len() as u64);
-    let mut index: HashMap<K, Vec<u32>> = HashMap::with_capacity(right_rows.len());
-    for &r in right_rows {
-        if let Some(k) = build_key(r as usize) {
-            index.entry(k).or_default().push(r);
-        }
-    }
-    drop(build_span);
+) -> RowSet
+where
+    K: Hash + Eq + Clone + Send + Sync,
+{
+    let index = build_index(right_rows, threads, build_key);
     let probe_range = |start: usize, end: usize| {
         let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
         for i in start..end {

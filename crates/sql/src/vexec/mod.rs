@@ -101,7 +101,7 @@ pub(crate) fn join_pipeline(
         let step;
         rows = if equi.is_empty() {
             step = "nested-loop";
-            join::cross_join(rows, &right_rows, debug)
+            join::cross_join(rows, &right_rows, debug, ctx.threads)
         } else {
             for (_, _, ci) in &equi {
                 applied[*ci] = true;
@@ -218,12 +218,37 @@ fn apply_conjuncts(
 }
 
 /// Scalar fallback for a model-free conjunct with no kernel: evaluate per
-/// tuple through the shared evaluator and compact in place.
+/// tuple through the shared evaluator and compact in place. With a thread
+/// budget and enough tuples, the keep-mask evaluates morsel-parallel in
+/// scratch contexts (the conjunct is model-free, so workers create no
+/// prediction variables) and the compaction applies it in tuple order —
+/// the surviving sequence is the sequential one, bit for bit.
 fn filter_scalar(ctx: &mut EvalCtx, rows: &mut RowSet, c: &BExpr) -> Result<(), QueryError> {
     let n_rels = rows.n_rels();
+    let n = rows.len();
+    if morsel::worth_parallel(ctx.threads, n) && !c.contains_predict() {
+        let (db, model, query, debug) = (ctx.db, ctx.model, ctx.query, ctx.debug);
+        let rows_ref = &*rows;
+        let parts = morsel::run_morsels(ctx.threads, n, |start, end| {
+            let mut wctx = EvalCtx::new(db, model, query, debug);
+            let mut buf = vec![0u32; n_rels];
+            let mut keep = Vec::with_capacity(end - start);
+            for i in start..end {
+                rows_ref.gather(i, &mut buf);
+                keep.push(match wctx.eval_pred(c, &buf)? {
+                    Sym::Const(b) => b,
+                    // Defensive: model-free conjuncts fold to constants.
+                    Sym::Prov(f) => f.eval_discrete(wctx.reg.preds()),
+                });
+            }
+            Ok::<_, QueryError>(keep)
+        });
+        let mask = morsel::concat_results(parts)?;
+        rows.retain_mask(&mask);
+        return Ok(());
+    }
     let mut buf = vec![0u32; n_rels];
     let mut write = 0;
-    let n = rows.len();
     for i in 0..n {
         rows.gather(i, &mut buf);
         let keep = match ctx.eval_pred(c, &buf)? {

@@ -14,6 +14,8 @@
 //! engine's determinism guarantee (rows *and* provenance equal to the
 //! tuple oracle) intact at every thread count.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -41,6 +43,63 @@ pub(crate) fn morsel_count(threads: usize, n_items: usize) -> usize {
     } else {
         1
     }
+}
+
+/// Most hash partitions a parallel build/aggregation splits into. Small
+/// enough that per-partition routing lists and merge bookkeeping stay
+/// cheap, large enough to feed every realistic worker budget.
+pub(crate) const MAX_PARTITIONS: usize = 16;
+
+/// How many hash partitions `n_items` splits into for a parallel
+/// hash-join build or grouped aggregation. A function of the input size
+/// **only** — never of the thread budget — so a traced run records the
+/// same partition spans (same count, same deterministic indices) at
+/// every parallel thread count.
+pub(crate) fn partition_count(n_items: usize) -> usize {
+    n_items.div_ceil(MORSEL_SIZE).clamp(1, MAX_PARTITIONS)
+}
+
+/// Which partition of `n_parts` a key hashes into. Routing uses its own
+/// deterministic hasher (seed-free SipHash) so partition assignment is a
+/// pure function of the key — identical across workers, runs, and thread
+/// counts.
+pub(crate) fn part_of<K: Hash + ?Sized>(key: &K, n_parts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n_parts as u64) as usize
+}
+
+/// Run `work(task)` for every task index in `0..n_tasks` across up to
+/// `threads` scoped workers, returning the outputs **in task order**.
+///
+/// The task-indexed sibling of [`run_morsels`]: hash-partitioned builds
+/// and grouped aggregations shard by partition id instead of contiguous
+/// item ranges, but determinism comes from the same construction — each
+/// task writes its own pre-allocated slot, claim order never shows.
+pub(crate) fn run_tasks<T, F>(threads: usize, n_tasks: usize, work: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<OnceLock<T>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n_tasks.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= n_tasks {
+                    break;
+                }
+                let out = work(t);
+                let _ = slots[t].set(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every task claimed exactly once"))
+        .collect()
 }
 
 /// Split `n_items` into contiguous morsels and run `work(start, end)` for
@@ -121,5 +180,24 @@ mod tests {
         assert!(!worth_parallel(8, MIN_PARALLEL_ITEMS - 1));
         assert!(!worth_parallel(1, 1 << 20));
         assert!(worth_parallel(2, MIN_PARALLEL_ITEMS));
+    }
+
+    #[test]
+    fn task_outputs_collect_in_order_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let out = run_tasks(threads, 11, |t| t * t);
+            let want: Vec<usize> = (0..11).map(|t| t * t).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+        assert!(run_tasks(4, 0, |t| t).is_empty());
+    }
+
+    #[test]
+    fn partition_count_is_thread_independent_and_bounded() {
+        assert_eq!(partition_count(0), 1);
+        assert_eq!(partition_count(1), 1);
+        assert_eq!(partition_count(MORSEL_SIZE), 1);
+        assert_eq!(partition_count(MIN_PARALLEL_ITEMS), 2);
+        assert_eq!(partition_count(usize::MAX / 2), MAX_PARTITIONS);
     }
 }

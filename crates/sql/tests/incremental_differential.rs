@@ -16,7 +16,7 @@ use rain_model::{Classifier, LogisticRegression};
 use rain_sql::table::{ColType, Column, Schema, Table};
 use rain_sql::{
     bind, execute, optimize, parse_select, prepare, Database, Engine, ExecOptions, QueryOutput,
-    StalePolicy,
+    ScoreMemo, StalePolicy,
 };
 
 const CASES: u64 = 128;
@@ -366,6 +366,76 @@ fn threaded_refresh_and_capture_are_bit_identical_on_large_inputs() {
                 );
             }
         }
+    }
+}
+
+/// The prediction memo is invisible to results: a refresh trajectory
+/// through several model generations (retrain steps) with a `ScoreMemo`
+/// is bit-identical to the same trajectory without one, at every thread
+/// count — and the hit/miss counters account for exactly the rows the
+/// memo served vs. inferred. Within one generation every row after the
+/// first refresh is a hit; advancing the generation drops the cache and
+/// the next refresh re-infers.
+#[test]
+fn memoized_refresh_matches_unmemoized_across_generations() {
+    let same = step_model();
+    let flipped = flipped_model();
+    for seed in 0..CASES / 4 {
+        let mut rng = RainRng::seed_from_u64(0x3E30 ^ seed);
+        let db = random_db(&mut rng);
+        let sql = random_query(&mut rng);
+        let random = random_model(&mut rng);
+        let stmt = parse_select(&sql).unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
+        let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+        let prepared = prepare(&db, &same, &plan, Engine::Vectorized)
+            .unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
+        let n_vars = prepared.stats().n_vars as u64;
+
+        let mut memo = ScoreMemo::new();
+        let mut expected_rows = 0u64;
+        let models: [&dyn Classifier; 3] = [&same, &flipped, &random];
+        for (generation, model) in models.iter().enumerate() {
+            memo.advance(generation as u64 + 1);
+            let mut misses_after_first = None;
+            for pass in 0..2 {
+                for threads in [1, 2, 8] {
+                    let label = format!(
+                        "seed {seed} `{sql}` [gen={generation}, pass={pass}, threads={threads}]"
+                    );
+                    let plain = prepared
+                        .refresh_threaded(&db, *model, threads)
+                        .unwrap_or_else(|e| panic!("{label} plain: {e}"));
+                    let memod = prepared
+                        .refresh_memo_threaded(&db, *model, threads, &mut memo)
+                        .unwrap_or_else(|e| panic!("{label} memo: {e}"));
+                    assert_identical(&label, &plain, &memod);
+                    expected_rows += n_vars;
+                    match misses_after_first {
+                        None => misses_after_first = Some(memo.misses()),
+                        // Later refreshes under the same generation must
+                        // be pure cache hits.
+                        Some(m) => assert_eq!(
+                            memo.misses(),
+                            m,
+                            "{label}: within-generation refresh re-inferred"
+                        ),
+                    }
+                }
+            }
+        }
+        // Every feature row of every memoized refresh was either served
+        // or inferred — and with 1-D ±1 features at most two distinct
+        // rows exist per generation, so misses stay tiny while hits
+        // absorb the rest.
+        assert_eq!(
+            memo.hits() + memo.misses(),
+            expected_rows,
+            "seed {seed} `{sql}`: counters must account for every row"
+        );
+        assert!(
+            memo.misses() <= 2 * models.len() as u64,
+            "seed {seed} `{sql}`: at most two distinct feature rows per generation"
+        );
     }
 }
 

@@ -306,6 +306,113 @@ fn sampled_execution_is_bit_identical_to_unsampled() {
     }
 }
 
+/// Parallel operators record a **thread-independent** span shape. The
+/// partitioned hash build, the partitioned grouped aggregate, and the
+/// morselized cross join size their worker spans from the input alone
+/// (`partition_count` and morsel counts are functions of row counts, not
+/// of the thread budget), so a trace at `threads = 2` and `threads = 8`
+/// must have identical names, nesting, and deterministic counters.
+/// (`threads = 1` runs the sequential paths and records no worker
+/// children, so the sweep compares the two parallel budgets.)
+#[test]
+fn parallel_span_shape_is_thread_independent() {
+    let mut db = big_db(12_000);
+    // Three rows: the small side of a scaled cross join.
+    let small = Table::from_columns(
+        Schema::new(&[("z", ColType::Int)]),
+        vec![Column::Int(vec![0, 1, 2])],
+    )
+    .with_features(Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0]]));
+    db.register("s", small);
+    let model = step_model();
+
+    // Project a trace to its deterministic skeleton: names, structural
+    // counters, and children canonicalized by sorting (parallel workers
+    // finish in nondeterministic order; their *set* of spans is not).
+    fn shape(node: &TraceNode) -> String {
+        const KEEP: [&str; 7] = [
+            "index",
+            "items",
+            "groups",
+            "partitions",
+            "morsels",
+            "rows_in",
+            "rows_out",
+        ];
+        let mut counters: Vec<String> = node
+            .counters
+            .iter()
+            .filter(|(k, _)| KEEP.contains(k))
+            .map(|&(k, v)| format!("{k}={v}"))
+            .collect();
+        counters.sort();
+        let mut kids: Vec<String> = node.children.iter().map(shape).collect();
+        kids.sort();
+        format!("{}[{}]({})", node.name, counters.join(","), kids.join(" "))
+    }
+
+    let cases = [
+        // Typed hash join: partitioned build under `join` → `build`.
+        "SELECT COUNT(*) FROM t a, t b WHERE a.x = b.x AND a.k < 5",
+        // Partitioned grouped aggregation (53 groups over 12k rows).
+        "SELECT k, SUM(x) FROM t WHERE x < 800 GROUP BY k",
+        // Morselized cross join feeding a partitioned grouped aggregate.
+        "SELECT z, COUNT(*) FROM t a, s c GROUP BY z",
+    ];
+    for sql in cases {
+        let mut shapes = Vec::new();
+        for threads in [2, 8] {
+            let _on = rain_obs::activate();
+            let root = Span::enter("query");
+            let id = root.id();
+            run_query(
+                &db,
+                &model,
+                sql,
+                ExecOptions::default().with_threads(threads),
+            )
+            .unwrap();
+            drop(root);
+            let tree = take_subtree(id).unwrap();
+            if threads == 8 {
+                // The parallel operators actually recorded worker spans.
+                if sql.contains("a.x = b.x") {
+                    let build = tree.find("build").expect("build span");
+                    let parts = build
+                        .children
+                        .iter()
+                        .filter(|c| c.name == "partition")
+                        .count() as u64;
+                    assert!(parts > 1, "`{sql}`: build did not partition");
+                    assert_eq!(counter(build, "partitions"), Some(parts));
+                }
+                if sql.contains("GROUP BY") {
+                    let agg = tree.find("aggregate").expect("aggregate span");
+                    let parts = agg
+                        .children
+                        .iter()
+                        .filter(|c| c.name == "partition")
+                        .count() as u64;
+                    assert!(parts > 1, "`{sql}`: aggregate did not partition");
+                    assert_eq!(counter(agg, "partitions"), Some(parts));
+                }
+                if sql.contains(" s c") {
+                    let cross = tree.find("cross").expect("cross span");
+                    assert!(
+                        cross.children.iter().filter(|c| c.name == "morsel").count() > 1,
+                        "`{sql}`: cross join did not morselize"
+                    );
+                }
+            }
+            shapes.push(shape(&tree));
+        }
+        assert_eq!(
+            shapes[0], shapes[1],
+            "`{sql}`: span shape varies with thread count"
+        );
+    }
+}
+
 /// The incremental subsystem's stages appear in traces: skeleton capture
 /// inside prepare, sharded inference and formula re-eval inside refresh.
 #[test]

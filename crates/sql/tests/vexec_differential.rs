@@ -317,6 +317,134 @@ fn morsel_parallel_paths_match_the_oracle_on_large_inputs() {
     }
 }
 
+/// The partitioned hash build must preserve the sequential engines'
+/// NULL/NaN key skips *per partition*: a NULL int key routes through the
+/// general strategy (nullable column) and a NaN float key through the
+/// typed-numeric strategy, and in both the skipped row must vanish from
+/// whichever partition its hash would have landed in. Keys are heavily
+/// skewed so one partition carries far more rows than the rest, and the
+/// build sides exceed the parallel threshold so the partitioned path
+/// actually engages. Also covers morsel-parallel cross joins and
+/// grouped aggregation over skewed group keys at scale.
+#[test]
+fn partitioned_build_and_grouped_agg_match_under_skew_nulls_and_nans() {
+    let model = step_model();
+    let mut rng = RainRng::seed_from_u64(0x5AFE);
+    let n1 = 9_000usize;
+    let n2 = 12_000usize;
+    let feats = |rng: &mut RainRng, n: usize| {
+        Matrix::from_rows(
+            &(0..n)
+                .map(|_| [if rng.bernoulli(0.5) { 1.0 } else { -1.0 }])
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|r| &r[..])
+                .collect::<Vec<_>>(),
+        )
+    };
+    let mut db = Database::new();
+    // t1: non-null skewed int key (half the rows share x = 7), a
+    // non-null float join column where every fifth value is NaN and many
+    // of the rest collide on 1.5, and a NaN-free float column to
+    // aggregate (summing NaN would poison the provenance comparison:
+    // `NaN != NaN` under `PartialEq`).
+    let t1 = Table::from_columns(
+        Schema::new(&[
+            ("x", ColType::Int),
+            ("f", ColType::Float),
+            ("g", ColType::Float),
+        ]),
+        vec![
+            Column::Int(
+                (0..n1)
+                    .map(|i| if i % 2 == 0 { 7 } else { (i % 97) as i64 })
+                    .collect(),
+            ),
+            Column::Float(
+                (0..n1)
+                    .map(|i| match i % 5 {
+                        0 => f64::NAN,
+                        1 | 2 => 1.5,
+                        _ => (i % 13) as f64,
+                    })
+                    .collect(),
+            ),
+            Column::Float((0..n1).map(|i| (i % 13) as f64 * 0.5).collect()),
+        ],
+    )
+    .with_features(feats(&mut rng, n1));
+    db.register("t1", t1);
+    // t2: nullable skewed int key (every tenth NULL, a third of the rest
+    // pile onto 7 — the hot t1 key) and a mask-free float column with
+    // NaN holes, so `a.x = b.k` takes the general strategy and
+    // `a.f = b.f2` stays on the typed-numeric one.
+    let mut t2 = Table::empty(Schema::new(&[("k", ColType::Int), ("f2", ColType::Float)]));
+    for i in 0..n2 {
+        let k = if i % 10 == 0 {
+            rain_sql::Value::Null
+        } else if i % 3 == 0 {
+            rain_sql::Value::Int(7)
+        } else {
+            rain_sql::Value::Int((i % 97) as i64)
+        };
+        let f2 = if i % 7 == 0 {
+            f64::NAN
+        } else if i % 2 == 0 {
+            1.5
+        } else {
+            (i % 13) as f64
+        };
+        t2.push_row(vec![k, rain_sql::Value::Float(f2)], None);
+    }
+    db.register("t2", t2.with_features(feats(&mut rng, n2)));
+    // t3: three rows, the small side of a scaled cross join.
+    let t3 = Table::from_columns(
+        Schema::new(&[("z", ColType::Int)]),
+        vec![Column::Int(vec![0, 1, 2])],
+    )
+    .with_features(feats(&mut rng, 3));
+    db.register("t3", t3);
+
+    let cases = [
+        // NULL-key regression: nullable build column → general strategy,
+        // 12k build rows → partitioned build; NULL keys must be dropped
+        // from their partitions exactly as the sequential build drops
+        // them from its single map.
+        "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k",
+        // Same join under debug provenance, grouped on the skewed key.
+        "SELECT x, COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k GROUP BY x",
+        // NaN-key regression: mask-free float columns → typed-numeric
+        // strategy; NaN build and probe keys skip per partition.
+        "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.f = b.f2",
+        // Morsel-parallel grouped aggregation over a skewed group key:
+        // 9k tuples, ~97 groups, one group holding half the input.
+        "SELECT x, COUNT(*), SUM(g) FROM t1 a GROUP BY x",
+        // Cross join at scale (9k × 3 = 27k tuples) plus a grouped
+        // aggregate over its output.
+        "SELECT COUNT(*) FROM t1 a, t3 c",
+        "SELECT z, COUNT(*) FROM t1 a, t3 c GROUP BY z",
+    ];
+    for sql in cases {
+        let stmt = parse_select(sql).unwrap();
+        let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+        for debug in [false, true] {
+            let opts = ExecOptions::with_debug(debug);
+            let tuple = execute(&db, &model, &plan, opts.on(Engine::Tuple)).unwrap();
+            for threads in [1, 2, 8] {
+                let label = format!("`{sql}` [skew, debug={debug}, threads={threads}]");
+                let vexec = execute(
+                    &db,
+                    &model,
+                    &plan,
+                    opts.on(Engine::Vectorized).with_threads(threads),
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_identical(&label, &tuple, &vexec);
+            }
+        }
+    }
+}
+
 /// Nullable base tables force the kernels' fallback paths: joins, scans,
 /// and group keys over columns with null bitmaps must still agree.
 #[test]
