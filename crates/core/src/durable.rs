@@ -1,0 +1,326 @@
+//! Durable session mutations: pair every catalog change with a commitlog
+//! record, and rebuild a [`DebugSession`] from disk on boot.
+//!
+//! The serving layer mutates a session in exactly four ways — create it,
+//! register/replace a table, append rows, upload a training set — and
+//! each helper here applies the in-memory mutation and (when the session
+//! runs durably) appends the matching [`Record`] and commits, so the log
+//! is never behind the state a client has been acknowledged. Debug runs
+//! themselves never mutate session state
+//! ([`DebugSession::run`] takes `&self`), so they need no records.
+//!
+//! [`recover`] is the inverse: replay snapshot + log tail
+//! ([`SessionStore::recover`]), then turn the replayed parts back into a
+//! live session. The model is rebuilt by a caller-supplied factory from
+//! the verbatim session-creation spec (the wire layer passes its JSON
+//! parser, keeping this crate independent of the wire format), and
+//! snapshot-carried weights are applied on top — so recovered weights are
+//! bit-identical even for models whose initialization is seeded.
+
+use crate::driver::DebugSession;
+use rain_linalg::Matrix;
+use rain_model::{Classifier, Dataset};
+use rain_sql::table::Table;
+use rain_sql::{Database, TableId, TableVersion, Value};
+use rain_storage::{Record, RecoveryStats, SessionStore, SnapshotState, StorageError};
+use std::path::Path;
+
+/// Turns a verbatim session-creation spec back into a model. The wire
+/// layer passes its JSON parser, keeping this crate independent of the
+/// wire format.
+pub type ModelFactory = dyn Fn(&str) -> Result<Box<dyn Classifier>, String>;
+
+/// A session rebuilt from a data directory.
+pub struct Recovered {
+    /// The live session: catalog, training set, model (weights applied).
+    pub sess: DebugSession,
+    /// Verbatim creation spec the session was rebuilt from.
+    pub spec: String,
+    /// The store, reopened and ready for further appends.
+    pub store: SessionStore,
+    /// What recovery did (snapshot used, records replayed, timing).
+    pub stats: RecoveryStats,
+}
+
+/// Open a store for a brand-new durable session and log its creation
+/// spec as the first record.
+pub fn create_store(dir: &Path, spec: &str) -> Result<SessionStore, StorageError> {
+    let mut store = SessionStore::open(dir)?;
+    store.append_commit(&Record::SessionMeta {
+        spec: spec.to_string(),
+    })?;
+    Ok(store)
+}
+
+/// Register (or replace) a table, logging the mutation when durable.
+pub fn register_table(
+    db: &mut Database,
+    store: Option<&mut SessionStore>,
+    name: &str,
+    table: Table,
+) -> Result<(TableId, TableVersion), StorageError> {
+    if let Some(store) = store {
+        store.append_commit(&Record::RegisterTable {
+            name: name.to_string(),
+            table: table.clone(),
+        })?;
+    }
+    let id = db.register(name, table);
+    Ok((id, db.table_version(id)))
+}
+
+/// Why an append failed: the client's fault or the disk's.
+#[derive(Debug)]
+pub enum AppendError {
+    /// The batch does not fit the table (arity, types, features) or the
+    /// table does not exist — reject the request, nothing was logged.
+    Invalid(String),
+    /// The batch was valid but logging it failed.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::Invalid(msg) => write!(f, "invalid append: {msg}"),
+            AppendError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// Append rows to a table, logging the mutation when durable. Validation
+/// runs (and fails) before anything is logged or applied, so an invalid
+/// batch leaves both the catalog and the log untouched.
+pub fn append_rows(
+    db: &mut Database,
+    store: Option<&mut SessionStore>,
+    name: &str,
+    rows: Vec<Vec<Value>>,
+    features: Option<Vec<Vec<f64>>>,
+) -> Result<(TableId, TableVersion), AppendError> {
+    let record = store.map(|s| {
+        (
+            s,
+            Record::AppendRows {
+                name: name.to_string(),
+                rows: rows.clone(),
+                features: features.clone(),
+            },
+        )
+    });
+    let (id, version) = db
+        .append_to(name, rows, features)
+        .map_err(AppendError::Invalid)?;
+    if let Some((store, rec)) = record {
+        store.append_commit(&rec).map_err(AppendError::Storage)?;
+    }
+    Ok((id, version))
+}
+
+/// Replace the training set, logging the mutation when durable.
+pub fn set_train(
+    sess: &mut DebugSession,
+    store: Option<&mut SessionStore>,
+    data: Dataset,
+) -> Result<(), StorageError> {
+    if let Some(store) = store {
+        store.append_commit(&Record::TrainSet { data: data.clone() })?;
+    }
+    sess.train = data;
+    Ok(())
+}
+
+/// Assemble the full snapshot state of a session.
+pub fn snapshot_state(sess: &DebugSession, spec: &str) -> SnapshotState {
+    SnapshotState {
+        spec: spec.to_string(),
+        params: sess.model.params().to_vec(),
+        train: sess.train.clone(),
+        tables: sess
+            .db
+            .entries()
+            .map(|e| (e.name.clone(), e.version, e.table.clone()))
+            .collect(),
+    }
+}
+
+/// Cut a snapshot if enough log accumulated behind the last one (the
+/// store's policy decides). Returns whether one was cut.
+pub fn maybe_snapshot(
+    sess: &DebugSession,
+    store: &mut SessionStore,
+    spec: &str,
+) -> Result<bool, StorageError> {
+    store.maybe_snapshot(|| snapshot_state(sess, spec))
+}
+
+/// Rebuild a session from its data directory. `factory` turns the
+/// verbatim creation spec back into a model (the wire layer passes the
+/// same parser that built the original); snapshot-carried weights are
+/// applied on top when present.
+pub fn recover(dir: &Path, factory: &ModelFactory) -> Result<Recovered, StorageError> {
+    let mut store = SessionStore::open(dir)?;
+    let state = store.recover()?;
+    let spec = state.spec.ok_or_else(|| {
+        StorageError::Corrupt(format!(
+            "{}: no session meta record survived; cannot rebuild the model",
+            dir.display()
+        ))
+    })?;
+    let mut model = factory(&spec)
+        .map_err(|e| StorageError::Corrupt(format!("session spec does not parse: {e}")))?;
+    if let Some(params) = state.params {
+        if params.len() != model.n_params() {
+            return Err(StorageError::Corrupt(format!(
+                "recovered {} params for a model with {}",
+                params.len(),
+                model.n_params()
+            )));
+        }
+        model.set_params(&params);
+    }
+    let train = state.train.unwrap_or_else(|| {
+        Dataset::new(
+            Matrix::zeros(0, model.dim()),
+            Vec::new(),
+            model.n_classes().max(2),
+        )
+    });
+    Ok(Recovered {
+        sess: DebugSession::new(state.db, train, model),
+        spec,
+        store,
+        stats: state.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_model::LogisticRegression;
+    use rain_sql::table::{ColType, Column, Schema};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "rain-durable-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ints(vals: Vec<i64>) -> Table {
+        Table::from_columns(Schema::new(&[("x", ColType::Int)]), vec![Column::Int(vals)])
+    }
+
+    fn factory(dim: usize) -> impl Fn(&str) -> Result<Box<dyn Classifier>, String> {
+        move |_spec: &str| Ok(Box::new(LogisticRegression::new(dim, 0.01)) as Box<dyn Classifier>)
+    }
+
+    #[test]
+    fn durable_mutations_recover_bit_identically() {
+        let dir = temp_dir("roundtrip");
+        let spec = "{\"model\":{\"kind\":\"logistic\",\"dim\":2}}";
+        {
+            let mut store = create_store(&dir, spec).unwrap();
+            let mut sess = DebugSession::new(
+                Database::new(),
+                Dataset::new(Matrix::zeros(0, 2), Vec::new(), 2),
+                Box::new(LogisticRegression::new(2, 0.01)),
+            );
+            register_table(&mut sess.db, Some(&mut store), "t", ints(vec![1, 2])).unwrap();
+            append_rows(
+                &mut sess.db,
+                Some(&mut store),
+                "t",
+                vec![vec![Value::Int(3)]],
+                None,
+            )
+            .unwrap();
+            let train = Dataset::with_ids(
+                Matrix::from_vec(2, 2, vec![0.5, -0.5, 1.5, 2.5]),
+                vec![0, 1],
+                vec![11, 22],
+                2,
+            );
+            set_train(&mut sess, Some(&mut store), train).unwrap();
+            // Perturb the weights so recovery has something nontrivial to
+            // restore via snapshot.
+            sess.model.set_params(&[0.125, -3.5, 0.75]);
+            store.snapshot(&snapshot_state(&sess, spec)).unwrap();
+        }
+        let rec = recover(&dir, &factory(2)).unwrap();
+        assert_eq!(rec.spec, spec);
+        assert_eq!(rec.sess.model.params(), &[0.125, -3.5, 0.75]);
+        assert_eq!(rec.sess.train.ids(), &[11, 22]);
+        let id = rec.sess.db.resolve("t").unwrap();
+        assert_eq!(
+            rec.sess.db.table_version(id),
+            TableVersion { gen: 0, delta: 1 }
+        );
+        assert_eq!(rec.sess.db.table_by_id(id).n_rows(), 3);
+        assert!(rec.stats.snapshot_offset.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_append_logs_nothing() {
+        let dir = temp_dir("invalid");
+        let mut store = create_store(&dir, "{}").unwrap();
+        let mut db = Database::new();
+        register_table(&mut db, Some(&mut store), "t", ints(vec![1])).unwrap();
+        let records_before = store.log_records();
+        let err = append_rows(
+            &mut db,
+            Some(&mut store),
+            "t",
+            vec![vec![Value::Str("bad".into())]],
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AppendError::Invalid(_)));
+        assert_eq!(store.log_records(), records_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_meta_is_an_error() {
+        let dir = temp_dir("nometa");
+        {
+            let mut store = SessionStore::open(&dir).unwrap();
+            store
+                .append_commit(&Record::RegisterTable {
+                    name: "t".into(),
+                    table: ints(vec![1]),
+                })
+                .unwrap();
+        }
+        assert!(matches!(
+            recover(&dir, &factory(2)),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_snapshot_rebuilds_from_log_alone() {
+        let dir = temp_dir("lognosnap");
+        {
+            let mut store = create_store(&dir, "{}").unwrap();
+            let mut db = Database::new();
+            register_table(&mut db, Some(&mut store), "t", ints(vec![5])).unwrap();
+        }
+        let rec = recover(&dir, &factory(2)).unwrap();
+        assert!(rec.stats.snapshot_offset.is_none());
+        assert_eq!(rec.stats.replayed_records, 2);
+        assert!(rec.sess.train.is_empty(), "no upload means empty train");
+        assert_eq!(rec.sess.db.table("t").unwrap().n_rows(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

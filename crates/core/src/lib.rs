@@ -16,6 +16,8 @@
 //! - [`rank`](mod@rank) — the four ranking methods (`Loss`, `InfLoss`, `TwoStep`,
 //!   `Holistic`) plus the §5.1 `Auto` heuristic.
 //! - [`driver`] — the train–rank–fix loop and reporting.
+//! - [`durable`] — commitlog-backed session mutations and boot-time
+//!   recovery (see `rain_storage`).
 //! - [`metrics`] — recall@k and AUCCR (§6.1.5).
 //!
 //! ## Example: debugging a corrupted entity-resolution model
@@ -54,6 +56,7 @@
 
 pub mod complaint;
 pub mod driver;
+pub mod durable;
 pub mod metrics;
 pub mod qfunc;
 pub mod rank;

@@ -57,6 +57,9 @@ impl JobState {
 pub struct JobInfo {
     /// Session the job runs against.
     pub session: String,
+    /// Client-supplied request id off the debug-run body, echoed on
+    /// `GET /jobs/{id}` and stamped on the run's iteration profiles.
+    pub request_id: Option<String>,
     /// Current state (with the report when done).
     pub state: JobState,
 }
@@ -66,6 +69,7 @@ struct Job {
     slot: Arc<SessionSlot>,
     method: Method,
     cfg: RunConfig,
+    request_id: Option<String>,
     /// When the job entered the queue; the dequeue-time delta feeds the
     /// queue-wait histogram.
     enqueued: Instant,
@@ -202,11 +206,24 @@ impl JobRunner {
 
     /// Enqueue a debug run against `slot`, returning the job id.
     pub fn submit(&self, slot: Arc<SessionSlot>, method: Method, cfg: RunConfig) -> u64 {
+        self.submit_tagged(slot, method, cfg, None)
+    }
+
+    /// [`JobRunner::submit`] carrying the client's request id, echoed on
+    /// job status and stamped on the run's sampled iteration profiles.
+    pub fn submit_tagged(
+        &self,
+        slot: Arc<SessionSlot>,
+        method: Method,
+        cfg: RunConfig,
+        request_id: Option<String>,
+    ) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.lock_jobs().map.insert(
             id,
             JobInfo {
                 session: slot.name.clone(),
+                request_id: request_id.clone(),
                 state: JobState::Queued,
             },
         );
@@ -215,6 +232,7 @@ impl JobRunner {
             slot,
             method,
             cfg,
+            request_id,
             enqueued: Instant::now(),
         });
         self.inner.wake.notify_one();
@@ -303,6 +321,7 @@ fn worker_loop(inner: &Inner) {
                             &job.slot.name,
                             format!("{:?} iteration={}", job.method, ip.iteration),
                             latency_s,
+                            job.request_id.clone(),
                             Some(ip.profile.clone()),
                             latency_s >= slow_s,
                         );
@@ -464,6 +483,7 @@ mod tests {
                 id,
                 JobInfo {
                     session: "s".into(),
+                    request_id: None,
                     state: JobState::Queued,
                 },
             );

@@ -22,6 +22,7 @@ use rain_core::rank::Method;
 use rain_model::{Classifier, Dataset};
 use rain_obs::Sketch;
 use rain_sql::{CacheStats, Database, ExecOptions, QueryCache};
+use rain_storage::SessionStore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -43,6 +44,29 @@ pub struct SessionState {
     pub cache: QueryCache,
     /// The most recent completed debug report, if any.
     pub last_report: Option<DebugReport>,
+    /// Verbatim session-creation JSON (what recovery rebuilds the model
+    /// from). Empty for ephemeral sessions.
+    pub spec: String,
+    /// The commitlog + snapshots behind this session, when it is durable
+    /// (the server was started with a data dir).
+    pub store: Option<SessionStore>,
+}
+
+/// Lock-free mirror of a durable session's storage counters, refreshed
+/// after each logged mutation so `GET /stats` and `GET /metrics` never
+/// take session locks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageCounters {
+    /// Durable commitlog size, bytes.
+    pub log_bytes: u64,
+    /// Durable records in the commitlog.
+    pub log_records: u64,
+    /// Snapshots cut (including the one recovery loaded, if any).
+    pub snapshots: u64,
+    /// Unix milliseconds of the last snapshot cut by this process.
+    pub last_snapshot_unix_ms: u64,
+    /// Log bytes accumulated behind the latest snapshot.
+    pub snapshot_lag_bytes: u64,
 }
 
 /// One named session: its mutex-guarded state plus lock-free metadata.
@@ -82,6 +106,18 @@ pub struct SessionSlot {
     /// folded in after the run).
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    /// Whether this session writes a commitlog (fixed at creation).
+    durable: bool,
+    /// Whether this slot was rebuilt from disk at boot (re-attachable via
+    /// `POST /sessions` without a 409).
+    recovered: bool,
+    /// Lock-free mirror of the store's counters (see
+    /// [`SessionSlot::publish_storage_stats`]).
+    log_bytes: AtomicU64,
+    log_records: AtomicU64,
+    snapshots: AtomicU64,
+    last_snapshot_ms: AtomicU64,
+    snapshot_lag: AtomicU64,
 }
 
 impl std::fmt::Debug for SessionSlot {
@@ -110,6 +146,34 @@ impl SessionSlot {
             ),
             model,
         );
+        SessionSlot::from_session(name, sess, opts, lock_wait, String::new(), None, false)
+    }
+
+    /// Build a slot around an already-assembled session — the fresh-create
+    /// path above and the boot-recovery path both land here, so a
+    /// recovered slot behaves exactly like a live one.
+    fn from_session(
+        name: String,
+        sess: DebugSession,
+        opts: ExecOptions,
+        lock_wait: Option<Arc<Sketch>>,
+        spec: String,
+        store: Option<SessionStore>,
+        recovered: bool,
+    ) -> Self {
+        let durable = store.is_some();
+        let counters = store
+            .as_ref()
+            .map(|s| {
+                (
+                    s.log_bytes(),
+                    s.log_records(),
+                    s.snapshots_taken(),
+                    s.last_snapshot_unix_ms(),
+                    s.snapshot_lag_bytes(),
+                )
+            })
+            .unwrap_or_default();
         SessionSlot {
             name,
             opts,
@@ -120,6 +184,8 @@ impl SessionSlot {
                 // runs use, so cached skeletons and runs always agree.
                 cache: QueryCache::new(opts.engine).with_threads(opts.threads),
                 last_report: None,
+                spec,
+                store,
             }),
             lock_wait,
             generation: AtomicU64::new(0),
@@ -131,7 +197,51 @@ impl SessionSlot {
             query_seq: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            durable,
+            recovered,
+            log_bytes: AtomicU64::new(counters.0),
+            log_records: AtomicU64::new(counters.1),
+            snapshots: AtomicU64::new(counters.2),
+            last_snapshot_ms: AtomicU64::new(counters.3),
+            snapshot_lag: AtomicU64::new(counters.4),
         }
+    }
+
+    /// Whether this session writes a commitlog.
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Whether this slot was rebuilt from disk at boot.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// Mirror the store's counters into the lock-free snapshot; call
+    /// while holding (or just before releasing) the state lock, after
+    /// each logged mutation.
+    pub fn publish_storage_stats(&self, store: &SessionStore) {
+        self.log_bytes.store(store.log_bytes(), Ordering::Relaxed);
+        self.log_records
+            .store(store.log_records(), Ordering::Relaxed);
+        self.snapshots
+            .store(store.snapshots_taken(), Ordering::Relaxed);
+        self.last_snapshot_ms
+            .store(store.last_snapshot_unix_ms(), Ordering::Relaxed);
+        self.snapshot_lag
+            .store(store.snapshot_lag_bytes(), Ordering::Relaxed);
+    }
+
+    /// The lock-free storage-counter snapshot; `None` for ephemeral
+    /// sessions.
+    pub fn storage_snapshot(&self) -> Option<StorageCounters> {
+        self.durable.then(|| StorageCounters {
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            log_records: self.log_records.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            last_snapshot_unix_ms: self.last_snapshot_ms.load(Ordering::Relaxed),
+            snapshot_lag_bytes: self.snapshot_lag.load(Ordering::Relaxed),
+        })
     }
 
     /// Configure always-on profiling for this session: trace 1-in-`every`
@@ -393,8 +503,9 @@ pub struct SessionPool {
     retired: Mutex<RetiredTotals>,
 }
 
-/// Valid session names: path-segment safe.
-fn valid_name(name: &str) -> bool {
+/// Valid session names: path-segment safe (and therefore safe as an
+/// on-disk directory component — no separators, no `..`).
+pub fn valid_session_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 64
         && name
@@ -438,7 +549,7 @@ impl SessionPool {
         model: Box<dyn Classifier>,
         opts: ExecOptions,
     ) -> Result<Arc<SessionSlot>, ApiError> {
-        if !valid_name(name) {
+        if !valid_session_name(name) {
             return Err(ApiError::bad_request(
                 "session names are 1-64 chars of [a-zA-Z0-9._-]",
             ));
@@ -454,6 +565,86 @@ impl SessionPool {
             model,
             opts,
             self.lock_wait.clone(),
+        ));
+        slots.insert(name.to_string(), Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// [`SessionPool::create_with`] for a durable session: the slot owns
+    /// `store` (its commitlog already holds the session-meta record) and
+    /// remembers the verbatim creation `spec`.
+    pub fn create_durable(
+        &self,
+        name: &str,
+        model: Box<dyn Classifier>,
+        opts: ExecOptions,
+        spec: String,
+        store: SessionStore,
+    ) -> Result<Arc<SessionSlot>, ApiError> {
+        if !valid_session_name(name) {
+            return Err(ApiError::bad_request(
+                "session names are 1-64 chars of [a-zA-Z0-9._-]",
+            ));
+        }
+        let dim = model.dim();
+        let sess = DebugSession::new(
+            Database::new(),
+            Dataset::new(
+                rain_linalg::Matrix::zeros(0, dim),
+                Vec::new(),
+                model.n_classes().max(2),
+            ),
+            model,
+        );
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        if slots.contains_key(name) {
+            return Err(ApiError::conflict(format!(
+                "session '{name}' already exists"
+            )));
+        }
+        let slot = Arc::new(SessionSlot::from_session(
+            name.to_string(),
+            sess,
+            opts,
+            self.lock_wait.clone(),
+            spec,
+            Some(store),
+            false,
+        ));
+        slots.insert(name.to_string(), Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// Insert a session rebuilt from disk at boot. The slot is flagged
+    /// recovered, so `POST /sessions` against its name re-attaches (200)
+    /// instead of conflicting (409).
+    pub fn insert_recovered(
+        &self,
+        name: &str,
+        sess: DebugSession,
+        opts: ExecOptions,
+        spec: String,
+        store: SessionStore,
+    ) -> Result<Arc<SessionSlot>, ApiError> {
+        if !valid_session_name(name) {
+            return Err(ApiError::bad_request(
+                "session names are 1-64 chars of [a-zA-Z0-9._-]",
+            ));
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        if slots.contains_key(name) {
+            return Err(ApiError::conflict(format!(
+                "session '{name}' already exists"
+            )));
+        }
+        let slot = Arc::new(SessionSlot::from_session(
+            name.to_string(),
+            sess,
+            opts,
+            self.lock_wait.clone(),
+            spec,
+            Some(store),
+            true,
         ));
         slots.insert(name.to_string(), Arc::clone(&slot));
         Ok(slot)

@@ -39,6 +39,10 @@ pub struct ProfileEntry {
     pub detail: String,
     /// Wall-clock latency of the captured work, in seconds.
     pub latency_s: f64,
+    /// Client-supplied request id of the triggering request, when one
+    /// rode on the query/debug-run body — correlates profile entries with
+    /// the client's own logs.
+    pub request_id: Option<String>,
     /// Capture time, milliseconds since the Unix epoch.
     pub unix_ms: u64,
     /// The harvested span tree; `None` for slow captures of unsampled
@@ -80,12 +84,14 @@ impl ProfileRing {
     /// past [`RECENT_CAP`]); returns its id. `slow` additionally
     /// references the entry from the slow ring — callers decide by
     /// comparing latency to the session's threshold.
+    #[allow(clippy::too_many_arguments)]
     pub fn push(
         &self,
         kind: &'static str,
         session: &str,
         detail: String,
         latency_s: f64,
+        request_id: Option<String>,
         trace: Option<TraceNode>,
         slow: bool,
     ) -> u64 {
@@ -98,6 +104,7 @@ impl ProfileRing {
             session: session.to_string(),
             detail,
             latency_s,
+            request_id,
             unix_ms: now_unix_ms(),
             trace,
         });
@@ -176,6 +183,7 @@ mod tests {
                 "s",
                 format!("SELECT {i}"),
                 0.001,
+                None,
                 Some(leaf("query")),
                 false,
             );
@@ -195,7 +203,7 @@ mod tests {
     #[test]
     fn slow_captures_without_traces_stay_out_of_the_recent_ring() {
         let ring = ProfileRing::new();
-        let id = ring.push("query", "s", "SELECT slow".into(), 2.5, None, true);
+        let id = ring.push("query", "s", "SELECT slow".into(), 2.5, None, None, true);
         assert_eq!(ring.len(), 0, "traceless capture is slow-ring only");
         assert!(!ring.is_empty());
         let (recent, slow) = ring.list();
@@ -210,6 +218,7 @@ mod tests {
             "s",
             "SELECT both".into(),
             3.0,
+            Some("req-7".into()),
             Some(leaf("query")),
             true,
         );

@@ -391,6 +391,58 @@ pub fn table_to_json(name: &str, table: &Table) -> Json {
     Json::obj(pairs)
 }
 
+/// Parse the `"rows"` of an append request against the target table's
+/// column types: an array of rows, each an array of cells (`null`
+/// allowed) matching the schema's arity and types.
+pub fn append_rows_from_json(v: &Json, types: &[ColType]) -> Result<Vec<Vec<Value>>, ApiError> {
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| ApiError::bad_request("field 'rows' must be an array of rows"))?;
+    if rows.is_empty() {
+        return Err(ApiError::bad_request("field 'rows' must not be empty"));
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| ApiError::bad_request(format!("row {i} must be an array")))?;
+        if cells.len() != types.len() {
+            return Err(ApiError::bad_request(format!(
+                "row {i} has {} cells, table has {} columns",
+                cells.len(),
+                types.len()
+            )));
+        }
+        let parsed: Vec<Value> = cells
+            .iter()
+            .zip(types)
+            .map(|(c, &ty)| cell_from_json(c, ty))
+            .collect::<Result<_, _>>()?;
+        out.push(parsed);
+    }
+    Ok(out)
+}
+
+/// Parse the optional `"features"` of an append request: one number row
+/// per appended tuple.
+pub fn append_features_from_json(v: &Json) -> Result<Option<Vec<Vec<f64>>>, ApiError> {
+    match v {
+        Json::Null => Ok(None),
+        _ => {
+            let m = matrix_from_json(v, "features")?;
+            Ok(Some(m.iter_rows().map(|r| r.to_vec()).collect()))
+        }
+    }
+}
+
+/// JSON form of a per-delta catalog version: `{"gen":…,"delta":…}`.
+pub fn version_to_json(v: rain_sql::TableVersion) -> Json {
+    Json::obj(vec![
+        ("gen", Json::Num(v.gen as f64)),
+        ("delta", Json::Num(v.delta as f64)),
+    ])
+}
+
 /// Build a training set from an upload.
 pub fn dataset_from_json(v: &Json) -> Result<Dataset, ApiError> {
     let features = matrix_from_json(field(v, "features")?, "features")?;

@@ -9,10 +9,12 @@
 //! | `GET  /metrics`                   | Prometheus text exposition (per-endpoint request-latency summaries with p50/p95/p99/p999, queue/lock waits, cache + memo + job counters) |
 //! | `GET  /debug/profiles`            | the always-on sampled profile ring: recent + slow captures (see [`crate::profiles`]) |
 //! | `GET  /debug/profiles/{id}`       | one captured profile with its full span tree |
-//! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…,"sample_every":…,"slow_ms":…]}` → create a session (engine + worker-budget cap fixed at creation; sampling knobs adjustable) |
-//! | `GET  /sessions`                  | list sessions (generation + cache counters) |
-//! | `DELETE /sessions/{s}`            | drop a session |
+//! | `POST /debug/profiles/flush`      | dump both rings (full span trees) to a JSON file under the data dir |
+//! | `POST /sessions`                  | `{"name":…,"model":…[,"engine":…,"threads":…,"sample_every":…,"slow_ms":…]}` → create a session (engine + worker-budget cap fixed at creation; sampling knobs adjustable); against a recovered session the same request *re-attaches* (200 with `"recovered":true`) instead of conflicting |
+//! | `GET  /sessions`                  | list sessions (generation + cache + storage counters) |
+//! | `DELETE /sessions/{s}`            | drop a session (and its on-disk directory, in durable mode) |
 //! | `POST /sessions/{s}/tables`       | table upload → register (replacing invalidates cached skeletons) |
+//! | `POST /sessions/{s}/tables/{t}/append` | `{"rows":[[…]…][,"features":[[…]…]]}` → append rows; bumps the table's per-delta catalog version |
 //! | `POST /sessions/{s}/train`        | training-set upload |
 //! | `POST /sessions/{s}/query`        | `{"sql":…[,"analyze":true]}` → debug-mode execution through the skeleton cache; `analyze` adds an `EXPLAIN ANALYZE`-style plan + span tree |
 //! | `POST /sessions/{s}/complain`     | `{"sql":…,"complaints":[…]}` → attach complaints |
@@ -24,21 +26,36 @@
 //! distinct sessions proceed in parallel (see [`crate::pool`]). Long
 //! debug runs never execute on a connection thread — they go through the
 //! job runner ([`crate::jobs`]).
+//!
+//! ## Durable mode
+//!
+//! Started with a `data_dir`, every session writes a commitlog (plus
+//! periodic snapshots) under `<data_dir>/sessions/<name>/`, and boot
+//! replays whatever is on disk back into the pool before the listener
+//! accepts — tables, null bitmaps, per-delta catalog versions, training
+//! set, and model weights come back bit-identical (see
+//! [`rain_core::durable`]). Recovered sessions answer `POST /sessions`
+//! with `200 {"recovered":true}` so restart-safe clients just re-POST
+//! and continue; cached queries re-prepare on first use and serve
+//! without re-registration.
 
 use crate::http::{read_request, write_response, write_response_typed, Request};
 use crate::jobs::{JobRunner, JobState};
 use crate::json::{self, Json};
-use crate::pool::SessionPool;
+use crate::pool::{SessionPool, SessionSlot, SessionState, StorageCounters};
 use crate::profiles::{ProfileEntry, ProfileRing};
 use crate::protocol::{
-    complaint_from_json, dataset_from_json, engine_name, exec_options_from_json, model_from_json,
-    output_to_json, report_to_json, run_request_from_json, table_from_json, trace_to_json,
-    ApiError,
+    append_features_from_json, append_rows_from_json, complaint_from_json, dataset_from_json,
+    engine_name, exec_options_from_json, model_from_json, output_to_json, report_to_json,
+    run_request_from_json, table_from_json, trace_to_json, version_to_json, ApiError,
 };
+use rain_model::Classifier;
 use rain_obs::{Counter, Gauge, Registry, Sketch};
+use rain_sql::table::ColType;
 use rain_sql::QueryCache;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +69,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing debug-run jobs.
     pub job_workers: usize,
+    /// Root of the server's persistent state. `None` (the default) keeps
+    /// every session in memory only; `Some(dir)` makes sessions durable —
+    /// commitlog + snapshots under `<dir>/sessions/<name>/`, recovered
+    /// into the pool at the next boot — and gives `POST
+    /// /debug/profiles/flush` somewhere to write.
+    pub data_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +82,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             job_workers: 4,
+            data_dir: None,
         }
     }
 }
@@ -90,6 +114,13 @@ struct ServerMetrics {
     cache_hit_ratio: Arc<Gauge>,
     memo_hits_total: Arc<Counter>,
     memo_misses_total: Arc<Counter>,
+    storage_log_bytes: Arc<Gauge>,
+    storage_log_records: Arc<Gauge>,
+    storage_snapshots_total: Arc<Counter>,
+    storage_snapshot_lag_bytes: Arc<Gauge>,
+    storage_snapshot_age_seconds: Arc<Gauge>,
+    storage_recovered_sessions: Arc<Gauge>,
+    storage_recovery_seconds: Arc<Gauge>,
 }
 
 /// The fixed endpoint-label set for `rain_http_request_seconds`. Routes
@@ -102,12 +133,14 @@ const ENDPOINTS: &[&str] = &[
     "metrics",
     "sessions",
     "tables",
+    "append",
     "train",
     "query",
     "complain",
     "debug_run",
     "jobs",
     "debug_profiles",
+    "profiles_flush",
     "other",
 ];
 
@@ -120,11 +153,13 @@ fn endpoint_label(method: &str, path: &str) -> &'static str {
         ("GET", ["metrics"]) => "metrics",
         (_, ["sessions"]) | ("DELETE", ["sessions", _]) => "sessions",
         ("POST", ["sessions", _, "tables"]) => "tables",
+        ("POST", ["sessions", _, "tables", _, "append"]) => "append",
         ("POST", ["sessions", _, "train"]) => "train",
         ("POST", ["sessions", _, "query"]) => "query",
         ("POST", ["sessions", _, "complain"]) => "complain",
         ("POST", ["sessions", _, "debug-run"]) => "debug_run",
         ("GET", ["jobs", _]) => "jobs",
+        ("POST", ["debug", "profiles", "flush"]) => "profiles_flush",
         ("GET", ["debug", "profiles", ..]) => "debug_profiles",
         _ => "other",
     }
@@ -158,6 +193,13 @@ impl ServerMetrics {
             cache_hit_ratio: registry.gauge("rain_cache_hit_ratio"),
             memo_hits_total: registry.counter("rain_memo_hits_total"),
             memo_misses_total: registry.counter("rain_memo_misses_total"),
+            storage_log_bytes: registry.gauge("rain_storage_log_bytes"),
+            storage_log_records: registry.gauge("rain_storage_log_records"),
+            storage_snapshots_total: registry.counter("rain_storage_snapshots_total"),
+            storage_snapshot_lag_bytes: registry.gauge("rain_storage_snapshot_lag_bytes"),
+            storage_snapshot_age_seconds: registry.gauge("rain_storage_snapshot_age_seconds"),
+            storage_recovered_sessions: registry.gauge("rain_storage_recovered_sessions"),
+            storage_recovery_seconds: registry.gauge("rain_storage_recovery_seconds"),
             registry,
         }
     }
@@ -189,7 +231,85 @@ pub struct ServerState {
     requests: AtomicU64,
     started: Instant,
     shutdown: AtomicBool,
+    /// Persistent-state root, when the server runs durable.
+    data_dir: Option<PathBuf>,
+    /// Sessions rebuilt from disk at boot.
+    recovered_sessions: u64,
+    /// Wall-clock seconds boot recovery took (all sessions).
+    recovery_seconds: f64,
+    /// Sequence for `POST /debug/profiles/flush` output files.
+    profile_flush_seq: AtomicU64,
     metrics: ServerMetrics,
+}
+
+/// Rebuild the model of a recovered session from its verbatim creation
+/// JSON — the exact parser `POST /sessions` used the first time.
+fn model_factory(spec: &str) -> Result<Box<dyn Classifier>, String> {
+    let v = json::parse(spec).map_err(|e| format!("creation spec does not parse: {e}"))?;
+    let model = v
+        .get("model")
+        .ok_or_else(|| "creation spec has no 'model'".to_string())?;
+    model_from_json(model).map_err(|e| e.message)
+}
+
+/// Replay every session directory under `<data_dir>/sessions` into the
+/// pool. A session that fails to recover is reported on stderr and
+/// skipped — one corrupt directory must not keep the server down.
+/// Returns `(sessions recovered, wall-clock seconds)`.
+fn recover_sessions(data_dir: &Path, pool: &SessionPool) -> (u64, f64) {
+    let t0 = Instant::now();
+    let mut recovered = 0u64;
+    let Ok(entries) = std::fs::read_dir(data_dir.join("sessions")) else {
+        return (0, t0.elapsed().as_secs_f64());
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(str::to_string) else {
+            continue;
+        };
+        match rain_core::durable::recover(&dir, &model_factory) {
+            Ok(rec) => {
+                // The exec config and sampling knobs ride on the same
+                // verbatim spec the model was rebuilt from.
+                let spec_json = json::parse(&rec.spec).ok();
+                let opts = spec_json
+                    .as_ref()
+                    .and_then(|v| exec_options_from_json(v).ok())
+                    .unwrap_or_default();
+                match pool.insert_recovered(&name, rec.sess, opts, rec.spec, rec.store) {
+                    Ok(slot) => {
+                        if let Some(v) = &spec_json {
+                            apply_sampling_knobs(&slot, v);
+                        }
+                        recovered += 1;
+                    }
+                    Err(e) => eprintln!(
+                        "rain-serve: recovered session '{name}' not inserted: {}",
+                        e.message
+                    ),
+                }
+            }
+            Err(e) => eprintln!("rain-serve: session '{name}' failed to recover: {e}"),
+        }
+    }
+    (recovered, t0.elapsed().as_secs_f64())
+}
+
+/// Apply the optional `sample_every`/`slow_ms` knobs of a creation (or
+/// recovered) spec; anything omitted keeps the always-on defaults.
+fn apply_sampling_knobs(slot: &SessionSlot, body: &Json) {
+    let sample_every = body.get("sample_every").and_then(Json::as_i64);
+    let slow_ms = body.get("slow_ms").and_then(Json::as_i64);
+    if sample_every.is_some() || slow_ms.is_some() {
+        slot.set_sampling(
+            sample_every.map_or_else(|| slot.sample_every(), |v| v.max(0) as u64),
+            slow_ms.map_or_else(|| slot.slow_ms(), |v| v.max(0) as u64),
+        );
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -202,13 +322,24 @@ pub struct ServerHandle {
 }
 
 /// Bind and start serving in background threads; returns immediately.
+/// With a configured data dir, on-disk sessions are recovered into the
+/// pool *before* the first connection is accepted.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = ServerMetrics::new();
     let profiles = Arc::new(ProfileRing::new());
+    let pool = SessionPool::with_lock_wait(Arc::clone(&metrics.session_lock_wait_seconds));
+    let data_dir = cfg.data_dir.as_ref().map(PathBuf::from);
+    let (recovered_sessions, recovery_seconds) = match &data_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir.join("sessions"))?;
+            recover_sessions(dir, &pool)
+        }
+        None => (0, 0.0),
+    };
     let state = Arc::new(ServerState {
-        pool: SessionPool::with_lock_wait(Arc::clone(&metrics.session_lock_wait_seconds)),
+        pool,
         jobs: JobRunner::with_observability(
             cfg.job_workers,
             Some(Arc::clone(&metrics.job_queue_wait_seconds)),
@@ -218,6 +349,10 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         requests: AtomicU64::new(0),
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
+        data_dir,
+        recovered_sessions,
+        recovery_seconds,
+        profile_flush_seq: AtomicU64::new(0),
         metrics,
     });
     let accept_state = Arc::clone(&state);
@@ -347,15 +482,30 @@ fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
         ("GET", ["sessions"]) => Ok((200, list_sessions(state))),
         ("DELETE", ["sessions", name]) => {
             state.pool.remove(name)?;
+            // The pool held the only record of the name's validity; now
+            // that removal succeeded, the matching directory (if any) is
+            // safe to drop too.
+            if let Some(root) = &state.data_dir {
+                let dir = root.join("sessions").join(name);
+                if let Err(e) = std::fs::remove_dir_all(&dir) {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        eprintln!("rain-serve: failed to remove {}: {e}", dir.display());
+                    }
+                }
+            }
             Ok((200, Json::obj(vec![("dropped", Json::str(*name))])))
         }
         ("POST", ["sessions", name, "tables"]) => register_table(state, name, req),
+        ("POST", ["sessions", name, "tables", table, "append"]) => {
+            append_to_table(state, name, table, req)
+        }
         ("POST", ["sessions", name, "train"]) => upload_train(state, name, req),
         ("POST", ["sessions", name, "query"]) => query(state, name, req),
         ("POST", ["sessions", name, "complain"]) => complain(state, name, req),
         ("POST", ["sessions", name, "debug-run"]) => debug_run(state, name, req),
         ("GET", ["jobs", id]) => job_status(state, id),
         ("GET", ["debug", "profiles"]) => Ok((200, profiles_list(state))),
+        ("POST", ["debug", "profiles", "flush"]) => profiles_flush(state),
         ("GET", ["debug", "profiles", id]) => profile_by_id(state, id),
         _ => Err(ApiError::not_found(format!(
             "no route {} {}",
@@ -373,6 +523,38 @@ fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
 /// from [`SessionPool::cache_totals`], which folds removed sessions'
 /// counters into a retired baseline — concurrent create/remove churn can
 /// no longer make a scrape see a counter regress.
+/// Sum every durable slot's lock-free storage counters, plus the Unix
+/// milliseconds of the *oldest* last-snapshot among sessions that have
+/// cut one (0 when none has) — the worst-case snapshot age is the number
+/// an operator alerts on.
+fn storage_totals(state: &ServerState) -> (StorageCounters, u64) {
+    let mut agg = StorageCounters::default();
+    let mut oldest_ms = 0u64;
+    for slot in state.pool.list() {
+        if let Some(s) = slot.storage_snapshot() {
+            agg.log_bytes += s.log_bytes;
+            agg.log_records += s.log_records;
+            agg.snapshots += s.snapshots;
+            agg.snapshot_lag_bytes += s.snapshot_lag_bytes;
+            if s.last_snapshot_unix_ms > 0 {
+                oldest_ms = if oldest_ms == 0 {
+                    s.last_snapshot_unix_ms
+                } else {
+                    oldest_ms.min(s.last_snapshot_unix_ms)
+                };
+            }
+        }
+    }
+    (agg, oldest_ms)
+}
+
+fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 fn render_metrics(state: &ServerState) -> String {
     let m = &state.metrics;
     m.http_requests_total
@@ -397,6 +579,21 @@ fn render_metrics(state: &ServerState) -> String {
     m.jobs_running.set(jobs.running as f64);
     m.jobs_done_total.store(jobs.done as u64);
     m.jobs_failed_total.store(jobs.failed as u64);
+    let (storage, oldest_snapshot_ms) = storage_totals(state);
+    m.storage_log_bytes.set(storage.log_bytes as f64);
+    m.storage_log_records.set(storage.log_records as f64);
+    m.storage_snapshots_total.store(storage.snapshots);
+    m.storage_snapshot_lag_bytes
+        .set(storage.snapshot_lag_bytes as f64);
+    m.storage_snapshot_age_seconds
+        .set(if oldest_snapshot_ms == 0 {
+            0.0
+        } else {
+            now_unix_ms().saturating_sub(oldest_snapshot_ms) as f64 / 1e3
+        });
+    m.storage_recovered_sessions
+        .set(state.recovered_sessions as f64);
+    m.storage_recovery_seconds.set(state.recovery_seconds);
     m.registry.render()
 }
 
@@ -462,6 +659,30 @@ fn stats(state: &ServerState) -> Json {
             "profiles",
             Json::obj(vec![("recent", Json::Num(state.profiles.len() as f64))]),
         ),
+        (
+            "storage",
+            match &state.data_dir {
+                Some(dir) => {
+                    let (storage, _) = storage_totals(state);
+                    Json::obj(vec![
+                        ("data_dir", Json::str(dir.display().to_string())),
+                        ("log_bytes", Json::Num(storage.log_bytes as f64)),
+                        ("log_records", Json::Num(storage.log_records as f64)),
+                        ("snapshots", Json::Num(storage.snapshots as f64)),
+                        (
+                            "snapshot_lag_bytes",
+                            Json::Num(storage.snapshot_lag_bytes as f64),
+                        ),
+                        (
+                            "recovered_sessions",
+                            Json::Num(state.recovered_sessions as f64),
+                        ),
+                        ("recovery_seconds", Json::Num(state.recovery_seconds)),
+                    ])
+                }
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -474,6 +695,13 @@ fn profile_summary(e: &ProfileEntry) -> Vec<(&'static str, Json)> {
         ("session", Json::str(e.session.clone())),
         ("detail", Json::str(e.detail.clone())),
         ("latency_s", Json::Num(e.latency_s)),
+        (
+            "request_id",
+            match &e.request_id {
+                Some(rid) => Json::str(rid.clone()),
+                None => Json::Null,
+            },
+        ),
         ("unix_ms", Json::Num(e.unix_ms as f64)),
         (
             "spans",
@@ -517,6 +745,63 @@ fn profile_by_id(state: &ServerState, id: &str) -> Result<(u16, Json), ApiError>
     Ok((200, Json::obj(pairs)))
 }
 
+/// `POST /debug/profiles/flush`: dump both rings — summaries *and* full
+/// span trees — to a JSON file under `<data_dir>/profiles/`, so a capture
+/// worth keeping survives ring eviction and restarts.
+fn profiles_flush(state: &ServerState) -> Result<(u16, Json), ApiError> {
+    let Some(root) = &state.data_dir else {
+        return Err(ApiError::bad_request(
+            "profile flush needs a server data dir (start with data_dir set)",
+        ));
+    };
+    let dir = root.join("profiles");
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ApiError::internal(format!("create {}: {e}", dir.display())))?;
+    // The in-process sequence restarts at zero each boot; skip over files
+    // an earlier process left behind instead of overwriting them.
+    let path = loop {
+        let seq = state.profile_flush_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let p = dir.join(format!("profiles-{seq:06}.json"));
+        if !p.exists() {
+            break p;
+        }
+    };
+    let (recent, slow) = state.profiles.list();
+    let full = |entries: &[Arc<ProfileEntry>]| {
+        Json::Arr(
+            entries
+                .iter()
+                .map(|e| {
+                    let mut pairs = profile_summary(e);
+                    pairs.push((
+                        "profile",
+                        match &e.trace {
+                            Some(t) => trace_to_json(t),
+                            None => Json::Null,
+                        },
+                    ));
+                    Json::obj(pairs)
+                })
+                .collect(),
+        )
+    };
+    let doc = Json::obj(vec![
+        ("flushed_unix_ms", Json::Num(now_unix_ms() as f64)),
+        ("recent", full(&recent)),
+        ("slow", full(&slow)),
+    ]);
+    std::fs::write(&path, doc.to_string())
+        .map_err(|e| ApiError::internal(format!("write {}: {e}", path.display())))?;
+    Ok((
+        200,
+        Json::obj(vec![
+            ("path", Json::str(path.display().to_string())),
+            ("recent", Json::Num(recent.len() as f64)),
+            ("slow", Json::Num(slow.len() as f64)),
+        ]),
+    ))
+}
+
 fn list_sessions(state: &ServerState) -> Json {
     let sessions: Vec<Json> = state
         .pool
@@ -545,6 +830,19 @@ fn list_sessions(state: &ServerState) -> Json {
                         ("misses", Json::Num(memo_misses as f64)),
                     ]),
                 ),
+                ("recovered", Json::Bool(slot.recovered())),
+                (
+                    "storage",
+                    match slot.storage_snapshot() {
+                        Some(s) => Json::obj(vec![
+                            ("log_bytes", Json::Num(s.log_bytes as f64)),
+                            ("log_records", Json::Num(s.log_records as f64)),
+                            ("snapshots", Json::Num(s.snapshots as f64)),
+                            ("snapshot_lag_bytes", Json::Num(s.snapshot_lag_bytes as f64)),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
             ])
         })
         .collect();
@@ -554,23 +852,54 @@ fn list_sessions(state: &ServerState) -> Json {
 fn create_session(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
     let name = str_field(&body, "name")?;
+    // Re-attach: a session recovered from disk at boot answers the same
+    // creation request with 200 and its live config, instead of 409 —
+    // restart-safe clients just re-POST and continue where they left off
+    // (tables, training set, and cached queries are already resident).
+    if let Ok(slot) = state.pool.get(&name) {
+        if slot.recovered() {
+            let kind = slot.lock().sess.model.name();
+            return Ok((
+                200,
+                Json::obj(vec![
+                    ("session", Json::str(name)),
+                    ("model", Json::str(kind)),
+                    ("engine", Json::str(engine_name(slot.opts.engine))),
+                    ("threads", Json::Num(slot.opts.threads as f64)),
+                    ("sample_every", Json::Num(slot.sample_every() as f64)),
+                    ("slow_ms", Json::Num(slot.slow_ms() as f64)),
+                    ("recovered", Json::Bool(true)),
+                ]),
+            ));
+        }
+    }
     let model = model_from_json(
         body.get("model")
             .ok_or_else(|| ApiError::bad_request("missing field 'model'"))?,
     )?;
     let opts = exec_options_from_json(&body)?;
     let kind = model.name();
-    let slot = state.pool.create_with(&name, model, opts)?;
+    let slot = match &state.data_dir {
+        Some(root) => {
+            // Validate the name before it becomes a path component; the
+            // pool enforces the same rule, but only after the store (and
+            // its directory) would already exist.
+            if !crate::pool::valid_session_name(&name) {
+                return Err(ApiError::bad_request(
+                    "session names are 1-64 chars of [a-zA-Z0-9._-]",
+                ));
+            }
+            let dir = root.join("sessions").join(&name);
+            let spec = String::from_utf8_lossy(&req.body).into_owned();
+            let store = rain_core::durable::create_store(&dir, &spec)
+                .map_err(|e| ApiError::internal(format!("open session store: {e}")))?;
+            state.pool.create_durable(&name, model, opts, spec, store)?
+        }
+        None => state.pool.create_with(&name, model, opts)?,
+    };
     // Optional sampling knobs; anything omitted keeps the always-on
     // defaults (1-in-16, 500 ms slow threshold).
-    let sample_every = body.get("sample_every").and_then(Json::as_i64);
-    let slow_ms = body.get("slow_ms").and_then(Json::as_i64);
-    if sample_every.is_some() || slow_ms.is_some() {
-        slot.set_sampling(
-            sample_every.map_or_else(|| slot.sample_every(), |v| v.max(0) as u64),
-            slow_ms.map_or_else(|| slot.slow_ms(), |v| v.max(0) as u64),
-        );
-    }
+    apply_sampling_knobs(&slot, &body);
     Ok((
         200,
         Json::obj(vec![
@@ -580,26 +909,105 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, Json), Api
             ("threads", Json::Num(opts.threads as f64)),
             ("sample_every", Json::Num(slot.sample_every() as f64)),
             ("slow_ms", Json::Num(slot.slow_ms() as f64)),
+            ("recovered", Json::Bool(false)),
         ]),
     ))
+}
+
+/// Cut a snapshot when the session store's policy says so, and refresh
+/// the slot's lock-free storage counters. Call with the session lock
+/// held, after a logged mutation; a no-op for ephemeral sessions.
+fn publish_durability(slot: &SessionSlot, st: &mut SessionState) -> Result<(), ApiError> {
+    if let Some(store) = st.store.as_mut() {
+        rain_core::durable::maybe_snapshot(&st.sess, store, &st.spec)
+            .map_err(|e| ApiError::internal(format!("cut snapshot: {e}")))?;
+        slot.publish_storage_stats(store);
+    }
+    Ok(())
 }
 
 fn register_table(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
     let (table_name, table) = table_from_json(&body)?;
     let slot = state.pool.get(name)?;
-    let mut st = slot.lock();
+    let mut guard = slot.lock();
+    let st = &mut *guard;
     let rows = table.n_rows();
-    let id = st.sess.db.register(&table_name, table);
-    let version = st.sess.db.version_of(id);
+    let (_, version) =
+        rain_core::durable::register_table(&mut st.sess.db, st.store.as_mut(), &table_name, table)
+            .map_err(|e| ApiError::internal(format!("log table registration: {e}")))?;
+    publish_durability(&slot, st)?;
     let generation = slot.bump_generation();
-    drop(st);
+    drop(guard);
     Ok((
         200,
         Json::obj(vec![
             ("table", Json::str(table_name)),
             ("rows", Json::Num(rows as f64)),
-            ("version", Json::Num(version as f64)),
+            ("version", version_to_json(version)),
+            ("generation", Json::Num(generation as f64)),
+        ]),
+    ))
+}
+
+/// `POST /sessions/{s}/tables/{t}/append`: append a batch of rows (and,
+/// for predict-visible tables, their feature rows) to a registered table.
+/// The batch validates against the table's schema *before* anything is
+/// logged or applied, bumps the table's per-delta catalog version on
+/// success, and is durable before the response in durable mode.
+fn append_to_table(
+    state: &ServerState,
+    name: &str,
+    table_name: &str,
+    req: &Request,
+) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let slot = state.pool.get(name)?;
+    let mut guard = slot.lock();
+    let st = &mut *guard;
+    let types: Vec<ColType> = st
+        .sess
+        .db
+        .table(table_name)
+        .ok_or_else(|| ApiError::bad_request(format!("no table '{table_name}'")))?
+        .schema()
+        .iter()
+        .map(|d| d.ty)
+        .collect();
+    let rows = append_rows_from_json(
+        body.get("rows")
+            .ok_or_else(|| ApiError::bad_request("missing field 'rows'"))?,
+        &types,
+    )?;
+    let features = match body.get("features") {
+        None => None,
+        Some(f) => append_features_from_json(f)?,
+    };
+    let appended = rows.len();
+    let (id, version) = rain_core::durable::append_rows(
+        &mut st.sess.db,
+        st.store.as_mut(),
+        table_name,
+        rows,
+        features,
+    )
+    .map_err(|e| match e {
+        rain_core::durable::AppendError::Invalid(msg) => ApiError::bad_request(msg),
+        rain_core::durable::AppendError::Storage(e) => {
+            ApiError::internal(format!("log append: {e}"))
+        }
+    })?;
+    let total = st.sess.db.table_by_id(id).n_rows();
+    publish_durability(&slot, st)?;
+    let generation = slot.bump_generation();
+    drop(guard);
+    Ok((
+        200,
+        Json::obj(vec![
+            ("table", Json::str(table_name)),
+            ("appended", Json::Num(appended as f64)),
+            ("rows", Json::Num(total as f64)),
+            ("version", version_to_json(version)),
             ("generation", Json::Num(generation as f64)),
         ]),
     ))
@@ -625,9 +1033,11 @@ fn upload_train(state: &ServerState, name: &str, req: &Request) -> Result<(u16, 
         )));
     }
     let n = data.len();
-    st.sess.train = data;
+    let st = &mut *st;
+    rain_core::durable::set_train(&mut st.sess, st.store.as_mut(), data)
+        .map_err(|e| ApiError::internal(format!("log training set: {e}")))?;
+    publish_durability(&slot, st)?;
     let generation = slot.bump_generation();
-    drop(st);
     Ok((
         200,
         Json::obj(vec![
@@ -640,6 +1050,10 @@ fn upload_train(state: &ServerState, name: &str, req: &Request) -> Result<(u16, 
 fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
     let sql = str_field(&body, "sql")?;
+    let request_id = body
+        .get("request_id")
+        .and_then(Json::as_str)
+        .map(str::to_string);
     let analyze =
         body.get("analyze").and_then(Json::as_bool).unwrap_or(false) || req.query_flag("analyze");
     let slot = state.pool.get(name)?;
@@ -704,13 +1118,20 @@ fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), 
             &slot.name,
             sql.clone(),
             latency_s,
+            request_id.clone(),
             Some(trace),
             slow,
         );
     } else if slow {
-        state
-            .profiles
-            .push("query", &slot.name, sql.clone(), latency_s, None, true);
+        state.profiles.push(
+            "query",
+            &slot.name,
+            sql.clone(),
+            latency_s,
+            request_id.clone(),
+            None,
+            true,
+        );
     }
     if !rain_obs::enabled() && rain_obs::buffered_records() > rain_obs::MAX_RECORDS / 2 {
         rain_obs::clear();
@@ -799,6 +1220,10 @@ fn complain(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json
 fn debug_run(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
     let (method, mut cfg) = run_request_from_json(&body)?;
+    let request_id = body
+        .get("request_id")
+        .and_then(Json::as_str)
+        .map(str::to_string);
     if req.query_flag("profile") {
         cfg.profile = true;
     }
@@ -808,7 +1233,7 @@ fn debug_run(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Jso
     if body.get("sample_every").is_none() {
         cfg.sample_every = slot.sample_every() as usize;
     }
-    let id = state.jobs.submit(slot, method, cfg);
+    let id = state.jobs.submit_tagged(slot, method, cfg, request_id);
     Ok((
         202,
         Json::obj(vec![
@@ -828,6 +1253,9 @@ fn job_status(state: &ServerState, id: &str) -> Result<(u16, Json), ApiError> {
         ("session", Json::str(info.session)),
         ("status", Json::str(info.state.label())),
     ];
+    if let Some(rid) = info.request_id {
+        pairs.push(("request_id", Json::str(rid)));
+    }
     match info.state {
         JobState::Done(report) => pairs.push(("report", report_to_json(&report))),
         JobState::Failed(msg) => pairs.push(("error", Json::str(msg))),

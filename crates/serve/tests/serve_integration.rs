@@ -1205,3 +1205,259 @@ fn always_on_sampling_fills_the_profile_ring() {
     assert_eq!(status, 404);
     server.shutdown();
 }
+
+/// Durable mode end-to-end: a server with a `data_dir` logs every catalog
+/// mutation, the append endpoint grows a table in place (bumping its
+/// `(gen, delta)` version and invalidating the cached skeleton), and a
+/// **restarted** server against the same directory recovers the session —
+/// `POST /sessions` re-attaches instead of 409ing, and the cached query
+/// serves the full pre-crash data without any re-registration. Also
+/// covers `POST /debug/profiles/flush` and `request_id` threading.
+#[test]
+fn restart_recovers_sessions_and_serves_cached_queries() {
+    let data_dir = std::env::temp_dir().join(format!("rain-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let dir_str = data_dir.to_string_lossy().into_owned();
+
+    let server = start(ServerConfig {
+        data_dir: Some(dir_str.clone()),
+        ..Default::default()
+    })
+    .unwrap();
+    {
+        let mut client = Client::connect(server.addr()).unwrap();
+        // sample_every=1: every query samples, so request_id threading is
+        // observable in the profile ring after the restart too (the knob
+        // rides in the logged creation spec).
+        let mut body = logistic_session("boot");
+        if let Json::Obj(pairs) = &mut body {
+            pairs.push(("sample_every".into(), Json::num(1.0)));
+        }
+        let created = client.post_ok("/sessions", &body).unwrap();
+        assert_eq!(created.get("recovered"), Some(&Json::Bool(false)));
+        client
+            .post_ok("/sessions/boot/tables", &table_json("pairs", 10, 4))
+            .unwrap();
+        client
+            .post_ok("/sessions/boot/train", &train_json(40, 8))
+            .unwrap();
+
+        let q = Json::obj(vec![("sql", Json::str("SELECT COUNT(*) FROM pairs"))]);
+        let count = |v: &Json| {
+            v.get("result")
+                .unwrap()
+                .get("rows")
+                .unwrap()
+                .as_arr()
+                .unwrap()[0]
+                .as_arr()
+                .unwrap()[0]
+                .as_i64()
+                .unwrap()
+        };
+        let first = client.post_ok("/sessions/boot/query", &q).unwrap();
+        assert_eq!(first.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(count(&first), 10);
+
+        // Ingest by append: no re-registration, delta version bump.
+        let appended = client
+            .post_ok(
+                "/sessions/boot/tables/pairs/append",
+                &Json::obj(vec![
+                    (
+                        "rows",
+                        Json::Arr(vec![
+                            Json::Arr(vec![Json::num(100.0)]),
+                            Json::Arr(vec![Json::num(101.0)]),
+                        ]),
+                    ),
+                    (
+                        "features",
+                        Json::Arr(vec![
+                            Json::Arr(vec![Json::num(2.0)]),
+                            Json::Arr(vec![Json::num(-2.0)]),
+                        ]),
+                    ),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(appended.get("appended").unwrap().as_i64(), Some(2));
+        assert_eq!(appended.get("rows").unwrap().as_i64(), Some(12));
+        let version = appended.get("version").unwrap();
+        assert_eq!(version.get("gen").unwrap().as_i64(), Some(0));
+        assert_eq!(version.get("delta").unwrap().as_i64(), Some(1));
+
+        // The cached skeleton notices the delta and re-prepares.
+        let second = client.post_ok("/sessions/boot/query", &q).unwrap();
+        assert_eq!(second.get("cache").unwrap().as_str(), Some("invalidated"));
+        assert_eq!(count(&second), 12);
+        assert_eq!(
+            client
+                .post_ok("/sessions/boot/query", &q)
+                .unwrap()
+                .get("cache")
+                .unwrap()
+                .as_str(),
+            Some("hit")
+        );
+        // Appends to unknown tables are a 400, not a crash.
+        assert_eq!(
+            client
+                .post(
+                    "/sessions/boot/tables/ghost/append",
+                    &Json::obj(vec![("rows", Json::Arr(vec![]))]),
+                )
+                .unwrap()
+                .0,
+            400
+        );
+
+        // Storage counters are live on /stats.
+        let stats = client.get_ok("/stats").unwrap();
+        let storage = stats.get("storage").unwrap();
+        assert!(storage.get("log_records").unwrap().as_i64().unwrap() >= 4);
+        assert!(storage.get("log_bytes").unwrap().as_i64().unwrap() > 0);
+
+        // Flush the profile ring to disk; the file must exist.
+        let flushed = client
+            .post_ok("/debug/profiles/flush", &Json::obj(vec![]))
+            .unwrap();
+        let path = flushed.get("path").unwrap().as_str().unwrap().to_string();
+        assert!(
+            std::path::Path::new(&path).exists(),
+            "no flush file at {path}"
+        );
+        assert!(flushed.get("recent").unwrap().as_i64().unwrap() >= 1);
+    }
+    server.shutdown();
+
+    // ---- Restart against the same directory. ----
+    let server = start(ServerConfig {
+        data_dir: Some(dir_str),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let stats = client.get_ok("/stats").unwrap();
+    let storage = stats.get("storage").unwrap();
+    assert_eq!(
+        storage.get("recovered_sessions").unwrap().as_i64(),
+        Some(1),
+        "{stats}"
+    );
+    let listed = client.get_ok("/sessions").unwrap();
+    let boot = &listed.get("sessions").unwrap().as_arr().unwrap()[0];
+    assert_eq!(boot.get("recovered"), Some(&Json::Bool(true)));
+
+    // Re-attach: the same creation request answers 200 with the
+    // recovered state instead of 409ing.
+    let reattach = client
+        .post_ok("/sessions", &logistic_session("boot"))
+        .unwrap();
+    assert_eq!(reattach.get("recovered"), Some(&Json::Bool(true)));
+
+    // The cached query runs against recovered data — table, appended
+    // rows, and versions all came back from snapshot+log, with no
+    // re-registration.
+    let q = Json::obj(vec![
+        ("sql", Json::str("SELECT COUNT(*) FROM pairs")),
+        ("request_id", Json::str("req-42")),
+    ]);
+    let out = client.post_ok("/sessions/boot/query", &q).unwrap();
+    assert_eq!(
+        out.get("result")
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .as_arr()
+            .unwrap()[0]
+            .as_i64(),
+        Some(12),
+        "recovered catalog must include the appended rows"
+    );
+    assert_eq!(
+        client
+            .post_ok("/sessions/boot/query", &q)
+            .unwrap()
+            .get("cache")
+            .unwrap()
+            .as_str(),
+        Some("hit")
+    );
+
+    // The client-supplied request_id landed on the sampled profile entry.
+    let listing = client.get_ok("/debug/profiles").unwrap();
+    let recent = listing.get("recent").unwrap().as_arr().unwrap();
+    assert!(
+        recent
+            .iter()
+            .any(|e| e.get("request_id").and_then(Json::as_str) == Some("req-42")),
+        "no profile entry carries the request id: {listing}"
+    );
+
+    // And through a debug job: complaints are session state (not logged),
+    // so file one fresh, then tag the run.
+    client
+        .post_ok(
+            "/sessions/boot/complain",
+            &Json::obj(vec![
+                (
+                    "sql",
+                    Json::str("SELECT COUNT(*) FROM pairs WHERE predict(*) = 1"),
+                ),
+                (
+                    "complaint",
+                    Json::obj(vec![
+                        ("kind", Json::str("value")),
+                        ("op", Json::str("eq")),
+                        ("target", Json::num(4.0)),
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+    let run = client
+        .post_ok(
+            "/sessions/boot/debug-run",
+            &Json::obj(vec![
+                ("method", Json::str("loss")),
+                ("budget", Json::num(2.0)),
+                ("k_per_iter", Json::num(1.0)),
+                ("request_id", Json::str("req-77")),
+            ]),
+        )
+        .unwrap();
+    let done = await_job(&mut client, run.get("job").unwrap().as_i64().unwrap());
+    assert_eq!(
+        done.get("request_id").and_then(Json::as_str),
+        Some("req-77")
+    );
+
+    // Deleting the session removes its on-disk state: a third boot
+    // recovers nothing.
+    client.delete("/sessions/boot").unwrap();
+    server.shutdown();
+    let data_dir2 = data_dir.clone();
+    let server = start(ServerConfig {
+        data_dir: Some(data_dir2.to_string_lossy().into_owned()),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let stats = client.get_ok("/stats").unwrap();
+    assert_eq!(
+        stats
+            .get("storage")
+            .unwrap()
+            .get("recovered_sessions")
+            .unwrap()
+            .as_i64(),
+        Some(0)
+    );
+    assert_eq!(stats.get("sessions").unwrap().as_i64(), Some(0));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

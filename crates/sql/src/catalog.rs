@@ -6,7 +6,8 @@
 //! hot path. Columns are addressed by a [`ColumnRef`] (table id + ordinal),
 //! with names and types carried by the table's [`Schema`](crate::table::Schema).
 
-use crate::table::{ColumnDef, Table};
+use crate::table::{ColType, ColumnDef, Table};
+use crate::value::Value;
 use std::collections::HashMap;
 
 /// Stable identifier of a registered table.
@@ -16,6 +17,32 @@ pub struct TableId(pub u32);
 impl std::fmt::Display for TableId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "#{}", self.0)
+    }
+}
+
+/// Two-part data version of a catalog entry.
+///
+/// `gen` counts full replacements (re-registering a name swaps the table
+/// wholesale, so row identities from before the bump are meaningless).
+/// `delta` counts row appends within the current generation: identities of
+/// pre-existing rows survive, only new rows arrived. Cached artifacts that
+/// key on row identity (prepared query skeletons) record the whole pair at
+/// build time; on mismatch they can distinguish "rebuild from scratch"
+/// (`gen` moved) from "extend for appended rows" (`delta` moved) — see
+/// [`StaleKind`](crate::StaleKind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TableVersion {
+    /// Full-replacement generation (bumped by [`Database::register`] on an
+    /// existing name).
+    pub gen: u64,
+    /// Append sequence within the generation (bumped by
+    /// [`Database::append_to`], reset to 0 on replacement).
+    pub delta: u64,
+}
+
+impl std::fmt::Display for TableVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}d{}", self.gen, self.delta)
     }
 }
 
@@ -35,10 +62,10 @@ pub struct TableEntry {
     pub id: TableId,
     /// Lowercase catalog name.
     pub name: String,
-    /// Data version: bumped every time the name is re-registered. Cached
-    /// artifacts keyed on row identity (e.g. prepared query skeletons)
-    /// record it at build time and revalidate before reuse.
-    pub version: u64,
+    /// Data version: `gen` bumps on re-registration, `delta` on appends.
+    /// Cached artifacts keyed on row identity (e.g. prepared query
+    /// skeletons) record it at build time and revalidate before reuse.
+    pub version: TableVersion,
     /// The table itself.
     pub table: Table,
 }
@@ -64,7 +91,8 @@ impl Database {
         match self.by_name.get(&name) {
             Some(&slot) => {
                 self.entries[slot].table = table;
-                self.entries[slot].version += 1;
+                self.entries[slot].version.gen += 1;
+                self.entries[slot].version.delta = 0;
                 self.entries[slot].id
             }
             None => {
@@ -73,7 +101,7 @@ impl Database {
                 self.entries.push(TableEntry {
                     id,
                     name,
-                    version: 0,
+                    version: TableVersion::default(),
                     table,
                 });
                 id
@@ -81,11 +109,54 @@ impl Database {
         }
     }
 
-    /// Data version of a table id (see [`TableEntry::version`]).
+    /// Register a table with an explicit version, as part of restoring a
+    /// previously-persisted catalog (snapshot load / log replay). Behaves
+    /// like [`Database::register`] but pins the entry's version instead of
+    /// bumping it, so the restored catalog is bit-identical to the one
+    /// that was persisted.
+    pub fn register_with_version(
+        &mut self,
+        name: &str,
+        table: Table,
+        version: TableVersion,
+    ) -> TableId {
+        let id = self.register(name, table);
+        self.entries[id.0 as usize].version = version;
+        id
+    }
+
+    /// Append rows (and optionally row-aligned feature vectors) to a table
+    /// in place, bumping its `delta` version. Row identities of existing
+    /// tuples survive — this is the cheap ingestion path that lets cached
+    /// skeletons distinguish "grown" from "replaced".
+    ///
+    /// All rows are validated (arity, cell types, feature presence and
+    /// width) before any mutation, so an `Err` leaves the catalog
+    /// untouched.
+    pub fn append_to(
+        &mut self,
+        name: &str,
+        rows: Vec<Vec<Value>>,
+        features: Option<Vec<Vec<f64>>>,
+    ) -> Result<(TableId, TableVersion), String> {
+        let name_lc = name.to_ascii_lowercase();
+        let &slot = self
+            .by_name
+            .get(&name_lc)
+            .ok_or_else(|| format!("unknown table {name_lc}"))?;
+        let entry = &self.entries[slot];
+        validate_append(&entry.table, &rows, features.as_deref())?;
+        let entry = &mut self.entries[slot];
+        entry.table.append_rows(rows, features.as_deref());
+        entry.version.delta += 1;
+        Ok((entry.id, entry.version))
+    }
+
+    /// Full two-part data version of a table id.
     ///
     /// # Panics
     /// Panics if the id was not issued by this database.
-    pub fn version_of(&self, id: TableId) -> u64 {
+    pub fn table_version(&self, id: TableId) -> TableVersion {
         self.entries[id.0 as usize].version
     }
 
@@ -151,6 +222,75 @@ impl Database {
     }
 }
 
+/// Check an append batch against a table without mutating anything:
+/// arity, cell-type compatibility (the coercions [`Column::push`] accepts,
+/// plus NULL anywhere), and feature presence/width.
+fn validate_append(
+    table: &Table,
+    rows: &[Vec<Value>],
+    features: Option<&[Vec<f64>]>,
+) -> Result<(), String> {
+    let schema = table.schema();
+    let want_feat = table.features().is_some() || (table.n_rows() == 0 && features.is_some());
+    match (want_feat, features) {
+        (true, None) => {
+            return Err("table carries features; append must supply them".into());
+        }
+        (false, Some(_)) => {
+            return Err("table has no feature matrix; append must not supply features".into());
+        }
+        _ => {}
+    }
+    if let Some(feats) = features {
+        if feats.len() != rows.len() {
+            return Err(format!(
+                "feature batch has {} rows, value batch has {}",
+                feats.len(),
+                rows.len()
+            ));
+        }
+        let width = table
+            .features()
+            .map(|m| m.cols())
+            .or_else(|| feats.first().map(|f| f.len()))
+            .unwrap_or(0);
+        for (i, f) in feats.iter().enumerate() {
+            if f.len() != width {
+                return Err(format!(
+                    "feature row {i} has width {}, expected {width}",
+                    f.len()
+                ));
+            }
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != schema.len() {
+            return Err(format!(
+                "row {i} has {} values, schema has {} columns",
+                row.len(),
+                schema.len()
+            ));
+        }
+        for (def, v) in schema.iter().zip(row) {
+            let ok = matches!(
+                (def.ty, v),
+                (_, Value::Null)
+                    | (ColType::Bool, Value::Bool(_))
+                    | (ColType::Int, Value::Int(_) | Value::Bool(_))
+                    | (ColType::Float, Value::Float(_) | Value::Int(_))
+                    | (ColType::Str, Value::Str(_))
+            );
+            if !ok {
+                return Err(format!(
+                    "row {i}: value {v:?} does not fit {:?} column {}",
+                    def.ty, def.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,11 +330,90 @@ mod tests {
     fn versions_bump_on_replacement() {
         let mut db = Database::new();
         let a = db.register("a", ints("x", vec![1]));
-        assert_eq!(db.version_of(a), 0);
+        assert_eq!(db.table_version(a), TableVersion { gen: 0, delta: 0 });
         db.register("a", ints("x", vec![1, 2]));
-        assert_eq!(db.version_of(a), 1, "replacement bumps the version");
+        assert_eq!(
+            db.table_version(a),
+            TableVersion { gen: 1, delta: 0 },
+            "replacement bumps the generation"
+        );
         let b = db.register("b", ints("x", vec![3]));
-        assert_eq!(db.version_of(b), 0, "fresh names start at version 0");
+        assert_eq!(
+            db.table_version(b),
+            TableVersion { gen: 0, delta: 0 },
+            "fresh names start at g0d0"
+        );
+    }
+
+    #[test]
+    fn appends_bump_delta_and_replacement_resets_it() {
+        let mut db = Database::new();
+        let a = db.register("a", ints("x", vec![1]));
+        let (id, v) = db
+            .append_to("A", vec![vec![Value::Int(2)], vec![Value::Int(3)]], None)
+            .unwrap();
+        assert_eq!(id, a);
+        assert_eq!(v, TableVersion { gen: 0, delta: 1 });
+        assert_eq!(db.table_by_id(a).n_rows(), 3);
+        assert_eq!(db.table_by_id(a).value(2, 0), Value::Int(3));
+        db.register("a", ints("x", vec![9]));
+        assert_eq!(
+            db.table_version(a),
+            TableVersion { gen: 1, delta: 0 },
+            "replacement resets the delta sequence"
+        );
+    }
+
+    #[test]
+    fn append_validates_before_mutating() {
+        let mut db = Database::new();
+        let a = db.register("a", ints("x", vec![1]));
+        // Second row is bad: the whole batch must be rejected atomically.
+        let err = db
+            .append_to(
+                "a",
+                vec![vec![Value::Int(2)], vec![Value::Str("no".into())]],
+                None,
+            )
+            .unwrap_err();
+        assert!(err.contains("row 1"), "unexpected error: {err}");
+        assert_eq!(db.table_by_id(a).n_rows(), 1, "failed append is atomic");
+        assert_eq!(db.table_version(a), TableVersion::default());
+        assert!(db.append_to("missing", vec![], None).is_err());
+        let err = db.append_to("a", vec![vec![]], None).unwrap_err();
+        assert!(err.contains("0 values"), "unexpected error: {err}");
+        let err = db
+            .append_to("a", vec![vec![Value::Int(1)]], Some(vec![vec![1.0]]))
+            .unwrap_err();
+        assert!(err.contains("no feature matrix"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn append_with_features_and_nulls() {
+        use rain_linalg::Matrix;
+        let mut db = Database::new();
+        let t = ints("x", vec![1, 2]).with_features(Matrix::from_rows(&[&[0.5], &[1.5]]));
+        let a = db.register("a", t);
+        db.append_to("a", vec![vec![Value::Null]], Some(vec![vec![2.5]]))
+            .unwrap();
+        let t = db.table_by_id(a);
+        assert_eq!(t.n_rows(), 3);
+        assert!(t.is_null(2, 0));
+        assert_eq!(t.feature_row(2), Some(&[2.5][..]));
+        // Missing features on a featured table is rejected.
+        assert!(db.append_to("a", vec![vec![Value::Int(4)]], None).is_err());
+        // Wrong width too.
+        assert!(db
+            .append_to("a", vec![vec![Value::Int(4)]], Some(vec![vec![1.0, 2.0]]))
+            .is_err());
+    }
+
+    #[test]
+    fn register_with_version_pins_versions() {
+        let mut db = Database::new();
+        let v = TableVersion { gen: 4, delta: 7 };
+        let a = db.register_with_version("a", ints("x", vec![1]), v);
+        assert_eq!(db.table_version(a), v);
     }
 
     #[test]

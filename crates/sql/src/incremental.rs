@@ -50,7 +50,7 @@
 
 use crate::ast::AggFunc;
 use crate::binder::{BExpr, BoundAgg, BoundAggArg, GroupKey, QueryKind};
-use crate::catalog::{Database, TableId};
+use crate::catalog::{Database, TableId, TableVersion};
 use crate::eval::{self, keyval, keyval_to_value, EvalCtx, KeyVal, Tuples};
 use crate::exec::{Engine, QueryOutput};
 use crate::plan::QueryPlan;
@@ -165,6 +165,19 @@ pub struct SkeletonStats {
 /// Build one with [`prepare`]; call [`PreparedQuery::refresh`] after every
 /// parameter update. The refresh output is bit-identical to a fresh
 /// debug-mode [`execute`](crate::exec::execute) under the same parameters.
+/// How a prepared skeleton went stale relative to the live catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleKind {
+    /// A queried table was re-registered (or shrank): cached row
+    /// identities no longer describe the data. Full re-prepare required.
+    Replaced,
+    /// Queried tables only grew by appends within the same generation:
+    /// cached tuples are still valid, new rows are simply missing. A full
+    /// re-prepare is correct (and what callers do today); a delta-aware
+    /// skeleton extension could instead grow the prepared state in place.
+    Appended,
+}
+
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     kind: KindSkeleton,
@@ -190,7 +203,7 @@ pub struct PreparedQuery {
     n_classes: usize,
     /// `(table id, catalog version, row count)` per plan relation, used to
     /// detect stale skeletons.
-    rels: Vec<(TableId, u64, usize)>,
+    rels: Vec<(TableId, TableVersion, usize)>,
     stats: SkeletonStats,
 }
 
@@ -268,7 +281,7 @@ pub fn prepare_with(
     let rels = plan
         .rels
         .iter()
-        .map(|r| (r.id, db.version_of(r.id), db.table_by_id(r.id).n_rows()))
+        .map(|r| (r.id, db.table_version(r.id), db.table_by_id(r.id).n_rows()))
         .collect();
     let stats = SkeletonStats {
         engine,
@@ -613,9 +626,30 @@ impl PreparedQuery {
     /// describe the catalog's data). Model-architecture staleness is
     /// checked separately at refresh time.
     pub fn is_stale(&self, db: &Database) -> bool {
-        self.rels.iter().any(|&(id, version, n_rows)| {
-            db.version_of(id) != version || db.table_by_id(id).n_rows() != n_rows
-        })
+        self.stale_kind(db).is_some()
+    }
+
+    /// How the catalog moved since [`prepare`], if it did.
+    ///
+    /// Distinguishes a full replacement ([`StaleKind::Replaced`] — cached
+    /// row identities are meaningless, rebuild from scratch) from pure
+    /// appends within the same generation ([`StaleKind::Appended`] — every
+    /// cached tuple is still valid, only new rows arrived). Today both
+    /// trigger a full re-prepare; `Appended` is the hook for delta-aware
+    /// skeleton extension (grow the candidate set and feature matrix for
+    /// the appended rows only).
+    pub fn stale_kind(&self, db: &Database) -> Option<StaleKind> {
+        let mut appended = false;
+        for &(id, version, n_rows) in &self.rels {
+            let now = db.table_version(id);
+            if now.gen != version.gen || db.table_by_id(id).n_rows() < n_rows {
+                return Some(StaleKind::Replaced);
+            }
+            if now.delta != version.delta || db.table_by_id(id).n_rows() != n_rows {
+                appended = true;
+            }
+        }
+        appended.then_some(StaleKind::Appended)
     }
 
     /// Why this skeleton cannot refresh against `(db, model)`, if anything.
@@ -635,7 +669,7 @@ impl PreparedQuery {
             ));
         }
         for &(id, version, n_rows) in &self.rels {
-            if db.version_of(id) != version || db.table_by_id(id).n_rows() != n_rows {
+            if db.table_version(id) != version || db.table_by_id(id).n_rows() != n_rows {
                 return Some(format!(
                     "stale query skeleton: table {} changed since prepare; \
                      re-prepare the query",

@@ -91,13 +91,13 @@ pub mod vexec;
 pub use ast::{AggFunc, ArithOp, CmpOp, Expr, SelectItem, SelectStmt, TableRef};
 pub use binder::{bind, BExpr, BindError, Binder, BoundStatement};
 pub use cache::{CacheEvent, CacheStats, CachedQuery, QueryCache};
-pub use catalog::{ColumnRef, Database, TableId};
+pub use catalog::{ColumnRef, Database, TableId, TableVersion};
 pub use exec::{
     execute, resolve_threads, run_query, run_stmt, Engine, ExecOptions, QueryOutput, ScalarResult,
     MAX_EXEC_THREADS,
 };
 pub use incremental::{
-    prepare, prepare_with, PreparedQuery, ScoreMemo, SkeletonStats, StalePolicy,
+    prepare, prepare_with, PreparedQuery, ScoreMemo, SkeletonStats, StaleKind, StalePolicy,
 };
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};

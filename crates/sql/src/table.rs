@@ -271,6 +271,39 @@ impl Table {
         }
     }
 
+    /// Reassemble a table from persisted parts: columns, per-column null
+    /// bitmaps, and an optional feature matrix. This is the restore path
+    /// for durability snapshots — [`Table::from_columns`] followed by
+    /// `push_row` cannot reproduce a null bitmap bit-identically, this
+    /// can.
+    ///
+    /// # Panics
+    /// Panics if the parts disagree (column counts/lengths/types, bitmap
+    /// lengths, feature row count).
+    pub fn from_parts(
+        schema: Schema,
+        columns: Vec<Column>,
+        nulls: Vec<Option<Vec<bool>>>,
+        features: Option<Matrix>,
+    ) -> Self {
+        let mut t = Table::from_columns(schema, columns);
+        assert_eq!(
+            nulls.len(),
+            t.columns.len(),
+            "from_parts: null bitmap count mismatch"
+        );
+        for (ci, mask) in nulls.iter().enumerate() {
+            if let Some(m) = mask {
+                assert_eq!(m.len(), t.n_rows, "from_parts: bitmap {ci} length");
+            }
+        }
+        t.nulls = nulls;
+        if let Some(m) = features {
+            t = t.with_features(m);
+        }
+        t
+    }
+
     /// Attach a feature matrix (one row per tuple).
     ///
     /// # Panics
@@ -366,6 +399,68 @@ impl Table {
         self.n_rows += 1;
     }
 
+    /// Append many rows (and optionally row-aligned feature vectors) in
+    /// one batch. Equivalent to calling [`Table::push_row`] per row but
+    /// extends the feature matrix once for the whole batch instead of
+    /// rebuilding it per row, so appending `k` rows to an `n`-row table
+    /// costs O(n + k) feature copies rather than O(k · n). This is the
+    /// path commitlog replay and the serving layer's append endpoint go
+    /// through.
+    ///
+    /// # Panics
+    /// Panics if arity/types mismatch, if `feats` presence disagrees with
+    /// whether the table carries features, or if `feats` is not
+    /// row-aligned with `rows`.
+    pub fn append_rows(&mut self, rows: Vec<Vec<Value>>, feats: Option<&[Vec<f64>]>) {
+        let n_new = rows.len();
+        if let Some(fs) = feats {
+            assert_eq!(fs.len(), n_new, "append_rows: feature row count mismatch");
+        }
+        if n_new == 0 {
+            return;
+        }
+        match (&mut self.features, feats) {
+            (Some(m), Some(fs)) => {
+                let cols = m.cols();
+                let mut data = Vec::with_capacity((m.rows() + n_new) * cols);
+                data.extend_from_slice(m.as_slice());
+                for f in fs {
+                    assert_eq!(f.len(), cols, "append_rows: feature width mismatch");
+                    data.extend_from_slice(f);
+                }
+                *m = Matrix::from_vec(m.rows() + n_new, cols, data);
+            }
+            (None, None) => {}
+            (None, Some(fs)) if self.n_rows == 0 => {
+                let cols = fs[0].len();
+                let mut data = Vec::with_capacity(n_new * cols);
+                for f in fs {
+                    assert_eq!(f.len(), cols, "append_rows: feature width mismatch");
+                    data.extend_from_slice(f);
+                }
+                self.features = Some(Matrix::from_vec(n_new, cols, data));
+            }
+            _ => panic!("append_rows: feature presence mismatch"),
+        }
+        for row in rows {
+            assert_eq!(row.len(), self.columns.len(), "append_rows: arity mismatch");
+            for (ci, (col, v)) in self.columns.iter_mut().zip(row).enumerate() {
+                if v == Value::Null {
+                    col.push_zero();
+                    self.nulls[ci]
+                        .get_or_insert_with(|| vec![false; self.n_rows])
+                        .push(true);
+                } else {
+                    col.push(v);
+                    if let Some(mask) = &mut self.nulls[ci] {
+                        mask.push(false);
+                    }
+                }
+            }
+            self.n_rows += 1;
+        }
+    }
+
     /// Render the table as tab-separated text with a header line.
     pub fn to_tsv(&self) -> String {
         use std::fmt::Write;
@@ -426,6 +521,60 @@ mod tests {
         );
         assert_eq!(t.n_rows(), 3);
         assert_eq!(t.value(2, 0), Value::Int(3));
+    }
+
+    #[test]
+    fn append_rows_matches_repeated_push_row() {
+        let base = || people().with_features(Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4]]));
+        let rows = vec![
+            vec![Value::Null, Value::Str("eve".into()), Value::Bool(true)],
+            vec![Value::Int(4), Value::Str("dan".into()), Value::Null],
+            vec![Value::Int(5), Value::Null, Value::Bool(false)],
+        ];
+        let feats = vec![
+            vec![-0.0, 1.5],
+            vec![f64::MIN_POSITIVE, 2.5],
+            vec![3.5, -4.5],
+        ];
+
+        let mut batched = base();
+        batched.append_rows(rows.clone(), Some(&feats));
+        let mut serial = base();
+        for (row, f) in rows.into_iter().zip(&feats) {
+            serial.push_row(row, Some(f));
+        }
+
+        assert_eq!(batched.n_rows(), serial.n_rows());
+        for c in 0..3 {
+            assert_eq!(batched.null_mask(c), serial.null_mask(c), "mask col {c}");
+            for r in 0..batched.n_rows() {
+                assert_eq!(batched.value(r, c), serial.value(r, c), "cell ({r}, {c})");
+            }
+        }
+        let (bm, sm) = (batched.features().unwrap(), serial.features().unwrap());
+        assert_eq!(bm.rows(), sm.rows());
+        assert_eq!(
+            bm.as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            sm.as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+
+        // Empty batch is a no-op; batch onto a featureless empty table
+        // seeds the matrix just like push_row does.
+        batched.append_rows(vec![], None);
+        assert_eq!(batched.n_rows(), 5);
+        let schema = Schema::new(&[("id", ColType::Int)]);
+        let mut fresh = Table::from_columns(schema, vec![Column::Int(vec![])]);
+        fresh.append_rows(
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            Some(&[vec![9.0], vec![8.0]]),
+        );
+        assert_eq!(fresh.feature_row(1), Some(&[8.0][..]));
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! One directory per session: a commitlog plus its snapshots.
+//!
+//! Layout under the session directory:
+//!
+//! ```text
+//! <dir>/log.bin                  append-only commitlog
+//! <dir>/snap-<offset>.bin        snapshots, named by covered log offset
+//! ```
+//!
+//! [`SessionStore::recover`] is the boot path: newest valid snapshot (if
+//! any) + replay of the log tail after its offset, producing a
+//! [`RecoveredState`] whose catalog versions, null bitmaps, float bits,
+//! and dataset record ids are identical to the pre-crash state.
+//! [`SessionStore::maybe_snapshot`] is the steady-state path: it cuts a
+//! snapshot only once enough log (bytes or records) has accumulated
+//! behind the previous one, keeping both the write amplification and the
+//! recovery tail bounded.
+
+use crate::log::{Commitlog, LOG_HEADER_LEN};
+use crate::record::Record;
+use crate::snapshot::{self, SnapshotState};
+use crate::StorageError;
+use rain_model::Dataset;
+use rain_sql::Database;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// When to cut a snapshot: once either threshold of log growth since the
+/// last snapshot is crossed.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPolicy {
+    /// Log bytes behind the latest snapshot that trigger a new one.
+    pub every_bytes: u64,
+    /// Log records behind the latest snapshot that trigger a new one.
+    pub every_records: u64,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy {
+            every_bytes: 8 << 20,
+            every_records: 256,
+        }
+    }
+}
+
+/// What recovery did, for `/stats`, `/metrics`, and logs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStats {
+    /// Log offset of the snapshot used, if one validated.
+    pub snapshot_offset: Option<u64>,
+    /// Log records replayed after the snapshot.
+    pub replayed_records: u64,
+    /// Torn-tail bytes discarded when the log was opened.
+    pub truncated_bytes: u64,
+    /// Durable log size after open (bytes).
+    pub log_bytes: u64,
+    /// Durable records in the log after open.
+    pub log_records: u64,
+    /// Wall-clock seconds spent in snapshot load + replay.
+    pub seconds: f64,
+}
+
+/// Session state reassembled from disk: the catalog plus the pieces the
+/// caller turns back into a live session (parse `spec`, build the model,
+/// apply `params`).
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Verbatim session-creation JSON, if a meta record survived.
+    pub spec: Option<String>,
+    /// Flat model parameters, if a snapshot or params record survived.
+    pub params: Option<Vec<f64>>,
+    /// Training set, if one was uploaded.
+    pub train: Option<Dataset>,
+    /// The catalog, versions and all.
+    pub db: Database,
+    /// What recovery did.
+    pub stats: RecoveryStats,
+}
+
+impl RecoveredState {
+    /// Empty state (what a session looks like before any record).
+    pub fn empty() -> Self {
+        RecoveredState {
+            spec: None,
+            params: None,
+            train: None,
+            db: Database::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Apply one log record. Replay applies the same catalog bump rules
+    /// that produced the record, so versions come out identical; tests
+    /// use this directly as the reference replay.
+    pub fn apply(&mut self, rec: Record) -> Result<(), StorageError> {
+        match rec {
+            Record::SessionMeta { spec } => self.spec = Some(spec),
+            Record::RegisterTable { name, table } => {
+                self.db.register(&name, table);
+            }
+            Record::AppendRows {
+                name,
+                rows,
+                features,
+            } => {
+                self.db.append_to(&name, rows, features).map_err(|e| {
+                    StorageError::Corrupt(format!("append record does not apply: {e}"))
+                })?;
+            }
+            Record::TrainSet { data } => self.train = Some(data),
+            Record::ModelParams { params } => self.params = Some(params),
+        }
+        Ok(())
+    }
+}
+
+/// Commitlog + snapshots for one session.
+#[derive(Debug)]
+pub struct SessionStore {
+    dir: PathBuf,
+    log: Commitlog,
+    policy: SnapshotPolicy,
+    /// Log offset covered by the latest snapshot (header offset = none).
+    snapshot_offset: u64,
+    records_since_snapshot: u64,
+    snapshots_taken: u64,
+    last_snapshot_unix_ms: u64,
+}
+
+impl SessionStore {
+    /// Open (creating the directory and log if needed) with the default
+    /// snapshot policy.
+    pub fn open(dir: &Path) -> Result<SessionStore, StorageError> {
+        SessionStore::open_with(dir, SnapshotPolicy::default())
+    }
+
+    /// Open with an explicit snapshot policy.
+    pub fn open_with(dir: &Path, policy: SnapshotPolicy) -> Result<SessionStore, StorageError> {
+        std::fs::create_dir_all(dir)?;
+        let log = Commitlog::open(&dir.join("log.bin"))?;
+        Ok(SessionStore {
+            dir: dir.to_path_buf(),
+            log,
+            policy,
+            snapshot_offset: LOG_HEADER_LEN,
+            records_since_snapshot: 0,
+            snapshots_taken: 0,
+            last_snapshot_unix_ms: 0,
+        })
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Buffer a record; durable after the next [`SessionStore::commit`].
+    pub fn append(&mut self, rec: &Record) {
+        self.log.append(&rec.encode());
+        self.records_since_snapshot += 1;
+    }
+
+    /// Flush buffered records with one write + fsync.
+    pub fn commit(&mut self) -> Result<(), StorageError> {
+        self.log.commit()
+    }
+
+    /// Append one record and commit immediately (the common wire-handler
+    /// case: one mutation per request).
+    pub fn append_commit(&mut self, rec: &Record) -> Result<(), StorageError> {
+        self.append(rec);
+        self.commit()
+    }
+
+    /// Reassemble session state: newest valid snapshot plus the log tail.
+    pub fn recover(&mut self) -> Result<RecoveredState, StorageError> {
+        let t0 = Instant::now();
+        let open = self.log.open_stats();
+        let mut state = RecoveredState::empty();
+        let mut from = LOG_HEADER_LEN;
+        if let Some((offset, snap)) = snapshot::load_latest(&self.dir)? {
+            state.spec = Some(snap.spec);
+            state.params = Some(snap.params);
+            // An all-empty training set stands for "never uploaded".
+            if !snap.train.is_empty() || snap.train.dim() > 0 {
+                state.train = Some(snap.train);
+            }
+            for (name, version, table) in snap.tables {
+                state.db.register_with_version(&name, table, version);
+            }
+            state.stats.snapshot_offset = Some(offset);
+            from = offset;
+            self.snapshot_offset = offset;
+            self.snapshots_taken = 1;
+        }
+        let mut replay_err = None;
+        let replayed = self.log.replay(from, |_, payload| {
+            match Record::decode(payload) {
+                Ok(rec) => state.apply(rec),
+                Err(e) => {
+                    // A record that passed its checksum but fails to
+                    // decode is real corruption, not a torn write.
+                    replay_err = Some(e);
+                    Err(StorageError::Corrupt("replay aborted".into()))
+                }
+            }
+        });
+        match (replayed, replay_err) {
+            (Ok(n), None) => state.stats.replayed_records = n,
+            (_, Some(e)) => return Err(e),
+            (Err(e), None) => return Err(e),
+        }
+        state.stats.truncated_bytes = open.truncated_bytes;
+        state.stats.log_bytes = self.log.bytes();
+        state.stats.log_records = self.log.records();
+        state.stats.seconds = t0.elapsed().as_secs_f64();
+        Ok(state)
+    }
+
+    /// Cut a snapshot now, covering everything committed so far.
+    pub fn snapshot(&mut self, state: &SnapshotState) -> Result<(), StorageError> {
+        let offset = self.log.durable_end();
+        snapshot::write_snapshot(&self.dir, offset, state)?;
+        self.snapshot_offset = offset;
+        self.records_since_snapshot = 0;
+        self.snapshots_taken += 1;
+        self.last_snapshot_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Ok(())
+    }
+
+    /// Cut a snapshot if enough log accumulated behind the previous one
+    /// (per the open policy). `build` runs only when a snapshot is due —
+    /// assembling [`SnapshotState`] clones the full catalog, so the
+    /// common no-op call stays cheap. Returns whether a snapshot was cut.
+    pub fn maybe_snapshot(
+        &mut self,
+        build: impl FnOnce() -> SnapshotState,
+    ) -> Result<bool, StorageError> {
+        let lag_bytes = self.log.durable_end().saturating_sub(self.snapshot_offset);
+        if lag_bytes < self.policy.every_bytes
+            && self.records_since_snapshot < self.policy.every_records
+        {
+            return Ok(false);
+        }
+        self.snapshot(&build())?;
+        Ok(true)
+    }
+
+    /// Durable log size in bytes.
+    pub fn log_bytes(&self) -> u64 {
+        self.log.bytes()
+    }
+
+    /// Durable records in the log.
+    pub fn log_records(&self) -> u64 {
+        self.log.records()
+    }
+
+    /// Snapshots cut (including one counted for the snapshot recovery
+    /// loaded, if any).
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// Unix milliseconds of the last snapshot cut by this process
+    /// (0 = none yet).
+    pub fn last_snapshot_unix_ms(&self) -> u64 {
+        self.last_snapshot_unix_ms
+    }
+
+    /// Log bytes accumulated behind the latest snapshot.
+    pub fn snapshot_lag_bytes(&self) -> u64 {
+        self.log.durable_end().saturating_sub(self.snapshot_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_linalg::Matrix;
+    use rain_sql::table::{ColType, Column, Schema, Table};
+    use rain_sql::{TableVersion, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("rain-store-test-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ints(vals: Vec<i64>) -> Table {
+        Table::from_columns(Schema::new(&[("x", ColType::Int)]), vec![Column::Int(vals)])
+    }
+
+    #[test]
+    fn log_only_recovery_reproduces_versions() {
+        let dir = temp_dir("logonly");
+        {
+            let mut store = SessionStore::open(&dir).unwrap();
+            store.append(&Record::SessionMeta { spec: "{}".into() });
+            store.append(&Record::RegisterTable {
+                name: "t".into(),
+                table: ints(vec![1, 2]),
+            });
+            store.append(&Record::AppendRows {
+                name: "t".into(),
+                rows: vec![vec![Value::Int(3)]],
+                features: None,
+            });
+            store.append(&Record::RegisterTable {
+                name: "t".into(),
+                table: ints(vec![9]),
+            });
+            store.append(&Record::AppendRows {
+                name: "t".into(),
+                rows: vec![vec![Value::Int(10)], vec![Value::Null]],
+                features: None,
+            });
+            store.commit().unwrap();
+        }
+        let mut store = SessionStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        assert_eq!(state.spec.as_deref(), Some("{}"));
+        let id = state.db.resolve("t").unwrap();
+        assert_eq!(
+            state.db.table_version(id),
+            TableVersion { gen: 1, delta: 1 },
+            "replay reproduces the replace + append history"
+        );
+        let t = state.db.table_by_id(id);
+        assert_eq!(t.n_rows(), 3);
+        assert!(t.is_null(2, 0));
+        assert_eq!(state.stats.replayed_records, 5);
+        assert!(state.stats.snapshot_offset.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_recovery() {
+        let dir = temp_dir("snaptail");
+        {
+            let mut store = SessionStore::open(&dir).unwrap();
+            store.append(&Record::SessionMeta {
+                spec: "{\"m\":1}".into(),
+            });
+            store.append(&Record::RegisterTable {
+                name: "t".into(),
+                table: ints(vec![1]),
+            });
+            store.commit().unwrap();
+            // Cut a snapshot of the state so far, then keep logging.
+            let mut pre = RecoveredState::empty();
+            pre.apply(Record::SessionMeta {
+                spec: "{\"m\":1}".into(),
+            })
+            .unwrap();
+            pre.apply(Record::RegisterTable {
+                name: "t".into(),
+                table: ints(vec![1]),
+            })
+            .unwrap();
+            let snap = SnapshotState {
+                spec: "{\"m\":1}".into(),
+                params: vec![0.5],
+                train: Dataset::with_ids(Matrix::zeros(0, 0), vec![], vec![], 2),
+                tables: pre
+                    .db
+                    .entries()
+                    .map(|e| (e.name.clone(), e.version, e.table.clone()))
+                    .collect(),
+            };
+            store.snapshot(&snap).unwrap();
+            store
+                .append_commit(&Record::AppendRows {
+                    name: "t".into(),
+                    rows: vec![vec![Value::Int(2)]],
+                    features: None,
+                })
+                .unwrap();
+        }
+        let mut store = SessionStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        assert!(state.stats.snapshot_offset.is_some());
+        assert_eq!(state.stats.replayed_records, 1, "only the tail replays");
+        assert_eq!(state.params.as_deref(), Some(&[0.5][..]));
+        let id = state.db.resolve("t").unwrap();
+        assert_eq!(state.db.table_by_id(id).n_rows(), 2);
+        assert_eq!(
+            state.db.table_version(id),
+            TableVersion { gen: 0, delta: 1 }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_policy_triggers_on_records() {
+        let dir = temp_dir("policy");
+        let mut store = SessionStore::open_with(
+            &dir,
+            SnapshotPolicy {
+                every_bytes: u64::MAX,
+                every_records: 3,
+            },
+        )
+        .unwrap();
+        let snap = || SnapshotState {
+            spec: "{}".into(),
+            params: vec![],
+            train: Dataset::with_ids(Matrix::zeros(0, 0), vec![], vec![], 2),
+            tables: vec![],
+        };
+        for i in 0..2 {
+            store
+                .append_commit(&Record::SessionMeta {
+                    spec: format!("{{\"i\":{i}}}"),
+                })
+                .unwrap();
+            assert!(!store.maybe_snapshot(snap).unwrap());
+        }
+        store
+            .append_commit(&Record::SessionMeta { spec: "{}".into() })
+            .unwrap();
+        assert!(store.maybe_snapshot(snap).unwrap());
+        assert_eq!(store.snapshots_taken(), 1);
+        assert!(store.last_snapshot_unix_ms() > 0);
+        assert_eq!(store.snapshot_lag_bytes(), 0);
+        assert!(!store.maybe_snapshot(snap).unwrap(), "counter reset");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

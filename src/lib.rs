@@ -19,6 +19,9 @@
 //!   datasets, with systematic label-corruption injection.
 //! - [`core`] — the Rain system itself: complaints, TwoStep, Holistic,
 //!   baselines, and the train–rank–fix driver.
+//! - [`storage`] — durability: an append-only commitlog of catalog
+//!   mutations with checksummed records, periodic full-state snapshots,
+//!   and boot-time recovery that reconstructs sessions bit-identically.
 //! - [`serve`] — the long-lived serving layer: session pool, per-session
 //!   skeleton caches, a job runner for concurrent debug runs, and a
 //!   hand-rolled JSON-over-HTTP wire protocol (std only).
@@ -61,3 +64,4 @@ pub use rain_linalg as linalg;
 pub use rain_model as model;
 pub use rain_serve as serve;
 pub use rain_sql as sql;
+pub use rain_storage as storage;
