@@ -1,0 +1,171 @@
+//! Cost-based-optimizer microbench: join ordering and index access paths.
+//!
+//! Two workloads, each timing the same query with an optimizer feature
+//! off vs on (everything else — pushdown, pruning, engine — identical):
+//!
+//! - `reorder`: a three-way join written in its worst FROM order (the two
+//!   big relations first, with no join predicate between them — a cross
+//!   product — and the small filtered relation last). FROM-order
+//!   execution materializes the cross product; the cost-based optimizer
+//!   reorders to hash-join each big relation through the small one.
+//! - `index_scan`: a highly selective equality on a big table, as a full
+//!   (morsel-parallel) scan vs a hash-index posting-list lookup.
+//!
+//! Outputs the timing table plus a `BENCH_optimizer.json` artifact (path
+//! overridable via `RAIN_BENCH_JSON`) recording both speedups, which CI
+//! gates via `bench_floors.json`. Before timing, both plans of each pair
+//! are asserted to produce identical rows.
+
+use rain_bench::BenchGroup;
+use rain_model::LogisticRegression;
+use rain_sql::table::{ColType, Column, Schema, Table};
+use rain_sql::{
+    bind, execute, optimize_with, parse_select, Database, Engine, ExecOptions, IndexKind,
+    OptimizerConfig, QueryPlan,
+};
+
+fn plan_for(sql: &str, db: &Database, cfg: &OptimizerConfig) -> QueryPlan {
+    let stmt = parse_select(sql).unwrap();
+    let bound = bind(&stmt, db).unwrap();
+    optimize_with(bound, db, cfg)
+}
+
+fn int_table(name: &str, cols: &[(&str, Vec<i64>)], db: &mut Database) {
+    let schema: Vec<(&str, ColType)> = cols.iter().map(|(n, _)| (*n, ColType::Int)).collect();
+    let data = cols.iter().map(|(_, v)| Column::Int(v.clone())).collect();
+    db.register(name, Table::from_columns(Schema::new(&schema), data));
+}
+
+fn main() {
+    let quick = rain_bench::is_quick();
+    let model = LogisticRegression::new(1, 0.0);
+    let opts = ExecOptions::with_debug(false);
+
+    // ---- Workload 1: join ordering. ----
+    // facts_a ⋈ dims ⋈ facts_b, written big-big-small. FROM order has no
+    // predicate linking the two fact tables, so the first step is their
+    // cross product; the cost model sees that and starts from `dims`.
+    let n_fact = if quick { 600 } else { 2_000 };
+    let n_dim = 50i64;
+    let mut db = Database::new();
+    int_table(
+        "facts_a",
+        &[("k", (0..n_fact).map(|i| i % n_dim).collect())],
+        &mut db,
+    );
+    int_table(
+        "facts_b",
+        &[("k", (0..n_fact).map(|i| (i * 7) % n_dim).collect())],
+        &mut db,
+    );
+    int_table(
+        "dims",
+        &[
+            ("k", (0..n_dim).collect()),
+            ("grp", (0..n_dim).map(|i| i % 5).collect()),
+        ],
+        &mut db,
+    );
+    let reorder_sql = "SELECT COUNT(*) FROM facts_a a, facts_b b, dims d \
+                       WHERE a.k = d.k AND b.k = d.k AND d.grp = 0";
+    let from_order = plan_for(
+        reorder_sql,
+        &db,
+        &OptimizerConfig {
+            join_reorder: false,
+            ..Default::default()
+        },
+    );
+    let cost_based = plan_for(reorder_sql, &db, &OptimizerConfig::default());
+    println!("-- FROM-order plan --\n{}", from_order.explain(&db));
+    println!("-- cost-based plan --\n{}", cost_based.explain(&db));
+
+    // ---- Workload 2: index scan vs full scan. ----
+    let n_big = if quick { 60_000 } else { 200_000 };
+    let mut ixdb = Database::new();
+    int_table(
+        "events",
+        &[
+            ("id", (0..n_big as i64).collect()),
+            ("payload", (0..n_big as i64).map(|i| i * 3).collect()),
+        ],
+        &mut ixdb,
+    );
+    ixdb.create_index("events", "id", IndexKind::Hash).unwrap();
+    let probe = (n_big as i64) / 2;
+    let index_sql = format!("SELECT SUM(payload) FROM events WHERE id = {probe}");
+    let seq_scan = plan_for(
+        &index_sql,
+        &ixdb,
+        &OptimizerConfig {
+            index_paths: false,
+            ..Default::default()
+        },
+    );
+    let index_scan = plan_for(&index_sql, &ixdb, &OptimizerConfig::default());
+    println!(
+        "-- index plan --\n{}",
+        index_scan.explain_engine(&ixdb, Engine::Vectorized)
+    );
+
+    // Correctness before timing: each pair must agree exactly.
+    let run = |db: &Database, plan: &QueryPlan| {
+        execute(db, &model, plan, opts.on(Engine::Vectorized)).unwrap()
+    };
+    assert_eq!(
+        run(&db, &from_order).table.to_tsv(),
+        run(&db, &cost_based).table.to_tsv(),
+        "reorder changed the answer"
+    );
+    assert_eq!(
+        run(&ixdb, &seq_scan).table.to_tsv(),
+        run(&ixdb, &index_scan).table.to_tsv(),
+        "index path changed the answer"
+    );
+
+    let samples = if quick { 3 } else { 20 };
+    let mut g = BenchGroup::new("optimizer", samples);
+    g.bench("reorder_from_order", || run(&db, &from_order));
+    g.bench("reorder_cost_based", || run(&db, &cost_based));
+    g.bench("scan_seq", || run(&ixdb, &seq_scan));
+    g.bench("scan_index", || run(&ixdb, &index_scan));
+    g.finish();
+
+    let (fo, cb) = (
+        g.median_secs("reorder_from_order").unwrap(),
+        g.median_secs("reorder_cost_based").unwrap(),
+    );
+    let (seq, ix) = (
+        g.median_secs("scan_seq").unwrap(),
+        g.median_secs("scan_index").unwrap(),
+    );
+    println!(
+        "reorder speedup: {:.1}x (FROM order {:.3} ms → cost-based {:.3} ms)",
+        fo / cb,
+        fo * 1e3,
+        cb * 1e3
+    );
+    println!(
+        "index-scan speedup: {:.1}x (seq {:.3} ms → index {:.3} ms)",
+        seq / ix,
+        seq * 1e3,
+        ix * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"optimizer\",\n  \"n_fact\": {n_fact},\n  \"n_events\": {n_big},\n  \
+         \"samples\": {samples},\n  \
+         \"reorder\": {{ \"from_order_ms\": {:.6}, \"cost_based_ms\": {:.6}, \"speedup\": {:.3} }},\n  \
+         \"index_scan\": {{ \"seq_ms\": {:.6}, \"index_ms\": {:.6}, \"speedup\": {:.3} }}\n}}\n",
+        fo * 1e3,
+        cb * 1e3,
+        fo / cb,
+        seq * 1e3,
+        ix * 1e3,
+        seq / ix
+    );
+    let path =
+        std::env::var("RAIN_BENCH_JSON").unwrap_or_else(|_| "BENCH_optimizer.json".to_string());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}");
+}

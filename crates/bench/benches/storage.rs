@@ -169,6 +169,15 @@ fn main() {
                 .entries()
                 .map(|e| (e.name.clone(), e.version, e.table.clone()))
                 .collect(),
+            indexes: state
+                .db
+                .entries()
+                .flat_map(|e| {
+                    e.indexes
+                        .iter()
+                        .map(|ix| (e.name.clone(), ix.column.clone(), ix.kind.code()))
+                })
+                .collect(),
         };
         store.snapshot(&snap).unwrap();
     }

@@ -119,6 +119,33 @@ pub fn append_rows(
     Ok((id, version))
 }
 
+/// Create a secondary index on a registered table's column, logging the
+/// definition when durable. Validation runs (and fails) before anything
+/// is logged, so a bad request leaves both catalog and log untouched.
+/// Only the definition is logged — index *data* is rebuilt from the
+/// table on recovery and on every later table mutation.
+pub fn create_index(
+    db: &mut Database,
+    store: Option<&mut SessionStore>,
+    name: &str,
+    column: &str,
+    kind: rain_sql::IndexKind,
+) -> Result<(TableId, usize), AppendError> {
+    let (id, count) = db
+        .create_index(name, column, kind)
+        .map_err(AppendError::Invalid)?;
+    if let Some(store) = store {
+        store
+            .append_commit(&Record::CreateIndex {
+                name: name.to_string(),
+                column: column.to_string(),
+                kind: kind.code(),
+            })
+            .map_err(AppendError::Storage)?;
+    }
+    Ok((id, count))
+}
+
 /// Replace the training set, logging the mutation when durable.
 pub fn set_train(
     sess: &mut DebugSession,
@@ -142,6 +169,15 @@ pub fn snapshot_state(sess: &DebugSession, spec: &str) -> SnapshotState {
             .db
             .entries()
             .map(|e| (e.name.clone(), e.version, e.table.clone()))
+            .collect(),
+        indexes: sess
+            .db
+            .entries()
+            .flat_map(|e| {
+                e.indexes
+                    .iter()
+                    .map(|ix| (e.name.clone(), ix.column.clone(), ix.kind.code()))
+            })
             .collect(),
     }
 }
@@ -235,6 +271,14 @@ mod tests {
                 Box::new(LogisticRegression::new(2, 0.01)),
             );
             register_table(&mut sess.db, Some(&mut store), "t", ints(vec![1, 2])).unwrap();
+            create_index(
+                &mut sess.db,
+                Some(&mut store),
+                "t",
+                "x",
+                rain_sql::IndexKind::Hash,
+            )
+            .unwrap();
             append_rows(
                 &mut sess.db,
                 Some(&mut store),
@@ -265,6 +309,12 @@ mod tests {
             TableVersion { gen: 0, delta: 1 }
         );
         assert_eq!(rec.sess.db.table_by_id(id).n_rows(), 3);
+        let ix = rec
+            .sess
+            .db
+            .index_on(id, 0, rain_sql::IndexKind::Hash)
+            .expect("index definition recovered");
+        assert_eq!(ix.len(), 3, "index rebuilt over all recovered rows");
         assert!(rec.stats.snapshot_offset.is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -15,6 +15,8 @@
 //! | `DELETE /sessions/{s}`            | drop a session (and its on-disk directory, in durable mode) |
 //! | `POST /sessions/{s}/tables`       | table upload → register (replacing invalidates cached skeletons) |
 //! | `POST /sessions/{s}/tables/{t}/append` | `{"rows":[[…]…][,"features":[[…]…]]}` → append rows; bumps the table's per-delta catalog version |
+//! | `POST /sessions/{s}/tables/{t}/index` | `{"column":…,"kind":"hash"\|"sorted"}` → create a secondary index; the definition is durable, the data is rebuilt on recovery |
+//! | `GET  /sessions/{s}/tables/{t}/stats` | planner statistics (row count, per-column distinct/nulls/min/max) plus the table's index list |
 //! | `POST /sessions/{s}/train`        | training-set upload |
 //! | `POST /sessions/{s}/query`        | `{"sql":…[,"analyze":true]}` → debug-mode execution through the skeleton cache; `analyze` adds an `EXPLAIN ANALYZE`-style plan + span tree |
 //! | `POST /sessions/{s}/complain`     | `{"sql":…,"complaints":[…]}` → attach complaints |
@@ -134,6 +136,8 @@ const ENDPOINTS: &[&str] = &[
     "sessions",
     "tables",
     "append",
+    "index",
+    "table_stats",
     "train",
     "query",
     "complain",
@@ -154,6 +158,8 @@ fn endpoint_label(method: &str, path: &str) -> &'static str {
         (_, ["sessions"]) | ("DELETE", ["sessions", _]) => "sessions",
         ("POST", ["sessions", _, "tables"]) => "tables",
         ("POST", ["sessions", _, "tables", _, "append"]) => "append",
+        ("POST", ["sessions", _, "tables", _, "index"]) => "index",
+        ("GET", ["sessions", _, "tables", _, "stats"]) => "table_stats",
         ("POST", ["sessions", _, "train"]) => "train",
         ("POST", ["sessions", _, "query"]) => "query",
         ("POST", ["sessions", _, "complain"]) => "complain",
@@ -499,6 +505,10 @@ fn handle(state: &ServerState, req: &Request) -> Result<(u16, Json), ApiError> {
         ("POST", ["sessions", name, "tables", table, "append"]) => {
             append_to_table(state, name, table, req)
         }
+        ("POST", ["sessions", name, "tables", table, "index"]) => {
+            create_table_index(state, name, table, req)
+        }
+        ("GET", ["sessions", name, "tables", table, "stats"]) => table_stats(state, name, table),
         ("POST", ["sessions", name, "train"]) => upload_train(state, name, req),
         ("POST", ["sessions", name, "query"]) => query(state, name, req),
         ("POST", ["sessions", name, "complain"]) => complain(state, name, req),
@@ -1013,6 +1023,108 @@ fn append_to_table(
     ))
 }
 
+/// `POST /sessions/{s}/tables/{t}/index`: create (or rebuild) a secondary
+/// index on one column. Validation happens before anything is logged, so
+/// a bad column or kind leaves catalog and log untouched; on success the
+/// *definition* is durable while the data is rebuilt from the table on
+/// recovery and on every later table mutation.
+fn create_table_index(
+    state: &ServerState,
+    name: &str,
+    table_name: &str,
+    req: &Request,
+) -> Result<(u16, Json), ApiError> {
+    let body = body_json(req)?;
+    let column = str_field(&body, "column")?;
+    let kind_str = str_field(&body, "kind")?;
+    let kind = rain_sql::IndexKind::parse(&kind_str).ok_or_else(|| {
+        ApiError::bad_request(format!(
+            "unknown index kind '{kind_str}' (expected 'hash' or 'sorted')"
+        ))
+    })?;
+    let slot = state.pool.get(name)?;
+    let mut guard = slot.lock();
+    let st = &mut *guard;
+    let (_, entries) = rain_core::durable::create_index(
+        &mut st.sess.db,
+        st.store.as_mut(),
+        table_name,
+        &column,
+        kind,
+    )
+    .map_err(|e| match e {
+        rain_core::durable::AppendError::Invalid(msg) => ApiError::bad_request(msg),
+        rain_core::durable::AppendError::Storage(e) => {
+            ApiError::internal(format!("log index creation: {e}"))
+        }
+    })?;
+    publish_durability(&slot, st)?;
+    // Cached plans were costed without this index; bump the generation so
+    // the next checkout re-optimizes and can pick the new access path.
+    let generation = slot.bump_generation();
+    drop(guard);
+    Ok((
+        200,
+        Json::obj(vec![
+            ("table", Json::str(table_name)),
+            ("column", Json::str(column)),
+            ("kind", Json::str(kind.as_str())),
+            ("entries", Json::Num(entries as f64)),
+            ("generation", Json::Num(generation as f64)),
+        ]),
+    ))
+}
+
+/// `GET /sessions/{s}/tables/{t}/stats`: the planner's view of one table —
+/// the statistics the cost model reads (row count, per-column distinct
+/// estimates, null counts, numeric min/max) plus the secondary indexes
+/// currently built over it.
+fn table_stats(state: &ServerState, name: &str, table_name: &str) -> Result<(u16, Json), ApiError> {
+    let slot = state.pool.get(name)?;
+    let guard = slot.lock();
+    let entry = guard
+        .sess
+        .db
+        .entry(table_name)
+        .ok_or_else(|| ApiError::bad_request(format!("no table '{table_name}'")))?;
+    let columns = entry
+        .table
+        .schema()
+        .iter()
+        .zip(&entry.stats.columns)
+        .map(|(def, c)| {
+            Json::obj(vec![
+                ("name", Json::str(&def.name)),
+                ("distinct", Json::Num(c.distinct as f64)),
+                ("nulls", Json::Num(c.null_count as f64)),
+                ("min", c.min.map_or(Json::Null, Json::Num)),
+                ("max", c.max.map_or(Json::Null, Json::Num)),
+            ])
+        })
+        .collect();
+    let indexes = entry
+        .indexes
+        .iter()
+        .map(|ix| {
+            Json::obj(vec![
+                ("column", Json::str(&ix.column)),
+                ("kind", Json::str(ix.kind.as_str())),
+                ("entries", Json::Num(ix.len() as f64)),
+            ])
+        })
+        .collect();
+    Ok((
+        200,
+        Json::obj(vec![
+            ("table", Json::str(&entry.name)),
+            ("rows", Json::Num(entry.stats.row_count as f64)),
+            ("version", version_to_json(entry.version)),
+            ("columns", Json::Arr(columns)),
+            ("indexes", Json::Arr(indexes)),
+        ]),
+    ))
+}
+
 fn upload_train(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
     let body = body_json(req)?;
     let data = dataset_from_json(&body)?;
@@ -1066,24 +1178,40 @@ fn query(state: &ServerState, name: &str, req: &Request) -> Result<(u16, Json), 
     let t_exec = Instant::now();
     let mut st = slot.lock();
     let st = &mut *st;
-    // `EXPLAIN ANALYZE` flavor: the response carries the executed plan
-    // (resolved engine, thread, and morsel counts) plus the harvested
-    // span tree of this execution. Results are bit-identical either way —
-    // tracing is a pure observer.
+    // `EXPLAIN ANALYZE` flavor: the response carries the executed plan —
+    // the *cached skeleton's* plan, with resolved engine, thread, and
+    // morsel counts plus estimated-vs-actual row counts per scan and
+    // join step — and the harvested span tree of this execution. Results
+    // are bit-identical either way — tracing is a pure observer.
     let (out, event, analysis, sampled_trace) = if analyze {
-        let plan = {
-            let stmt = rain_sql::parse_select(&sql).map_err(rain_sql::QueryError::Parse)?;
-            let bound = rain_sql::bind(&stmt, &st.sess.db).map_err(rain_sql::QueryError::Bind)?;
-            rain_sql::optimize(bound, &st.sess.db)
-        };
-        let explain = plan.explain_exec(&st.sess.db, slot.opts.engine, st.cache.threads());
         let _on = rain_obs::activate();
         let root = rain_obs::Span::enter("query");
         let root_id = root.id();
-        let res = st.cache.execute(&st.sess.db, st.sess.model.as_ref(), &sql);
+        let res = (|| {
+            let cq = st
+                .cache
+                .checkout(&st.sess.db, st.sess.model.as_ref(), &sql)?;
+            let out = cq.prepared.refresh_threaded(
+                &st.sess.db,
+                st.sess.model.as_ref(),
+                st.cache.threads(),
+            )?;
+            let sk = cq.prepared.stats();
+            let join_rows: Vec<usize> = sk.join_steps.iter().map(|&(_, n)| n).collect();
+            let explain = cq.prepared.plan().explain_analyze(
+                &st.sess.db,
+                slot.opts.engine,
+                st.cache.threads(),
+                &sk.scan_rows,
+                &join_rows,
+            );
+            let event = cq.event;
+            st.cache.checkin(cq);
+            Ok::<_, rain_sql::QueryError>((out, event, explain))
+        })();
         drop(root);
         let trace = rain_obs::take_subtree(root_id);
-        let (out, event) = res?;
+        let (out, event, explain) = res?;
         (out, event, Some((explain, trace)), None)
     } else if sampled {
         let _on = rain_obs::activate();

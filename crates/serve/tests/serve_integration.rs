@@ -1461,3 +1461,136 @@ fn restart_recovers_sessions_and_serves_cached_queries() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&data_dir);
 }
+
+/// The optimizer surface on the wire: `POST …/tables/{t}/index` creates a
+/// secondary index (validating before logging), `GET …/tables/{t}/stats`
+/// exposes the planner statistics the cost model reads, an `analyze`
+/// query shows the index-backed access path in its plan, and a restarted
+/// server rebuilds the index from the logged definition.
+#[test]
+fn index_and_stats_endpoints_round_trip_and_recover() {
+    let data_dir = std::env::temp_dir().join(format!("rain-serve-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let dir_str = data_dir.to_string_lossy().into_owned();
+
+    let server = start(ServerConfig {
+        data_dir: Some(dir_str.clone()),
+        ..Default::default()
+    })
+    .unwrap();
+    {
+        let mut client = Client::connect(server.addr()).unwrap();
+        client
+            .post_ok("/sessions", &logistic_session("ix"))
+            .unwrap();
+        client
+            .post_ok("/sessions/ix/tables", &table_json("pairs", 10, 4))
+            .unwrap();
+
+        // Bad requests validate before anything is logged.
+        let body = |col: &str, kind: &str| {
+            Json::obj(vec![("column", Json::str(col)), ("kind", Json::str(kind))])
+        };
+        assert_eq!(
+            client
+                .post("/sessions/ix/tables/pairs/index", &body("id", "btree"))
+                .unwrap()
+                .0,
+            400,
+            "unknown kind must 400"
+        );
+        assert_eq!(
+            client
+                .post("/sessions/ix/tables/pairs/index", &body("ghost", "hash"))
+                .unwrap()
+                .0,
+            400,
+            "unknown column must 400"
+        );
+
+        let created = client
+            .post_ok("/sessions/ix/tables/pairs/index", &body("id", "hash"))
+            .unwrap();
+        assert_eq!(created.get("kind").unwrap().as_str(), Some("hash"));
+        assert_eq!(created.get("entries").unwrap().as_i64(), Some(10));
+        client
+            .post_ok("/sessions/ix/tables/pairs/index", &body("id", "sorted"))
+            .unwrap();
+
+        // The stats endpoint shows the planner's inputs and both indexes.
+        let stats = client.get_ok("/sessions/ix/tables/pairs/stats").unwrap();
+        assert_eq!(stats.get("rows").unwrap().as_i64(), Some(10));
+        let cols = stats.get("columns").unwrap().as_arr().unwrap();
+        assert_eq!(cols[0].get("name").unwrap().as_str(), Some("id"));
+        assert_eq!(cols[0].get("distinct").unwrap().as_i64(), Some(10));
+        assert_eq!(cols[0].get("min").unwrap().as_i64(), Some(0));
+        assert_eq!(cols[0].get("max").unwrap().as_i64(), Some(9));
+        let indexes = stats.get("indexes").unwrap().as_arr().unwrap();
+        assert_eq!(indexes.len(), 2, "{stats}");
+
+        // An analyze query over the indexed column shows the index-backed
+        // access path in the executed plan.
+        let q = Json::obj(vec![
+            ("sql", Json::str("SELECT COUNT(*) FROM pairs WHERE id = 3")),
+            ("analyze", Json::Bool(true)),
+        ]);
+        let out = client.post_ok("/sessions/ix/query", &q).unwrap();
+        let explain = out.get("explain").unwrap().as_str().unwrap();
+        assert!(
+            explain.contains("index-scan(id)"),
+            "analyze plan must show the index access path: {explain}"
+        );
+        assert!(
+            explain.contains("est=") && explain.contains("actual=1"),
+            "analyze plan must pair estimates with observed rows: {explain}"
+        );
+
+        // Appends keep the index fresh and the stats current.
+        client
+            .post_ok(
+                "/sessions/ix/tables/pairs/append",
+                &Json::obj(vec![
+                    ("rows", Json::Arr(vec![Json::Arr(vec![Json::num(100.0)])])),
+                    ("features", Json::Arr(vec![Json::Arr(vec![Json::num(2.0)])])),
+                ]),
+            )
+            .unwrap();
+        let stats = client.get_ok("/sessions/ix/tables/pairs/stats").unwrap();
+        assert_eq!(stats.get("rows").unwrap().as_i64(), Some(11));
+        let indexes = stats.get("indexes").unwrap().as_arr().unwrap();
+        assert!(
+            indexes
+                .iter()
+                .all(|ix| ix.get("entries").unwrap().as_i64() == Some(11)),
+            "appends must rebuild indexes: {stats}"
+        );
+
+        // Stats against an unknown table are a 400.
+        assert_eq!(
+            client.get("/sessions/ix/tables/ghost/stats").unwrap().0,
+            400
+        );
+    }
+    server.shutdown();
+
+    // Restart: the logged index definitions come back, rebuilt over the
+    // recovered table (original rows plus the appended one).
+    let server = start(ServerConfig {
+        data_dir: Some(dir_str),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let stats = client.get_ok("/sessions/ix/tables/pairs/stats").unwrap();
+    assert_eq!(stats.get("rows").unwrap().as_i64(), Some(11));
+    let indexes = stats.get("indexes").unwrap().as_arr().unwrap();
+    assert_eq!(indexes.len(), 2, "recovered session must keep its indexes");
+    assert!(
+        indexes
+            .iter()
+            .all(|ix| ix.get("entries").unwrap().as_i64() == Some(11)),
+        "recovered indexes must cover the recovered rows: {stats}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

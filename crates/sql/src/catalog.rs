@@ -6,6 +6,8 @@
 //! hot path. Columns are addressed by a [`ColumnRef`] (table id + ordinal),
 //! with names and types carried by the table's [`Schema`](crate::table::Schema).
 
+use crate::index::{IndexKind, TableIndex};
+use crate::stats::TableStats;
 use crate::table::{ColType, ColumnDef, Table};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -68,6 +70,12 @@ pub struct TableEntry {
     pub version: TableVersion,
     /// The table itself.
     pub table: Table,
+    /// Statistics for the cost-based planner, recomputed on every
+    /// mutation and stamped with the version they describe.
+    pub stats: TableStats,
+    /// Secondary indexes, rebuilt eagerly on every mutation. At most one
+    /// per `(column, kind)` pair.
+    pub indexes: Vec<TableIndex>,
 }
 
 /// A named collection of tables (the queried database `D` of the paper).
@@ -93,18 +101,46 @@ impl Database {
                 self.entries[slot].table = table;
                 self.entries[slot].version.gen += 1;
                 self.entries[slot].version.delta = 0;
+                self.refresh_entry(slot);
                 self.entries[slot].id
             }
             None => {
-                let id = TableId(self.entries.len() as u32);
-                self.by_name.insert(name.clone(), self.entries.len());
+                let slot = self.entries.len();
+                let id = TableId(slot as u32);
+                self.by_name.insert(name.clone(), slot);
                 self.entries.push(TableEntry {
                     id,
                     name,
                     version: TableVersion::default(),
                     table,
+                    stats: TableStats::empty(),
+                    indexes: Vec::new(),
                 });
+                self.refresh_entry(slot);
                 id
+            }
+        }
+    }
+
+    /// Recompute stats and rebuild indexes after a mutation of
+    /// `entries[slot]`. Index definitions survive a replacement as long
+    /// as the column still exists with a compatible type; otherwise the
+    /// index is dropped (a sorted index on a now-string column cannot be
+    /// rebuilt).
+    fn refresh_entry(&mut self, slot: usize) {
+        let entry = &mut self.entries[slot];
+        entry.stats = TableStats::compute(&entry.table, entry.version);
+        let defs: Vec<(String, IndexKind)> = entry
+            .indexes
+            .iter()
+            .map(|ix| (ix.column.clone(), ix.kind))
+            .collect();
+        entry.indexes.clear();
+        for (column, kind) in defs {
+            if let Some(col) = entry.table.schema().index_of(&column) {
+                if let Ok(ix) = TableIndex::build(&entry.table, &column, col, kind) {
+                    entry.indexes.push(ix);
+                }
             }
         }
     }
@@ -121,7 +157,11 @@ impl Database {
         version: TableVersion,
     ) -> TableId {
         let id = self.register(name, table);
-        self.entries[id.0 as usize].version = version;
+        let entry = &mut self.entries[id.0 as usize];
+        entry.version = version;
+        // `register` stamped the stats with the bumped version; re-stamp
+        // with the pinned one so stats always describe the live version.
+        entry.stats.version = version;
         id
     }
 
@@ -149,7 +189,59 @@ impl Database {
         let entry = &mut self.entries[slot];
         entry.table.append_rows(rows, features.as_deref());
         entry.version.delta += 1;
-        Ok((entry.id, entry.version))
+        let out = (entry.id, entry.version);
+        self.refresh_entry(slot);
+        Ok(out)
+    }
+
+    /// Create (or rebuild) a secondary index on `table.column`. Replaces
+    /// an existing index of the same `(column, kind)`; fails for unknown
+    /// tables/columns and for sorted indexes on string columns. Returns
+    /// the table id and the number of indexed entries.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<(TableId, usize), String> {
+        let name_lc = table.to_ascii_lowercase();
+        let &slot = self
+            .by_name
+            .get(&name_lc)
+            .ok_or_else(|| format!("unknown table {name_lc}"))?;
+        let entry = &mut self.entries[slot];
+        let column = column.to_ascii_lowercase();
+        let col = entry
+            .table
+            .schema()
+            .index_of(&column)
+            .ok_or_else(|| format!("table {name_lc} has no column {column}"))?;
+        let ix = TableIndex::build(&entry.table, &column, col, kind)?;
+        let entries = ix.len();
+        entry
+            .indexes
+            .retain(|other| !(other.column == column && other.kind == kind));
+        entry.indexes.push(ix);
+        Ok((entry.id, entries))
+    }
+
+    /// The index of a given kind on `(table, column ordinal)`, if one
+    /// exists. This is the executor's probe point: access paths resolve
+    /// lazily against the live catalog, so a plan that references a
+    /// since-dropped index falls back to a sequential scan.
+    pub fn index_on(&self, id: TableId, col: usize, kind: IndexKind) -> Option<&TableIndex> {
+        self.entries[id.0 as usize]
+            .indexes
+            .iter()
+            .find(|ix| ix.col == col && ix.kind == kind)
+    }
+
+    /// Planner statistics for a table id.
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this database.
+    pub fn stats_of(&self, id: TableId) -> &TableStats {
+        &self.entries[id.0 as usize].stats
     }
 
     /// Full two-part data version of a table id.

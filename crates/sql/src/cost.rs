@@ -1,0 +1,620 @@
+//! The cost-based phase of the optimizer: join ordering, access-path
+//! selection, and cardinality estimation.
+//!
+//! Runs after the rule-based rewrites in [`optimize`](mod@crate::optimize)
+//! and consumes the per-table [`TableStats`]
+//! the catalog maintains. Three steps, each gated by its own
+//! [`OptimizerConfig`](crate::OptimizerConfig) flag:
+//!
+//! 1. [`reorder`] — pick the cheapest **left-deep** join order instead
+//!    of FROM order. The search runs the greedy chain from every
+//!    possible starting relation and keeps the cheapest result, but
+//!    only adopts it when it strictly beats the original order (ties
+//!    keep FROM order, so plans never churn without a reason). The
+//!    per-step cost charges building a hash table over the incoming
+//!    relation (weighted, since building is pricier than probing),
+//!    probing it with the accumulated tuples, and materializing the
+//!    estimated output — which is what makes an accidental cross
+//!    product (no connecting equi-key) catastrophically expensive and
+//!    pushes bridge relations early.
+//! 2. [`choose_paths`] — turn scan filters into
+//!    [`AccessPath::IndexScan`]s where a matching secondary index
+//!    exists (hash for `=`, sorted for ranges), and join steps into
+//!    [`JoinAlgo::IndexNestedLoop`] when the inner side of a
+//!    single-key equi-join is a bare indexed column scanned without
+//!    filters.
+//! 3. [`annotate`] — stamp the plan with [`PlanEstimates`]: expected
+//!    rows out of every scan and every join step, mirroring the
+//!    engines' actual join schedule so `EXPLAIN (analyze)` can print
+//!    `est=…` next to `actual=…`.
+//!
+//! Selectivity model (deliberately classical): `col = lit` selects
+//! `1/distinct`; ranges interpolate the literal's position between the
+//! column's min and max; everything else defaults to ⅓. Equi-joins
+//! select `1/max(distinct_left, distinct_right)`; steps with no
+//! equi-key multiply cardinalities outright. `predict()` conjuncts are
+//! costed at selectivity 1 — in debug mode they never prune (they only
+//! contribute provenance formulas), and the model's behavior is
+//! unknowable at plan time anyway.
+
+use crate::ast::CmpOp;
+use crate::binder::{BExpr, BoundAggArg, GroupKey, QueryKind};
+use crate::catalog::Database;
+use crate::index::IndexKind;
+use crate::plan::{AccessPath, JoinAlgo, PlanEstimates, QueryPlan};
+use crate::stats::TableStats;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Fallback selectivity for predicates the model cannot decompose.
+const DEFAULT_SEL: f64 = 1.0 / 3.0;
+/// Selectivity guess for `LIKE` patterns.
+const LIKE_SEL: f64 = 0.25;
+/// Cost weight of building a hash table versus probing it once.
+const BUILD_WEIGHT: f64 = 2.0;
+/// Distinct-count guess for equi-key expressions that are not bare
+/// columns (e.g. `a.x + 1 = b.y`).
+const EXPR_DISTINCT: f64 = 10.0;
+
+/// Decompose a scan filter into `(column, op, literal)` when it has the
+/// `col <op> lit` shape (either orientation). This is the single shape
+/// both the planner (index eligibility, selectivity) and the executor
+/// (index probes) understand, so they can never disagree.
+pub(crate) fn probe_shape(e: &BExpr) -> Option<(usize, CmpOp, &Value)> {
+    let BExpr::Cmp { op, left, right } = e else {
+        return None;
+    };
+    match (&**left, &**right) {
+        (BExpr::Col { col, .. }, BExpr::Lit(v)) => Some((*col, *op, v)),
+        (BExpr::Lit(v), BExpr::Col { col, .. }) => Some((*col, flip(*op), v)),
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Estimated fraction of rows a single-relation predicate keeps.
+fn filter_selectivity(stats: &TableStats, f: &BExpr) -> f64 {
+    if matches!(f, BExpr::Like { .. }) {
+        return LIKE_SEL;
+    }
+    let Some((col, op, lit)) = probe_shape(f) else {
+        return DEFAULT_SEL;
+    };
+    let Some(cs) = stats.columns.get(col) else {
+        return DEFAULT_SEL;
+    };
+    match op {
+        CmpOp::Eq => {
+            if cs.distinct == 0 {
+                0.0
+            } else {
+                1.0 / cs.distinct as f64
+            }
+        }
+        CmpOp::Ne => {
+            if cs.distinct == 0 {
+                0.0
+            } else {
+                1.0 - 1.0 / cs.distinct as f64
+            }
+        }
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let (Some(min), Some(max), Some(v)) = (cs.min, cs.max, lit.as_f64()) else {
+                return DEFAULT_SEL;
+            };
+            if !v.is_finite() {
+                return DEFAULT_SEL;
+            }
+            let below = if max > min {
+                ((v - min) / (max - min)).clamp(0.0, 1.0)
+            } else {
+                // Single-valued column: the literal is either fully
+                // below, at, or above it.
+                if v < min {
+                    0.0
+                } else {
+                    1.0
+                }
+            };
+            match op {
+                CmpOp::Lt | CmpOp::Le => below,
+                _ => 1.0 - below,
+            }
+        }
+    }
+}
+
+/// Estimated rows surviving relation `rel`'s scan filters.
+fn scan_estimate(plan: &QueryPlan, db: &Database, rel: usize) -> f64 {
+    let stats = db.stats_of(plan.rels[rel].id);
+    let mut rows = stats.row_count as f64;
+    for f in &plan.scan_filters[rel] {
+        rows *= filter_selectivity(stats, f);
+    }
+    rows
+}
+
+/// Per-conjunct facts the order search needs, computed once.
+struct ConjInfo {
+    rels: BTreeSet<usize>,
+    predict: bool,
+    /// For a two-sided equality: `(left rels, left distinct, right
+    /// rels, right distinct)` where distinct is the stats count of a
+    /// bare column or [`EXPR_DISTINCT`] for anything else.
+    eq: Option<(BTreeSet<usize>, f64, BTreeSet<usize>, f64)>,
+}
+
+fn conj_info(plan: &QueryPlan, db: &Database) -> Vec<ConjInfo> {
+    plan.conjuncts
+        .iter()
+        .map(|c| {
+            let mut rels = BTreeSet::new();
+            c.rels_used(&mut rels);
+            let eq = match c {
+                BExpr::Cmp {
+                    op: CmpOp::Eq,
+                    left,
+                    right,
+                } if crate::optimize::is_equi_join(c) => {
+                    let side = |e: &BExpr| {
+                        let mut rs = BTreeSet::new();
+                        e.rels_used(&mut rs);
+                        let d = match e {
+                            BExpr::Col { rel, col } => {
+                                (db.stats_of(plan.rels[*rel].id).distinct(*col) as f64).max(1.0)
+                            }
+                            _ => EXPR_DISTINCT,
+                        };
+                        (rs, d)
+                    };
+                    let (ls, ld) = side(left);
+                    let (rs, rd) = side(right);
+                    Some((ls, ld, rs, rd))
+                }
+                _ => None,
+            };
+            ConjInfo {
+                rels,
+                predict: c.contains_predict(),
+                eq,
+            }
+        })
+        .collect()
+}
+
+/// Selectivity of applying conjunct `ci` once its footprint is in
+/// scope. `stats` is the stats of the single relation for
+/// single-relation conjuncts (used for the finer-grained estimate).
+fn conjunct_selectivity(info: &ConjInfo, plan: &QueryPlan, db: &Database, c: &BExpr) -> f64 {
+    if info.predict {
+        return 1.0;
+    }
+    if let Some((_, ld, _, rd)) = &info.eq {
+        return 1.0 / ld.max(*rd).max(1.0);
+    }
+    if info.rels.len() == 1 {
+        let rel = *info.rels.iter().next().unwrap();
+        return filter_selectivity(db.stats_of(plan.rels[rel].id), c);
+    }
+    DEFAULT_SEL
+}
+
+/// Total cost of executing the relations in `order` (indices into
+/// `plan.rels`): per step, a weighted hash build over the incoming
+/// relation, a probe per accumulated tuple, and the estimated output.
+fn order_cost(
+    plan: &QueryPlan,
+    db: &Database,
+    scan_est: &[f64],
+    conj: &[ConjInfo],
+    order: &[usize],
+) -> f64 {
+    let mut in_scope: BTreeSet<usize> = BTreeSet::new();
+    let mut acc = 0.0f64;
+    let mut cost = 0.0f64;
+    for (step, &r) in order.iter().enumerate() {
+        let mut out = if step == 0 {
+            scan_est[r]
+        } else {
+            acc * scan_est[r]
+        };
+        for (ci, info) in conj.iter().enumerate() {
+            if info.rels.contains(&r) && info.rels.iter().all(|t| *t == r || in_scope.contains(t)) {
+                out *= conjunct_selectivity(info, plan, db, &plan.conjuncts[ci]);
+            }
+        }
+        if step > 0 {
+            cost += BUILD_WEIGHT * scan_est[r] + acc + out;
+        }
+        acc = out;
+        in_scope.insert(r);
+    }
+    cost
+}
+
+/// Replace FROM order with the cheapest left-deep order the greedy
+/// search finds, when it strictly beats the original (ties and
+/// single-relation plans keep FROM order). Every relation index inside
+/// the plan — conjuncts, projection, grouping, per-relation vectors —
+/// is rewritten to the new order.
+pub fn reorder(plan: &mut QueryPlan, db: &Database) {
+    let n = plan.rels.len();
+    if n <= 1 {
+        return;
+    }
+    let scan_est: Vec<f64> = (0..n).map(|r| scan_estimate(plan, db, r)).collect();
+    let conj = conj_info(plan, db);
+    let cost_of = |order: &[usize]| order_cost(plan, db, &scan_est, &conj, order);
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for start in 0..n {
+        let mut order = vec![start];
+        let mut remaining: Vec<usize> = (0..n).filter(|&r| r != start).collect();
+        while !remaining.is_empty() {
+            // Greedy: extend with the relation that makes the cheapest
+            // next prefix; ties keep the smallest original index.
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &r)| {
+                    let mut candidate = order.clone();
+                    candidate.push(r);
+                    (pos, cost_of(&candidate))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            order.push(remaining.remove(pos));
+        }
+        let total = cost_of(&order);
+        if best.as_ref().is_none_or(|(c, _)| total < *c) {
+            best = Some((total, order));
+        }
+    }
+
+    let identity: Vec<usize> = (0..n).collect();
+    let original = cost_of(&identity);
+    if let Some((cost, order)) = best {
+        // Strict improvement only: never churn the plan on a tie.
+        if order != identity && cost < original * (1.0 - 1e-9) {
+            permute(plan, &order);
+        }
+    }
+}
+
+/// Rewrite the plan so `order[i]` (an old relation index) becomes
+/// relation `i`.
+fn permute(plan: &mut QueryPlan, order: &[usize]) {
+    let mut new_index = vec![0usize; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        new_index[old] = new;
+    }
+    let pick = |old: usize| new_index[old];
+
+    plan.rels = order.iter().map(|&o| plan.rels[o].clone()).collect();
+    plan.scan_filters = order
+        .iter()
+        .map(|&o| std::mem::take(&mut plan.scan_filters[o]))
+        .collect();
+    plan.used_cols = order
+        .iter()
+        .map(|&o| std::mem::take(&mut plan.used_cols[o]))
+        .collect();
+    plan.access = order.iter().map(|&o| plan.access[o]).collect();
+    for filters in &mut plan.scan_filters {
+        for f in filters {
+            remap_expr(f, &new_index);
+        }
+    }
+    for c in &mut plan.conjuncts {
+        remap_expr(c, &new_index);
+    }
+    match &mut plan.kind {
+        QueryKind::Select { items } => {
+            for (e, _) in items {
+                remap_expr(e, &new_index);
+            }
+        }
+        QueryKind::Aggregate { keys, aggs } => {
+            for k in keys {
+                match k {
+                    GroupKey::Col { rel, .. } | GroupKey::Predict { rel } => *rel = pick(*rel),
+                }
+            }
+            for a in aggs {
+                match &mut a.arg {
+                    BoundAggArg::CountStar => {}
+                    BoundAggArg::Scalar(e) => remap_expr(e, &new_index),
+                    BoundAggArg::Predict { rel } => *rel = pick(*rel),
+                    BoundAggArg::ScaledPredict { rel, factor } => {
+                        *rel = pick(*rel);
+                        remap_expr(factor, &new_index);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn remap_expr(e: &mut BExpr, new_index: &[usize]) {
+    match e {
+        BExpr::Lit(_) => {}
+        BExpr::Col { rel, .. } | BExpr::Predict { rel } => *rel = new_index[*rel],
+        BExpr::Not(inner) => remap_expr(inner, new_index),
+        BExpr::And(terms) | BExpr::Or(terms) => {
+            for t in terms {
+                remap_expr(t, new_index);
+            }
+        }
+        BExpr::Cmp { left, right, .. } | BExpr::Arith { left, right, .. } => {
+            remap_expr(left, new_index);
+            remap_expr(right, new_index);
+        }
+        BExpr::Like { expr, .. } => remap_expr(expr, new_index),
+    }
+}
+
+/// Pick index access paths and index-nested-loop join steps wherever
+/// the catalog has a matching secondary index. Both decisions are
+/// re-validated by the executor against the live catalog, so a plan
+/// whose index has since vanished silently degrades to a full scan or
+/// hash join with identical output.
+pub fn choose_paths(plan: &mut QueryPlan, db: &Database) {
+    for rel in 0..plan.rels.len() {
+        let id = plan.rels[rel].id;
+        let stats = db.stats_of(id);
+        let mut best: Option<(f64, AccessPath)> = None;
+        for (fi, f) in plan.scan_filters[rel].iter().enumerate() {
+            let Some((col, op, lit)) = probe_shape(f) else {
+                continue;
+            };
+            let kind = match op {
+                // A hash probe is consistent with `=` for every literal
+                // (NULL/NaN/type-mismatched probes find nothing, exactly
+                // like the predicate evaluates to false).
+                CmpOp::Eq => IndexKind::Hash,
+                // Range probes need a numeric literal; anything else
+                // stays on the sequential path.
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge if lit.as_f64().is_some() => {
+                    IndexKind::Sorted
+                }
+                _ => continue,
+            };
+            if db.index_on(id, col, kind).is_none() {
+                continue;
+            }
+            let sel = filter_selectivity(stats, f);
+            if best.as_ref().is_none_or(|(s, _)| sel < *s) {
+                best = Some((
+                    sel,
+                    AccessPath::IndexScan {
+                        filter: fi,
+                        col,
+                        kind,
+                    },
+                ));
+            }
+        }
+        if let Some((_, path)) = best {
+            plan.access[rel] = path;
+        }
+    }
+
+    // Index-nested-loop: single-key equi step whose build side is a bare
+    // hash-indexed column and whose inner scan is unfiltered (the index
+    // covers the whole table).
+    for (si, keys) in crate::eval::join_schedule(plan).iter().enumerate() {
+        let rel = si + 1;
+        if keys.len() != 1 || !plan.scan_filters[rel].is_empty() {
+            continue;
+        }
+        let (_, build, _) = &keys[0];
+        let BExpr::Col { rel: brel, col } = build else {
+            continue;
+        };
+        if *brel != rel {
+            continue;
+        }
+        if db
+            .index_on(plan.rels[rel].id, *col, IndexKind::Hash)
+            .is_some()
+        {
+            plan.join_algos[si] = JoinAlgo::IndexNestedLoop { col: *col };
+        }
+    }
+}
+
+/// Stamp the plan with [`PlanEstimates`], mirroring the engines' join
+/// schedule: `scan_rows[r]` is the estimate after relation `r`'s scan
+/// filters; `join_rows[s]` is the estimate straight out of join step
+/// `s` — equi-keys claimed by the hash join applied, residual conjuncts
+/// not yet — which is exactly the row count a traced execution reports
+/// for that step.
+pub fn annotate(plan: &mut QueryPlan, db: &Database) {
+    let n = plan.rels.len();
+    let scan_est: Vec<f64> = (0..n).map(|r| scan_estimate(plan, db, r)).collect();
+    let conj = conj_info(plan, db);
+    let schedule = crate::eval::join_schedule(plan);
+    let claimed: BTreeSet<usize> = schedule.iter().flatten().map(|(_, _, ci)| *ci).collect();
+    let as_rows = |x: f64| x.round().max(0.0) as u64;
+
+    let mut applied: BTreeSet<usize> = BTreeSet::new();
+    // Residual conjuncts whose footprint fits `0..=rel`, applied after
+    // the join step (mirrors `apply_conjuncts`).
+    let apply_residuals = |acc: f64, rel: usize, applied: &mut BTreeSet<usize>| -> f64 {
+        let mut out = acc;
+        for (ci, info) in conj.iter().enumerate() {
+            if !applied.contains(&ci)
+                && !claimed.contains(&ci)
+                && info.rels.iter().all(|&t| t <= rel)
+            {
+                applied.insert(ci);
+                out *= conjunct_selectivity(info, plan, db, &plan.conjuncts[ci]);
+            }
+        }
+        out
+    };
+
+    let mut acc = scan_est.first().copied().unwrap_or(0.0);
+    acc = apply_residuals(acc, 0, &mut applied);
+    let mut join_rows = Vec::with_capacity(n.saturating_sub(1));
+    for rel in 1..n {
+        let mut out = acc * scan_est[rel];
+        for (_, _, ci) in &schedule[rel - 1] {
+            applied.insert(*ci);
+            out *= conjunct_selectivity(&conj[*ci], plan, db, &plan.conjuncts[*ci]);
+        }
+        join_rows.push(as_rows(out));
+        acc = apply_residuals(out, rel, &mut applied);
+    }
+    plan.est = Some(PlanEstimates {
+        scan_rows: scan_est.iter().map(|&x| as_rows(x)).collect(),
+        join_rows,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColType, Column, Schema, Table};
+    use crate::{bind, optimize_with, parse_select, OptimizerConfig};
+
+    fn ints(name: &str, vals: Vec<i64>) -> Table {
+        Table::from_columns(
+            Schema::new(&[(name, ColType::Int)]),
+            vec![Column::Int(vals)],
+        )
+    }
+
+    fn db3() -> Database {
+        // big_a and big_b are only connected through the small bridge:
+        // FROM order (big_a, big_b, bridge) cross-joins the two big
+        // tables first.
+        let mut db = Database::new();
+        db.register("big_a", ints("x", (0..200).collect()));
+        db.register("big_b", ints("y", (0..200).collect()));
+        db.register("bridge", ints("z", (0..10).collect()));
+        db
+    }
+
+    fn plan_for(sql: &str, db: &Database, cfg: &OptimizerConfig) -> QueryPlan {
+        let stmt = parse_select(sql).unwrap();
+        let bound = bind(&stmt, db).unwrap();
+        optimize_with(bound, db, cfg)
+    }
+
+    #[test]
+    fn reorder_avoids_the_cross_product() {
+        let db = db3();
+        let sql = "SELECT count(*) FROM big_a a, big_b b, bridge c \
+                   WHERE a.x = c.z AND b.y = c.z";
+        let plan = plan_for(sql, &db, &OptimizerConfig::default());
+        let aliases: Vec<&str> = plan.rels.iter().map(|r| r.alias.as_str()).collect();
+        // Any order that puts the bridge before one of the big tables
+        // avoids the cross product; FROM order (a, b, c) does not.
+        assert_ne!(aliases, ["a", "b", "c"], "cross-product order survived");
+        let c_pos = aliases.iter().position(|&a| a == "c").unwrap();
+        assert!(c_pos <= 1, "bridge relation should join early: {aliases:?}");
+    }
+
+    #[test]
+    fn reorder_keeps_from_order_on_ties() {
+        let mut db = Database::new();
+        db.register("s", ints("x", (0..5).collect()));
+        db.register("t", ints("y", (0..5).collect()));
+        let plan = plan_for(
+            "SELECT count(*) FROM s a, t b WHERE a.x = b.y",
+            &db,
+            &OptimizerConfig::default(),
+        );
+        let aliases: Vec<&str> = plan.rels.iter().map(|r| r.alias.as_str()).collect();
+        assert_eq!(aliases, ["a", "b"], "symmetric join must keep FROM order");
+    }
+
+    #[test]
+    fn estimates_cover_scans_and_joins() {
+        let db = db3();
+        let plan = plan_for(
+            "SELECT count(*) FROM big_a a, bridge c WHERE a.x = c.z AND a.x < 100",
+            &db,
+            &OptimizerConfig::default(),
+        );
+        let est = plan.est.as_ref().expect("cost phase stamps estimates");
+        assert_eq!(est.scan_rows.len(), 2);
+        assert_eq!(est.join_rows.len(), 1);
+        // a.x < 100 keeps about half of 0..200.
+        let a_pos = plan.rels.iter().position(|r| r.alias == "a").unwrap();
+        let a_est = est.scan_rows[a_pos];
+        assert!((80..=120).contains(&a_est), "range estimate off: {a_est}");
+    }
+
+    #[test]
+    fn eq_selectivity_is_one_over_distinct() {
+        let mut db = Database::new();
+        db.register("t", ints("x", (0..50).collect()));
+        let plan = plan_for(
+            "SELECT x FROM t WHERE x = 7",
+            &db,
+            &OptimizerConfig::default(),
+        );
+        let est = plan.est.as_ref().unwrap();
+        assert_eq!(est.scan_rows, vec![1]);
+    }
+
+    #[test]
+    fn index_paths_require_an_index() {
+        let mut db = Database::new();
+        db.register("t", ints("x", (0..50).collect()));
+        let cfg = OptimizerConfig::default();
+        let before = plan_for("SELECT x FROM t WHERE x = 7", &db, &cfg);
+        assert_eq!(before.access[0], AccessPath::SeqScan);
+        db.create_index("t", "x", IndexKind::Hash).unwrap();
+        let after = plan_for("SELECT x FROM t WHERE x = 7", &db, &cfg);
+        assert_eq!(
+            after.access[0],
+            AccessPath::IndexScan {
+                filter: 0,
+                col: 0,
+                kind: IndexKind::Hash
+            }
+        );
+        // Ranges want the sorted index, not the hash index.
+        let range = plan_for("SELECT x FROM t WHERE x < 10", &db, &cfg);
+        assert_eq!(range.access[0], AccessPath::SeqScan);
+        db.create_index("t", "x", IndexKind::Sorted).unwrap();
+        let range = plan_for("SELECT x FROM t WHERE x < 10", &db, &cfg);
+        assert_eq!(
+            range.access[0],
+            AccessPath::IndexScan {
+                filter: 0,
+                col: 0,
+                kind: IndexKind::Sorted
+            }
+        );
+    }
+
+    #[test]
+    fn inner_index_enables_index_nested_loop() {
+        let mut db = db3();
+        // Pin FROM order so the inner side stays `big_a`.
+        let cfg = OptimizerConfig {
+            join_reorder: false,
+            ..OptimizerConfig::default()
+        };
+        let sql = "SELECT count(*) FROM bridge c, big_a a WHERE c.z = a.x";
+        let plan = plan_for(sql, &db, &cfg);
+        assert_eq!(plan.join_algos, vec![JoinAlgo::Hash]);
+        db.create_index("big_a", "x", IndexKind::Hash).unwrap();
+        let plan = plan_for(sql, &db, &cfg);
+        assert_eq!(plan.join_algos, vec![JoinAlgo::IndexNestedLoop { col: 0 }]);
+    }
+}

@@ -11,9 +11,16 @@
 //!   `predict(alias)` model predicates,
 //! - a [`binder`] that resolves names against the catalog (aliases,
 //!   scoped contexts, typed [`BindError`]s) into a [`BoundStatement`],
-//! - a rule-based [`optimize()`]r — constant folding, predicate pushdown,
-//!   projection pruning, all provenance-preserving — lowering to a
-//!   physical [`plan::QueryPlan`],
+//! - an [`optimize()`]r in two phases — rule-based rewrites (constant
+//!   folding, predicate pushdown, projection pruning, all
+//!   provenance-preserving) and a **cost-based phase** ([`cost`]) that
+//!   picks the cheapest left-deep join order and index access paths
+//!   from catalog [`stats`] — lowering to a physical
+//!   [`plan::QueryPlan`],
+//! - typed **secondary indexes** ([`index`]) on registered columns —
+//!   hash for equality, sorted for ranges — backing index scans and
+//!   index-nested-loop joins with output bit-identical to the full-scan
+//!   paths,
 //! - two execution engines behind one [`exec::execute`] entry point: the
 //!   default **vectorized columnar engine** ([`vexec`] — selection-vector
 //!   scans with typed predicate kernels, hash joins over column slices,
@@ -74,9 +81,11 @@ pub mod ast;
 pub mod binder;
 pub mod cache;
 pub mod catalog;
+pub mod cost;
 mod eval;
 pub mod exec;
 pub mod incremental;
+pub mod index;
 pub mod lexer;
 pub mod optimize;
 pub mod parser;
@@ -84,6 +93,7 @@ pub mod plan;
 pub mod predvar;
 pub mod printer;
 pub mod prov;
+pub mod stats;
 pub mod table;
 pub mod value;
 pub mod vexec;
@@ -99,12 +109,14 @@ pub use exec::{
 pub use incremental::{
     prepare, prepare_with, PreparedQuery, ScoreMemo, SkeletonStats, StaleKind, StalePolicy,
 };
+pub use index::{IndexKind, TableIndex};
 pub use lexer::SqlError;
 pub use optimize::{optimize, optimize_with, OptimizerConfig};
 pub use parser::parse_select;
-pub use plan::{ModelDeps, QueryPlan};
+pub use plan::{AccessPath, JoinAlgo, ModelDeps, PlanEstimates, QueryPlan};
 pub use predvar::{PredVarInfo, PredVarRegistry};
 pub use prov::{AggSum, AggTerm, BoolProv, CellProv, ProbGrad, Probs, VarId};
+pub use stats::{ColumnStats, TableStats};
 pub use value::Value;
 
 /// Errors from parsing, binding, or executing a query.

@@ -26,6 +26,17 @@
 //!    nothing at runtime; its value is in `EXPLAIN` output and as a guard
 //!    invariant (a rewrite that *widens* the footprint is a bug, which the
 //!    property tests check).
+//!
+//! After the rewrites, the **cost-based phase** in [`cost`](crate::cost)
+//! runs (gated by [`OptimizerConfig::join_reorder`] and
+//! [`OptimizerConfig::index_paths`]): it reorders joins by estimated
+//! cost, selects index access paths and index-nested-loop join steps
+//! against the catalog's secondary indexes, and stamps the plan with
+//! cardinality estimates. Join reordering changes tuple *enumeration*
+//! order (SELECT output order may differ between two plans of the same
+//! query) but never the result set, its provenance polynomials, or the
+//! prediction-variable space — the equivalence property tests compare
+//! canonicalized rows to check exactly this.
 
 use crate::ast::{ArithOp, CmpOp};
 use crate::binder::{BExpr, BoundAggArg, BoundStatement, GroupKey, QueryKind};
@@ -45,6 +56,14 @@ pub struct OptimizerConfig {
     pub predicate_pushdown: bool,
     /// Narrow per-relation column footprints.
     pub projection_pruning: bool,
+    /// Cost-based left-deep join ordering from catalog statistics
+    /// (see [`cost::reorder`](crate::cost::reorder)); also stamps the
+    /// plan with cardinality estimates.
+    pub join_reorder: bool,
+    /// Select index access paths and index-nested-loop joins against
+    /// the catalog's secondary indexes
+    /// (see [`cost::choose_paths`](crate::cost::choose_paths)).
+    pub index_paths: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -53,6 +72,8 @@ impl Default for OptimizerConfig {
             constant_folding: true,
             predicate_pushdown: true,
             projection_pruning: true,
+            join_reorder: true,
+            index_paths: true,
         }
     }
 }
@@ -64,6 +85,8 @@ impl OptimizerConfig {
             constant_folding: false,
             predicate_pushdown: false,
             projection_pruning: false,
+            join_reorder: false,
+            index_paths: false,
         }
     }
 }
@@ -85,6 +108,15 @@ pub fn optimize_with(stmt: BoundStatement, db: &Database, cfg: &OptimizerConfig)
     }
     if cfg.projection_pruning {
         prune_columns(&mut plan);
+    }
+    if cfg.join_reorder {
+        crate::cost::reorder(&mut plan, db);
+    }
+    if cfg.index_paths {
+        crate::cost::choose_paths(&mut plan, db);
+    }
+    if cfg.join_reorder {
+        crate::cost::annotate(&mut plan, db);
     }
     plan
 }
@@ -513,6 +545,76 @@ mod tests {
         let plan = optimize(bind(&cross, &db).unwrap(), &db);
         let text = plan.explain_engine(&db, Engine::Vectorized);
         assert!(text.contains("Join [nested-loop]"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_access_paths_and_estimates() {
+        use crate::exec::Engine;
+        use crate::index::IndexKind;
+        let mut db = db();
+        db.create_index("users", "age", IndexKind::Sorted).unwrap();
+        db.create_index("logins", "id", IndexKind::Hash).unwrap();
+
+        // A range filter on the sorted-indexed column becomes an index
+        // scan; the plain logical explain already calls it out.
+        let stmt = parse_select("SELECT COUNT(*) FROM users WHERE age > 35").unwrap();
+        let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+        assert!(
+            plan.explain(&db).contains("access=index-scan(age)"),
+            "{}",
+            plan.explain(&db)
+        );
+        // Engine renders name the default path too, and an index scan
+        // starts from a posting list — one morsel, not a table shard.
+        let exec = plan.explain_exec(&db, Engine::Vectorized, 2);
+        assert!(exec.starts_with("Engine: vectorized threads=2\n"), "{exec}");
+        assert!(exec.contains("access=index-scan(age)"), "{exec}");
+        assert!(exec.contains("morsels=1"), "{exec}");
+
+        // The same filter without index paths is a sequential scan —
+        // named only when an engine render asks.
+        let stmt = parse_select("SELECT COUNT(*) FROM users WHERE age > 35").unwrap();
+        let seq = optimize_with(
+            bind(&stmt, &db).unwrap(),
+            &db,
+            &OptimizerConfig {
+                index_paths: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !seq.explain(&db).contains("access="),
+            "{}",
+            seq.explain(&db)
+        );
+        assert!(
+            seq.explain_engine(&db, Engine::Vectorized)
+                .contains("access=seq-scan"),
+            "{}",
+            seq.explain_engine(&db, Engine::Vectorized)
+        );
+
+        // An equi join whose inner side carries a hash index turns into
+        // an index-nested-loop step under the vectorized engine; the
+        // tuple oracle ignores physical annotations and stays a hash join.
+        let stmt =
+            parse_select("SELECT COUNT(*) FROM users u, logins l WHERE u.id = l.id").unwrap();
+        let plan = optimize(bind(&stmt, &db).unwrap(), &db);
+        let vec_text = plan.explain_engine(&db, Engine::Vectorized);
+        assert!(vec_text.contains("index-nested-loop(id)"), "{vec_text}");
+        assert!(
+            plan.explain_engine(&db, Engine::Tuple)
+                .contains("Join [hash"),
+            "{}",
+            plan.explain_engine(&db, Engine::Tuple)
+        );
+
+        // `analyze` pairs the optimizer's estimates with observed counts;
+        // without it neither annotation appears.
+        let analyzed = plan.explain_analyze(&db, Engine::Vectorized, 1, &[3, 3], &[3]);
+        assert!(analyzed.contains("est=3 actual=3"), "{analyzed}");
+        assert!(!vec_text.contains("est="), "{vec_text}");
+        assert!(!vec_text.contains("actual="), "{vec_text}");
     }
 
     #[test]

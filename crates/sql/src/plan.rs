@@ -1,26 +1,87 @@
 //! Physical query plans: what the executor runs.
 //!
-//! A [`QueryPlan`] is the lowered form of a
-//! [`BoundStatement`]: the FROM relations in
-//! join order, per-relation **scan filters** (predicates the optimizer
-//! pushed below the joins), the residual join/filter conjuncts, and the
-//! projection/aggregation shape. [`QueryPlan::naive`] lowers a bound
-//! statement without any rewriting — the baseline the optimizer (and the
-//! equivalence property tests) compare against;
-//! [`optimize`](crate::optimize::optimize) produces the rewritten plan.
+//! The planning pipeline is split in two. The **logical** side is the
+//! [`BoundStatement`]: relations as written in FROM order, the WHERE
+//! clause as a conjunct list, and the projection/aggregation shape —
+//! no execution decisions at all. A [`QueryPlan`] is the **physical**
+//! side: relations in the join order the executor will actually use,
+//! per-relation scan filters (predicates pushed below the joins), an
+//! [`AccessPath`] per scan, a [`JoinAlgo`] per join step, and the
+//! optimizer's cardinality estimates ([`PlanEstimates`]).
+//! [`QueryPlan::naive`] lowers a bound statement with default physical
+//! choices (FROM order, sequential scans, hash joins) — the baseline
+//! the optimizer (and the equivalence property tests) compare against;
+//! [`optimize`](crate::optimize::optimize) runs the rule-based rewrites
+//! plus the cost-based phase in [`cost`](crate::cost).
 //!
 //! [`QueryPlan::explain`] renders the plan as an indented operator tree,
-//! which is how the optimizer's work (pushdown, folding, pruning) is made
-//! visible to users and asserted in tests. [`QueryPlan::explain_engine`]
-//! additionally annotates which engine would run the plan, which
-//! predicate kernels each scan filter compiles to, and the join strategy.
+//! which is how the optimizer's work (pushdown, folding, pruning, join
+//! ordering, access-path selection) is made visible to users and
+//! asserted in tests. [`QueryPlan::explain_engine`] additionally
+//! annotates which engine would run the plan, the access path of each
+//! scan (`seq-scan` / `index-scan(col)`), which predicate kernels each
+//! scan filter compiles to, and the join strategy (including
+//! `index-nested-loop`). [`QueryPlan::explain_analyze`] adds
+//! `est=…/actual=…` row counts from a traced execution next to the
+//! optimizer's estimates.
 
 use crate::binder::{BExpr, BoundAggArg, BoundRel, BoundStatement, GroupKey, QueryKind};
 use crate::catalog::Database;
 use crate::exec::Engine;
+use crate::index::IndexKind;
 
 use crate::table::Table;
 use std::collections::BTreeSet;
+
+/// How a scan reads its relation: full scan, or a probe into one of the
+/// table's secondary indexes (see [`index`](crate::index)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Read every row, applying scan filters as it goes.
+    SeqScan,
+    /// Resolve one scan filter through a secondary index and apply the
+    /// remaining filters only to the rows it returns. The executor
+    /// resolves the index against the live catalog at run time and
+    /// falls back to [`AccessPath::SeqScan`] if it has been dropped.
+    IndexScan {
+        /// Index into this relation's `scan_filters` entry: the
+        /// predicate the index answers.
+        filter: usize,
+        /// Indexed column ordinal.
+        col: usize,
+        /// Which index to probe (hash for `=`, sorted for ranges).
+        kind: IndexKind,
+    },
+}
+
+/// How a join step matches its inner (right) relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Build a transient hash table over the inner side, probe with the
+    /// outer tuples (or a nested-loop cross product when the step has
+    /// no equi-keys).
+    Hash,
+    /// Probe the inner table's persistent hash index directly — no
+    /// per-query build. Chosen when the single equi-key's inner side is
+    /// a bare indexed column and the inner scan has no filters. Falls
+    /// back to [`JoinAlgo::Hash`] if the index has been dropped.
+    IndexNestedLoop {
+        /// Indexed column ordinal on the inner relation.
+        col: usize,
+    },
+}
+
+/// The cost-based optimizer's cardinality estimates, kept on the plan
+/// so `EXPLAIN (analyze)` can print `est=…` next to `actual=…`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanEstimates {
+    /// Estimated rows surviving each relation's scan filters, in plan
+    /// order.
+    pub scan_rows: Vec<u64>,
+    /// Estimated rows out of each join step (step `i` joins relation
+    /// `i + 1` into the accumulated left side).
+    pub join_rows: Vec<u64>,
+}
 
 /// A physical SPJA plan, ready for execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +102,14 @@ pub struct QueryPlan {
     /// (projection pruning computes the minimal set; the naive plan
     /// declares full schemas).
     pub used_cols: Vec<BTreeSet<usize>>,
+    /// Access path per relation, aligned with `rels`.
+    pub access: Vec<AccessPath>,
+    /// Join algorithm per join step (`rels.len() - 1` entries; empty
+    /// for single-relation plans).
+    pub join_algos: Vec<JoinAlgo>,
+    /// Cardinality estimates from the cost-based phase; `None` until
+    /// [`cost`](crate::cost) has run.
+    pub est: Option<PlanEstimates>,
 }
 
 /// Which operators of a plan read the model — the classification the
@@ -112,6 +181,9 @@ impl QueryPlan {
             conjuncts: stmt.conjuncts,
             kind: stmt.kind,
             used_cols,
+            access: vec![AccessPath::SeqScan; n],
+            join_algos: vec![JoinAlgo::Hash; n.saturating_sub(1)],
+            est: None,
         }
     }
 
@@ -125,7 +197,7 @@ impl QueryPlan {
     ///       Scan logins AS l cols=[id]
     /// ```
     pub fn explain(&self, db: &Database) -> String {
-        self.render(db, None, None)
+        self.render(db, None, None, None)
     }
 
     /// [`QueryPlan::explain`] for a specific engine: prefixes an
@@ -134,7 +206,7 @@ impl QueryPlan {
     /// compile to — `row-fallback` marks filters the kernel compiler
     /// hands back to the shared scalar evaluator.
     pub fn explain_engine(&self, db: &Database, engine: Engine) -> String {
-        self.render(db, Some(engine), None)
+        self.render(db, Some(engine), None, None)
     }
 
     /// [`QueryPlan::explain_engine`] for a concrete execution
@@ -149,10 +221,42 @@ impl QueryPlan {
             Engine::Vectorized => crate::exec::resolve_threads(threads),
             Engine::Tuple => 1,
         };
-        self.render(db, Some(engine), Some(resolved))
+        self.render(db, Some(engine), Some(resolved), None)
     }
 
-    fn render(&self, db: &Database, engine: Option<Engine>, threads: Option<usize>) -> String {
+    /// [`QueryPlan::explain_exec`] plus observed row counts from a traced
+    /// execution: every `Scan` and every join step gains `est=…`
+    /// (the optimizer's cardinality estimate, when the cost-based phase
+    /// ran) and `actual=…` (what the execution produced). `scan_rows`
+    /// and `join_rows` are in plan order, exactly as a
+    /// [`SkeletonStats`](crate::SkeletonStats) reports them.
+    pub fn explain_analyze(
+        &self,
+        db: &Database,
+        engine: Engine,
+        threads: usize,
+        scan_rows: &[usize],
+        join_rows: &[usize],
+    ) -> String {
+        let resolved = match engine {
+            Engine::Vectorized => crate::exec::resolve_threads(threads),
+            Engine::Tuple => 1,
+        };
+        self.render(
+            db,
+            Some(engine),
+            Some(resolved),
+            Some((scan_rows, join_rows)),
+        )
+    }
+
+    fn render(
+        &self,
+        db: &Database,
+        engine: Option<Engine>,
+        threads: Option<usize>,
+        analyze: Option<(&[usize], &[usize])>,
+    ) -> String {
         let mut out = String::new();
         let mut indent = 0usize;
         let vectorized = engine == Some(Engine::Vectorized);
@@ -241,20 +345,43 @@ impl QueryPlan {
                 // Derive the annotation from the engines' actual schedule
                 // (and, for vexec, the same key classification the join
                 // dispatch uses) — one entry per join step.
-                let steps: Vec<&str> = crate::eval::join_schedule(self)
+                let steps: Vec<String> = crate::eval::join_schedule(self)
                     .iter()
-                    .map(|keys| {
-                        if keys.is_empty() {
-                            "nested-loop"
+                    .enumerate()
+                    .map(|(si, keys)| {
+                        let inl = vectorized
+                            && matches!(
+                                self.join_algos.get(si),
+                                Some(JoinAlgo::IndexNestedLoop { .. })
+                            );
+                        let mut step = if keys.is_empty() {
+                            "nested-loop".to_string()
+                        } else if inl {
+                            let JoinAlgo::IndexNestedLoop { col } = self.join_algos[si] else {
+                                unreachable!()
+                            };
+                            let schema = db.table_by_id(self.rels[si + 1].id).schema();
+                            format!("index-nested-loop({})", schema.col(col).name)
                         } else if vectorized {
                             let pairs: Vec<(BExpr, BExpr)> = keys
                                 .iter()
                                 .map(|(le, re, _)| (le.clone(), re.clone()))
                                 .collect();
-                            crate::vexec::join::strategy(&tables, &pairs).describe()
+                            crate::vexec::join::strategy(&tables, &pairs)
+                                .describe()
+                                .to_string()
                         } else {
-                            "hash"
+                            "hash".to_string()
+                        };
+                        if let Some((_, join_rows)) = analyze {
+                            if let Some(e) = self.est.as_ref().and_then(|e| e.join_rows.get(si)) {
+                                step.push_str(&format!(" est={e}"));
+                            }
+                            if let Some(a) = join_rows.get(si) {
+                                step.push_str(&format!(" actual={a}"));
+                            }
                         }
+                        step
                     })
                     .collect();
                 line.push_str(&format!(" [{}]", steps.join("; ")));
@@ -274,6 +401,15 @@ impl QueryPlan {
                 rel.alias,
                 cols.join(", ")
             );
+            // Access path: engine renders always say it; the plain
+            // logical render only calls out non-default index scans.
+            match self.access.get(ri) {
+                Some(AccessPath::IndexScan { col, .. }) => {
+                    line.push_str(&format!(" access=index-scan({})", schema.col(*col).name));
+                }
+                _ if engine.is_some() => line.push_str(" access=seq-scan"),
+                _ => {}
+            }
             if !self.scan_filters[ri].is_empty() {
                 let preds: Vec<String> = self.scan_filters[ri]
                     .iter()
@@ -293,9 +429,13 @@ impl QueryPlan {
             }
             if let Some(t) = threads.filter(|_| vectorized) {
                 // Mirror the scan's parallel guard exactly: no filters =
-                // identity scan, and only model-free filters shard.
+                // identity scan, only model-free filters shard, and an
+                // index scan starts from a posting list instead of
+                // sharding the table.
                 let n = db.table_by_id(rel.id).n_rows();
-                let shardable = !self.scan_filters[ri].is_empty()
+                let indexed = matches!(self.access.get(ri), Some(AccessPath::IndexScan { .. }));
+                let shardable = !indexed
+                    && !self.scan_filters[ri].is_empty()
                     && self.scan_filters[ri].iter().all(|f| !f.contains_predict());
                 let morsels = if shardable {
                     crate::vexec::morsel::morsel_count(t, n)
@@ -303,6 +443,14 @@ impl QueryPlan {
                     1
                 };
                 line.push_str(&format!(" morsels={morsels}"));
+            }
+            if let Some((scan_rows, _)) = analyze {
+                if let Some(e) = self.est.as_ref().and_then(|e| e.scan_rows.get(ri)) {
+                    line.push_str(&format!(" est={e}"));
+                }
+                if let Some(a) = scan_rows.get(ri) {
+                    line.push_str(&format!(" actual={a}"));
+                }
             }
             push(line, indent, &mut out);
         }

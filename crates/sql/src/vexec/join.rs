@@ -42,6 +42,7 @@ use super::morsel;
 use super::morsel::part_of;
 use crate::binder::BExpr;
 use crate::eval::{f64_key_bits, join_key, EvalCtx, JoinKey};
+use crate::index::TableIndex;
 use crate::table::{ColType, Table};
 use crate::QueryError;
 use std::collections::HashMap;
@@ -326,6 +327,74 @@ pub(crate) fn hash_join(
         }
     };
     Ok((rows, strat))
+}
+
+/// Index-nested-loop join: instead of building a transient hash table
+/// over the inner relation, probe the catalog's persistent hash
+/// [`TableIndex`] directly. The index maps canonical [`JoinKey`]s to
+/// posting lists in ascending row order — exactly the per-key row lists
+/// a hash-join build over the unfiltered scan produces — and NULL/NaN
+/// keys are absent on both sides, so the joined tuple sequence is
+/// bit-identical to [`hash_join`]'s. Probes shard into [`morsel`]s over
+/// the accumulated tuples just like the hash-join probe.
+pub(crate) fn inl_join(
+    ctx: &mut EvalCtx,
+    left: RowSet,
+    probe: &BExpr,
+    index: &TableIndex,
+) -> Result<RowSet, QueryError> {
+    let debug = ctx.debug;
+    let threads = ctx.threads;
+    let n = left.len();
+    let mut probe_span = rain_obs::Span::enter("probe");
+    probe_span.add("rows_in", n as u64);
+    // Equi keys are model-free by construction; guard anyway so a
+    // hand-built plan degrades to the sequential path.
+    let out = if morsel::worth_parallel(threads, n) && !probe.contains_predict() {
+        let (db, model, query) = (ctx.db, ctx.model, ctx.query);
+        let left_ref = &left;
+        let probe_id = probe_span.id();
+        let parts = morsel::run_morsels(threads, n, |start, end| {
+            let mut mspan = rain_obs::Span::enter_under(probe_id, "morsel");
+            mspan.add("index", (start / morsel::MORSEL_SIZE) as u64);
+            mspan.add("items", (end - start) as u64);
+            let mut wctx = EvalCtx::new(db, model, query, debug);
+            inl_probe(&mut wctx, left_ref, probe, index, start, end)
+        });
+        let mut out = RowSet::with_rels(left.n_rels() + 1, debug);
+        for p in parts {
+            out.append(p?);
+        }
+        out
+    } else {
+        inl_probe(ctx, &left, probe, index, 0, n)?
+    };
+    probe_span.add("rows_out", out.len() as u64);
+    Ok(out)
+}
+
+/// Probe tuples `start..end` of `left` against the persistent hash
+/// index, in order — the shared unit of the sequential and the
+/// morsel-parallel index-nested-loop probe.
+fn inl_probe(
+    ctx: &mut EvalCtx,
+    left: &RowSet,
+    probe: &BExpr,
+    index: &TableIndex,
+    start: usize,
+    end: usize,
+) -> Result<RowSet, QueryError> {
+    let mut out = RowSet::with_rels(left.n_rels() + 1, ctx.debug);
+    let mut rows_buf = vec![0u32; left.n_rels()];
+    for i in start..end {
+        left.gather(i, &mut rows_buf);
+        if let Some(key) = join_key(&ctx.eval_value(probe, &rows_buf)?) {
+            for &r in index.lookup_eq(&key) {
+                out.push_joined(left, i, r);
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Evaluate the build-side key of base row `r` into its canonical key

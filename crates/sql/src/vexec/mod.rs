@@ -107,9 +107,17 @@ pub(crate) fn join_pipeline(
                 applied[*ci] = true;
             }
             let keys: Vec<(BExpr, BExpr)> = equi.into_iter().map(|(le, re, _)| (le, re)).collect();
-            let (joined, strat) = join::hash_join(ctx, rows, &right_rows, &keys, rel)?;
-            step = strat.describe();
-            joined
+            // Index-nested-loop path: the plan picked it and the catalog
+            // still has the hash index — otherwise fall back to the hash
+            // join, which builds the identical per-key row lists itself.
+            if let Some(ix) = inl_index(ctx.db, query, &keys, rel) {
+                step = "index-nested-loop";
+                join::inl_join(ctx, rows, &keys[0].0, ix)?
+            } else {
+                let (joined, strat) = join::hash_join(ctx, rows, &right_rows, &keys, rel)?;
+                step = strat.describe();
+                joined
+            }
         };
         join_span.add("rows_out", rows.len() as u64);
         drop(join_span);
@@ -119,6 +127,36 @@ pub(crate) fn join_pipeline(
         apply_conjuncts(ctx, &mut rows, &mut applied, &footprints, rel + 1)?;
     }
     Ok(rows)
+}
+
+/// Resolve the index an [`JoinAlgo::IndexNestedLoop`] step should probe,
+/// if the plan chose one for joining relation `rel` *and* the live
+/// catalog can still serve it with the single-key shape the planner saw.
+/// `None` means the hash join runs instead — same output either way.
+fn inl_index<'a>(
+    db: &'a Database,
+    query: &QueryPlan,
+    keys: &[(BExpr, BExpr)],
+    rel: usize,
+) -> Option<&'a crate::index::TableIndex> {
+    use crate::plan::JoinAlgo;
+    let JoinAlgo::IndexNestedLoop { col } = *query.join_algos.get(rel - 1)? else {
+        return None;
+    };
+    let [(
+        _,
+        BExpr::Col {
+            rel: brel,
+            col: bcol,
+        },
+    )] = keys
+    else {
+        return None;
+    };
+    if *brel != rel || *bcol != col {
+        return None;
+    }
+    db.index_on(query.rels[rel].id, col, crate::index::IndexKind::Hash)
 }
 
 /// Apply every not-yet-applied conjunct whose footprint fits in the first

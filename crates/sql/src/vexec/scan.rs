@@ -61,6 +61,16 @@ fn scan_inner(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
         .iter()
         .map(|r| ctx.db.table_by_id(r.id))
         .collect();
+
+    // Index access path: resolve the plan's chosen index against the
+    // live catalog and seed the selection from its postings instead of
+    // walking the table. Any mismatch (index dropped, shape changed)
+    // falls through to the sequential path below — same rows either way.
+    if let Some(out) = index_scan(ctx, rel, &tables, filters)? {
+        span.add("rows_out", out.len() as u64);
+        return Ok(out);
+    }
+
     let compiled: Vec<Option<Kernel>> = filters
         .iter()
         .map(|f| super::kernels::compile(f, &tables))
@@ -95,6 +105,116 @@ fn scan_inner(ctx: &mut EvalCtx, rel: usize) -> Result<Vec<u32>, QueryError> {
     let out = scan_range(ctx, rel, table, &tables, filters, &compiled, 0, n)?;
     span.add("rows_out", out.len() as u64);
     Ok(out)
+}
+
+/// Try to answer `rel`'s scan through the index access path the plan
+/// chose. Returns `Ok(None)` when the plan has no index path for this
+/// relation or the index cannot serve it (dropped from the catalog,
+/// filter shape drifted) — the caller then runs the sequential scan,
+/// which produces the identical row set.
+///
+/// The probe seeds the selection with the index's posting rows (always
+/// ascending, i.e. scan order); the relation's *other* filters are then
+/// applied to just those candidates, compiled kernels first and the
+/// shared row-at-a-time evaluator as fallback — exactly the sequential
+/// scan's semantics on a narrower row set.
+fn index_scan(
+    ctx: &mut EvalCtx,
+    rel: usize,
+    tables: &[&Table],
+    filters: &[BExpr],
+) -> Result<Option<Vec<u32>>, QueryError> {
+    use crate::ast::CmpOp;
+    use crate::index::IndexKind;
+    use crate::plan::AccessPath;
+
+    let Some(&AccessPath::IndexScan { filter, col, kind }) = ctx.query.access.get(rel) else {
+        return Ok(None);
+    };
+    let Some(f) = filters.get(filter) else {
+        return Ok(None);
+    };
+    let Some((probe_col, op, lit)) = crate::cost::probe_shape(f) else {
+        return Ok(None);
+    };
+    if probe_col != col {
+        return Ok(None);
+    }
+    let db = ctx.db;
+    let Some(ix) = db.index_on(ctx.query.rels[rel].id, col, kind) else {
+        return Ok(None); // index dropped since planning: seq-scan fallback
+    };
+    let mut sel: Vec<u32> = match kind {
+        IndexKind::Hash => {
+            if op != CmpOp::Eq {
+                return Ok(None);
+            }
+            match crate::eval::join_key(lit) {
+                Some(key) => ix.lookup_eq(&key).to_vec(),
+                // NULL/NaN literals compare equal to nothing.
+                None => Vec::new(),
+            }
+        }
+        IndexKind::Sorted => {
+            let Some(v) = lit.as_f64() else {
+                return Ok(None);
+            };
+            match op {
+                CmpOp::Lt => ix.lookup_range(None, Some((v, false))),
+                CmpOp::Le => ix.lookup_range(None, Some((v, true))),
+                CmpOp::Gt => ix.lookup_range(Some((v, false)), None),
+                CmpOp::Ge => ix.lookup_range(Some((v, true)), None),
+                _ => return Ok(None),
+            }
+        }
+    };
+    let mut ispan = rain_obs::Span::enter("index-lookup");
+    ispan.add("kind", kind.code() as u64);
+    ispan.add("rows", sel.len() as u64);
+    drop(ispan);
+
+    // Apply the remaining filters to the candidates only.
+    let mut mask: Vec<bool> = Vec::new();
+    let mut rows_buf = vec![0u32; rel + 1];
+    for (fi, f) in filters.iter().enumerate() {
+        if fi == filter || sel.is_empty() {
+            continue;
+        }
+        match super::kernels::compile(f, tables) {
+            Some(kernel) => {
+                kernel.eval(tables, &SelLookup(&sel), &mut mask);
+                let mut keep = 0usize;
+                for i in 0..sel.len() {
+                    if mask[i] {
+                        sel[keep] = sel[i];
+                        keep += 1;
+                    }
+                }
+                sel.truncate(keep);
+            }
+            None => {
+                let mut err = None;
+                sel.retain(|&r| {
+                    if err.is_some() {
+                        return false;
+                    }
+                    rows_buf[rel] = r;
+                    match ctx.eval_pred(f, &rows_buf) {
+                        Ok(Sym::Const(b)) => b,
+                        Ok(Sym::Prov(p)) => p.eval_discrete(ctx.reg.preds()),
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(Some(sel))
 }
 
 /// Filter the window `start..end` of `rel`'s base table, batch by batch,

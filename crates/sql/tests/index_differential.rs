@@ -1,0 +1,353 @@
+//! Differential tests for the physical-plan layer: secondary indexes and
+//! the access paths built over them must be *pure optimizations*.
+//!
+//! For every randomized case, the same query is planned twice — against a
+//! catalog with indexes (so the optimizer can pick `index-scan` and
+//! `index-nested-loop` paths) and against an index-free catalog (pure
+//! sequential scans and hash joins) — and both plans run on both engines
+//! at several thread counts. All executions must be **bit-identical**:
+//! same rows in the same order, same provenance polynomials, same
+//! prediction-variable registry. Indexes may change *how* tuples are
+//! found, never *which* tuples in *which* order.
+//!
+//! Also covers stats staleness: appends bump the table's `(gen, delta)`
+//! version, statistics recompute, indexes rebuild, estimates move, and
+//! the skeleton cache re-prepares (re-costing the plan) on next checkout.
+
+use rain_linalg::{Matrix, RainRng};
+use rain_model::{Classifier, LogisticRegression};
+use rain_sql::table::{ColType, Column, Schema, Table};
+use rain_sql::{
+    bind, execute, optimize, parse_select, Database, Engine, ExecOptions, IndexKind, QueryCache,
+    QueryOutput, Value,
+};
+
+const CASES: u64 = 96;
+
+/// Deterministic step model: class 1 iff the (single) feature is positive.
+fn step_model() -> LogisticRegression {
+    let mut m = LogisticRegression::new(1, 0.0);
+    m.set_params(&[50.0, 0.0]);
+    m
+}
+
+fn feats(rng: &mut RainRng, n: usize) -> Matrix {
+    Matrix::from_rows(
+        &(0..n)
+            .map(|_| [if rng.bernoulli(0.5) { 1.0 } else { -1.0 }])
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|r| &r[..])
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Two featured tables with join-compatible columns. `nullable` punches
+/// NULL holes into t2 so index builds must skip NULL keys exactly like
+/// the hash-join build does.
+fn random_db(rng: &mut RainRng, nullable: bool) -> Database {
+    let n1 = 4 + rng.below(40);
+    let n2 = 3 + rng.below(30);
+    let words = ["http", "deal", "spam", ""];
+    let mut db = Database::new();
+    let t1 = Table::from_columns(
+        Schema::new(&[
+            ("x", ColType::Int),
+            ("f", ColType::Float),
+            ("s", ColType::Str),
+        ]),
+        vec![
+            Column::Int((0..n1).map(|_| rng.int_range(0, 8)).collect()),
+            Column::Float((0..n1).map(|_| rng.uniform_range(-2.0, 4.0)).collect()),
+            Column::Str(
+                (0..n1)
+                    .map(|_| words[rng.below(words.len())].to_string())
+                    .collect(),
+            ),
+        ],
+    )
+    .with_features(feats(rng, n1));
+    db.register("t1", t1);
+    let mut t2 = Table::empty(Schema::new(&[("k", ColType::Int), ("y", ColType::Float)]));
+    for _ in 0..n2 {
+        let k = if nullable && rng.bernoulli(0.15) {
+            Value::Null
+        } else {
+            Value::Int(rng.int_range(0, 6))
+        };
+        t2.push_row(vec![k, Value::Float(rng.uniform_range(-1.0, 5.0))], None);
+    }
+    db.register("t2", t2.with_features(feats(rng, n2)));
+    db
+}
+
+/// Index every join/filter column both ways the planner can use.
+fn index_all(db: &mut Database) {
+    for (table, column, kind) in [
+        ("t1", "x", IndexKind::Hash),
+        ("t1", "x", IndexKind::Sorted),
+        ("t1", "f", IndexKind::Sorted),
+        ("t1", "s", IndexKind::Hash),
+        ("t2", "k", IndexKind::Hash),
+        ("t2", "y", IndexKind::Sorted),
+    ] {
+        db.create_index(table, column, kind).unwrap();
+    }
+}
+
+/// Queries whose shapes can engage every index-backed path: hash index
+/// scans (equality), sorted index scans (ranges), index-nested-loop
+/// joins (equi join with a filter-free indexed inner side), and plain
+/// shapes the planner must leave alone.
+fn random_query(rng: &mut RainRng) -> String {
+    match rng.below(12) {
+        0 => format!(
+            "SELECT COUNT(*) FROM t1 a WHERE a.x = {}",
+            rng.int_range(0, 9)
+        ),
+        1 => format!("SELECT * FROM t1 a WHERE a.x = {}", rng.int_range(0, 9)),
+        2 => format!(
+            "SELECT COUNT(*) FROM t1 a WHERE a.f < {}",
+            rng.int_range(-1, 4)
+        ),
+        3 => format!(
+            "SELECT SUM(x) FROM t1 a WHERE a.f >= {} AND a.x <= {}",
+            rng.int_range(-1, 3),
+            rng.int_range(2, 7)
+        ),
+        4 => format!(
+            "SELECT COUNT(*) FROM t1 a WHERE a.s = '{}'",
+            ["http", "deal", "nope"][rng.below(3)]
+        ),
+        5 => "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k".to_string(),
+        6 => format!(
+            "SELECT COUNT(*), SUM(predict(b)) FROM t1 a, t2 b \
+             WHERE a.x = b.k AND a.f > {}",
+            rng.int_range(-2, 2)
+        ),
+        7 => format!(
+            "SELECT x, COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k AND a.x >= {} GROUP BY x",
+            rng.int_range(0, 4)
+        ),
+        8 => format!(
+            "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.k AND b.y < {}",
+            rng.int_range(0, 4)
+        ),
+        9 => format!(
+            "SELECT COUNT(*) FROM t1 a WHERE a.x = {} AND predict(a) = 1",
+            rng.int_range(0, 7)
+        ),
+        10 => "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.f = b.y".to_string(),
+        _ => format!(
+            "SELECT COUNT(*) FROM t1 a WHERE a.x > {} OR a.f < {}",
+            rng.int_range(3, 7),
+            rng.int_range(-1, 1)
+        ),
+    }
+}
+
+/// Bit-identity: rows, schema, provenance, prediction variables.
+fn assert_identical(label: &str, a: &QueryOutput, b: &QueryOutput) {
+    assert_eq!(a.table.to_tsv(), b.table.to_tsv(), "{label}: rows differ");
+    assert_eq!(a.n_key_cols, b.n_key_cols, "{label}: n_key_cols");
+    assert_eq!(a.row_prov, b.row_prov, "{label}: row provenance");
+    assert_eq!(a.agg_cells, b.agg_cells, "{label}: aggregate provenance");
+    assert_eq!(
+        a.predvars.infos(),
+        b.predvars.infos(),
+        "{label}: prediction-variable sources"
+    );
+    assert_eq!(
+        a.predvars.preds(),
+        b.predvars.preds(),
+        "{label}: hard predictions"
+    );
+}
+
+/// Which physical features a plan actually uses — the sweep asserts both
+/// index paths engage across the seeds, so the property is not vacuous.
+fn physical_coverage(plan: &rain_sql::QueryPlan, cov: &mut (bool, bool)) {
+    use rain_sql::{AccessPath, JoinAlgo};
+    cov.0 |= plan
+        .access
+        .iter()
+        .any(|a| matches!(a, AccessPath::IndexScan { .. }));
+    cov.1 |= plan
+        .join_algos
+        .iter()
+        .any(|j| matches!(j, JoinAlgo::IndexNestedLoop { .. }));
+}
+
+/// The headline property: index-backed plans are bit-identical to
+/// index-free plans, on both engines, at 1/2/8 threads.
+fn run_case(seed: u64, nullable: bool, model: &dyn Classifier, cov: &mut (bool, bool)) {
+    let mut rng = RainRng::seed_from_u64(0x1DEC ^ seed);
+    let plain_db = random_db(&mut rng, nullable);
+    let mut rng2 = RainRng::seed_from_u64(0x1DEC ^ seed);
+    let mut indexed_db = random_db(&mut rng2, nullable);
+    index_all(&mut indexed_db);
+
+    let sql = random_query(&mut rng);
+    let plan_of = |db: &Database| {
+        let stmt = parse_select(&sql).unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}"));
+        optimize(
+            bind(&stmt, db).unwrap_or_else(|e| panic!("seed {seed} `{sql}`: {e}")),
+            db,
+        )
+    };
+    let plain_plan = plan_of(&plain_db);
+    let indexed_plan = plan_of(&indexed_db);
+    physical_coverage(&indexed_plan, cov);
+
+    for debug in [false, true] {
+        let opts = ExecOptions::with_debug(debug);
+        // Index-free baseline: the tuple oracle over the plain catalog.
+        let baseline = execute(&plain_db, model, &plain_plan, opts.on(Engine::Tuple))
+            .unwrap_or_else(|e| panic!("seed {seed} `{sql}` [debug={debug}] baseline: {e}"));
+        // The tuple oracle ignores physical annotations entirely — run it
+        // over the indexed plan too, as a same-catalog cross-check.
+        let tuple_ix = execute(&indexed_db, model, &indexed_plan, opts.on(Engine::Tuple))
+            .unwrap_or_else(|e| panic!("seed {seed} `{sql}` [debug={debug}] tuple/ix: {e}"));
+        assert_identical(
+            &format!("seed {seed} `{sql}` [debug={debug}] tuple ix-vs-plain"),
+            &baseline,
+            &tuple_ix,
+        );
+        for threads in [1, 2, 8] {
+            for (tag, db, plan) in [
+                ("plain", &plain_db, &plain_plan),
+                ("indexed", &indexed_db, &indexed_plan),
+            ] {
+                let label =
+                    format!("seed {seed} `{sql}` [debug={debug}, threads={threads}, {tag}]");
+                let vexec = execute(
+                    db,
+                    model,
+                    plan,
+                    opts.on(Engine::Vectorized).with_threads(threads),
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_identical(&label, &baseline, &vexec);
+            }
+        }
+    }
+}
+
+#[test]
+fn indexed_plans_match_unindexed_plans_bit_for_bit() {
+    let model = step_model();
+    let mut cov = (false, false);
+    for seed in 0..CASES {
+        run_case(seed, false, &model, &mut cov);
+    }
+    assert!(cov.0, "no seed produced an index-scan plan");
+    assert!(cov.1, "no seed produced an index-nested-loop plan");
+}
+
+/// NULL join keys never appear in an index, exactly as they never enter
+/// a hash-join build — punched-out t2 keys must not change any output.
+#[test]
+fn indexed_plans_match_on_nullable_tables() {
+    let model = step_model();
+    let mut cov = (false, false);
+    for seed in 0..CASES / 2 {
+        run_case(seed, true, &model, &mut cov);
+    }
+    assert!(cov.0, "no nullable seed produced an index-scan plan");
+    assert!(cov.1, "no nullable seed produced an index-nested-loop plan");
+}
+
+/// Appends keep the whole physical layer honest: statistics recompute
+/// under the bumped `(gen, delta)` version, indexes rebuild over the new
+/// rows, and the optimizer's estimates move with the data.
+#[test]
+fn appends_refresh_stats_indexes_and_estimates() {
+    let mut db = Database::new();
+    let t = Table::from_columns(
+        Schema::new(&[("x", ColType::Int), ("f", ColType::Float)]),
+        vec![
+            Column::Int((0..50).map(|i| i % 5).collect()),
+            Column::Float((0..50).map(|i| i as f64).collect()),
+        ],
+    );
+    db.register("t", t);
+    db.create_index("t", "x", IndexKind::Hash).unwrap();
+    let id = db.resolve("t").unwrap();
+
+    let before = db.stats_of(id).clone();
+    assert_eq!(before.row_count, 50);
+    assert_eq!(before.distinct(0), 5);
+    assert_eq!(before.columns[1].max, Some(49.0));
+
+    let plan_est = |db: &Database| {
+        let stmt = parse_select("SELECT COUNT(*) FROM t WHERE x = 0").unwrap();
+        let plan = optimize(bind(&stmt, db).unwrap(), db);
+        plan.est
+            .clone()
+            .expect("cost phase must annotate estimates")
+    };
+    let est_before = plan_est(&db);
+
+    // Append 150 rows with 10 fresh key values and a larger f range.
+    let rows: Vec<Vec<Value>> = (0..150)
+        .map(|i| vec![Value::Int(5 + i % 10), Value::Float(100.0 + i as f64)])
+        .collect();
+    let (_, version) = db.append_to("t", rows, None).unwrap();
+    assert_eq!(version.delta, 1, "append must bump the delta version");
+
+    let after = db.stats_of(id);
+    assert_eq!(after.row_count, 200);
+    assert_eq!(after.distinct(0), 15);
+    assert_eq!(after.columns[1].max, Some(249.0));
+    assert_eq!(after.version, version, "stats must carry the new version");
+    let ix = db.index_on(id, 0, IndexKind::Hash).unwrap();
+    assert_eq!(ix.len(), 200, "append must rebuild the index");
+
+    let est_after = plan_est(&db);
+    assert!(
+        est_after.scan_rows[0] > est_before.scan_rows[0],
+        "estimates must re-cost from fresh stats: {est_before:?} vs {est_after:?}"
+    );
+}
+
+/// The skeleton cache re-prepares (and therefore re-optimizes with fresh
+/// statistics) when a cached query's table moves: an append invalidates,
+/// the re-prepared skeleton serves the new rows, and a further checkout
+/// hits.
+#[test]
+fn query_cache_reprepares_and_recosts_after_append() {
+    let model = step_model();
+    let mut db = Database::new();
+    let t = Table::from_columns(
+        Schema::new(&[("x", ColType::Int)]),
+        vec![Column::Int((0..20).map(|i| i % 4).collect())],
+    )
+    .with_features(feats(&mut RainRng::seed_from_u64(7), 20));
+    db.register("t", t);
+    db.create_index("t", "x", IndexKind::Hash).unwrap();
+
+    let mut cache = QueryCache::new(Engine::Vectorized);
+    let sql = "SELECT COUNT(*) FROM t WHERE x = 1";
+    let count = |out: &QueryOutput| out.table.to_tsv().lines().nth(1).unwrap().to_string();
+
+    let (out, event) = cache.execute(&db, &model, sql).unwrap();
+    assert_eq!(event.as_str(), "miss");
+    assert_eq!(count(&out), "5");
+
+    db.append_to(
+        "t",
+        (0..8).map(|_| vec![Value::Int(1)]).collect(),
+        Some((0..8).map(|_| vec![1.0]).collect()),
+    )
+    .unwrap();
+    let (out, event) = cache.execute(&db, &model, sql).unwrap();
+    assert_eq!(
+        event.as_str(),
+        "invalidated",
+        "stale stats must force a re-prepare"
+    );
+    assert_eq!(count(&out), "13", "re-prepared plan must see appended rows");
+
+    let (_, event) = cache.execute(&db, &model, sql).unwrap();
+    assert_eq!(event.as_str(), "hit");
+}

@@ -352,8 +352,12 @@ fn parallel_span_shape_is_thread_independent() {
     }
 
     let cases = [
-        // Typed hash join: partitioned build under `join` → `build`.
-        "SELECT COUNT(*) FROM t a, t b WHERE a.x = b.x AND a.k < 5",
+        // Typed hash join: partitioned build under `join` → `build`. The
+        // filter is mostly unselective on purpose: the cost-based
+        // optimizer builds over the filtered (cheaper) side, and both
+        // sides must stay above the parallel threshold so the build
+        // partitions whichever order it picks.
+        "SELECT COUNT(*) FROM t a, t b WHERE a.x = b.x AND a.k < 48",
         // Partitioned grouped aggregation (53 groups over 12k rows).
         "SELECT k, SUM(x) FROM t WHERE x < 800 GROUP BY k",
         // Morselized cross join feeding a partitioned grouped aggregate.

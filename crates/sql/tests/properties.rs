@@ -11,7 +11,7 @@ use rain_model::{Classifier, LogisticRegression};
 use rain_sql::table::{ColType, Column, Schema, Table};
 use rain_sql::{
     bind, execute, optimize, parse_select, printer, AggSum, AggTerm, BoolProv, CellProv, Database,
-    ExecOptions, OptimizerConfig, PredVarRegistry, Probs, QueryOutput, QueryPlan,
+    ExecOptions, IndexKind, OptimizerConfig, PredVarRegistry, Probs, QueryOutput, QueryPlan,
 };
 use std::collections::HashMap;
 
@@ -212,7 +212,10 @@ fn printer_roundtrip_generated_filters() {
 // ---------------------------------------------------------------------
 
 /// t1(x int, s str, flag bool) and t2(y int, k int), both with 1-D
-/// features so `predict()` works against a binary step model.
+/// features so `predict()` works against a binary step model. Both
+/// tables carry secondary indexes (hash and sorted) so optimized plans
+/// exercise index scans and index-nested-loop joins against the
+/// index-free naive plan.
 fn spja_db(rng: &mut RainRng) -> Database {
     let n1 = 5 + rng.below(3);
     let n2 = 4 + rng.below(3);
@@ -259,6 +262,16 @@ fn spja_db(rng: &mut RainRng) -> Database {
             .collect::<Vec<_>>(),
     ));
     db.register("t2", t2);
+    for (table, column, kind) in [
+        ("t1", "x", IndexKind::Hash),
+        ("t1", "x", IndexKind::Sorted),
+        ("t1", "s", IndexKind::Hash),
+        ("t1", "flag", IndexKind::Hash),
+        ("t2", "k", IndexKind::Hash),
+        ("t2", "y", IndexKind::Sorted),
+    ] {
+        db.create_index(table, column, kind).unwrap();
+    }
     db
 }
 
@@ -367,58 +380,107 @@ fn var_keys(a: &PredVarRegistry, b: &PredVarRegistry) -> Vec<(String, usize)> {
     keys
 }
 
-/// Assert the two outputs are concretely identical and provenance-
-/// equivalent under `trials` random discrete worlds + relaxed worlds.
+/// A sampled world: one discrete class assignment and one relaxed
+/// probability assignment per underlying `(table, row)`.
+type World = (
+    HashMap<(String, usize), usize>,
+    HashMap<(String, usize), f64>,
+);
+
+/// One output row in canonical form: its printed values plus its
+/// provenance behavior under each sampled world — discrete bits (row
+/// formulas) or `1e-6`-rounded values (aggregate cells) as the exact
+/// part, raw relaxed values compared with a tolerance after alignment.
+struct RowRecord {
+    line: String,
+    discrete: Vec<i64>,
+    relaxed: Vec<f64>,
+}
+
+/// Canonicalize an output into sorted [`RowRecord`]s. Sorting by
+/// `(line, discrete)` aligns rows across plans whose join orders — and
+/// thus emission orders — legitimately differ.
+fn row_records(out: &QueryOutput, worlds: &[World]) -> Vec<RowRecord> {
+    let views: Vec<(Vec<usize>, Probs)> = worlds
+        .iter()
+        .map(|(classes, ps)| {
+            (
+                preds_for(&out.predvars, classes),
+                probs_for(&out.predvars, ps),
+            )
+        })
+        .collect();
+    let tsv = out.table.to_tsv();
+    let mut recs: Vec<RowRecord> = tsv
+        .lines()
+        .skip(1) // header
+        .enumerate()
+        .map(|(i, line)| {
+            let mut discrete = Vec::new();
+            let mut relaxed = Vec::new();
+            for (preds, probs) in &views {
+                if let Some(f) = out.row_prov.get(i) {
+                    discrete.push(f.eval_discrete(preds) as i64);
+                    relaxed.push(f.eval_relaxed(probs));
+                }
+                for c in out.agg_cells.get(i).into_iter().flatten() {
+                    discrete.push((c.eval_discrete(preds) * 1e6).round() as i64);
+                    relaxed.push(c.eval_relaxed(probs));
+                }
+            }
+            RowRecord {
+                line: line.to_string(),
+                discrete,
+                relaxed,
+            }
+        })
+        .collect();
+    recs.sort_by(|a, b| (&a.line, &a.discrete).cmp(&(&b.line, &b.discrete)));
+    recs
+}
+
+/// Assert the two outputs hold the same multiset of rows and that
+/// provenance is equivalent under random discrete + relaxed worlds.
+/// Order-insensitive on purpose: the cost-based optimizer may pick a
+/// different join order than the naive plan, which permutes the (SQL-wise
+/// unordered) output rows; engine-vs-engine tests on the *same* plan
+/// ([`assert_bit_identical`]) stay exact-order.
 fn assert_equivalent(seed: u64, naive: &QueryOutput, opt: &QueryOutput, rng: &mut RainRng) {
-    assert_eq!(
-        naive.table.to_tsv(),
-        opt.table.to_tsv(),
-        "seed {seed}: result tables differ"
-    );
     assert_eq!(naive.n_key_cols, opt.n_key_cols, "seed {seed}");
     assert_eq!(naive.row_prov.len(), opt.row_prov.len(), "seed {seed}");
     assert_eq!(naive.agg_cells.len(), opt.agg_cells.len(), "seed {seed}");
+    assert_eq!(
+        naive.table.to_tsv().lines().next(),
+        opt.table.to_tsv().lines().next(),
+        "seed {seed}: headers differ"
+    );
 
     let keys = var_keys(&naive.predvars, &opt.predvars);
-    for trial in 0..8 {
-        // One random discrete world + one random relaxed world.
-        let classes: HashMap<(String, usize), usize> =
-            keys.iter().map(|k| (k.clone(), rng.below(2))).collect();
-        let ps: HashMap<(String, usize), f64> = keys
-            .iter()
-            .map(|k| (k.clone(), rng.uniform_range(0.01, 0.99)))
-            .collect();
-        let (preds_n, preds_o) = (
-            preds_for(&naive.predvars, &classes),
-            preds_for(&opt.predvars, &classes),
-        );
-        let (probs_n, probs_o) = (
-            probs_for(&naive.predvars, &ps),
-            probs_for(&opt.predvars, &ps),
-        );
+    let worlds: Vec<World> = (0..8)
+        .map(|_| {
+            (
+                keys.iter().map(|k| (k.clone(), rng.below(2))).collect(),
+                keys.iter()
+                    .map(|k| (k.clone(), rng.uniform_range(0.01, 0.99)))
+                    .collect(),
+            )
+        })
+        .collect();
 
-        for (ri, (f_n, f_o)) in naive.row_prov.iter().zip(&opt.row_prov).enumerate() {
-            assert_eq!(
-                f_n.eval_discrete(&preds_n),
-                f_o.eval_discrete(&preds_o),
-                "seed {seed} trial {trial} row {ri}: discrete row provenance differs"
-            );
+    let rec_n = row_records(naive, &worlds);
+    let rec_o = row_records(opt, &worlds);
+    assert_eq!(rec_n.len(), rec_o.len(), "seed {seed}: row counts differ");
+    for (i, (n, o)) in rec_n.iter().zip(&rec_o).enumerate() {
+        assert_eq!(n.line, o.line, "seed {seed} sorted row {i}: rows differ");
+        assert_eq!(
+            n.discrete, o.discrete,
+            "seed {seed} sorted row {i}: discrete provenance differs"
+        );
+        for (a, b) in n.relaxed.iter().zip(&o.relaxed) {
             assert!(
-                (f_n.eval_relaxed(&probs_n) - f_o.eval_relaxed(&probs_o)).abs() < 1e-9,
-                "seed {seed} trial {trial} row {ri}: relaxed row provenance differs"
+                (a - b).abs() < 1e-9,
+                "seed {seed} sorted row {i}: relaxed provenance differs ({a} vs {b})"
             );
-        }
-        for (ri, (cs_n, cs_o)) in naive.agg_cells.iter().zip(&opt.agg_cells).enumerate() {
-            for (ci, (c_n, c_o)) in cs_n.iter().zip(cs_o).enumerate() {
-                assert!(
-                    (c_n.eval_discrete(&preds_n) - c_o.eval_discrete(&preds_o)).abs() < 1e-9,
-                    "seed {seed} trial {trial} cell {ri}/{ci}: discrete provenance differs"
-                );
-                assert!(
-                    (c_n.eval_relaxed(&probs_n) - c_o.eval_relaxed(&probs_o)).abs() < 1e-9,
-                    "seed {seed} trial {trial} cell {ri}/{ci}: relaxed provenance differs"
-                );
-            }
         }
     }
 }
@@ -438,11 +500,19 @@ fn optimizer_preserves_results_and_provenance() {
         let naive_plan = QueryPlan::naive(bound.clone(), &db);
         let opt_plan = optimize(bound, &db);
 
-        // Projection pruning may only narrow the footprint.
+        // Projection pruning may only narrow the footprint. Join
+        // reordering may have permuted the relations, so match them up
+        // by alias rather than by position.
         for (ri, cols) in opt_plan.used_cols.iter().enumerate() {
+            let alias = &opt_plan.rels[ri].alias;
+            let ni = naive_plan
+                .rels
+                .iter()
+                .position(|r| &r.alias == alias)
+                .unwrap();
             assert!(
-                cols.is_subset(&naive_plan.used_cols[ri]),
-                "seed {seed} `{sql}`: footprint widened on rel {ri}"
+                cols.is_subset(&naive_plan.used_cols[ni]),
+                "seed {seed} `{sql}`: footprint widened on rel {alias}"
             );
         }
 
@@ -562,16 +632,36 @@ fn individual_rules_preserve_results() {
             constant_folding: true,
             predicate_pushdown: false,
             projection_pruning: false,
+            join_reorder: false,
+            index_paths: false,
         },
         OptimizerConfig {
             constant_folding: false,
             predicate_pushdown: true,
             projection_pruning: false,
+            join_reorder: false,
+            index_paths: false,
         },
         OptimizerConfig {
             constant_folding: false,
             predicate_pushdown: false,
             projection_pruning: true,
+            join_reorder: false,
+            index_paths: false,
+        },
+        OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+            projection_pruning: false,
+            join_reorder: true,
+            index_paths: false,
+        },
+        OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+            projection_pruning: false,
+            join_reorder: false,
+            index_paths: true,
         },
     ];
     for seed in 0..CASES / 2 {

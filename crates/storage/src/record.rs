@@ -39,6 +39,18 @@ pub enum Record {
         /// Row-aligned feature vectors, when the table carries features.
         features: Option<Vec<Vec<f64>>>,
     },
+    /// Create a secondary index on an existing table's column. Only the
+    /// definition is durable; the index data is rebuilt from the table on
+    /// replay (and on every later mutation of the table).
+    CreateIndex {
+        /// Catalog name of the table.
+        name: String,
+        /// Column the index covers.
+        column: String,
+        /// [`rain_sql::IndexKind`] wire code
+        /// ([`rain_sql::IndexKind::code`]).
+        kind: u8,
+    },
     /// Replace the training set.
     TrainSet {
         /// The full training set, record ids included.
@@ -56,6 +68,7 @@ const TAG_REGISTER_TABLE: u8 = 2;
 const TAG_APPEND_ROWS: u8 = 3;
 const TAG_TRAIN_SET: u8 = 4;
 const TAG_MODEL_PARAMS: u8 = 5;
+const TAG_CREATE_INDEX: u8 = 6;
 
 impl Record {
     /// Encode to a standalone payload (the commitlog adds framing).
@@ -98,6 +111,12 @@ impl Record {
                     }
                     None => e.u8(0),
                 }
+            }
+            Record::CreateIndex { name, column, kind } => {
+                e.u8(TAG_CREATE_INDEX);
+                e.str(name);
+                e.str(column);
+                e.u8(*kind);
             }
             Record::TrainSet { data } => {
                 e.u8(TAG_TRAIN_SET);
@@ -164,6 +183,11 @@ impl Record {
                     features,
                 }
             }
+            TAG_CREATE_INDEX => Record::CreateIndex {
+                name: d.str()?,
+                column: d.str()?,
+                kind: d.u8()?,
+            },
             TAG_TRAIN_SET => Record::TrainSet {
                 data: codec::get_dataset(&mut d)?,
             },
@@ -215,6 +239,11 @@ mod tests {
                 name: "feat".into(),
                 rows: vec![vec![Value::Float(0.5)]],
                 features: Some(vec![vec![1.0, -0.0]]),
+            },
+            Record::CreateIndex {
+                name: "pairs".into(),
+                column: "x".into(),
+                kind: 1,
             },
             Record::TrainSet {
                 data: Dataset::with_ids(

@@ -42,6 +42,10 @@ pub struct SnapshotState {
     /// [`Database::register_with_version`](rain_sql::Database::register_with_version)
     /// reissues the same [`TableId`](rain_sql::TableId)s.
     pub tables: Vec<(String, TableVersion, Table)>,
+    /// Secondary index definitions: table name, column name, and
+    /// [`rain_sql::IndexKind`] wire code. Definitions only — the index
+    /// data is rebuilt from the recovered tables.
+    pub indexes: Vec<(String, String, u8)>,
 }
 
 impl SnapshotState {
@@ -59,6 +63,12 @@ impl SnapshotState {
             e.u64(version.gen);
             e.u64(version.delta);
             codec::put_table(&mut e, table);
+        }
+        e.u64(self.indexes.len() as u64);
+        for (table, column, kind) in &self.indexes {
+            e.str(table);
+            e.str(column);
+            e.u8(*kind);
         }
         e.into_bytes()
     }
@@ -82,6 +92,11 @@ impl SnapshotState {
             };
             tables.push((name, version, codec::get_table(&mut d)?));
         }
+        let n_indexes = d.len(8)?;
+        let mut indexes = Vec::with_capacity(n_indexes);
+        for _ in 0..n_indexes {
+            indexes.push((d.str()?, d.str()?, d.u8()?));
+        }
         if !d.is_done() {
             return Err(StorageError::Corrupt(
                 "trailing bytes after snapshot body".into(),
@@ -92,6 +107,7 @@ impl SnapshotState {
             params,
             train,
             tables,
+            indexes,
         })
     }
 }
@@ -244,6 +260,7 @@ mod tests {
                     vec![Column::Int(vec![marker])],
                 ),
             )],
+            indexes: vec![("t".into(), "x".into(), 0)],
         }
     }
 

@@ -108,6 +108,14 @@ impl RecoveredState {
                     StorageError::Corrupt(format!("append record does not apply: {e}"))
                 })?;
             }
+            Record::CreateIndex { name, column, kind } => {
+                let kind = rain_sql::IndexKind::from_code(kind).ok_or_else(|| {
+                    StorageError::Corrupt(format!("unknown index kind code {kind}"))
+                })?;
+                self.db.create_index(&name, &column, kind).map_err(|e| {
+                    StorageError::Corrupt(format!("index record does not apply: {e}"))
+                })?;
+            }
             Record::TrainSet { data } => self.train = Some(data),
             Record::ModelParams { params } => self.params = Some(params),
         }
@@ -188,6 +196,16 @@ impl SessionStore {
             }
             for (name, version, table) in snap.tables {
                 state.db.register_with_version(&name, table, version);
+            }
+            // Index *definitions* ride in the snapshot; their data is
+            // rebuilt here from the just-registered tables.
+            for (table, column, kind) in snap.indexes {
+                let kind = rain_sql::IndexKind::from_code(kind).ok_or_else(|| {
+                    StorageError::Corrupt(format!("unknown index kind code {kind}"))
+                })?;
+                state.db.create_index(&table, &column, kind).map_err(|e| {
+                    StorageError::Corrupt(format!("snapshot index does not apply: {e}"))
+                })?;
             }
             state.stats.snapshot_offset = Some(offset);
             from = offset;
@@ -375,6 +393,7 @@ mod tests {
                     .entries()
                     .map(|e| (e.name.clone(), e.version, e.table.clone()))
                     .collect(),
+                indexes: vec![("t".into(), "x".into(), 0)],
             };
             store.snapshot(&snap).unwrap();
             store
@@ -396,7 +415,59 @@ mod tests {
             state.db.table_version(id),
             TableVersion { gen: 0, delta: 1 }
         );
+        let ix = state
+            .db
+            .index_on(id, 0, rain_sql::IndexKind::Hash)
+            .expect("snapshot index definition recovered");
+        assert_eq!(ix.len(), 2, "index rebuilt over the replayed tail too");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_records_replay_and_rebuild() {
+        let dir = temp_dir("index");
+        {
+            let mut store = SessionStore::open(&dir).unwrap();
+            store.append(&Record::RegisterTable {
+                name: "t".into(),
+                table: ints(vec![1, 2]),
+            });
+            store.append(&Record::CreateIndex {
+                name: "t".into(),
+                column: "x".into(),
+                kind: 0,
+            });
+            store.append(&Record::AppendRows {
+                name: "t".into(),
+                rows: vec![vec![Value::Int(2)]],
+                features: None,
+            });
+            store.commit().unwrap();
+        }
+        let mut store = SessionStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        let id = state.db.resolve("t").unwrap();
+        let ix = state
+            .db
+            .index_on(id, 0, rain_sql::IndexKind::Hash)
+            .expect("index recovered from the log");
+        assert_eq!(ix.len(), 3, "rebuilt over appended rows too");
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // A kind code from the future is corruption, not a silent skip.
+        let mut st = RecoveredState::empty();
+        st.apply(Record::RegisterTable {
+            name: "t".into(),
+            table: ints(vec![1]),
+        })
+        .unwrap();
+        assert!(st
+            .apply(Record::CreateIndex {
+                name: "t".into(),
+                column: "x".into(),
+                kind: 9,
+            })
+            .is_err());
     }
 
     #[test]
@@ -415,6 +486,7 @@ mod tests {
             params: vec![],
             train: Dataset::with_ids(Matrix::zeros(0, 0), vec![], vec![], 2),
             tables: vec![],
+            indexes: vec![],
         };
         for i in 0..2 {
             store

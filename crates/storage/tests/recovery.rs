@@ -13,7 +13,7 @@
 use rain_linalg::{Matrix, RainRng};
 use rain_model::Dataset;
 use rain_sql::table::{ColType, Column, Schema, Table};
-use rain_sql::Value;
+use rain_sql::{IndexKind, Value};
 use rain_storage::{
     codec, Enc, Record, RecoveredState, SessionStore, SnapshotState, LOG_HEADER_LEN,
 };
@@ -67,6 +67,13 @@ fn state_bytes(state: &RecoveredState) -> Vec<u8> {
         e.u64(ent.version.gen);
         e.u64(ent.version.delta);
         codec::put_table(&mut e, &ent.table);
+        // Index definitions participate in the bit-identity claim (their
+        // data is a pure function of the table, so defs suffice).
+        e.u64(ent.indexes.len() as u64);
+        for ix in &ent.indexes {
+            e.str(&ix.column);
+            e.u8(ix.kind.code());
+        }
     }
     e.into_bytes()
 }
@@ -158,7 +165,7 @@ fn random_record(rng: &mut RainRng, tables: &mut Vec<(String, Vec<ColType>)>) ->
             None => tables.push((name.clone(), types)),
         }
         Record::RegisterTable { name, table }
-    } else if roll < 7 {
+    } else if roll < 6 {
         let (name, types) = tables[rng.below(tables.len())].clone();
         let n = 1 + rng.below(4);
         let rows = (0..n)
@@ -173,6 +180,21 @@ fn random_record(rng: &mut RainRng, tables: &mut Vec<(String, Vec<ColType>)>) ->
             name,
             rows,
             features: None,
+        }
+    } else if roll < 7 {
+        // Valid against the schema at this point in the history; a later
+        // replacing register may drop the index again, deterministically.
+        let (name, types) = tables[rng.below(tables.len())].clone();
+        let col = rng.below(types.len());
+        let kind = if types[col] != ColType::Str && rng.bernoulli(0.5) {
+            IndexKind::Sorted
+        } else {
+            IndexKind::Hash
+        };
+        Record::CreateIndex {
+            name,
+            column: COL_NAMES[col].to_string(),
+            kind: kind.code(),
         }
     } else if roll < 8 {
         Record::TrainSet {
@@ -341,6 +363,15 @@ fn snapshot_plus_torn_tail_recovers_bit_identically() {
                 .db
                 .entries()
                 .map(|e| (e.name.clone(), e.version, e.table.clone()))
+                .collect(),
+            indexes: head
+                .db
+                .entries()
+                .flat_map(|e| {
+                    e.indexes
+                        .iter()
+                        .map(|ix| (e.name.clone(), ix.column.clone(), ix.kind.code()))
+                })
                 .collect(),
         };
         store.snapshot(&snap).unwrap();

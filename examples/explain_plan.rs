@@ -8,7 +8,10 @@
 use rain::linalg::Matrix;
 use rain::model::{Classifier, LogisticRegression};
 use rain::sql::table::{ColType, Column, Schema, Table};
-use rain::sql::{bind, execute, optimize, parse_select, Database, Engine, ExecOptions, QueryPlan};
+use rain::sql::{
+    bind, execute, optimize, optimize_with, parse_select, Database, Engine, ExecOptions, IndexKind,
+    OptimizerConfig, QueryPlan,
+};
 
 fn main() {
     // users(id, age) with churn features; logins(id, active).
@@ -58,6 +61,62 @@ fn main() {
     let out = execute(&db, &model, &plan, ExecOptions::debug()).expect("runs");
     println!("result:\n{}", out.table.to_tsv());
     println!("prediction variables captured: {}", out.predvars.len());
+
+    // ---- The cost-based layer: join ordering + index access paths. ----
+    // A star-shaped catalog written in its worst FROM order: two fact
+    // tables first (no predicate links them — a cross product) and the
+    // small filtered dimension last.
+    let mut star = Database::new();
+    let n_fact = 2_000i64;
+    star.register(
+        "facts_a",
+        Table::from_columns(
+            Schema::new(&[("k", ColType::Int)]),
+            vec![Column::Int((0..n_fact).map(|i| i % 50).collect())],
+        ),
+    );
+    star.register(
+        "facts_b",
+        Table::from_columns(
+            Schema::new(&[("k", ColType::Int)]),
+            vec![Column::Int((0..n_fact).map(|i| (i * 7) % 50).collect())],
+        ),
+    );
+    star.register(
+        "dims",
+        Table::from_columns(
+            Schema::new(&[("k", ColType::Int), ("grp", ColType::Int)]),
+            vec![
+                Column::Int((0..50).collect()),
+                Column::Int((0..50).map(|i| i % 5).collect()),
+            ],
+        ),
+    );
+    star.create_index("dims", "k", IndexKind::Hash).unwrap();
+    star.create_index("dims", "grp", IndexKind::Hash).unwrap();
+
+    let star_sql = "SELECT COUNT(*) FROM facts_a a, facts_b b, dims d \
+                    WHERE a.k = d.k AND b.k = d.k AND d.grp = 0";
+    println!("\nstar query:\n  {star_sql}\n");
+    let bound = bind(&parse_select(star_sql).unwrap(), &star).unwrap();
+    let from_order = optimize_with(
+        bound.clone(),
+        &star,
+        &OptimizerConfig {
+            join_reorder: false,
+            index_paths: false,
+            ..Default::default()
+        },
+    );
+    println!(
+        "FROM-order plan (cost-based phases off):\n{}",
+        from_order.explain_engine(&star, Engine::Vectorized)
+    );
+    let chosen = optimize(bound, &star);
+    println!(
+        "cost-based plan:\n{}",
+        chosen.explain_engine(&star, Engine::Vectorized)
+    );
 
     // The binder rejects bad queries with typed errors instead of panics.
     for bad in [
